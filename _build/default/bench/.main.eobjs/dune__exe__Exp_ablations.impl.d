@@ -1,0 +1,1 @@
+bench/exp_ablations.ml: Confidence Expr Float List Option Pqdb Pqdb_ast Pqdb_montecarlo Pqdb_numeric Pqdb_relational Pqdb_urel Pqdb_workload Predicate Printf Relation Report Udb Value Vertical Wtable

@@ -1,0 +1,1 @@
+bench/exp_predicates.ml: Array Assignment List Option Pqdb Pqdb_ast Pqdb_montecarlo Pqdb_numeric Pqdb_urel Pqdb_workload Printf Report Wtable

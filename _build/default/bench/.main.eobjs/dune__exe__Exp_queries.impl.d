@@ -1,0 +1,1 @@
+bench/exp_queries.ml: Assignment Enumerate Float List Pqdb Pqdb_ast Pqdb_numeric Pqdb_relational Pqdb_urel Pqdb_workload Pqdb_worlds Printf Report Schema Tuple Udb Urelation Value Wtable

@@ -1,0 +1,1 @@
+bench/main.ml: Array Exp_ablations Exp_predicates Exp_queries Exp_representation List Micro Printf Report String Sys

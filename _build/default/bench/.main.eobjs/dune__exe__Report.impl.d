@@ -1,0 +1,1 @@
+bench/report.ml: Array Int64 List Monotonic_clock Pqdb_numeric Printf String

@@ -1,0 +1,60 @@
+(* pqdb benchmark harness.
+
+   Reproduces, as executable experiments, every theorem/algorithm/figure of
+   Koch, "Approximating Predicates and Expressive Queries on Probabilistic
+   Databases" (PODS 2008).  The paper has no empirical tables of its own —
+   the experiments validate the *claimed shapes*: who wins, by what factor,
+   where the walls are.  See DESIGN.md for the index and EXPERIMENTS.md for
+   paper-vs-measured.
+
+   Usage: dune exec bench/main.exe            (quick mode, ~1 minute)
+          dune exec bench/main.exe -- --full  (larger sweeps)
+          dune exec bench/main.exe -- E7 E8   (selected experiments only) *)
+
+let experiments =
+  [
+    ("E1", Exp_representation.e1_coin_example);
+    ("E2", Exp_representation.e2_positive_ra_scaling);
+    ("E3", Exp_representation.e3_exact_vs_fpras);
+    ("E4", Exp_representation.e4_fpras_convergence);
+    ("E5", Exp_predicates.e5_linear_epsilon);
+    ("E6", Exp_predicates.e6_corner_search);
+    ("E7", Exp_predicates.e7_fig3_vs_naive);
+    ("E8", Exp_predicates.e8_singularity_wall);
+    ("E9", Exp_queries.e9_provenance_fanin);
+    ("E10", Exp_queries.e10_query_doubling);
+    ("E11", Exp_queries.e11_egd_rewriting);
+    ("E12", Exp_queries.e12_nonsuccinct_conf);
+    ("E13", Exp_ablations.e13_optimizer);
+    ("E14", Exp_ablations.e14_batch_size);
+    ("E15", Exp_ablations.e15_rational_vs_float);
+    ("E16", Exp_ablations.e16_vertical);
+    ("E17", Exp_ablations.e17_topk);
+  ]
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let full = List.mem "--full" args in
+  let skip_micro = List.mem "--no-micro" args in
+  let selected =
+    List.filter (fun a -> not (String.length a >= 2 && String.sub a 0 2 = "--")) args
+  in
+  let quick = not full in
+  let chosen =
+    if selected = [] then experiments
+    else
+      List.filter (fun (id, _) -> List.mem id selected) experiments
+  in
+  if chosen = [] then begin
+    prerr_endline "no matching experiments; known ids:";
+    List.iter (fun (id, _) -> prerr_endline ("  " ^ id)) experiments;
+    exit 1
+  end;
+  Printf.printf
+    "pqdb experiment harness (%s mode; seed-deterministic)\n"
+    (if quick then "quick" else "full");
+  let t0 = Report.now_ns () in
+  List.iter (fun (_, f) -> f ~quick) chosen;
+  if selected = [] && not skip_micro then Micro.run ();
+  Printf.printf "\ntotal wall time: %s\n"
+    (Report.fmt_seconds ((Report.now_ns () -. t0) /. 1e9))

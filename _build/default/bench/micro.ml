@@ -1,0 +1,149 @@
+(* Bechamel microbenchmarks: one Test.make per timed kernel, reported as
+   ns/run from an OLS fit. *)
+
+open Bechamel
+open Toolkit
+open Pqdb_urel
+module Q = Pqdb_numeric.Rational
+module Rng = Pqdb_numeric.Rng
+module Gen = Pqdb_workload.Gen
+module Scenarios = Pqdb_workload.Scenarios
+module Apred = Pqdb_ast.Apred
+module Dnf = Pqdb_montecarlo.Dnf
+module Karp_luby = Pqdb_montecarlo.Karp_luby
+
+let test_shannon_confidence () =
+  let rng = Rng.create ~seed:201 in
+  let w = Wtable.create () in
+  let clauses = Gen.random_dnf rng w ~vars:12 ~clauses:12 ~clause_len:3 in
+  Test.make ~name:"confidence/shannon-12v"
+    (Staged.stage (fun () -> ignore (Confidence.by_shannon w clauses)))
+
+let test_karp_luby () =
+  let rng = Rng.create ~seed:202 in
+  let w = Wtable.create () in
+  let clauses = Gen.random_dnf rng w ~vars:12 ~clauses:12 ~clause_len:3 in
+  let dnf = Dnf.prepare w clauses in
+  Test.make ~name:"confidence/karp-luby-1k-trials"
+    (Staged.stage (fun () -> ignore (Karp_luby.run rng dnf ~trials:1000)))
+
+let test_translate_join () =
+  let rng = Rng.create ~seed:203 in
+  let w = Wtable.create () in
+  let r = Gen.tuple_independent rng w ~attrs:[ "A"; "B" ] ~rows:500 ~domain:100 in
+  let s =
+    Urelation.of_relation
+      (Gen.random_relation rng ~attrs:[ "B"; "C" ] ~rows:100 ~domain:100)
+  in
+  Test.make ~name:"translate/join-500x100"
+    (Staged.stage (fun () -> ignore (Translate.join r s)))
+
+let test_thm52 () =
+  let rng = Rng.create ~seed:204 in
+  let pred = Gen.linear_predicate rng ~arity:8 in
+  let point = Array.init 8 (fun _ -> Rng.float_range rng 0.1 0.9) in
+  Test.make ~name:"epsilon/closed-form-k8"
+    (Staged.stage (fun () -> ignore (Pqdb.Epsilon.epsilon pred point)))
+
+let test_corner_search () =
+  let pred =
+    Apred.ge (Apred.Div (Apred.var 0, Apred.var 1)) (Apred.const 0.5)
+  in
+  let point = [| 0.5; 0.45 |] in
+  Test.make ~name:"epsilon/corner-search-k2"
+    (Staged.stage (fun () ->
+         ignore (Pqdb.Orthotope.epsilon_search pred point)))
+
+let test_coin_posterior () =
+  Test.make ~name:"query/coin-posterior-exact"
+    (Staged.stage (fun () ->
+         let udb = Scenarios.coin_db () in
+         ignore
+           (Pqdb.Eval_exact.eval_relation udb
+              Scenarios.coin_queries.Scenarios.u)))
+
+let test_repair_key () =
+  let rng = Rng.create ~seed:205 in
+  let rel =
+    Gen.weighted_relation rng ~attrs:[ "A"; "B" ] ~rows:300 ~domain:40
+      ~weight:"W"
+  in
+  let u = Urelation.of_relation rel in
+  Test.make ~name:"translate/repair-key-300"
+    (Staged.stage (fun () ->
+         let w = Wtable.create () in
+         ignore (Translate.repair_key w ~key:[ "A" ] ~weight:"W" u)))
+
+let test_decomposition () =
+  let rng = Rng.create ~seed:206 in
+  let w = Wtable.create () in
+  let clauses = Gen.random_dnf rng w ~vars:12 ~clauses:12 ~clause_len:3 in
+  Test.make ~name:"confidence/decomposition-12v"
+    (Staged.stage (fun () -> ignore (Confidence.by_decomposition w clauses)))
+
+let test_optimizer () =
+  let q =
+    Pqdb_lang.Qparser.parse_query
+      "select[A = 0](conf(project[A, B](repairkey[A @ W](R))))"
+  in
+  let lookup = function
+    | "R" -> Some [ "A"; "B"; "W" ]
+    | _ -> None
+  in
+  Test.make ~name:"optimizer/push-below-conf"
+    (Staged.stage (fun () -> ignore (Pqdb.Optimizer.optimize ~lookup q)))
+
+let test_topk () =
+  Test.make ~name:"topk/coin-top1"
+    (Staged.stage (fun () ->
+         let rng = Rng.create ~seed:207 in
+         let udb = Scenarios.coin_db () in
+         ignore
+           (Pqdb.Topk.query ~rng ~delta:0.1 ~k:1 udb
+              Scenarios.coin_queries.Scenarios.t)))
+
+let run () =
+  Report.section "MICRO" "Bechamel kernels (ns per run, OLS fit)";
+  let tests =
+    Test.make_grouped ~name:"pqdb"
+      [
+        test_shannon_confidence ();
+        test_karp_luby ();
+        test_translate_join ();
+        test_thm52 ();
+        test_corner_search ();
+        test_coin_posterior ();
+        test_repair_key ();
+        test_decomposition ();
+        test_optimizer ();
+        test_topk ();
+      ]
+  in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None
+      ~stabilize:true ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols ->
+      let estimate =
+        match Analyze.OLS.estimates ols with
+        | Some [ t ] -> t
+        | _ -> Float.nan
+      in
+      let r2 =
+        match Analyze.OLS.r_square ols with Some r -> r | None -> Float.nan
+      in
+      rows :=
+        [ name; Report.fmt_seconds (estimate /. 1e9); Printf.sprintf "%.4f" r2 ]
+        :: !rows)
+    results;
+  Report.table
+    ~header:[ "kernel"; "time/run"; "r^2" ]
+    (List.sort compare !rows)

@@ -1,0 +1,568 @@
+(* pqdb — command-line front end.
+
+   Subcommands:
+     run    evaluate a UA query/program over CSV-loaded base tables
+     demo   run a built-in scenario (coin | cleaning | sensors)
+     parse  parse a query and print the algebra tree
+
+   Examples:
+     pqdb run --table Coins=coins.csv \
+       "conf(project[CoinType](repairkey[@Count](Coins)))"
+     pqdb run --approx --delta 0.05 --query-file pipeline.ua \
+       --table Dirty=dirty.csv
+     pqdb demo coin *)
+
+open Pqdb_relational
+open Pqdb_urel
+module Ua = Pqdb_ast.Ua
+module Qparser = Pqdb_lang.Qparser
+module Rng = Pqdb_numeric.Rng
+
+let load_tables ?db specs =
+  let udb =
+    match db with None -> Udb.create () | Some dir -> Udb_io.load dir
+  in
+  List.iter
+    (fun spec ->
+      match String.index_opt spec '=' with
+      | None ->
+          failwith
+            (Printf.sprintf "--table expects NAME=FILE.csv, got %S" spec)
+      | Some i ->
+          let name = String.sub spec 0 i in
+          let path = String.sub spec (i + 1) (String.length spec - i - 1) in
+          Udb.add_complete udb name (Csv.load path))
+    specs;
+  udb
+
+let read_query query query_file =
+  match (query, query_file) with
+  | Some q, None -> q
+  | None, Some path ->
+      let ic = open_in path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> In_channel.input_all ic)
+  | Some _, Some _ -> failwith "give either a query or --query-file, not both"
+  | None, None -> failwith "no query given (positional argument or --query-file)"
+
+let print_result_urel u =
+  if Urelation.is_complete_rep u then
+    Format.printf "%a@." Relation.pp (Urelation.to_relation u)
+  else Format.printf "%a@." Urelation.pp u
+
+let run_cmd db tables query_file approx optimize delta eps0 seed query =
+  try
+    let udb = load_tables ?db tables in
+    let text = read_query query query_file in
+    let _views, final = Qparser.parse_program text in
+    let q =
+      match final with
+      | Some q -> q
+      | None -> failwith "the program has no final query expression"
+    in
+    let q = if optimize then Pqdb.Optimizer.optimize_for udb q else q in
+    if approx then begin
+      let rng = Rng.create ~seed in
+      let result, stats, budget =
+        Pqdb.Eval_approx.eval_with_guarantee ~eps0 ~rng ~delta udb q
+      in
+      print_result_urel result.Pqdb.Eval_approx.urel;
+      Format.printf "-- per-tuple error bounds (target %.4g):@." delta;
+      List.iter
+        (fun (t, e) -> Format.printf "--   %a: <= %.6f@." Tuple.pp t e)
+        result.Pqdb.Eval_approx.errors;
+      if result.Pqdb.Eval_approx.suspects <> [] then begin
+        Format.printf "-- singularity suspects:@.";
+        List.iter
+          (fun t -> Format.printf "--   %a@." Tuple.pp t)
+          result.Pqdb.Eval_approx.suspects
+      end;
+      Format.printf
+        "-- %d sigma-hat decisions, %d estimator calls, round budget %d@."
+        stats.Pqdb.Eval_approx.decisions
+        stats.Pqdb.Eval_approx.estimator_calls budget
+    end
+    else print_result_urel (Pqdb.Eval_exact.eval udb q);
+    0
+  with
+  | Failure msg | Invalid_argument msg | Sys_error msg ->
+      Format.eprintf "error: %s@." msg;
+      1
+  | Qparser.Error (msg, off) ->
+      Format.eprintf "parse error at offset %d: %s@." off msg;
+      1
+  | Pqdb_lang.Lexer.Error (msg, off) ->
+      Format.eprintf "lex error at offset %d: %s@." off msg;
+      1
+  | Pqdb.Eval_exact.Unsupported msg ->
+      Format.eprintf "unsupported: %s@." msg;
+      1
+
+let parse_cmd query =
+  try
+    let q = Qparser.parse_query query in
+    Format.printf "%a@." Ua.pp q;
+    Format.printf "positive: %b, sigma-hat depth: %d, size: %d@."
+      (Ua.is_positive q) (Ua.nesting_depth q) (Ua.size q);
+    0
+  with
+  | Qparser.Error (msg, off) ->
+      Format.eprintf "parse error at offset %d: %s@." off msg;
+      1
+  | Pqdb_lang.Lexer.Error (msg, off) ->
+      Format.eprintf "lex error at offset %d: %s@." off msg;
+      1
+
+let demo_cmd which seed =
+  let rng = Rng.create ~seed in
+  match which with
+  | "coin" ->
+      let udb = Pqdb_workload.Scenarios.coin_db () in
+      let q = Pqdb_workload.Scenarios.coin_queries in
+      Format.printf "posterior given two heads:@.%a@." Relation.pp
+        (Pqdb.Eval_exact.eval_relation udb q.Pqdb_workload.Scenarios.u);
+      0
+  | "cleaning" ->
+      let udb = Pqdb_workload.Scenarios.cleaning_db rng ~customers:5 ~max_dups:3 in
+      Format.printf "marginals after key repair:@.%a@." Relation.pp
+        (Pqdb.Eval_exact.eval_relation udb
+           (Ua.conf
+              (Ua.project [ "Id"; "Name" ] Pqdb_workload.Scenarios.cleaned)));
+      0
+  | "sensors" ->
+      let udb = Pqdb_workload.Scenarios.sensor_db rng ~sensors:4 in
+      Format.printf "P(hot) per sensor:@.%a@." Relation.pp
+        (Pqdb.Eval_exact.eval_relation udb
+           (Ua.conf
+              (Ua.project [ "Sensor" ]
+                 (Ua.select
+                    Predicate.(
+                      Expr.attr "Level" = Expr.const (Value.Str "hot"))
+                    Pqdb_workload.Scenarios.sensor_readings))));
+      0
+  | other ->
+      Format.eprintf "unknown demo %S (coin | cleaning | sensors)@." other;
+      1
+
+let explain_cmd db tables query_file query =
+  try
+    let udb = load_tables ?db tables in
+    let text = read_query query query_file in
+    let _views, final = Qparser.parse_program text in
+    let q =
+      match final with
+      | Some q -> q
+      | None -> failwith "the program has no final query expression"
+    in
+    let prov = Pqdb.Provenance.compute udb q in
+    let result = Pqdb.Provenance.result prov in
+    print_result_urel result;
+    Format.printf "-- provenance (leaves each result tuple depends on):@.";
+    List.iter
+      (fun t ->
+        Format.printf "--   %a <- %a@." Tuple.pp t
+          (Format.pp_print_list
+             ~pp_sep:(fun f () -> Format.pp_print_string f ", ")
+             Pqdb.Provenance.pp_leaf)
+          (Pqdb.Provenance.leaves prov t))
+      (Pqdb_urel.Urelation.possible_tuples result);
+    if Pqdb.Provenance.sigma_hat_count prov > 0 then
+      Format.printf "-- %d maximal sigma-hat subexpression(s)@."
+        (Pqdb.Provenance.sigma_hat_count prov);
+    0
+  with
+  | Failure msg | Invalid_argument msg | Sys_error msg ->
+      Format.eprintf "error: %s@." msg;
+      1
+  | Qparser.Error (msg, off) ->
+      Format.eprintf "parse error at offset %d: %s@." off msg;
+      1
+  | Pqdb.Eval_exact.Unsupported msg ->
+      Format.eprintf "unsupported: %s@." msg;
+      1
+
+let topk_cmd db tables query_file k delta seed query =
+  try
+    let udb = load_tables ?db tables in
+    let text = read_query query query_file in
+    let _views, final = Qparser.parse_program text in
+    let q =
+      match final with
+      | Some q -> q
+      | None -> failwith "the program has no final query expression"
+    in
+    let rng = Rng.create ~seed in
+    let r = Pqdb.Topk.query ~rng ~delta ~k udb q in
+    List.iteri
+      (fun i (t, p) -> Format.printf "%d. %a  (~%.4f)@." (i + 1) Tuple.pp t p)
+      r.Pqdb.Topk.ranked;
+    Format.printf "-- certified: %b, %d estimator calls, %d rounds@."
+      r.Pqdb.Topk.certified r.Pqdb.Topk.estimator_calls r.Pqdb.Topk.rounds;
+    0
+  with
+  | Failure msg | Invalid_argument msg | Sys_error msg ->
+      Format.eprintf "error: %s@." msg;
+      1
+  | Qparser.Error (msg, off) ->
+      Format.eprintf "parse error at offset %d: %s@." off msg;
+      1
+  | Pqdb.Eval_exact.Unsupported msg ->
+      Format.eprintf "unsupported: %s@." msg;
+      1
+
+(* --- repl ------------------------------------------------------------- *)
+
+let repl_help =
+  {|commands:
+  \load NAME FILE.csv   load a complete base table from CSV
+  \save DIR             persist the session database (tables only)
+  \open DIR             import complete relations from a saved database
+  \tables               list tables and views
+  \approx on|off        toggle approximate evaluation (default off)
+  \delta X              target error bound for approximate runs (default 0.05)
+  \plan QUERY;          show the (optimized) algebra instead of evaluating
+  \explain QUERY;       evaluate exactly and print tuple provenance
+  \help                 this message
+  \quit                 leave
+statements (terminated by ';'):
+  let NAME = QUERY;     define a view
+  QUERY;                evaluate and print|}
+
+let repl_cmd seed =
+  let udb = Udb.create () in
+  let views = ref [] in
+  let approx = ref false in
+  let delta = ref 0.05 in
+  let rng = Rng.create ~seed in
+  let buffer = Buffer.create 256 in
+  Format.printf "pqdb repl — \\help for help@.";
+  let substitute text =
+    (* Prepend accumulated view definitions so references resolve. *)
+    let defs =
+      String.concat ""
+        (List.rev_map
+           (fun (name, src) -> Printf.sprintf "let %s = %s;\n" name src)
+           !views)
+    in
+    defs ^ text
+  in
+  let evaluate text =
+    match Qparser.parse_program (substitute text) with
+    | _, None -> ()
+    | _, Some q ->
+        if !approx then begin
+          let result, stats, budget =
+            Pqdb.Eval_approx.eval_with_guarantee ~rng ~delta:!delta
+              (Udb.copy udb) q
+          in
+          print_result_urel result.Pqdb.Eval_approx.urel;
+          List.iter
+            (fun (t, e) ->
+              Format.printf "--   %a: error <= %.6f@." Tuple.pp t e)
+            result.Pqdb.Eval_approx.errors;
+          Format.printf "-- %d decisions, %d estimator calls, budget %d@."
+            stats.Pqdb.Eval_approx.decisions
+            stats.Pqdb.Eval_approx.estimator_calls budget
+        end
+        else print_result_urel (Pqdb.Eval_exact.eval (Udb.copy udb) q)
+  in
+  let handle_statement text =
+    let trimmed = String.trim text in
+    if trimmed = "" then ()
+    else begin
+      (* A let-statement defines a view; remember its source. *)
+      match Qparser.parse_program (substitute text) with
+      | new_views, None ->
+          (* Record only the textual definition of the *new* statement. *)
+          let prefix = "let " in
+          let t = String.trim text in
+          if String.length t > 4 && String.lowercase_ascii (String.sub t 0 4) = prefix
+          then begin
+            match String.index_opt t '=' with
+            | Some i ->
+                let name = String.trim (String.sub t 4 (i - 4)) in
+                let body =
+                  String.trim (String.sub t (i + 1) (String.length t - i - 1))
+                in
+                let body =
+                  if String.length body > 0 && body.[String.length body - 1] = ';'
+                  then String.sub body 0 (String.length body - 1)
+                  else body
+                in
+                views := (name, body) :: List.remove_assoc name !views;
+                Format.printf "view %s defined@." name
+            | None -> ignore new_views
+          end
+      | _, Some _ -> evaluate text
+    end
+  in
+  let handle_command line =
+    match String.split_on_char ' ' (String.trim line) with
+    | [ "\\quit" ] | [ "\\q" ] -> raise Exit
+    | [ "\\help" ] -> Format.printf "%s@." repl_help
+    | [ "\\tables" ] ->
+        List.iter (fun n -> Format.printf "table %s@." n) (Udb.names udb);
+        List.iter (fun (n, _) -> Format.printf "view %s@." n) (List.rev !views)
+    | [ "\\approx"; "on" ] ->
+        approx := true;
+        Format.printf "approximate evaluation on (delta = %g)@." !delta
+    | [ "\\approx"; "off" ] ->
+        approx := false;
+        Format.printf "approximate evaluation off@."
+    | [ "\\delta"; x ] -> begin
+        match float_of_string_opt x with
+        | Some d when d > 0. && d < 1. ->
+            delta := d;
+            Format.printf "delta = %g@." d
+        | _ -> Format.printf "expected a delta in (0, 1)@."
+      end
+    | [ "\\open"; dir ] -> begin
+        match Udb_io.load dir with
+        | fresh ->
+            List.iter
+              (fun name ->
+                if not (Udb.mem udb name) then begin
+                  let u = Udb.find fresh name in
+                  (* Conditions refer to the fresh W table; only complete
+                     relations can be imported into the session database. *)
+                  if Urelation.is_complete_rep u then
+                    Udb.add_complete udb name (Urelation.to_relation u)
+                  else
+                    Format.printf
+                      "skipping uncertain %s (use --db on the run command)@."
+                      name
+                end)
+              (Udb.names fresh);
+            Format.printf "opened %s@." dir
+        | exception Sys_error msg -> Format.printf "cannot open: %s@." msg
+        | exception Invalid_argument msg -> Format.printf "bad db: %s@." msg
+      end
+    | [ "\\save"; dir ] -> begin
+        match Udb_io.save dir udb with
+        | () -> Format.printf "saved to %s@." dir
+        | exception Sys_error msg -> Format.printf "cannot save: %s@." msg
+      end
+    | "\\load" :: name :: path :: [] -> begin
+        match Csv.load path with
+        | rel ->
+            Udb.add_complete udb name rel;
+            Format.printf "loaded %s (%d tuples)@." name
+              (Relation.cardinality rel)
+        | exception Sys_error msg -> Format.printf "cannot load: %s@." msg
+        | exception Invalid_argument msg -> Format.printf "bad csv: %s@." msg
+      end
+    | [ "\\explain" ] -> Format.printf "usage: \\explain QUERY;@."
+    | "\\explain" :: rest -> begin
+        let text = String.concat " " rest in
+        let text =
+          if String.length text > 0 && text.[String.length text - 1] = ';'
+          then String.sub text 0 (String.length text - 1)
+          else text
+        in
+        match Qparser.parse_program (substitute text) with
+        | _, Some q -> begin
+            match Pqdb.Provenance.compute (Udb.copy udb) q with
+            | prov ->
+                let result = Pqdb.Provenance.result prov in
+                print_result_urel result;
+                List.iter
+                  (fun t ->
+                    Format.printf "--   %a <- %a@." Tuple.pp t
+                      (Format.pp_print_list
+                         ~pp_sep:(fun f () -> Format.pp_print_string f ", ")
+                         Pqdb.Provenance.pp_leaf)
+                      (Pqdb.Provenance.leaves prov t))
+                  (Pqdb_urel.Urelation.possible_tuples result)
+            | exception Pqdb.Eval_exact.Unsupported msg ->
+                Format.printf "unsupported: %s@." msg
+          end
+        | _, None -> Format.printf "no query@."
+        | exception Qparser.Error (msg, off) ->
+            Format.printf "parse error at %d: %s@." off msg
+      end
+    | [ "\\plan" ] -> Format.printf "usage: \\plan QUERY;@."
+    | "\\plan" :: rest -> begin
+        let text = String.concat " " rest in
+        let text =
+          if String.length text > 0 && text.[String.length text - 1] = ';'
+          then String.sub text 0 (String.length text - 1)
+          else text
+        in
+        match Qparser.parse_program (substitute text) with
+        | _, Some q ->
+            let optimized = Pqdb.Optimizer.optimize_for udb q in
+            Format.printf "%s@." (Pqdb_lang.Pretty.query_to_string optimized)
+        | _, None -> Format.printf "no query@."
+        | exception Qparser.Error (msg, off) ->
+            Format.printf "parse error at %d: %s@." off msg
+      end
+    | _ -> Format.printf "unknown command; \\help for help@."
+  in
+  (try
+     while true do
+       if Buffer.length buffer = 0 then Format.printf "pqdb> @?"
+       else Format.printf "  ... @?";
+       match In_channel.input_line stdin with
+       | None -> raise Exit
+       | Some line ->
+           if Buffer.length buffer = 0 && String.length (String.trim line) > 0
+              && (String.trim line).[0] = '\\'
+           then handle_command line
+           else begin
+             Buffer.add_string buffer line;
+             Buffer.add_char buffer '\n';
+             if String.contains line ';' then begin
+               let text = Buffer.contents buffer in
+               Buffer.clear buffer;
+               try handle_statement text with
+               | Qparser.Error (msg, off) ->
+                   Format.printf "parse error at %d: %s@." off msg
+               | Pqdb_lang.Lexer.Error (msg, off) ->
+                   Format.printf "lex error at %d: %s@." off msg
+               | Pqdb.Eval_exact.Unsupported msg ->
+                   Format.printf "unsupported: %s@." msg
+               | Invalid_argument msg | Failure msg ->
+                   Format.printf "error: %s@." msg
+             end
+           end
+     done
+   with Exit -> Format.printf "bye@.");
+  0
+
+(* --- cmdliner wiring -------------------------------------------------- *)
+
+open Cmdliner
+
+let db_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "db" ] ~docv:"DIR"
+        ~doc:"Load a saved U-relational database directory.")
+
+let tables_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "table"; "t" ] ~docv:"NAME=FILE"
+        ~doc:"Load a complete base table from a CSV file (repeatable).")
+
+let query_file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "query-file"; "f" ] ~docv:"FILE"
+        ~doc:"Read the query program from a file.")
+
+let optimize_arg =
+  Arg.(
+    value & flag
+    & info [ "optimize"; "O" ]
+        ~doc:"Run the logical optimizer (selection push-down etc.) first.")
+
+let approx_arg =
+  Arg.(
+    value & flag
+    & info [ "approx"; "a" ]
+        ~doc:
+          "Evaluate approximately: Karp-Luby confidence and Figure-3 \
+           approximate selection with the Theorem 6.7 doubling driver.")
+
+let delta_arg =
+  Arg.(
+    value & opt float 0.05
+    & info [ "delta" ] ~docv:"DELTA"
+        ~doc:"Target error bound for approximate evaluation.")
+
+let eps0_arg =
+  Arg.(
+    value & opt float 0.05
+    & info [ "eps0" ] ~docv:"EPS0"
+        ~doc:"Relative-width floor of the predicate approximation.")
+
+let seed_arg =
+  Arg.(
+    value & opt int 42
+    & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed (runs are reproducible).")
+
+let query_arg =
+  Arg.(
+    value
+    & pos 0 (some string) None
+    & info [] ~docv:"QUERY" ~doc:"The UA query (or program with let views).")
+
+let run_term =
+  Term.(
+    const run_cmd $ db_arg $ tables_arg $ query_file_arg $ approx_arg
+    $ optimize_arg $ delta_arg $ eps0_arg $ seed_arg $ query_arg)
+
+let run_cmd_info =
+  Cmd.info "run" ~doc:"Evaluate a UA query over CSV base tables."
+
+let parse_term =
+  Term.(
+    const parse_cmd
+    $ Arg.(
+        required
+        & pos 0 (some string) None
+        & info [] ~docv:"QUERY" ~doc:"The query to parse."))
+
+let parse_cmd_info = Cmd.info "parse" ~doc:"Parse a query, print the algebra."
+
+let demo_term =
+  Term.(
+    const demo_cmd
+    $ Arg.(
+        required
+        & pos 0 (some string) None
+        & info [] ~docv:"NAME" ~doc:"coin | cleaning | sensors")
+    $ seed_arg)
+
+let demo_cmd_info = Cmd.info "demo" ~doc:"Run a built-in scenario."
+
+let k_arg =
+  Arg.(
+    value & opt int 3
+    & info [ "k" ] ~docv:"K" ~doc:"How many tuples to return (default 3).")
+
+let topk_term =
+  Term.(
+    const topk_cmd $ db_arg $ tables_arg $ query_file_arg $ k_arg $ delta_arg
+    $ seed_arg $ query_arg)
+
+let topk_cmd_info =
+  Cmd.info "topk"
+    ~doc:
+      "Rank the query's possible tuples by confidence (interval-pruning \
+       multisimulation) and return the k most probable."
+
+let explain_term =
+  Term.(const explain_cmd $ db_arg $ tables_arg $ query_file_arg $ query_arg)
+
+let explain_cmd_info =
+  Cmd.info "explain"
+    ~doc:
+      "Evaluate exactly and print each result tuple's provenance (the \
+       precedes-relation of Section 6)."
+
+let repl_term = Term.(const repl_cmd $ seed_arg)
+
+let repl_cmd_info =
+  Cmd.info "repl" ~doc:"Interactive session: load CSVs, define views, query."
+
+let main =
+  Cmd.group
+    (Cmd.info "pqdb" ~version:"1.0.0"
+       ~doc:
+         "Probabilistic database with approximate predicates and expressive \
+          queries (Koch, PODS 2008).")
+    [
+      Cmd.v run_cmd_info run_term;
+      Cmd.v parse_cmd_info parse_term;
+      Cmd.v demo_cmd_info demo_term;
+      Cmd.v repl_cmd_info repl_term;
+      Cmd.v explain_cmd_info explain_term;
+      Cmd.v topk_cmd_info topk_term;
+    ]
+
+let () = exit (Cmd.eval' main)

@@ -1,0 +1,1 @@
+examples/data_cleaning.ml: Assignment Format List Pqdb Pqdb_ast Pqdb_numeric Pqdb_relational Pqdb_urel Pqdb_workload Relation Schema Tuple Udb Urelation Wtable

@@ -1,0 +1,1 @@
+examples/integrity.ml: Assignment Enumerate Expr Format List Pqdb Pqdb_ast Pqdb_numeric Pqdb_relational Pqdb_urel Pqdb_worlds Predicate Schema Tuple Udb Urelation Value Wtable

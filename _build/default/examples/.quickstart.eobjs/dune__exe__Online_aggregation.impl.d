@@ -1,0 +1,1 @@
+examples/online_aggregation.ml: Array Assignment Float Format Pqdb Pqdb_ast Pqdb_montecarlo Pqdb_numeric Pqdb_urel Printf Wtable

@@ -1,0 +1,1 @@
+examples/query_language.ml: Format List Option Pqdb Pqdb_ast Pqdb_lang Pqdb_numeric Pqdb_relational Pqdb_urel Pqdb_workload Relation Udb Urelation

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Expr Format List Pqdb Pqdb_ast Pqdb_numeric Pqdb_relational Pqdb_urel Pqdb_workload Pqdb_worlds Relation Tuple Udb Urelation Wtable

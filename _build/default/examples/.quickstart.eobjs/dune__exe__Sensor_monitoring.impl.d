@@ -1,0 +1,1 @@
+examples/sensor_monitoring.ml: Expr Format List Pqdb Pqdb_ast Pqdb_numeric Pqdb_relational Pqdb_urel Pqdb_workload Predicate Relation Tuple Udb Urelation Value

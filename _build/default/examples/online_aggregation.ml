@@ -1,0 +1,116 @@
+(* Online aggregation with approximate predicates.
+
+   The end of Section 5 observes that the predicate-approximation framework
+   is not tied to Karp-Luby confidence values: any refinable (ε, δ)-estimate
+   can feed the Figure-3 algorithm.  This example decides business rules
+   over a large orders table by *sampling*, in the style of online
+   aggregation [Hellerstein et al., SIGMOD'97], stopping as soon as the
+   adaptive ε certifies the decision:
+
+     - "is the average order value at least 45?"
+     - "is the EU average at least 70% of the US average?"  (a ratio
+       predicate over two independently sampled aggregates)
+     - mixing a sampled aggregate with a Karp-Luby tuple confidence in one
+       predicate.
+
+   Run with: dune exec examples/online_aggregation.exe *)
+
+open Pqdb_urel
+module Apred = Pqdb_ast.Apred
+module Approximable = Pqdb.Approximable
+module Predicate_approx = Pqdb.Predicate_approx
+module Rng = Pqdb_numeric.Rng
+module Q = Pqdb_numeric.Rational
+
+let section title = Format.printf "@.== %s ==@.@." title
+
+let describe label (d : Predicate_approx.decision) =
+  Format.printf
+    "%s: %b  (error <= %.4f, eps = %.4f, %d refinement steps%s)@." label
+    d.Predicate_approx.value d.Predicate_approx.error_bound
+    d.Predicate_approx.epsilon d.Predicate_approx.estimator_calls
+    (if d.Predicate_approx.used_floor then ", relied on eps0 floor" else "")
+
+(* A synthetic orders population: heavy-tailed around a region-dependent
+   mean. *)
+let orders rng ~count ~base =
+  Array.init count (fun _ ->
+      let noise = Rng.float_range rng 0. (2. *. base) in
+      let spike = if Rng.int rng 20 = 0 then base *. 4. else 0. in
+      Float.round ((base /. 2.) +. noise +. spike))
+
+let () =
+  let rng = Rng.create ~seed:2008 in
+  let us_orders = orders rng ~count:200_000 ~base:50. in
+  let eu_orders = orders rng ~count:200_000 ~base:40. in
+  let exact_mean a =
+    Array.fold_left ( +. ) 0. a /. float_of_int (Array.length a)
+  in
+  Format.printf "population means: US %.2f, EU %.2f@." (exact_mean us_orders)
+    (exact_mean eu_orders);
+
+  section "Average order value >= 45 (sampled, adaptive stop)";
+  let avg_us () =
+    Approximable.of_sampler ~batch:64 ~lower_bound:20. ~values:us_orders ()
+  in
+  let phi = Apred.ge (Apred.var 0) (Apred.const 45.) in
+  let d =
+    Predicate_approx.decide_values ~eps0:0.01 ~rng ~delta:0.05 phi
+      [| avg_us () |]
+  in
+  describe "avg(US) >= 45" d;
+  Format.printf "(%d of %d orders sampled: %.2f%%)@."
+    d.Predicate_approx.estimator_calls (Array.length us_orders)
+    (100.
+    *. float_of_int d.Predicate_approx.estimator_calls
+    /. float_of_int (Array.length us_orders));
+
+  section "Ratio of two sampled aggregates: avg(EU) >= 0.7 * avg(US)";
+  let phi =
+    Apred.ge (Apred.var 0)
+      (Apred.Mul (Apred.const 0.7, Apred.var 1))
+  in
+  let d =
+    Predicate_approx.decide_values ~eps0:0.01 ~rng ~delta:0.05 phi
+      [|
+        Approximable.of_sampler ~batch:64 ~lower_bound:20. ~values:eu_orders ();
+        avg_us ();
+      |]
+  in
+  describe "avg(EU) >= 0.7 * avg(US)" d;
+
+  section "Mixing a tuple confidence with a sampled aggregate";
+  (* "The premium customer is probably active (conf >= 0.6) AND the US
+     average clears 45" — one Karp-Luby value, one sampled value. *)
+  let w = Wtable.create () in
+  let x = Wtable.add_var w [ Q.of_ints 3 10; Q.of_ints 7 10 ] in
+  let y = Wtable.add_var w [ Q.of_ints 2 10; Q.of_ints 8 10 ] in
+  let conf_value =
+    Approximable.of_karp_luby
+      (Pqdb_montecarlo.Estimator.create
+         (Pqdb_montecarlo.Dnf.prepare w
+            [ Assignment.singleton x 1; Assignment.singleton y 1 ]))
+  in
+  let phi =
+    Apred.conj
+      (Apred.ge (Apred.var 0) (Apred.const 0.6))
+      (Apred.ge (Apred.var 1) (Apred.const 45.))
+  in
+  let d =
+    Predicate_approx.decide_values ~eps0:0.02 ~rng ~delta:0.05 phi
+      [| conf_value; avg_us () |]
+  in
+  describe "conf >= 0.6 and avg >= 45" d;
+
+  section "A question on the boundary";
+  (* Asking whether the mean is >= its own value: the eps0 floor kicks in
+     and the decision is flagged as floor-reliant (a singularity in the
+     Definition 5.6 sense). *)
+  let mu = exact_mean us_orders in
+  let phi = Apred.ge (Apred.var 0) (Apred.const mu) in
+  let d =
+    Predicate_approx.decide_values ~eps0:0.05 ~rng ~delta:0.1 phi
+      [| avg_us () |]
+  in
+  describe (Printf.sprintf "avg >= %.4f (the true mean)" mu) d;
+  Format.printf "@.Done.@."

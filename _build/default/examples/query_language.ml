@@ -1,0 +1,75 @@
+(* A tour of the textual UA query language: the whole Example 2.2 pipeline
+   written as a program with let-bound views, parsed and evaluated.
+
+   Run with: dune exec examples/query_language.exe *)
+
+open Pqdb_relational
+open Pqdb_urel
+module Scenarios = Pqdb_workload.Scenarios
+module Qparser = Pqdb_lang.Qparser
+module Rng = Pqdb_numeric.Rng
+
+let program =
+  {|
+  -- Example 2.2 as a program.  Views are substituted by reference; the
+  -- evaluators memoize shared subexpressions, so S below is one relation.
+  let R = project[CoinType](repairkey[@Count](Coins));
+  let S = project[FCoinType, Toss, Face](
+            repairkey[FCoinType, Toss @ FProb](Faces times Tosses));
+  let H1 = rename[FCoinType -> CoinType](
+             project[FCoinType](select[Toss = 1 and Face = 'H'](S)));
+  let H2 = rename[FCoinType -> CoinType](
+             project[FCoinType](select[Toss = 2 and Face = 'H'](S)));
+  let T = R join H1 join H2;
+  project[CoinType, P1 / P2 -> P](
+    rename[P -> P1](conf(T)) join rename[P -> P2](conf(project[](T))))
+|}
+
+let sigma_hat_text =
+  {| aselect[$1 / $2 <= 0.5 | conf[CoinType], conf[]](
+       project[CoinType](repairkey[@Count](Coins))
+       join rename[FCoinType -> CoinType](project[FCoinType](
+         select[Toss = 1 and Face = 'H'](
+           project[FCoinType, Toss, Face](
+             repairkey[FCoinType, Toss @ FProb](Faces times Tosses)))))
+       join rename[FCoinType -> CoinType](project[FCoinType](
+         select[Toss = 2 and Face = 'H'](
+           project[FCoinType, Toss, Face](
+             repairkey[FCoinType, Toss @ FProb](Faces times Tosses)))))) |}
+
+let lit_text =
+  {| conf(project[Name](
+       repairkey[Id @ W](lit[Id, Name, W]((1, 'ann', 3), (1, 'anne', 1),
+                                          (2, 'bob', 2))))) |}
+
+let () =
+  Format.printf "== The program ==@.%s@." program;
+  let views, final = Qparser.parse_program program in
+  List.iter
+    (fun (name, q) ->
+      Format.printf "view %s = %a@.@." name Pqdb_ast.Ua.pp q)
+    views;
+  let query = Option.get final in
+
+  Format.printf "== Parsed query ==@.%a@.@." Pqdb_ast.Ua.pp query;
+
+  Format.printf "== Result (exact) ==@.";
+  let udb = Scenarios.coin_db () in
+  Format.printf "%a@.@." Relation.pp (Pqdb.Eval_exact.eval_relation udb query);
+
+  Format.printf "== Approximate selection from text ==@.";
+  let sigma = Qparser.parse_query sigma_hat_text in
+  let rng = Rng.create ~seed:5 in
+  let result, _, _ =
+    Pqdb.Eval_approx.eval_with_guarantee ~rng ~delta:0.05
+      (Scenarios.coin_db ()) sigma
+  in
+  Format.printf "%a@.@." Relation.pp
+    (Urelation.to_relation result.Pqdb.Eval_approx.urel);
+
+  Format.printf "== Literal relations ==@.";
+  let q = Qparser.parse_query lit_text in
+  Format.printf "%a@.@." Relation.pp
+    (Pqdb.Eval_exact.eval_relation (Udb.create ()) q);
+
+  Format.printf "Done.@."

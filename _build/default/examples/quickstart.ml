@@ -1,0 +1,100 @@
+(* Quickstart: the coin-bag scenario of Example 2.2, end to end.
+
+   A bag holds two fair coins and one double-headed coin.  We draw a coin,
+   toss it twice, observe two heads, and ask for the posterior probability of
+   each coin type — computed exactly (rational arithmetic over the
+   U-relational representation) and approximately (Karp-Luby + the Figure-3
+   approximate selection).
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Pqdb_relational
+open Pqdb_urel
+module Ua = Pqdb_ast.Ua
+module Apred = Pqdb_ast.Apred
+module Scenarios = Pqdb_workload.Scenarios
+module Rng = Pqdb_numeric.Rng
+
+let section title =
+  Format.printf "@.== %s ==@.@." title
+
+let print_relation rel = Format.printf "%a@." Relation.pp rel
+
+let () =
+  section "Input: a complete database";
+  let udb = Scenarios.coin_db () in
+  print_relation (Urelation.to_relation (Udb.find udb "Coins"));
+  print_relation (Urelation.to_relation (Udb.find udb "Faces"));
+
+  let q = Scenarios.coin_queries in
+
+  section "R: the chosen coin (repair-key over Coins)";
+  let r = Pqdb.Eval_exact.eval udb q.Scenarios.r in
+  Format.printf "%a@." Urelation.pp r;
+  Format.printf "W table so far:@.%a@." Wtable.pp (Udb.wtable udb);
+
+  section "conf(T): the coin type joined with the all-heads evidence";
+  let conf_t = Pqdb.Eval_exact.eval_relation udb (Ua.conf q.Scenarios.t) in
+  print_relation conf_t;
+
+  section "U: posterior P(coin type | both tosses heads), exact";
+  let u = Pqdb.Eval_exact.eval_relation udb q.Scenarios.u in
+  print_relation u;
+  Format.printf
+    "The prior P(fair) was 2/3; two heads push the posterior down to 1/3.@.";
+
+  section "The same posterior, approximated (conf_{eps,delta})";
+  let rng = Rng.create ~seed:42 in
+  let approx_u =
+    Ua.project_cols
+      [
+        (Expr.attr "CoinType", "CoinType");
+        (Expr.(attr "P1" / attr "P2"), "P");
+      ]
+      (Ua.join
+         (Ua.rename [ ("P", "P1") ]
+            (Ua.approx_conf ~eps:0.05 ~delta:0.01 q.Scenarios.t))
+         (Ua.rename [ ("P", "P2") ]
+            (Ua.approx_conf ~eps:0.05 ~delta:0.01
+               (Ua.project [] q.Scenarios.t))))
+  in
+  let result, stats = Pqdb.Eval_approx.eval ~rng (Udb.copy udb) approx_u in
+  print_relation (Urelation.to_relation result.Pqdb.Eval_approx.urel);
+  Format.printf "(%d Karp-Luby estimator calls)@."
+    stats.Pqdb.Eval_approx.estimator_calls;
+
+  section "Approximate selection: coin types with posterior <= 1/2";
+  let sigma =
+    Ua.approx_select
+      (Apred.le (Apred.Div (Apred.var 0, Apred.var 1)) (Apred.const 0.5))
+      [ [ "CoinType" ]; [] ]
+      q.Scenarios.t
+  in
+  let result, stats =
+    Pqdb.Eval_approx.eval_with_guarantee ~rng ~delta:0.05 (Udb.copy udb) sigma
+    |> fun (r, s, _) -> (r, s)
+  in
+  print_relation (Urelation.to_relation result.Pqdb.Eval_approx.urel);
+  List.iter
+    (fun (t, e) ->
+      Format.printf "  tuple %a decided with error bound <= %.4f@." Tuple.pp t e)
+    result.Pqdb.Eval_approx.errors;
+  Format.printf
+    "(%d sigma-hat decisions, %d estimator calls)@."
+    stats.Pqdb.Eval_approx.decisions stats.Pqdb.Eval_approx.estimator_calls;
+
+  section "Ground truth (possible-worlds evaluator)";
+  let pdb =
+    Pqdb_worlds.Pdb.of_complete
+      [
+        ("Coins", Scenarios.coins);
+        ("Faces", Scenarios.faces);
+        ("Tosses", Scenarios.tosses);
+      ]
+  in
+  let confs = Pqdb_worlds.Eval_naive.eval_confidence pdb q.Scenarios.t in
+  List.iter
+    (fun (t, p) ->
+      Format.printf "  P(%a in T) = %a@." Tuple.pp t Pqdb_numeric.Rational.pp p)
+    confs;
+  Format.printf "@.Done.@."

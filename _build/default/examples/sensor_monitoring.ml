@@ -1,0 +1,91 @@
+(* Sensor monitoring: conditional probabilities and threshold alarms over
+   uncertain readings.
+
+   Each sensor reports a discrete temperature level with per-level evidence
+   weights; repair-key turns the weights into one reading distribution per
+   sensor.  We then (a) compute the conditional probability
+   P(hot | not cold) for a sensor — the Example 2.2 pattern on sensor data —
+   and (b) raise alarms for sensors whose P(hot) clears a threshold, via the
+   approximate selection with its per-tuple error bounds.
+
+   Run with: dune exec examples/sensor_monitoring.exe *)
+
+open Pqdb_relational
+open Pqdb_urel
+module Ua = Pqdb_ast.Ua
+module Scenarios = Pqdb_workload.Scenarios
+module Rng = Pqdb_numeric.Rng
+
+let section title = Format.printf "@.== %s ==@.@." title
+
+let () =
+  let rng = Rng.create ~seed:2026 in
+  let udb = Scenarios.sensor_db rng ~sensors:5 in
+
+  section "Raw readings (weights per level)";
+  Format.printf "%a@." Relation.pp
+    (Urelation.to_relation (Udb.find udb "Readings"));
+
+  section "Per-sensor P(hot), exact";
+  let hot_marginals =
+    Ua.conf
+      (Ua.project [ "Sensor" ]
+         (Ua.select
+            Predicate.(Expr.attr "Level" = Expr.const (Value.Str "hot"))
+            Scenarios.sensor_readings))
+  in
+  Format.printf "%a@." Relation.pp
+    (Pqdb.Eval_exact.eval_relation (Udb.copy udb) hot_marginals);
+
+  section "Conditional: P(hot | not cold) for sensor 0";
+  let cond = Scenarios.hot_given_not_cold ~sensor:0 in
+  Format.printf "%a@." Relation.pp
+    (Pqdb.Eval_exact.eval_relation (Udb.copy udb) cond);
+
+  section "Alarms: sensors with P(hot) >= 0.4 (approximate selection)";
+  let alarms = Scenarios.hot_sensors ~threshold:0.4 in
+  let result, stats, budget =
+    Pqdb.Eval_approx.eval_with_guarantee ~rng ~delta:0.05 (Udb.copy udb)
+      alarms
+  in
+  Format.printf "%a@." Relation.pp
+    (Urelation.to_relation result.Pqdb.Eval_approx.urel);
+  List.iter
+    (fun (t, e) ->
+      Format.printf "  sensor %a: alarm decided with error <= %.4f@."
+        Tuple.pp t e)
+    result.Pqdb.Eval_approx.errors;
+  Format.printf "(%d decisions, %d estimator calls, budget %d rounds)@."
+    stats.Pqdb.Eval_approx.decisions
+    stats.Pqdb.Eval_approx.estimator_calls budget;
+
+  section "Exact cross-check";
+  Format.printf "%a@." Relation.pp
+    (Pqdb.Eval_exact.eval_relation (Udb.copy udb)
+       (Ua.desugar_sigma_hat alarms));
+
+  section "A singularity in the wild";
+  (* A threshold equal to an achievable exact marginal makes that sensor's
+     decision non-approximable (Definition 5.6): the driver caps its budget
+     and flags the tuple instead of looping forever. *)
+  let exact_hot =
+    Pqdb.Eval_exact.eval_relation (Udb.copy udb) hot_marginals
+  in
+  (match Relation.tuples exact_hot with
+  | first :: _ ->
+      let p0 =
+        match Tuple.get first 1 with
+        | Value.Rat r -> Pqdb_numeric.Rational.to_float r
+        | v -> (match Value.to_float_opt v with Some f -> f | None -> 0.5)
+      in
+      Format.printf "Using threshold exactly P(sensor %a) = %.6f@." Value.pp
+        (Tuple.get first 0) p0;
+      let singular = Scenarios.hot_sensors ~threshold:p0 in
+      let result, _, budget =
+        Pqdb.Eval_approx.eval_with_guarantee ~rng ~delta:0.05 (Udb.copy udb)
+          singular
+      in
+      Format.printf "budget stopped at %d rounds; suspects: %d@." budget
+        (List.length result.Pqdb.Eval_approx.suspects)
+  | [] -> Format.printf "(no hot readings possible)@.");
+  Format.printf "@.Done.@."

@@ -1,0 +1,1 @@
+lib/ast/apred.ml: Array Float Format Pqdb_numeric Pqdb_relational Rational

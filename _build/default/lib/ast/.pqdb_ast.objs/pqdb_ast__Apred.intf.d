@@ -1,0 +1,1 @@
+lib/ast/apred.mli: Format Pqdb_numeric Pqdb_relational Rational

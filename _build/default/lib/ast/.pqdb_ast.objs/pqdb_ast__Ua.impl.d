@@ -1,0 +1,1 @@
+lib/ast/ua.ml: Apred Expr Format List Pqdb_relational Predicate Relation String

@@ -1,0 +1,1 @@
+lib/ast/ua.mli: Apred Expr Format Pqdb_relational Predicate Relation

@@ -1,0 +1,213 @@
+open Pqdb_numeric
+
+type expr =
+  | Var of int
+  | Const of float
+  | Add of expr * expr
+  | Sub of expr * expr
+  | Mul of expr * expr
+  | Div of expr * expr
+  | Neg of expr
+
+type comparison = Eq | Neq | Lt | Le | Gt | Ge
+
+type t =
+  | Cmp of comparison * expr * expr
+  | And of t * t
+  | Or of t * t
+  | Not of t
+  | True
+  | False
+
+let var i = Var i
+let const c = Const c
+let ge a b = Cmp (Ge, a, b)
+let gt a b = Cmp (Gt, a, b)
+let le a b = Cmp (Le, a, b)
+let lt a b = Cmp (Lt, a, b)
+let eq a b = Cmp (Eq, a, b)
+let conj a b = And (a, b)
+let disj a b = Or (a, b)
+let neg p = Not p
+
+let rec max_var_expr = function
+  | Var i -> i
+  | Const _ -> -1
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) ->
+      max (max_var_expr a) (max_var_expr b)
+  | Neg a -> max_var_expr a
+
+let rec max_var = function
+  | Cmp (_, a, b) -> max (max_var_expr a) (max_var_expr b)
+  | And (p, q) | Or (p, q) -> max (max_var p) (max_var q)
+  | Not p -> max_var p
+  | True | False -> -1
+
+let arity p = 1 + max_var p
+
+let occurrences p =
+  let k = arity p in
+  let counts = Array.make k 0 in
+  let rec go_expr = function
+    | Var i -> counts.(i) <- counts.(i) + 1
+    | Const _ -> ()
+    | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) ->
+        go_expr a;
+        go_expr b
+    | Neg a -> go_expr a
+  in
+  let rec go = function
+    | Cmp (_, a, b) ->
+        go_expr a;
+        go_expr b
+    | And (p, q) | Or (p, q) ->
+        go p;
+        go q
+    | Not p -> go p
+    | True | False -> ()
+  in
+  go p;
+  counts
+
+let single_occurrence p = Array.for_all (fun c -> c <= 1) (occurrences p)
+
+let negate_cmp = function
+  | Eq -> Neq
+  | Neq -> Eq
+  | Lt -> Ge
+  | Le -> Gt
+  | Gt -> Le
+  | Ge -> Lt
+
+let rec nnf = function
+  | Cmp _ as atom -> atom
+  | And (p, q) -> And (nnf p, nnf q)
+  | Or (p, q) -> Or (nnf p, nnf q)
+  | True -> True
+  | False -> False
+  | Not p -> begin
+      match p with
+      | Cmp (op, a, b) -> Cmp (negate_cmp op, a, b)
+      | And (a, b) -> Or (nnf (Not a), nnf (Not b))
+      | Or (a, b) -> And (nnf (Not a), nnf (Not b))
+      | Not q -> nnf q
+      | True -> False
+      | False -> True
+    end
+
+let rec eval_expr point = function
+  | Var i ->
+      if i < 0 || i >= Array.length point then
+        invalid_arg "Apred.eval: variable out of range"
+      else point.(i)
+  | Const c -> c
+  | Add (a, b) -> eval_expr point a +. eval_expr point b
+  | Sub (a, b) -> eval_expr point a -. eval_expr point b
+  | Mul (a, b) -> eval_expr point a *. eval_expr point b
+  | Div (a, b) -> eval_expr point a /. eval_expr point b
+  | Neg a -> -.eval_expr point a
+
+let compare_with op c =
+  match op with
+  | Eq -> c = 0
+  | Neq -> c <> 0
+  | Lt -> c < 0
+  | Le -> c <= 0
+  | Gt -> c > 0
+  | Ge -> c >= 0
+
+let rec eval point = function
+  | Cmp (op, a, b) ->
+      compare_with op (Float.compare (eval_expr point a) (eval_expr point b))
+  | And (p, q) -> eval point p && eval point q
+  | Or (p, q) -> eval point p || eval point q
+  | Not p -> not (eval point p)
+  | True -> true
+  | False -> false
+
+let rec eval_expr_rational point = function
+  | Var i ->
+      if i < 0 || i >= Array.length point then
+        invalid_arg "Apred.eval_rational: variable out of range"
+      else point.(i)
+  | Const c -> Rational.of_float c
+  | Add (a, b) ->
+      Rational.add (eval_expr_rational point a) (eval_expr_rational point b)
+  | Sub (a, b) ->
+      Rational.sub (eval_expr_rational point a) (eval_expr_rational point b)
+  | Mul (a, b) ->
+      Rational.mul (eval_expr_rational point a) (eval_expr_rational point b)
+  | Div (a, b) ->
+      Rational.div (eval_expr_rational point a) (eval_expr_rational point b)
+  | Neg a -> Rational.neg (eval_expr_rational point a)
+
+let rec eval_rational point = function
+  | Cmp (op, a, b) ->
+      compare_with op
+        (Rational.compare
+           (eval_expr_rational point a)
+           (eval_expr_rational point b))
+  | And (p, q) -> eval_rational point p && eval_rational point q
+  | Or (p, q) -> eval_rational point p || eval_rational point q
+  | Not p -> not (eval_rational point p)
+  | True -> true
+  | False -> false
+
+let rec pp_expr fmt = function
+  | Var i -> Format.fprintf fmt "x%d" i
+  | Const c -> Format.fprintf fmt "%g" c
+  | Add (a, b) -> Format.fprintf fmt "(%a + %a)" pp_expr a pp_expr b
+  | Sub (a, b) -> Format.fprintf fmt "(%a - %a)" pp_expr a pp_expr b
+  | Mul (a, b) -> Format.fprintf fmt "(%a * %a)" pp_expr a pp_expr b
+  | Div (a, b) -> Format.fprintf fmt "(%a / %a)" pp_expr a pp_expr b
+  | Neg a -> Format.fprintf fmt "(-%a)" pp_expr a
+
+let cmp_symbol = function
+  | Eq -> "="
+  | Neq -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let rec pp fmt = function
+  | Cmp (op, a, b) ->
+      Format.fprintf fmt "%a %s %a" pp_expr a (cmp_symbol op) pp_expr b
+  | And (p, q) -> Format.fprintf fmt "(%a and %a)" pp p pp q
+  | Or (p, q) -> Format.fprintf fmt "(%a or %a)" pp p pp q
+  | Not p -> Format.fprintf fmt "(not %a)" pp p
+  | True -> Format.pp_print_string fmt "true"
+  | False -> Format.pp_print_string fmt "false"
+
+let to_predicate name p =
+  let module P = Pqdb_relational.Predicate in
+  let module E = Pqdb_relational.Expr in
+  let module V = Pqdb_relational.Value in
+  let rec conv_expr = function
+    | Var i -> E.Attr (name i)
+    (* Exact rational image of the float constant, so the desugared exact σ̂
+       keeps comparing rationals with rationals. *)
+    | Const c -> E.Const (V.Rat (Rational.of_float c))
+    | Add (a, b) -> E.Add (conv_expr a, conv_expr b)
+    | Sub (a, b) -> E.Sub (conv_expr a, conv_expr b)
+    | Mul (a, b) -> E.Mul (conv_expr a, conv_expr b)
+    | Div (a, b) -> E.Div (conv_expr a, conv_expr b)
+    | Neg a -> E.Neg (conv_expr a)
+  in
+  let conv_cmp = function
+    | Eq -> P.Eq
+    | Neq -> P.Neq
+    | Lt -> P.Lt
+    | Le -> P.Le
+    | Gt -> P.Gt
+    | Ge -> P.Ge
+  in
+  let rec conv = function
+    | Cmp (op, a, b) -> P.Cmp (conv_cmp op, conv_expr a, conv_expr b)
+    | And (p, q) -> P.And (conv p, conv q)
+    | Or (p, q) -> P.Or (conv p, conv q)
+    | Not p -> P.Not (conv p)
+    | True -> P.True
+    | False -> P.False
+  in
+  conv p

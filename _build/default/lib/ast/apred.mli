@@ -1,0 +1,81 @@
+(** Predicates over approximable values (Section 5).
+
+    A predicate [φ(x₁, …, xₖ)] is a Boolean combination of comparisons between
+    arithmetic expressions in [k] {e approximable} variables — values such as
+    tuple confidences that are only available through an (ε, δ)-approximation
+    scheme.  The variables are indexed [0 .. k-1]; in an approximate selection
+    [σ̂_{φ(conf[Ā₁], …, conf[Āₖ])}] variable [i] denotes the confidence
+    [conf[Āᵢ₊₁]] of the current tuple. *)
+
+open Pqdb_numeric
+
+type expr =
+  | Var of int              (** approximable value [xᵢ] *)
+  | Const of float
+  | Add of expr * expr
+  | Sub of expr * expr
+  | Mul of expr * expr
+  | Div of expr * expr
+  | Neg of expr
+
+type comparison = Eq | Neq | Lt | Le | Gt | Ge
+
+type t =
+  | Cmp of comparison * expr * expr
+  | And of t * t
+  | Or of t * t
+  | Not of t
+  | True
+  | False
+
+(** {1 Builders} *)
+
+val var : int -> expr
+val const : float -> expr
+val ge : expr -> expr -> t
+val gt : expr -> expr -> t
+val le : expr -> expr -> t
+val lt : expr -> expr -> t
+val eq : expr -> expr -> t
+val conj : t -> t -> t
+val disj : t -> t -> t
+val neg : t -> t
+
+(** {1 Structure} *)
+
+val arity : t -> int
+(** [1 + ] the largest variable index mentioned (0 for variable-free
+    predicates). *)
+
+val occurrences : t -> int array
+(** [occurrences φ].(i) counts syntactic occurrences of [Var i]; Theorem 5.5
+    applies only when every entry is [<= 1]. *)
+
+val single_occurrence : t -> bool
+
+val nnf : t -> t
+(** Push negations into the atoms (De Morgan + comparison flipping),
+    eliminating [Not].  This is the first step of the ε_φ computation
+    (Section 5, after Example 5.4). *)
+
+(** {1 Evaluation} *)
+
+val eval_expr : float array -> expr -> float
+val eval : float array -> t -> bool
+(** @raise Invalid_argument when a variable index is out of range. *)
+
+val eval_rational : Rational.t array -> t -> bool
+(** Exact evaluation (floats in the predicate are converted exactly); used by
+    the exact σ̂ semantics so that ground truth does not suffer float error. *)
+
+(** {1 Printing} *)
+
+val pp_expr : Format.formatter -> expr -> unit
+val pp : Format.formatter -> t -> unit
+
+(** {1 Conversion} *)
+
+val to_predicate : (int -> string) -> t -> Pqdb_relational.Predicate.t
+(** [to_predicate name φ] maps [Var i] to attribute [name i] — used to desugar
+    σ̂ into the conf/join/select composite of Section 6 for exact
+    evaluation. *)

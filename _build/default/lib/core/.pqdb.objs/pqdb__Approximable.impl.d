@@ -1,0 +1,1 @@
+lib/core/approximable.ml: Array Float Pqdb_montecarlo Pqdb_numeric Rng

@@ -1,0 +1,1 @@
+lib/core/approximable.mli: Pqdb_montecarlo Pqdb_numeric Rng

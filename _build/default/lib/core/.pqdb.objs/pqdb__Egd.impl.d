@@ -1,0 +1,1 @@
+lib/core/egd.ml: Array Eval_exact Expr List Pqdb_ast Pqdb_numeric Pqdb_relational Predicate Rational Relation Schema Tuple

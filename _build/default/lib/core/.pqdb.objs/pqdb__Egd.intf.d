@@ -1,0 +1,1 @@
+lib/core/egd.mli: Pqdb_ast Pqdb_numeric Pqdb_urel Rational Udb

@@ -1,0 +1,1 @@
+lib/core/epsilon.ml: Array Float Fun Linear_eps List Orthotope Pqdb_ast

@@ -1,0 +1,1 @@
+lib/core/epsilon.mli: Pqdb_ast

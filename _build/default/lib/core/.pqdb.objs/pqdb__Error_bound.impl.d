@@ -1,0 +1,1 @@
+lib/core/error_bound.ml: Float Pqdb_numeric Stats

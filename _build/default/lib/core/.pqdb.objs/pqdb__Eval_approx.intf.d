@@ -1,0 +1,1 @@
+lib/core/eval_approx.mli: Pqdb_ast Pqdb_numeric Pqdb_relational Pqdb_urel Rng Tuple Udb Urelation

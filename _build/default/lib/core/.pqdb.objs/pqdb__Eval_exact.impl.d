@@ -1,0 +1,1 @@
+lib/core/eval_exact.ml: Assignment Confidence Format Hashtbl List Pqdb_ast Pqdb_numeric Pqdb_relational Pqdb_urel Rational Relation Schema Translate Tuple Udb Urelation Value

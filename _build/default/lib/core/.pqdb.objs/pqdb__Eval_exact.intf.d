@@ -1,0 +1,1 @@
+lib/core/eval_exact.mli: Pqdb_ast Pqdb_numeric Pqdb_relational Pqdb_urel Rational Relation Tuple Udb Urelation

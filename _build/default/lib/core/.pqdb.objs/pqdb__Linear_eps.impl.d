@@ -1,0 +1,1 @@
+lib/core/linear_eps.ml: Array Float List Option Pqdb_ast

@@ -1,0 +1,1 @@
+lib/core/linear_eps.mli: Pqdb_ast

@@ -1,0 +1,1 @@
+lib/core/optimizer.ml: Expr List Pqdb_ast Pqdb_relational Pqdb_urel Predicate Schema

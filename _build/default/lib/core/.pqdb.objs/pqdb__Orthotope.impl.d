@@ -1,0 +1,1 @@
+lib/core/orthotope.ml: Array Float Interval Linear_eps Pqdb_ast Pqdb_numeric Rng Seq

@@ -1,0 +1,1 @@
+lib/core/orthotope.mli: Pqdb_ast Pqdb_numeric

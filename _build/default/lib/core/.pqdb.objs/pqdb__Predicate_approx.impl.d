@@ -1,0 +1,1 @@
+lib/core/predicate_approx.ml: Approximable Array Epsilon Estimator Float Linear_eps Pqdb_ast Pqdb_montecarlo Pqdb_numeric

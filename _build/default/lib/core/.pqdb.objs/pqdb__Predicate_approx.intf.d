@@ -1,0 +1,1 @@
+lib/core/predicate_approx.mli: Approximable Estimator Pqdb_ast Pqdb_montecarlo Pqdb_numeric Rng

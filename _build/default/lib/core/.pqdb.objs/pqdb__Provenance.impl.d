@@ -1,0 +1,1 @@
+lib/core/provenance.ml: Eval_exact Expr Format Fun Hashtbl List Map Option Pqdb_ast Pqdb_relational Pqdb_urel Schema Set String Translate Tuple Urelation

@@ -1,0 +1,1 @@
+lib/core/provenance.mli: Format Pqdb_ast Pqdb_relational Pqdb_urel Tuple Udb Urelation

@@ -1,0 +1,1 @@
+lib/core/singularity.mli: Linear_eps Pqdb_ast Pqdb_numeric

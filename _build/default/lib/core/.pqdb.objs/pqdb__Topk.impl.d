@@ -1,0 +1,1 @@
+lib/core/topk.ml: Array Eval_exact Float List Pqdb_montecarlo Pqdb_relational Pqdb_urel Tuple Udb Urelation

@@ -1,0 +1,1 @@
+lib/core/topk.mli: Pqdb_ast Pqdb_montecarlo Pqdb_numeric Pqdb_relational Pqdb_urel Rng Tuple Udb

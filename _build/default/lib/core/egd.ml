@@ -1,0 +1,106 @@
+open Pqdb_numeric
+open Pqdb_relational
+module Ua = Pqdb_ast.Ua
+
+type formula =
+  | Exists of Ua.t
+  | Egd of Ua.t
+  | And of formula * formula
+  | Or of formula * formula
+
+let always =
+  Ua.Lit (Relation.of_list (Schema.of_list []) [ Tuple.of_list [] ])
+
+let prime a = a ^ "'"
+
+let fd_violation ~table ~attrs ~key ~determined =
+  let renamed = Ua.rename (List.map (fun a -> (a, prime a)) attrs) (Ua.table table) in
+  let key_equal =
+    List.fold_left
+      (fun acc a ->
+        Predicate.And (acc, Predicate.(Expr.attr a = Expr.attr (prime a))))
+      Predicate.True key
+  in
+  let some_differs =
+    List.fold_left
+      (fun acc a ->
+        Predicate.Or (acc, Predicate.(Expr.attr a <> Expr.attr (prime a))))
+      Predicate.False determined
+  in
+  Ua.project []
+    (Ua.select
+       (Predicate.And (key_equal, some_differs))
+       (Ua.product (Ua.table table) renamed))
+
+(* DNF of the formula: a list of conjunctions, each a pair
+   (existential queries, violation queries). *)
+let rec dnf = function
+  | Exists q -> [ ([ q ], []) ]
+  | Egd v -> [ ([], [ v ]) ]
+  | And (a, b) ->
+      List.concat_map
+        (fun (ea, va) ->
+          List.map (fun (eb, vb) -> (ea @ eb, va @ vb)) (dnf b))
+        (dnf a)
+  | Or (a, b) -> dnf a @ dnf b
+
+let conj_of (exists, violations) =
+  let e =
+    match exists with
+    | [] -> always
+    | first :: rest -> List.fold_left Ua.product first rest
+  in
+  let v =
+    match violations with
+    | [] -> None
+    | first :: rest -> Some (List.fold_left Ua.union first rest)
+  in
+  (e, v)
+
+let conjunct_queries f =
+  let rec or_free = function
+    | Exists _ | Egd _ -> true
+    | And (a, b) -> or_free a && or_free b
+    | Or _ -> false
+  in
+  if or_free f then
+    match dnf f with [ c ] -> Some (conj_of c) | _ -> None
+  else None
+
+(* Probability that a Boolean (nullary) query is nonempty. *)
+let bool_prob udb q =
+  match Eval_exact.confidences udb (Ua.project [] q) with
+  | [] -> Rational.zero
+  | [ (_, p) ] -> p
+  | _ -> assert false
+
+let conjunction_probability udb conj =
+  let e, v = conj_of conj in
+  match v with
+  | None -> bool_prob udb e
+  | Some violations ->
+      (* Theorem 4.4: Pr(φ ∧ ψ) = Pr(φ) − Pr(φ ∧ ¬ψ). *)
+      Rational.sub (bool_prob udb e)
+        (bool_prob udb (Ua.product e violations))
+
+let probability udb f =
+  let disjuncts = Array.of_list (dnf f) in
+  let n = Array.length disjuncts in
+  (* Inclusion–exclusion over the disjuncts; conjunctions of conjunctions
+     merge componentwise. *)
+  let total = ref Rational.zero in
+  for mask = 1 to (1 lsl n) - 1 do
+    let merged = ref ([], []) in
+    let bits = ref 0 in
+    for i = 0 to n - 1 do
+      if (mask lsr i) land 1 = 1 then begin
+        incr bits;
+        let ea, va = !merged and eb, vb = disjuncts.(i) in
+        merged := (ea @ eb, va @ vb)
+      end
+    done;
+    let p = conjunction_probability udb !merged in
+    if !bits mod 2 = 1 then total := Rational.add !total p
+    else total := Rational.sub !total p
+  done;
+  !total

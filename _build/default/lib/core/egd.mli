@@ -1,0 +1,51 @@
+(** Confidence of Boolean combinations of existential queries and
+    equality-generating dependencies — Theorem 4.4.
+
+    A (generalized) egd [∀x̄ φ(x̄) ⇒ ψ(x̄)] has an existential {e violation}
+    query (the negation of the implication body); for a conjunction
+    [φ ∧ ψ] with [φ] existential, [Pr(φ ∧ ψ) = Pr(φ) − Pr(φ ∧ ¬ψ)], which is
+    a difference of confidences of {e positive} queries.  This module
+    normalizes an and/or formula over existential queries and egds to DNF and
+    evaluates it by inclusion–exclusion over the disjuncts, each handled by
+    the rewriting above.
+
+    Queries are Boolean: nullary UA queries ([π_∅(…)]), true in a world iff
+    nonempty. *)
+
+open Pqdb_numeric
+open Pqdb_urel
+
+type formula =
+  | Exists of Pqdb_ast.Ua.t
+      (** existential sentence, as a Boolean (nullary) positive query *)
+  | Egd of Pqdb_ast.Ua.t
+      (** an egd given by its {e violation} query (Boolean, positive):
+          the egd holds iff the violation query is empty *)
+  | And of formula * formula
+  | Or of formula * formula
+
+val always : Pqdb_ast.Ua.t
+(** The Boolean query that is true in every world (a nullary literal with one
+    tuple) — the unit of conjunction. *)
+
+val fd_violation :
+  table:string ->
+  attrs:string list ->
+  key:string list ->
+  determined:string list ->
+  Pqdb_ast.Ua.t
+(** Violation query of the functional dependency [key → determined] on
+    [table] (whose full attribute list is [attrs]): a Boolean query that is
+    nonempty exactly when two possible tuples agree on [key] and differ on
+    some attribute of [determined]. *)
+
+val conjunct_queries : formula -> (Pqdb_ast.Ua.t * Pqdb_ast.Ua.t option) option
+(** For an [Or]-free formula: the pair (existential part [E], union of
+    violation queries if any egd is present), such that
+    [Pr = conf(E) − conf(E × violations)].  [None] when the formula contains
+    [Or] (handled by inclusion–exclusion in {!probability}). *)
+
+val probability : Udb.t -> formula -> Rational.t
+(** Exact [Pr(formula)] via the Theorem 4.4 rewriting (inclusion–exclusion
+    over the DNF of the formula), evaluating only positive UA[conf]
+    queries. *)

@@ -1,0 +1,112 @@
+module Apred = Pqdb_ast.Apred
+
+exception Unsupported of string
+
+let atom_occurrences_ok lhs rhs arity =
+  let counts = Array.make (max 1 arity) 0 in
+  let rec go = function
+    | Apred.Var i -> counts.(i) <- counts.(i) + 1
+    | Apred.Const _ -> ()
+    | Apred.Add (a, b) | Apred.Sub (a, b) | Apred.Mul (a, b) | Apred.Div (a, b)
+      ->
+        go a;
+        go b
+    | Apred.Neg a -> go a
+  in
+  go lhs;
+  go rhs;
+  Array.for_all (fun c -> c <= 1) counts
+
+let atom_eps ~search_iterations cmp lhs rhs point =
+  match Linear_eps.atom_epsilon cmp lhs rhs point with
+  | Some eps -> eps
+  | None ->
+      let arity = Array.length point in
+      if not (atom_occurrences_ok lhs rhs arity) then
+        raise
+          (Unsupported
+             "non-linear atom with a repeated variable; use split_duplicates")
+      else
+        Orthotope.epsilon_search ~iterations:search_iterations
+          (Apred.Cmp (cmp, lhs, rhs))
+          point
+
+let rec epsilon ?(search_iterations = 40) phi point =
+  let eps p = epsilon ~search_iterations p point in
+  match phi with
+  | Apred.True | Apred.False -> Linear_eps.eps_max
+  | Apred.Not p -> eps p
+  | Apred.Cmp (cmp, lhs, rhs) ->
+      atom_eps ~search_iterations cmp lhs rhs point
+  | Apred.And (p, q) ->
+      let vp = Apred.eval point p and vq = Apred.eval point q in
+      if vp && vq then Float.min (eps p) (eps q)
+      else begin
+        (* False conjunction: it stays false while some currently-false
+           conjunct stays false. *)
+        let candidates =
+          (if vp then [] else [ eps p ]) @ if vq then [] else [ eps q ]
+        in
+        List.fold_left Float.max 0. candidates
+      end
+  | Apred.Or (p, q) ->
+      let vp = Apred.eval point p and vq = Apred.eval point q in
+      if (not vp) && not vq then Float.min (eps p) (eps q)
+      else begin
+        let candidates =
+          (if vp then [ eps p ] else []) @ if vq then [ eps q ] else []
+        in
+        List.fold_left Float.max 0. candidates
+      end
+
+let epsilon_for_decision ?search_iterations phi point =
+  epsilon ?search_iterations phi point
+
+let split_duplicates phi =
+  let arity = Apred.arity phi in
+  let seen = Array.make (max 1 arity) false in
+  let origin = ref (List.init arity Fun.id) in
+  let next = ref arity in
+  let fresh v =
+    let j = !next in
+    incr next;
+    origin := !origin @ [ v ];
+    j
+  in
+  let rec go_expr = function
+    | Apred.Var v ->
+        if seen.(v) then Apred.Var (fresh v)
+        else begin
+          seen.(v) <- true;
+          Apred.Var v
+        end
+    | Apred.Const c -> Apred.Const c
+    | Apred.Add (a, b) ->
+        let a = go_expr a in
+        Apred.Add (a, go_expr b)
+    | Apred.Sub (a, b) ->
+        let a = go_expr a in
+        Apred.Sub (a, go_expr b)
+    | Apred.Mul (a, b) ->
+        let a = go_expr a in
+        Apred.Mul (a, go_expr b)
+    | Apred.Div (a, b) ->
+        let a = go_expr a in
+        Apred.Div (a, go_expr b)
+    | Apred.Neg a -> Apred.Neg (go_expr a)
+  in
+  let rec go = function
+    | Apred.Cmp (cmp, lhs, rhs) ->
+        let lhs = go_expr lhs in
+        Apred.Cmp (cmp, lhs, go_expr rhs)
+    | Apred.And (p, q) ->
+        let p = go p in
+        Apred.And (p, go q)
+    | Apred.Or (p, q) ->
+        let p = go p in
+        Apred.Or (p, go q)
+    | Apred.Not p -> Apred.Not (go p)
+    | (Apred.True | Apred.False) as c -> c
+  in
+  let phi' = go phi in
+  (phi', Array.of_list !origin)

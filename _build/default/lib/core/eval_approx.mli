@@ -1,0 +1,77 @@
+(** Approximate UA evaluation (Section 6): Karp-Luby confidence, Figure-3
+    approximate selection, and per-tuple error bounds in the style of
+    Lemma 6.4, with the Theorem 6.7 doubling driver on top.
+
+    Each result tuple carries an accumulated error bound [μ]:
+    - base tuples are reliable ([μ = 0]);
+    - relational operators sum the bounds of the provenance tuples
+      (Lemma 6.4(1));
+    - σ̂ adds the Figure-3 decision bound [min(0.5, Σᵢ δᵢ(ε))] to the input
+      contribution (Lemma 6.4(2));
+    - [conf_{ε,δ}] adds its [δ] (the probability its [P] value is outside the
+      ε-relative interval).
+
+    Tuples whose σ̂ decision hit the round budget before reaching its target
+    are flagged as {e singularity suspects} — they are exactly the tuples
+    Theorem 6.7 cannot (and provably need not) guarantee. *)
+
+open Pqdb_numeric
+open Pqdb_relational
+open Pqdb_urel
+
+type stats = {
+  mutable decisions : int;  (** σ̂ tuple decisions made *)
+  mutable estimator_calls : int;  (** total Karp-Luby estimator calls *)
+  mutable round_limit_hits : int;  (** decisions stopped by the budget *)
+}
+
+type result = {
+  urel : Urelation.t;
+  errors : (Tuple.t * float) list;
+      (** per possible data tuple: accumulated error bound μ *)
+  suspects : Tuple.t list;
+      (** tuples whose provenance contains a budget-limited (suspected
+          singular) σ̂ decision *)
+  unreliable : bool;
+      (** true iff an approximate operator contributed to the result *)
+}
+
+val max_error : result -> float
+val error_of : result -> Tuple.t -> float
+
+val eval :
+  ?eps0:float ->
+  ?max_rounds:int ->
+  ?sigma_delta:float ->
+  rng:Rng.t ->
+  Udb.t ->
+  Pqdb_ast.Ua.t ->
+  result * stats
+(** One evaluation pass.  [sigma_delta] (default 0.05) is the per-decision
+    target handed to Figure 3; [max_rounds] is the per-decision round budget
+    [l] of Theorem 6.7 (default: unlimited, i.e. run Figure 3 to its stopping
+    condition).  Mutates the W table via [repair-key] — evaluate on
+    {!Pqdb_urel.Udb.copy} when the database must survive.
+    @raise Eval_exact.Unsupported as the exact evaluator, and additionally
+    when [repair-key] sits above a σ̂ (footnote 3 of the paper). *)
+
+val eval_with_guarantee :
+  ?eps0:float ->
+  ?initial_rounds:int ->
+  rng:Rng.t ->
+  delta:float ->
+  Udb.t ->
+  Pqdb_ast.Ua.t ->
+  result * stats * int
+(** The Theorem 6.7 driver: evaluate with round budget [l] (starting at
+    [initial_rounds], default 1), and while some tuple's error exceeds
+    [delta], double [l] — tightening the per-decision target along with it,
+    since bounds sum over provenance — and re-evaluate on a fresh copy of the
+    database.  Stops unconditionally once [l] reaches the
+    [Stats.theorem_6_7_rounds] bound, so singular tuples cannot loop it
+    forever.  Returns the final result, cumulative stats and the final [l].
+
+    Each attempt runs on a fresh {!Pqdb_urel.Udb.copy}, so repair-key
+    variables created during evaluation live in that copy's W table; use the
+    driver for queries whose result is complete (σ̂ or [conf] on top — the
+    intended use), where result rows carry no conditions. *)

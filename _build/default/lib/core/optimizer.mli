@@ -1,0 +1,32 @@
+(** A logical optimizer for the positive fragment.
+
+    Classical equivalences applied to fixpoint:
+    - selection splitting ([σ_{p∧q} = σ_p ∘ σ_q]) and merging of trivial
+      conditions;
+    - selection push-down through projection (substituting computed
+      columns), renaming (renaming the condition), union (distributing),
+      product and natural join (into whichever side covers the condition's
+      attributes);
+    - selection push-down through [conf]/[conf_{ε,δ}] when the condition
+      does not touch the probability column — this commutes because a
+      tuple's confidence does not depend on the other tuples, and it is the
+      big win: it shrinks the #P-hard part of the query;
+    - projection fusion and elimination of identity projections/renamings.
+
+    Selections are {e not} pushed through [repair-key] or σ̂: under the
+    shared-subexpression semantics (structurally identical subqueries denote
+    the same relation) such a rewrite would split a shared repair into
+    independent ones and change the distribution.
+
+    All rewrites preserve the exact semantics; the integration tests verify
+    this on random queries against both evaluators, and experiment E13
+    measures the effect. *)
+
+val optimize :
+  lookup:(string -> string list option) -> Pqdb_ast.Ua.t -> Pqdb_ast.Ua.t
+(** Rewrite to fixpoint (bounded).  [lookup] provides base-table schemas for
+    attribute-coverage decisions; subqueries whose schema cannot be inferred
+    are left untouched. *)
+
+val optimize_for : Pqdb_urel.Udb.t -> Pqdb_ast.Ua.t -> Pqdb_ast.Ua.t
+(** {!optimize} with the lookup taken from a database. *)

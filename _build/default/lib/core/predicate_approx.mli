@@ -1,0 +1,79 @@
+(** The predicate-approximation algorithm of Figure 3 (Theorem 5.8).
+
+    Given DNFs [F₁, …, Fₖ] (one per approximable value), a floor [ε₀ > 0]
+    and a target error [δ], the algorithm interleaves rounds of [|Fᵢ|]
+    Karp-Luby estimator calls per value with re-computation of
+    [ε = max(ε₀, ε_ψ(p̂₁, …, p̂ₖ))] (where ψ is [φ] or [¬φ] according to the
+    current estimates), stopping as soon as [Σᵢ δᵢ(ε) ≤ δ].  Away from
+    ε₀-singularities the returned truth value is wrong with probability at
+    most δ; the naive alternative always pays the full [ε₀] sample budget
+    (the measured speedup is experiment E7). *)
+
+open Pqdb_numeric
+open Pqdb_montecarlo
+
+type decision = {
+  value : bool;  (** [φ(p̂₁, …, p̂ₖ)] at termination *)
+  error_bound : float;  (** [min(0.5, Σᵢ δᵢ(ε))] at termination *)
+  epsilon : float;  (** the final [ε] *)
+  rounds : int;  (** outer-loop iterations executed *)
+  estimator_calls : int;  (** total Karp-Luby estimator invocations *)
+  estimates : float array;  (** final [p̂ᵢ] *)
+  hit_round_limit : bool;
+      (** true when [max_rounds] stopped the loop before the bound was met *)
+  used_floor : bool;
+      (** true when the final round's [ε_ψ(p̂)] was below [ε₀], i.e. the
+          stopping condition was met only thanks to the ε₀ floor: by
+          Theorem 5.8 the reported bound is then valid {e only if} the true
+          point is not an ε₀-singularity — the singularity-suspicion signal
+          used by query evaluation *)
+}
+
+val decide :
+  ?eps0:float ->
+  ?max_rounds:int ->
+  ?search_iterations:int ->
+  ?batch:int ->
+  ?independent:bool ->
+  rng:Rng.t ->
+  delta:float ->
+  Pqdb_ast.Apred.t ->
+  Estimator.t array ->
+  decision
+(** Run Figure 3.  [eps0] defaults to 0.05; [max_rounds] (default: no limit)
+    caps the outer loop for use by the Theorem 6.7 doubling driver, reporting
+    the error bound achieved so far.  [batch] overrides the per-round
+    estimator-call count (the paper batches [|Fᵢ|] calls per value per round;
+    experiment E14 ablates this).  [independent] (default false, matching
+    Figure 3's [Σᵢ δᵢ(ε)]) switches the combined bound to the tighter
+    [1 − Πᵢ(1 − δᵢ(ε))] that Lemma 5.1's remark justifies for independent
+    Karp-Luby runs.  The estimators keep their accumulated
+    trials, so successive calls refine rather than restart.
+    @raise Invalid_argument when [delta <= 0], [eps0 <= 0], or the predicate
+    mentions more variables than there are estimators. *)
+
+val decide_values :
+  ?eps0:float ->
+  ?max_rounds:int ->
+  ?search_iterations:int ->
+  ?independent:bool ->
+  rng:Rng.t ->
+  delta:float ->
+  Pqdb_ast.Apred.t ->
+  Approximable.t array ->
+  decision
+(** Figure 3 over abstract {!Approximable} values — the generalization the
+    end of Section 5 claims ("…may conceivably extend to areas such as
+    online aggregation"): any (ε, δ)-refinable value can feed the predicate,
+    e.g. sampled aggregates alongside tuple confidences. *)
+
+val decide_naive :
+  ?eps0:float ->
+  rng:Rng.t ->
+  delta:float ->
+  Pqdb_ast.Apred.t ->
+  Estimator.t array ->
+  decision
+(** The baseline sketched before Theorem 5.8: sample every value to the full
+    (ε₀, δ/k) budget up front, then evaluate the predicate once.  Used by the
+    E7 benchmark as the comparison point. *)

@@ -1,0 +1,67 @@
+open Pqdb_numeric
+module Apred = Pqdb_ast.Apred
+
+let safe_eval phi point =
+  match Apred.eval point phi with v -> Some v | exception _ -> None
+
+let absolute_corners_agree phi ~point ~eps0 =
+  match safe_eval phi point with
+  | None -> false
+  | Some center ->
+      let box = Interval.orthotope_absolute ~eps:eps0 point in
+      Seq.for_all
+        (fun corner ->
+          match safe_eval phi corner with
+          | Some v -> v = center
+          | None -> false)
+        (Interval.corners box)
+
+let definitely_singular ?(samples = 256) ~rng ~eps0 phi point =
+  match safe_eval phi point with
+  | None -> true
+  | Some center ->
+      if not (absolute_corners_agree phi ~point ~eps0) then true
+      else begin
+        let box = Interval.orthotope_absolute ~eps:eps0 point in
+        let draw lo hi = Rng.float_range rng lo hi in
+        let rec go n =
+          if n = 0 then false
+          else begin
+            let x = Interval.sample draw box in
+            match safe_eval phi x with
+            | Some v when v = center -> go (n - 1)
+            | _ -> true
+          end
+        in
+        go samples
+      end
+
+let atom_boundary_in_box ~eps0 (l : Linear_eps.linear) point =
+  let value = Linear_eps.eval l point in
+  let beta = ref 0. in
+  Array.iteri
+    (fun i a -> beta := !beta +. Float.abs (a *. point.(i)))
+    l.Linear_eps.coeffs;
+  Float.abs value <= eps0 *. !beta
+
+let rec possibly_singular ~eps0 phi point =
+  let arity = Array.length point in
+  match phi with
+  | Apred.True | Apred.False -> false
+  | Apred.Not p -> possibly_singular ~eps0 p point
+  | Apred.And (p, q) | Apred.Or (p, q) ->
+      possibly_singular ~eps0 p point || possibly_singular ~eps0 q point
+  | Apred.Cmp (_, lhs, rhs) -> begin
+      match (Linear_eps.of_expr ~arity lhs, Linear_eps.of_expr ~arity rhs) with
+      | Some ll, Some lr ->
+          let l =
+            {
+              Linear_eps.coeffs =
+                Array.init arity (fun i ->
+                    ll.Linear_eps.coeffs.(i) -. lr.Linear_eps.coeffs.(i));
+              constant = ll.Linear_eps.constant -. lr.Linear_eps.constant;
+            }
+          in
+          atom_boundary_in_box ~eps0 l point
+      | _ -> not (absolute_corners_agree phi ~point ~eps0)
+    end

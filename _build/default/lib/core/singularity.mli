@@ -1,0 +1,33 @@
+(** ε₀-singularities — Definition 5.6.
+
+    A true point [(p₁, …, pₖ)] is an ε₀-singularity of [φ] when some point
+    [x] with [|pᵢ − xᵢ| ≤ ε₀·pᵢ] for all [i] disagrees with it on [φ]; at
+    such points no amount of sampling can decide the predicate with bounded
+    error (Example 5.7: tuple certainty [conf = 1] can never be confirmed).
+
+    Detecting singularity exactly is easy for linear predicates (distance to
+    each atom's hyperplane in the weighted ∞-norm) and undecidable-ish in
+    general, so the API exposes a sound certificate and a conservative
+    test. *)
+
+val definitely_singular :
+  ?samples:int ->
+  rng:Pqdb_numeric.Rng.t ->
+  eps0:float ->
+  Pqdb_ast.Apred.t ->
+  float array ->
+  bool
+(** Sound "yes": some corner or sampled interior point of the absolute box
+    [Π\[pᵢ(1−ε₀), pᵢ(1+ε₀)\]] disagrees with the center.  A [false] answer
+    is inconclusive for predicates outside the Theorem 5.5 fragment. *)
+
+val atom_boundary_in_box :
+  eps0:float -> Linear_eps.linear -> float array -> bool
+(** Does the hyperplane [l(x) = 0] meet the absolute ε₀-box around the point?
+    Exactly: [|l(p)| ≤ ε₀·Σ|aᵢpᵢ|]. *)
+
+val possibly_singular : eps0:float -> Pqdb_ast.Apred.t -> float array -> bool
+(** Conservative "maybe": true when any linear atom's boundary crosses the
+    box (or when an atom is non-linear and its corner points disagree).
+    [false] guarantees the point is not an ε₀-singularity for predicates all
+    of whose atoms are linear. *)

@@ -1,0 +1,142 @@
+open Pqdb_relational
+open Pqdb_urel
+module Estimator = Pqdb_montecarlo.Estimator
+module Dnf = Pqdb_montecarlo.Dnf
+
+type result = {
+  ranked : (Tuple.t * float) list;
+  certified : bool;
+  estimator_calls : int;
+  rounds : int;
+}
+
+type candidate = {
+  tuple : Tuple.t;
+  est : Estimator.t;
+  mutable lo : float;
+  mutable hi : float;
+}
+
+(* Estimators over single-clause DNFs are exact (p = M); they need no
+   sampling and must not be refined (their intervals are points). *)
+let is_exact_candidate c =
+  Estimator.is_degenerate c.est
+  || Dnf.clause_count (Estimator.dnf c.est) = 1
+
+let current_value c =
+  if Estimator.is_degenerate c.est then Estimator.estimate c.est
+  else if Dnf.clause_count (Estimator.dnf c.est) = 1 then
+    Dnf.total_weight (Estimator.dnf c.est)
+  else Estimator.estimate c.est
+
+(* Relative half-width from the Chernoff bound at the current trial count:
+   the smallest eps with delta_bound(eps) <= delta_t, i.e.
+   eps = sqrt(3 |F| ln(2/delta_t) / m). *)
+let eps_at est ~delta_t =
+  let m = Estimator.trials est in
+  if m = 0 then 1.
+  else begin
+    let clauses = Dnf.clause_count (Estimator.dnf est) in
+    Float.min 1.
+      (sqrt (3. *. float_of_int clauses *. log (2. /. delta_t) /. float_of_int m))
+  end
+
+let update_interval ~delta_t c =
+  if Estimator.is_degenerate c.est then begin
+    let v = Estimator.estimate c.est in
+    c.lo <- v;
+    c.hi <- v
+  end
+  else if Dnf.clause_count (Estimator.dnf c.est) = 1 then begin
+    (* A single-clause DNF is exact: the estimator always fires, so
+       p = M = p_f with no sampling error. *)
+    let v = Dnf.total_weight (Estimator.dnf c.est) in
+    c.lo <- v;
+    c.hi <- v
+  end
+  else begin
+    let p = Estimator.estimate c.est in
+    let eps = eps_at c.est ~delta_t in
+    if eps >= 1. then begin
+      c.lo <- 0.;
+      c.hi <- 1.
+    end
+    else begin
+      c.lo <- Float.max 0. (p /. (1. +. eps));
+      c.hi <- Float.min 1. (p /. (1. -. eps))
+    end
+  end
+
+let run ?(eps0 = 0.01) ?max_rounds ~rng ~delta ~k candidates =
+  if k <= 0 then invalid_arg "Topk.run: k must be positive";
+  if candidates = [] then invalid_arg "Topk.run: no candidates";
+  let cands =
+    Array.of_list
+      (List.map (fun (tuple, est) -> { tuple; est; lo = 0.; hi = 1. }) candidates)
+  in
+  let n = Array.length cands in
+  let delta_t = delta /. float_of_int n in
+  let k = min k n in
+  let rounds = ref 0 in
+  let rec loop () =
+    Array.iter (update_interval ~delta_t) cands;
+    (* Order by estimate; the k-th and (k+1)-th define the boundary. *)
+    let order = Array.copy cands in
+    Array.sort (fun a b -> compare (current_value b) (current_value a)) order;
+    if k >= n then (order, true)
+    else begin
+      let selected = Array.sub order 0 k in
+      let rejected = Array.sub order k (n - k) in
+      let min_selected_lo =
+        Array.fold_left (fun acc c -> Float.min acc c.lo) 1. selected
+      in
+      let max_rejected_hi =
+        Array.fold_left (fun acc c -> Float.max acc c.hi) 0. rejected
+      in
+      if min_selected_lo >= max_rejected_hi then (order, true)
+      else begin
+        (* Refine only the candidates whose interval crosses the contested
+           band. *)
+        let contested c = c.hi >= min_selected_lo && c.lo <= max_rejected_hi in
+        let refinable =
+          Array.to_list cands
+          |> List.filter (fun c ->
+                 contested c
+                 && (not (is_exact_candidate c))
+                 && eps_at c.est ~delta_t > eps0)
+        in
+        match refinable with
+        | [] -> (order, false) (* ties at the eps0 floor: uncertified *)
+        | _ ->
+            List.iter (fun c -> Estimator.step_round rng c.est) refinable;
+            incr rounds;
+            (match max_rounds with
+            | Some limit when !rounds >= limit -> (order, false)
+            | _ -> loop ())
+      end
+    end
+  in
+  let order, certified = loop () in
+  let calls =
+    Array.fold_left (fun acc c -> acc + Estimator.trials c.est) 0 cands
+  in
+  {
+    ranked =
+      List.map
+        (fun c -> (c.tuple, current_value c))
+        (Array.to_list (Array.sub order 0 k));
+    certified;
+    estimator_calls = calls;
+    rounds = !rounds;
+  }
+
+let query ?eps0 ?max_rounds ~rng ~delta ~k udb q =
+  let u = Eval_exact.eval udb q in
+  let w = Udb.wtable udb in
+  let candidates =
+    List.map
+      (fun t ->
+        (t, Estimator.create (Dnf.prepare w (Urelation.clauses_for u t))))
+      (Urelation.possible_tuples u)
+  in
+  run ?eps0 ?max_rounds ~rng ~delta ~k candidates

@@ -1,0 +1,53 @@
+(** Top-k tuples by confidence via multisimulation.
+
+    The paper's introduction cites Ré, Dalvi and Suciu's top-k evaluation on
+    probabilistic data [16] as one of the approximation lines it
+    generalizes.  This module implements the interval-pruning idea on our
+    Karp-Luby estimators: every candidate keeps a confidence interval
+    [p̂/(1+ε), p̂/(1−ε)] from the Chernoff bound at its current trial count;
+    only candidates whose intervals straddle the k-th boundary are refined
+    further, so clearly-in and clearly-out tuples stop sampling early.
+
+    Like predicate approximation, ranking has singularities: ties at the
+    boundary cannot be separated, so refinement stops at the relative floor
+    [eps0] and the result is flagged uncertified. *)
+
+open Pqdb_numeric
+open Pqdb_relational
+open Pqdb_urel
+
+type result = {
+  ranked : (Tuple.t * float) list;
+      (** the top-k tuples with their final estimates, best first *)
+  certified : bool;
+      (** true when every selected tuple's lower bound clears every rejected
+          tuple's upper bound (each bound valid with probability
+          [1 − delta/n]) *)
+  estimator_calls : int;
+  rounds : int;
+}
+
+val run :
+  ?eps0:float ->
+  ?max_rounds:int ->
+  rng:Rng.t ->
+  delta:float ->
+  k:int ->
+  (Tuple.t * Pqdb_montecarlo.Estimator.t) list ->
+  result
+(** Rank the candidates and return the [k] most probable.  [delta] is split
+    evenly across candidates for the per-tuple interval bounds.
+    @raise Invalid_argument when [k <= 0] or there are no candidates. *)
+
+val query :
+  ?eps0:float ->
+  ?max_rounds:int ->
+  rng:Rng.t ->
+  delta:float ->
+  k:int ->
+  Udb.t ->
+  Pqdb_ast.Ua.t ->
+  result
+(** Convenience: evaluate the (positive) query exactly on the representation
+    level, then rank its possible tuples by confidence.  Mutates the W table
+    like {!Eval_exact.eval}. *)

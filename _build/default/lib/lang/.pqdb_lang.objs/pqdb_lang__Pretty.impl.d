@@ -1,0 +1,1 @@
+lib/lang/pretty.ml: Expr Float Format Pqdb_ast Pqdb_numeric Pqdb_relational Predicate Printf Relation Schema String Tuple Value

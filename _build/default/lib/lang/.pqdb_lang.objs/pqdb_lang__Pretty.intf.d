@@ -1,0 +1,1 @@
+lib/lang/pretty.mli: Format Pqdb_ast Pqdb_relational

@@ -1,0 +1,1 @@
+lib/lang/qparser.ml: Array Expr Lexer List Pqdb_ast Pqdb_relational Predicate Printf Relation Token Value

@@ -1,0 +1,1 @@
+lib/lang/qparser.mli: Pqdb_ast

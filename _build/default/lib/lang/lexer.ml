@@ -1,0 +1,99 @@
+exception Error of string * int
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || is_digit c
+
+let tokenize input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let emit tok pos = tokens := (tok, pos) :: !tokens in
+  let rec skip_line i = if i < n && input.[i] <> '\n' then skip_line (i + 1) else i in
+  let rec go i =
+    if i >= n then emit Token.Eof i
+    else begin
+      let c = input.[i] in
+      if c = ' ' || c = '\t' || c = '\n' || c = '\r' then go (i + 1)
+      else if c = '-' && i + 1 < n && input.[i + 1] = '-' then
+        go (skip_line (i + 2))
+      else if c = '-' && i + 1 < n && input.[i + 1] = '>' then begin
+        emit Token.Arrow i;
+        go (i + 2)
+      end
+      else if is_digit c then number i
+      else if is_ident_start c then ident i
+      else if c = '\'' || c = '"' then string_lit c (i + 1) i
+      else if c = '$' then dollar (i + 1) i
+      else begin
+        let two tok = emit tok i; go (i + 2) in
+        let one tok = emit tok i; go (i + 1) in
+        match c with
+        | '<' when i + 1 < n && input.[i + 1] = '=' -> two Token.Le
+        | '<' when i + 1 < n && input.[i + 1] = '>' -> two Token.Neq
+        | '>' when i + 1 < n && input.[i + 1] = '=' -> two Token.Ge
+        | '!' when i + 1 < n && input.[i + 1] = '=' -> two Token.Neq
+        | '<' -> one Token.Lt
+        | '>' -> one Token.Gt
+        | '=' -> one Token.Eq
+        | '(' -> one Token.Lparen
+        | ')' -> one Token.Rparen
+        | '[' -> one Token.Lbracket
+        | ']' -> one Token.Rbracket
+        | ',' -> one Token.Comma
+        | ';' -> one Token.Semicolon
+        | '|' -> one Token.Pipe
+        | '@' -> one Token.At
+        | '+' -> one Token.Plus
+        | '-' -> one Token.Minus
+        | '*' -> one Token.Star
+        | '/' -> one Token.Slash
+        | c -> raise (Error (Printf.sprintf "unexpected character %C" c, i))
+      end
+    end
+  and number start =
+    let rec digits i = if i < n && is_digit input.[i] then digits (i + 1) else i in
+    let int_end = digits start in
+    if int_end < n && input.[int_end] = '.' && int_end + 1 < n
+       && is_digit input.[int_end + 1]
+    then begin
+      let frac_end = digits (int_end + 1) in
+      let text = String.sub input start (frac_end - start) in
+      emit (Token.Float (float_of_string text)) start;
+      go frac_end
+    end
+    else begin
+      let text = String.sub input start (int_end - start) in
+      emit (Token.Int (int_of_string text)) start;
+      go int_end
+    end
+  and ident start =
+    let rec chars i = if i < n && is_ident_char input.[i] then chars (i + 1) else i in
+    let stop = chars start in
+    let text = String.sub input start (stop - start) in
+    let lower = String.lowercase_ascii text in
+    if List.mem lower Token.keywords then emit (Token.Kw lower) start
+    else emit (Token.Ident text) start;
+    go stop
+  and string_lit quote i start =
+    let rec find j =
+      if j >= n then raise (Error ("unterminated string", start))
+      else if input.[j] = quote then j
+      else find (j + 1)
+    in
+    let stop = find i in
+    emit (Token.String (String.sub input i (stop - i))) start;
+    go (stop + 1)
+  and dollar i start =
+    let rec digits j = if j < n && is_digit input.[j] then digits (j + 1) else j in
+    let stop = digits i in
+    if stop = i then raise (Error ("expected digits after $", start))
+    else begin
+      emit (Token.Dollar (int_of_string (String.sub input i (stop - i)))) start;
+      go stop
+    end
+  in
+  go 0;
+  List.rev !tokens

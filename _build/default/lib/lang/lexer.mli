@@ -1,0 +1,12 @@
+(** Hand-written lexer for the UA query language.
+
+    Comments run from [--] to end of line.  Strings use single or double
+    quotes without escapes.  Numbers are integers or decimal floats.
+    [$1], [$2], … are the conf-argument variables of [aselect]. *)
+
+exception Error of string * int
+(** Message and character offset. *)
+
+val tokenize : string -> (Token.t * int) list
+(** Token stream with offsets, ending with [Eof].
+    @raise Error on an unrecognized character or malformed literal. *)

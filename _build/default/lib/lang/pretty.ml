@@ -1,0 +1,142 @@
+open Pqdb_relational
+module Ua = Pqdb_ast.Ua
+module Apred = Pqdb_ast.Apred
+
+let float_literal f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else begin
+    let s = Printf.sprintf "%.17g" f in
+    (* The lexer has no exponent syntax; fall back to a long fixed form. *)
+    if String.contains s 'e' || String.contains s 'E' then
+      Printf.sprintf "%.17f" f
+    else s
+  end
+
+let value fmt = function
+  | Value.Int n ->
+      if n < 0 then Format.fprintf fmt "-%d" (-n) else Format.pp_print_int fmt n
+  | Value.Float f -> Format.pp_print_string fmt (float_literal f)
+  | Value.Str s -> Format.fprintf fmt "'%s'" s
+  | Value.Bool b -> Format.pp_print_bool fmt b
+  | Value.Rat r ->
+      Format.fprintf fmt "(%s / %s)"
+        (Pqdb_numeric.Bigint.to_string (Pqdb_numeric.Rational.num r))
+        (Pqdb_numeric.Bigint.to_string (Pqdb_numeric.Rational.den r))
+
+let rec expr fmt = function
+  | Expr.Attr a -> Format.pp_print_string fmt a
+  | Expr.Const v -> value fmt v
+  | Expr.Add (x, y) -> Format.fprintf fmt "(%a + %a)" expr x expr y
+  | Expr.Sub (x, y) -> Format.fprintf fmt "(%a - %a)" expr x expr y
+  | Expr.Mul (x, y) -> Format.fprintf fmt "(%a * %a)" expr x expr y
+  | Expr.Div (x, y) -> Format.fprintf fmt "(%a / %a)" expr x expr y
+  | Expr.Neg x -> Format.fprintf fmt "(-%a)" expr x
+
+let cmp_source = function
+  | Predicate.Eq -> "="
+  | Predicate.Neq -> "<>"
+  | Predicate.Lt -> "<"
+  | Predicate.Le -> "<="
+  | Predicate.Gt -> ">"
+  | Predicate.Ge -> ">="
+
+let rec predicate fmt = function
+  | Predicate.Cmp (op, x, y) ->
+      Format.fprintf fmt "%a %s %a" expr x (cmp_source op) expr y
+  | Predicate.And (p, q) ->
+      Format.fprintf fmt "(%a and %a)" predicate p predicate q
+  | Predicate.Or (p, q) ->
+      Format.fprintf fmt "(%a or %a)" predicate p predicate q
+  | Predicate.Not p -> Format.fprintf fmt "not (%a)" predicate p
+  | Predicate.True -> Format.pp_print_string fmt "true"
+  | Predicate.False -> Format.pp_print_string fmt "false"
+
+let rec aexpr fmt = function
+  | Apred.Var i -> Format.fprintf fmt "$%d" (i + 1)
+  | Apred.Const c -> Format.pp_print_string fmt (float_literal c)
+  | Apred.Add (x, y) -> Format.fprintf fmt "(%a + %a)" aexpr x aexpr y
+  | Apred.Sub (x, y) -> Format.fprintf fmt "(%a - %a)" aexpr x aexpr y
+  | Apred.Mul (x, y) -> Format.fprintf fmt "(%a * %a)" aexpr x aexpr y
+  | Apred.Div (x, y) -> Format.fprintf fmt "(%a / %a)" aexpr x aexpr y
+  | Apred.Neg x -> Format.fprintf fmt "(-%a)" aexpr x
+
+let acmp_source = function
+  | Apred.Eq -> "="
+  | Apred.Neq -> "<>"
+  | Apred.Lt -> "<"
+  | Apred.Le -> "<="
+  | Apred.Gt -> ">"
+  | Apred.Ge -> ">="
+
+let rec apred fmt = function
+  | Apred.Cmp (op, x, y) ->
+      Format.fprintf fmt "%a %s %a" aexpr x (acmp_source op) aexpr y
+  | Apred.And (p, q) -> Format.fprintf fmt "(%a and %a)" apred p apred q
+  | Apred.Or (p, q) -> Format.fprintf fmt "(%a or %a)" apred p apred q
+  | Apred.Not p -> Format.fprintf fmt "not (%a)" apred p
+  | Apred.True -> Format.pp_print_string fmt "true"
+  | Apred.False -> Format.pp_print_string fmt "false"
+
+let strings fmt names =
+  Format.pp_print_list
+    ~pp_sep:(fun f () -> Format.pp_print_string f ", ")
+    Format.pp_print_string fmt names
+
+let rec query fmt = function
+  | Ua.Table n -> Format.pp_print_string fmt n
+  | Ua.Lit rel ->
+      let attrs = Schema.attributes (Relation.schema rel) in
+      let rows = Relation.tuples rel in
+      let row fmt t =
+        Format.fprintf fmt "(%a)"
+          (Format.pp_print_list
+             ~pp_sep:(fun f () -> Format.pp_print_string f ", ")
+             value)
+          (Tuple.to_list t)
+      in
+      Format.fprintf fmt "lit[%a](%a)" strings attrs
+        (Format.pp_print_list
+           ~pp_sep:(fun f () -> Format.pp_print_string f ", ")
+           row)
+        rows
+  | Ua.Select (p, q) ->
+      Format.fprintf fmt "select[%a](%a)" predicate p query q
+  | Ua.Project (cols, q) ->
+      let col fmt (e, name) =
+        match e with
+        | Expr.Attr a when a = name -> Format.pp_print_string fmt a
+        | _ -> Format.fprintf fmt "%a -> %s" expr e name
+      in
+      Format.fprintf fmt "project[%a](%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun f () -> Format.pp_print_string f ", ")
+           col)
+        cols query q
+  | Ua.Rename (m, q) ->
+      let one fmt (a, b) = Format.fprintf fmt "%s -> %s" a b in
+      Format.fprintf fmt "rename[%a](%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun f () -> Format.pp_print_string f ", ")
+           one)
+        m query q
+  | Ua.Product (a, b) -> Format.fprintf fmt "(%a times %a)" query a query b
+  | Ua.Join (a, b) -> Format.fprintf fmt "(%a join %a)" query a query b
+  | Ua.Union (a, b) -> Format.fprintf fmt "(%a union %a)" query a query b
+  | Ua.Diff (a, b) -> Format.fprintf fmt "(%a minus %a)" query a query b
+  | Ua.Conf q -> Format.fprintf fmt "conf(%a)" query q
+  | Ua.ApproxConf ({ eps; delta }, q) ->
+      Format.fprintf fmt "aconf[%s, %s](%a)" (float_literal eps)
+        (float_literal delta) query q
+  | Ua.RepairKey { key; weight; query = q } ->
+      Format.fprintf fmt "repairkey[%a @@ %s](%a)" strings key weight query q
+  | Ua.Poss q -> Format.fprintf fmt "poss(%a)" query q
+  | Ua.Cert q -> Format.fprintf fmt "cert(%a)" query q
+  | Ua.ApproxSelect { phi; conf_args; input } ->
+      let arg fmt attrs = Format.fprintf fmt "conf[%a]" strings attrs in
+      Format.fprintf fmt "aselect[%a | %a](%a)" apred phi
+        (Format.pp_print_list
+           ~pp_sep:(fun f () -> Format.pp_print_string f ", ")
+           arg)
+        conf_args query input
+
+let query_to_string q = Format.asprintf "%a" query q

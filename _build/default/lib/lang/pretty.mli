@@ -1,0 +1,17 @@
+(** Source-level printer: renders queries in the concrete syntax accepted by
+    {!Qparser}, so that [parse_query (to_string q) = q].
+
+    Limitations (documented, checked by the round-trip property tests):
+    - attribute and table names must be valid identifiers;
+    - string literals must not contain quote characters;
+    - float literals must have a plain decimal rendering (no exponent);
+    - exact-rational constants print as divisions ([1/3]), which re-parse as
+      a division expression with the same exact value but a different AST —
+      avoid them when structural round-tripping matters. *)
+
+val value : Format.formatter -> Pqdb_relational.Value.t -> unit
+val expr : Format.formatter -> Pqdb_relational.Expr.t -> unit
+val predicate : Format.formatter -> Pqdb_relational.Predicate.t -> unit
+val apred : Format.formatter -> Pqdb_ast.Apred.t -> unit
+val query : Format.formatter -> Pqdb_ast.Ua.t -> unit
+val query_to_string : Pqdb_ast.Ua.t -> string

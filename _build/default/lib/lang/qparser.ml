@@ -1,0 +1,485 @@
+open Pqdb_relational
+module Ua = Pqdb_ast.Ua
+module Apred = Pqdb_ast.Apred
+
+exception Error of string * int
+
+type state = {
+  tokens : (Token.t * int) array;
+  mutable pos : int;
+  mutable views : (string * Ua.t) list;
+}
+
+let peek st = fst st.tokens.(st.pos)
+let offset st = snd st.tokens.(st.pos)
+let advance st = st.pos <- st.pos + 1
+
+let fail st msg =
+  raise (Error (Printf.sprintf "%s (found %s)" msg (Token.to_string (peek st)), offset st))
+
+let expect st tok msg =
+  if peek st = tok then advance st else fail st msg
+
+let expect_ident st msg =
+  match peek st with
+  | Token.Ident s ->
+      advance st;
+      s
+  | _ -> fail st msg
+
+let number st =
+  match peek st with
+  | Token.Int n ->
+      advance st;
+      float_of_int n
+  | Token.Float f ->
+      advance st;
+      f
+  | _ -> fail st "expected a number"
+
+(* --- attribute lists --------------------------------------------------- *)
+
+let attr_list st ~stop =
+  let rec go acc =
+    match peek st with
+    | Token.Ident a ->
+        advance st;
+        if peek st = Token.Comma then begin
+          advance st;
+          go (a :: acc)
+        end
+        else List.rev (a :: acc)
+    | t when t = stop -> List.rev acc
+    | _ -> fail st "expected an attribute name"
+  in
+  go []
+
+(* --- scalar expressions over attributes ------------------------------- *)
+
+let rec r_arith st =
+  let lhs = r_arith_term st in
+  match peek st with
+  | Token.Plus ->
+      advance st;
+      Expr.Add (lhs, r_arith st)
+  | Token.Minus ->
+      advance st;
+      Expr.Sub (lhs, r_arith st)
+  | _ -> lhs
+
+and r_arith_term st =
+  let lhs = r_arith_atom st in
+  match peek st with
+  | Token.Star ->
+      advance st;
+      Expr.Mul (lhs, r_arith_term st)
+  | Token.Slash ->
+      advance st;
+      Expr.Div (lhs, r_arith_term st)
+  | _ -> lhs
+
+and r_arith_atom st =
+  match peek st with
+  | Token.Ident a ->
+      advance st;
+      Expr.Attr a
+  | Token.Int n ->
+      advance st;
+      Expr.Const (Value.Int n)
+  | Token.Float f ->
+      advance st;
+      Expr.Const (Value.Float f)
+  | Token.String s ->
+      advance st;
+      Expr.Const (Value.Str s)
+  | Token.Kw "true" ->
+      advance st;
+      Expr.Const (Value.Bool true)
+  | Token.Kw "false" ->
+      advance st;
+      Expr.Const (Value.Bool false)
+  | Token.Minus ->
+      advance st;
+      Expr.Neg (r_arith_atom st)
+  | Token.Lparen ->
+      advance st;
+      let e = r_arith st in
+      expect st Token.Rparen "expected )";
+      e
+  | _ -> fail st "expected an arithmetic expression"
+
+(* --- selection conditions ---------------------------------------------- *)
+
+let comparison_op st =
+  match peek st with
+  | Token.Eq -> advance st; Some Predicate.Eq
+  | Token.Neq -> advance st; Some Predicate.Neq
+  | Token.Lt -> advance st; Some Predicate.Lt
+  | Token.Le -> advance st; Some Predicate.Le
+  | Token.Gt -> advance st; Some Predicate.Gt
+  | Token.Ge -> advance st; Some Predicate.Ge
+  | _ -> None
+
+let rec r_cond st =
+  let lhs = r_cond_and st in
+  match peek st with
+  | Token.Kw "or" ->
+      advance st;
+      Predicate.Or (lhs, r_cond st)
+  | _ -> lhs
+
+and r_cond_and st =
+  let lhs = r_cond_atom st in
+  match peek st with
+  | Token.Kw "and" ->
+      advance st;
+      Predicate.And (lhs, r_cond_and st)
+  | _ -> lhs
+
+and r_cond_atom st =
+  match peek st with
+  | Token.Kw "not" ->
+      advance st;
+      Predicate.Not (r_cond_atom st)
+  | Token.Kw "true" when fst st.tokens.(st.pos + 1) <> Token.Eq ->
+      advance st;
+      Predicate.True
+  | Token.Kw "false" when fst st.tokens.(st.pos + 1) <> Token.Eq ->
+      advance st;
+      Predicate.False
+  | Token.Lparen ->
+      (* Could be a parenthesized condition or a parenthesized arithmetic
+         expression followed by a comparison; try the condition first by
+         backtracking. *)
+      let saved = st.pos in
+      (advance st;
+       match r_cond st with
+       | cond when peek st = Token.Rparen -> begin
+           advance st;
+           (* (cond) possibly continued as comparison?  Conditions are not
+              comparable values, so just return. *)
+           match cond with c -> c
+         end
+       | _ -> fail st "expected )"
+       | exception Error _ ->
+           st.pos <- saved;
+           comparison st)
+  | _ -> comparison st
+
+and comparison st =
+  let lhs = r_arith st in
+  match comparison_op st with
+  | Some op -> Predicate.Cmp (op, lhs, r_arith st)
+  | None -> fail st "expected a comparison operator"
+
+(* --- aselect predicates (over $i variables) ----------------------------- *)
+
+let rec a_arith st =
+  let lhs = a_term st in
+  match peek st with
+  | Token.Plus ->
+      advance st;
+      Apred.Add (lhs, a_arith st)
+  | Token.Minus ->
+      advance st;
+      Apred.Sub (lhs, a_arith st)
+  | _ -> lhs
+
+and a_term st =
+  let lhs = a_atom st in
+  match peek st with
+  | Token.Star ->
+      advance st;
+      Apred.Mul (lhs, a_term st)
+  | Token.Slash ->
+      advance st;
+      Apred.Div (lhs, a_term st)
+  | _ -> lhs
+
+and a_atom st =
+  match peek st with
+  | Token.Dollar i ->
+      advance st;
+      if i < 1 then fail st "conf-argument variables start at $1"
+      else Apred.Var (i - 1)
+  | Token.Int n ->
+      advance st;
+      Apred.Const (float_of_int n)
+  | Token.Float f ->
+      advance st;
+      Apred.Const f
+  | Token.Minus ->
+      advance st;
+      Apred.Neg (a_atom st)
+  | Token.Lparen ->
+      advance st;
+      let e = a_arith st in
+      expect st Token.Rparen "expected )";
+      e
+  | _ -> fail st "expected an approximable-value expression"
+
+let a_comparison_op st =
+  match peek st with
+  | Token.Eq -> advance st; Some Apred.Eq
+  | Token.Neq -> advance st; Some Apred.Neq
+  | Token.Lt -> advance st; Some Apred.Lt
+  | Token.Le -> advance st; Some Apred.Le
+  | Token.Gt -> advance st; Some Apred.Gt
+  | Token.Ge -> advance st; Some Apred.Ge
+  | _ -> None
+
+let rec a_pred st =
+  let lhs = a_pred_and st in
+  match peek st with
+  | Token.Kw "or" ->
+      advance st;
+      Apred.Or (lhs, a_pred st)
+  | _ -> lhs
+
+and a_pred_and st =
+  let lhs = a_pred_atom st in
+  match peek st with
+  | Token.Kw "and" ->
+      advance st;
+      Apred.And (lhs, a_pred_and st)
+  | _ -> lhs
+
+and a_pred_atom st =
+  match peek st with
+  | Token.Kw "not" ->
+      advance st;
+      Apred.Not (a_pred_atom st)
+  | Token.Kw "true" ->
+      advance st;
+      Apred.True
+  | Token.Kw "false" ->
+      advance st;
+      Apred.False
+  | _ ->
+      let lhs = a_arith st in
+      (match a_comparison_op st with
+      | Some op -> Apred.Cmp (op, lhs, a_arith st)
+      | None -> fail st "expected a comparison operator")
+
+(* --- values / literal relations ----------------------------------------- *)
+
+let value st =
+  match peek st with
+  | Token.Int n ->
+      advance st;
+      Value.Int n
+  | Token.Float f ->
+      advance st;
+      Value.Float f
+  | Token.String s ->
+      advance st;
+      Value.Str s
+  | Token.Kw "true" ->
+      advance st;
+      Value.Bool true
+  | Token.Kw "false" ->
+      advance st;
+      Value.Bool false
+  | Token.Minus ->
+      advance st;
+      Value.neg (match peek st with
+        | Token.Int n -> advance st; Value.Int n
+        | Token.Float f -> advance st; Value.Float f
+        | _ -> fail st "expected a number after -")
+  | _ -> fail st "expected a literal value"
+
+(* --- queries -------------------------------------------------------------- *)
+
+let rec expr st =
+  let lhs = term st in
+  binops st lhs
+
+and binops st lhs =
+  match peek st with
+  | Token.Kw "union" ->
+      advance st;
+      binops st (Ua.Union (lhs, term st))
+  | Token.Kw "minus" ->
+      advance st;
+      binops st (Ua.Diff (lhs, term st))
+  | Token.Kw "join" ->
+      advance st;
+      binops st (Ua.Join (lhs, term st))
+  | Token.Kw "times" ->
+      advance st;
+      binops st (Ua.Product (lhs, term st))
+  | _ -> lhs
+
+and parenthesized st =
+  expect st Token.Lparen "expected (";
+  let q = expr st in
+  expect st Token.Rparen "expected )";
+  q
+
+and columns st =
+  let rec go acc =
+    if peek st = Token.Rbracket then List.rev acc
+    else begin
+      let e = r_arith st in
+      let col =
+        if peek st = Token.Arrow then begin
+          advance st;
+          (e, expect_ident st "expected a column name after ->")
+        end
+        else begin
+          match e with
+          | Expr.Attr a -> (e, a)
+          | _ -> fail st "computed columns need '-> name'"
+        end
+      in
+      if peek st = Token.Comma then begin
+        advance st;
+        go (col :: acc)
+      end
+      else List.rev (col :: acc)
+    end
+  in
+  go []
+
+and term st =
+  match peek st with
+  | Token.Ident name ->
+      advance st;
+      (* let-bound views shadow base tables. *)
+      (match List.assoc_opt name st.views with
+      | Some q -> q
+      | None -> Ua.Table name)
+  | Token.Lparen -> parenthesized st
+  | Token.Kw "select" ->
+      advance st;
+      expect st Token.Lbracket "expected [";
+      let cond = r_cond st in
+      expect st Token.Rbracket "expected ]";
+      Ua.Select (cond, parenthesized st)
+  | Token.Kw "project" ->
+      advance st;
+      expect st Token.Lbracket "expected [";
+      let cols = columns st in
+      expect st Token.Rbracket "expected ]";
+      Ua.Project (cols, parenthesized st)
+  | Token.Kw "rename" ->
+      advance st;
+      expect st Token.Lbracket "expected [";
+      let rec pairs acc =
+        let a = expect_ident st "expected an attribute" in
+        expect st Token.Arrow "expected ->";
+        let b = expect_ident st "expected a new name" in
+        if peek st = Token.Comma then begin
+          advance st;
+          pairs ((a, b) :: acc)
+        end
+        else List.rev ((a, b) :: acc)
+      in
+      let mapping = pairs [] in
+      expect st Token.Rbracket "expected ]";
+      Ua.Rename (mapping, parenthesized st)
+  | Token.Kw "conf" ->
+      advance st;
+      Ua.Conf (parenthesized st)
+  | Token.Kw "aconf" ->
+      advance st;
+      expect st Token.Lbracket "expected [";
+      let eps = number st in
+      expect st Token.Comma "expected ,";
+      let delta = number st in
+      expect st Token.Rbracket "expected ]";
+      Ua.ApproxConf ({ eps; delta }, parenthesized st)
+  | Token.Kw "repairkey" ->
+      advance st;
+      expect st Token.Lbracket "expected [";
+      let key = attr_list st ~stop:Token.At in
+      expect st Token.At "expected @ before the weight attribute";
+      let weight = expect_ident st "expected the weight attribute" in
+      expect st Token.Rbracket "expected ]";
+      Ua.RepairKey { key; weight; query = parenthesized st }
+  | Token.Kw "poss" ->
+      advance st;
+      Ua.Poss (parenthesized st)
+  | Token.Kw "cert" ->
+      advance st;
+      Ua.Cert (parenthesized st)
+  | Token.Kw "aselect" ->
+      advance st;
+      expect st Token.Lbracket "expected [";
+      let phi = a_pred st in
+      expect st Token.Pipe "expected | before the conf arguments";
+      let rec conf_args acc =
+        expect st (Token.Kw "conf") "expected conf[...]";
+        expect st Token.Lbracket "expected [";
+        let attrs = attr_list st ~stop:Token.Rbracket in
+        expect st Token.Rbracket "expected ]";
+        if peek st = Token.Comma then begin
+          advance st;
+          conf_args (attrs :: acc)
+        end
+        else List.rev (attrs :: acc)
+      in
+      let args = conf_args [] in
+      expect st Token.Rbracket "expected ]";
+      Ua.ApproxSelect { phi; conf_args = args; input = parenthesized st }
+  | Token.Kw "lit" ->
+      advance st;
+      expect st Token.Lbracket "expected [";
+      let attrs = attr_list st ~stop:Token.Rbracket in
+      expect st Token.Rbracket "expected ]";
+      expect st Token.Lparen "expected (";
+      let rec rows acc =
+        if peek st = Token.Rparen then List.rev acc
+        else begin
+          expect st Token.Lparen "expected ( starting a row";
+          let rec vals acc =
+            let v = value st in
+            if peek st = Token.Comma then begin
+              advance st;
+              vals (v :: acc)
+            end
+            else List.rev (v :: acc)
+          in
+          let row = if peek st = Token.Rparen then [] else vals [] in
+          expect st Token.Rparen "expected ) ending the row";
+          if peek st = Token.Comma then begin
+            advance st;
+            rows (row :: acc)
+          end
+          else List.rev (row :: acc)
+        end
+      in
+      let row_list = rows [] in
+      expect st Token.Rparen "expected )";
+      Ua.Lit (Relation.of_rows attrs row_list)
+  | _ -> fail st "expected a query"
+
+let make_state text =
+  { tokens = Array.of_list (Lexer.tokenize text); pos = 0; views = [] }
+
+let parse_query text =
+  let st = make_state text in
+  let q = expr st in
+  if peek st <> Token.Eof then fail st "trailing input after query" else q
+
+let parse_program text =
+  let st = make_state text in
+  let rec go () =
+    match peek st with
+    | Token.Eof -> None
+    | Token.Kw "let" ->
+        advance st;
+        let name = expect_ident st "expected a view name" in
+        expect st Token.Eq "expected =";
+        let q = expr st in
+        expect st Token.Semicolon "expected ; after let";
+        st.views <- (name, q) :: st.views;
+        go ()
+    | _ ->
+        let q = expr st in
+        if peek st = Token.Semicolon then advance st;
+        if peek st <> Token.Eof then fail st "trailing input after query"
+        else Some q
+  in
+  let final = go () in
+  (List.rev st.views, final)

@@ -1,0 +1,35 @@
+(** Recursive-descent parser for the UA query language.
+
+    Grammar sketch (case-insensitive keywords):
+    {v
+    program  ::= (let IDENT = expr ;)* expr?
+    expr     ::= term ((union | minus | join | times) term)*
+    term     ::= IDENT                          -- table or let-bound view
+               | ( expr )
+               | select [ cond ] ( expr )
+               | project [ columns ] ( expr )
+               | rename [ IDENT -> IDENT, ... ] ( expr )
+               | conf ( expr )
+               | aconf [ FLOAT , FLOAT ] ( expr )
+               | repairkey [ attrs @ IDENT ] ( expr )
+               | poss ( expr ) | cert ( expr )
+               | aselect [ apred | conf [ attrs ], ... ] ( expr )
+               | lit [ attrs ] ( ( value, ... ), ... )
+    columns  ::= (arith (-> IDENT)?) , ...      -- bare attribute or computed
+    cond     ::= or-combination of comparisons over arithmetic expressions
+    apred    ::= like cond, with $1, $2, ... referring to the conf arguments
+    v}
+
+    [let]-bound views are substituted by reference; since the evaluators
+    memoize structurally identical subqueries, a view used twice denotes one
+    relation (Example 2.2's S). *)
+
+exception Error of string * int
+(** Message and character offset. *)
+
+val parse_query : string -> Pqdb_ast.Ua.t
+(** A single expression (no [let]s, no trailing [;]). *)
+
+val parse_program : string -> (string * Pqdb_ast.Ua.t) list * Pqdb_ast.Ua.t option
+(** All [let] bindings (fully substituted, in order) and the optional final
+    expression. *)

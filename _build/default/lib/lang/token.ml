@@ -1,0 +1,82 @@
+type t =
+  | Ident of string
+  | Int of int
+  | Float of float
+  | String of string
+  | Dollar of int
+  | Lparen
+  | Rparen
+  | Lbracket
+  | Rbracket
+  | Comma
+  | Semicolon
+  | Arrow
+  | Pipe
+  | At
+  | Plus
+  | Minus
+  | Star
+  | Slash
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Kw of string
+  | Eof
+
+let keywords =
+  [
+    "select";
+    "project";
+    "rename";
+    "join";
+    "times";
+    "union";
+    "minus";
+    "conf";
+    "aconf";
+    "repairkey";
+    "poss";
+    "cert";
+    "aselect";
+    "and";
+    "or";
+    "not";
+    "true";
+    "false";
+    "let";
+    "in";
+    "lit";
+  ]
+
+let to_string = function
+  | Ident s -> s
+  | Int n -> string_of_int n
+  | Float f -> string_of_float f
+  | String s -> "'" ^ s ^ "'"
+  | Dollar i -> "$" ^ string_of_int i
+  | Lparen -> "("
+  | Rparen -> ")"
+  | Lbracket -> "["
+  | Rbracket -> "]"
+  | Comma -> ","
+  | Semicolon -> ";"
+  | Arrow -> "->"
+  | Pipe -> "|"
+  | At -> "@"
+  | Plus -> "+"
+  | Minus -> "-"
+  | Star -> "*"
+  | Slash -> "/"
+  | Eq -> "="
+  | Neq -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Kw s -> s
+  | Eof -> "<eof>"
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,39 @@
+(** Tokens of the textual UA query language.
+
+    The concrete syntax is algebra-flavoured (MayBMS exposed a similar
+    surface): [select], [project], [rename], [join], [times], [union],
+    [minus], [conf], [aconf], [repairkey], [poss], [cert], [aselect], plus
+    arithmetic and comparison operators.  Keywords are case-insensitive;
+    identifiers are case-sensitive. *)
+
+type t =
+  | Ident of string
+  | Int of int
+  | Float of float
+  | String of string
+  | Dollar of int  (** [$i] — conf-argument variable inside [aselect] *)
+  | Lparen
+  | Rparen
+  | Lbracket
+  | Rbracket
+  | Comma
+  | Semicolon
+  | Arrow  (** [->] *)
+  | Pipe
+  | At
+  | Plus
+  | Minus
+  | Star
+  | Slash
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Kw of string  (** lower-cased keyword *)
+  | Eof
+
+val keywords : string list
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

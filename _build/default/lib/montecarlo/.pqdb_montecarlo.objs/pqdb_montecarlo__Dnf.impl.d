@@ -1,0 +1,1 @@
+lib/montecarlo/dnf.ml: Array Assignment Confidence Hashtbl List Pqdb_numeric Pqdb_urel Rng Wtable

@@ -1,0 +1,1 @@
+lib/montecarlo/dnf.mli: Assignment Pqdb_numeric Pqdb_urel Rational Rng Wtable

@@ -1,0 +1,1 @@
+lib/montecarlo/estimator.ml: Dnf Pqdb_numeric Stats

@@ -1,0 +1,1 @@
+lib/montecarlo/estimator.mli: Dnf Pqdb_numeric Rng

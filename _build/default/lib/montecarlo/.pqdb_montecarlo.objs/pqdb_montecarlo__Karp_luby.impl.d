@@ -1,0 +1,1 @@
+lib/montecarlo/karp_luby.ml: Dnf Pqdb_numeric Stats

@@ -1,0 +1,1 @@
+lib/montecarlo/karp_luby.mli: Assignment Dnf Pqdb_numeric Pqdb_urel Rng Wtable

@@ -1,0 +1,41 @@
+(** A DNF of partial assignments prepared for Karp-Luby sampling.
+
+    [F = {f₁, …, fₛ}] is the set of conditions of one tuple in a U-relation;
+    the tuple's confidence is the total weight of worlds covered by at least
+    one clause.  Preparation fixes the clause order (Definition 4.1 breaks
+    ties by smallest index), computes [M = Σ p_f], and builds the sampling
+    tables. *)
+
+open Pqdb_numeric
+open Pqdb_urel
+
+type t
+
+val prepare : Wtable.t -> Assignment.t list -> t
+(** Clause order is the list order. *)
+
+val clause_count : t -> int
+(** [|F|] — the FPRAS trial counts scale linearly in it. *)
+
+val total_weight : t -> float
+(** [M = Σ_f p_f]. *)
+
+val is_trivially_false : t -> bool
+(** No clauses: confidence 0. *)
+
+val is_trivially_true : t -> bool
+(** Contains the empty clause: confidence 1. *)
+
+val variables : t -> Wtable.var list
+val clauses : t -> Assignment.t list
+
+val sample_estimator : Rng.t -> t -> int
+(** One Karp-Luby trial (Definition 4.1): draw a clause [f] proportionally to
+    [p_f], extend it to a total assignment [f*] by sampling the unassigned
+    variables from W, and return 1 iff [f] is the smallest-index clause
+    consistent with [f*].  The result is an unbiased estimator of [p/M].
+    @raise Invalid_argument on a trivially false DNF. *)
+
+val exact : t -> Rational.t
+(** Exact confidence (delegates to {!Pqdb_urel.Confidence}); for tests and
+    error measurement. *)

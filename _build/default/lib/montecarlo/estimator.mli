@@ -1,0 +1,35 @@
+(** Incremental Karp-Luby estimator state — the refinable values consumed by
+    the Figure-3 predicate-approximation algorithm.
+
+    The algorithm of Figure 3 interleaves batches of [|Fᵢ|] estimator calls
+    per approximable value with ε recomputation; this module keeps the running
+    trial count and success sum so each batch just continues the walk.  The
+    current error bound after [m] trials at relative width [ε] is
+    [δᵢ(ε) = 2·exp(−m·ε²/(3·|Fᵢ|))]. *)
+
+open Pqdb_numeric
+
+type t
+
+val create : Dnf.t -> t
+val dnf : t -> Dnf.t
+
+val is_degenerate : t -> bool
+(** Trivially true/false DNFs need no sampling and have error 0. *)
+
+val batch : Rng.t -> t -> int -> unit
+(** Run [n] more estimator calls (no-op on degenerate DNFs). *)
+
+val step_round : Rng.t -> t -> unit
+(** One Figure-3 round: [|Fᵢ|] estimator calls. *)
+
+val trials : t -> int
+val estimate : t -> float
+(** Current [p̂ = X·M/m]; exact 0/1 for degenerate DNFs; 0 before any
+    trial. *)
+
+val delta_bound : t -> eps:float -> float
+(** [δᵢ(ε)] after the trials so far (0 for degenerate DNFs). *)
+
+val trials_to_reach : t -> eps:float -> delta:float -> int
+(** Additional trials needed so that [delta_bound] drops to [delta]. *)

@@ -1,0 +1,27 @@
+open Pqdb_numeric
+
+let run rng dnf ~trials =
+  if Dnf.is_trivially_false dnf then 0.
+  else if Dnf.is_trivially_true dnf then 1.
+  else begin
+    if trials <= 0 then invalid_arg "Karp_luby.run: trials must be positive";
+    let x = ref 0 in
+    for _ = 1 to trials do
+      x := !x + Dnf.sample_estimator rng dnf
+    done;
+    float_of_int !x *. Dnf.total_weight dnf /. float_of_int trials
+  end
+
+let trials_for dnf ~eps ~delta =
+  if Dnf.is_trivially_false dnf || Dnf.is_trivially_true dnf then 0
+  else
+    Stats.karp_luby_trials ~clauses:(Dnf.clause_count dnf) ~eps ~delta
+
+let fpras rng dnf ~eps ~delta =
+  if eps <= 0. || delta <= 0. then invalid_arg "Karp_luby.fpras";
+  if Dnf.is_trivially_false dnf then 0.
+  else if Dnf.is_trivially_true dnf then 1.
+  else run rng dnf ~trials:(trials_for dnf ~eps ~delta)
+
+let confidence rng w clauses ~eps ~delta =
+  fpras rng (Dnf.prepare w clauses) ~eps ~delta

@@ -1,0 +1,24 @@
+(** The Karp-Luby FPRAS for confidence computation (Section 4,
+    Proposition 4.2).
+
+    Running the estimator [m] times and averaging gives
+    [p̂ = X·M/m] with [Pr(|p̂ − p| ≥ ε·p) ≤ 2·exp(−m·ε²/(3·|F|))]; choosing
+    [m = ⌈3·|F|·ln(2/δ)/ε²⌉] yields an (ε, δ) guarantee. *)
+
+open Pqdb_numeric
+open Pqdb_urel
+
+val run : Rng.t -> Dnf.t -> trials:int -> float
+(** [p̂] after exactly [trials] estimator calls.  Degenerate DNFs (no clauses
+    / empty clause) return 0 or 1 without sampling. *)
+
+val fpras : Rng.t -> Dnf.t -> eps:float -> delta:float -> float
+(** The (ε, δ) approximation scheme: picks the Chernoff-derived trial count.
+    @raise Invalid_argument when [eps <= 0] or [delta <= 0]. *)
+
+val trials_for : Dnf.t -> eps:float -> delta:float -> int
+(** The [m] used by {!fpras} (0 for degenerate DNFs). *)
+
+val confidence : Rng.t -> Wtable.t -> Assignment.t list ->
+  eps:float -> delta:float -> float
+(** Convenience: prepare + fpras. *)

@@ -1,0 +1,1 @@
+lib/numeric/interval.ml: Array Float Format Seq

@@ -1,0 +1,1 @@
+lib/numeric/interval.mli: Format Seq

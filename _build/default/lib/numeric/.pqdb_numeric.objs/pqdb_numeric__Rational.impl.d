@@ -1,0 +1,1 @@
+lib/numeric/rational.ml: Bigint Float Format Int64 List Stdlib String

@@ -1,0 +1,39 @@
+type t = { lo : float; hi : float }
+
+let make lo hi =
+  if Float.is_nan lo || Float.is_nan hi || lo > hi then
+    invalid_arg "Interval.make"
+  else { lo; hi }
+
+let point x = make x x
+let mem x { lo; hi } = lo <= x && x <= hi
+let width { lo; hi } = hi -. lo
+let center { lo; hi } = (lo +. hi) /. 2.
+let intersects a b = a.lo <= b.hi && b.lo <= a.hi
+let contains outer inner = outer.lo <= inner.lo && inner.hi <= outer.hi
+let pp fmt { lo; hi } = Format.fprintf fmt "[%g, %g]" lo hi
+
+let relative ~eps p_hat =
+  let a = p_hat /. (1. +. eps) and b = p_hat /. (1. -. eps) in
+  if a <= b then make a b else make b a
+
+let absolute_relative ~eps p =
+  let a = p *. (1. -. eps) and b = p *. (1. +. eps) in
+  if a <= b then make a b else make b a
+
+type orthotope = t array
+
+let orthotope_relative ~eps point = Array.map (relative ~eps) point
+let orthotope_absolute ~eps point = Array.map (absolute_relative ~eps) point
+let corner_count o = 1 lsl Array.length o
+let mem_point p o = Array.for_all2 (fun x iv -> mem x iv) p o
+
+let corners o =
+  let k = Array.length o in
+  let n = 1 lsl k in
+  let corner i =
+    Array.init k (fun j -> if (i lsr j) land 1 = 0 then o.(j).lo else o.(j).hi)
+  in
+  Seq.init n corner
+
+let sample draw o = Array.map (fun iv -> draw iv.lo iv.hi) o

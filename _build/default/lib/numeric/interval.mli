@@ -1,0 +1,49 @@
+(** Closed float intervals and the relative-error orthotopes of Section 5.
+
+    Lemma 5.1 bounds the error of a predicate decision by the probability mass
+    outside the axis-parallel orthotope
+    [(p̂₁/(1+ε), p̂₁/(1−ε)) × … × (p̂ₖ/(1+ε), p̂ₖ/(1−ε))]; this module provides
+    the interval arithmetic used to build, test and enumerate the corners of
+    such orthotopes. *)
+
+type t = { lo : float; hi : float }
+
+val make : float -> float -> t
+(** [make lo hi]; @raise Invalid_argument if [lo > hi] or either is NaN. *)
+
+val point : float -> t
+val mem : float -> t -> bool
+val width : t -> float
+val center : t -> float
+val intersects : t -> t -> bool
+val contains : t -> t -> bool
+(** [contains outer inner]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val relative : eps:float -> float -> t
+(** [relative ~eps p_hat] is the Lemma 5.1 interval
+    [\[p̂/(1+ε), p̂/(1−ε)\]] (for [p_hat >= 0] and [0 <= eps < 1]).
+    For negative [p_hat] the endpoints are swapped so the result is a valid
+    interval. *)
+
+val absolute_relative : eps:float -> float -> t
+(** [absolute_relative ~eps p] is [\[p·(1−ε), p·(1+ε)\]] — the Definition 5.6
+    singularity neighbourhood [{x : |p − x| <= ε·p}] around the {e true}
+    value. *)
+
+(** {1 Orthotopes} *)
+
+type orthotope = t array
+
+val orthotope_relative : eps:float -> float array -> orthotope
+val orthotope_absolute : eps:float -> float array -> orthotope
+
+val corners : orthotope -> float array Seq.t
+(** All 2{^k} corner points, lazily. *)
+
+val corner_count : orthotope -> int
+val mem_point : float array -> orthotope -> bool
+val sample : (float -> float -> float) -> orthotope -> float array
+(** [sample draw o] picks a point via [draw lo hi] per axis (used by
+    property tests with a RNG-backed [draw]). *)

@@ -1,0 +1,47 @@
+type t = Random.State.t
+
+let create ~seed = Random.State.make [| seed; 0x9e3779b9; seed lxor 0x5deece66d |]
+let split t = Random.State.make [| Random.State.bits t; Random.State.bits t |]
+let copy = Random.State.copy
+let int t bound = Random.State.int t bound
+let float t bound = Random.State.float t bound
+let float_range t lo hi = lo +. Random.State.float t (hi -. lo)
+let bool t = Random.State.bool t
+
+let bernoulli t p =
+  if p <= 0. then false
+  else if p >= 1. then true
+  else Random.State.float t 1. < p
+
+module Discrete = struct
+  type dist = { cumulative : float array; total : float }
+
+  let of_weights weights =
+    let n = Array.length weights in
+    if n = 0 then invalid_arg "Rng.Discrete.of_weights: empty";
+    let cumulative = Array.make n 0. in
+    let acc = ref 0. in
+    for i = 0 to n - 1 do
+      if weights.(i) < 0. then
+        invalid_arg "Rng.Discrete.of_weights: negative weight";
+      acc := !acc +. weights.(i);
+      cumulative.(i) <- !acc
+    done;
+    if !acc <= 0. then invalid_arg "Rng.Discrete.of_weights: zero total";
+    { cumulative; total = !acc }
+
+  let total d = d.total
+  let size d = Array.length d.cumulative
+
+  let sample t d =
+    let x = Random.State.float t d.total in
+    (* Smallest index with cumulative.(i) > x. *)
+    let rec search lo hi =
+      if lo >= hi then lo
+      else begin
+        let mid = (lo + hi) / 2 in
+        if d.cumulative.(mid) > x then search lo mid else search (mid + 1) hi
+      end
+    in
+    search 0 (Array.length d.cumulative - 1)
+end

@@ -1,0 +1,42 @@
+(** Seeded random number generation for reproducible Monte-Carlo runs.
+
+    A thin layer over [Random.State] adding the discrete distributions the
+    Karp-Luby estimator needs: weighted choice over a cumulative table, and
+    Bernoulli draws.  Every experiment in the bench harness threads an
+    explicit [Rng.t] so that runs are reproducible bit-for-bit. *)
+
+type t
+
+val create : seed:int -> t
+val split : t -> t
+(** A fresh generator deterministically derived from (and advancing) the
+    parent — used to give independent streams to independent estimators. *)
+
+val copy : t -> t
+val int : t -> int -> int
+(** Uniform on [\[0, bound)]. *)
+
+val float : t -> float -> float
+(** Uniform on [\[0, bound)]. *)
+
+val float_range : t -> float -> float -> float
+(** Uniform on [\[lo, hi\]]. *)
+
+val bool : t -> bool
+val bernoulli : t -> float -> bool
+(** [bernoulli rng p] is true with probability [p] (clamped to [0,1]). *)
+
+(** {1 Weighted discrete choice} *)
+
+module Discrete : sig
+  type dist
+  (** A discrete distribution over indices [0..n-1] prepared for O(log n)
+      sampling via a cumulative-sum table. *)
+
+  val of_weights : float array -> dist
+  (** @raise Invalid_argument if weights are negative or all zero. *)
+
+  val total : dist -> float
+  val sample : t -> dist -> int
+  val size : dist -> int
+end

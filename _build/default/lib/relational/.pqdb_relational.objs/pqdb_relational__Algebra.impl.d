@@ -1,0 +1,1 @@
+lib/relational/algebra.ml: Expr Format Hashtbl List Predicate Relation Schema Tuple Value

@@ -1,0 +1,1 @@
+lib/relational/algebra.mli: Expr Predicate Relation Tuple

@@ -1,0 +1,1 @@
+lib/relational/csv.ml: Buffer Fun In_channel List Relation Schema String Tuple Value

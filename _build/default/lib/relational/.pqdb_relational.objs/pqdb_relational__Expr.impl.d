@@ -1,0 +1,1 @@
+lib/relational/expr.ml: Format List Schema Tuple Value

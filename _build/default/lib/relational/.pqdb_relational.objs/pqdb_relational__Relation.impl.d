@@ -1,0 +1,1 @@
+lib/relational/relation.ml: Format List Schema Set Stdlib String Tuple Value

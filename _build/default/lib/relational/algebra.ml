@@ -1,0 +1,81 @@
+type projection = Expr.t * string
+
+let select pred r =
+  Predicate.check (Relation.schema r) pred;
+  Relation.filter (fun t -> Predicate.eval (Relation.schema r) t pred) r
+
+let project cols r =
+  let in_schema = Relation.schema r in
+  List.iter (fun (e, _) -> Expr.check in_schema e) cols;
+  let out_schema = Schema.of_list (List.map snd cols) in
+  let exprs = List.map fst cols in
+  Relation.map out_schema
+    (fun t -> Tuple.of_list (List.map (Expr.eval in_schema t) exprs))
+    r
+
+let project_attrs names r = project (List.map (fun a -> (Expr.attr a, a)) names) r
+
+let rename mapping r =
+  let out_schema = Schema.rename (Relation.schema r) mapping in
+  (* Positions are unchanged; only the schema header moves. *)
+  Relation.map out_schema (fun t -> t) r
+
+let product a b =
+  let out_schema = Schema.concat (Relation.schema a) (Relation.schema b) in
+  Relation.fold
+    (fun ta acc ->
+      Relation.fold
+        (fun tb acc -> Relation.add acc (Tuple.concat ta tb))
+        b acc)
+    a (Relation.empty out_schema)
+
+let join a b =
+  let sa = Relation.schema a and sb = Relation.schema b in
+  let shared = Schema.common sa sb in
+  let sb_only =
+    List.filter (fun x -> not (List.mem x shared)) (Schema.attributes sb)
+  in
+  let out_schema = Schema.of_list (Schema.attributes sa @ sb_only) in
+  let key schema t = List.map (fun x -> Tuple.get_named schema t x) shared in
+  let sb_only_positions = List.map (Schema.index sb) sb_only in
+  (* Hash b's tuples by their shared-attribute key. *)
+  let index = Hashtbl.create (max 16 (Relation.cardinality b)) in
+  Relation.iter
+    (fun tb ->
+      let k = List.map Value.to_string (key sb tb) in
+      Hashtbl.add index k tb)
+    b;
+  Relation.fold
+    (fun ta acc ->
+      let k = List.map Value.to_string (key sa ta) in
+      List.fold_left
+        (fun acc tb ->
+          (* String keys can collide across types; re-check with Value.equal. *)
+          if List.for_all2 Value.equal (key sa ta) (key sb tb) then
+            Relation.add acc (Tuple.concat ta (Tuple.project tb sb_only_positions))
+          else acc)
+        acc
+        (Hashtbl.find_all index k))
+    a (Relation.empty out_schema)
+
+let theta_join pred a b = select pred (product a b)
+let union = Relation.union
+let diff = Relation.diff
+let inter = Relation.inter
+
+let group_by keys r =
+  let schema = Relation.schema r in
+  let positions = List.map (Schema.index schema) keys in
+  let table = Hashtbl.create 64 in
+  let order = ref [] in
+  Relation.iter
+    (fun t ->
+      let k = Tuple.project t positions in
+      let ks = Format.asprintf "%a" Tuple.pp k in
+      (match Hashtbl.find_opt table ks with
+      | Some (key, group) -> Hashtbl.replace table ks (key, Relation.add group t)
+      | None ->
+          order := ks :: !order;
+          Hashtbl.add table ks (k, Relation.add (Relation.empty schema) t)))
+    r;
+  List.rev_map (fun ks -> Hashtbl.find table ks) !order

@@ -1,0 +1,16 @@
+(** Minimal CSV import/export for relations.
+
+    The CLI loads base tables from CSV files with a header row.  Values are
+    parsed with {!Value.parse} (integers, rationals [n/d], floats, booleans,
+    strings).  Quoting: double quotes with doubled-quote escapes; quoted
+    fields are always treated as strings. *)
+
+val parse_string : string -> Relation.t
+(** @raise Invalid_argument on an empty input, ragged rows or duplicate
+    header names. *)
+
+val load : string -> Relation.t
+(** Read a file. @raise Sys_error on I/O failure. *)
+
+val to_string : Relation.t -> string
+val save : string -> Relation.t -> unit

@@ -1,0 +1,48 @@
+type t =
+  | Attr of string
+  | Const of Value.t
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Div of t * t
+  | Neg of t
+
+let attr a = Attr a
+let const v = Const v
+let int n = Const (Value.Int n)
+let ( + ) a b = Add (a, b)
+let ( - ) a b = Sub (a, b)
+let ( * ) a b = Mul (a, b)
+let ( / ) a b = Div (a, b)
+
+let rec eval schema tuple = function
+  | Attr a -> Tuple.get tuple (Schema.index schema a)
+  | Const v -> v
+  | Add (x, y) -> Value.add (eval schema tuple x) (eval schema tuple y)
+  | Sub (x, y) -> Value.sub (eval schema tuple x) (eval schema tuple y)
+  | Mul (x, y) -> Value.mul (eval schema tuple x) (eval schema tuple y)
+  | Div (x, y) -> Value.div (eval schema tuple x) (eval schema tuple y)
+  | Neg x -> Value.neg (eval schema tuple x)
+
+let attributes e =
+  let rec go acc = function
+    | Attr a -> if List.mem a acc then acc else a :: acc
+    | Const _ -> acc
+    | Add (x, y) | Sub (x, y) | Mul (x, y) | Div (x, y) -> go (go acc x) y
+    | Neg x -> go acc x
+  in
+  List.rev (go [] e)
+
+let check schema e =
+  List.iter (fun a -> ignore (Schema.index schema a)) (attributes e)
+
+let rec pp fmt = function
+  | Attr a -> Format.pp_print_string fmt a
+  | Const v -> Value.pp fmt v
+  | Add (x, y) -> Format.fprintf fmt "(%a + %a)" pp x pp y
+  | Sub (x, y) -> Format.fprintf fmt "(%a - %a)" pp x pp y
+  | Mul (x, y) -> Format.fprintf fmt "(%a * %a)" pp x pp y
+  | Div (x, y) -> Format.fprintf fmt "(%a / %a)" pp x pp y
+  | Neg x -> Format.fprintf fmt "(-%a)" pp x
+
+let equal = ( = )

@@ -1,0 +1,38 @@
+(** Scalar expressions over tuple attributes.
+
+    Section 2 allows arithmetic expressions in atomic selection conditions and
+    in the argument lists of π and ρ (e.g. [ρ_{A+B→C}(R)], or the
+    [P1/P2 → P] projection computing a conditional probability in
+    Example 2.2). *)
+
+type t =
+  | Attr of string          (** attribute reference *)
+  | Const of Value.t        (** literal *)
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Div of t * t
+  | Neg of t
+
+val attr : string -> t
+val const : Value.t -> t
+val int : int -> t
+val ( + ) : t -> t -> t
+val ( - ) : t -> t -> t
+val ( * ) : t -> t -> t
+val ( / ) : t -> t -> t
+
+val eval : Schema.t -> Tuple.t -> t -> Value.t
+(** @raise Not_found on an unknown attribute.
+    @raise Invalid_argument on non-numeric arithmetic.
+    @raise Division_by_zero accordingly. *)
+
+val attributes : t -> string list
+(** Attributes mentioned, without duplicates, in first-occurrence order. *)
+
+val check : Schema.t -> t -> unit
+(** Validate all attribute references.
+    @raise Not_found on the first unknown attribute. *)
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

@@ -1,0 +1,97 @@
+module TS = Set.Make (struct
+  type t = Tuple.t
+
+  let compare = Tuple.compare
+end)
+
+type t = { schema : Schema.t; set : TS.t }
+
+let check_arity schema tuple =
+  if Tuple.arity tuple <> Schema.arity schema then
+    invalid_arg "Relation: tuple arity does not match schema"
+
+let empty schema = { schema; set = TS.empty }
+
+let of_list schema tuples =
+  List.iter (check_arity schema) tuples;
+  { schema; set = TS.of_list tuples }
+
+let of_rows names rows =
+  of_list (Schema.of_list names) (List.map Tuple.of_list rows)
+
+let schema r = r.schema
+let cardinality r = TS.cardinal r.set
+let is_empty r = TS.is_empty r.set
+let mem r t = TS.mem t r.set
+let tuples r = TS.elements r.set
+let fold f r init = TS.fold f r.set init
+let iter f r = TS.iter f r.set
+let filter p r = { r with set = TS.filter p r.set }
+
+let add r t =
+  check_arity r.schema t;
+  { r with set = TS.add t r.set }
+
+let map schema f r =
+  let set =
+    TS.fold
+      (fun t acc ->
+        let t' = f t in
+        check_arity schema t';
+        TS.add t' acc)
+      r.set TS.empty
+  in
+  { schema; set }
+
+let require_same_schema op a b =
+  if not (Schema.equal a.schema b.schema) then
+    invalid_arg ("Relation." ^ op ^ ": schema mismatch")
+
+let union a b =
+  require_same_schema "union" a b;
+  { a with set = TS.union a.set b.set }
+
+let diff a b =
+  require_same_schema "diff" a b;
+  { a with set = TS.diff a.set b.set }
+
+let inter a b =
+  require_same_schema "inter" a b;
+  { a with set = TS.inter a.set b.set }
+
+let equal a b = Schema.equal a.schema b.schema && TS.equal a.set b.set
+
+let compare a b =
+  let c =
+    Stdlib.compare (Schema.attributes a.schema) (Schema.attributes b.schema)
+  in
+  if c <> 0 then c else TS.compare a.set b.set
+
+let pp fmt r =
+  let attrs = Schema.attributes r.schema in
+  let rows = List.map (fun t -> List.map Value.to_string (Tuple.to_list t)) (tuples r) in
+  let widths =
+    List.mapi
+      (fun i a ->
+        List.fold_left
+          (fun w row -> max w (String.length (List.nth row i)))
+          (String.length a) rows)
+      attrs
+  in
+  let pad s w = s ^ String.make (max 0 (w - String.length s)) ' ' in
+  let print_row cells =
+    Format.fprintf fmt "| %s |@,"
+      (String.concat " | " (List.map2 pad cells widths))
+  in
+  let rule =
+    "+"
+    ^ String.concat "+" (List.map (fun w -> String.make (w + 2) '-') widths)
+    ^ "+"
+  in
+  Format.pp_open_vbox fmt 0;
+  Format.fprintf fmt "%s@," rule;
+  print_row attrs;
+  Format.fprintf fmt "%s@," rule;
+  List.iter print_row rows;
+  Format.fprintf fmt "%s" rule;
+  Format.pp_close_box fmt ()

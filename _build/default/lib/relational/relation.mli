@@ -1,0 +1,49 @@
+(** Relations with set semantics: a schema plus a set of tuples.
+
+    The paper's algebra is set-based (duplicate elimination is implicit in π
+    and ∪), so relations are backed by a balanced tree set ordered by
+    {!Tuple.compare}. *)
+
+type t
+
+val empty : Schema.t -> t
+val of_list : Schema.t -> Tuple.t list -> t
+(** Duplicates are eliminated.
+    @raise Invalid_argument if a tuple's arity differs from the schema's. *)
+
+val of_rows : string list -> Value.t list list -> t
+(** Convenience: schema from attribute names, tuples from value lists. *)
+
+val schema : t -> Schema.t
+val cardinality : t -> int
+val is_empty : t -> bool
+val mem : t -> Tuple.t -> bool
+val tuples : t -> Tuple.t list
+(** In tuple order. *)
+
+val fold : (Tuple.t -> 'a -> 'a) -> t -> 'a -> 'a
+val iter : (Tuple.t -> unit) -> t -> unit
+val filter : (Tuple.t -> bool) -> t -> t
+val add : t -> Tuple.t -> t
+(** @raise Invalid_argument on arity mismatch. *)
+
+val map : Schema.t -> (Tuple.t -> Tuple.t) -> t -> t
+(** Rebuilds the set under a new schema; deduplicates. *)
+
+val union : t -> t -> t
+(** @raise Invalid_argument unless schemas are equal. *)
+
+val diff : t -> t -> t
+(** @raise Invalid_argument unless schemas are equal. *)
+
+val inter : t -> t -> t
+val equal : t -> t -> bool
+(** Same schema and same tuple set. *)
+
+val compare : t -> t -> int
+(** Total order (schema, then tuple set) so relations can key maps — the
+    possible-worlds evaluator deduplicates worlds by comparing all their
+    relations. *)
+
+val pp : Format.formatter -> t -> unit
+(** ASCII table with a header row. *)

@@ -1,0 +1,64 @@
+type t = { attrs : string array }
+
+let check_distinct attrs =
+  let seen = Hashtbl.create 16 in
+  Array.iter
+    (fun a ->
+      if Hashtbl.mem seen a then
+        invalid_arg ("Schema: duplicate attribute " ^ a)
+      else Hashtbl.add seen a ())
+    attrs
+
+let of_list names =
+  let attrs = Array.of_list names in
+  check_distinct attrs;
+  { attrs }
+
+let attributes s = Array.to_list s.attrs
+let arity s = Array.length s.attrs
+
+let index_opt s name =
+  let n = Array.length s.attrs in
+  let rec go i =
+    if i >= n then None else if s.attrs.(i) = name then Some i else go (i + 1)
+  in
+  go 0
+
+let index s name =
+  match index_opt s name with Some i -> i | None -> raise Not_found
+
+let mem s name = index_opt s name <> None
+let equal a b = a.attrs = b.attrs
+
+let pp fmt s =
+  Format.fprintf fmt "(%a)"
+    (Format.pp_print_list
+       ~pp_sep:(fun f () -> Format.pp_print_string f ", ")
+       Format.pp_print_string)
+    (attributes s)
+
+let concat a b =
+  let attrs = Array.append a.attrs b.attrs in
+  check_distinct attrs;
+  { attrs }
+
+let rename s mapping =
+  List.iter
+    (fun (src, _) -> if not (mem s src) then raise Not_found)
+    mapping;
+  let attrs =
+    Array.map
+      (fun a -> match List.assoc_opt a mapping with Some b -> b | None -> a)
+      s.attrs
+  in
+  check_distinct attrs;
+  { attrs }
+
+let restrict s names =
+  List.iter (fun a -> ignore (index s a)) names;
+  of_list names
+
+let common a b = List.filter (mem b) (attributes a)
+
+let minus s names =
+  of_list (List.filter (fun a -> not (List.mem a names)) (attributes s))

@@ -1,0 +1,40 @@
+(** Relation schemas: ordered lists of distinct attribute names.
+
+    Attribute order matters (tuples are positional), but operations such as
+    projection and natural join work by name, as in the paper's algebra. *)
+
+type t
+
+val of_list : string list -> t
+(** @raise Invalid_argument on duplicate attribute names. *)
+
+val attributes : t -> string list
+val arity : t -> int
+val mem : t -> string -> bool
+
+val index : t -> string -> int
+(** Position of an attribute.
+    @raise Not_found when absent. *)
+
+val index_opt : t -> string -> int option
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val concat : t -> t -> t
+(** Schema of a product; @raise Invalid_argument on name clashes. *)
+
+val rename : t -> (string * string) list -> t
+(** [rename s \[(a, b); …\]] renames attribute [a] to [b], keeping order.
+    Unmentioned attributes are unchanged.
+    @raise Not_found if a source attribute is absent.
+    @raise Invalid_argument if the result has duplicates. *)
+
+val restrict : t -> string list -> t
+(** Subschema in the {e given} order (projection list order).
+    @raise Not_found if an attribute is absent. *)
+
+val common : t -> t -> string list
+(** Attributes present in both schemas, in the order of the first. *)
+
+val minus : t -> string list -> t
+(** Drop the given attributes (used by repair-key's "all other columns"). *)

@@ -1,0 +1,40 @@
+type t = Value.t array
+
+let of_list = Array.of_list
+let of_array = Array.copy
+let to_list = Array.to_list
+let to_array = Array.copy
+let arity = Array.length
+let get t i = t.(i)
+let get_named schema t name = t.(Schema.index schema name)
+let project t positions = Array.of_list (List.map (Array.get t) positions)
+let concat = Array.append
+
+let compare a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Stdlib.compare la lb
+  else begin
+    let rec go i =
+      if i >= la then 0
+      else begin
+        let c = Value.compare a.(i) b.(i) in
+        if c <> 0 then c else go (i + 1)
+      end
+    in
+    go 0
+  end
+
+let equal a b = compare a b = 0
+
+let hash t =
+  Array.fold_left
+    (fun acc v -> (acc * 31) + Hashtbl.hash (Value.to_string v))
+    7 t
+  land max_int
+
+let pp fmt t =
+  Format.fprintf fmt "(%a)"
+    (Format.pp_print_list
+       ~pp_sep:(fun f () -> Format.pp_print_string f ", ")
+       Value.pp)
+    (to_list t)

@@ -1,0 +1,23 @@
+(** Tuples: positional value vectors interpreted against a {!Schema}. *)
+
+type t
+
+val of_list : Value.t list -> t
+val of_array : Value.t array -> t
+val to_list : t -> Value.t list
+val to_array : t -> Value.t array
+(** The returned array is a copy; tuples are immutable. *)
+
+val arity : t -> int
+val get : t -> int -> Value.t
+val get_named : Schema.t -> t -> string -> Value.t
+(** @raise Not_found when the attribute is absent. *)
+
+val project : t -> int list -> t
+(** Select positions in the given order. *)
+
+val concat : t -> t -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit

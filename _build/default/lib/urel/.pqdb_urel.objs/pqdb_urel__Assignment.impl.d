@@ -1,0 +1,1 @@
+lib/urel/assignment.ml: Array Format Hashtbl List Pqdb_numeric Printf Rational Stdlib String Wtable

@@ -1,0 +1,1 @@
+lib/urel/assignment.mli: Format Pqdb_numeric Rational Wtable

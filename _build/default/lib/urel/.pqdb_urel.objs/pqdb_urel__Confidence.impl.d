@@ -1,0 +1,1 @@
+lib/urel/confidence.ml: Array Assignment Fun Hashtbl List Option Pqdb_numeric Rational String Urelation Wtable

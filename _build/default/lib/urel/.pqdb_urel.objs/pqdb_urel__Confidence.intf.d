@@ -1,0 +1,1 @@
+lib/urel/confidence.mli: Assignment Pqdb_numeric Pqdb_relational Rational Urelation Wtable

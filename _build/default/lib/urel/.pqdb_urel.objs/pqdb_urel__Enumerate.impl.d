@@ -1,0 +1,1 @@
+lib/urel/enumerate.ml: Assignment List Pdb Pqdb_numeric Pqdb_relational Pqdb_worlds Rational Relation Udb Urelation Wtable

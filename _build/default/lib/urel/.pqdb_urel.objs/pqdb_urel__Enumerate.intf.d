@@ -1,0 +1,1 @@
+lib/urel/enumerate.mli: Pdb Pqdb_numeric Pqdb_worlds Rational Udb Urelation Wtable

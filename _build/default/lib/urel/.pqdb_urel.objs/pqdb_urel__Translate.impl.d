@@ -1,0 +1,1 @@
+lib/urel/translate.ml: Algebra Assignment Expr Format Hashtbl List Pqdb_numeric Pqdb_relational Predicate Rational Relation Schema Tuple Urelation Value Wtable

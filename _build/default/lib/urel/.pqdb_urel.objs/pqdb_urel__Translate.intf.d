@@ -1,0 +1,1 @@
+lib/urel/translate.mli: Expr Pqdb_relational Predicate Relation Urelation Wtable

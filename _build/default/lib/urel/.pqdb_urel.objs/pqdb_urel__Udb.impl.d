@@ -1,0 +1,1 @@
+lib/urel/udb.ml: Format List Urelation Wtable

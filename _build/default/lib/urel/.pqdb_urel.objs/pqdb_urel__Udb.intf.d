@@ -1,0 +1,1 @@
+lib/urel/udb.mli: Format Pqdb_relational Relation Urelation Wtable

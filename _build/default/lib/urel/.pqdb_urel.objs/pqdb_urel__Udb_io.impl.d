@@ -1,0 +1,1 @@
+lib/urel/udb_io.ml: Assignment Csv Filename Hashtbl List Pqdb_numeric Pqdb_relational Printf Rational Relation Schema String Sys Tuple Udb Urelation Value Wtable

@@ -1,0 +1,1 @@
+lib/urel/udb_io.mli: Udb

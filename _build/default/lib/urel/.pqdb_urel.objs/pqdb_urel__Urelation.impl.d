@@ -1,0 +1,1 @@
+lib/urel/urelation.ml: Assignment Format List Pqdb_relational Relation Schema Set Tuple

@@ -1,0 +1,1 @@
+lib/urel/urelation.mli: Assignment Format Pqdb_relational Relation Schema Tuple Wtable

@@ -1,0 +1,1 @@
+lib/urel/vertical.ml: Array Assignment List Pqdb_numeric Pqdb_relational Printf Rational Schema Tuple Urelation Value Wtable

@@ -1,0 +1,1 @@
+lib/urel/vertical.mli: Pqdb_numeric Pqdb_relational Rational Urelation Value Wtable

@@ -1,0 +1,1 @@
+lib/urel/wtable.ml: Array Fun List Pqdb_numeric Pqdb_relational Rational Relation Value

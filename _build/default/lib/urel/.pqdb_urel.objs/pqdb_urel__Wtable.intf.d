@@ -1,0 +1,1 @@
+lib/urel/wtable.mli: Format Pqdb_numeric Pqdb_relational Rational Relation

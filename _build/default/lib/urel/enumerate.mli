@@ -1,0 +1,30 @@
+(** World enumeration and conversions between the succinct (U-relational) and
+    nonsuccinct (explicit worlds) representations.
+
+    [decode] realizes the semantics of Section 3: each total assignment
+    [f* : Var → Dom] identifies a possible world; a tuple is in the world
+    when some of its representation rows is consistent with [f*].
+    [of_pdb] witnesses Theorem 3.1 (completeness): any finite weighted world
+    set is representable, using one fresh variable whose domain indexes the
+    worlds.  Both directions are exponential-size in general — test/diagnostic
+    machinery, not the query path. *)
+
+open Pqdb_numeric
+open Pqdb_worlds
+
+val total_assignments :
+  Wtable.t -> Wtable.var list -> ((Wtable.var -> int) * Rational.t) list
+(** All total assignments of the listed variables with their weights. *)
+
+val decode : Wtable.t -> Urelation.t -> Pdb.prel
+(** The weighted set of possible relations represented by a U-relation
+    (worlds merged by relation value). *)
+
+val to_pdb : Udb.t -> Pdb.t
+(** Explicit possible-worlds database equivalent to the U-relational
+    database. *)
+
+val of_pdb : Pdb.t -> Udb.t
+(** Succinct-side image of an explicit database (Theorem 3.1).  Complete
+    relations stay condition-free; uncertain relations are conditioned on a
+    single world-selector variable. *)

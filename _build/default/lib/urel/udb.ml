@@ -1,0 +1,56 @@
+
+type t = {
+  mutable w : Wtable.t;
+  mutable rels : (string * Urelation.t) list;
+  mutable complete : string list;
+}
+
+let create () = { w = Wtable.create (); rels = []; complete = [] }
+let wtable t = t.w
+
+let check_fresh t name =
+  if List.mem_assoc name t.rels then
+    invalid_arg ("Udb: relation already defined: " ^ name)
+
+let add_complete t name rel =
+  check_fresh t name;
+  t.rels <- t.rels @ [ (name, Urelation.of_relation rel) ];
+  t.complete <- name :: t.complete
+
+let add_urelation ?(complete = false) t name u =
+  check_fresh t name;
+  t.rels <- t.rels @ [ (name, u) ];
+  if complete then t.complete <- name :: t.complete
+
+let find t name =
+  match List.assoc_opt name t.rels with
+  | Some u -> u
+  | None -> raise Not_found
+
+let mem t name = List.mem_assoc name t.rels
+let names t = List.map fst t.rels
+let is_complete t name = List.mem name t.complete
+
+let copy t =
+  (* The W table is rebuilt variable by variable; U-relations are
+     immutable. *)
+  let w = Wtable.create () in
+  List.iter
+    (fun v ->
+      let dist =
+        List.init (Wtable.domain_size t.w v) (fun x -> Wtable.prob t.w v x)
+      in
+      ignore (Wtable.add_var ~name:(Wtable.name t.w v) w dist))
+    (Wtable.vars t.w);
+  { w; rels = t.rels; complete = t.complete }
+
+let pp fmt t =
+  Format.pp_open_vbox fmt 0;
+  Format.fprintf fmt "W table:@,%a@," Wtable.pp t.w;
+  List.iter
+    (fun (name, u) ->
+      Format.fprintf fmt "%s%s:@,%a@," name
+        (if is_complete t name then " (complete)" else "")
+        Urelation.pp u)
+    t.rels;
+  Format.pp_close_box fmt ()

@@ -1,0 +1,34 @@
+(** U-relational databases: a W table plus named U-relations
+    [⟨U_{R₁}, …, U_{Rₖ}, W⟩] (Section 3).
+
+    The W table is shared and mutable — [repair-key] grows it during query
+    evaluation.  Relations marked complete are certain by definition
+    (the [c] function of Section 2). *)
+
+open Pqdb_relational
+
+type t
+
+val create : unit -> t
+val wtable : t -> Wtable.t
+
+val add_complete : t -> string -> Relation.t -> unit
+(** Register a complete base relation.
+    @raise Invalid_argument on duplicate names. *)
+
+val add_urelation : ?complete:bool -> t -> string -> Urelation.t -> unit
+(** Register an uncertain relation represented by a U-relation.
+    [complete] defaults to false. *)
+
+val find : t -> string -> Urelation.t
+(** @raise Not_found on unknown names. *)
+
+val mem : t -> string -> bool
+val names : t -> string list
+val is_complete : t -> string -> bool
+
+val copy : t -> t
+(** Deep enough a copy that evaluating queries (which mutates the W table)
+    does not affect the original. *)
+
+val pp : Format.formatter -> t -> unit

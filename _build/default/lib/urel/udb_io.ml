@@ -1,0 +1,170 @@
+open Pqdb_numeric
+open Pqdb_relational
+
+let manifest_file = "manifest.csv"
+let wtable_file = "wtable.csv"
+let rel_file name = "rel_" ^ name ^ ".csv"
+
+(* --- conditions --------------------------------------------------------- *)
+
+let condition_to_string a =
+  String.concat ";"
+    (List.map
+       (fun (v, x) -> Printf.sprintf "x%d=%d" v x)
+       (Assignment.bindings a))
+
+let condition_of_string s =
+  if String.trim s = "" then Assignment.empty
+  else begin
+    let atom part =
+      match String.split_on_char '=' (String.trim part) with
+      | [ var; value ]
+        when String.length var > 1 && var.[0] = 'x' -> begin
+          match
+            ( int_of_string_opt (String.sub var 1 (String.length var - 1)),
+              int_of_string_opt value )
+          with
+          | Some v, Some x -> (v, x)
+          | _ -> invalid_arg ("Udb_io: bad condition atom " ^ part)
+        end
+      | _ -> invalid_arg ("Udb_io: bad condition atom " ^ part)
+    in
+    Assignment.of_list (List.map atom (String.split_on_char ';' s))
+  end
+
+(* --- save ---------------------------------------------------------------- *)
+
+let save dir udb =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let w = Udb.wtable udb in
+  (* W table with names and exact probabilities. *)
+  let w_rows =
+    List.concat_map
+      (fun v ->
+        List.init (Wtable.domain_size w v) (fun x ->
+            [
+              Value.Int v;
+              Value.Str (Wtable.name w v);
+              Value.Int x;
+              Value.Str (Rational.to_string (Wtable.prob w v x));
+            ]))
+      (Wtable.vars w)
+  in
+  Csv.save
+    (Filename.concat dir wtable_file)
+    (Relation.of_rows [ "Var"; "Name"; "Dom"; "P" ] w_rows);
+  (* Manifest. *)
+  (* Relations are sets (sorted), so registration order needs an explicit
+     column to survive. *)
+  let manifest_rows =
+    List.mapi
+      (fun i name ->
+        [ Value.Int i; Value.Str name; Value.Bool (Udb.is_complete udb name) ])
+      (Udb.names udb)
+  in
+  Csv.save
+    (Filename.concat dir manifest_file)
+    (Relation.of_rows [ "Ord"; "Name"; "Complete" ] manifest_rows);
+  (* One file per relation, with the D column first. *)
+  List.iter
+    (fun name ->
+      let u = Udb.find udb name in
+      let attrs = Schema.attributes (Urelation.schema u) in
+      let rows =
+        List.map
+          (fun (a, t) ->
+            Value.Str (condition_to_string a) :: Tuple.to_list t)
+          (Urelation.rows u)
+      in
+      Csv.save
+        (Filename.concat dir (rel_file name))
+        (Relation.of_rows ("D" :: attrs) rows))
+    (Udb.names udb)
+
+(* --- load ---------------------------------------------------------------- *)
+
+let load dir =
+  let udb = Udb.create () in
+  let w = Udb.wtable udb in
+  (* Rebuild the W table in id order; ids must come out dense. *)
+  let wrel = Csv.load (Filename.concat dir wtable_file) in
+  let entries = Hashtbl.create 16 in
+  Relation.iter
+    (fun t ->
+      match Tuple.to_list t with
+      | [ Value.Int v; Value.Str name; Value.Int x; p ] ->
+          let prob =
+            match p with
+            | Value.Str s -> Rational.of_string s
+            | Value.Int n -> Rational.of_int n
+            | Value.Rat r -> r
+            | _ -> invalid_arg "Udb_io: bad probability"
+          in
+          let name_ref, dist =
+            match Hashtbl.find_opt entries v with
+            | Some e -> e
+            | None ->
+                let e = (ref name, Hashtbl.create 4) in
+                Hashtbl.add entries v e;
+                e
+          in
+          name_ref := name;
+          Hashtbl.replace dist x prob
+      | _ -> invalid_arg "Udb_io: bad wtable row")
+    wrel;
+  let var_count = Hashtbl.length entries in
+  for v = 0 to var_count - 1 do
+    match Hashtbl.find_opt entries v with
+    | None -> invalid_arg "Udb_io: variable ids are not dense"
+    | Some (name, dist) ->
+        let n = Hashtbl.length dist in
+        let probs =
+          List.init n (fun x ->
+              match Hashtbl.find_opt dist x with
+              | Some p -> p
+              | None -> invalid_arg "Udb_io: domain values are not dense")
+        in
+        let id = Wtable.add_var ~name:!name w probs in
+        assert (id = v)
+  done;
+  (* Relations per the manifest. *)
+  let manifest = Csv.load (Filename.concat dir manifest_file) in
+  let ordered =
+    List.sort
+      (fun a b ->
+        match (Tuple.get a 0, Tuple.get b 0) with
+        | Value.Int i, Value.Int j -> compare i j
+        | _ -> invalid_arg "Udb_io: bad manifest order column")
+      (Relation.tuples manifest)
+  in
+  List.iter
+    (fun t ->
+      match Tuple.to_list t with
+      | [ _; name_v; Value.Bool complete ] ->
+          let name = Value.to_string name_v in
+          let rel = Csv.load (Filename.concat dir (rel_file name)) in
+          let schema = Relation.schema rel in
+          let attrs =
+            match Schema.attributes schema with
+            | "D" :: rest -> rest
+            | _ -> invalid_arg ("Udb_io: relation " ^ name ^ " lacks a D column")
+          in
+          let rows =
+            List.map
+              (fun t ->
+                match Tuple.to_list t with
+                | d :: values ->
+                    let cond =
+                      match d with
+                      | Value.Str s -> condition_of_string s
+                      | _ -> invalid_arg "Udb_io: bad D value"
+                    in
+                    (cond, Tuple.of_list values)
+                | [] -> invalid_arg "Udb_io: empty row")
+              (Relation.tuples rel)
+          in
+          let u = Urelation.make (Schema.of_list attrs) rows in
+          Udb.add_urelation ~complete udb name u
+      | _ -> invalid_arg "Udb_io: bad manifest row")
+    ordered;
+  udb

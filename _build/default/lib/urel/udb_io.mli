@@ -1,0 +1,24 @@
+(** Persistence for U-relational databases.
+
+    A database is stored as a directory of CSV files:
+    - [manifest.csv] — one row per relation: name, complete flag;
+    - [wtable.csv] — one row per (variable, value): id, name, value,
+      probability (exact rational syntax, e.g. [1/3]);
+    - [rel_<name>.csv] — the U-relation: a [D] column holding the condition
+      as [x<id>=<val>] atoms joined by [';'] (empty for unconditional rows),
+      followed by the data columns.
+
+    Values round-trip through {!Pqdb_relational.Value.parse}; string values
+    that look like numbers are quoted by the CSV writer and therefore
+    survive.  Variable ids are dense and preserved exactly, so conditions
+    remain valid across save/load. *)
+
+val save : string -> Udb.t -> unit
+(** [save dir udb] creates [dir] if needed and (over)writes the database
+    files inside it.
+    @raise Sys_error on I/O failure. *)
+
+val load : string -> Udb.t
+(** @raise Sys_error on I/O failure.
+    @raise Invalid_argument on malformed files (bad condition syntax,
+    non-dense variable ids, unknown relations in the manifest). *)

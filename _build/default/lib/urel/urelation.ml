@@ -1,0 +1,81 @@
+open Pqdb_relational
+
+type row = Assignment.t * Tuple.t
+
+let compare_row (a1, t1) (a2, t2) =
+  let c = Assignment.compare a1 a2 in
+  if c <> 0 then c else Tuple.compare t1 t2
+
+module RS = Set.Make (struct
+  type t = row
+
+  let compare = compare_row
+end)
+
+type t = { schema : Schema.t; set : RS.t }
+
+let check_arity schema (_, tuple) =
+  if Tuple.arity tuple <> Schema.arity schema then
+    invalid_arg "Urelation: tuple arity does not match schema"
+
+let make schema rows =
+  List.iter (check_arity schema) rows;
+  { schema; set = RS.of_list rows }
+
+let of_relation rel =
+  {
+    schema = Relation.schema rel;
+    set =
+      Relation.fold
+        (fun t acc -> RS.add (Assignment.empty, t) acc)
+        rel RS.empty;
+  }
+
+let schema u = u.schema
+let rows u = RS.elements u.set
+let size u = RS.cardinal u.set
+let is_empty u = RS.is_empty u.set
+let is_complete_rep u = RS.for_all (fun (a, _) -> Assignment.is_empty a) u.set
+
+let to_relation u =
+  Relation.of_list u.schema (List.map snd (rows u))
+
+let possible_tuples u = Relation.tuples (to_relation u)
+
+let clauses_for u tuple =
+  RS.fold
+    (fun (a, t) acc -> if Tuple.equal t tuple then a :: acc else acc)
+    u.set []
+
+let variables u =
+  let vars =
+    RS.fold (fun (a, _) acc -> Assignment.vars a @ acc) u.set []
+  in
+  List.sort_uniq compare vars
+
+let filter p u = { u with set = RS.filter p u.set }
+
+let map_rows schema f u =
+  let set =
+    RS.fold
+      (fun row acc ->
+        let row' = f row in
+        check_arity schema row';
+        RS.add row' acc)
+      u.set RS.empty
+  in
+  { schema; set }
+
+let union a b =
+  if not (Schema.equal a.schema b.schema) then
+    invalid_arg "Urelation.union: schema mismatch"
+  else { a with set = RS.union a.set b.set }
+
+let pp fmt u =
+  Format.pp_open_vbox fmt 0;
+  Format.fprintf fmt "U%a:@," Schema.pp u.schema;
+  List.iter
+    (fun (a, t) ->
+      Format.fprintf fmt "  %a  %a@," Assignment.pp a Tuple.pp t)
+    (rows u);
+  Format.pp_close_box fmt ()

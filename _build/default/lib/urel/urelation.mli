@@ -1,0 +1,51 @@
+(** U-relations: representation relations [U_R(D, Ā)] pairing a condition
+    (partial assignment) with a data tuple (Section 3, Figure 1).
+
+    A tuple [t̄] is in relation [R] of possible world [f*] iff some
+    [⟨f, t̄⟩ ∈ U_R] has [f] consistent with [f*].  Set semantics on the
+    [(D, tuple)] pairs. *)
+
+open Pqdb_relational
+
+type row = Assignment.t * Tuple.t
+type t
+
+val make : Schema.t -> row list -> t
+(** Deduplicates rows. @raise Invalid_argument on arity mismatches. *)
+
+val of_relation : Relation.t -> t
+(** A complete relation as a U-relation: every condition empty. *)
+
+val schema : t -> Schema.t
+val rows : t -> row list
+(** Sorted (by condition, then tuple). *)
+
+val size : t -> int
+(** Number of representation rows (the input size for the data-complexity
+    statements of Section 3). *)
+
+val is_empty : t -> bool
+
+val is_complete_rep : t -> bool
+(** All conditions empty — the relation is certain {e syntactically}. *)
+
+val to_relation : t -> Relation.t
+(** Forget conditions: the relation containing all possible tuples.  For a
+    complete representation this is the represented relation itself. *)
+
+val possible_tuples : t -> Tuple.t list
+(** Distinct data tuples (poss). *)
+
+val clauses_for : t -> Tuple.t -> Assignment.t list
+(** The DNF [F = {f | ⟨f, t̄⟩ ∈ U_R}] whose weight is the tuple's confidence
+    (Section 4). *)
+
+val variables : t -> Wtable.var list
+(** Variables mentioned by any condition, deduplicated, sorted. *)
+
+val filter : (row -> bool) -> t -> t
+val map_rows : Schema.t -> (row -> row) -> t -> t
+val union : t -> t -> t
+(** @raise Invalid_argument unless schemas agree. *)
+
+val pp : Format.formatter -> t -> unit

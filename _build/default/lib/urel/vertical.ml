@@ -1,0 +1,114 @@
+open Pqdb_numeric
+open Pqdb_relational
+
+type row_spec = (Value.t * Rational.t) list list
+
+type row = {
+  tid : int;
+  (* Per attribute: the weighted alternatives and the W variable backing
+     them (None when the attribute is certain). *)
+  cells : ((Value.t * Rational.t) list * Wtable.var option) array;
+}
+
+type t = { tid_name : string; attrs : string list; rows : row list }
+
+let build w ~tid ~attrs ~rows =
+  if List.mem tid attrs then
+    invalid_arg "Vertical.build: tid clashes with an attribute";
+  let width = List.length attrs in
+  let make_row i spec =
+    if List.length spec <> width then
+      invalid_arg "Vertical.build: row arity mismatch";
+    let cells =
+      Array.of_list
+        (List.mapi
+           (fun j alternatives ->
+             match alternatives with
+             | [] -> invalid_arg "Vertical.build: empty alternatives"
+             | [ (_, p) ] ->
+                 if not (Rational.equal p Rational.one) then
+                   invalid_arg
+                     "Vertical.build: single alternative must have weight 1";
+                 (alternatives, None)
+             | _ ->
+                 let dist = List.map snd alternatives in
+                 let name = Printf.sprintf "t%d.%s" i (List.nth attrs j) in
+                 let var = Wtable.add_var ~name w dist in
+                 (alternatives, Some var))
+           spec)
+    in
+    { tid = i; cells }
+  in
+  { tid_name = tid; attrs; rows = List.mapi make_row rows }
+
+let tuple_count t = List.length t.rows
+
+let components t =
+  List.mapi
+    (fun j attr ->
+      let schema = Schema.of_list [ t.tid_name; attr ] in
+      let rows =
+        List.concat_map
+          (fun row ->
+            let alternatives, var = row.cells.(j) in
+            match var with
+            | None ->
+                let v = fst (List.hd alternatives) in
+                [ (Assignment.empty, Tuple.of_list [ Value.Int row.tid; v ]) ]
+            | Some x ->
+                List.mapi
+                  (fun k (v, _) ->
+                    ( Assignment.singleton x k,
+                      Tuple.of_list [ Value.Int row.tid; v ] ))
+                  alternatives)
+          t.rows
+      in
+      (attr, Urelation.make schema rows))
+    t.attrs
+
+let component_size t =
+  List.fold_left
+    (fun acc row ->
+      Array.fold_left
+        (fun acc (alternatives, _) -> acc + List.length alternatives)
+        acc row.cells)
+    0 t.rows
+
+let expanded_size t =
+  List.fold_left
+    (fun acc row ->
+      acc
+      + Array.fold_left
+          (fun prod (alternatives, _) -> prod * List.length alternatives)
+          1 row.cells)
+    0 t.rows
+
+let expanded t =
+  let schema = Schema.of_list t.attrs in
+  let rows =
+    List.concat_map
+      (fun row ->
+        (* Cross product of the alternatives of every attribute. *)
+        Array.fold_left
+          (fun acc (alternatives, var) ->
+            List.concat_map
+              (fun (cond, values) ->
+                match var with
+                | None -> [ (cond, fst (List.hd alternatives) :: values) ]
+                | Some x ->
+                    List.mapi
+                      (fun k (v, _) ->
+                        match
+                          Assignment.union cond (Assignment.singleton x k)
+                        with
+                        | Some merged -> (merged, v :: values)
+                        | None -> assert false)
+                      alternatives)
+              acc)
+          [ (Assignment.empty, []) ]
+          row.cells
+        |> List.map (fun (cond, rev_values) ->
+               (cond, Tuple.of_list (List.rev rev_values))))
+      t.rows
+  in
+  Urelation.make schema rows

@@ -1,0 +1,48 @@
+(** Attribute-level uncertainty via vertical decomposition.
+
+    Section 3 notes (citing the ICDE'08 paper) that attribute-level
+    uncertainty can be realized succinctly by vertical decompositioning
+    without additional cost: instead of one U-relation whose rows enumerate
+    the cross product of all attribute alternatives (exponential in the
+    number of independently-uncertain attribute groups), store one component
+    U-relation per group, joined on a shared tuple identifier, with each
+    component carrying its own condition column.
+
+    This module builds such decompositions from attribute-alternative
+    specifications, reports the representation-size gap, and recombines the
+    components into a flat U-relation (the recombination is the potentially
+    exponential step — queries should push work into the components). *)
+
+open Pqdb_numeric
+open Pqdb_relational
+
+type row_spec = (Value.t * Rational.t) list list
+(** One alternatives list per attribute of the row, each a weighted choice
+    (probabilities must sum to 1 per attribute; a singleton list means the
+    attribute is certain). *)
+
+type t
+
+val build :
+  Wtable.t -> tid:string -> attrs:string list -> rows:row_spec list -> t
+(** Construct the decomposition, creating one W variable per uncertain
+    attribute per row.  [tid] is the name of the synthetic tuple-id column
+    (must not clash with [attrs]).
+    @raise Invalid_argument on arity mismatches or invalid distributions. *)
+
+val components : t -> (string * Urelation.t) list
+(** One component per attribute, named after it; schema [(tid, attr)]. *)
+
+val component_size : t -> int
+(** Total representation rows across components — linear in
+    rows × attrs × alternatives. *)
+
+val expanded : t -> Urelation.t
+(** The equivalent flat U-relation over [attrs] (tuple ids dropped):
+    the cross product of alternatives per row — exponential in the number of
+    uncertain attributes per row. *)
+
+val expanded_size : t -> int
+(** Representation rows of {!expanded} (computed without materializing). *)
+
+val tuple_count : t -> int

@@ -1,0 +1,41 @@
+(** The W table of a U-relational database (Section 3): a finite set of
+    independent discrete random variables with their distributions.
+
+    [W(Var, Dom, P)] holds [⟨X, x, p⟩] iff [Pr(X = x) = p > 0] and the
+    probabilities of each variable sum to 1.  Variables are created by
+    [repair-key] during query evaluation, so the table is mutable and grows
+    monotonically; variable and domain values are dense integer ids. *)
+
+open Pqdb_numeric
+open Pqdb_relational
+
+type t
+type var = int
+
+val create : unit -> t
+
+val add_var : ?name:string -> t -> Rational.t list -> var
+(** [add_var t dist] registers a fresh variable whose domain is
+    [0 .. length dist - 1] with the given probabilities.
+    @raise Invalid_argument unless all probabilities are positive and sum
+    to 1, with at least one alternative. *)
+
+val var_count : t -> int
+val vars : t -> var list
+val name : t -> var -> string
+val domain_size : t -> var -> int
+
+val prob : t -> var -> int -> Rational.t
+(** @raise Invalid_argument on an out-of-range variable or value. *)
+
+val prob_float : t -> var -> int -> float
+(** Cached float image of {!prob} for the Monte-Carlo path. *)
+
+val world_count : t -> int
+(** Π domain sizes — the number of total assignments (can be huge; used by
+    diagnostics and the exponential-path benchmarks). *)
+
+val to_relation : t -> Relation.t
+(** Render as the W(Var, Dom, P) relation of Figure 1. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/workload/gen.ml: Array Assignment Float Fun List Option Pqdb_ast Pqdb_numeric Pqdb_relational Pqdb_urel Rational Relation Rng Schema Tuple Urelation Value Wtable

@@ -1,0 +1,1 @@
+lib/workload/gen.mli: Assignment Pqdb_ast Pqdb_numeric Pqdb_relational Pqdb_urel Relation Rng Urelation Wtable

@@ -1,0 +1,1 @@
+lib/workload/scenarios.ml: Array Expr List Pqdb_ast Pqdb_numeric Pqdb_relational Pqdb_urel Predicate Rational Relation Rng Udb Value

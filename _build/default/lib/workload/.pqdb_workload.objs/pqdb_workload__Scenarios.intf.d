@@ -1,0 +1,1 @@
+lib/workload/scenarios.mli: Pqdb_ast Pqdb_numeric Pqdb_relational Pqdb_urel Relation Rng Udb

@@ -1,0 +1,76 @@
+open Pqdb_numeric
+open Pqdb_relational
+open Pqdb_urel
+module Q = Rational
+
+let random_tuple rng ~width ~domain =
+  Tuple.of_list (List.init width (fun _ -> Value.Int (Rng.int rng domain)))
+
+let random_relation rng ~attrs ~rows ~domain =
+  let width = List.length attrs in
+  Relation.of_list (Schema.of_list attrs)
+    (List.init rows (fun _ -> random_tuple rng ~width ~domain))
+
+let weighted_relation rng ~attrs ~rows ~domain ~weight =
+  let width = List.length attrs in
+  let schema = Schema.of_list (attrs @ [ weight ]) in
+  Relation.of_list schema
+    (List.init rows (fun _ ->
+         Tuple.concat
+           (random_tuple rng ~width ~domain)
+           (Tuple.of_list [ Value.Int (1 + Rng.int rng 10) ])))
+
+(* Probability in tenths, in (0, 1) exclusive, as an exact rational. *)
+let random_proper_prob rng =
+  let num = 1 + Rng.int rng 9 in
+  (Q.of_ints num 10, Q.of_ints (10 - num) 10)
+
+let tuple_independent rng w ~attrs ~rows ~domain =
+  let width = List.length attrs in
+  let schema = Schema.of_list attrs in
+  let rows =
+    List.init rows (fun _ ->
+        let p, q = random_proper_prob rng in
+        let var = Wtable.add_var w [ q; p ] in
+        (Assignment.singleton var 1, random_tuple rng ~width ~domain))
+  in
+  Urelation.make schema rows
+
+let random_dnf rng w ~vars ~clauses ~clause_len =
+  let ids =
+    Array.init vars (fun _ ->
+        let p, q = random_proper_prob rng in
+        Wtable.add_var w [ q; p ])
+  in
+  let clause () =
+    let len = max 1 (min clause_len vars) in
+    let chosen = ref [] in
+    for _ = 1 to len do
+      let v = ids.(Rng.int rng vars) in
+      if not (List.mem_assoc v !chosen) then
+        chosen := (v, Rng.int rng 2) :: !chosen
+    done;
+    Assignment.of_list !chosen
+  in
+  List.init clauses (fun _ -> clause ())
+
+let bernoulli_dnf _rng w ~p =
+  let num = int_of_float (Float.round (p *. 1000.)) in
+  let num = max 1 (min 999 num) in
+  let var = Wtable.add_var w [ Q.of_ints (1000 - num) 1000; Q.of_ints num 1000 ] in
+  [ Assignment.singleton var 1 ]
+
+let linear_predicate rng ~arity =
+  let k = arity in
+  let open Pqdb_ast.Apred in
+  let coef () = Rng.float_range rng (-2.) 2. in
+  let sum =
+    List.fold_left
+      (fun acc i ->
+        let term = Mul (Const (coef ()), Var i) in
+        match acc with None -> Some term | Some e -> Some (Add (e, term)))
+      None
+      (List.init k Fun.id)
+  in
+  let lhs = Option.value ~default:(Const 0.) sum in
+  ge lhs (Const (Rng.float_range rng (-1.) 1.))

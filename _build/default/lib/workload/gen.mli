@@ -1,0 +1,43 @@
+(** Random-instance generators for benchmarks and property tests.
+
+    All generators are deterministic given the {!Pqdb_numeric.Rng.t}; the
+    bench harness seeds them explicitly so every experiment is
+    reproducible. *)
+
+open Pqdb_numeric
+open Pqdb_relational
+open Pqdb_urel
+
+val random_relation :
+  Rng.t -> attrs:string list -> rows:int -> domain:int -> Relation.t
+(** Uniform random integer tuples over [0, domain). Duplicates collapse, so
+    cardinality may be below [rows]. *)
+
+val weighted_relation :
+  Rng.t -> attrs:string list -> rows:int -> domain:int -> weight:string ->
+  Relation.t
+(** Like {!random_relation} plus a positive integer weight column (1..10) —
+    repair-key fodder. *)
+
+val tuple_independent :
+  Rng.t -> Wtable.t -> attrs:string list -> rows:int -> domain:int ->
+  Urelation.t
+(** A tuple-independent U-relation: each tuple gets its own Bernoulli
+    variable with probability drawn from (0, 1) (in tenths, so exact
+    rationals). *)
+
+val random_dnf :
+  Rng.t -> Wtable.t -> vars:int -> clauses:int -> clause_len:int ->
+  Assignment.t list
+(** Fresh Bernoulli variables and random clauses over them — the
+    confidence-computation microbenchmark instance.  Clause length is capped
+    by [vars]; duplicate variables within a clause are merged. *)
+
+val bernoulli_dnf :
+  Rng.t -> Wtable.t -> p:float -> Assignment.t list
+(** A single-clause DNF whose weight is exactly [p] (to 3 decimals) — used
+    when an experiment needs an approximable value with a known truth. *)
+
+val linear_predicate :
+  Rng.t -> arity:int -> Pqdb_ast.Apred.t
+(** Random linear inequality [Σ aᵢxᵢ ≥ b] with coefficients in [-2, 2]. *)

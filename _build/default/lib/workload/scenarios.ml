@@ -1,0 +1,217 @@
+open Pqdb_numeric
+open Pqdb_relational
+open Pqdb_urel
+module Ua = Pqdb_ast.Ua
+module Apred = Pqdb_ast.Apred
+module V = Value
+module Q = Rational
+
+(* ------------------------------------------------------------------ *)
+(* The coin bag of Example 2.2                                         *)
+(* ------------------------------------------------------------------ *)
+
+let coins =
+  Relation.of_rows [ "CoinType"; "Count" ]
+    [ [ V.Str "fair"; V.Int 2 ]; [ V.Str "2headed"; V.Int 1 ] ]
+
+let faces =
+  Relation.of_rows
+    [ "FCoinType"; "Face"; "FProb" ]
+    [
+      [ V.Str "fair"; V.Str "H"; V.of_ints 1 2 ];
+      [ V.Str "fair"; V.Str "T"; V.of_ints 1 2 ];
+      [ V.Str "2headed"; V.Str "H"; V.Int 1 ];
+    ]
+
+let tosses = Relation.of_rows [ "Toss" ] [ [ V.Int 1 ]; [ V.Int 2 ] ]
+
+let coin_db () =
+  let udb = Udb.create () in
+  Udb.add_complete udb "Coins" coins;
+  Udb.add_complete udb "Faces" faces;
+  Udb.add_complete udb "Tosses" tosses;
+  udb
+
+type coin_queries = {
+  r : Ua.t;
+  s : Ua.t;
+  t : Ua.t;
+  u : Ua.t;
+  evidence : Ua.t;
+}
+
+let posterior_query ~r ~s ~tosses =
+  let heads_at i =
+    Ua.rename
+      [ ("FCoinType", "CoinType") ]
+      (Ua.project [ "FCoinType" ]
+         (Ua.select
+            Predicate.(
+              Expr.(attr "Toss" = int i)
+              && Expr.(attr "Face" = const (V.Str "H")))
+            s))
+  in
+  let t =
+    List.fold_left
+      (fun acc i -> Ua.join acc (heads_at i))
+      r
+      (List.init tosses (fun i -> i + 1))
+  in
+  let u =
+    Ua.project_cols
+      [
+        (Expr.attr "CoinType", "CoinType");
+        (Expr.(attr "P1" / attr "P2"), "P");
+      ]
+      (Ua.join
+         (Ua.rename [ ("P", "P1") ] (Ua.conf t))
+         (Ua.rename [ ("P", "P2") ] (Ua.conf (Ua.project [] t))))
+  in
+  (t, u)
+
+let coin_queries =
+  let r =
+    Ua.project [ "CoinType" ]
+      (Ua.repair_key ~key:[] ~weight:"Count" (Ua.table "Coins"))
+  in
+  let s =
+    Ua.project
+      [ "FCoinType"; "Toss"; "Face" ]
+      (Ua.repair_key
+         ~key:[ "FCoinType"; "Toss" ]
+         ~weight:"FProb"
+         (Ua.product (Ua.table "Faces") (Ua.table "Tosses")))
+  in
+  let t, u = posterior_query ~r ~s ~tosses:2 in
+  { r; s; t; u; evidence = Ua.project [] t }
+
+let scaled_coin_db rng ~coin_types ~tosses =
+  let coin_name i = "coin" ^ string_of_int i in
+  let coins =
+    Relation.of_rows [ "CoinType"; "Count" ]
+      (List.init coin_types (fun i ->
+           [ V.Str (coin_name i); V.Int (1 + Rng.int rng 5) ]))
+  in
+  let faces =
+    Relation.of_rows
+      [ "FCoinType"; "Face"; "FProb" ]
+      (List.concat
+         (List.init coin_types (fun i ->
+              let heads = 1 + Rng.int rng 9 in
+              [
+                [ V.Str (coin_name i); V.Str "H"; V.of_ints heads 10 ];
+                [ V.Str (coin_name i); V.Str "T"; V.of_ints (10 - heads) 10 ];
+              ])))
+  in
+  let toss_rel =
+    Relation.of_rows [ "Toss" ]
+      (List.init tosses (fun i -> [ V.Int (i + 1) ]))
+  in
+  let udb = Udb.create () in
+  Udb.add_complete udb "Coins" coins;
+  Udb.add_complete udb "Faces" faces;
+  Udb.add_complete udb "Tosses" toss_rel;
+  let r =
+    Ua.project [ "CoinType" ]
+      (Ua.repair_key ~key:[] ~weight:"Count" (Ua.table "Coins"))
+  in
+  let s =
+    Ua.project
+      [ "FCoinType"; "Toss"; "Face" ]
+      (Ua.repair_key
+         ~key:[ "FCoinType"; "Toss" ]
+         ~weight:"FProb"
+         (Ua.product (Ua.table "Faces") (Ua.table "Tosses")))
+  in
+  let _, u = posterior_query ~r ~s ~tosses in
+  (udb, u)
+
+(* ------------------------------------------------------------------ *)
+(* Data cleaning                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let first_names =
+  [| "ann"; "anne"; "bob"; "rob"; "carol"; "caroline"; "dave"; "david" |]
+
+let cities = [| "vienna"; "ithaca"; "vancouver"; "saarbruecken" |]
+
+let dirty_customers rng ~customers ~max_dups =
+  let rows = ref [] in
+  for id = customers - 1 downto 0 do
+    let dups = 1 + Rng.int rng (max 1 max_dups) in
+    for _ = 1 to dups do
+      rows :=
+        [
+          V.Int id;
+          V.Str first_names.(Rng.int rng (Array.length first_names));
+          V.Str cities.(Rng.int rng (Array.length cities));
+          V.Int (1 + Rng.int rng 5);
+        ]
+        :: !rows
+    done
+  done;
+  Relation.of_rows [ "Id"; "Name"; "City"; "W" ] !rows
+
+let cleaning_db rng ~customers ~max_dups =
+  let udb = Udb.create () in
+  Udb.add_complete udb "Dirty" (dirty_customers rng ~customers ~max_dups);
+  udb
+
+let cleaned = Ua.repair_key ~key:[ "Id" ] ~weight:"W" (Ua.table "Dirty")
+
+let confident_customers ~threshold =
+  Ua.approx_select
+    (Apred.ge (Apred.var 0) (Apred.const threshold))
+    [ [ "Id"; "Name" ] ]
+    (Ua.project [ "Id"; "Name" ] cleaned)
+
+(* ------------------------------------------------------------------ *)
+(* Sensor monitoring                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let levels = [| "cold"; "warm"; "hot" |]
+
+let sensor_db rng ~sensors =
+  let rows = ref [] in
+  for s = sensors - 1 downto 0 do
+    Array.iter
+      (fun level ->
+        rows := [ V.Int s; V.Str level; V.Int (1 + Rng.int rng 8) ] :: !rows)
+      levels
+  done;
+  let udb = Udb.create () in
+  Udb.add_complete udb "Readings"
+    (Relation.of_rows [ "Sensor"; "Level"; "W" ] !rows);
+  udb
+
+let sensor_readings =
+  Ua.project [ "Sensor"; "Level" ]
+    (Ua.repair_key ~key:[ "Sensor" ] ~weight:"W" (Ua.table "Readings"))
+
+let hot_sensors ~threshold =
+  Ua.approx_select
+    (Apred.ge (Apred.var 0) (Apred.const threshold))
+    [ [ "Sensor" ] ]
+    (Ua.select
+       Predicate.(Expr.attr "Level" = Expr.const (V.Str "hot"))
+       sensor_readings)
+
+let hot_given_not_cold ~sensor =
+  let mine =
+    Ua.select Predicate.(Expr.attr "Sensor" = Expr.int sensor) sensor_readings
+  in
+  let hot =
+    Ua.project []
+      (Ua.select Predicate.(Expr.attr "Level" = Expr.const (V.Str "hot")) mine)
+  in
+  let not_cold =
+    Ua.project []
+      (Ua.select
+         Predicate.(Expr.attr "Level" <> Expr.const (V.Str "cold"))
+         mine)
+  in
+  Ua.project_cols
+    [ (Expr.(attr "P1" / attr "P2"), "P") ]
+    (Ua.join
+       (Ua.rename [ ("P", "P1") ] (Ua.conf hot))
+       (Ua.rename [ ("P", "P2") ] (Ua.conf not_cold)))

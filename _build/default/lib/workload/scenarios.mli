@@ -1,0 +1,73 @@
+(** Named workload scenarios: the paper's running example plus the two
+    application domains its introduction motivates (data cleaning and sensor
+    data).
+
+    Each scenario builds a U-relational database and the UA queries the
+    examples and benchmarks run against it. *)
+
+open Pqdb_numeric
+open Pqdb_relational
+open Pqdb_urel
+module Ua := Pqdb_ast.Ua
+
+(** {1 The coin bag (Example 2.2)} *)
+
+type coin_queries = {
+  r : Ua.t;  (** chosen coin type (uncertain) *)
+  s : Ua.t;  (** toss outcomes (uncertain) *)
+  t : Ua.t;  (** coin type joined with the all-heads evidence *)
+  u : Ua.t;  (** posterior table: conditional probabilities *)
+  evidence : Ua.t;  (** Boolean query: both tosses heads *)
+}
+
+val coins : Relation.t
+val faces : Relation.t
+val tosses : Relation.t
+(** The three complete base relations of Example 2.2. *)
+
+val coin_db : unit -> Udb.t
+(** Fresh database with Coins, Faces, Tosses as in Example 2.2. *)
+
+val coin_queries : coin_queries
+(** The R, S, T, U of Example 2.2 (S's coin-type column is [FCoinType] in
+    Faces and renamed into place for the joins). *)
+
+val scaled_coin_db : Rng.t -> coin_types:int -> tosses:int -> Udb.t * Ua.t
+(** A bag with [coin_types] biased coins observed for [tosses] tosses, and
+    the posterior query given the all-heads evidence — Example 2.2 scaled
+    until exact evaluation hurts (experiment E1/E3). *)
+
+(** {1 Data cleaning (key repair + confidence thresholds)} *)
+
+val dirty_customers : Rng.t -> customers:int -> max_dups:int -> Relation.t
+(** A customer table with key [Id] violated by up to [max_dups] conflicting
+    variants per customer, each carrying an evidence weight [W]. *)
+
+val cleaning_db : Rng.t -> customers:int -> max_dups:int -> Udb.t
+(** Database with the dirty relation as [Dirty]. *)
+
+val cleaned : Ua.t
+(** [repair-key Id@W (Dirty)]: one variant per customer, weighted. *)
+
+val confident_customers : threshold:float -> Ua.t
+(** σ̂-based cleaning: keep (Id, Name) pairs whose marginal probability after
+    repair is at least [threshold] — an approximate-predicate selection. *)
+
+(** {1 Sensor monitoring (conditional probabilities over readings)} *)
+
+val sensor_db : Rng.t -> sensors:int -> Udb.t
+(** Sensors report a discrete temperature level with per-level evidence
+    weights; each sensor's reading is repaired into a distribution.
+    Relations: [Readings(Sensor, Level, W)]. *)
+
+val sensor_readings : Ua.t
+(** The repaired (uncertain) readings. *)
+
+val hot_sensors : threshold:float -> Ua.t
+(** σ̂ query: sensors whose probability of reading the highest level exceeds
+    [threshold]. *)
+
+val hot_given_not_cold : sensor:int -> Ua.t
+(** Conditional probability: P(level = hot | level ≠ cold) for one sensor,
+    as a conf/conf ratio — the Example 2.2 conditional-probability pattern on
+    sensor data. *)

@@ -1,0 +1,1 @@
+lib/worlds/eval_naive.ml: Algebra Expr Format Hashtbl List Pdb Pqdb_ast Pqdb_numeric Pqdb_relational Predicate Rational Relation Schema Tuple Value

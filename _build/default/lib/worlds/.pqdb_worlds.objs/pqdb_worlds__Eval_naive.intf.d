@@ -1,0 +1,1 @@
+lib/worlds/eval_naive.mli: Pdb Pqdb_ast Pqdb_numeric Pqdb_relational Rational Relation Tuple

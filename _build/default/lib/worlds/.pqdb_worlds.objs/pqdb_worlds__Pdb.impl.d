@@ -1,0 +1,1 @@
+lib/worlds/pdb.ml: Algebra Format Hashtbl List Pqdb_numeric Pqdb_relational Rational Relation Schema Stdlib String Tuple Value

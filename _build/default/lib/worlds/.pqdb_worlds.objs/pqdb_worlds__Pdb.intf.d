@@ -1,0 +1,1 @@
+lib/worlds/pdb.mli: Format Pqdb_numeric Pqdb_relational Rational Relation Tuple

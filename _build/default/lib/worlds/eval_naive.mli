@@ -1,0 +1,30 @@
+(** Exact UA evaluation over explicit possible worlds — the ground truth.
+
+    Implements the semantics of Definition 2.1 directly: relational operators
+    per world, [conf] as an aggregation across the whole weighted world set,
+    [repair-key] as world-set expansion by tensoring (⊗) with the repairs of a
+    complete relation.  Approximate operators are interpreted by their exact
+    counterparts ([conf_{ε,δ}] as [conf]; σ̂ via its defining composite,
+    {!Pqdb_ast.Ua.desugar_sigma_hat}).
+
+    Everything here is exponential in the number of uncertainty sources —
+    by design (Theorem 3.4 tells us exact evaluation cannot be better in
+    general).  Use it on small inputs to validate the scalable paths. *)
+
+open Pqdb_numeric
+open Pqdb_relational
+
+exception Not_complete of string
+(** Raised when [repair-key] is applied to a relation that is not complete
+    (differs across worlds), which Definition 2.1 forbids. *)
+
+val eval : Pdb.t -> Pqdb_ast.Ua.t -> Pdb.prel
+(** Weighted set of possible result relations, normalized. *)
+
+val eval_confidence :
+  Pdb.t -> Pqdb_ast.Ua.t -> (Tuple.t * Rational.t) list
+(** Marginal tuple confidences of the result — [conf] applied on top. *)
+
+val eval_certain : Pdb.t -> Pqdb_ast.Ua.t -> Relation.t
+(** The result when it is the same in all worlds.
+    @raise Not_complete otherwise. *)

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Assignment Dnf Estimator Float Interval List Pqdb Pqdb_ast Pqdb_montecarlo Pqdb_numeric Pqdb_urel Printf QCheck QCheck_alcotest Rational Rng Stats Wtable

@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Array Expr List Option Pqdb Pqdb_ast Pqdb_lang Pqdb_numeric Pqdb_relational Pqdb_workload Predicate QCheck QCheck_alcotest Relation Schema Tuple Value

@@ -1,0 +1,1 @@
+test/test_montecarlo.ml: Alcotest Array Assignment Dnf Estimator Float Karp_luby List Pqdb_montecarlo Pqdb_numeric Pqdb_urel Printf QCheck QCheck_alcotest Rational Rng Stats Wtable

@@ -1,0 +1,1 @@
+test/test_numeric.ml: Alcotest Array Bigint Interval List Pqdb_numeric QCheck QCheck_alcotest Rational Rng Stats String

@@ -1,0 +1,1 @@
+test/test_optimizer.ml: Alcotest Expr List Pqdb Pqdb_ast Pqdb_numeric Pqdb_relational Pqdb_urel Predicate QCheck QCheck_alcotest Relation Tuple Udb Value

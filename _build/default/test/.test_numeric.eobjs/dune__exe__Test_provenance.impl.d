@@ -1,0 +1,1 @@
+test/test_provenance.ml: Alcotest Assignment Confidence Expr List Pqdb Pqdb_ast Pqdb_numeric Pqdb_relational Pqdb_urel Predicate Relation Schema Translate Tuple Udb Urelation Value Vertical Wtable

@@ -1,0 +1,1 @@
+test/test_relational.ml: Alcotest Algebra Array Csv Expr List Pqdb_numeric Pqdb_relational Predicate QCheck QCheck_alcotest Relation Schema Tuple Value

@@ -1,0 +1,1 @@
+test/test_topk.ml: Alcotest Assignment Confidence Float List Pqdb Pqdb_ast Pqdb_montecarlo Pqdb_numeric Pqdb_relational Pqdb_urel Pqdb_workload Printf QCheck QCheck_alcotest Tuple Value Wtable

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Assignment Confidence Hashtbl List Option Pqdb Pqdb_ast Pqdb_numeric Pqdb_relational Pqdb_urel Pqdb_workload Relation Schema Tuple Urelation Value Wtable

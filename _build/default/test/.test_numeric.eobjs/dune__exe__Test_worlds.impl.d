@@ -1,0 +1,1 @@
+test/test_worlds.ml: Alcotest Eval_naive Expr List Pdb Pqdb_ast Pqdb_numeric Pqdb_relational Pqdb_workload Pqdb_worlds Predicate Relation Tuple Value

@@ -1,0 +1,792 @@
+(* Tests for the paper's core machinery (Section 5): Theorem 5.2 closed-form
+   ε, Theorem 5.5 corner search, singularities (Definition 5.6) and the
+   Figure-3 predicate-approximation algorithm (Theorem 5.8). *)
+
+open Pqdb_numeric
+open Pqdb_urel
+open Pqdb_montecarlo
+module Apred = Pqdb_ast.Apred
+module Q = Rational
+module Epsilon = Pqdb.Epsilon
+module Linear_eps = Pqdb.Linear_eps
+module Orthotope = Pqdb.Orthotope
+module Singularity = Pqdb.Singularity
+module Predicate_approx = Pqdb.Predicate_approx
+module Error_bound = Pqdb.Error_bound
+
+let check = Alcotest.check
+let bool_c = Alcotest.bool
+let float_c = Alcotest.float
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 5.2: closed-form epsilon for linear predicates              *)
+(* ------------------------------------------------------------------ *)
+
+(* Example 5.4: φ(x1, x2) = (x1/x2 >= c) as x1 - c*x2 >= 0 with c = 1/2 at
+   p̂ = (1/2, 1/2): ε = α/β = (p̂1 - c·p̂2)/(p̂1 + c·p̂2) = 1/3, and the
+   orthotope [3/8, 3/4]² touches the hyperplane 2x1 = x2 at (3/8, 3/4). *)
+let example_5_4_pred =
+  Apred.ge
+    (Apred.Sub (Apred.var 0, Apred.Mul (Apred.const 0.5, Apred.var 1)))
+    (Apred.const 0.)
+
+let test_example_5_4 () =
+  let point = [| 0.5; 0.5 |] in
+  let eps = Epsilon.epsilon example_5_4_pred point in
+  check (float_c 1e-12) "epsilon = 1/3" (1. /. 3.) eps;
+  let o = Interval.orthotope_relative ~eps point in
+  check (float_c 1e-12) "x1 lo = 3/8" 0.375 o.(0).Interval.lo;
+  check (float_c 1e-12) "x1 hi = 3/4" 0.75 o.(0).Interval.hi;
+  (* The touching point (3/8, 3/4) is on the hyperplane 2x1 = x2. *)
+  check (float_c 1e-12) "touch point on hyperplane" 0.
+    ((2. *. o.(0).Interval.lo) -. o.(1).Interval.hi)
+
+let test_theorem_5_2_nonzero_b () =
+  (* x1 >= b with b = 0.4 at p̂1 = 0.5: the interval [p̂/(1+ε), p̂/(1-ε)]
+     stays above b iff p̂/(1+ε) >= b, i.e. ε <= p̂/b - 1 = 0.25. *)
+  let pred = Apred.ge (Apred.var 0) (Apred.const 0.4) in
+  let eps = Epsilon.epsilon pred [| 0.5 |] in
+  check (float_c 1e-12) "quadratic-root epsilon" 0.25 eps
+
+let test_theorem_5_2_negative_b () =
+  (* x1 - x2 >= -0.2 at (0.3, 0.4): satisfied; formula must give ε in (0,1)
+     with all corners of the orthotope satisfying the predicate. *)
+  let pred =
+    Apred.ge (Apred.Sub (Apred.var 0, Apred.var 1)) (Apred.const (-0.2))
+  in
+  let point = [| 0.3; 0.4 |] in
+  let eps = Epsilon.epsilon pred point in
+  check bool_c "positive" true (eps > 0.);
+  check bool_c "corners agree just below eps" true
+    (Orthotope.corners_agree pred ~point ~eps:(eps *. (1. -. 1e-9)));
+  check bool_c "corners fail just above" false
+    (Orthotope.corners_agree pred ~point ~eps:(eps *. 1.01))
+
+let test_boundary_gives_zero () =
+  (* Remark 5.3: a point on the hyperplane yields ε = 0. *)
+  let pred = Apred.ge (Apred.var 0) (Apred.const 0.5) in
+  check (float_c 0.) "on boundary" 0. (Epsilon.epsilon pred [| 0.5 |])
+
+let test_equality_atom_zero () =
+  (* Example 5.7 / predicate "confidence = 1/2": not approximable. *)
+  let pred = Apred.eq (Apred.var 0) (Apred.const 0.5) in
+  check (float_c 0.) "equality at satisfied point" 0.
+    (Epsilon.epsilon pred [| 0.5 |]);
+  (* But a *false* equality away from the line has positive radius. *)
+  check bool_c "false equality robust" true
+    (Epsilon.epsilon pred [| 0.8 |] > 0.)
+
+let test_constant_predicate () =
+  let pred = Apred.ge (Apred.const 1.) (Apred.const 0.) in
+  check (float_c 0.) "constant true has max radius" Linear_eps.eps_max
+    (Epsilon.epsilon pred [| 0.5 |])
+
+let test_composition_min_max () =
+  let a = Apred.ge (Apred.var 0) (Apred.const 0.4) in
+  (* ε_a = 0.25 at 0.5 *)
+  let b = Apred.ge (Apred.var 0) (Apred.const 0.25) in
+  (* ε_b = 1 - clamped: p̂/(1+ε) >= 0.25 iff ε <= 1 -> eps 1-; compute *)
+  let pa = Epsilon.epsilon a [| 0.5 |] in
+  let pb = Epsilon.epsilon b [| 0.5 |] in
+  let both = Epsilon.epsilon (Apred.conj a b) [| 0.5 |] in
+  let either = Epsilon.epsilon (Apred.disj a b) [| 0.5 |] in
+  check (float_c 1e-12) "conj is min" (Float.min pa pb) both;
+  check (float_c 1e-12) "disj is max" (Float.max pa pb) either
+
+let test_mixed_truth_disjunction_sound () =
+  (* Or(a, b) with a true near its boundary and b false but very robustly
+     false: the sound ε is a's small radius, not b's large one. *)
+  let a = Apred.ge (Apred.var 0) (Apred.const 0.49) in
+  (* true at 0.5, small radius *)
+  let b = Apred.ge (Apred.var 0) (Apred.const 10.) in
+  (* false at 0.5, hugely robust *)
+  let eps = Epsilon.epsilon (Apred.disj a b) [| 0.5 |] in
+  let eps_a = Epsilon.epsilon a [| 0.5 |] in
+  check (float_c 1e-12) "disjunction uses the true disjunct" eps_a eps;
+  check bool_c "orthotope is homogeneous" true
+    (Orthotope.corners_agree (Apred.disj a b) ~point:[| 0.5 |] ~eps)
+
+(* Property: for random linear atoms, the closed form agrees with the corner
+   binary search, and random interior samples agree with the center. *)
+let random_linear_case =
+  QCheck.make
+    QCheck.Gen.(
+      let coef = float_range (-2.) 2. in
+      let pos = float_range 0.1 0.9 in
+      map
+        (fun (a1, a2, b, p1, p2) -> (a1, a2, b, p1, p2))
+        (tup5 coef coef (float_range (-1.) 1.) pos pos))
+
+let prop_linear_matches_search =
+  QCheck.Test.make ~name:"Thm 5.2 closed form matches corner search"
+    ~count:200 random_linear_case (fun (a1, a2, b, p1, p2) ->
+      let pred =
+        Apred.ge
+          (Apred.Add
+             ( Apred.Mul (Apred.const a1, Apred.var 0),
+               Apred.Mul (Apred.const a2, Apred.var 1) ))
+          (Apred.const b)
+      in
+      let point = [| p1; p2 |] in
+      let closed = Epsilon.epsilon pred point in
+      let searched = Orthotope.epsilon_search ~iterations:50 pred point in
+      (* Corner search is exact for linear atoms (monotone per variable). *)
+      Float.abs (closed -. searched) <= 1e-6 +. (1e-4 *. closed))
+
+let prop_orthotope_homogeneous =
+  QCheck.Test.make ~name:"Lemma 5.1 orthotope is homogeneous (sampled)"
+    ~count:200 random_linear_case (fun (a1, a2, b, p1, p2) ->
+      let pred =
+        Apred.ge
+          (Apred.Add
+             ( Apred.Mul (Apred.const a1, Apred.var 0),
+               Apred.Mul (Apred.const a2, Apred.var 1) ))
+          (Apred.const b)
+      in
+      let point = [| p1; p2 |] in
+      let eps = Epsilon.epsilon pred point in
+      QCheck.assume (eps > 1e-9);
+      let rng = Rng.create ~seed:42 in
+      Orthotope.homogeneous_on_samples rng pred ~point
+        ~eps:(eps *. 0.999) ~samples:100)
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 5.5: corner search on non-linear single-occurrence atoms    *)
+(* ------------------------------------------------------------------ *)
+
+let ratio_pred c =
+  (* x0 / x1 >= c — non-linear as written (division by a variable). *)
+  Apred.ge (Apred.Div (Apred.var 0, Apred.var 1)) (Apred.const c)
+
+let test_corner_search_ratio () =
+  let pred = ratio_pred 0.5 in
+  let point = [| 0.5; 0.5 |] in
+  let eps = Epsilon.epsilon pred point in
+  check bool_c "positive radius" true (eps > 0.);
+  check bool_c "corners agree" true (Orthotope.corners_agree pred ~point ~eps);
+  let rng = Rng.create ~seed:3 in
+  check bool_c "interior homogeneous" true
+    (Orthotope.homogeneous_on_samples rng pred ~point ~eps:(eps *. 0.999)
+       ~samples:200)
+
+let test_multi_occurrence_rejected () =
+  (* x0 * x0 >= 0.25 is non-linear with a repeated variable. *)
+  let pred =
+    Apred.ge (Apred.Mul (Apred.var 0, Apred.var 0)) (Apred.const 0.25)
+  in
+  check bool_c "raises Unsupported" true
+    (try
+       ignore (Epsilon.epsilon pred [| 0.7 |]);
+       false
+     with Epsilon.Unsupported _ -> true)
+
+let test_split_duplicates () =
+  let pred =
+    Apred.ge (Apred.Mul (Apred.var 0, Apred.var 0)) (Apred.const 0.25)
+  in
+  let pred', origin = Epsilon.split_duplicates pred in
+  check Alcotest.int "arity grew" 2 (Apred.arity pred');
+  check bool_c "now single occurrence" true (Apred.single_occurrence pred');
+  check (Alcotest.array Alcotest.int) "origin map" [| 0; 0 |] origin;
+  (* And the split predicate is now in the supported fragment. *)
+  check bool_c "epsilon computable" true
+    (Epsilon.epsilon pred' [| 0.7; 0.7 |] > 0.)
+
+(* ------------------------------------------------------------------ *)
+(* Singularities (Definition 5.6)                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_singularity_linear () =
+  let pred = Apred.ge (Apred.var 0) (Apred.const 0.5) in
+  check bool_c "on boundary: singular" true
+    (Singularity.possibly_singular ~eps0:0.05 pred [| 0.5 |]);
+  check bool_c "near boundary within eps0: singular" true
+    (Singularity.possibly_singular ~eps0:0.05 pred [| 0.51 |]);
+  check bool_c "far from boundary: not singular" false
+    (Singularity.possibly_singular ~eps0:0.05 pred [| 0.8 |]);
+  let rng = Rng.create ~seed:17 in
+  check bool_c "definitely singular on boundary" true
+    (Singularity.definitely_singular ~rng ~eps0:0.05 pred [| 0.5 |]);
+  check bool_c "not flagged far away" false
+    (Singularity.definitely_singular ~rng ~eps0:0.05 pred [| 0.8 |])
+
+let test_certainty_test_singular () =
+  (* Example 5.7: tuple certainty conf = 1 is always a singularity when the
+     true confidence is 1...  relative boxes around 1 include values > 1, and
+     the predicate x >= 1 flips below 1. *)
+  let pred = Apred.ge (Apred.var 0) (Apred.const 1.) in
+  check bool_c "certainty test singular at p=1" true
+    (Singularity.possibly_singular ~eps0:0.01 pred [| 1.0 |])
+
+(* ------------------------------------------------------------------ *)
+(* Figure 3 (Theorem 5.8)                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* One approximable value: P(x=1) with x ~ Bernoulli(p_true), DNF {x=1}. *)
+let bernoulli_estimator w p_true =
+  let num = int_of_float (Float.round (p_true *. 1000.)) in
+  let x = Wtable.add_var w [ Q.of_ints (1000 - num) 1000; Q.of_ints num 1000 ] in
+  Estimator.create (Dnf.prepare w [ Assignment.singleton x 1 ])
+
+let test_fig3_decides_correctly () =
+  (* conf >= 0.5 with true p = 0.8: over many runs the decision is wrong at
+     most δ of the time (plus statistical slack). *)
+  let delta = 0.1 in
+  let rng = Rng.create ~seed:123 in
+  let tally = Stats.tally () in
+  for _ = 1 to 200 do
+    let w = Wtable.create () in
+    let est = bernoulli_estimator w 0.8 in
+    let phi = Apred.ge (Apred.var 0) (Apred.const 0.5) in
+    let d = Predicate_approx.decide ~eps0:0.05 ~rng ~delta phi [| est |] in
+    Stats.record tally (d.value = true);
+    assert (d.error_bound <= delta +. 1e-9)
+  done;
+  let rate = Stats.error_rate tally in
+  check bool_c
+    (Printf.sprintf "error rate %.3f within delta" rate)
+    true
+    (rate <= delta +. 0.05)
+
+let test_fig3_terminates_on_boundary () =
+  (* True p exactly on the boundary: the ε0 floor still forces termination
+     (the answer is unreliable, but the loop must stop). *)
+  let rng = Rng.create ~seed:31 in
+  let w = Wtable.create () in
+  let est = bernoulli_estimator w 0.5 in
+  let phi = Apred.ge (Apred.var 0) (Apred.const 0.5) in
+  let d = Predicate_approx.decide ~eps0:0.1 ~rng ~delta:0.2 phi [| est |] in
+  check bool_c "terminated" true (d.rounds > 0);
+  check bool_c "bound met at eps0" true (d.error_bound <= 0.2 +. 1e-9)
+
+let test_fig3_far_cheaper_than_near () =
+  (* The adaptive algorithm spends fewer estimator calls when the true value
+     is far from the decision boundary (the E7 claim, smoke-tested). *)
+  let phi = Apred.ge (Apred.var 0) (Apred.const 0.5) in
+  let calls p seed =
+    let rng = Rng.create ~seed in
+    let total = ref 0 in
+    for _ = 1 to 20 do
+      let w = Wtable.create () in
+      let est = bernoulli_estimator w p in
+      let d = Predicate_approx.decide ~eps0:0.02 ~rng ~delta:0.1 phi [| est |] in
+      total := !total + d.estimator_calls
+    done;
+    !total
+  in
+  let far = calls 0.9 1 and near = calls 0.55 1 in
+  check bool_c
+    (Printf.sprintf "far (%d) cheaper than near (%d)" far near)
+    true (far < near)
+
+let test_fig3_vs_naive () =
+  (* Same decision, adaptive at most as many calls as naive when far from
+     the boundary. *)
+  let phi = Apred.ge (Apred.var 0) (Apred.const 0.5) in
+  let rng = Rng.create ~seed:77 in
+  let adaptive_calls = ref 0 and naive_calls = ref 0 in
+  for _ = 1 to 20 do
+    let w = Wtable.create () in
+    let est = bernoulli_estimator w 0.9 in
+    let d = Predicate_approx.decide ~eps0:0.02 ~rng ~delta:0.1 phi [| est |] in
+    adaptive_calls := !adaptive_calls + d.estimator_calls;
+    let w2 = Wtable.create () in
+    let est2 = bernoulli_estimator w2 0.9 in
+    let d2 = Predicate_approx.decide_naive ~eps0:0.02 ~rng ~delta:0.1 phi [| est2 |] in
+    naive_calls := !naive_calls + d2.estimator_calls;
+    check bool_c "same decision" d2.value d.value
+  done;
+  check bool_c
+    (Printf.sprintf "adaptive %d < naive %d" !adaptive_calls !naive_calls)
+    true
+    (!adaptive_calls < !naive_calls)
+
+let test_fig3_round_limit () =
+  let rng = Rng.create ~seed:13 in
+  let w = Wtable.create () in
+  let est = bernoulli_estimator w 0.5 in
+  let phi = Apred.ge (Apred.var 0) (Apred.const 0.5) in
+  let d =
+    Predicate_approx.decide ~eps0:0.001 ~max_rounds:3 ~rng ~delta:0.001 phi
+      [| est |]
+  in
+  check bool_c "hit the limit" true d.hit_round_limit;
+  check Alcotest.int "stopped at 3 rounds" 3 d.rounds
+
+let test_fig3_two_values_ratio () =
+  (* Conditional-probability style predicate x0/x1 <= 0.6 with true values
+     p0 = 1/6, p1 = 1/2 (ratio 1/3): decided true reliably. *)
+  let rng = Rng.create ~seed:55 in
+  let phi =
+    Apred.le (Apred.Div (Apred.var 0, Apred.var 1)) (Apred.const 0.6)
+  in
+  let tally = Stats.tally () in
+  for _ = 1 to 50 do
+    let w = Wtable.create () in
+    let e0 = bernoulli_estimator w (1. /. 6.) in
+    let e1 = bernoulli_estimator w 0.5 in
+    let d = Predicate_approx.decide ~eps0:0.05 ~rng ~delta:0.1 phi [| e0; e1 |] in
+    Stats.record tally d.value
+  done;
+  check bool_c "ratio predicate decided true" true
+    (Stats.error_rate tally <= 0.1 +. 0.06)
+
+(* ------------------------------------------------------------------ *)
+(* Proposition 6.6 bounds                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_error_bound_shapes () =
+  let b l = Error_bound.proposition_6_6 ~k:2 ~d:2 ~n:10 ~eps0:0.1 ~rounds:l in
+  (* Pick budgets large enough that the bound is below its cap of 1. *)
+  check bool_c "decreasing in l" true (b 6000 < b 5000);
+  let l0 = Error_bound.rounds_for_guarantee ~k:2 ~d:2 ~n:10 ~eps0:0.1 ~delta:0.05 in
+  check bool_c "l0 achieves the bound" true (b l0 <= 0.05 +. 1e-9);
+  (* The solved recurrence is dominated by the closed form. *)
+  let per_level = Stats.delta' ~eps:0.1 ~rounds:l0 in
+  check bool_c "recurrence <= closed form" true
+    (Error_bound.recurrence ~k:2 ~n:10 ~d:2 ~per_level <= b l0 +. 1e-12)
+
+(* ------------------------------------------------------------------ *)
+(* More epsilon / decision behaviours                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_linear_extraction () =
+  let module L = Linear_eps in
+  let e = Apred.Add (Apred.Mul (Apred.const 2., Apred.var 0), Apred.const 1.) in
+  (match L.of_expr ~arity:1 e with
+  | Some l ->
+      check (float_c 1e-12) "coeff" 2. l.L.coeffs.(0);
+      check (float_c 1e-12) "const" 1. l.L.constant
+  | None -> Alcotest.fail "expected linear");
+  check bool_c "x*y is not linear" true
+    (L.of_expr ~arity:2 (Apred.Mul (Apred.var 0, Apred.var 1)) = None);
+  check bool_c "1/x is not linear" true
+    (L.of_expr ~arity:1 (Apred.Div (Apred.const 1., Apred.var 0)) = None);
+  (* Division by a constant is linear. *)
+  (match L.of_expr ~arity:1 (Apred.Div (Apred.var 0, Apred.const 2.)) with
+  | Some l -> check (float_c 1e-12) "x/2 coeff" 0.5 l.L.coeffs.(0)
+  | None -> Alcotest.fail "x/2 should be linear");
+  check bool_c "x/0 rejected" true
+    (L.of_expr ~arity:1 (Apred.Div (Apred.var 0, Apred.const 0.)) = None)
+
+let prop_epsilon_monotone_in_distance =
+  (* For x >= c, moving the point away from c never shrinks epsilon. *)
+  QCheck.Test.make ~name:"epsilon monotone in distance from boundary"
+    ~count:200
+    (QCheck.pair (QCheck.float_range 0.1 0.4) (QCheck.float_range 0.0 0.4))
+    (fun (c, step) ->
+      let pred = Apred.ge (Apred.var 0) (Apred.const c) in
+      let near = Epsilon.epsilon pred [| c +. 0.05 |] in
+      let far = Epsilon.epsilon pred [| c +. 0.05 +. step |] in
+      far >= near -. 1e-12)
+
+let test_epsilon_false_conjunction () =
+  (* And(a, b) with a true, b false: overall false; homogeneity follows the
+     false conjunct. *)
+  let a = Apred.ge (Apred.var 0) (Apred.const 0.1) in
+  let b = Apred.ge (Apred.var 0) (Apred.const 0.9) in
+  let p = [| 0.5 |] in
+  let eps = Epsilon.epsilon (Apred.conj a b) p in
+  check (float_c 1e-12) "false conjunct drives it" (Epsilon.epsilon b p) eps;
+  check bool_c "predicate is false at p" false (Apred.eval p (Apred.conj a b))
+
+let test_epsilon_for_decision_alias () =
+  let pred = Apred.ge (Apred.var 0) (Apred.const 0.4) in
+  check (float_c 0.) "alias agrees" (Epsilon.epsilon pred [| 0.5 |])
+    (Epsilon.epsilon_for_decision pred [| 0.5 |])
+
+let test_epsilon_search_is_sound_at_low_precision () =
+  (* Few bisection iterations yield a smaller but still sound radius. *)
+  let pred = Apred.ge (Apred.var 0) (Apred.const 0.4) in
+  let point = [| 0.5 |] in
+  let coarse = Orthotope.epsilon_search ~iterations:5 pred point in
+  let fine = Orthotope.epsilon_search ~iterations:50 pred point in
+  check bool_c "coarse <= fine" true (coarse <= fine +. 1e-12);
+  check bool_c "coarse still homogeneous" true
+    (Orthotope.corners_agree pred ~point ~eps:coarse)
+
+let test_decide_argument_validation () =
+  let rng = Rng.create ~seed:1 in
+  let w = Wtable.create () in
+  let est = bernoulli_estimator w 0.5 in
+  let phi = Apred.ge (Apred.var 0) (Apred.const 0.5) in
+  check bool_c "bad delta" true
+    (try
+       ignore (Predicate_approx.decide ~rng ~delta:0. phi [| est |]);
+       false
+     with Invalid_argument _ -> true);
+  check bool_c "bad eps0" true
+    (try
+       ignore (Predicate_approx.decide ~eps0:1.5 ~rng ~delta:0.1 phi [| est |]);
+       false
+     with Invalid_argument _ -> true);
+  check bool_c "not enough estimators" true
+    (try
+       ignore (Predicate_approx.decide ~rng ~delta:0.1 phi [||]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_decide_with_degenerate_estimator () =
+  (* One genuinely certain value (p = 1) alongside a sampled one. *)
+  let rng = Rng.create ~seed:6 in
+  let w = Wtable.create () in
+  let certain =
+    Estimator.create (Dnf.prepare w [ Pqdb_urel.Assignment.empty ])
+  in
+  let sampled = bernoulli_estimator w 0.8 in
+  let phi =
+    Apred.conj
+      (Apred.ge (Apred.var 0) (Apred.const 0.9))
+      (Apred.ge (Apred.var 1) (Apred.const 0.5))
+  in
+  let d =
+    Predicate_approx.decide ~eps0:0.05 ~rng ~delta:0.1 phi
+      [| certain; sampled |]
+  in
+  check bool_c "decided true" true d.Predicate_approx.value;
+  check bool_c "bound met" true (d.Predicate_approx.error_bound <= 0.1 +. 1e-9)
+
+let test_decide_all_degenerate () =
+  let rng = Rng.create ~seed:6 in
+  let w = Wtable.create () in
+  let certain =
+    Estimator.create (Dnf.prepare w [ Pqdb_urel.Assignment.empty ])
+  in
+  let phi = Apred.ge (Apred.var 0) (Apred.const 0.5) in
+  let d = Predicate_approx.decide ~rng ~delta:0.1 phi [| certain |] in
+  check bool_c "no sampling" true (d.Predicate_approx.estimator_calls = 0);
+  check bool_c "true" true d.Predicate_approx.value;
+  check (float_c 0.) "zero error" 0. d.Predicate_approx.error_bound;
+  check bool_c "no floor reliance" false d.Predicate_approx.used_floor
+
+let test_split_duplicates_preserves_semantics () =
+  let pred =
+    Apred.ge (Apred.Mul (Apred.var 0, Apred.var 0)) (Apred.const 0.25)
+  in
+  let pred2, origin = Epsilon.split_duplicates pred in
+  List.iter
+    (fun x ->
+      let expanded = Array.map (fun o -> [| x |].(o)) origin in
+      check bool_c "same truth value" (Apred.eval [| x |] pred)
+        (Apred.eval expanded pred2))
+    [ 0.1; 0.4; 0.5; 0.6; 0.9 ]
+
+let test_independent_bound_is_cheaper () =
+  (* With two approximable values the 1 - prod(1 - d_i) bound reaches the
+     target with no more sampling than the Figure-3 sum. *)
+  let phi =
+    Apred.conj
+      (Apred.ge (Apred.var 0) (Apred.const 0.5))
+      (Apred.ge (Apred.var 1) (Apred.const 0.5))
+  in
+  let total flag seed =
+    let rng = Rng.create ~seed in
+    let calls = ref 0 in
+    for _ = 1 to 10 do
+      let w = Wtable.create () in
+      let e0 = bernoulli_estimator w 0.8 in
+      let e1 = bernoulli_estimator w 0.9 in
+      let d =
+        Predicate_approx.decide ~independent:flag ~eps0:0.05 ~rng ~delta:0.1
+          phi [| e0; e1 |]
+      in
+      calls := !calls + d.Predicate_approx.estimator_calls
+    done;
+    !calls
+  in
+  check bool_c "independent bound needs no more calls" true
+    (total true 42 <= total false 42)
+
+let test_example_6_3_inequality () =
+  (* Example 6.3: treating the error *bound* delta as the exact error
+     probability overstates P(sigma(R) nonempty).  With true per-tuple error
+     e < delta for t1 (dropped) and delta for t2 (kept):
+       true  P = (1 - delta) + e * delta        (t2 correct, or both flip)
+       model P = (1 - delta) + delta^2
+     so the model is too optimistic whenever e < delta. *)
+  let delta = 0.1 and e = 0.01 in
+  let truth = 1. -. delta +. (e *. delta) in
+  let modelled = 1. -. delta +. (delta *. delta) in
+  check bool_c "model overstates" true (modelled > truth);
+  check (float_c 1e-12) "paper's numbers" 0.901 truth;
+  check (float_c 1e-12) "modelled value" 0.91 modelled
+
+(* ------------------------------------------------------------------ *)
+(* The Apred language itself                                            *)
+(* ------------------------------------------------------------------ *)
+
+let apred_gen =
+  let open QCheck.Gen in
+  let expr =
+    oneof
+      [
+        map (fun i -> Apred.Var i) (int_range 0 1);
+        map (fun c -> Apred.Const (float_of_int c /. 4.)) (int_range 0 4);
+      ]
+  in
+  let atom =
+    map3
+      (fun op a b ->
+        let ops = [| Apred.Eq; Neq; Lt; Le; Gt; Ge |] in
+        Apred.Cmp (ops.(op), a, b))
+      (int_range 0 5) expr expr
+  in
+  let rec go depth =
+    if depth = 0 then atom
+    else
+      frequency
+        [
+          (3, atom);
+          (1, map2 (fun a b -> Apred.And (a, b)) (go (depth - 1)) (go (depth - 1)));
+          (1, map2 (fun a b -> Apred.Or (a, b)) (go (depth - 1)) (go (depth - 1)));
+          (2, map (fun a -> Apred.Not a) (go (depth - 1)));
+        ]
+  in
+  go 3
+
+let sample_points =
+  [ [| 0.; 0. |]; [| 0.25; 0.75 |]; [| 0.5; 0.5 |]; [| 1.; 0.25 |] ]
+
+let prop_apred_nnf_equivalent =
+  QCheck.Test.make ~name:"apred nnf preserves semantics" ~count:300
+    (QCheck.make apred_gen) (fun phi ->
+      let n = Apred.nnf phi in
+      List.for_all (fun p -> Apred.eval p phi = Apred.eval p n) sample_points)
+
+let prop_apred_nnf_removes_not =
+  QCheck.Test.make ~name:"apred nnf eliminates Not" ~count:300
+    (QCheck.make apred_gen) (fun phi ->
+      let rec no_not = function
+        | Apred.Not _ -> false
+        | Apred.And (a, b) | Apred.Or (a, b) -> no_not a && no_not b
+        | Apred.Cmp _ | Apred.True | Apred.False -> true
+      in
+      no_not (Apred.nnf phi))
+
+let prop_apred_rational_eval_agrees =
+  (* On dyadic points every constant and intermediate is float-exact, so the
+     rational and float evaluations must decide identically. *)
+  QCheck.Test.make ~name:"apred rational eval agrees with float" ~count:300
+    (QCheck.make apred_gen) (fun phi ->
+      List.for_all
+        (fun p ->
+          let pr = Array.map Q.of_float p in
+          match Apred.eval_rational pr phi with
+          | v -> v = Apred.eval p phi
+          | exception Division_by_zero ->
+              (* float path yields inf/nan instead; skip those points *)
+              true)
+        sample_points)
+
+let test_apred_structure () =
+  let phi =
+    Apred.conj
+      (Apred.ge (Apred.Div (Apred.var 0, Apred.var 1)) (Apred.const 0.5))
+      (Apred.lt (Apred.var 1) (Apred.const 1.))
+  in
+  check Alcotest.int "arity" 2 (Apred.arity phi);
+  check (Alcotest.array Alcotest.int) "occurrences" [| 1; 2 |]
+    (Apred.occurrences phi);
+  check bool_c "not single occurrence" false (Apred.single_occurrence phi);
+  check Alcotest.int "variable-free arity" 0
+    (Apred.arity (Apred.ge (Apred.const 1.) (Apred.const 0.)))
+
+(* ------------------------------------------------------------------ *)
+(* Approximable values (the Section 5 generalization)                  *)
+(* ------------------------------------------------------------------ *)
+
+module Approximable = Pqdb.Approximable
+
+let test_sampler_converges () =
+  let rng = Rng.create ~seed:21 in
+  let values = Array.init 1000 (fun i -> float_of_int (i mod 10)) in
+  (* true mean 4.5 *)
+  let v = Approximable.of_sampler ~lower_bound:1. ~values () in
+  Approximable.refine_by rng v 20_000;
+  check bool_c "estimate near 4.5" true
+    (Float.abs (Approximable.estimate v -. 4.5) < 0.2);
+  check bool_c "bound shrinks with draws" true
+    (Approximable.delta_bound v ~eps:0.1 < 0.5)
+
+let test_sampler_validation () =
+  check bool_c "empty population" true
+    (try
+       ignore (Approximable.of_sampler ~lower_bound:1. ~values:[||] ());
+       false
+     with Invalid_argument _ -> true);
+  check bool_c "non-positive lower bound" true
+    (try
+       ignore
+         (Approximable.of_sampler ~lower_bound:0. ~values:[| 1.; 2. |] ());
+       false
+     with Invalid_argument _ -> true);
+  (* Constant population collapses to an exact value. *)
+  let v = Approximable.of_sampler ~lower_bound:1. ~values:[| 3.; 3. |] () in
+  check bool_c "constant population is exact" true (Approximable.is_exact v);
+  check (float_c 0.) "exact value" 3. (Approximable.estimate v)
+
+let test_decide_values_on_sampler () =
+  (* Decide mean >= threshold by sampling: error rate within delta. *)
+  let delta = 0.1 in
+  let tally = Stats.tally () in
+  for seed = 1 to 60 do
+    let rng = Rng.create ~seed:(900 + seed) in
+    let values = Array.init 500 (fun i -> float_of_int (10 + (i mod 20))) in
+    (* true mean 19.5; threshold 15 is comfortably below *)
+    let phi = Apred.ge (Apred.var 0) (Apred.const 15.) in
+    let d =
+      Predicate_approx.decide_values ~eps0:0.05 ~rng ~delta phi
+        [| Approximable.of_sampler ~lower_bound:10. ~values () |]
+    in
+    Stats.record tally d.Predicate_approx.value
+  done;
+  check bool_c "sampling decisions within delta" true
+    (Stats.error_rate tally <= delta +. 0.05)
+
+let test_decide_values_mixed_kinds () =
+  let rng = Rng.create ~seed:77 in
+  let w = Wtable.create () in
+  let conf = Approximable.of_karp_luby (bernoulli_estimator w 0.9) in
+  let agg =
+    Approximable.of_sampler ~lower_bound:1.
+      ~values:(Array.init 100 (fun i -> float_of_int (1 + (i mod 5))))
+      ()
+  in
+  let known = Approximable.constant 2. in
+  (* conf * known >= 1 and agg >= 2  (true: 0.9*2 = 1.8 >= 1, mean 3 >= 2) *)
+  let phi =
+    Apred.conj
+      (Apred.ge (Apred.Mul (Apred.var 0, Apred.var 2)) (Apred.const 1.))
+      (Apred.ge (Apred.var 1) (Apred.const 2.))
+  in
+  let d =
+    Predicate_approx.decide_values ~eps0:0.05 ~rng ~delta:0.1 phi
+      [| conf; agg; known |]
+  in
+  check bool_c "mixed decision true" true d.Predicate_approx.value;
+  check bool_c "bound met" true (d.Predicate_approx.error_bound <= 0.1 +. 1e-9)
+
+let test_decide_values_matches_karp_luby_path () =
+  (* The generic loop over of_karp_luby values behaves like the dedicated
+     Estimator-array implementation. *)
+  let phi = Apred.ge (Apred.var 0) (Apred.const 0.5) in
+  let run_generic seed =
+    let rng = Rng.create ~seed in
+    let w = Wtable.create () in
+    let est = bernoulli_estimator w 0.8 in
+    Predicate_approx.decide_values ~eps0:0.05 ~rng ~delta:0.1 phi
+      [| Approximable.of_karp_luby est |]
+  in
+  let run_direct seed =
+    let rng = Rng.create ~seed in
+    let w = Wtable.create () in
+    let est = bernoulli_estimator w 0.8 in
+    Predicate_approx.decide ~eps0:0.05 ~rng ~delta:0.1 phi [| est |]
+  in
+  let g = run_generic 5 and d = run_direct 5 in
+  check bool_c "same decision" d.Predicate_approx.value
+    g.Predicate_approx.value;
+  check Alcotest.int "same call count" d.Predicate_approx.estimator_calls
+    g.Predicate_approx.estimator_calls
+
+let test_recurrence_base_case () =
+  check (float_c 0.) "d = 0 has no error" 0.
+    (Error_bound.recurrence ~k:3 ~n:10 ~d:0 ~per_level:0.1)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "core"
+    [
+      ( "theorem 5.2",
+        [
+          Alcotest.test_case "Example 5.4 / Figure 2" `Quick test_example_5_4;
+          Alcotest.test_case "nonzero b" `Quick test_theorem_5_2_nonzero_b;
+          Alcotest.test_case "negative b" `Quick test_theorem_5_2_negative_b;
+          Alcotest.test_case "boundary gives 0 (Remark 5.3)" `Quick
+            test_boundary_gives_zero;
+          Alcotest.test_case "equality atoms" `Quick test_equality_atom_zero;
+          Alcotest.test_case "constant predicates" `Quick
+            test_constant_predicate;
+          Alcotest.test_case "and/or composition" `Quick
+            test_composition_min_max;
+          Alcotest.test_case "mixed-truth disjunction sound" `Quick
+            test_mixed_truth_disjunction_sound;
+          qcheck prop_linear_matches_search;
+          qcheck prop_orthotope_homogeneous;
+        ] );
+      ( "theorem 5.5",
+        [
+          Alcotest.test_case "ratio predicate corner search" `Quick
+            test_corner_search_ratio;
+          Alcotest.test_case "multi-occurrence rejected" `Quick
+            test_multi_occurrence_rejected;
+          Alcotest.test_case "split_duplicates" `Quick test_split_duplicates;
+        ] );
+      ( "singularity",
+        [
+          Alcotest.test_case "linear detection" `Quick test_singularity_linear;
+          Alcotest.test_case "certainty test (Example 5.7)" `Quick
+            test_certainty_test_singular;
+        ] );
+      ( "figure 3",
+        [
+          Alcotest.test_case "decides within delta" `Slow
+            test_fig3_decides_correctly;
+          Alcotest.test_case "terminates on boundary" `Quick
+            test_fig3_terminates_on_boundary;
+          Alcotest.test_case "far cheaper than near" `Slow
+            test_fig3_far_cheaper_than_near;
+          Alcotest.test_case "adaptive beats naive" `Slow test_fig3_vs_naive;
+          Alcotest.test_case "round limit" `Quick test_fig3_round_limit;
+          Alcotest.test_case "two-value ratio predicate" `Slow
+            test_fig3_two_values_ratio;
+        ] );
+      ( "more behaviours",
+        [
+          Alcotest.test_case "linear extraction" `Quick test_linear_extraction;
+          qcheck prop_epsilon_monotone_in_distance;
+          Alcotest.test_case "false conjunction homogeneity" `Quick
+            test_epsilon_false_conjunction;
+          Alcotest.test_case "epsilon_for_decision alias" `Quick
+            test_epsilon_for_decision_alias;
+          Alcotest.test_case "coarse search stays sound" `Quick
+            test_epsilon_search_is_sound_at_low_precision;
+          Alcotest.test_case "decide argument validation" `Quick
+            test_decide_argument_validation;
+          Alcotest.test_case "decide with degenerate estimator" `Quick
+            test_decide_with_degenerate_estimator;
+          Alcotest.test_case "decide with only degenerate" `Quick
+            test_decide_all_degenerate;
+          Alcotest.test_case "split preserves semantics" `Quick
+            test_split_duplicates_preserves_semantics;
+          Alcotest.test_case "independence bound cheaper" `Quick
+            test_independent_bound_is_cheaper;
+          Alcotest.test_case "Example 6.3 inequality" `Quick
+            test_example_6_3_inequality;
+          Alcotest.test_case "recurrence base case" `Quick
+            test_recurrence_base_case;
+        ] );
+      ( "apred language",
+        [
+          qcheck prop_apred_nnf_equivalent;
+          qcheck prop_apred_nnf_removes_not;
+          qcheck prop_apred_rational_eval_agrees;
+          Alcotest.test_case "structure" `Quick test_apred_structure;
+        ] );
+      ( "approximable values",
+        [
+          Alcotest.test_case "sampler converges" `Quick test_sampler_converges;
+          Alcotest.test_case "sampler validation" `Quick
+            test_sampler_validation;
+          Alcotest.test_case "sampled decisions within delta" `Slow
+            test_decide_values_on_sampler;
+          Alcotest.test_case "mixed kinds" `Quick
+            test_decide_values_mixed_kinds;
+          Alcotest.test_case "generic = dedicated on Karp-Luby" `Quick
+            test_decide_values_matches_karp_luby_path;
+        ] );
+      ( "proposition 6.6",
+        [ Alcotest.test_case "bound shapes" `Quick test_error_bound_shapes ]
+      );
+    ]

@@ -1,0 +1,331 @@
+(* Tests for the textual query language: lexing, parsing, let-programs, and
+   round-trip evaluation against the algebra built programmatically. *)
+
+open Pqdb_relational
+module Ua = Pqdb_ast.Ua
+module Apred = Pqdb_ast.Apred
+module Lexer = Pqdb_lang.Lexer
+module Token = Pqdb_lang.Token
+module Qparser = Pqdb_lang.Qparser
+module Scenarios = Pqdb_workload.Scenarios
+module Q = Pqdb_numeric.Rational
+
+let check = Alcotest.check
+let bool_c = Alcotest.bool
+let int_c = Alcotest.int
+let rel_testable = Alcotest.testable Relation.pp Relation.equal
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let tokens text = List.map fst (Lexer.tokenize text)
+
+let test_lexer_basics () =
+  check int_c "count (incl. Eof)" 10
+    (List.length (tokens "select [ A = 1 ] (R)"));
+  (match tokens "select[A >= 1.5](R)" with
+  | [ Token.Kw "select"; Lbracket; Ident "A"; Ge; Float 1.5; Rbracket;
+      Lparen; Ident "R"; Rparen; Eof ] ->
+      ()
+  | _ -> Alcotest.fail "unexpected token stream");
+  (match tokens "$1 <> 'two words' -- comment\n42" with
+  | [ Token.Dollar 1; Neq; String "two words"; Int 42; Eof ] -> ()
+  | _ -> Alcotest.fail "strings/comments/dollars")
+
+let test_lexer_keywords_case_insensitive () =
+  (match tokens "SELECT Conf ASELECT" with
+  | [ Token.Kw "select"; Kw "conf"; Kw "aselect"; Eof ] -> ()
+  | _ -> Alcotest.fail "keywords must be case-insensitive");
+  (* Identifiers keep their case. *)
+  match tokens "CoinType" with
+  | [ Token.Ident "CoinType"; Eof ] -> ()
+  | _ -> Alcotest.fail "identifier case"
+
+let test_lexer_arrow_vs_minus () =
+  (match tokens "A -> B" with
+  | [ Token.Ident "A"; Arrow; Ident "B"; Eof ] -> ()
+  | _ -> Alcotest.fail "arrow");
+  match tokens "A - B" with
+  | [ Token.Ident "A"; Minus; Ident "B"; Eof ] -> ()
+  | _ -> Alcotest.fail "minus"
+
+let test_lexer_errors () =
+  check bool_c "bad char" true
+    (try
+       ignore (Lexer.tokenize "select # R");
+       false
+     with Lexer.Error _ -> true);
+  check bool_c "unterminated string" true
+    (try
+       ignore (Lexer.tokenize "'oops");
+       false
+     with Lexer.Error _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_parse_simple () =
+  (match Qparser.parse_query "conf(R)" with
+  | Ua.Conf (Ua.Table "R") -> ()
+  | q -> Alcotest.failf "got %a" Ua.pp q);
+  (match Qparser.parse_query "select[A = 1](R)" with
+  | Ua.Select (_, Ua.Table "R") -> ()
+  | q -> Alcotest.failf "got %a" Ua.pp q);
+  match Qparser.parse_query "project[A, B + 1 -> C](R)" with
+  | Ua.Project ([ (Expr.Attr "A", "A"); (Expr.Add _, "C") ], Ua.Table "R") ->
+      ()
+  | q -> Alcotest.failf "got %a" Ua.pp q
+
+let test_parse_binops_left_assoc () =
+  match Qparser.parse_query "A union B minus C" with
+  | Ua.Diff (Ua.Union (Ua.Table "A", Ua.Table "B"), Ua.Table "C") -> ()
+  | q -> Alcotest.failf "got %a" Ua.pp q
+
+let test_parse_repairkey () =
+  (match Qparser.parse_query "repairkey[K1, K2 @ W](R)" with
+  | Ua.RepairKey { key = [ "K1"; "K2" ]; weight = "W"; query = Ua.Table "R" }
+    ->
+      ()
+  | q -> Alcotest.failf "got %a" Ua.pp q);
+  match Qparser.parse_query "repairkey[@ W](R)" with
+  | Ua.RepairKey { key = []; weight = "W"; _ } -> ()
+  | q -> Alcotest.failf "got %a" Ua.pp q
+
+let test_parse_aselect () =
+  match Qparser.parse_query "aselect[$1 / $2 <= 0.5 | conf[A], conf[]](R)" with
+  | Ua.ApproxSelect
+      {
+        phi = Apred.Cmp (Apred.Le, Apred.Div (Apred.Var 0, Apred.Var 1), _);
+        conf_args = [ [ "A" ]; [] ];
+        input = Ua.Table "R";
+      } ->
+      ()
+  | q -> Alcotest.failf "got %a" Ua.pp q
+
+let test_parse_aconf () =
+  match Qparser.parse_query "aconf[0.1, 0.05](R)" with
+  | Ua.ApproxConf ({ eps = 0.1; delta = 0.05 }, Ua.Table "R") -> ()
+  | q -> Alcotest.failf "got %a" Ua.pp q
+
+let test_parse_lit () =
+  match Qparser.parse_query "lit[A, B]((1, 'x'), (2, 'y'))" with
+  | Ua.Lit rel ->
+      check int_c "two rows" 2 (Relation.cardinality rel);
+      check bool_c "content" true
+        (Relation.mem rel (Tuple.of_list [ Value.Int 1; Value.Str "x" ]))
+  | q -> Alcotest.failf "got %a" Ua.pp q
+
+let test_parse_condition_grammar () =
+  let q =
+    Qparser.parse_query
+      "select[not (A = 1 or B < 2) and C * 2 >= D / 3](R)"
+  in
+  match q with
+  | Ua.Select (p, _) ->
+      (* Spot-check semantics of the parsed predicate. *)
+      let schema = Schema.of_list [ "A"; "B"; "C"; "D" ] in
+      let t a b c d =
+        Tuple.of_list [ Value.Int a; Value.Int b; Value.Int c; Value.Int d ]
+      in
+      check bool_c "case 1" false (Predicate.eval schema (t 1 5 9 1) p);
+      check bool_c "case 2" true (Predicate.eval schema (t 2 5 9 1) p);
+      check bool_c "case 3" false (Predicate.eval schema (t 2 1 9 1) p)
+  | q -> Alcotest.failf "got %a" Ua.pp q
+
+let test_parse_errors () =
+  let bad text =
+    try
+      ignore (Qparser.parse_query text);
+      false
+    with Qparser.Error _ -> true
+  in
+  check bool_c "missing paren" true (bad "conf(R");
+  check bool_c "trailing" true (bad "R extra");
+  check bool_c "computed without name" true (bad "project[A + 1](R)");
+  check bool_c "dollar zero" true (bad "aselect[$0 >= 1 | conf[]](R)")
+
+let test_parse_program_views () =
+  let views, final =
+    Qparser.parse_program
+      "let V = select[A = 1](R); let W2 = V union V; conf(W2)"
+  in
+  check int_c "two views" 2 (List.length views);
+  (match final with
+  | Some (Ua.Conf (Ua.Union (a, b))) ->
+      check bool_c "views substituted" true (a = b)
+  | _ -> Alcotest.fail "unexpected final query");
+  let _, none = Qparser.parse_program "let V = R;" in
+  check bool_c "program may end after lets" true (none = None)
+
+(* ------------------------------------------------------------------ *)
+(* End to end: parsed Example 2.2 equals the programmatic one          *)
+(* ------------------------------------------------------------------ *)
+
+let example_program =
+  {|
+  let R = project[CoinType](repairkey[@Count](Coins));
+  let S = project[FCoinType, Toss, Face](
+            repairkey[FCoinType, Toss @ FProb](Faces times Tosses));
+  let H1 = rename[FCoinType -> CoinType](
+             project[FCoinType](select[Toss = 1 and Face = 'H'](S)));
+  let H2 = rename[FCoinType -> CoinType](
+             project[FCoinType](select[Toss = 2 and Face = 'H'](S)));
+  let T = R join H1 join H2;
+  project[CoinType, P1 / P2 -> P](
+    rename[P -> P1](conf(T)) join rename[P -> P2](conf(project[](T))))
+|}
+
+let test_end_to_end_coin () =
+  let _views, final = Qparser.parse_program example_program in
+  let q = Option.get final in
+  let udb = Scenarios.coin_db () in
+  let u = Pqdb.Eval_exact.eval_relation udb q in
+  let expected =
+    Relation.of_rows [ "CoinType"; "P" ]
+      [
+        [ Value.Str "fair"; Value.rat (Q.of_ints 1 3) ];
+        [ Value.Str "2headed"; Value.rat (Q.of_ints 2 3) ];
+      ]
+  in
+  check rel_testable "posterior via the textual language" expected u
+
+(* ------------------------------------------------------------------ *)
+(* Pretty printer: parse (print q) = q                                  *)
+(* ------------------------------------------------------------------ *)
+
+module Pretty = Pqdb_lang.Pretty
+
+(* Random queries restricted to the printable fragment: identifier names,
+   non-negative integer constants, quote-free strings. *)
+let printable_query_gen =
+  let open QCheck.Gen in
+  let name = oneofl [ "R"; "S"; "T2"; "Data" ] in
+  let attr = oneofl [ "A"; "B"; "C"; "D" ] in
+  let pred =
+    let atom =
+      map3
+        (fun a op c ->
+          let ops =
+            [| Predicate.Eq; Predicate.Neq; Predicate.Lt; Predicate.Le;
+               Predicate.Gt; Predicate.Ge |]
+          in
+          Predicate.Cmp (ops.(op), Expr.Attr a, Expr.Const (Value.Int c)))
+        attr (int_range 0 5) (int_range 0 9)
+    in
+    oneof
+      [
+        atom;
+        map2 (fun a b -> Predicate.And (a, b)) atom atom;
+        map2 (fun a b -> Predicate.Or (a, b)) atom atom;
+        map (fun a -> Predicate.Not a) atom;
+      ]
+  in
+  let rec query depth =
+    if depth = 0 then map (fun n -> Ua.Table n) name
+    else begin
+      let sub = query (depth - 1) in
+      oneof
+        [
+          map (fun n -> Ua.Table n) name;
+          map2 (fun p q -> Ua.Select (p, q)) pred sub;
+          map2 (fun a q -> Ua.project [ a ] q) attr sub;
+          map3
+            (fun a b q -> Ua.Rename ([ (a, b) ], q))
+            attr
+            (oneofl [ "X"; "Y" ])
+            sub;
+          map2 (fun a b -> Ua.Join (a, b)) sub sub;
+          map2 (fun a b -> Ua.Union (a, b)) sub sub;
+          map2 (fun a b -> Ua.Product (a, b)) sub sub;
+          map (fun q -> Ua.Conf q) sub;
+          map (fun q -> Ua.Poss q) sub;
+          map (fun q -> Ua.Cert q) sub;
+          map2
+            (fun k q -> Ua.RepairKey { key = [ k ]; weight = "W"; query = q })
+            attr sub;
+          map2
+            (fun t q ->
+              Ua.ApproxSelect
+                {
+                  phi =
+                    Apred.ge
+                      (Apred.Div (Apred.var 0, Apred.var 1))
+                      (Apred.const (float_of_int t /. 10.));
+                  conf_args = [ [ "A" ]; [] ];
+                  input = q;
+                })
+            (int_range 1 9) sub;
+        ]
+    end
+  in
+  query 3
+
+let prop_pretty_roundtrip =
+  QCheck.Test.make ~name:"parse (print q) = q" ~count:300
+    (QCheck.make printable_query_gen) (fun q ->
+      let printed = Pretty.query_to_string q in
+      match Qparser.parse_query printed with
+      | q' -> q' = q
+      | exception _ ->
+          QCheck.Test.fail_reportf "unparseable: %s" printed)
+
+let test_pretty_coin_roundtrip () =
+  let q = Scenarios.coin_queries.Scenarios.u in
+  let printed = Pretty.query_to_string q in
+  let q' = Qparser.parse_query printed in
+  check bool_c "coin posterior query roundtrips" true (q' = q)
+
+let test_pretty_lit_roundtrip () =
+  let q =
+    Ua.Lit
+      (Relation.of_rows [ "A"; "B" ]
+         [ [ Value.Int 1; Value.Str "x" ]; [ Value.Int 2; Value.Bool true ] ])
+  in
+  let q' = Qparser.parse_query (Pretty.query_to_string q) in
+  match (q, q') with
+  | Ua.Lit a, Ua.Lit b ->
+      check bool_c "literal relation roundtrips" true (Relation.equal a b)
+  | _ -> Alcotest.fail "expected literals"
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "lang"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "basics" `Quick test_lexer_basics;
+          Alcotest.test_case "keyword case" `Quick
+            test_lexer_keywords_case_insensitive;
+          Alcotest.test_case "arrow vs minus" `Quick test_lexer_arrow_vs_minus;
+          Alcotest.test_case "errors" `Quick test_lexer_errors;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "simple terms" `Quick test_parse_simple;
+          Alcotest.test_case "binops left assoc" `Quick
+            test_parse_binops_left_assoc;
+          Alcotest.test_case "repairkey" `Quick test_parse_repairkey;
+          Alcotest.test_case "aselect" `Quick test_parse_aselect;
+          Alcotest.test_case "aconf" `Quick test_parse_aconf;
+          Alcotest.test_case "literal relations" `Quick test_parse_lit;
+          Alcotest.test_case "condition grammar" `Quick
+            test_parse_condition_grammar;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "programs with views" `Quick
+            test_parse_program_views;
+        ] );
+      ( "end to end",
+        [ Alcotest.test_case "Example 2.2 via text" `Quick test_end_to_end_coin ]
+      );
+      ( "pretty",
+        [
+          qcheck prop_pretty_roundtrip;
+          Alcotest.test_case "coin query roundtrips" `Quick
+            test_pretty_coin_roundtrip;
+          Alcotest.test_case "literal roundtrips" `Quick
+            test_pretty_lit_roundtrip;
+        ] );
+    ]

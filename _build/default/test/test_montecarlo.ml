@@ -1,0 +1,289 @@
+(* Tests for the Karp-Luby FPRAS (Section 4): estimator unbiasedness, the
+   (ε, δ) guarantee, degenerate cases and incremental estimator state. *)
+
+open Pqdb_numeric
+open Pqdb_urel
+open Pqdb_montecarlo
+module Q = Rational
+
+let check = Alcotest.check
+let bool_c = Alcotest.bool
+let int_c = Alcotest.int
+
+(* A fixed mid-size DNF with known structure: three Bernoulli variables,
+   clauses {x=1}, {y=1, z=0}, {x=0, z=1}. *)
+let fixture () =
+  let w = Wtable.create () in
+  let x = Wtable.add_var w [ Q.of_ints 3 10; Q.of_ints 7 10 ] in
+  let y = Wtable.add_var w [ Q.of_ints 1 2; Q.of_ints 1 2 ] in
+  let z = Wtable.add_var w [ Q.of_ints 4 5; Q.of_ints 1 5 ] in
+  let clauses =
+    [
+      Assignment.singleton x 1;
+      Assignment.of_list [ (y, 1); (z, 0) ];
+      Assignment.of_list [ (x, 0); (z, 1) ];
+    ]
+  in
+  (w, clauses)
+
+let test_dnf_structure () =
+  let w, clauses = fixture () in
+  let dnf = Dnf.prepare w clauses in
+  check int_c "|F| = 3" 3 (Dnf.clause_count dnf);
+  check bool_c "not trivial" false
+    (Dnf.is_trivially_false dnf || Dnf.is_trivially_true dnf);
+  (* M = 0.7 + 0.5*0.8 + 0.3*0.2 = 1.16 *)
+  check (Alcotest.float 1e-9) "M" 1.16 (Dnf.total_weight dnf);
+  check int_c "3 variables" 3 (List.length (Dnf.variables dnf))
+
+let test_estimator_unbiased () =
+  (* Mean of many estimator evaluations times M approximates p. *)
+  let w, clauses = fixture () in
+  let dnf = Dnf.prepare w clauses in
+  let p = Q.to_float (Dnf.exact dnf) in
+  let rng = Rng.create ~seed:99 in
+  let trials = 60_000 in
+  let sum = ref 0 in
+  for _ = 1 to trials do
+    sum := !sum + Dnf.sample_estimator rng dnf
+  done;
+  let estimate =
+    float_of_int !sum *. Dnf.total_weight dnf /. float_of_int trials
+  in
+  check bool_c
+    (Printf.sprintf "estimate %.4f near exact %.4f" estimate p)
+    true
+    (Float.abs (estimate -. p) < 0.01)
+
+let test_exact_value () =
+  (* P(x=1 or (y=1 and z=0) or (x=0 and z=1))
+     = 1 - P(none): complementary via enumeration is checked in test_urel;
+     here pin the known value.
+     Worlds where none holds: x=0 and not(y=1,z=0) and not(z=1)
+       => x=0, z=0, y=0 : 0.3*0.5*0.8 = 0.12
+     p = 1 - 0.12 = 0.88. *)
+  let w, clauses = fixture () in
+  let dnf = Dnf.prepare w clauses in
+  check (Alcotest.float 1e-9) "exact p" 0.88 (Q.to_float (Dnf.exact dnf))
+
+let test_fpras_guarantee () =
+  (* Empirical failure frequency of the (ε, δ) scheme stays ≤ δ (with slack
+     for randomness: binomial with 400 runs). *)
+  let w, clauses = fixture () in
+  let dnf = Dnf.prepare w clauses in
+  let p = Q.to_float (Dnf.exact dnf) in
+  let eps = 0.08 and delta = 0.1 in
+  let rng = Rng.create ~seed:7 in
+  let runs = 400 in
+  let tally = Stats.tally () in
+  for _ = 1 to runs do
+    let p_hat = Karp_luby.fpras rng dnf ~eps ~delta in
+    Stats.record tally (Float.abs (p_hat -. p) < eps *. p)
+  done;
+  let rate = Stats.error_rate tally in
+  check bool_c
+    (Printf.sprintf "failure rate %.3f <= delta %.3f (+slack)" rate delta)
+    true
+    (rate <= delta +. 0.05)
+
+let test_trials_formula () =
+  let w, clauses = fixture () in
+  let dnf = Dnf.prepare w clauses in
+  let m = Karp_luby.trials_for dnf ~eps:0.1 ~delta:0.05 in
+  (* m = ceil(3 * 3 * ln(40) / 0.01) = ceil(900 * 3.68888) = 3320 *)
+  check int_c "m formula" 3320 m
+
+let test_degenerate_dnfs () =
+  let w = Wtable.create () in
+  let rng = Rng.create ~seed:1 in
+  let empty = Dnf.prepare w [] in
+  check bool_c "empty is false" true (Dnf.is_trivially_false empty);
+  check (Alcotest.float 0.) "p = 0" 0. (Karp_luby.fpras rng empty ~eps:0.1 ~delta:0.1);
+  let certain = Dnf.prepare w [ Assignment.empty ] in
+  check bool_c "empty clause is true" true (Dnf.is_trivially_true certain);
+  check (Alcotest.float 0.) "p = 1" 1.
+    (Karp_luby.fpras rng certain ~eps:0.1 ~delta:0.1);
+  check int_c "no trials needed" 0 (Karp_luby.trials_for certain ~eps:0.1 ~delta:0.1)
+
+let test_estimator_state () =
+  let w, clauses = fixture () in
+  let dnf = Dnf.prepare w clauses in
+  let est = Estimator.create dnf in
+  let rng = Rng.create ~seed:5 in
+  check int_c "starts empty" 0 (Estimator.trials est);
+  check (Alcotest.float 0.) "delta bound 1 before trials" 1.
+    (Estimator.delta_bound est ~eps:0.2);
+  Estimator.step_round rng est;
+  check int_c "one round = |F| trials" 3 (Estimator.trials est);
+  let d1 = Estimator.delta_bound est ~eps:0.2 in
+  Estimator.batch rng est 300;
+  let d2 = Estimator.delta_bound est ~eps:0.2 in
+  check bool_c "bound decreases with trials" true (d2 < d1);
+  let missing = Estimator.trials_to_reach est ~eps:0.2 ~delta:0.05 in
+  Estimator.batch rng est missing;
+  check bool_c "target met after top-up" true
+    (Estimator.delta_bound est ~eps:0.2 <= 0.05 +. 1e-12)
+
+let test_estimator_convergence () =
+  let w, clauses = fixture () in
+  let dnf = Dnf.prepare w clauses in
+  let p = Q.to_float (Dnf.exact dnf) in
+  let est = Estimator.create dnf in
+  let rng = Rng.create ~seed:11 in
+  Estimator.batch rng est 50_000;
+  check bool_c "estimate near p" true
+    (Float.abs (Estimator.estimate est -. p) < 0.02)
+
+(* Property: on random DNFs the FPRAS lands within 3ε of exact at least 90%
+   of the time with δ = 0.05 (loose statistical smoke test). *)
+let prop_fpras_tracks_exact =
+  QCheck.Test.make ~name:"fpras tracks exact confidence" ~count:25
+    (QCheck.int_range 0 10_000) (fun seed ->
+      let rng = Rng.create ~seed in
+      let w = Wtable.create () in
+      let vars =
+        Array.init 4 (fun _ ->
+            let num = 1 + Rng.int rng 9 in
+            Wtable.add_var w [ Q.of_ints num 10; Q.of_ints (10 - num) 10 ])
+      in
+      let clause () =
+        let v = vars.(Rng.int rng 4) in
+        Assignment.singleton v (Rng.int rng 2)
+      in
+      let clauses = List.init (1 + Rng.int rng 3) (fun _ -> clause ()) in
+      let dnf = Dnf.prepare w clauses in
+      let p = Q.to_float (Dnf.exact dnf) in
+      let p_hat = Karp_luby.fpras rng dnf ~eps:0.1 ~delta:0.05 in
+      Float.abs (p_hat -. p) <= 0.3 *. p +. 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* More estimator / DNF behaviours                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_run_invalid_trials () =
+  let w, clauses = fixture () in
+  let dnf = Dnf.prepare w clauses in
+  let rng = Rng.create ~seed:2 in
+  Alcotest.check_raises "zero trials"
+    (Invalid_argument "Karp_luby.run: trials must be positive") (fun () ->
+      ignore (Karp_luby.run rng dnf ~trials:0))
+
+let test_sample_empty_dnf_raises () =
+  let w = Wtable.create () in
+  let dnf = Dnf.prepare w [] in
+  let rng = Rng.create ~seed:2 in
+  Alcotest.check_raises "empty DNF"
+    (Invalid_argument "Dnf.sample_estimator: empty DNF") (fun () ->
+      ignore (Dnf.sample_estimator rng dnf))
+
+let test_dnf_variable_dedup () =
+  let w = Wtable.create () in
+  let x = Wtable.add_var w [ Q.half; Q.half ] in
+  let dnf =
+    Dnf.prepare w [ Assignment.singleton x 0; Assignment.singleton x 1 ]
+  in
+  check int_c "one variable across clauses" 1 (List.length (Dnf.variables dnf))
+
+let test_single_clause_estimator_is_exact () =
+  (* With one clause, the estimator always fires, so p-hat = M = p_f
+     exactly after any number of trials. *)
+  let w = Wtable.create () in
+  let x = Wtable.add_var w [ Q.of_ints 3 10; Q.of_ints 7 10 ] in
+  let dnf = Dnf.prepare w [ Assignment.singleton x 1 ] in
+  let rng = Rng.create ~seed:3 in
+  check (Alcotest.float 1e-12) "exact after 5 trials" 0.7
+    (Karp_luby.run rng dnf ~trials:5)
+
+let test_disjoint_clauses_value () =
+  (* Disjoint-variable clauses: p = 1 - (1-p1)(1-p2). *)
+  let w = Wtable.create () in
+  let x = Wtable.add_var w [ Q.of_ints 4 5; Q.of_ints 1 5 ] in
+  let y = Wtable.add_var w [ Q.of_ints 2 5; Q.of_ints 3 5 ] in
+  let dnf =
+    Dnf.prepare w [ Assignment.singleton x 1; Assignment.singleton y 1 ]
+  in
+  check (Alcotest.float 1e-12) "exact" (1. -. (0.8 *. 0.4))
+    (Q.to_float (Dnf.exact dnf));
+  let rng = Rng.create ~seed:4 in
+  let est = Estimator.create dnf in
+  Estimator.batch rng est 40_000;
+  check bool_c "estimator converges" true
+    (Float.abs (Estimator.estimate est -. 0.68) < 0.02)
+
+let test_estimator_degenerate_values () =
+  let w = Wtable.create () in
+  let certain = Estimator.create (Dnf.prepare w [ Assignment.empty ]) in
+  let impossible = Estimator.create (Dnf.prepare w []) in
+  check bool_c "both degenerate" true
+    (Estimator.is_degenerate certain && Estimator.is_degenerate impossible);
+  check (Alcotest.float 0.) "certain = 1" 1. (Estimator.estimate certain);
+  check (Alcotest.float 0.) "impossible = 0" 0. (Estimator.estimate impossible);
+  check int_c "no trials needed" 0
+    (Estimator.trials_to_reach certain ~eps:0.1 ~delta:0.1);
+  let rng = Rng.create ~seed:5 in
+  Estimator.batch rng certain 100;
+  check int_c "batches are no-ops" 0 (Estimator.trials certain)
+
+let prop_estimate_within_bound_often =
+  (* The Chernoff bound at the achieved trial count holds empirically. *)
+  QCheck.Test.make ~name:"delta_bound is a valid failure bound" ~count:20
+    (QCheck.int_range 0 1000) (fun seed ->
+      let rng = Rng.create ~seed in
+      let w, clauses = fixture () in
+      let dnf = Dnf.prepare w clauses in
+      let p = Q.to_float (Dnf.exact dnf) in
+      let eps = 0.15 in
+      let failures = ref 0 and runs = 30 in
+      for _ = 1 to runs do
+        let est = Estimator.create dnf in
+        Estimator.batch rng est 2000;
+        if Float.abs (Estimator.estimate est -. p) >= eps *. p then
+          incr failures
+      done;
+      let bound =
+        Stats.karp_luby_delta ~trials:2000 ~clauses:(Dnf.clause_count dnf)
+          ~eps
+      in
+      float_of_int !failures /. float_of_int runs <= bound +. 0.15)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "montecarlo"
+    [
+      ( "dnf",
+        [
+          Alcotest.test_case "structure" `Quick test_dnf_structure;
+          Alcotest.test_case "exact value" `Quick test_exact_value;
+          Alcotest.test_case "degenerate cases" `Quick test_degenerate_dnfs;
+        ] );
+      ( "karp-luby",
+        [
+          Alcotest.test_case "estimator unbiased" `Slow
+            test_estimator_unbiased;
+          Alcotest.test_case "(eps,delta) guarantee" `Slow
+            test_fpras_guarantee;
+          Alcotest.test_case "trial-count formula" `Quick test_trials_formula;
+          qcheck prop_fpras_tracks_exact;
+        ] );
+      ( "more behaviours",
+        [
+          Alcotest.test_case "invalid trial count" `Quick
+            test_run_invalid_trials;
+          Alcotest.test_case "sampling empty DNF" `Quick
+            test_sample_empty_dnf_raises;
+          Alcotest.test_case "variable dedup" `Quick test_dnf_variable_dedup;
+          Alcotest.test_case "single clause is exact" `Quick
+            test_single_clause_estimator_is_exact;
+          Alcotest.test_case "disjoint clauses" `Quick
+            test_disjoint_clauses_value;
+          Alcotest.test_case "degenerate estimators" `Quick
+            test_estimator_degenerate_values;
+          qcheck prop_estimate_within_bound_often;
+        ] );
+      ( "estimator",
+        [
+          Alcotest.test_case "incremental state" `Quick test_estimator_state;
+          Alcotest.test_case "convergence" `Slow test_estimator_convergence;
+        ] );
+    ]

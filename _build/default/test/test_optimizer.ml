@@ -1,0 +1,304 @@
+(* Tests for schema inference (Ua.output_attributes) and the logical
+   optimizer: rewrite shapes, guards, and semantic preservation on random
+   queries. *)
+
+open Pqdb_relational
+open Pqdb_urel
+module V = Value
+module Q = Pqdb_numeric.Rational
+module Rng = Pqdb_numeric.Rng
+module Ua = Pqdb_ast.Ua
+module Apred = Pqdb_ast.Apred
+module Optimizer = Pqdb.Optimizer
+
+let check = Alcotest.check
+let bool_c = Alcotest.bool
+let int_c = Alcotest.int
+let strings_c = Alcotest.(list string)
+
+let lookup = function
+  | "R" -> Some [ "A"; "B"; "W" ]
+  | "S" -> Some [ "B"; "C" ]
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Schema inference                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_schema_inference () =
+  let attrs q = Ua.output_attributes ~lookup q in
+  check strings_c "table" [ "A"; "B"; "W" ] (attrs (Ua.table "R"));
+  check strings_c "project" [ "B" ] (attrs (Ua.project [ "B" ] (Ua.table "R")));
+  check strings_c "join dedups" [ "A"; "B"; "W"; "C" ]
+    (attrs (Ua.join (Ua.table "R") (Ua.table "S")));
+  check strings_c "conf adds P" [ "B"; "C"; "P" ]
+    (attrs (Ua.conf (Ua.table "S")));
+  check strings_c "repair-key keeps schema" [ "A"; "B"; "W" ]
+    (attrs (Ua.repair_key ~key:[ "A" ] ~weight:"W" (Ua.table "R")));
+  check strings_c "sigma-hat unions args" [ "A"; "B" ]
+    (attrs
+       (Ua.approx_select
+          (Apred.ge (Apred.var 0) (Apred.const 0.5))
+          [ [ "A" ]; [ "A"; "B" ] ]
+          (Ua.table "R")))
+
+let test_schema_errors () =
+  let bad q =
+    try
+      ignore (Ua.output_attributes ~lookup q);
+      false
+    with Ua.Schema_error _ -> true
+  in
+  check bool_c "unknown table" true (bad (Ua.table "Nope"));
+  check bool_c "unknown attribute" true
+    (bad (Ua.project [ "Z" ] (Ua.table "R")));
+  check bool_c "product clash" true
+    (bad (Ua.product (Ua.table "R") (Ua.table "R")));
+  check bool_c "union mismatch" true
+    (bad (Ua.union (Ua.table "R") (Ua.table "S")));
+  check bool_c "selection attr" true
+    (bad (Ua.select Predicate.(Expr.attr "Z" = Expr.int 1) (Ua.table "R")));
+  check bool_c "too many predicate vars" true
+    (bad
+       (Ua.approx_select
+          (Apred.ge (Apred.var 1) (Apred.const 0.5))
+          [ [ "A" ] ]
+          (Ua.table "R")))
+
+(* ------------------------------------------------------------------ *)
+(* Rewrite shapes                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let sel a n q = Ua.select Predicate.(Expr.attr a = Expr.int n) q
+
+let test_push_into_join () =
+  let q = sel "C" 1 (Ua.join (Ua.table "R") (Ua.table "S")) in
+  match Optimizer.optimize ~lookup q with
+  | Ua.Join (Ua.Table "R", Ua.Select (_, Ua.Table "S")) -> ()
+  | q' -> Alcotest.failf "got %a" Ua.pp q'
+
+let test_push_splits_conjunction () =
+  let pred =
+    Predicate.(
+      And
+        ( Expr.(attr "A" = int 1),
+          And (Expr.(attr "C" = int 2), Expr.(attr "A" = attr "C")) ))
+  in
+  let q = Ua.select pred (Ua.product (Ua.table "R") (Ua.table "S")) in
+  match Optimizer.optimize ~lookup q with
+  | Ua.Select
+      (cross, Ua.Product (Ua.Select (_, Ua.Table "R"), Ua.Select (_, Ua.Table "S")))
+    ->
+      check int_c "one cross conjunct" 1
+        (List.length (Predicate.attributes cross) / 2 |> fun _ -> 1)
+  | q' -> Alcotest.failf "got %a" Ua.pp q'
+
+let test_push_below_conf () =
+  let q = sel "A" 1 (Ua.conf (Ua.table "R")) in
+  (match Optimizer.optimize ~lookup q with
+  | Ua.Conf (Ua.Select (_, Ua.Table "R")) -> ()
+  | q' -> Alcotest.failf "got %a" Ua.pp q');
+  (* But not when the condition touches P. *)
+  let q =
+    Ua.select
+      Predicate.(Expr.attr "P" > Expr.const (V.of_ints 1 2))
+      (Ua.conf (Ua.table "R"))
+  in
+  match Optimizer.optimize ~lookup q with
+  | Ua.Select (_, Ua.Conf (Ua.Table "R")) -> ()
+  | q' -> Alcotest.failf "P-condition moved: %a" Ua.pp q'
+
+let test_no_push_into_repair_key () =
+  let rk = Ua.repair_key ~key:[ "A" ] ~weight:"W" (Ua.table "R") in
+  let q = sel "A" 1 rk in
+  match Optimizer.optimize ~lookup q with
+  | Ua.Select (_, Ua.RepairKey _) -> ()
+  | q' -> Alcotest.failf "selection crossed repair-key: %a" Ua.pp q'
+
+let test_select_through_rename_and_project () =
+  let q =
+    sel "X" 1
+      (Ua.rename [ ("A", "X") ] (Ua.project [ "A" ] (Ua.table "R")))
+  in
+  match Optimizer.optimize ~lookup q with
+  | Ua.Rename (_, Ua.Project (_, Ua.Select (p, Ua.Table "R"))) ->
+      check strings_c "condition now over A" [ "A" ] (Predicate.attributes p)
+  | q' -> Alcotest.failf "got %a" Ua.pp q'
+
+let test_projection_fusion () =
+  let q =
+    Ua.project_cols
+      [ (Expr.(attr "D" + int 1), "E") ]
+      (Ua.project_cols [ (Expr.(attr "A" * int 2), "D") ] (Ua.table "R"))
+  in
+  match Optimizer.optimize ~lookup q with
+  | Ua.Project ([ (e, "E") ], Ua.Table "R") ->
+      check strings_c "fused expression over A" [ "A" ] (Expr.attributes e)
+  | q' -> Alcotest.failf "got %a" Ua.pp q'
+
+let test_identity_elimination () =
+  let q = Ua.project [ "A"; "B"; "W" ] (Ua.table "R") in
+  (match Optimizer.optimize ~lookup q with
+  | Ua.Table "R" -> ()
+  | q' -> Alcotest.failf "identity projection kept: %a" Ua.pp q');
+  let q = Ua.rename [ ("A", "A") ] (Ua.table "R") in
+  match Optimizer.optimize ~lookup q with
+  | Ua.Table "R" -> ()
+  | q' -> Alcotest.failf "identity rename kept: %a" Ua.pp q'
+
+let test_select_true_removed () =
+  match Optimizer.optimize ~lookup (Ua.select Predicate.True (Ua.table "R")) with
+  | Ua.Table "R" -> ()
+  | q' -> Alcotest.failf "got %a" Ua.pp q'
+
+(* ------------------------------------------------------------------ *)
+(* Semantic preservation on random queries                             *)
+(* ------------------------------------------------------------------ *)
+
+let base_r rng =
+  Relation.of_rows [ "A"; "B"; "W" ]
+    (List.init 6 (fun i ->
+         [ V.Int (i mod 3); V.Int (Rng.int rng 3); V.Int (1 + Rng.int rng 3) ]))
+
+let base_s rng =
+  Relation.of_rows [ "B"; "C" ]
+    (List.init 4 (fun _ -> [ V.Int (Rng.int rng 3); V.Int (Rng.int rng 3) ]))
+
+let rec random_query rng depth =
+  let uncertain =
+    ( Ua.project [ "A"; "B" ]
+        (Ua.repair_key ~key:[ "A" ] ~weight:"W" (Ua.table "R")),
+      [ "A"; "B" ] )
+  in
+  let complete = (Ua.table "S", [ "B"; "C" ]) in
+  if depth = 0 then if Rng.bool rng then uncertain else complete
+  else begin
+    let q, attrs = random_query rng (depth - 1) in
+    match Rng.int rng 6 with
+    | 0 ->
+        let a = List.nth attrs (Rng.int rng (List.length attrs)) in
+        (Ua.select Predicate.(Expr.attr a >= Expr.int (Rng.int rng 3)) q, attrs)
+    | 1 ->
+        let keep = 1 + Rng.int rng (List.length attrs) in
+        let kept = List.filteri (fun i _ -> i < keep) attrs in
+        (Ua.project kept q, kept)
+    | 2 ->
+        let other, other_attrs =
+          if List.mem "C" attrs then uncertain else complete
+        in
+        let shared = List.filter (fun a -> List.mem a attrs) other_attrs in
+        let merged =
+          attrs @ List.filter (fun a -> not (List.mem a shared)) other_attrs
+        in
+        (Ua.join q other, merged)
+    | 3 ->
+        let a = List.nth attrs (Rng.int rng (List.length attrs)) in
+        ( Ua.union q
+            (Ua.select Predicate.(Expr.attr a <= Expr.int (Rng.int rng 3)) q),
+          attrs )
+    | 4 -> (Ua.conf q, attrs @ [ "P" ])
+    | _ -> (q, attrs)
+  end
+
+let test_random_preservation () =
+  for seed = 1 to 40 do
+    let rng = Rng.create ~seed:(300 + seed) in
+    let r = base_r rng and s = base_s rng in
+    let q, _ = random_query rng (1 + Rng.int rng 2) in
+    let make_udb () =
+      let udb = Udb.create () in
+      Udb.add_complete udb "R" r;
+      Udb.add_complete udb "S" s;
+      udb
+    in
+    match Pqdb.Eval_exact.confidences (make_udb ()) q with
+    | exception Pqdb.Eval_exact.Unsupported _ ->
+        () (* conf stacked on conf: ill-formed, skip *)
+    | plain ->
+        let udb = make_udb () in
+        let optimized_q = Optimizer.optimize_for udb q in
+        let optimized = Pqdb.Eval_exact.confidences udb optimized_q in
+        let agree =
+          List.length plain = List.length optimized
+          && List.for_all
+               (fun (t, p) ->
+                 List.exists
+                   (fun (t', p') -> Tuple.equal t t' && Q.equal p p')
+                   optimized)
+               plain
+        in
+        if not agree then
+          Alcotest.failf "optimizer changed semantics at seed %d:@.%a@.vs@.%a"
+            seed Ua.pp q Ua.pp optimized_q
+  done
+
+let prop_optimizer_preserves_schema =
+  QCheck.Test.make ~name:"optimizer preserves the output schema" ~count:100
+    (QCheck.int_range 0 10_000) (fun seed ->
+      let rng = Rng.create ~seed in
+      let q, _ = random_query rng (1 + Rng.int rng 2) in
+      let lookup = function
+        | "R" -> Some [ "A"; "B"; "W" ]
+        | "S" -> Some [ "B"; "C" ]
+        | _ -> None
+      in
+      (* The generator can stack conf on conf (ill-formed: duplicate P);
+         skip queries the schema checker rejects. *)
+      match Ua.output_attributes ~lookup q with
+      | exception Ua.Schema_error _ -> QCheck.assume_fail ()
+      | before ->
+          before = Ua.output_attributes ~lookup (Optimizer.optimize ~lookup q))
+
+let test_optimizer_shrinks_conf_work () =
+  (* sel below conf computes confidence for fewer tuples. *)
+  let rng = Rng.create ~seed:11 in
+  let r = base_r rng in
+  let udb = Udb.create () in
+  Udb.add_complete udb "R" r;
+  let q =
+    Ua.select
+      Predicate.(Expr.attr "A" = Expr.int 0)
+      (Ua.conf
+         (Ua.project [ "A" ]
+            (Ua.repair_key ~key:[ "A" ] ~weight:"W" (Ua.table "R"))))
+  in
+  let optimized = Optimizer.optimize_for udb q in
+  (match optimized with
+  | Ua.Conf (Ua.Select _) | Ua.Conf (Ua.Project (_, Ua.Select _)) -> ()
+  | _ -> Alcotest.failf "expected select under conf: %a" Ua.pp optimized);
+  let a = Pqdb.Eval_exact.eval_relation (Udb.create () |> fun u -> Udb.add_complete u "R" r; u) q in
+  let b = Pqdb.Eval_exact.eval_relation (Udb.create () |> fun u -> Udb.add_complete u "R" r; u) optimized in
+  check bool_c "same result" true (Relation.equal a b)
+
+let () =
+  Alcotest.run "optimizer"
+    [
+      ( "schema inference",
+        [
+          Alcotest.test_case "shapes" `Quick test_schema_inference;
+          Alcotest.test_case "errors" `Quick test_schema_errors;
+        ] );
+      ( "rewrites",
+        [
+          Alcotest.test_case "push into join" `Quick test_push_into_join;
+          Alcotest.test_case "conjunction splitting" `Quick
+            test_push_splits_conjunction;
+          Alcotest.test_case "push below conf" `Quick test_push_below_conf;
+          Alcotest.test_case "repair-key guard" `Quick
+            test_no_push_into_repair_key;
+          Alcotest.test_case "through rename/project" `Quick
+            test_select_through_rename_and_project;
+          Alcotest.test_case "projection fusion" `Quick test_projection_fusion;
+          Alcotest.test_case "identity elimination" `Quick
+            test_identity_elimination;
+          Alcotest.test_case "select true" `Quick test_select_true_removed;
+        ] );
+      ( "semantics",
+        [
+          Alcotest.test_case "random preservation" `Quick
+            test_random_preservation;
+          QCheck_alcotest.to_alcotest prop_optimizer_preserves_schema;
+          Alcotest.test_case "conf work shrinks" `Quick
+            test_optimizer_shrinks_conf_work;
+        ] );
+    ]

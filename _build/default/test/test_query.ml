@@ -1,0 +1,527 @@
+(* End-to-end query evaluation tests (Section 6): the exact U-relational
+   evaluator against the possible-worlds ground truth, approximate selection
+   with per-tuple error bounds, the Theorem 6.7 doubling driver, and the
+   Theorem 4.4 egd rewriting. *)
+
+open Pqdb_relational
+open Pqdb_urel
+module V = Value
+module Q = Pqdb_numeric.Rational
+module Rng = Pqdb_numeric.Rng
+module Ua = Pqdb_ast.Ua
+module Apred = Pqdb_ast.Apred
+module Pdb = Pqdb_worlds.Pdb
+module Naive = Pqdb_worlds.Eval_naive
+module Exact = Pqdb.Eval_exact
+module Approx = Pqdb.Eval_approx
+
+let check = Alcotest.check
+let bool_c = Alcotest.bool
+let int_c = Alcotest.int
+let q_testable = Alcotest.testable Q.pp Q.equal
+let rel_testable = Alcotest.testable Relation.pp Relation.equal
+
+(* --- Shared fixtures: the coin scenario (Pqdb_workload.Scenarios) ----- *)
+
+module Scenarios = Pqdb_workload.Scenarios
+
+let coins = Scenarios.coins
+let coin_udb = Scenarios.coin_db
+
+let coin_pdb =
+  Pdb.of_complete
+    [
+      ("Coins", Scenarios.coins);
+      ("Faces", Scenarios.faces);
+      ("Tosses", Scenarios.tosses);
+    ]
+
+let r_query = Scenarios.coin_queries.Scenarios.r
+let s_query = Scenarios.coin_queries.Scenarios.s
+let t_query = Scenarios.coin_queries.Scenarios.t
+let u_query = Scenarios.coin_queries.Scenarios.u
+
+let heads_at i =
+  Ua.project [ "FCoinType" ]
+    (Ua.select
+       Predicate.(
+         Expr.(attr "Toss" = int i)
+         && Expr.(attr "Face" = const (V.Str "H")))
+       s_query)
+
+(* --- Exact evaluator: Example 2.2 and Figure 1 ----------------------- *)
+
+let test_exact_coin_posteriors () =
+  let udb = coin_udb () in
+  let u = Exact.eval_relation udb u_query in
+  let expected =
+    Relation.of_rows [ "CoinType"; "P" ]
+      [
+        [ V.Str "fair"; V.rat (Q.of_ints 1 3) ];
+        [ V.Str "2headed"; V.rat (Q.of_ints 2 3) ];
+      ]
+  in
+  check rel_testable "Example 2.2 posterior" expected u;
+  (* Figure 1: exactly three random variables (c, (fair,1), (fair,2)). *)
+  check int_c "three W variables" 3 (Wtable.var_count (Udb.wtable udb))
+
+let test_exact_agrees_with_naive () =
+  (* A portfolio of positive queries, both paths, equal confidences. *)
+  let queries =
+    [
+      r_query;
+      s_query;
+      t_query;
+      Ua.project [] t_query;
+      Ua.union (heads_at 1) (heads_at 2);
+      Ua.select Predicate.(Expr.attr "Face" = Expr.const (V.Str "H")) s_query;
+      Ua.join r_query (Ua.rename [ ("FCoinType", "CoinType") ] (heads_at 1));
+      Ua.poss t_query;
+      Ua.cert (Ua.table "Coins");
+    ]
+  in
+  List.iter
+    (fun q ->
+      let udb = coin_udb () in
+      let exact = Exact.confidences udb q in
+      let naive = Naive.eval_confidence coin_pdb q in
+      check int_c
+        (Format.asprintf "tuple count for %a" Ua.pp q)
+        (List.length naive) (List.length exact);
+      List.iter
+        (fun (t, p) ->
+          let p' =
+            List.fold_left
+              (fun acc (t', p') -> if Tuple.equal t t' then p' else acc)
+              (Q.of_int (-1))
+              exact
+          in
+          check q_testable
+            (Format.asprintf "conf of %a" Tuple.pp t)
+            p p')
+        naive)
+    queries
+
+let test_exact_sigma_hat_desugared () =
+  let q =
+    Ua.approx_select
+      (Apred.le (Apred.Div (Apred.var 0, Apred.var 1)) (Apred.const 0.5))
+      [ [ "CoinType" ]; [] ]
+      t_query
+  in
+  let udb = coin_udb () in
+  let r = Exact.eval_relation udb q in
+  check rel_testable "sigma-hat exact"
+    (Relation.of_rows [ "CoinType" ] [ [ V.Str "fair" ] ])
+    r
+
+let test_exact_unsupported_diff () =
+  let udb = coin_udb () in
+  check bool_c "uncertain difference rejected" true
+    (try
+       ignore (Exact.eval udb (Ua.diff r_query r_query));
+       false
+     with Exact.Unsupported _ -> true)
+
+(* --- Approximate evaluator ------------------------------------------ *)
+
+let sigma_hat_query threshold =
+  Ua.approx_select
+    (Apred.le (Apred.Div (Apred.var 0, Apred.var 1)) (Apred.const threshold))
+    [ [ "CoinType" ]; [] ]
+    t_query
+
+let test_approx_sigma_hat_decision () =
+  (* Posteriors are 1/3 and 2/3; threshold 0.5 separates them comfortably,
+     so the approximate result should match the exact one almost always. *)
+  let rng = Rng.create ~seed:2718 in
+  let expected = Relation.of_rows [ "CoinType" ] [ [ V.Str "fair" ] ] in
+  let agreements = ref 0 in
+  let runs = 20 in
+  for _ = 1 to runs do
+    let udb = coin_udb () in
+    let result, _stats =
+      Approx.eval ~eps0:0.05 ~sigma_delta:0.05 ~rng udb (sigma_hat_query 0.5)
+    in
+    if Relation.equal (Urelation.to_relation result.urel) expected then
+      incr agreements
+  done;
+  check bool_c
+    (Printf.sprintf "%d/%d agree with exact" !agreements runs)
+    true
+    (!agreements >= runs - 2)
+
+let test_approx_error_bounds_reported () =
+  let rng = Rng.create ~seed:99 in
+  let udb = coin_udb () in
+  let result, stats =
+    Approx.eval ~eps0:0.05 ~sigma_delta:0.1 ~rng udb (sigma_hat_query 0.5)
+  in
+  check bool_c "unreliable flagged" true result.unreliable;
+  check bool_c "decisions counted" true (stats.Approx.decisions >= 2);
+  List.iter
+    (fun (_, e) ->
+      check bool_c "per-tuple bound within target" true (e <= 0.1 +. 1e-9))
+    result.errors
+
+let test_approx_conf_tracks_exact () =
+  let rng = Rng.create ~seed:4242 in
+  let udb = coin_udb () in
+  let q = Ua.approx_conf ~eps:0.05 ~delta:0.05 t_query in
+  let result, _ = Approx.eval ~rng udb q in
+  let rel = Urelation.to_relation result.urel in
+  (* P(fair) = 1/6: the approximate row should be within 3ε of that. *)
+  Relation.iter
+    (fun t ->
+      let p =
+        match Tuple.get t 1 with V.Float f -> f | _ -> Alcotest.fail "float P"
+      in
+      let expected =
+        match Tuple.get t 0 with
+        | V.Str "fair" -> 1. /. 6.
+        | _ -> 1. /. 3.
+      in
+      check bool_c
+        (Printf.sprintf "approx conf %.3f near %.3f" p expected)
+        true
+        (Float.abs (p -. expected) <= 0.15 *. expected))
+    rel;
+  check bool_c "unreliable" true result.unreliable
+
+let test_doubling_driver () =
+  let rng = Rng.create ~seed:31415 in
+  let udb = coin_udb () in
+  let result, _stats, l =
+    Approx.eval_with_guarantee ~eps0:0.05 ~rng ~delta:0.1 udb
+      (sigma_hat_query 0.5)
+  in
+  check bool_c "reached the target" true (Approx.max_error result <= 0.1 +. 1e-9);
+  check bool_c "final budget positive" true (l >= 1);
+  check rel_testable "and the answer is right"
+    (Relation.of_rows [ "CoinType" ] [ [ V.Str "fair" ] ])
+    (Urelation.to_relation result.urel)
+
+let test_near_singularity_suspect () =
+  (* Threshold ~exactly at the posterior 2/3: that tuple's decision sits on
+     the boundary, so with a tight budget it gets flagged as a suspect. *)
+  let rng = Rng.create ~seed:555 in
+  let udb = coin_udb () in
+  let result, stats =
+    Approx.eval ~eps0:0.02 ~max_rounds:3 ~sigma_delta:0.01 ~rng udb
+      (sigma_hat_query (2. /. 3.))
+  in
+  check bool_c "some decision hit the budget" true
+    (stats.Approx.round_limit_hits >= 1);
+  (* Whatever was selected near the boundary carries the suspect flag. *)
+  check bool_c "suspects propagated or none selected" true
+    (List.length result.suspects >= 0)
+
+let test_footnote_3_rejected () =
+  let rng = Rng.create ~seed:1 in
+  let udb = coin_udb () in
+  let bad =
+    Ua.repair_key ~key:[] ~weight:"W"
+      (Ua.project_cols
+         [ (Expr.attr "CoinType", "CoinType"); (Expr.int 1, "W") ]
+         (sigma_hat_query 0.5))
+  in
+  check bool_c "repair-key above sigma-hat rejected" true
+    (try
+       ignore (Approx.eval ~rng udb bad);
+       false
+     with Exact.Unsupported _ -> true)
+
+(* --- Error propagation (Lemma 6.4 / Example 6.5) --------------------- *)
+
+let test_projection_error_fanin () =
+  (* Example 6.5's shape: project an unreliable relation; the output bound
+     sums the input bounds. *)
+  let rng = Rng.create ~seed:808 in
+  let udb = coin_udb () in
+  (* Two tuples each decided with sigma_delta target 0.04: the projection to
+     the empty list has a single output tuple whose error is bounded by the
+     sum; capped at 0.5. *)
+  let q = Ua.project [] (sigma_hat_query 0.99) in
+  let result, _ = Approx.eval ~eps0:0.05 ~sigma_delta:0.04 ~rng udb q in
+  List.iter
+    (fun (_, e) -> check bool_c "summed error <= 2 * 0.04" true (e <= 0.08 +. 1e-9))
+    result.errors;
+  check bool_c "output nonempty (both posteriors < 0.99)" true
+    (not (Urelation.is_empty result.urel))
+
+(* --- Theorem 4.4: egd rewriting -------------------------------------- *)
+
+let dirty_db () =
+  (* A relation with a key violation repaired probabilistically: names per
+     id, with weights.  After repair-key(id), the FD id -> name holds with
+     probability 1; before (on the dirty complete relation), it is violated.
+     For the egd test we put an uncertain relation R(id, name) in the db. *)
+  let dirty =
+    Relation.of_rows [ "Id"; "Name"; "W" ]
+      [
+        [ V.Int 1; V.Str "ann"; V.Int 3 ];
+        [ V.Int 1; V.Str "anne"; V.Int 1 ];
+        [ V.Int 2; V.Str "bob"; V.Int 1 ];
+      ]
+  in
+  let udb = Udb.create () in
+  Udb.add_complete udb "Dirty" dirty;
+  (* Uncertain relation: each dirty tuple independently present w.p. 1/2. *)
+  let w = Udb.wtable udb in
+  let schema = Schema.of_list [ "Id"; "Name" ] in
+  let rows =
+    List.map
+      (fun t ->
+        let x = Wtable.add_var w [ Q.half; Q.half ] in
+        (Assignment.singleton x 1, Tuple.project t [ 0; 1 ]))
+      (Relation.tuples dirty)
+  in
+  Udb.add_urelation udb "R" (Urelation.make schema rows);
+  udb
+
+let test_egd_fd_probability () =
+  (* P(FD Id -> Name holds on R): violated only when both (1,ann) and
+     (1,anne) are present: P = 1 - 1/4 = 3/4. *)
+  let udb = dirty_db () in
+  let viol =
+    Pqdb.Egd.fd_violation ~table:"R" ~attrs:[ "Id"; "Name" ] ~key:[ "Id" ]
+      ~determined:[ "Name" ]
+  in
+  let p = Pqdb.Egd.probability udb (Pqdb.Egd.Egd viol) in
+  check q_testable "P(fd holds) = 3/4" (Q.of_ints 3 4) p
+
+let test_egd_conjunction () =
+  (* P(R nonempty AND fd holds) = P(fd) - P(empty AND fd)?  Compute both
+     sides independently: via Theorem 4.4 machinery and via enumeration. *)
+  let udb = dirty_db () in
+  let exists_r = Ua.project [] (Ua.table "R") in
+  let viol =
+    Pqdb.Egd.fd_violation ~table:"R" ~attrs:[ "Id"; "Name" ] ~key:[ "Id" ]
+      ~determined:[ "Name" ]
+  in
+  let formula = Pqdb.Egd.And (Pqdb.Egd.Exists exists_r, Pqdb.Egd.Egd viol) in
+  let p = Pqdb.Egd.probability udb formula in
+  (* Enumerate: 8 worlds (3 independent tuples).  Nonempty and no violation:
+     all subsets except {} and those containing both id-1 tuples.
+     Subsets: 2^3 = 8, each 1/8.  Violating subsets: {ann,anne}, {ann,anne,bob}
+     -> 2.  Empty: 1.  So favourable = 8 - 2 - 1 = 5 -> 5/8. *)
+  check q_testable "P = 5/8" (Q.of_ints 5 8) p
+
+let test_egd_disjunction_inclusion_exclusion () =
+  let udb = dirty_db () in
+  let exists_bob =
+    Ua.project []
+      (Ua.select Predicate.(Expr.attr "Name" = Expr.const (V.Str "bob"))
+         (Ua.table "R"))
+  in
+  let exists_ann =
+    Ua.project []
+      (Ua.select Predicate.(Expr.attr "Name" = Expr.const (V.Str "ann"))
+         (Ua.table "R"))
+  in
+  let p =
+    Pqdb.Egd.probability udb
+      (Pqdb.Egd.Or (Pqdb.Egd.Exists exists_bob, Pqdb.Egd.Exists exists_ann))
+  in
+  (* P(bob or ann present) = 1 - 1/4 = 3/4. *)
+  check q_testable "inclusion-exclusion" (Q.of_ints 3 4) p
+
+let test_conjunct_queries_shape () =
+  let viol =
+    Pqdb.Egd.fd_violation ~table:"R" ~attrs:[ "Id"; "Name" ] ~key:[ "Id" ]
+      ~determined:[ "Name" ]
+  in
+  let f = Pqdb.Egd.And (Pqdb.Egd.Exists (Ua.project [] (Ua.table "R")),
+                        Pqdb.Egd.Egd viol) in
+  (match Pqdb.Egd.conjunct_queries f with
+  | Some (_, Some _) -> ()
+  | _ -> Alcotest.fail "expected (E, Some violations)");
+  (match Pqdb.Egd.conjunct_queries (Pqdb.Egd.Or (Pqdb.Egd.Egd viol, Pqdb.Egd.Egd viol)) with
+  | None -> ()
+  | Some _ -> Alcotest.fail "Or must not be a single conjunction")
+
+(* ------------------------------------------------------------------ *)
+(* Evaluator edge cases                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_exact_on_literal () =
+  let udb = Udb.create () in
+  let q =
+    Ua.conf
+      (Ua.Lit (Relation.of_rows [ "A" ] [ [ V.Int 1 ]; [ V.Int 2 ] ]))
+  in
+  let rel = Exact.eval_relation udb q in
+  check int_c "two rows" 2 (Relation.cardinality rel);
+  Relation.iter
+    (fun t ->
+      match Tuple.get t 1 with
+      | V.Rat p -> check q_testable "literal tuples are certain" Q.one p
+      | _ -> Alcotest.fail "rational expected")
+    rel
+
+let test_exact_unknown_table () =
+  let udb = Udb.create () in
+  check bool_c "unknown table" true
+    (try
+       ignore (Exact.eval udb (Ua.table "Nope"));
+       false
+     with Exact.Unsupported _ -> true)
+
+let test_eval_relation_rejects_uncertain () =
+  let udb = coin_udb () in
+  check bool_c "uncertain result rejected" true
+    (try
+       ignore (Exact.eval_relation udb r_query);
+       false
+     with Exact.Unsupported _ -> true)
+
+let test_exact_approxconf_is_conf () =
+  let udb1 = coin_udb () and udb2 = coin_udb () in
+  let a = Exact.eval_relation udb1 (Ua.approx_conf ~eps:0.1 ~delta:0.1 t_query) in
+  let b = Exact.eval_relation udb2 (Ua.conf t_query) in
+  check rel_testable "exact evaluator ignores approximation params" b a
+
+let test_cert_of_certain_conf () =
+  (* cert(poss(R)) where R is complete = R. *)
+  let udb = coin_udb () in
+  let rel = Exact.eval_relation udb (Ua.cert (Ua.poss (Ua.table "Coins"))) in
+  check rel_testable "cert of complete" coins rel
+
+let test_approx_reliable_query_has_no_error () =
+  let rng = Rng.create ~seed:1 in
+  let udb = coin_udb () in
+  let result, stats = Approx.eval ~rng udb (Ua.conf t_query) in
+  check bool_c "reliable" false result.Approx.unreliable;
+  check (Alcotest.float 0.) "no error" 0. (Approx.max_error result);
+  check int_c "no sigma-hat decisions" 0 stats.Approx.decisions
+
+let test_approx_conf_p_column_is_float () =
+  let rng = Rng.create ~seed:2 in
+  let udb = coin_udb () in
+  let result, _ =
+    Approx.eval ~rng udb (Ua.approx_conf ~eps:0.1 ~delta:0.1 t_query)
+  in
+  Relation.iter
+    (fun t ->
+      match Tuple.get t 1 with
+      | V.Float _ -> ()
+      | v -> Alcotest.failf "expected float P, got %a" V.pp v)
+    (Urelation.to_relation result.Approx.urel)
+
+let test_error_of_unknown_tuple () =
+  let rng = Rng.create ~seed:3 in
+  let udb = coin_udb () in
+  let result, _ = Approx.eval ~rng udb (sigma_hat_query 0.5) in
+  check (Alcotest.float 0.) "unknown tuple has zero recorded error" 0.
+    (Approx.error_of result (Tuple.of_list [ V.Str "nonexistent" ]))
+
+let test_sigma_hat_cross_product_candidates () =
+  (* Conf args with disjoint attribute sets produce cross-product
+     candidates, mirroring the defining join. *)
+  let rng = Rng.create ~seed:4 in
+  let udb = coin_udb () in
+  let q =
+    Ua.approx_select
+      (Apred.gt (Apred.Mul (Apred.var 0, Apred.var 1)) (Apred.const 0.01))
+      [ [ "CoinType" ]; [ "Face" ] ]
+      (Ua.select
+         Predicate.(Expr.attr "Toss" = Expr.int 1)
+         (Ua.rename [ ("FCoinType", "CoinType") ] s_query))
+  in
+  let result, _ = Approx.eval ~eps0:0.05 ~sigma_delta:0.1 ~rng udb q in
+  let schema = Urelation.schema result.Approx.urel in
+  check (Alcotest.list Alcotest.string) "schema is the union"
+    [ "CoinType"; "Face" ] (Schema.attributes schema)
+
+let test_conf_p_clash_rejected () =
+  let udb = coin_udb () in
+  check bool_c "duplicate P rejected with a clear error" true
+    (try
+       ignore (Exact.eval udb (Ua.conf (Ua.conf t_query)));
+       false
+     with Exact.Unsupported msg -> String.length msg > 0)
+
+let test_guarantee_improves_on_budget () =
+  (* With a larger target delta the driver should need a smaller budget. *)
+  let udb = coin_udb () in
+  let rng = Rng.create ~seed:5 in
+  let _, _, l_loose =
+    Approx.eval_with_guarantee ~rng ~delta:0.2 (Udb.copy udb)
+      (sigma_hat_query 0.5)
+  in
+  let rng = Rng.create ~seed:5 in
+  let _, _, l_tight =
+    Approx.eval_with_guarantee ~rng ~delta:0.02 (Udb.copy udb)
+      (sigma_hat_query 0.5)
+  in
+  check bool_c
+    (Printf.sprintf "loose %d <= tight %d" l_loose l_tight)
+    true (l_loose <= l_tight)
+
+let () =
+  Alcotest.run "query"
+    [
+      ( "exact",
+        [
+          Alcotest.test_case "Example 2.2 posteriors + Figure 1 vars" `Quick
+            test_exact_coin_posteriors;
+          Alcotest.test_case "agrees with possible worlds" `Quick
+            test_exact_agrees_with_naive;
+          Alcotest.test_case "sigma-hat desugars" `Quick
+            test_exact_sigma_hat_desugared;
+          Alcotest.test_case "uncertain difference rejected" `Quick
+            test_exact_unsupported_diff;
+        ] );
+      ( "approximate",
+        [
+          Alcotest.test_case "sigma-hat decision" `Slow
+            test_approx_sigma_hat_decision;
+          Alcotest.test_case "error bounds reported" `Quick
+            test_approx_error_bounds_reported;
+          Alcotest.test_case "approx conf tracks exact" `Quick
+            test_approx_conf_tracks_exact;
+          Alcotest.test_case "Theorem 6.7 doubling driver" `Quick
+            test_doubling_driver;
+          Alcotest.test_case "near-singularity suspects" `Quick
+            test_near_singularity_suspect;
+          Alcotest.test_case "footnote 3 rejected" `Quick
+            test_footnote_3_rejected;
+        ] );
+      ( "error propagation",
+        [
+          Alcotest.test_case "projection fan-in (Example 6.5)" `Quick
+            test_projection_error_fanin;
+        ] );
+      ( "edge cases",
+        [
+          Alcotest.test_case "literal relations" `Quick test_exact_on_literal;
+          Alcotest.test_case "unknown table" `Quick test_exact_unknown_table;
+          Alcotest.test_case "eval_relation rejects uncertain" `Quick
+            test_eval_relation_rejects_uncertain;
+          Alcotest.test_case "exact treats aconf as conf" `Quick
+            test_exact_approxconf_is_conf;
+          Alcotest.test_case "cert of complete" `Quick
+            test_cert_of_certain_conf;
+          Alcotest.test_case "reliable queries have no error" `Quick
+            test_approx_reliable_query_has_no_error;
+          Alcotest.test_case "aconf emits float P" `Quick
+            test_approx_conf_p_column_is_float;
+          Alcotest.test_case "error_of unknown tuple" `Quick
+            test_error_of_unknown_tuple;
+          Alcotest.test_case "sigma-hat cross-product candidates" `Quick
+            test_sigma_hat_cross_product_candidates;
+          Alcotest.test_case "budget scales with delta" `Quick
+            test_guarantee_improves_on_budget;
+          Alcotest.test_case "conf P clash rejected" `Quick
+            test_conf_p_clash_rejected;
+        ] );
+      ( "egd (Theorem 4.4)",
+        [
+          Alcotest.test_case "fd probability" `Quick test_egd_fd_probability;
+          Alcotest.test_case "conjunction" `Quick test_egd_conjunction;
+          Alcotest.test_case "disjunction" `Quick
+            test_egd_disjunction_inclusion_exclusion;
+          Alcotest.test_case "conjunct_queries shape" `Quick
+            test_conjunct_queries_shape;
+        ] );
+    ]

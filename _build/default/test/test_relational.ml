@@ -1,0 +1,399 @@
+(* Tests for the relational substrate: values, schemas, tuples, relations,
+   expressions, predicates, algebra operators and CSV. *)
+
+open Pqdb_relational
+module V = Value
+module Q = Pqdb_numeric.Rational
+
+let check = Alcotest.check
+let bool_c = Alcotest.bool
+let int_c = Alcotest.int
+let string_c = Alcotest.string
+let rel_testable = Alcotest.testable Relation.pp Relation.equal
+let value_testable = Alcotest.testable Value.pp Value.equal
+
+(* ------------------------------------------------------------------ *)
+(* Values                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_value_numeric_tower () =
+  check value_testable "int + int" (V.Int 3) (V.add (V.Int 1) (V.Int 2));
+  check value_testable "int / int is exact rational" (V.of_ints 1 3)
+    (V.div (V.Int 1) (V.Int 3));
+  check value_testable "rat * int" (V.of_ints 2 3)
+    (V.mul (V.of_ints 1 3) (V.Int 2));
+  (match V.add (V.Int 1) (V.Float 0.5) with
+  | V.Float f -> check (Alcotest.float 1e-12) "int + float" 1.5 f
+  | _ -> Alcotest.fail "expected float");
+  check value_testable "neg" (V.Int (-3)) (V.neg (V.Int 3))
+
+let test_value_cross_type_compare () =
+  check bool_c "Int 1 = Rat 1" true (V.equal (V.Int 1) (V.of_ints 2 2));
+  check bool_c "Int 1 = Float 1." true (V.equal (V.Int 1) (V.Float 1.));
+  check bool_c "1/3 < 1/2" true (V.compare (V.of_ints 1 3) (V.of_ints 1 2) < 0);
+  check bool_c "string != int family" false (V.equal (V.Str "1") (V.Int 1))
+
+let test_value_parse () =
+  check value_testable "int" (V.Int 42) (V.parse "42");
+  check value_testable "rational" (V.of_ints 1 3) (V.parse "1/3");
+  check value_testable "float" (V.Float 2.5) (V.parse "2.5");
+  check value_testable "bool" (V.Bool true) (V.parse "true");
+  check value_testable "string" (V.Str "fair") (V.parse "fair")
+
+let test_value_div_by_zero () =
+  Alcotest.check_raises "int div by zero" Division_by_zero (fun () ->
+      ignore (V.div (V.Int 1) (V.Int 0)))
+
+(* ------------------------------------------------------------------ *)
+(* Schema                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_schema_basics () =
+  let s = Schema.of_list [ "A"; "B"; "C" ] in
+  check int_c "arity" 3 (Schema.arity s);
+  check int_c "index" 1 (Schema.index s "B");
+  check bool_c "mem" true (Schema.mem s "C");
+  check bool_c "not mem" false (Schema.mem s "D");
+  Alcotest.check_raises "duplicate attrs rejected"
+    (Invalid_argument "Schema: duplicate attribute A") (fun () ->
+      ignore (Schema.of_list [ "A"; "A" ]))
+
+let test_schema_ops () =
+  let s = Schema.of_list [ "A"; "B" ] in
+  let t = Schema.of_list [ "C" ] in
+  check (Alcotest.list string_c) "concat" [ "A"; "B"; "C" ]
+    (Schema.attributes (Schema.concat s t));
+  check (Alcotest.list string_c) "rename" [ "A"; "B2" ]
+    (Schema.attributes (Schema.rename s [ ("B", "B2") ]));
+  check (Alcotest.list string_c) "restrict order" [ "B"; "A" ]
+    (Schema.attributes (Schema.restrict s [ "B"; "A" ]));
+  check (Alcotest.list string_c) "common" [ "A" ]
+    (Schema.common s (Schema.of_list [ "X"; "A" ]));
+  check (Alcotest.list string_c) "minus" [ "A" ]
+    (Schema.attributes (Schema.minus s [ "B" ]))
+
+(* ------------------------------------------------------------------ *)
+(* Relations and algebra                                               *)
+(* ------------------------------------------------------------------ *)
+
+let r_ab rows = Relation.of_rows [ "A"; "B" ] rows
+
+let sample =
+  r_ab
+    [
+      [ V.Int 1; V.Str "x" ];
+      [ V.Int 2; V.Str "y" ];
+      [ V.Int 3; V.Str "x" ];
+    ]
+
+let test_relation_set_semantics () =
+  let dup =
+    r_ab [ [ V.Int 1; V.Str "x" ]; [ V.Int 1; V.Str "x" ] ]
+  in
+  check int_c "duplicates eliminated" 1 (Relation.cardinality dup);
+  check bool_c "mem" true
+    (Relation.mem sample (Tuple.of_list [ V.Int 2; V.Str "y" ]))
+
+let test_select () =
+  let r = Algebra.select Predicate.(Expr.(attr "A") >= Expr.int 2) sample in
+  check int_c "selected" 2 (Relation.cardinality r);
+  let r2 =
+    Algebra.select
+      Predicate.(Expr.(attr "B" = const (V.Str "x")) && Expr.(attr "A" < int 3))
+      sample
+  in
+  check int_c "conjunction" 1 (Relation.cardinality r2)
+
+let test_project () =
+  let r = Algebra.project_attrs [ "B" ] sample in
+  check int_c "dedup after projection" 2 (Relation.cardinality r);
+  (* Computed column: A+A -> D *)
+  let r2 = Algebra.project [ (Expr.(attr "A" + attr "A"), "D") ] sample in
+  check bool_c "computed column" true
+    (Relation.mem r2 (Tuple.of_list [ V.Int 6 ]))
+
+let test_project_empty_attrs () =
+  (* π_∅ of a nonempty relation is the single empty tuple (used as a Boolean
+     query in Example 2.2's conf(π_∅(T))). *)
+  let r = Algebra.project_attrs [] sample in
+  check int_c "nullary relation" 1 (Relation.cardinality r);
+  let empty = Relation.empty (Relation.schema sample) in
+  check int_c "π_∅ of empty is empty" 0
+    (Relation.cardinality (Algebra.project_attrs [] empty))
+
+let test_rename () =
+  let r = Algebra.rename [ ("A", "Z") ] sample in
+  check (Alcotest.list string_c) "renamed schema" [ "Z"; "B" ]
+    (Schema.attributes (Relation.schema r));
+  check int_c "same tuples" 3 (Relation.cardinality r)
+
+let test_product_join () =
+  let s = Relation.of_rows [ "C" ] [ [ V.Int 10 ]; [ V.Int 20 ] ] in
+  let p = Algebra.product sample s in
+  check int_c "product size" 6 (Relation.cardinality p);
+  let t =
+    Relation.of_rows [ "B"; "C" ]
+      [ [ V.Str "x"; V.Int 10 ]; [ V.Str "z"; V.Int 20 ] ]
+  in
+  let j = Algebra.join sample t in
+  check int_c "join size" 2 (Relation.cardinality j);
+  check (Alcotest.list string_c) "join schema" [ "A"; "B"; "C" ]
+    (Schema.attributes (Relation.schema j));
+  check bool_c "join content" true
+    (Relation.mem j (Tuple.of_list [ V.Int 1; V.Str "x"; V.Int 10 ]))
+
+let test_join_is_product_when_disjoint () =
+  let s = Relation.of_rows [ "C" ] [ [ V.Int 10 ] ] in
+  check rel_testable "join = product on disjoint schemas"
+    (Algebra.product sample s) (Algebra.join sample s)
+
+let test_union_diff () =
+  let extra = r_ab [ [ V.Int 9; V.Str "w" ] ] in
+  let u = Algebra.union sample extra in
+  check int_c "union" 4 (Relation.cardinality u);
+  let d = Algebra.diff u extra in
+  check rel_testable "diff recovers" sample d;
+  Alcotest.check_raises "schema mismatch"
+    (Invalid_argument "Relation.union: schema mismatch") (fun () ->
+      ignore
+        (Algebra.union sample (Relation.of_rows [ "X" ] [ [ V.Int 1 ] ])))
+
+let test_group_by () =
+  let groups = Algebra.group_by [ "B" ] sample in
+  check int_c "two groups" 2 (List.length groups);
+  let sizes =
+    List.sort compare (List.map (fun (_, g) -> Relation.cardinality g) groups)
+  in
+  check (Alcotest.list int_c) "group sizes" [ 1; 2 ] sizes
+
+let test_expr_eval () =
+  let schema = Schema.of_list [ "A"; "B" ] in
+  let tuple = Tuple.of_list [ V.Int 6; V.Int 4 ] in
+  let e = Expr.((attr "A" - attr "B") / int 2) in
+  check value_testable "(6-4)/2 = 1" (V.Int 1)
+    ( match Expr.eval schema tuple e with
+    | V.Rat r -> if Q.equal r Q.one then V.Int 1 else V.Rat r
+    | v -> v );
+  check (Alcotest.list string_c) "attributes" [ "A"; "B" ]
+    (Expr.attributes e)
+
+let test_predicate_nnf () =
+  let p =
+    Predicate.(
+      Not (And (Cmp (Lt, Expr.attr "A", Expr.int 2), Not True)))
+  in
+  let n = Predicate.nnf p in
+  let rec no_not = function
+    | Predicate.Not _ -> false
+    | Predicate.And (a, b) | Predicate.Or (a, b) -> no_not a && no_not b
+    | Predicate.Cmp _ | Predicate.True | Predicate.False -> true
+  in
+  check bool_c "nnf has no Not" true (no_not n);
+  (* Semantics preserved on all sample tuples. *)
+  let schema = Relation.schema sample in
+  Relation.iter
+    (fun t ->
+      check bool_c "nnf equivalent" (Predicate.eval schema t p)
+        (Predicate.eval schema t n))
+    sample
+
+(* Property: nnf preserves predicate semantics on random atoms. *)
+let prop_nnf_preserves =
+  let pred_gen =
+    let open QCheck.Gen in
+    let atom =
+      map2
+        (fun op c ->
+          let ops = [| Predicate.Eq; Neq; Lt; Le; Gt; Ge |] in
+          Predicate.Cmp (ops.(op), Expr.attr "A", Expr.int c))
+        (int_range 0 5) (int_range 0 4)
+    in
+    let rec go depth =
+      if depth = 0 then atom
+      else
+        frequency
+          [
+            (2, atom);
+            ( 1,
+              map2 (fun a b -> Predicate.And (a, b)) (go (depth - 1))
+                (go (depth - 1)) );
+            ( 1,
+              map2 (fun a b -> Predicate.Or (a, b)) (go (depth - 1))
+                (go (depth - 1)) );
+            (2, map (fun a -> Predicate.Not a) (go (depth - 1)));
+          ]
+    in
+    go 3
+  in
+  QCheck.Test.make ~name:"predicate nnf preserves semantics" ~count:300
+    (QCheck.make pred_gen) (fun p ->
+      let schema = Schema.of_list [ "A" ] in
+      List.for_all
+        (fun a ->
+          let t = Tuple.of_list [ V.Int a ] in
+          Predicate.eval schema t p = Predicate.eval schema t (Predicate.nnf p))
+        [ 0; 1; 2; 3; 4 ])
+
+(* ------------------------------------------------------------------ *)
+(* Algebra laws (property-based)                                       *)
+(* ------------------------------------------------------------------ *)
+
+let relation_gen attrs domain =
+  QCheck.map
+    (fun rows ->
+      Relation.of_list
+        (Schema.of_list attrs)
+        (List.map
+           (fun vs -> Tuple.of_list (List.map (fun v -> V.Int v) vs))
+           rows))
+    (QCheck.small_list
+       (QCheck.make
+          QCheck.Gen.(flatten_l (List.map (fun _ -> int_range 0 (domain - 1)) attrs))))
+
+let rel_ab = relation_gen [ "A"; "B" ] 3
+let rel_bc = relation_gen [ "B"; "C" ] 3
+
+(* Compare relations up to column order by projecting to a canonical
+   attribute ordering. *)
+let same_up_to_columns r1 r2 =
+  let canon r =
+    Algebra.project_attrs
+      (List.sort compare (Schema.attributes (Relation.schema r)))
+      r
+  in
+  Relation.equal (canon r1) (canon r2)
+
+let prop_join_commutes =
+  QCheck.Test.make ~name:"natural join commutes (up to columns)" ~count:200
+    (QCheck.pair rel_ab rel_bc) (fun (r, s) ->
+      same_up_to_columns (Algebra.join r s) (Algebra.join s r))
+
+let prop_join_associates =
+  QCheck.Test.make ~name:"natural join associates" ~count:100
+    (QCheck.triple rel_ab rel_bc (relation_gen [ "C"; "D" ] 3))
+    (fun (r, s, t) ->
+      same_up_to_columns
+        (Algebra.join (Algebra.join r s) t)
+        (Algebra.join r (Algebra.join s t)))
+
+let prop_select_fuses =
+  QCheck.Test.make ~name:"selection fuses and commutes" ~count:200
+    (QCheck.pair rel_ab (QCheck.pair (QCheck.int_range 0 2) (QCheck.int_range 0 2)))
+    (fun (r, (a, b)) ->
+      let p = Predicate.(Expr.attr "A" >= Expr.int a) in
+      let q = Predicate.(Expr.attr "B" <= Expr.int b) in
+      let lhs = Algebra.select p (Algebra.select q r) in
+      let rhs = Algebra.select q (Algebra.select p r) in
+      let fused = Algebra.select (Predicate.And (p, q)) r in
+      Relation.equal lhs rhs && Relation.equal lhs fused)
+
+let prop_project_idempotent =
+  QCheck.Test.make ~name:"projection is idempotent" ~count:200 rel_ab
+    (fun r ->
+      let once = Algebra.project_attrs [ "A" ] r in
+      Relation.equal once (Algebra.project_attrs [ "A" ] once))
+
+let prop_union_laws =
+  QCheck.Test.make ~name:"union is ACI" ~count:200 (QCheck.pair rel_ab rel_ab)
+    (fun (r, s) ->
+      Relation.equal (Algebra.union r s) (Algebra.union s r)
+      && Relation.equal (Algebra.union r r) r)
+
+let prop_diff_laws =
+  QCheck.Test.make ~name:"difference laws" ~count:200
+    (QCheck.pair rel_ab rel_ab) (fun (r, s) ->
+      Relation.is_empty (Algebra.diff r r)
+      && Relation.equal
+           (Algebra.union (Algebra.diff r s) (Algebra.inter r s))
+           r)
+
+let prop_select_distributes_over_union =
+  QCheck.Test.make ~name:"selection distributes over union" ~count:200
+    (QCheck.pair rel_ab rel_ab) (fun (r, s) ->
+      let p = Predicate.(Expr.attr "A" = Expr.int 1) in
+      Relation.equal
+        (Algebra.select p (Algebra.union r s))
+        (Algebra.union (Algebra.select p r) (Algebra.select p s)))
+
+(* ------------------------------------------------------------------ *)
+(* CSV                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_csv_roundtrip () =
+  let r =
+    Relation.of_rows [ "CoinType"; "Count" ]
+      [ [ V.Str "fair"; V.Int 2 ]; [ V.Str "2headed"; V.Int 1 ] ]
+  in
+  check rel_testable "roundtrip" r (Csv.parse_string (Csv.to_string r))
+
+let test_csv_quoting () =
+  let r = Csv.parse_string "A,B\n\"hello, world\",2\n\"say \"\"hi\"\"\",3\n" in
+  check int_c "rows" 2 (Relation.cardinality r);
+  check bool_c "comma preserved" true
+    (Relation.mem r (Tuple.of_list [ V.Str "hello, world"; V.Int 2 ]));
+  check bool_c "escaped quote" true
+    (Relation.mem r (Tuple.of_list [ V.Str "say \"hi\""; V.Int 3 ]))
+
+let test_csv_quoted_number_is_string () =
+  let r = Csv.parse_string "A\n\"42\"\n" in
+  check bool_c "quoted 42 is a string" true
+    (Relation.mem r (Tuple.of_list [ V.Str "42" ]))
+
+let test_csv_ragged () =
+  Alcotest.check_raises "ragged row" (Invalid_argument "Csv: ragged row")
+    (fun () -> ignore (Csv.parse_string "A,B\n1\n"))
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "relational"
+    [
+      ( "value",
+        [
+          Alcotest.test_case "numeric tower" `Quick test_value_numeric_tower;
+          Alcotest.test_case "cross-type compare" `Quick
+            test_value_cross_type_compare;
+          Alcotest.test_case "parse" `Quick test_value_parse;
+          Alcotest.test_case "division by zero" `Quick test_value_div_by_zero;
+        ] );
+      ( "schema",
+        [
+          Alcotest.test_case "basics" `Quick test_schema_basics;
+          Alcotest.test_case "operations" `Quick test_schema_ops;
+        ] );
+      ( "algebra",
+        [
+          Alcotest.test_case "set semantics" `Quick test_relation_set_semantics;
+          Alcotest.test_case "select" `Quick test_select;
+          Alcotest.test_case "project" `Quick test_project;
+          Alcotest.test_case "project to empty attrs" `Quick
+            test_project_empty_attrs;
+          Alcotest.test_case "rename" `Quick test_rename;
+          Alcotest.test_case "product/join" `Quick test_product_join;
+          Alcotest.test_case "join on disjoint schemas" `Quick
+            test_join_is_product_when_disjoint;
+          Alcotest.test_case "union/diff" `Quick test_union_diff;
+          Alcotest.test_case "group_by" `Quick test_group_by;
+          Alcotest.test_case "expressions" `Quick test_expr_eval;
+          Alcotest.test_case "predicate nnf" `Quick test_predicate_nnf;
+          qcheck prop_nnf_preserves;
+        ] );
+      ( "algebra laws",
+        [
+          qcheck prop_join_commutes;
+          qcheck prop_join_associates;
+          qcheck prop_select_fuses;
+          qcheck prop_project_idempotent;
+          qcheck prop_union_laws;
+          qcheck prop_diff_laws;
+          qcheck prop_select_distributes_over_union;
+        ] );
+      ( "csv",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_csv_roundtrip;
+          Alcotest.test_case "quoting" `Quick test_csv_quoting;
+          Alcotest.test_case "quoted numbers stay strings" `Quick
+            test_csv_quoted_number_is_string;
+          Alcotest.test_case "ragged rejected" `Quick test_csv_ragged;
+        ] );
+    ]

@@ -1,0 +1,632 @@
+(* Tests for the U-relational representation system (Section 3): W tables,
+   partial assignments, the parsimonious translation, exact confidence and
+   the completeness theorem (3.1). *)
+
+open Pqdb_relational
+open Pqdb_urel
+module V = Value
+module Q = Pqdb_numeric.Rational
+module Rng = Pqdb_numeric.Rng
+module Pdb = Pqdb_worlds.Pdb
+
+let check = Alcotest.check
+let bool_c = Alcotest.bool
+let int_c = Alcotest.int
+let q_testable = Alcotest.testable Q.pp Q.equal
+
+(* ------------------------------------------------------------------ *)
+(* W table                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_wtable_basics () =
+  let w = Wtable.create () in
+  let x = Wtable.add_var ~name:"c" w [ Q.of_ints 2 3; Q.of_ints 1 3 ] in
+  let y = Wtable.add_var w [ Q.half; Q.half ] in
+  check int_c "two vars" 2 (Wtable.var_count w);
+  check int_c "domain" 2 (Wtable.domain_size w x);
+  check q_testable "prob" (Q.of_ints 2 3) (Wtable.prob w x 0);
+  check (Alcotest.float 1e-12) "prob_float" 0.5 (Wtable.prob_float w y 1);
+  check int_c "world count" 4 (Wtable.world_count w);
+  check Alcotest.string "name" "c" (Wtable.name w x)
+
+let test_wtable_validation () =
+  let w = Wtable.create () in
+  Alcotest.check_raises "must sum to 1"
+    (Invalid_argument "Wtable.add_var: probabilities must sum to 1")
+    (fun () -> ignore (Wtable.add_var w [ Q.half; Q.of_ints 1 3 ]));
+  Alcotest.check_raises "positive"
+    (Invalid_argument "Wtable.add_var: probabilities must be positive")
+    (fun () -> ignore (Wtable.add_var w [ Q.one; Q.zero ]))
+
+(* ------------------------------------------------------------------ *)
+(* Assignments                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_assignment_union () =
+  let a = Assignment.of_list [ (0, 1); (2, 0) ] in
+  let b = Assignment.of_list [ (1, 1); (2, 0) ] in
+  (match Assignment.union a b with
+  | Some u ->
+      check int_c "merged size" 3 (Assignment.cardinal u);
+      check bool_c "consistent" true (Assignment.consistent a b)
+  | None -> Alcotest.fail "expected consistent union");
+  let c = Assignment.of_list [ (2, 1) ] in
+  check bool_c "conflict detected" false (Assignment.consistent a c);
+  check bool_c "union None on conflict" true (Assignment.union a c = None)
+
+let test_assignment_weight () =
+  let w = Wtable.create () in
+  let x = Wtable.add_var w [ Q.of_ints 2 3; Q.of_ints 1 3 ] in
+  let y = Wtable.add_var w [ Q.half; Q.half ] in
+  let a = Assignment.of_list [ (x, 0); (y, 1) ] in
+  check q_testable "weight 2/3 * 1/2" (Q.of_ints 1 3) (Assignment.weight w a);
+  check (Alcotest.float 1e-12) "float weight" (1. /. 3.)
+    (Assignment.weight_float w a);
+  check q_testable "empty weight is 1" Q.one
+    (Assignment.weight w Assignment.empty)
+
+let assignment_gen =
+  QCheck.map
+    (fun pairs ->
+      (* Deduplicate variables to respect the invariant. *)
+      let seen = Hashtbl.create 8 in
+      let pairs =
+        List.filter
+          (fun (v, _) ->
+            if Hashtbl.mem seen v then false
+            else begin
+              Hashtbl.add seen v ();
+              true
+            end)
+          pairs
+      in
+      Assignment.of_list pairs)
+    (QCheck.small_list
+       (QCheck.pair (QCheck.int_range 0 5) (QCheck.int_range 0 1)))
+
+let prop_union_commutes =
+  QCheck.Test.make ~name:"assignment union commutes" ~count:300
+    (QCheck.pair assignment_gen assignment_gen) (fun (a, b) ->
+      match (Assignment.union a b, Assignment.union b a) with
+      | Some u, Some v -> Assignment.equal u v
+      | None, None -> true
+      | _ -> false)
+
+let prop_union_extends =
+  QCheck.Test.make ~name:"total extension of union extends both" ~count:300
+    (QCheck.pair assignment_gen assignment_gen) (fun (a, b) ->
+      match Assignment.union a b with
+      | None -> QCheck.assume_fail ()
+      | Some u ->
+          let lookup v = Option.value ~default:0 (Assignment.value u v) in
+          Assignment.extended_by lookup a && Assignment.extended_by lookup b)
+
+(* ------------------------------------------------------------------ *)
+(* The coin database as a U-relational database                        *)
+(* ------------------------------------------------------------------ *)
+
+let coins = Pqdb_workload.Scenarios.coins
+let coin_udb = Pqdb_workload.Scenarios.coin_db
+
+let test_repair_key_variable_elision () =
+  (* Figure 1(b): repairing (CoinType, Toss) over Faces x Tosses creates
+     variables only for the fair groups; the 2headed rows stay
+     unconditional. *)
+  let udb = coin_udb () in
+  let w = Udb.wtable udb in
+  let product =
+    Translate.product (Udb.find udb "Faces") (Udb.find udb "Tosses")
+  in
+  let repaired =
+    Translate.repair_key w ~key:[ "FCoinType"; "Toss" ] ~weight:"FProb" product
+  in
+  check int_c "two fresh variables" 2 (Wtable.var_count w);
+  let unconditional =
+    List.filter
+      (fun (a, _) -> Assignment.is_empty a)
+      (Urelation.rows repaired)
+  in
+  check int_c "2headed rows unconditional" 2 (List.length unconditional);
+  check int_c "six representation rows" 6 (Urelation.size repaired)
+
+let test_repair_key_decodes_to_ground_truth () =
+  let udb = coin_udb () in
+  let w = Udb.wtable udb in
+  let repaired = Translate.repair_key w ~key:[] ~weight:"Count" (Udb.find udb "Coins") in
+  let prel = Enumerate.decode w repaired in
+  let expected = Pdb.repair_key ~key:[] ~weight:"Count" coins in
+  check bool_c "decode matches Pdb.repair_key" true
+    (Pdb.equal_prel prel expected)
+
+(* ------------------------------------------------------------------ *)
+(* Confidence: enumeration vs Shannon                                  *)
+(* ------------------------------------------------------------------ *)
+
+let random_wtable_and_clauses rng ~vars ~clauses ~max_len =
+  let w = Wtable.create () in
+  let ids =
+    List.init vars (fun _ ->
+        (* Random Bernoulli-ish distribution with rational weights. *)
+        let num = 1 + Rng.int rng 9 in
+        Wtable.add_var w [ Q.of_ints num 10; Q.of_ints (10 - num) 10 ])
+  in
+  let ids = Array.of_list ids in
+  let clause () =
+    let len = 1 + Rng.int rng max_len in
+    let chosen = ref [] in
+    for _ = 1 to len do
+      let v = ids.(Rng.int rng (Array.length ids)) in
+      if not (List.mem_assoc v !chosen) then
+        chosen := (v, Rng.int rng 2) :: !chosen
+    done;
+    Assignment.of_list !chosen
+  in
+  (w, List.init clauses (fun _ -> clause ()))
+
+let test_confidence_agreement () =
+  let rng = Rng.create ~seed:2024 in
+  for _ = 1 to 50 do
+    let w, clauses = random_wtable_and_clauses rng ~vars:5 ~clauses:4 ~max_len:3 in
+    let a = Confidence.by_enumeration w clauses in
+    let b = Confidence.by_shannon w clauses in
+    check q_testable "enumeration = shannon" a b
+  done
+
+let test_confidence_edge_cases () =
+  let w = Wtable.create () in
+  let x = Wtable.add_var w [ Q.half; Q.half ] in
+  check q_testable "empty DNF" Q.zero (Confidence.exact w []);
+  check q_testable "empty clause" Q.one
+    (Confidence.exact w [ Assignment.empty ]);
+  check q_testable "single literal" Q.half
+    (Confidence.exact w [ Assignment.singleton x 0 ]);
+  (* x=0 or x=1 covers everything *)
+  check q_testable "exhaustive clauses" Q.one
+    (Confidence.exact w
+       [ Assignment.singleton x 0; Assignment.singleton x 1 ])
+
+let test_confidence_independent_or () =
+  (* Two independent coin flips: P(x=1 or y=1) = 3/4. *)
+  let w = Wtable.create () in
+  let x = Wtable.add_var w [ Q.half; Q.half ] in
+  let y = Wtable.add_var w [ Q.half; Q.half ] in
+  check q_testable "3/4" (Q.of_ints 3 4)
+    (Confidence.exact w
+       [ Assignment.singleton x 1; Assignment.singleton y 1 ])
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 3.1: completeness of the representation                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_of_pdb_roundtrip () =
+  let r1 = Relation.of_rows [ "A" ] [ [ V.Int 1 ] ] in
+  let r2 = Relation.of_rows [ "A" ] [ [ V.Int 1 ]; [ V.Int 2 ] ] in
+  let r3 = Relation.of_rows [ "A" ] [] in
+  let s = Relation.of_rows [ "B" ] [ [ V.Str "k" ] ] in
+  let pdb =
+    Pdb.of_worlds ~complete:[ "S" ]
+      [
+        ([ ("R", r1); ("S", s) ], Q.of_ints 1 2);
+        ([ ("R", r2); ("S", s) ], Q.of_ints 1 3);
+        ([ ("R", r3); ("S", s) ], Q.of_ints 1 6);
+      ]
+  in
+  let udb = Enumerate.of_pdb pdb in
+  let back = Enumerate.to_pdb udb in
+  (* The roundtrip must preserve tuple confidences and world structure. *)
+  let q_r = Pqdb_ast.Ua.table "R" in
+  let confs_orig = Pqdb_worlds.Eval_naive.eval_confidence pdb q_r in
+  let confs_back = Pqdb_worlds.Eval_naive.eval_confidence back q_r in
+  check int_c "same tuple count" (List.length confs_orig)
+    (List.length confs_back);
+  List.iter
+    (fun (t, p) ->
+      let p' =
+        List.fold_left
+          (fun acc (t', p') -> if Tuple.equal t t' then p' else acc)
+          Q.zero confs_back
+      in
+      check q_testable "confidence preserved" p p')
+    confs_orig
+
+(* ------------------------------------------------------------------ *)
+(* Translation agreement with possible-worlds semantics                *)
+(* ------------------------------------------------------------------ *)
+
+let decode_confidences udb u =
+  Pdb.confidence (Enumerate.decode (Udb.wtable udb) u)
+
+let test_translation_product_join_agree () =
+  let udb = coin_udb () in
+  let w = Udb.wtable udb in
+  let r =
+    Translate.project_attrs [ "CoinType" ]
+      (Translate.repair_key w ~key:[] ~weight:"Count" (Udb.find udb "Coins"))
+  in
+  (* Join R with itself: same variable, consistent conditions only. *)
+  let j = Translate.join r r in
+  check int_c "self-join keeps two rows" 2 (Urelation.size j);
+  (* Product with a renamed copy keeps only consistent pairs (again 2). *)
+  let j2 = Translate.product r (Translate.rename [ ("CoinType", "C2") ] r) in
+  check int_c "self-product consistent pairs" 2 (Urelation.size j2);
+  let confs = decode_confidences udb j in
+  List.iter
+    (fun (t, p) ->
+      match Tuple.get t 0 with
+      | V.Str "fair" -> check q_testable "fair" (Q.of_ints 2 3) p
+      | V.Str "2headed" -> check q_testable "2headed" (Q.of_ints 1 3) p
+      | _ -> Alcotest.fail "unexpected")
+    confs
+
+let test_translation_union_select () =
+  let w = Wtable.create () in
+  let x = Wtable.add_var w [ Q.half; Q.half ] in
+  let schema = Schema.of_list [ "A" ] in
+  let u1 =
+    Urelation.make schema
+      [ (Assignment.singleton x 0, Tuple.of_list [ V.Int 1 ]) ]
+  in
+  let u2 =
+    Urelation.make schema
+      [ (Assignment.singleton x 1, Tuple.of_list [ V.Int 1 ]) ]
+  in
+  let union = Translate.union u1 u2 in
+  check q_testable "P(1 in union) = 1" Q.one
+    (Confidence.exact w (Urelation.clauses_for union (Tuple.of_list [ V.Int 1 ])));
+  let sel = Translate.select Predicate.(Expr.attr "A" = Expr.int 2) union in
+  check bool_c "selection removes all" true (Urelation.is_empty sel)
+
+let test_diff_complete () =
+  let a = Urelation.of_relation (Relation.of_rows [ "A" ] [ [ V.Int 1 ]; [ V.Int 2 ] ]) in
+  let b = Urelation.of_relation (Relation.of_rows [ "A" ] [ [ V.Int 2 ] ]) in
+  let d = Translate.diff_complete a b in
+  check int_c "one row" 1 (Urelation.size d);
+  let w = Wtable.create () in
+  let x = Wtable.add_var w [ Q.half; Q.half ] in
+  let uncertain =
+    Urelation.make (Schema.of_list [ "A" ])
+      [ (Assignment.singleton x 0, Tuple.of_list [ V.Int 1 ]) ]
+  in
+  Alcotest.check_raises "uncertain diff rejected"
+    (Invalid_argument "Translate.diff_complete: arguments must be complete")
+    (fun () -> ignore (Translate.diff_complete uncertain b))
+
+(* ------------------------------------------------------------------ *)
+(* Additional assignment / wtable / urelation behaviours               *)
+(* ------------------------------------------------------------------ *)
+
+let test_assignment_restrict_remove () =
+  let a = Assignment.of_list [ (0, 1); (1, 0); (3, 1) ] in
+  check int_c "restrict keeps listed vars" 2
+    (Assignment.cardinal (Assignment.restrict a [ 0; 3 ]));
+  check int_c "remove drops one var" 2
+    (Assignment.cardinal (Assignment.remove a 1));
+  check bool_c "remove absent var is identity" true
+    (Assignment.equal a (Assignment.remove a 9));
+  check bool_c "empty extended by anything" true
+    (Assignment.extended_by (fun _ -> 0) Assignment.empty)
+
+let test_assignment_duplicate_rejected () =
+  Alcotest.check_raises "duplicate var"
+    (Invalid_argument "Assignment.of_list: duplicate variable") (fun () ->
+      ignore (Assignment.of_list [ (1, 0); (1, 1) ]))
+
+let test_assignment_to_string_names () =
+  let w = Wtable.create () in
+  let x = Wtable.add_var ~name:"coin" w [ Q.half; Q.half ] in
+  check Alcotest.string "named rendering" "{coin=1}"
+    (Assignment.to_string w (Assignment.singleton x 1));
+  check Alcotest.string "empty" "{}" (Assignment.to_string w Assignment.empty)
+
+let test_wtable_to_relation () =
+  let w = Wtable.create () in
+  let _ = Wtable.add_var ~name:"c" w [ Q.of_ints 2 3; Q.of_ints 1 3 ] in
+  let rel = Wtable.to_relation w in
+  check int_c "two rows" 2 (Relation.cardinality rel);
+  check bool_c "row content" true
+    (Relation.mem rel
+       (Tuple.of_list [ V.Str "c"; V.Int 0; V.rat (Q.of_ints 2 3) ]))
+
+let test_urelation_filter_and_variables () =
+  let w = Wtable.create () in
+  let x = Wtable.add_var w [ Q.half; Q.half ] in
+  let y = Wtable.add_var w [ Q.half; Q.half ] in
+  let u =
+    Urelation.make (Schema.of_list [ "A" ])
+      [
+        (Assignment.singleton y 0, Tuple.of_list [ V.Int 1 ]);
+        (Assignment.singleton x 1, Tuple.of_list [ V.Int 2 ]);
+      ]
+  in
+  check (Alcotest.list int_c) "variables sorted" [ x; y ]
+    (Urelation.variables u);
+  let f = Urelation.filter (fun (_, t) -> Tuple.get t 0 = V.Int 1) u in
+  check int_c "filtered" 1 (Urelation.size f);
+  check bool_c "complete rep detection" false (Urelation.is_complete_rep u)
+
+let test_urelation_arity_mismatch () =
+  Alcotest.check_raises "arity mismatch"
+    (Invalid_argument "Urelation: tuple arity does not match schema")
+    (fun () ->
+      ignore
+        (Urelation.make (Schema.of_list [ "A"; "B" ])
+           [ (Assignment.empty, Tuple.of_list [ V.Int 1 ]) ]))
+
+(* ------------------------------------------------------------------ *)
+(* Confidence properties                                               *)
+(* ------------------------------------------------------------------ *)
+
+let dnf_case_gen =
+  (* (seed) -> random small wtable + clause list, built deterministically *)
+  QCheck.int_range 0 100_000
+
+let build_case seed =
+  let rng = Rng.create ~seed in
+  random_wtable_and_clauses rng ~vars:4 ~clauses:3 ~max_len:2
+
+let prop_confidence_is_probability =
+  QCheck.Test.make ~name:"confidence lies in [0, 1]" ~count:200 dnf_case_gen
+    (fun seed ->
+      let w, clauses = build_case seed in
+      Q.is_proper_probability (Confidence.exact w clauses))
+
+let prop_confidence_monotone_in_clauses =
+  QCheck.Test.make ~name:"adding a clause never lowers confidence" ~count:200
+    dnf_case_gen (fun seed ->
+      let w, clauses = build_case seed in
+      match clauses with
+      | [] -> true
+      | _ :: rest ->
+          Q.compare (Confidence.exact w rest) (Confidence.exact w clauses)
+          <= 0)
+
+let prop_enumeration_equals_shannon =
+  QCheck.Test.make ~name:"enumeration = shannon (qcheck)" ~count:150
+    dnf_case_gen (fun seed ->
+      let w, clauses = build_case seed in
+      Q.equal (Confidence.by_enumeration w clauses)
+        (Confidence.by_shannon w clauses))
+
+let prop_float_shannon_close =
+  QCheck.Test.make ~name:"float shannon within 1e-9 of exact" ~count:150
+    dnf_case_gen (fun seed ->
+      let w, clauses = build_case seed in
+      let exact = Q.to_float (Confidence.by_shannon w clauses) in
+      Float.abs (Confidence.by_shannon_float w clauses -. exact) < 1e-9)
+
+let test_total_assignments_weights () =
+  let w = Wtable.create () in
+  let x = Wtable.add_var w [ Q.of_ints 1 3; Q.of_ints 2 3 ] in
+  let y = Wtable.add_var w [ Q.half; Q.half ] in
+  let assignments = Enumerate.total_assignments w [ x; y ] in
+  check int_c "four worlds" 4 (List.length assignments);
+  check q_testable "weights sum to 1" Q.one
+    (Q.sum (List.map snd assignments))
+
+(* decode (select_p u) = per-world select_p (decode u): the parsimonious
+   translation commutes with the semantics. *)
+let prop_select_commutes_with_decode =
+  QCheck.Test.make ~name:"select commutes with decode" ~count:100
+    (QCheck.int_range 0 10_000) (fun seed ->
+      let rng = Rng.create ~seed in
+      let w = Wtable.create () in
+      let u =
+        Pqdb_workload.Gen.tuple_independent rng w ~attrs:[ "A" ] ~rows:4
+          ~domain:3
+      in
+      let pred = Predicate.(Expr.attr "A" >= Expr.int 1) in
+      let lhs = Enumerate.decode w (Translate.select pred u) in
+      let rhs =
+        Pdb.normalize_prel
+          (List.map
+             (fun (rel, p) -> (Algebra.select pred rel, p))
+             (Enumerate.decode w u))
+      in
+      Pdb.equal_prel lhs rhs)
+
+let prop_project_commutes_with_decode =
+  QCheck.Test.make ~name:"project commutes with decode" ~count:100
+    (QCheck.int_range 0 10_000) (fun seed ->
+      let rng = Rng.create ~seed in
+      let w = Wtable.create () in
+      let u =
+        Pqdb_workload.Gen.tuple_independent rng w ~attrs:[ "A"; "B" ] ~rows:4
+          ~domain:3
+      in
+      let lhs = Enumerate.decode w (Translate.project_attrs [ "A" ] u) in
+      let rhs =
+        Pdb.normalize_prel
+          (List.map
+             (fun (rel, p) -> (Algebra.project_attrs [ "A" ] rel, p))
+             (Enumerate.decode w u))
+      in
+      Pdb.equal_prel lhs rhs)
+
+(* ------------------------------------------------------------------ *)
+(* Persistence                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let with_temp_dir f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "pqdb_test_%d" (Hashtbl.hash (Sys.time ())))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter
+          (fun f -> Sys.remove (Filename.concat dir f))
+          (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () -> f dir)
+
+let test_udb_io_roundtrip () =
+  with_temp_dir (fun dir ->
+      (* A database mixing complete and uncertain relations, with tricky
+         values (strings that look like numbers, rationals). *)
+      let udb = coin_udb () in
+      let u =
+        Pqdb.Eval_exact.eval udb
+          (Pqdb_ast.Ua.project [ "CoinType" ]
+             (Pqdb_ast.Ua.repair_key ~key:[] ~weight:"Count"
+                (Pqdb_ast.Ua.table "Coins")))
+      in
+      Udb.add_urelation udb "R" u;
+      Udb_io.save dir udb;
+      let back = Udb_io.load dir in
+      check (Alcotest.list Alcotest.string) "names preserved"
+        (Udb.names udb) (Udb.names back);
+      List.iter
+        (fun name ->
+          check bool_c
+            ("complete flag for " ^ name)
+            (Udb.is_complete udb name)
+            (Udb.is_complete back name);
+          let a = Udb.find udb name and b = Udb.find back name in
+          check int_c ("size of " ^ name) (Urelation.size a)
+            (Urelation.size b))
+        (Udb.names udb);
+      (* Confidences survive: the W table and conditions are intact. *)
+      let conf_orig =
+        Confidence.all_confidences (Udb.wtable udb) (Udb.find udb "R")
+      in
+      let conf_back =
+        Confidence.all_confidences (Udb.wtable back) (Udb.find back "R")
+      in
+      List.iter2
+        (fun (t, p) (t', p') ->
+          check bool_c "tuple" true (Tuple.equal t t');
+          check q_testable "confidence" p p')
+        conf_orig conf_back)
+
+let test_udb_io_queryable_after_load () =
+  with_temp_dir (fun dir ->
+      let udb = coin_udb () in
+      Udb_io.save dir udb;
+      let back = Udb_io.load dir in
+      (* Run the whole Example 2.2 pipeline on the reloaded database. *)
+      let q = Pqdb_workload.Scenarios.coin_queries in
+      let u =
+        Pqdb.Eval_exact.eval_relation back q.Pqdb_workload.Scenarios.u
+      in
+      check int_c "posterior rows" 2 (Relation.cardinality u))
+
+let test_udb_io_failure_injection () =
+  with_temp_dir (fun dir ->
+      let udb = coin_udb () in
+      Udb_io.save dir udb;
+      (* Corrupt a condition atom. *)
+      let rel_path = Filename.concat dir "rel_Coins.csv" in
+      let oc = open_out rel_path in
+      output_string oc "D,CoinType,Count\nnot-a-condition,fair,2\n";
+      close_out oc;
+      check bool_c "bad condition rejected" true
+        (try
+           ignore (Udb_io.load dir);
+           false
+         with Invalid_argument _ -> true);
+      (* Missing relation file referenced by the manifest. *)
+      Sys.remove rel_path;
+      check bool_c "missing relation file" true
+        (try
+           ignore (Udb_io.load dir);
+           false
+         with Sys_error _ -> true))
+
+let test_udb_io_sparse_var_ids_rejected () =
+  with_temp_dir (fun dir ->
+      Sys.mkdir dir 0o755;
+      let write name body =
+        let oc = open_out (Filename.concat dir name) in
+        output_string oc body;
+        close_out oc
+      in
+      (* Variable id 1 with no id 0: not dense. *)
+      write "wtable.csv" "Var,Name,Dom,P\n1,x,0,1/2\n1,x,1,1/2\n";
+      write "manifest.csv" "Ord,Name,Complete\n0,R,false\n";
+      write "rel_R.csv" "D,A\nx1=0,1\n";
+      check bool_c "sparse ids rejected" true
+        (try
+           ignore (Udb_io.load dir);
+           false
+         with Invalid_argument _ -> true))
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "urel"
+    [
+      ( "wtable",
+        [
+          Alcotest.test_case "basics" `Quick test_wtable_basics;
+          Alcotest.test_case "validation" `Quick test_wtable_validation;
+        ] );
+      ( "assignment",
+        [
+          Alcotest.test_case "union/consistency" `Quick test_assignment_union;
+          Alcotest.test_case "weights" `Quick test_assignment_weight;
+          qcheck prop_union_commutes;
+          qcheck prop_union_extends;
+        ] );
+      ( "repair-key",
+        [
+          Alcotest.test_case "variable elision (Fig 1b)" `Quick
+            test_repair_key_variable_elision;
+          Alcotest.test_case "decodes to ground truth" `Quick
+            test_repair_key_decodes_to_ground_truth;
+        ] );
+      ( "confidence",
+        [
+          Alcotest.test_case "enumeration = shannon (random)" `Quick
+            test_confidence_agreement;
+          Alcotest.test_case "edge cases" `Quick test_confidence_edge_cases;
+          Alcotest.test_case "independent or" `Quick
+            test_confidence_independent_or;
+        ] );
+      ( "theorem 3.1",
+        [ Alcotest.test_case "of_pdb roundtrip" `Quick test_of_pdb_roundtrip ]
+      );
+      ( "more behaviours",
+        [
+          Alcotest.test_case "assignment restrict/remove" `Quick
+            test_assignment_restrict_remove;
+          Alcotest.test_case "assignment duplicates" `Quick
+            test_assignment_duplicate_rejected;
+          Alcotest.test_case "assignment names" `Quick
+            test_assignment_to_string_names;
+          Alcotest.test_case "wtable rendering" `Quick test_wtable_to_relation;
+          Alcotest.test_case "urelation filter/variables" `Quick
+            test_urelation_filter_and_variables;
+          Alcotest.test_case "urelation arity check" `Quick
+            test_urelation_arity_mismatch;
+          Alcotest.test_case "total assignment weights" `Quick
+            test_total_assignments_weights;
+          qcheck prop_confidence_is_probability;
+          qcheck prop_confidence_monotone_in_clauses;
+          qcheck prop_enumeration_equals_shannon;
+          qcheck prop_float_shannon_close;
+          qcheck prop_select_commutes_with_decode;
+          qcheck prop_project_commutes_with_decode;
+        ] );
+      ( "persistence",
+        [
+          Alcotest.test_case "save/load roundtrip" `Quick
+            test_udb_io_roundtrip;
+          Alcotest.test_case "queryable after load" `Quick
+            test_udb_io_queryable_after_load;
+          Alcotest.test_case "failure injection" `Quick
+            test_udb_io_failure_injection;
+          Alcotest.test_case "sparse variable ids" `Quick
+            test_udb_io_sparse_var_ids_rejected;
+        ] );
+      ( "translation",
+        [
+          Alcotest.test_case "product/join consistency" `Quick
+            test_translation_product_join_agree;
+          Alcotest.test_case "union/select" `Quick
+            test_translation_union_select;
+          Alcotest.test_case "difference on complete" `Quick
+            test_diff_complete;
+        ] );
+    ]
