@@ -55,6 +55,9 @@ let () =
     (if quick then "quick" else "full");
   let t0 = Report.now_ns () in
   List.iter (fun (_, f) -> f ~quick) chosen;
-  if selected = [] && not skip_micro then Micro.run ();
+  if selected = [] && not skip_micro then begin
+    Micro.run ();
+    Micro.confidence_engine ()
+  end;
   Printf.printf "\ntotal wall time: %s\n"
     (Report.fmt_seconds ((Report.now_ns () -. t0) /. 1e9))

@@ -11,6 +11,9 @@ module Scenarios = Pqdb_workload.Scenarios
 module Apred = Pqdb_ast.Apred
 module Dnf = Pqdb_montecarlo.Dnf
 module Karp_luby = Pqdb_montecarlo.Karp_luby
+module Mc_confidence = Pqdb_montecarlo.Confidence
+module Schema = Pqdb_relational.Schema
+module Tuple = Pqdb_relational.Tuple
 
 let test_shannon_confidence () =
   let rng = Rng.create ~seed:201 in
@@ -27,7 +30,7 @@ let test_karp_luby () =
   Test.make ~name:"confidence/karp-luby-1k-trials"
     (Staged.stage (fun () -> ignore (Karp_luby.run rng dnf ~trials:1000)))
 
-let test_translate_join () =
+let join_inputs () =
   let rng = Rng.create ~seed:203 in
   let w = Wtable.create () in
   let r = Gen.tuple_independent rng w ~attrs:[ "A"; "B" ] ~rows:500 ~domain:100 in
@@ -35,8 +38,45 @@ let test_translate_join () =
     Urelation.of_relation
       (Gen.random_relation rng ~attrs:[ "B"; "C" ] ~rows:100 ~domain:100)
   in
-  Test.make ~name:"translate/join-500x100"
+  (r, s)
+
+let test_translate_join () =
+  let r, s = join_inputs () in
+  Test.make ~name:"translate/hashjoin-500x100"
     (Staged.stage (fun () -> ignore (Translate.join r s)))
+
+let kl_dnf () =
+  let rng = Rng.create ~seed:202 in
+  let w = Wtable.create () in
+  let clauses = Gen.random_dnf rng w ~vars:12 ~clauses:12 ~clause_len:3 in
+  Dnf.prepare w clauses
+
+let test_karp_luby_parallel nworkers =
+  let dnf = kl_dnf () in
+  let rng = Rng.create ~seed:202 in
+  Test.make
+    ~name:(Printf.sprintf "confidence/karp-luby-parallel-%ddom" nworkers)
+    (Staged.stage (fun () ->
+         ignore (Karp_luby.run_parallel ~nworkers rng dnf ~trials:1000)))
+
+let batch_inputs () =
+  let rng = Rng.create ~seed:208 in
+  let w = Wtable.create () in
+  let u =
+    Gen.tuple_independent rng w ~attrs:[ "A"; "B" ] ~rows:500 ~domain:50
+  in
+  let clause_sets =
+    Array.of_list (List.map snd (Urelation.clauses_by_tuple u))
+  in
+  (w, clause_sets)
+
+let test_batch_confidence () =
+  let w, clause_sets = batch_inputs () in
+  let batch = Mc_confidence.prepare w clause_sets in
+  let rng = Rng.create ~seed:208 in
+  Test.make ~name:"confidence/batch-500-tuples"
+    (Staged.stage (fun () ->
+         ignore (Mc_confidence.run ~nworkers:2 rng batch ~eps:0.3 ~delta:0.2)))
 
 let test_thm52 () =
   let rng = Rng.create ~seed:204 in
@@ -109,6 +149,10 @@ let run () =
       [
         test_shannon_confidence ();
         test_karp_luby ();
+        test_karp_luby_parallel 1;
+        test_karp_luby_parallel 2;
+        test_karp_luby_parallel 4;
+        test_batch_confidence ();
         test_translate_join ();
         test_thm52 ();
         test_corner_search ();
@@ -147,3 +191,138 @@ let run () =
   Report.table
     ~header:[ "kernel"; "time/run"; "r^2" ]
     (List.sort compare !rows)
+
+(* ------------------------------------------------------------------ *)
+(* Confidence-engine wall-clock comparisons + BENCH_confidence.json    *)
+(* ------------------------------------------------------------------ *)
+
+(* The textbook O(|a|·|b|) join, kept here only as the baseline the hash
+   join in Translate.join is measured against. *)
+let nested_loop_join a b =
+  let sa = Urelation.schema a and sb = Urelation.schema b in
+  let shared = Schema.common sa sb in
+  let sb_only =
+    List.filter (fun x -> not (List.mem x shared)) (Schema.attributes sb)
+  in
+  let out_schema = Schema.of_list (Schema.attributes sa @ sb_only) in
+  let sa_shared = List.map (Schema.index sa) shared in
+  let sb_shared = List.map (Schema.index sb) shared in
+  let sb_only_pos = List.map (Schema.index sb) sb_only in
+  let rows_b = Urelation.rows b in
+  let rows =
+    List.concat_map
+      (fun (fa, ta) ->
+        List.filter_map
+          (fun (fb, tb) ->
+            if
+              Tuple.equal (Tuple.project ta sa_shared)
+                (Tuple.project tb sb_shared)
+            then
+              match Assignment.union fa fb with
+              | Some f ->
+                  Some (f, Tuple.concat ta (Tuple.project tb sb_only_pos))
+              | None -> None
+            else None)
+          rows_b)
+      (Urelation.rows a)
+  in
+  Urelation.make out_schema rows
+
+let confidence_engine () =
+  Report.section "CONF-ENGINE"
+    "Confidence-engine wall clock: parallel Karp-Luby, batch FPRAS, hash join";
+  let entries = ref [] in
+  let record name seconds baseline =
+    entries := (name, seconds, baseline /. seconds) :: !entries
+  in
+  (* 1. Domain-parallel Karp-Luby on one large trial budget. *)
+  let dnf = kl_dnf () in
+  let trials = 200_000 in
+  let serial =
+    Report.time_median (fun () ->
+        ignore (Karp_luby.run (Rng.create ~seed:1) dnf ~trials))
+  in
+  record "karp-luby-serial-200k" serial serial;
+  let kl_rows =
+    List.map
+      (fun n ->
+        let s =
+          Report.time_median (fun () ->
+              ignore
+                (Karp_luby.run_parallel ~nworkers:n (Rng.create ~seed:1) dnf
+                   ~trials))
+        in
+        record (Printf.sprintf "karp-luby-parallel-%ddom-200k" n) s serial;
+        [
+          Printf.sprintf "%d domains" n;
+          Report.fmt_seconds s;
+          Printf.sprintf "%.2fx" (serial /. s);
+        ])
+      [ 1; 2; 4 ]
+  in
+  Report.table
+    ~header:[ "karp-luby, 200k trials"; "median"; "speedup vs serial" ]
+    ([ "serial"; Report.fmt_seconds serial; "1.00x" ] :: kl_rows);
+  (* 2. Batched whole-relation FPRAS vs a per-tuple prepare+fpras loop. *)
+  let w, clause_sets = batch_inputs () in
+  let eps = 0.3 and delta = 0.2 in
+  let per_tuple =
+    Report.time_median (fun () ->
+        let rng = Rng.create ~seed:2 in
+        Array.iter
+          (fun clauses ->
+            ignore (Karp_luby.confidence rng w clauses ~eps ~delta))
+          clause_sets)
+  in
+  record "per-tuple-fpras-500" per_tuple per_tuple;
+  let batch = Mc_confidence.prepare w clause_sets in
+  let batched =
+    Report.time_median (fun () ->
+        ignore (Mc_confidence.run (Rng.create ~seed:2) batch ~eps ~delta))
+  in
+  record "batch-fpras-500" batched per_tuple;
+  Report.table
+    ~header:[ "500-tuple confidence"; "median"; "speedup" ]
+    [
+      [ "per-tuple fpras loop"; Report.fmt_seconds per_tuple; "1.00x" ];
+      [
+        "batch (prepared, pooled)";
+        Report.fmt_seconds batched;
+        Printf.sprintf "%.2fx" (per_tuple /. batched);
+      ];
+    ];
+  (* 3. Hash join vs the nested-loop baseline it replaced. *)
+  let r, s = join_inputs () in
+  let nested =
+    Report.time_median (fun () -> ignore (nested_loop_join r s))
+  in
+  record "join-nested-loop-500x100" nested nested;
+  let hashed = Report.time_median (fun () -> ignore (Translate.join r s)) in
+  record "join-hash-500x100" hashed nested;
+  Report.table
+    ~header:[ "join 500x100"; "median"; "speedup" ]
+    [
+      [ "nested loop"; Report.fmt_seconds nested; "1.00x" ];
+      [
+        "hash join";
+        Report.fmt_seconds hashed;
+        Printf.sprintf "%.2fx" (nested /. hashed);
+      ];
+    ];
+  (* Machine-readable record for EXPERIMENTS.md and regression tracking. *)
+  let path = "BENCH_confidence.json" in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n  \"schema\": \"pqdb-bench-confidence/v1\",\n  \"recommended_domains\": %d,\n  \"results\": [\n"
+    (Domain.recommended_domain_count ());
+  let items = List.rev !entries in
+  List.iteri
+    (fun i (name, seconds, speedup) ->
+      Printf.fprintf oc
+        "    {\"name\": \"%s\", \"median_seconds\": %.6e, \"speedup\": %.3f}%s\n"
+        name seconds speedup
+        (if i = List.length items - 1 then "" else ","))
+    items;
+  output_string oc "  ]\n}\n";
+  close_out oc;
+  Report.note "wrote %s" path

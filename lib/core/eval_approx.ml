@@ -247,18 +247,20 @@ and eval_ann_raw ~cache ~eps0 ~max_rounds ~sigma_delta ~rng ~stats udb
       conf_like a confs (fun p -> Value.Rat p)
   | Ua.ApproxConf ({ eps; delta }, q) ->
       let a = recur q in
-      let approx =
-        List.map
-          (fun t ->
-            let clauses = Urelation.clauses_for a.au t in
-            let dnf = Pqdb_montecarlo.Dnf.prepare w clauses in
-            let p = Pqdb_montecarlo.Karp_luby.fpras rng dnf ~eps ~delta in
-            stats.estimator_calls <-
-              stats.estimator_calls
-              + Pqdb_montecarlo.Karp_luby.trials_for dnf ~eps ~delta;
-            (t, p))
-          (Urelation.possible_tuples a.au)
+      (* Batched FPRAS: prepare all DNFs once (sharing W alias tables) and
+         farm the per-tuple budgets over the domain pool. *)
+      let groups = Urelation.clauses_by_tuple a.au in
+      let batch =
+        Pqdb_montecarlo.Confidence.prepare w
+          (Array.of_list (List.map snd groups))
       in
+      stats.estimator_calls <-
+        stats.estimator_calls
+        + Pqdb_montecarlo.Confidence.total_trials batch ~eps ~delta;
+      let estimates =
+        Pqdb_montecarlo.Confidence.run rng batch ~eps ~delta
+      in
+      let approx = List.mapi (fun i (t, _) -> (t, estimates.(i))) groups in
       let ann = conf_like a approx (fun p -> Value.Float p) in
       (* The reported P is outside the ε-relative interval with probability
          at most δ on top of the input's membership error. *)

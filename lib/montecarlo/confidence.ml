@@ -1,0 +1,64 @@
+open Pqdb_numeric
+open Pqdb_urel
+
+type batch = { dnfs : Dnf.t array }
+
+let prepare w clause_sets =
+  (* Serial phase: builds every DNF's sampling tables and forces the shared
+     per-variable alias cache in the W table, so the parallel phase below is
+     read-only on all shared structures. *)
+  { dnfs = Array.map (Dnf.prepare w) clause_sets }
+
+let size batch = Array.length batch.dnfs
+
+let total_trials batch ~eps ~delta =
+  Array.fold_left
+    (fun acc dnf -> acc + Karp_luby.trials_for dnf ~eps ~delta)
+    0 batch.dnfs
+
+let run ?nworkers rng batch ~eps ~delta =
+  if eps <= 0. || delta <= 0. then invalid_arg "Confidence.run";
+  let nworkers =
+    match nworkers with Some n -> n | None -> Pool.default_workers ()
+  in
+  if nworkers <= 0 then
+    invalid_arg "Confidence.run: nworkers must be positive";
+  let n = Array.length batch.dnfs in
+  let out = Array.make n 0. in
+  if n > 0 then begin
+    (* One child stream and one output slot per tuple: the estimates are
+       bit-deterministic for a fixed parent RNG state, independent of the
+       pool size and of which domain runs which tuple. *)
+    let rngs = Rng.split_n rng n in
+    let budgets =
+      Array.map (fun dnf -> Karp_luby.trials_for dnf ~eps ~delta) batch.dnfs
+    in
+    Array.iteri
+      (fun i dnf -> if Dnf.is_trivially_true dnf then out.(i) <- 1.)
+      batch.dnfs;
+    (* Farm only the tuples that actually need sampling, longest budget
+       first so stragglers start early. *)
+    let live =
+      Array.of_list
+        (List.sort
+           (fun i j -> compare budgets.(j) budgets.(i))
+           (List.filter
+              (fun i -> budgets.(i) > 0)
+              (List.init n Fun.id)))
+    in
+    let ntasks = Array.length live in
+    if ntasks > 0 then
+      Pool.run (Pool.create (min nworkers ntasks)) ~ntasks (fun k ->
+          let i = live.(k) in
+          out.(i) <- Karp_luby.run rngs.(i) batch.dnfs.(i) ~trials:budgets.(i))
+  end;
+  out
+
+let batch_fpras ?nworkers rng w clause_sets ~eps ~delta =
+  run ?nworkers rng (prepare w clause_sets) ~eps ~delta
+
+let approx_confidences ?nworkers rng w u ~eps ~delta =
+  let groups = Urelation.clauses_by_tuple u in
+  let batch = prepare w (Array.of_list (List.map snd groups)) in
+  let estimates = run ?nworkers rng batch ~eps ~delta in
+  List.mapi (fun i (t, _) -> (t, estimates.(i))) groups

@@ -1,0 +1,46 @@
+(** Batched approximate confidence: the whole-U-relation FPRAS path.
+
+    Where {!Karp_luby.fpras} answers one tuple, this module prepares all the
+    DNFs of a U-relation once — sharing the W table's per-variable alias
+    tables across tuples — and farms the per-tuple trial budgets over one
+    domain pool.  Not to be confused with {!Pqdb_urel.Confidence}, the exact
+    (#P-hard) solver.
+
+    Determinism contract: every tuple gets its own
+    {!Pqdb_numeric.Rng.split_n} child stream and its own output slot, and
+    runs its budget serially on one domain.  For a fixed parent RNG state the
+    estimates are therefore bit-identical across runs {e and across pool
+    sizes}; parallelism is across tuples only (shard a single huge tuple with
+    {!Karp_luby.run_parallel} instead). *)
+
+open Pqdb_numeric
+open Pqdb_relational
+open Pqdb_urel
+
+type batch
+
+val prepare : Wtable.t -> Assignment.t list array -> batch
+(** Serial preparation: builds each DNF's sampling tables and forces the
+    shared W-table alias cache, leaving the sampling phase read-only. *)
+
+val size : batch -> int
+
+val total_trials : batch -> eps:float -> delta:float -> int
+(** Σ per-tuple Chernoff budgets — the estimator-call cost {!run} will pay. *)
+
+val run : ?nworkers:int -> Rng.t -> batch -> eps:float -> delta:float -> float array
+(** Per-tuple (ε, δ) estimates, in the order of the prepared clause sets.
+    [nworkers] defaults to {!Pool.default_workers}.
+    @raise Invalid_argument when [eps <= 0], [delta <= 0] or [nworkers <= 0]. *)
+
+val batch_fpras :
+  ?nworkers:int -> Rng.t -> Wtable.t -> Assignment.t list array ->
+  eps:float -> delta:float -> float array
+(** [prepare] + [run]. *)
+
+val approx_confidences :
+  ?nworkers:int -> Rng.t -> Wtable.t -> Urelation.t ->
+  eps:float -> delta:float -> (Tuple.t * float) list
+(** The approximate [conf(R)]: every possible tuple of [u] with its (ε, δ)
+    confidence estimate, grouped via
+    {!Pqdb_urel.Urelation.clauses_by_tuple}. *)

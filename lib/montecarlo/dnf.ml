@@ -6,8 +6,9 @@ type t = {
   clauses : Assignment.t array;
   weights : float array;  (* p_f per clause *)
   total : float;  (* M *)
-  dist : Rng.Discrete.dist option;  (* clause sampler; None when F = ∅ *)
+  dist : Rng.Alias.dist option;  (* clause sampler; None when F = ∅ *)
   vars : int array;  (* union of clause variables *)
+  var_alias : Rng.Alias.dist array;  (* per vars slot; shared via the W cache *)
   slot_of_var : (int, int) Hashtbl.t;  (* var id -> index into a sample *)
 }
 
@@ -20,13 +21,16 @@ let prepare w clause_list =
       (List.sort_uniq compare
          (List.concat_map Assignment.vars clause_list))
   in
+  (* Forcing the W-table alias cache here keeps the sampling phase read-only,
+     so prepared DNFs can be drawn from concurrently by several domains. *)
+  let var_alias = Array.map (Wtable.alias w) vars in
   let slot_of_var = Hashtbl.create (Array.length vars) in
   Array.iteri (fun i v -> Hashtbl.replace slot_of_var v i) vars;
   let dist =
     if Array.length clauses = 0 then None
-    else Some (Rng.Discrete.of_weights weights)
+    else Some (Rng.Alias.of_weights weights)
   in
-  { w; clauses; weights; total; dist; vars; slot_of_var }
+  { w; clauses; weights; total; dist; vars; var_alias; slot_of_var }
 
 let clause_count t = Array.length t.clauses
 let total_weight t = t.total
@@ -35,33 +39,21 @@ let is_trivially_true t = Array.exists Assignment.is_empty t.clauses
 let variables t = Array.to_list t.vars
 let clauses t = Array.to_list t.clauses
 
-(* Sample a value for variable [v] from its W distribution. *)
-let sample_value rng w v =
-  let u = Rng.float rng 1. in
-  let n = Wtable.domain_size w v in
-  let rec go x acc =
-    if x >= n - 1 then x
-    else begin
-      let acc = acc +. Wtable.prob_float w v x in
-      if u < acc then x else go (x + 1) acc
-    end
-  in
-  go 0 0.
-
 let sample_estimator rng t =
   match t.dist with
   | None -> invalid_arg "Dnf.sample_estimator: empty DNF"
   | Some dist ->
-      (* Step 1: clause index proportional to p_f. *)
-      let i = Rng.Discrete.sample rng dist in
+      (* Step 1: clause index proportional to p_f (alias method, O(1)). *)
+      let i = Rng.Alias.sample rng dist in
       let f = t.clauses.(i) in
-      (* Step 2: extend to a total assignment over the DNF's variables. *)
+      (* Step 2: extend to a total assignment over the DNF's variables,
+         sampling unassigned ones from their W alias tables. *)
       let total = Array.make (Array.length t.vars) 0 in
       Array.iteri
         (fun slot v ->
           match Assignment.value f v with
           | Some x -> total.(slot) <- x
-          | None -> total.(slot) <- sample_value rng t.w v)
+          | None -> total.(slot) <- Rng.Alias.sample rng t.var_alias.(slot))
         t.vars;
       let lookup v = total.(Hashtbl.find t.slot_of_var v) in
       (* Step 3: 1 iff f is the smallest-index clause consistent with f*. *)
@@ -72,4 +64,6 @@ let sample_estimator rng t =
       in
       if smallest 0 then 1 else 0
 
-let exact t = Confidence.exact t.w (Array.to_list t.clauses)
+(* Fully qualified: [Confidence] unqualified would resolve to this library's
+   batched-confidence module and create a dependency cycle. *)
+let exact t = Pqdb_urel.Confidence.exact t.w (Array.to_list t.clauses)

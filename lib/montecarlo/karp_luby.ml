@@ -12,6 +12,37 @@ let run rng dnf ~trials =
     float_of_int !x *. Dnf.total_weight dnf /. float_of_int trials
   end
 
+let run_parallel ?nworkers rng dnf ~trials =
+  let nworkers =
+    match nworkers with Some n -> n | None -> Pool.default_workers ()
+  in
+  if nworkers <= 0 then
+    invalid_arg "Karp_luby.run_parallel: nworkers must be positive";
+  if Dnf.is_trivially_false dnf then 0.
+  else if Dnf.is_trivially_true dnf then 1.
+  else begin
+    if trials <= 0 then
+      invalid_arg "Karp_luby.run_parallel: trials must be positive";
+    (* Shard the trial budget over deterministic child streams.  Shard count,
+       shard sizes and shard RNGs depend only on (rng state, nworkers,
+       trials), and the per-shard success counts are summed as integers, so
+       the estimate is bit-identical across runs and across schedulings. *)
+    let nshards = min nworkers trials in
+    let rngs = Rng.split_n rng nshards in
+    let base = trials / nshards and extra = trials mod nshards in
+    let successes = Array.make nshards 0 in
+    Pool.run (Pool.create nshards) ~ntasks:nshards (fun i ->
+        let m = base + if i < extra then 1 else 0 in
+        let rng = rngs.(i) in
+        let x = ref 0 in
+        for _ = 1 to m do
+          x := !x + Dnf.sample_estimator rng dnf
+        done;
+        successes.(i) <- !x);
+    let x = Array.fold_left ( + ) 0 successes in
+    float_of_int x *. Dnf.total_weight dnf /. float_of_int trials
+  end
+
 let trials_for dnf ~eps ~delta =
   if Dnf.is_trivially_false dnf || Dnf.is_trivially_true dnf then 0
   else
@@ -22,6 +53,12 @@ let fpras rng dnf ~eps ~delta =
   if Dnf.is_trivially_false dnf then 0.
   else if Dnf.is_trivially_true dnf then 1.
   else run rng dnf ~trials:(trials_for dnf ~eps ~delta)
+
+let fpras_parallel ?nworkers rng dnf ~eps ~delta =
+  if eps <= 0. || delta <= 0. then invalid_arg "Karp_luby.fpras_parallel";
+  if Dnf.is_trivially_false dnf then 0.
+  else if Dnf.is_trivially_true dnf then 1.
+  else run_parallel ?nworkers rng dnf ~trials:(trials_for dnf ~eps ~delta)
 
 let confidence rng w clauses ~eps ~delta =
   fpras rng (Dnf.prepare w clauses) ~eps ~delta

@@ -12,9 +12,25 @@ val run : Rng.t -> Dnf.t -> trials:int -> float
 (** [p̂] after exactly [trials] estimator calls.  Degenerate DNFs (no clauses
     / empty clause) return 0 or 1 without sampling. *)
 
+val run_parallel : ?nworkers:int -> Rng.t -> Dnf.t -> trials:int -> float
+(** As {!run}, with the trial budget sharded over up to [nworkers] domains
+    (default {!Pool.default_workers}), one {!Pqdb_numeric.Rng.split_n} child
+    stream per shard.  For a fixed (parent RNG state, [nworkers], [trials])
+    the estimate is bit-deterministic — shard sizes, shard streams and the
+    integer success sum do not depend on scheduling — and each shard runs the
+    same unbiased estimator as {!run}, so the statistical (ε, δ) guarantees
+    are unchanged.  [nworkers = 1] runs on the calling domain alone (no
+    spawns) but still draws from a child stream, so it reproduces
+    [run_parallel], not [run].
+    @raise Invalid_argument when [trials <= 0] or [nworkers <= 0]. *)
+
 val fpras : Rng.t -> Dnf.t -> eps:float -> delta:float -> float
 (** The (ε, δ) approximation scheme: picks the Chernoff-derived trial count.
     @raise Invalid_argument when [eps <= 0] or [delta <= 0]. *)
+
+val fpras_parallel :
+  ?nworkers:int -> Rng.t -> Dnf.t -> eps:float -> delta:float -> float
+(** {!fpras} with the trial budget run through {!run_parallel}. *)
 
 val trials_for : Dnf.t -> eps:float -> delta:float -> int
 (** The [m] used by {!fpras} (0 for degenerate DNFs). *)

@@ -1,0 +1,41 @@
+type t = { nworkers : int }
+
+let default_workers () = max 1 (Domain.recommended_domain_count ())
+
+let create nworkers =
+  if nworkers <= 0 then invalid_arg "Pool.create: nworkers must be positive";
+  { nworkers }
+
+let size t = t.nworkers
+
+let run t ~ntasks f =
+  if ntasks < 0 then invalid_arg "Pool.run: ntasks must be nonnegative";
+  if ntasks > 0 then begin
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < ntasks then begin
+          f i;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let spawned = min (t.nworkers - 1) (ntasks - 1) in
+    let domains = Array.init spawned (fun _ -> Domain.spawn worker) in
+    (* The calling domain participates; if its slice raises we must still
+       join every spawned domain before re-raising. *)
+    let parent_exn = (try worker (); None with e -> Some e) in
+    let child_exn =
+      Array.fold_left
+        (fun acc d ->
+          match (try Domain.join d; None with e -> Some e) with
+          | Some _ as e when acc = None -> e
+          | _ -> acc)
+        None domains
+    in
+    match (parent_exn, child_exn) with
+    | Some e, _ | None, Some e -> raise e
+    | None, None -> ()
+  end

@@ -1,0 +1,30 @@
+(** A minimal fork-join domain pool for the confidence engine.
+
+    [run] fans a task index range out over up to [size] OCaml 5 domains via
+    an atomic work-stealing counter; the calling domain participates, so a
+    pool of size 1 degenerates to a plain loop with no spawns.  Domains are
+    spawned per [run] call and joined before it returns — there are no idle
+    resident workers, and a pool value is just a size, cheap to create and
+    to discard.  Tasks must write results to disjoint slots (or otherwise
+    not race): the pool provides no synchronisation beyond the counter and
+    the join.
+
+    Determinism note: callers that want bit-reproducible results give each
+    task its own {!Pqdb_numeric.Rng} stream and its own output slot; which
+    domain runs which task then cannot affect the outcome. *)
+
+type t
+
+val create : int -> t
+(** @raise Invalid_argument when the worker count is not positive. *)
+
+val size : t -> int
+
+val default_workers : unit -> int
+(** [Domain.recommended_domain_count], floored at 1. *)
+
+val run : t -> ntasks:int -> (int -> unit) -> unit
+(** [run t ~ntasks f] executes [f 0 … f (ntasks-1)], each exactly once, on
+    up to [size t] domains, and waits for all of them.  If any task raises,
+    the first observed exception is re-raised after every domain has been
+    joined (remaining tasks may still run). *)

@@ -2,6 +2,11 @@ type t = Random.State.t
 
 let create ~seed = Random.State.make [| seed; 0x9e3779b9; seed lxor 0x5deece66d |]
 let split t = Random.State.make [| Random.State.bits t; Random.State.bits t |]
+
+let split_n t n =
+  if n <= 0 then invalid_arg "Rng.split_n: n must be positive";
+  let a = Random.State.bits t and b = Random.State.bits t in
+  Array.init n (fun i -> Random.State.make [| a; b; i; 0x9e3779b9 |])
 let copy = Random.State.copy
 let int t bound = Random.State.int t bound
 let float t bound = Random.State.float t bound
@@ -44,4 +49,45 @@ module Discrete = struct
       end
     in
     search 0 (Array.length d.cumulative - 1)
+end
+
+module Alias = struct
+  type dist = { prob : float array; alias : int array; total : float }
+
+  (* Vose's stable construction: scale weights to mean 1, then pair each
+     deficient column with a surplus one. *)
+  let of_weights weights =
+    let n = Array.length weights in
+    if n = 0 then invalid_arg "Rng.Alias.of_weights: empty";
+    let total = ref 0. in
+    Array.iter
+      (fun w ->
+        if w < 0. then invalid_arg "Rng.Alias.of_weights: negative weight";
+        total := !total +. w)
+      weights;
+    if !total <= 0. then invalid_arg "Rng.Alias.of_weights: zero total";
+    let scale = float_of_int n /. !total in
+    let scaled = Array.map (fun w -> w *. scale) weights in
+    let prob = Array.make n 1. in
+    let alias = Array.init n Fun.id in
+    let small = Stack.create () and large = Stack.create () in
+    Array.iteri
+      (fun i p -> Stack.push i (if p < 1. then small else large))
+      scaled;
+    while (not (Stack.is_empty small)) && not (Stack.is_empty large) do
+      let s = Stack.pop small and l = Stack.pop large in
+      prob.(s) <- scaled.(s);
+      alias.(s) <- l;
+      scaled.(l) <- scaled.(l) -. (1. -. scaled.(s));
+      Stack.push l (if scaled.(l) < 1. then small else large)
+    done;
+    (* Leftover columns are 1 up to rounding; prob is already 1 there. *)
+    { prob; alias; total = !total }
+
+  let total d = d.total
+  let size d = Array.length d.prob
+
+  let sample t d =
+    let i = Random.State.int t (Array.length d.prob) in
+    if Random.State.float t 1. < d.prob.(i) then i else d.alias.(i)
 end

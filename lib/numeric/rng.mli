@@ -12,6 +12,14 @@ val split : t -> t
 (** A fresh generator deterministically derived from (and advancing) the
     parent — used to give independent streams to independent estimators. *)
 
+val split_n : t -> int -> t array
+(** [split_n t n] is [n] fresh generators derived deterministically from the
+    parent's current state (which advances once): for a fixed parent state the
+    children's streams are reproducible and pairwise independent.  This is how
+    parallel Karp-Luby gives each worker its own stream while staying
+    bit-deterministic for a fixed (seed, worker count).
+    @raise Invalid_argument when [n <= 0]. *)
+
 val copy : t -> t
 val int : t -> int -> int
 (** Uniform on [\[0, bound)]. *)
@@ -37,6 +45,26 @@ module Discrete : sig
   (** @raise Invalid_argument if weights are negative or all zero. *)
 
   val total : dist -> float
+  val sample : t -> dist -> int
+  val size : dist -> int
+end
+
+(** {1 Walker alias method}
+
+    O(1)-per-draw weighted choice (two uniforms and two array reads),
+    against {!Discrete}'s O(log n) cumulative search.  Preparation is O(n).
+    This is the sampler on the Karp-Luby hot path: W-table domains and DNF
+    clause distributions are drawn millions of times per confidence batch. *)
+
+module Alias : sig
+  type dist
+
+  val of_weights : float array -> dist
+  (** @raise Invalid_argument if weights are negative or all zero. *)
+
+  val total : dist -> float
+  (** Sum of the input weights. *)
+
   val sample : t -> dist -> int
   val size : dist -> int
 end

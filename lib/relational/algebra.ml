@@ -36,26 +36,23 @@ let join a b =
     List.filter (fun x -> not (List.mem x shared)) (Schema.attributes sb)
   in
   let out_schema = Schema.of_list (Schema.attributes sa @ sb_only) in
-  let key schema t = List.map (fun x -> Tuple.get_named schema t x) shared in
+  let sa_shared = List.map (Schema.index sa) shared in
+  let sb_shared = List.map (Schema.index sb) shared in
   let sb_only_positions = List.map (Schema.index sb) sb_only in
-  (* Hash b's tuples by their shared-attribute key. *)
-  let index = Hashtbl.create (max 16 (Relation.cardinality b)) in
+  (* Hash b's tuples by their shared-attribute key tuple.  Tuple.Table
+     compares keys with Value-aware equality, so no re-check is needed. *)
+  let index = Tuple.Table.create (max 16 (Relation.cardinality b)) in
   Relation.iter
-    (fun tb ->
-      let k = List.map Value.to_string (key sb tb) in
-      Hashtbl.add index k tb)
+    (fun tb -> Tuple.Table.add index (Tuple.project tb sb_shared) tb)
     b;
   Relation.fold
     (fun ta acc ->
-      let k = List.map Value.to_string (key sa ta) in
       List.fold_left
         (fun acc tb ->
-          (* String keys can collide across types; re-check with Value.equal. *)
-          if List.for_all2 Value.equal (key sa ta) (key sb tb) then
-            Relation.add acc (Tuple.concat ta (Tuple.project tb sb_only_positions))
-          else acc)
+          Relation.add acc
+            (Tuple.concat ta (Tuple.project tb sb_only_positions)))
         acc
-        (Hashtbl.find_all index k))
+        (Tuple.Table.find_all index (Tuple.project ta sa_shared)))
     a (Relation.empty out_schema)
 
 let theta_join pred a b = select pred (product a b)
@@ -66,16 +63,15 @@ let inter = Relation.inter
 let group_by keys r =
   let schema = Relation.schema r in
   let positions = List.map (Schema.index schema) keys in
-  let table = Hashtbl.create 64 in
+  let table = Tuple.Table.create 64 in
   let order = ref [] in
   Relation.iter
     (fun t ->
       let k = Tuple.project t positions in
-      let ks = Format.asprintf "%a" Tuple.pp k in
-      (match Hashtbl.find_opt table ks with
-      | Some (key, group) -> Hashtbl.replace table ks (key, Relation.add group t)
+      match Tuple.Table.find_opt table k with
+      | Some group -> Tuple.Table.replace table k (Relation.add group t)
       | None ->
-          order := ks :: !order;
-          Hashtbl.add table ks (k, Relation.add (Relation.empty schema) t)))
+          order := k :: !order;
+          Tuple.Table.add table k (Relation.add (Relation.empty schema) t))
     r;
-  List.rev_map (fun ks -> Hashtbl.find table ks) !order
+  List.rev_map (fun k -> (k, Tuple.Table.find table k)) !order

@@ -27,10 +27,14 @@ let compare a b =
 let equal a b = compare a b = 0
 
 let hash t =
-  Array.fold_left
-    (fun acc v -> (acc * 31) + Hashtbl.hash (Value.to_string v))
-    7 t
-  land max_int
+  Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) 7 t land max_int
+
+module Table = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)
 
 let pp fmt t =
   Format.fprintf fmt "(%a)"

@@ -19,5 +19,14 @@ val project : t -> int list -> t
 val concat : t -> t -> t
 val compare : t -> t -> int
 val equal : t -> t -> bool
+
 val hash : t -> int
+(** Compatible with {!equal} (built on {!Value.hash}). *)
+
+module Table : Hashtbl.S with type key = t
+(** Hash tables keyed directly on tuples — the join/group keys of the hash
+    joins in [Algebra] and [Translate].  Keys are compared with {!equal}, so
+    cross-type numerically-equal values match and no string rendering is
+    involved. *)
+
 val pp : Format.formatter -> t -> unit

@@ -78,6 +78,21 @@ let compare a b =
 
 let equal a b = compare a b = 0
 
+(* Equality is numeric across Int/Float/Rat (Int 1 = Float 1. = Rat 1/1), so
+   numeric values must hash through a representation-independent image: their
+   float value.  Rationals are kept in lowest terms, so equal rationals have
+   identical floats; ints beyond 2^53 may collide with neighbours, which is
+   harmless for hashing. *)
+let hash v =
+  match v with
+  | Int _ | Float _ | Rat _ -> begin
+      match to_float_opt v with
+      | Some f -> Hashtbl.hash f
+      | None -> assert false
+    end
+  | Str s -> Hashtbl.hash s
+  | Bool b -> Hashtbl.hash b
+
 let numeric_error op = invalid_arg ("Value." ^ op ^ ": non-numeric operand")
 
 (* Apply a binary arithmetic operation with tower promotion. *)

@@ -42,6 +42,13 @@ val compare : t -> t -> int
 
 val equal : t -> t -> bool
 
+val hash : t -> int
+(** Compatible with {!equal} across constructors: numeric values hash through
+    their float image, so [Int 1], [Rat 1/1] and [Float 1.] (which are
+    [equal]) hash alike.  This is the key used by the hash joins — unlike the
+    former [to_string] keys it can neither miss a cross-type match nor be
+    fooled by ambiguous concatenation. *)
+
 (** {1 Numeric coercions} *)
 
 val to_float_opt : t -> float option

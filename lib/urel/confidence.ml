@@ -38,18 +38,12 @@ let by_enumeration w clauses =
 (* Shannon expansion with memoisation.                                 *)
 (* ------------------------------------------------------------------ *)
 
-(* Key: canonical string of the residual clause set. *)
+(* Key: the residual clause set as a sorted list of binding lists.  A
+   structural key under polymorphic hash/equality — no string building and
+   no separator ambiguity (the former string key concatenated decimal ids
+   with ":"/","/";", paying an allocation-heavy sort-of-strings per node). *)
 let canonical clauses =
-  let strings =
-    List.map
-      (fun a ->
-        String.concat ","
-          (List.map
-             (fun (v, x) -> string_of_int v ^ ":" ^ string_of_int x)
-             (Assignment.bindings a)))
-      clauses
-  in
-  String.concat ";" (List.sort compare strings)
+  List.sort compare (List.map Assignment.bindings clauses)
 
 (* Pick the variable occurring in the most clauses (a standard DPLL-style
    branching heuristic). *)
@@ -233,5 +227,5 @@ let tuple_confidence w u tuple =
 
 let all_confidences w u =
   List.map
-    (fun t -> (t, tuple_confidence w u t))
-    (Urelation.possible_tuples u)
+    (fun (t, clauses) -> (t, exact w clauses))
+    (Urelation.clauses_by_tuple u)

@@ -27,6 +27,7 @@ let product a b =
   let out_schema =
     Schema.concat (Urelation.schema a) (Urelation.schema b)
   in
+  let rows_b = Urelation.rows b in
   let rows =
     List.concat_map
       (fun (fa, ta) ->
@@ -35,7 +36,7 @@ let product a b =
             match Assignment.union fa fb with
             | Some f -> Some (f, Tuple.concat ta tb)
             | None -> None)
-          (Urelation.rows b))
+          rows_b)
       (Urelation.rows a)
   in
   Urelation.make out_schema rows
@@ -50,28 +51,23 @@ let join a b =
   let sa_shared = List.map (Schema.index sa) shared in
   let sb_shared = List.map (Schema.index sb) shared in
   let sb_only_pos = List.map (Schema.index sb) sb_only in
-  (* Hash b's rows by their shared-attribute key (string keys may collide
-     across value types, so matches are re-checked with Tuple.equal). *)
-  let index = Hashtbl.create (max 16 (Urelation.size b)) in
-  let key_string t = Format.asprintf "%a" Tuple.pp t in
+  (* Hash b's rows by their shared-attribute key tuple; Tuple.Table's
+     Value-aware equality makes probes exact, so no re-check is needed. *)
+  let index = Tuple.Table.create (max 16 (Urelation.size b)) in
   List.iter
     (fun (fb, tb) ->
-      let kb = Tuple.project tb sb_shared in
-      Hashtbl.add index (key_string kb) (fb, kb, tb))
+      Tuple.Table.add index (Tuple.project tb sb_shared) (fb, tb))
     (Urelation.rows b);
   let rows =
     List.concat_map
       (fun (fa, ta) ->
-        let ka = Tuple.project ta sa_shared in
         List.filter_map
-          (fun (fb, kb, tb) ->
-            if Tuple.equal ka kb then
-              match Assignment.union fa fb with
-              | Some f ->
-                  Some (f, Tuple.concat ta (Tuple.project tb sb_only_pos))
-              | None -> None
-            else None)
-          (Hashtbl.find_all index (key_string ka)))
+          (fun (fb, tb) ->
+            match Assignment.union fa fb with
+            | Some f ->
+                Some (f, Tuple.concat ta (Tuple.project tb sb_only_pos))
+            | None -> None)
+          (Tuple.Table.find_all index (Tuple.project ta sa_shared)))
       (Urelation.rows a)
   in
   Urelation.make out_schema rows

@@ -47,6 +47,21 @@ let clauses_for u tuple =
     (fun (a, t) acc -> if Tuple.equal t tuple then a :: acc else acc)
     u.set []
 
+(* One hash pass instead of a clauses_for scan per possible tuple. *)
+let clauses_by_tuple u =
+  let table = Tuple.Table.create (max 16 (RS.cardinal u.set)) in
+  let order = ref [] in
+  RS.iter
+    (fun (a, t) ->
+      match Tuple.Table.find_opt table t with
+      | Some acc -> Tuple.Table.replace table t (a :: acc)
+      | None ->
+          order := t :: !order;
+          Tuple.Table.add table t [ a ])
+    u.set;
+  List.rev_map (fun t -> (t, List.rev (Tuple.Table.find table t))) !order
+  |> List.sort (fun (t1, _) (t2, _) -> Tuple.compare t1 t2)
+
 let variables u =
   let vars =
     RS.fold (fun (a, _) acc -> Assignment.vars a @ acc) u.set []

@@ -40,6 +40,12 @@ val clauses_for : t -> Tuple.t -> Assignment.t list
 (** The DNF [F = {f | ⟨f, t̄⟩ ∈ U_R}] whose weight is the tuple's confidence
     (Section 4). *)
 
+val clauses_by_tuple : t -> (Tuple.t * Assignment.t list) list
+(** Every possible tuple with its DNF, grouped in one hash pass — the batched
+    confidence path uses this instead of one {!clauses_for} scan per tuple.
+    Ordered by {!Pqdb_relational.Tuple.compare} (the {!possible_tuples}
+    order). *)
+
 val variables : t -> Wtable.var list
 (** Variables mentioned by any condition, deduplicated, sorted. *)
 

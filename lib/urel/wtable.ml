@@ -7,6 +7,7 @@ type entry = {
   var_name : string;
   dist : Rational.t array;
   dist_float : float array;
+  mutable alias : Rng.Alias.dist option;  (* lazily built O(1) sampler *)
 }
 
 type t = { mutable entries : entry array; mutable count : int }
@@ -30,7 +31,12 @@ let add_var ?name t dist =
     match name with Some n -> n | None -> "x" ^ string_of_int id
   in
   let entry =
-    { var_name; dist; dist_float = Array.map Rational.to_float dist }
+    {
+      var_name;
+      dist;
+      dist_float = Array.map Rational.to_float dist;
+      alias = None;
+    }
   in
   if id >= Array.length t.entries then begin
     let capacity = max 8 (2 * Array.length t.entries) in
@@ -63,6 +69,15 @@ let prob_float t v x =
   if x < 0 || x >= Array.length e.dist_float then
     invalid_arg "Wtable.prob_float: value out of domain"
   else e.dist_float.(x)
+
+let alias t v =
+  let e = entry t v in
+  match e.alias with
+  | Some a -> a
+  | None ->
+      let a = Rng.Alias.of_weights e.dist_float in
+      e.alias <- Some a;
+      a
 
 let world_count t =
   let rec go acc v = if v >= t.count then acc else go (acc * domain_size t v) (v + 1) in

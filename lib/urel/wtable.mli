@@ -31,6 +31,12 @@ val prob : t -> var -> int -> Rational.t
 val prob_float : t -> var -> int -> float
 (** Cached float image of {!prob} for the Monte-Carlo path. *)
 
+val alias : t -> var -> Rng.Alias.dist
+(** The variable's Walker alias sampler (O(1) per draw), built on first use
+    and cached on the entry, so every DNF prepared against this W table
+    shares one table per variable.  The cache is filled during (serial) DNF
+    preparation; domains in the parallel Karp-Luby phase only read it. *)
+
 val world_count : t -> int
 (** Π domain sizes — the number of total assignments (can be huge; used by
     diagnostics and the exponential-path benchmarks). *)

@@ -246,6 +246,175 @@ let prop_estimate_within_bound_often =
       in
       float_of_int !failures /. float_of_int runs <= bound +. 0.15)
 
+(* ------------------------------------------------------------------ *)
+(* Parallel Karp-Luby and the batched confidence engine                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_run_parallel_deterministic () =
+  (* The acceptance contract: identical (seed, nworkers, trials) gives a
+     bit-identical estimate, run after run. *)
+  let w, clauses = fixture () in
+  let dnf = Dnf.prepare w clauses in
+  let estimate () =
+    Karp_luby.run_parallel ~nworkers:4 (Rng.create ~seed:31) dnf ~trials:2_000
+  in
+  let first = estimate () in
+  for _ = 1 to 3 do
+    check (Alcotest.float 0.) "bit-identical across runs" first (estimate ())
+  done
+
+let test_run_parallel_agrees_with_serial () =
+  (* Parallel sharding keeps the estimator unbiased: both serial and
+     parallel land near exact p = 0.88 with a generous trial budget. *)
+  let w, clauses = fixture () in
+  let dnf = Dnf.prepare w clauses in
+  let p = Q.to_float (Dnf.exact dnf) in
+  let trials = 60_000 in
+  let serial = Karp_luby.run (Rng.create ~seed:51) dnf ~trials in
+  let par = Karp_luby.run_parallel ~nworkers:4 (Rng.create ~seed:52) dnf ~trials in
+  check bool_c
+    (Printf.sprintf "serial %.4f near p %.4f" serial p)
+    true
+    (Float.abs (serial -. p) < 0.02);
+  check bool_c
+    (Printf.sprintf "parallel %.4f near p %.4f" par p)
+    true
+    (Float.abs (par -. p) < 0.02);
+  (* Worker count changes the shard streams but not the distribution. *)
+  let par1 = Karp_luby.run_parallel ~nworkers:1 (Rng.create ~seed:53) dnf ~trials in
+  let par3 = Karp_luby.run_parallel ~nworkers:3 (Rng.create ~seed:53) dnf ~trials in
+  check bool_c
+    (Printf.sprintf "1 vs 3 workers: %.4f vs %.4f" par1 par3)
+    true
+    (Float.abs (par1 -. par3) < 0.03)
+
+let test_run_parallel_degenerate_and_invalid () =
+  let w = Wtable.create () in
+  let rng = Rng.create ~seed:1 in
+  check (Alcotest.float 0.) "empty DNF = 0" 0.
+    (Karp_luby.run_parallel ~nworkers:4 rng (Dnf.prepare w []) ~trials:100);
+  check (Alcotest.float 0.) "certain DNF = 1" 1.
+    (Karp_luby.run_parallel ~nworkers:4 rng
+       (Dnf.prepare w [ Assignment.empty ])
+       ~trials:100);
+  let w2, clauses2 = fixture () in
+  let dnf = Dnf.prepare w2 clauses2 in
+  Alcotest.check_raises "zero trials"
+    (Invalid_argument "Karp_luby.run_parallel: trials must be positive")
+    (fun () -> ignore (Karp_luby.run_parallel ~nworkers:2 rng dnf ~trials:0));
+  Alcotest.check_raises "zero workers"
+    (Invalid_argument "Karp_luby.run_parallel: nworkers must be positive")
+    (fun () -> ignore (Karp_luby.run_parallel ~nworkers:0 rng dnf ~trials:10));
+  (* More workers than trials collapses to one shard per trial. *)
+  let p = Karp_luby.run_parallel ~nworkers:8 rng dnf ~trials:3 in
+  check bool_c "oversubscribed pool still estimates" true (p >= 0. && p <= Dnf.total_weight dnf)
+
+let test_fpras_parallel_guarantee () =
+  (* The sharded scheme keeps the (ε, δ) guarantee (statistical check). *)
+  let w, clauses = fixture () in
+  let dnf = Dnf.prepare w clauses in
+  let p = Q.to_float (Dnf.exact dnf) in
+  let eps = 0.08 and delta = 0.1 in
+  let rng = Rng.create ~seed:8 in
+  let runs = 200 in
+  let tally = Stats.tally () in
+  for _ = 1 to runs do
+    let p_hat = Karp_luby.fpras_parallel ~nworkers:3 rng dnf ~eps ~delta in
+    Stats.record tally (Float.abs (p_hat -. p) < eps *. p)
+  done;
+  let rate = Stats.error_rate tally in
+  check bool_c
+    (Printf.sprintf "failure rate %.3f <= delta %.3f (+slack)" rate delta)
+    true
+    (rate <= delta +. 0.05)
+
+(* A small batch: the fixture DNF, a single-clause DNF, a certain and an
+   impossible one. *)
+let batch_fixture () =
+  let w = Wtable.create () in
+  let x = Wtable.add_var w [ Q.of_ints 3 10; Q.of_ints 7 10 ] in
+  let y = Wtable.add_var w [ Q.of_ints 1 2; Q.of_ints 1 2 ] in
+  let z = Wtable.add_var w [ Q.of_ints 4 5; Q.of_ints 1 5 ] in
+  let clause_sets =
+    [|
+      [
+        Assignment.singleton x 1;
+        Assignment.of_list [ (y, 1); (z, 0) ];
+        Assignment.of_list [ (x, 0); (z, 1) ];
+      ];
+      [ Assignment.singleton y 1 ];
+      [ Assignment.empty ];
+      [];
+    |]
+  in
+  (w, clause_sets)
+
+let test_batch_deterministic_across_pool_sizes () =
+  (* The batch engine's stronger contract: estimates depend on the parent
+     RNG state only — not on the pool size, not on scheduling. *)
+  let w, clause_sets = batch_fixture () in
+  let batch = Confidence.prepare w clause_sets in
+  let run nworkers =
+    Confidence.run ~nworkers (Rng.create ~seed:61) batch ~eps:0.1 ~delta:0.1
+  in
+  let reference = run 1 in
+  List.iter
+    (fun nworkers ->
+      let got = run nworkers in
+      Array.iteri
+        (fun i v ->
+          check (Alcotest.float 0.)
+            (Printf.sprintf "tuple %d identical with %d workers" i nworkers)
+            reference.(i) v)
+        got)
+    [ 1; 2; 4 ]
+
+let test_batch_matches_exact () =
+  let w, clause_sets = batch_fixture () in
+  let exact =
+    Array.map
+      (fun clauses -> Q.to_float (Pqdb_urel.Confidence.exact w clauses))
+      clause_sets
+  in
+  let estimates =
+    Confidence.batch_fpras ~nworkers:2 (Rng.create ~seed:71) w clause_sets
+      ~eps:0.05 ~delta:0.05
+  in
+  check int_c "one estimate per clause set" (Array.length clause_sets)
+    (Array.length estimates);
+  check (Alcotest.float 0.) "certain tuple exact" 1. estimates.(2);
+  check (Alcotest.float 0.) "impossible tuple exact" 0. estimates.(3);
+  Array.iteri
+    (fun i p ->
+      check bool_c
+        (Printf.sprintf "tuple %d: %.4f near %.4f" i estimates.(i) p)
+        true
+        (Float.abs (estimates.(i) -. p) <= 0.05 *. p +. 1e-9))
+    exact
+
+let test_batch_trials_accounting () =
+  let w, clause_sets = batch_fixture () in
+  let batch = Confidence.prepare w clause_sets in
+  check int_c "batch size" 4 (Confidence.size batch);
+  let expected =
+    Array.fold_left
+      (fun acc clauses ->
+        acc
+        + Karp_luby.trials_for (Dnf.prepare w clauses) ~eps:0.1 ~delta:0.1)
+      0 clause_sets
+  in
+  check int_c "total_trials sums per-tuple budgets" expected
+    (Confidence.total_trials batch ~eps:0.1 ~delta:0.1);
+  Alcotest.check_raises "bad eps" (Invalid_argument "Confidence.run")
+    (fun () ->
+      ignore (Confidence.run (Rng.create ~seed:1) batch ~eps:0. ~delta:0.1));
+  check int_c "empty batch"
+    0
+    (Array.length
+       (Confidence.run (Rng.create ~seed:1)
+          (Confidence.prepare w [||])
+          ~eps:0.1 ~delta:0.1))
+
 let qcheck = QCheck_alcotest.to_alcotest
 
 let () =
@@ -285,5 +454,24 @@ let () =
         [
           Alcotest.test_case "incremental state" `Quick test_estimator_state;
           Alcotest.test_case "convergence" `Slow test_estimator_convergence;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "fixed-seed determinism" `Quick
+            test_run_parallel_deterministic;
+          Alcotest.test_case "serial/parallel agreement" `Slow
+            test_run_parallel_agrees_with_serial;
+          Alcotest.test_case "degenerate and invalid" `Quick
+            test_run_parallel_degenerate_and_invalid;
+          Alcotest.test_case "fpras_parallel (eps,delta)" `Slow
+            test_fpras_parallel_guarantee;
+        ] );
+      ( "batch confidence",
+        [
+          Alcotest.test_case "deterministic across pool sizes" `Quick
+            test_batch_deterministic_across_pool_sizes;
+          Alcotest.test_case "matches exact" `Slow test_batch_matches_exact;
+          Alcotest.test_case "trials accounting" `Quick
+            test_batch_trials_accounting;
         ] );
     ]

@@ -264,6 +264,93 @@ let test_rng_bernoulli_extremes () =
   check bool_c "p=0" false (Rng.bernoulli rng 0.);
   check bool_c "p=1" true (Rng.bernoulli rng 1.)
 
+let test_rng_alias_frequencies () =
+  (* Alias sampling reproduces the weights: chi-square-ish tolerance over
+     50k draws on an uneven 4-point distribution. *)
+  let rng = Rng.create ~seed:42 in
+  let weights = [| 1.; 0.; 3.; 4. |] in
+  let dist = Rng.Alias.of_weights weights in
+  check (Alcotest.float 1e-9) "total" 8. (Rng.Alias.total dist);
+  check int_c "size" 4 (Rng.Alias.size dist);
+  let draws = 50_000 in
+  let counts = Array.make 4 0 in
+  for _ = 1 to draws do
+    let i = Rng.Alias.sample rng dist in
+    counts.(i) <- counts.(i) + 1
+  done;
+  check int_c "zero-weight index never drawn" 0 counts.(1);
+  Array.iteri
+    (fun i w ->
+      let expected = w /. 8. in
+      let observed = float_of_int counts.(i) /. float_of_int draws in
+      check bool_c
+        (Printf.sprintf "index %d: observed %.4f near %.4f" i observed
+           expected)
+        true
+        (Float.abs (observed -. expected) < 0.01))
+    weights
+
+let test_rng_alias_matches_discrete_stats () =
+  (* Alias and cumulative-scan sampling draw from the same distribution. *)
+  let weights = [| 0.2; 0.5; 0.1; 0.15; 0.05 |] in
+  let alias = Rng.Alias.of_weights weights in
+  let discrete = Rng.Discrete.of_weights weights in
+  let freq sample =
+    let rng = Rng.create ~seed:77 in
+    let counts = Array.make 5 0 in
+    for _ = 1 to 30_000 do
+      let i = sample rng in
+      counts.(i) <- counts.(i) + 1
+    done;
+    Array.map (fun c -> float_of_int c /. 30_000.) counts
+  in
+  let fa = freq (fun rng -> Rng.Alias.sample rng alias) in
+  let fd = freq (fun rng -> Rng.Discrete.sample rng discrete) in
+  Array.iteri
+    (fun i a ->
+      check bool_c
+        (Printf.sprintf "index %d: alias %.4f vs discrete %.4f" i a fd.(i))
+        true
+        (Float.abs (a -. fd.(i)) < 0.015))
+    fa
+
+let test_rng_alias_singleton () =
+  let rng = Rng.create ~seed:9 in
+  let dist = Rng.Alias.of_weights [| 2.5 |] in
+  for _ = 1 to 100 do
+    check int_c "only index" 0 (Rng.Alias.sample rng dist)
+  done
+
+let test_rng_alias_invalid () =
+  Alcotest.check_raises "empty"
+    (Invalid_argument "Rng.Alias.of_weights: empty") (fun () ->
+      ignore (Rng.Alias.of_weights [||]));
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Rng.Alias.of_weights: negative weight") (fun () ->
+      ignore (Rng.Alias.of_weights [| 1.; -1. |]));
+  Alcotest.check_raises "zero total"
+    (Invalid_argument "Rng.Alias.of_weights: zero total") (fun () ->
+      ignore (Rng.Alias.of_weights [| 0.; 0. |]))
+
+let test_rng_split_n_deterministic () =
+  (* Children are a pure function of the parent state: two identically
+     seeded parents produce identical child streams. *)
+  let draw rng = List.init 10 (fun _ -> Rng.int rng 1_000_000) in
+  let c1 = Rng.split_n (Rng.create ~seed:13) 4 in
+  let c2 = Rng.split_n (Rng.create ~seed:13) 4 in
+  Array.iteri
+    (fun i a ->
+      check (Alcotest.list int_c)
+        (Printf.sprintf "child %d reproducible" i)
+        (draw a) (draw c2.(i)))
+    c1;
+  (* Distinct children diverge. *)
+  let c3 = Rng.split_n (Rng.create ~seed:13) 2 in
+  check bool_c "children differ" true (draw c3.(0) <> draw c3.(1));
+  Alcotest.check_raises "n = 0"
+    (Invalid_argument "Rng.split_n: n must be positive") (fun () ->
+      ignore (Rng.split_n (Rng.create ~seed:1) 0))
+
 (* ------------------------------------------------------------------ *)
 (* Stats / Chernoff bounds                                             *)
 (* ------------------------------------------------------------------ *)
@@ -532,6 +619,13 @@ let () =
           Alcotest.test_case "discrete distribution" `Quick test_rng_discrete;
           Alcotest.test_case "bernoulli extremes" `Quick
             test_rng_bernoulli_extremes;
+          Alcotest.test_case "alias frequencies" `Quick
+            test_rng_alias_frequencies;
+          Alcotest.test_case "alias matches discrete" `Quick
+            test_rng_alias_matches_discrete_stats;
+          Alcotest.test_case "alias singleton" `Quick test_rng_alias_singleton;
+          Alcotest.test_case "split_n deterministic" `Quick
+            test_rng_split_n_deterministic;
         ] );
       ( "edge cases",
         [
@@ -561,6 +655,7 @@ let () =
             test_rng_float_range_bounds;
           Alcotest.test_case "rng discrete invalid" `Quick
             test_rng_discrete_invalid;
+          Alcotest.test_case "rng alias invalid" `Quick test_rng_alias_invalid;
           Alcotest.test_case "quantile interpolation" `Quick
             test_stats_quantile_interpolation;
           Alcotest.test_case "stats invalid args" `Quick

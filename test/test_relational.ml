@@ -158,6 +158,52 @@ let test_union_diff () =
       ignore
         (Algebra.union sample (Relation.of_rows [ "X" ] [ [ V.Int 1 ] ])))
 
+let test_join_cross_type_keys () =
+  (* Rat 1/2 and Float 0.5 are Value.equal but print differently; the join
+     index must key on values, not on their string rendering. *)
+  let r =
+    Relation.of_rows [ "K"; "A" ]
+      [ [ V.of_ints 1 2; V.Int 1 ]; [ V.Int 3; V.Int 2 ] ]
+  in
+  let s =
+    Relation.of_rows [ "K"; "B" ]
+      [ [ V.Float 0.5; V.Int 10 ]; [ V.Float 3.; V.Int 20 ] ]
+  in
+  let j = Algebra.join r s in
+  check int_c "both cross-type keys match" 2 (Relation.cardinality j);
+  check bool_c "1/2 joined 0.5" true
+    (Relation.mem j (Tuple.of_list [ V.of_ints 1 2; V.Int 1; V.Int 10 ]))
+
+let test_value_hash_respects_equal () =
+  List.iter
+    (fun (a, b) ->
+      check bool_c
+        (Printf.sprintf "hash %s = hash %s" (V.to_string a) (V.to_string b))
+        true
+        (V.equal a b && V.hash a = V.hash b))
+    [
+      (V.Int 1, V.Float 1.);
+      (V.Int 1, V.of_ints 2 2);
+      (V.Float 0.5, V.of_ints 1 2);
+      (V.of_ints 4 6, V.of_ints 2 3);
+    ];
+  let t1 = Tuple.of_list [ V.Int 1; V.of_ints 1 2 ] in
+  let t2 = Tuple.of_list [ V.Float 1.; V.Float 0.5 ] in
+  check bool_c "tuple hash respects tuple equality" true
+    (Tuple.equal t1 t2 && Tuple.hash t1 = Tuple.hash t2)
+
+let test_group_by_cross_type_keys () =
+  let r =
+    Relation.of_rows [ "K"; "A" ]
+      [
+        [ V.of_ints 1 2; V.Str "a" ];
+        [ V.Float 0.5; V.Str "b" ];
+        [ V.Int 2; V.Str "c" ];
+      ]
+  in
+  let groups = Algebra.group_by [ "K" ] r in
+  check int_c "equal numeric keys share a group" 2 (List.length groups)
+
 let test_group_by () =
   let groups = Algebra.group_by [ "B" ] sample in
   check int_c "two groups" 2 (List.length groups);
@@ -374,6 +420,12 @@ let () =
             test_join_is_product_when_disjoint;
           Alcotest.test_case "union/diff" `Quick test_union_diff;
           Alcotest.test_case "group_by" `Quick test_group_by;
+          Alcotest.test_case "cross-type join keys" `Quick
+            test_join_cross_type_keys;
+          Alcotest.test_case "value hash respects equal" `Quick
+            test_value_hash_respects_equal;
+          Alcotest.test_case "cross-type group keys" `Quick
+            test_group_by_cross_type_keys;
           Alcotest.test_case "expressions" `Quick test_expr_eval;
           Alcotest.test_case "predicate nnf" `Quick test_predicate_nnf;
           qcheck prop_nnf_preserves;

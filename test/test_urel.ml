@@ -443,6 +443,96 @@ let prop_project_commutes_with_decode =
       Pdb.equal_prel lhs rhs)
 
 (* ------------------------------------------------------------------ *)
+(* Hash join vs nested-loop reference                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The textbook O(|a|·|b|) join, kept as the semantic reference for
+   Translate.join's hash implementation. *)
+let nested_loop_join a b =
+  let sa = Urelation.schema a and sb = Urelation.schema b in
+  let shared = Schema.common sa sb in
+  let sb_only =
+    List.filter (fun x -> not (List.mem x shared)) (Schema.attributes sb)
+  in
+  let out_schema = Schema.of_list (Schema.attributes sa @ sb_only) in
+  let sa_shared = List.map (Schema.index sa) shared in
+  let sb_shared = List.map (Schema.index sb) shared in
+  let sb_only_pos = List.map (Schema.index sb) sb_only in
+  let rows =
+    List.concat_map
+      (fun (fa, ta) ->
+        List.filter_map
+          (fun (fb, tb) ->
+            if
+              Tuple.equal (Tuple.project ta sa_shared)
+                (Tuple.project tb sb_shared)
+            then
+              match Assignment.union fa fb with
+              | Some f ->
+                  Some (f, Tuple.concat ta (Tuple.project tb sb_only_pos))
+              | None -> None
+            else None)
+          (Urelation.rows b))
+      (Urelation.rows a)
+  in
+  Urelation.make out_schema rows
+
+let same_urelation got expected =
+  Schema.attributes (Urelation.schema got)
+  = Schema.attributes (Urelation.schema expected)
+  && Urelation.size got = Urelation.size expected
+  && List.for_all2
+       (fun (f1, t1) (f2, t2) -> Assignment.equal f1 f2 && Tuple.equal t1 t2)
+       (Urelation.rows got) (Urelation.rows expected)
+
+let prop_hash_join_equals_nested_loop =
+  QCheck.Test.make ~name:"hash join = nested-loop join (random U-relations)"
+    ~count:60 (QCheck.int_range 0 100_000) (fun seed ->
+      let rng = Rng.create ~seed in
+      let w = Wtable.create () in
+      let a =
+        Pqdb_workload.Gen.tuple_independent rng w ~attrs:[ "A"; "B" ]
+          ~rows:(3 + Rng.int rng 6) ~domain:3
+      in
+      let b =
+        Pqdb_workload.Gen.tuple_independent rng w ~attrs:[ "B"; "C" ]
+          ~rows:(3 + Rng.int rng 6) ~domain:3
+      in
+      same_urelation (Translate.join a b) (nested_loop_join a b)
+      (* Self-joins exercise the same-variable consistency path. *)
+      && same_urelation (Translate.join a a) (nested_loop_join a a))
+
+let test_join_cross_type_keys () =
+  (* Value.equal is numeric across representations (Rat 1/2 = Float 0.5),
+     so a join keyed on those values must match them even though they print
+     differently — the regression that broke the old string-keyed index. *)
+  let w = Wtable.create () in
+  let x = Wtable.add_var w [ Q.half; Q.half ] in
+  let a =
+    Urelation.make
+      (Schema.of_list [ "K"; "A" ])
+      [
+        (Assignment.singleton x 0, Tuple.of_list [ V.Float 0.5; V.Int 1 ]);
+        (Assignment.empty, Tuple.of_list [ V.Int 2; V.Int 7 ]);
+      ]
+  in
+  let b =
+    Urelation.make
+      (Schema.of_list [ "K"; "B" ])
+      [
+        (Assignment.singleton x 1, Tuple.of_list [ V.rat Q.half; V.Int 3 ]);
+        (Assignment.empty, Tuple.of_list [ V.rat Q.half; V.Int 4 ]);
+        (Assignment.empty, Tuple.of_list [ V.Float 2.; V.Int 8 ]);
+      ]
+  in
+  let j = Translate.join a b in
+  check bool_c "matches nested-loop reference" true
+    (same_urelation j (nested_loop_join a b));
+  (* Float 0.5 must meet Rat 1/2: one pair is condition-inconsistent
+     (x=0 vs x=1), one survives; Int 2 meets Float 2. *)
+  check int_c "cross-type keys matched" 2 (Urelation.size j)
+
+(* ------------------------------------------------------------------ *)
 (* Persistence                                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -628,5 +718,8 @@ let () =
             test_translation_union_select;
           Alcotest.test_case "difference on complete" `Quick
             test_diff_complete;
+          Alcotest.test_case "cross-type join keys" `Quick
+            test_join_cross_type_keys;
+          qcheck prop_hash_join_equals_nested_loop;
         ] );
     ]
