@@ -260,16 +260,18 @@ let e17_topk ~quick =
               in
               ( Pqdb_relational.Tuple.of_list
                   [ Pqdb_relational.Value.Int i ],
-                Pqdb_montecarlo.Estimator.create
-                  (Pqdb_montecarlo.Dnf.prepare w
-                     [
-                       Pqdb_urel.Assignment.singleton (fresh ()) 1;
-                       Pqdb_urel.Assignment.singleton (fresh ()) 1;
-                     ]) ))
+                Pqdb_montecarlo.Dnf.prepare w
+                  [
+                    Pqdb_urel.Assignment.singleton (fresh ()) 1;
+                    Pqdb_urel.Assignment.singleton (fresh ()) 1;
+                  ] ))
         in
         let k = n / 4 in
+        (* [compile_fuel:0] keeps every candidate on the sampling path: this
+           experiment ablates interval pruning, not lineage compilation. *)
         let r =
-          Pqdb.Topk.run ~eps0:0.01 ~rng ~delta:0.1 ~k (make_candidates ())
+          Pqdb.Topk.run ~eps0:0.01 ~compile_fuel:0 ~rng ~delta:0.1 ~k
+            (make_candidates ())
         in
         (* Baseline: refine every candidate to the budget the most-refined
            contested candidate needed (what a non-pruning loop would do). *)

@@ -228,12 +228,61 @@ let nested_loop_join a b =
   in
   Urelation.make out_schema rows
 
+(* A workload where compilation has to earn its keep: mostly easy lineage
+   (singleton clauses, solved in closed form) plus a hard minority of dense
+   random DNFs that exhaust the compilation fuel and fall back to adaptive
+   sampling. *)
+let mixed_inputs () =
+  let rng = Rng.create ~seed:209 in
+  let w = Wtable.create () in
+  let easy =
+    List.init 450 (fun _ ->
+        let num = 1 + Rng.int rng 9 in
+        let v = Wtable.add_var w [ Q.of_ints (10 - num) 10; Q.of_ints num 10 ] in
+        [ Assignment.singleton v 1 ])
+  in
+  let hard =
+    List.init 50 (fun _ ->
+        Gen.random_dnf rng w ~vars:40 ~clauses:40 ~clause_len:3)
+  in
+  (w, Array.of_list (easy @ hard))
+
+(* Many light clauses, each unlikely: the mean mu = p/M of the Karp-Luby
+   estimator is close to 1, which is exactly where the DKLR stopping rule
+   beats the worst-case Chernoff budget (sized for mu = 1/|F|). *)
+let stopping_inputs () =
+  let w = Wtable.create () in
+  let sets =
+    Array.init 500 (fun _ ->
+        List.init 6 (fun _ ->
+            let v = Wtable.add_var w [ Q.of_ints 19 20; Q.of_ints 1 20 ] in
+            Assignment.singleton v 1))
+  in
+  (w, sets)
+
+type bench_entry = {
+  be_name : string;
+  be_seconds : float;
+  be_speedup : float;
+  be_trials : int option;
+  be_exact_fraction : float option;
+}
+
 let confidence_engine () =
   Report.section "CONF-ENGINE"
-    "Confidence-engine wall clock: parallel Karp-Luby, batch FPRAS, hash join";
+    "Confidence-engine wall clock: compiled lineage, adaptive stopping, \
+     parallel Karp-Luby, hash join";
   let entries = ref [] in
-  let record name seconds baseline =
-    entries := (name, seconds, baseline /. seconds) :: !entries
+  let record ?trials ?exact_fraction name seconds baseline =
+    entries :=
+      {
+        be_name = name;
+        be_seconds = seconds;
+        be_speedup = baseline /. seconds;
+        be_trials = trials;
+        be_exact_fraction = exact_fraction;
+      }
+      :: !entries
   in
   (* 1. Domain-parallel Karp-Luby on one large trial budget. *)
   let dnf = kl_dnf () in
@@ -263,7 +312,7 @@ let confidence_engine () =
   Report.table
     ~header:[ "karp-luby, 200k trials"; "median"; "speedup vs serial" ]
     ([ "serial"; Report.fmt_seconds serial; "1.00x" ] :: kl_rows);
-  (* 2. Batched whole-relation FPRAS vs a per-tuple prepare+fpras loop. *)
+  (* 2. Batched compiled confidence vs a per-tuple prepare+fpras loop. *)
   let w, clause_sets = batch_inputs () in
   let eps = 0.3 and delta = 0.2 in
   let per_tuple =
@@ -274,21 +323,133 @@ let confidence_engine () =
             ignore (Karp_luby.confidence rng w clauses ~eps ~delta))
           clause_sets)
   in
-  record "per-tuple-fpras-500" per_tuple per_tuple;
+  let fixed_trials =
+    Array.fold_left
+      (fun acc clauses ->
+        acc + Karp_luby.trials_for (Dnf.prepare w clauses) ~eps ~delta)
+      0 clause_sets
+  in
+  record ~trials:fixed_trials "per-tuple-fpras-500" per_tuple per_tuple;
   let batch = Mc_confidence.prepare w clause_sets in
+  let _, batch_stats =
+    Mc_confidence.run_with_stats (Rng.create ~seed:2) batch ~eps ~delta
+  in
   let batched =
     Report.time_median (fun () ->
         ignore (Mc_confidence.run (Rng.create ~seed:2) batch ~eps ~delta))
   in
-  record "batch-fpras-500" batched per_tuple;
+  record
+    ~trials:
+      (Array.fold_left ( + ) 0 batch_stats.Mc_confidence.trials_used)
+    ~exact_fraction:batch_stats.Mc_confidence.exact_fraction
+    "batch-fpras-500" batched per_tuple;
   Report.table
     ~header:[ "500-tuple confidence"; "median"; "speedup" ]
     [
       [ "per-tuple fpras loop"; Report.fmt_seconds per_tuple; "1.00x" ];
       [
-        "batch (prepared, pooled)";
+        "batch (compiled, pooled)";
         Report.fmt_seconds batched;
         Printf.sprintf "%.2fx" (per_tuple /. batched);
+      ];
+    ];
+  (* 2b. Mixed workload: does compilation pay only for the hard cases?
+     Equal (eps, delta) on both sides; the baseline samples every tuple at
+     the fixed Chernoff budget, the compiled path solves the easy 90% in
+     closed form and adaptively samples the hard residues. *)
+  let wm, mixed_sets = mixed_inputs () in
+  let mixed_fpras =
+    Report.time_median (fun () ->
+        let rng = Rng.create ~seed:3 in
+        Array.iter
+          (fun clauses ->
+            ignore (Karp_luby.confidence rng wm clauses ~eps ~delta))
+          mixed_sets)
+  in
+  let mixed_fixed_trials =
+    Array.fold_left
+      (fun acc clauses ->
+        acc + Karp_luby.trials_for (Dnf.prepare wm clauses) ~eps ~delta)
+      0 mixed_sets
+  in
+  record ~trials:mixed_fixed_trials "fpras-mixed-500" mixed_fpras mixed_fpras;
+  let mixed_batch = Mc_confidence.prepare wm mixed_sets in
+  let _, mixed_stats =
+    Mc_confidence.run_with_stats (Rng.create ~seed:3) mixed_batch ~eps ~delta
+  in
+  let mixed_compiled =
+    Report.time_median (fun () ->
+        ignore (Mc_confidence.run (Rng.create ~seed:3) mixed_batch ~eps ~delta))
+  in
+  let mixed_trials =
+    Array.fold_left ( + ) 0 mixed_stats.Mc_confidence.trials_used
+  in
+  record ~trials:mixed_trials
+    ~exact_fraction:mixed_stats.Mc_confidence.exact_fraction
+    "compile-vs-fpras-500" mixed_compiled mixed_fpras;
+  Report.table
+    ~header:
+      [ "mixed 500 (450 easy + 50 hard)"; "median"; "trials"; "speedup" ]
+    [
+      [
+        "pure FPRAS";
+        Report.fmt_seconds mixed_fpras;
+        Report.fmt_int mixed_fixed_trials;
+        "1.00x";
+      ];
+      [
+        Printf.sprintf "compiled (exact frac %.3f)"
+          mixed_stats.Mc_confidence.exact_fraction;
+        Report.fmt_seconds mixed_compiled;
+        Report.fmt_int mixed_trials;
+        Printf.sprintf "%.2fx" (mixed_fpras /. mixed_compiled);
+      ];
+    ];
+  (* 2c. Adaptive stopping alone (compilation off): the DKLR schedule vs the
+     fixed worst-case Chernoff budget on DNFs whose estimator mean is far
+     from the 1/|F| the fixed budget provisions for. *)
+  let ws, stop_sets = stopping_inputs () in
+  let stop_dnfs = Array.map (Dnf.prepare ws) stop_sets in
+  let seps = 0.1 and sdelta = 0.05 in
+  let fixed_stop_trials =
+    Array.fold_left
+      (fun acc dnf -> acc + Karp_luby.trials_for dnf ~eps:seps ~delta:sdelta)
+      0 stop_dnfs
+  in
+  let fixed_stop =
+    Report.time_median (fun () ->
+        let rng = Rng.create ~seed:4 in
+        Array.iter
+          (fun dnf -> ignore (Karp_luby.fpras rng dnf ~eps:seps ~delta:sdelta))
+          stop_dnfs)
+  in
+  record ~trials:fixed_stop_trials "fixed-budget-500" fixed_stop fixed_stop;
+  let adaptive_trials = ref 0 in
+  let adaptive_stop =
+    Report.time_median (fun () ->
+        let rng = Rng.create ~seed:4 in
+        adaptive_trials := 0;
+        Array.iter
+          (fun dnf ->
+            let _, n = Karp_luby.adaptive rng dnf ~eps:seps ~delta:sdelta in
+            adaptive_trials := !adaptive_trials + n)
+          stop_dnfs)
+  in
+  record ~trials:!adaptive_trials "stopping-rule-500" adaptive_stop fixed_stop;
+  Report.table
+    ~header:[ "500 DNFs, eps 0.1 delta 0.05"; "median"; "trials"; "speedup" ]
+    [
+      [
+        "fixed Chernoff budget";
+        Report.fmt_seconds fixed_stop;
+        Report.fmt_int fixed_stop_trials;
+        "1.00x";
+      ];
+      [
+        "DKLR stopping rule";
+        Report.fmt_seconds adaptive_stop;
+        Report.fmt_int !adaptive_trials;
+        Printf.sprintf "%.2fx" (fixed_stop /. adaptive_stop);
       ];
     ];
   (* 3. Hash join vs the nested-loop baseline it replaced. *)
@@ -309,18 +470,35 @@ let confidence_engine () =
         Printf.sprintf "%.2fx" (nested /. hashed);
       ];
     ];
-  (* Machine-readable record for EXPERIMENTS.md and regression tracking. *)
+  (* Machine-readable record for EXPERIMENTS.md and regression tracking.
+     Schema v2: entries optionally carry the estimator-trial spend and the
+     closed-form probability-mass fraction of the compiled path. *)
   let path = "BENCH_confidence.json" in
   let oc = open_out path in
   Printf.fprintf oc
-    "{\n  \"schema\": \"pqdb-bench-confidence/v1\",\n  \"recommended_domains\": %d,\n  \"results\": [\n"
-    (Domain.recommended_domain_count ());
+    "{\n\
+    \  \"schema\": \"pqdb-bench-confidence/v2\",\n\
+    \  \"recommended_domains\": %d,\n\
+    \  \"resident_pool_workers\": %d,\n\
+    \  \"results\": [\n"
+    (Domain.recommended_domain_count ())
+    (Pqdb_montecarlo.Pool.resident_workers ());
   let items = List.rev !entries in
   List.iteri
-    (fun i (name, seconds, speedup) ->
+    (fun i e ->
+      let opt_int = function
+        | Some n -> Printf.sprintf ", \"trials_used\": %d" n
+        | None -> ""
+      in
+      let opt_float = function
+        | Some f -> Printf.sprintf ", \"exact_fraction\": %.4f" f
+        | None -> ""
+      in
       Printf.fprintf oc
-        "    {\"name\": \"%s\", \"median_seconds\": %.6e, \"speedup\": %.3f}%s\n"
-        name seconds speedup
+        "    {\"name\": \"%s\", \"median_seconds\": %.6e, \"speedup\": %.3f%s%s}%s\n"
+        e.be_name e.be_seconds e.be_speedup
+        (opt_int e.be_trials)
+        (opt_float e.be_exact_fraction)
         (if i = List.length items - 1 then "" else ","))
     items;
   output_string oc "  ]\n}\n";

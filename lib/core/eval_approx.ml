@@ -247,19 +247,20 @@ and eval_ann_raw ~cache ~eps0 ~max_rounds ~sigma_delta ~rng ~stats udb
       conf_like a confs (fun p -> Value.Rat p)
   | Ua.ApproxConf ({ eps; delta }, q) ->
       let a = recur q in
-      (* Batched FPRAS: prepare all DNFs once (sharing W alias tables) and
-         farm the per-tuple budgets over the domain pool. *)
+      (* Compiled batch: every tuple's lineage is compiled once (sharing W
+         alias tables); tuples that decompose fully are answered exactly and
+         only the residues are sampled, adaptively, over the domain pool. *)
       let groups = Urelation.clauses_by_tuple a.au in
       let batch =
         Pqdb_montecarlo.Confidence.prepare w
           (Array.of_list (List.map snd groups))
       in
+      let estimates, cstats =
+        Pqdb_montecarlo.Confidence.run_with_stats rng batch ~eps ~delta
+      in
       stats.estimator_calls <-
         stats.estimator_calls
-        + Pqdb_montecarlo.Confidence.total_trials batch ~eps ~delta;
-      let estimates =
-        Pqdb_montecarlo.Confidence.run rng batch ~eps ~delta
-      in
+        + Array.fold_left ( + ) 0 cstats.Pqdb_montecarlo.Confidence.trials_used;
       let approx = List.mapi (fun i (t, _) -> (t, estimates.(i))) groups in
       let ann = conf_like a approx (fun p -> Value.Float p) in
       (* The reported P is outside the ε-relative interval with probability

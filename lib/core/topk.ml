@@ -2,84 +2,78 @@ open Pqdb_relational
 open Pqdb_urel
 module Estimator = Pqdb_montecarlo.Estimator
 module Dnf = Pqdb_montecarlo.Dnf
+module Compile = Pqdb_montecarlo.Compile
 
 type result = {
   ranked : (Tuple.t * float) list;
   certified : bool;
   estimator_calls : int;
   rounds : int;
+  exact_candidates : int;
+  sampled : (Tuple.t * int) list;
 }
 
 type candidate = {
   tuple : Tuple.t;
-  est : Estimator.t;
+  comp : Compile.t;
+  ests : Estimator.t array;  (* one incremental sampler per residual *)
   mutable lo : float;
   mutable hi : float;
 }
 
-(* Estimators over single-clause DNFs are exact (p = M); they need no
-   sampling and must not be refined (their intervals are points). *)
+(* Candidates whose lineage compiled away entirely — or whose residuals are
+   all degenerate/single-clause — are exact: their intervals are points and
+   they must never be refined. *)
 let is_exact_candidate c =
-  Estimator.is_degenerate c.est
-  || Dnf.clause_count (Estimator.dnf c.est) = 1
+  Array.for_all
+    (fun est ->
+      Estimator.is_degenerate est || Dnf.clause_count (Estimator.dnf est) = 1)
+    c.ests
 
+(* Plug current point estimates into the compiled tree.  Residual samplers
+   with no trials yet report 0, which is fine: [update_interval] still spans
+   the truth, and [current_value] is only used for ordering. *)
 let current_value c =
-  if Estimator.is_degenerate c.est then Estimator.estimate c.est
-  else if Dnf.clause_count (Estimator.dnf c.est) = 1 then
-    Dnf.total_weight (Estimator.dnf c.est)
-  else Estimator.estimate c.est
+  Compile.value c.comp (Array.map Estimator.estimate c.ests)
 
-(* Relative half-width from the Chernoff bound at the current trial count:
-   the smallest eps with delta_bound(eps) <= delta_t, i.e.
-   eps = sqrt(3 |F| ln(2/delta_t) / m). *)
-let eps_at est ~delta_t =
-  let m = Estimator.trials est in
-  if m = 0 then 1.
-  else begin
-    let clauses = Dnf.clause_count (Estimator.dnf est) in
-    Float.min 1.
-      (sqrt (3. *. float_of_int clauses *. log (2. /. delta_t) /. float_of_int m))
-  end
+let eps_at c ~delta_r =
+  Array.fold_left
+    (fun acc est -> Float.max acc (Estimator.eps_bound est ~delta:delta_r))
+    0. c.ests
 
-let update_interval ~delta_t c =
-  if Estimator.is_degenerate c.est then begin
-    let v = Estimator.estimate c.est in
-    c.lo <- v;
-    c.hi <- v
-  end
-  else if Dnf.clause_count (Estimator.dnf c.est) = 1 then begin
-    (* A single-clause DNF is exact: the estimator always fires, so
-       p = M = p_f with no sampling error. *)
-    let v = Dnf.total_weight (Estimator.dnf c.est) in
-    c.lo <- v;
-    c.hi <- v
-  end
-  else begin
-    let p = Estimator.estimate c.est in
-    let eps = eps_at c.est ~delta_t in
-    if eps >= 1. then begin
-      c.lo <- 0.;
-      c.hi <- 1.
-    end
-    else begin
-      c.lo <- Float.max 0. (p /. (1. +. eps));
-      c.hi <- Float.min 1. (p /. (1. -. eps))
-    end
-  end
+let update_interval ~delta_r c =
+  (* The compiled tree is monotone in every residual estimate, so plugging
+     per-residual interval endpoints in gives sound per-tuple endpoints;
+     each residual bound holds with probability 1 − δ_r, union bound over
+     the r residuals gives 1 − δ_t per tuple. *)
+  let intervals = Array.map (Estimator.interval ~delta:delta_r) c.ests in
+  c.lo <- Float.max 0. (Compile.value c.comp (Array.map fst intervals));
+  c.hi <- Float.min 1. (Compile.value c.comp (Array.map snd intervals))
 
-let run ?(eps0 = 0.01) ?max_rounds ~rng ~delta ~k candidates =
+let run ?(eps0 = 0.01) ?max_rounds ?compile_fuel ~rng ~delta ~k candidates =
   if k <= 0 then invalid_arg "Topk.run: k must be positive";
   if candidates = [] then invalid_arg "Topk.run: no candidates";
   let cands =
     Array.of_list
-      (List.map (fun (tuple, est) -> { tuple; est; lo = 0.; hi = 1. }) candidates)
+      (List.map
+         (fun (tuple, dnf) ->
+           let comp =
+             Compile.compile ?fuel:compile_fuel (Dnf.wtable dnf)
+               (Dnf.clauses dnf)
+           in
+           let ests = Array.map Estimator.create (Compile.residuals comp) in
+           { tuple; comp; ests; lo = 0.; hi = 1. })
+         candidates)
   in
   let n = Array.length cands in
   let delta_t = delta /. float_of_int n in
   let k = min k n in
   let rounds = ref 0 in
+  let delta_r c =
+    delta_t /. float_of_int (max 1 (Array.length c.ests))
+  in
   let rec loop () =
-    Array.iter (update_interval ~delta_t) cands;
+    Array.iter (fun c -> update_interval ~delta_r:(delta_r c) c) cands;
     (* Order by estimate; the k-th and (k+1)-th define the boundary. *)
     let order = Array.copy cands in
     Array.sort (fun a b -> compare (current_value b) (current_value a)) order;
@@ -103,12 +97,17 @@ let run ?(eps0 = 0.01) ?max_rounds ~rng ~delta ~k candidates =
           |> List.filter (fun c ->
                  contested c
                  && (not (is_exact_candidate c))
-                 && eps_at c.est ~delta_t > eps0)
+                 && eps_at c ~delta_r:(delta_r c) > eps0)
         in
         match refinable with
         | [] -> (order, false) (* ties at the eps0 floor: uncertified *)
         | _ ->
-            List.iter (fun c -> Estimator.step_round rng c.est) refinable;
+            List.iter
+              (fun c ->
+                Array.iter
+                  (fun est -> Estimator.step_round rng est)
+                  c.ests)
+              refinable;
             incr rounds;
             (match max_rounds with
             | Some limit when !rounds >= limit -> (order, false)
@@ -117,8 +116,16 @@ let run ?(eps0 = 0.01) ?max_rounds ~rng ~delta ~k candidates =
     end
   in
   let order, certified = loop () in
+  let candidate_trials c =
+    Array.fold_left (fun acc est -> acc + Estimator.trials est) 0 c.ests
+  in
   let calls =
-    Array.fold_left (fun acc c -> acc + Estimator.trials c.est) 0 cands
+    Array.fold_left (fun acc c -> acc + candidate_trials c) 0 cands
+  in
+  let exact_candidates =
+    Array.fold_left
+      (fun acc c -> if Compile.is_exact c.comp then acc + 1 else acc)
+      0 cands
   in
   {
     ranked =
@@ -128,15 +135,20 @@ let run ?(eps0 = 0.01) ?max_rounds ~rng ~delta ~k candidates =
     certified;
     estimator_calls = calls;
     rounds = !rounds;
+    exact_candidates;
+    sampled =
+      Array.to_list cands
+      |> List.filter_map (fun c ->
+             let t = candidate_trials c in
+             if t > 0 then Some (c.tuple, t) else None);
   }
 
-let query ?eps0 ?max_rounds ~rng ~delta ~k udb q =
+let query ?eps0 ?max_rounds ?compile_fuel ~rng ~delta ~k udb q =
   let u = Eval_exact.eval udb q in
   let w = Udb.wtable udb in
   let candidates =
     List.map
-      (fun t ->
-        (t, Estimator.create (Dnf.prepare w (Urelation.clauses_for u t))))
+      (fun t -> (t, Dnf.prepare w (Urelation.clauses_for u t)))
       (Urelation.possible_tuples u)
   in
-  run ?eps0 ?max_rounds ~rng ~delta ~k candidates
+  run ?eps0 ?max_rounds ?compile_fuel ~rng ~delta ~k candidates

@@ -1,12 +1,16 @@
-(** Top-k tuples by confidence via multisimulation.
+(** Top-k tuples by confidence via multisimulation on compiled lineage.
 
     The paper's introduction cites Ré, Dalvi and Suciu's top-k evaluation on
     probabilistic data [16] as one of the approximation lines it
-    generalizes.  This module implements the interval-pruning idea on our
-    Karp-Luby estimators: every candidate keeps a confidence interval
-    [p̂/(1+ε), p̂/(1−ε)] from the Chernoff bound at its current trial count;
-    only candidates whose intervals straddle the k-th boundary are refined
-    further, so clearly-in and clearly-out tuples stop sampling early.
+    generalizes.  This module implements the interval-pruning idea on top of
+    the lineage compiler: every candidate's DNF is compiled first
+    ({!Pqdb_montecarlo.Compile}), so fully-decomposable tuples enter the race
+    with point intervals and zero sampling cost, and only the irreducible
+    residues carry incremental Karp-Luby samplers.  Per-residual Chernoff
+    intervals are pushed through the (monotone) compiled tree to get each
+    candidate's confidence interval; only candidates whose intervals straddle
+    the k-th boundary are refined further, so clearly-in and clearly-out
+    tuples stop sampling early.
 
     Like predicate approximation, ranking has singularities: ties at the
     boundary cannot be separated, so refinement stops at the relative floor
@@ -25,23 +29,33 @@ type result = {
           [1 − delta/n]) *)
   estimator_calls : int;
   rounds : int;
+  exact_candidates : int;
+      (** candidates whose lineage compiled to a closed form (no residuals) *)
+  sampled : (Tuple.t * int) list;
+      (** every candidate that spent estimator calls, with its trial count *)
 }
 
 val run :
   ?eps0:float ->
   ?max_rounds:int ->
+  ?compile_fuel:int ->
   rng:Rng.t ->
   delta:float ->
   k:int ->
-  (Tuple.t * Pqdb_montecarlo.Estimator.t) list ->
+  (Tuple.t * Pqdb_montecarlo.Dnf.t) list ->
   result
-(** Rank the candidates and return the [k] most probable.  [delta] is split
-    evenly across candidates for the per-tuple interval bounds.
+(** Rank the candidates and return the [k] most probable.  Each candidate's
+    clause set is compiled with [compile_fuel] (default
+    {!Pqdb_montecarlo.Compile.default_fuel}; [~compile_fuel:0] recovers
+    pure-sampling multisimulation).  [delta] is split evenly across
+    candidates, then across each candidate's residuals, for the per-tuple
+    interval bounds.
     @raise Invalid_argument when [k <= 0] or there are no candidates. *)
 
 val query :
   ?eps0:float ->
   ?max_rounds:int ->
+  ?compile_fuel:int ->
   rng:Rng.t ->
   delta:float ->
   k:int ->

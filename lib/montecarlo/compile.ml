@@ -1,0 +1,225 @@
+open Pqdb_urel
+
+type node =
+  | Const of float
+  | Res of int
+  | Sum of (float * node) array
+  | IndepOr of node array
+
+type t = {
+  root : node;
+  residuals : Dnf.t array;
+  res_weights : float array;  (* per residual: Σ path weights, ∂P/∂p̂ᵢ ≤ wᵢ *)
+  fallback : Dnf.t option;
+      (* the whole normalized DNF, prepared, when residuals exist: [solve]
+         reverts to it when the residual budgets are worse than sampling the
+         original problem (Shannon truncation can duplicate clauses across
+         leaves, inflating Σ|Fᵢ| past |F|). *)
+}
+
+let default_fuel = 4096
+
+let compile ?(fuel = default_fuel) w clauses =
+  let residuals = ref [] in
+  let nres = ref 0 in
+  let fuel = ref fuel in
+  let residual cs =
+    let i = !nres in
+    incr nres;
+    residuals := Dnf.prepare w cs :: !residuals;
+    Res i
+  in
+  let normalized = Lineage.normalize clauses in
+  let rec go clauses =
+    match Lineage.normalize clauses with
+    | [] -> Const 0.
+    | [ c ] -> Const (Assignment.weight_float w c)
+    | cs when !fuel <= 0 -> residual cs
+    | cs -> (
+        match Lineage.components cs with
+        | _ :: _ :: _ as comps ->
+            IndepOr (Array.of_list (List.map go comps))
+        | _ -> (
+            match Lineage.universal_var cs with
+            | Some v ->
+                (* Disjoint-OR: the branches v = x are mutually exclusive
+                   and every clause shrinks, so expansion is free (no
+                   Shannon fuel) and terminates on binding count alone. *)
+                expand v cs
+            | None -> (
+                match Lineage.most_shared_var cs with
+                | None -> assert false (* nonempty clauses have variables *)
+                | Some v ->
+                    fuel := !fuel - Wtable.domain_size w v - List.length cs;
+                    expand v cs)))
+  and expand v cs =
+    let n = Wtable.domain_size w v in
+    Sum
+      (Array.init n (fun x ->
+           (Wtable.prob_float w v x, go (Lineage.condition cs v x))))
+  in
+  let root = go normalized in
+  let residuals = Array.of_list (List.rev !residuals) in
+  let res_weights = Array.make (Array.length residuals) 0. in
+  let rec walk pw = function
+    | Const _ -> ()
+    | Res i -> res_weights.(i) <- res_weights.(i) +. pw
+    | Sum branches -> Array.iter (fun (wx, c) -> walk (pw *. wx) c) branches
+    | IndepOr children -> Array.iter (walk pw) children
+  in
+  walk 1. root;
+  let fallback =
+    if Array.length residuals = 0 then None
+    else if Array.length residuals = 1 && res_weights.(0) = 1. then
+      (* The tree IS one residual (e.g. fuel 0): no separate fallback. *)
+      None
+    else Some (Dnf.prepare w normalized)
+  in
+  { root; residuals; res_weights; fallback }
+
+let residuals t = t.residuals
+let residual_count t = Array.length t.residuals
+let residual_weights t = Array.copy t.res_weights
+let is_exact t = residual_count t = 0
+
+let rec eval_node vals = function
+  | Const p -> p
+  | Res i -> vals.(i)
+  | Sum branches ->
+      Array.fold_left
+        (fun acc (w, c) -> acc +. (w *. eval_node vals c))
+        0. branches
+  | IndepOr children ->
+      1.
+      -. Array.fold_left
+           (fun acc c -> acc *. (1. -. eval_node vals c))
+           1. children
+
+let value t vals =
+  if Array.length vals <> Array.length t.residuals then
+    invalid_arg "Compile.value: one estimate per residual expected";
+  eval_node vals t.root
+
+let exact_value t = if is_exact t then Some (eval_node [||] t.root) else None
+
+(* Count nodes for diagnostics/tests. *)
+let size t =
+  let rec go = function
+    | Const _ | Res _ -> 1
+    | Sum bs -> Array.fold_left (fun acc (_, c) -> acc + go c) 1 bs
+    | IndepOr cs -> Array.fold_left (fun acc c -> acc + go c) 1 cs
+  in
+  go t.root
+
+type outcome = { value : float; trials : int; residual_mass : float }
+
+(* Worst-case estimator calls to answer [dnf] at relative [eps], failure
+   [delta] — the fixed Chernoff budget the adaptive sampler is capped at. *)
+let cost_cap dnf ~eps ~delta =
+  if Dnf.is_trivially_false dnf || Dnf.is_trivially_true dnf then 0
+  else if Dnf.clause_count dnf = 1 then 0
+  else Pqdb_numeric.Stats.karp_luby_trials ~clauses:(Dnf.clause_count dnf) ~eps ~delta
+
+let solve_residuals rng t ~eps ~delta =
+  let r = Array.length t.residuals in
+  let trials = ref 0 in
+  let vals =
+    if eps >= 0.5 then begin
+      (* Coarse target: a single adaptive pass per residual at (eps, δ/r)
+         already meets the guarantee (error propagation lemma + union
+         bound). *)
+      let d = delta /. float_of_int r in
+      Array.map
+        (fun dnf ->
+          let p, n = Karp_luby.adaptive rng dnf ~eps ~delta:d in
+          trials := !trials + n;
+          p)
+        t.residuals
+    end
+    else begin
+      (* Exact-mass tightening.  Phase 1: coarse (ε₁ = ½) estimates of every
+         residual, spending δ/2r each.  They yield, with probability
+         ≥ 1 − δ/2:
+           T_lo = value(p̂/1.5)   ≤ true tuple confidence   (monotone tree)
+           S_hi = 1.5·Σ wᵢ·p̂ᵢ    ≥ Σ wᵢ·pᵢ                  (sensitivity)
+         Since |Δvalue| ≤ Σ wᵢ·|Δpᵢ| (the path weights bound the partial
+         derivatives of the multilinear tree), sampling every residual at
+         relative ε₂ keeps the tuple error ≤ ε₂·Σwᵢpᵢ ≤ ε₂·S_hi.  So
+         ε₂ = ε·T_lo/S_hi suffices for a relative-ε answer — the exact mass
+         already in T_lo buys a looser, cheaper residual target.  Phase 2
+         re-samples at (max ε ε₂, δ/2r); if ε₂ ≥ ½ the phase-1 estimates
+         are already good enough and phase 2 is skipped. *)
+      let eps1 = 0.5 in
+      let d = delta /. 2. /. float_of_int r in
+      let p1 =
+        Array.map
+          (fun dnf ->
+            let p, n = Karp_luby.adaptive rng dnf ~eps:eps1 ~delta:d in
+            trials := !trials + n;
+            p)
+          t.residuals
+      in
+      let t_lo =
+        eval_node (Array.map (fun p -> p /. (1. +. eps1)) p1) t.root
+      in
+      let s_hi =
+        (1. +. eps1)
+        *. snd
+             (Array.fold_left
+                (fun (i, acc) p -> (i + 1, acc +. (t.res_weights.(i) *. p)))
+                (0, 0.) p1)
+      in
+      let eps2 =
+        if s_hi <= 0. then 1. else Float.max eps (eps *. t_lo /. s_hi)
+      in
+      if eps2 >= eps1 then p1
+      else
+        Array.map
+          (fun dnf ->
+            let p, n = Karp_luby.adaptive rng dnf ~eps:eps2 ~delta:d in
+            trials := !trials + n;
+            p)
+          t.residuals
+    end
+  in
+  (vals, !trials)
+
+let solve rng t ~eps ~delta =
+  if eps <= 0. || delta <= 0. then invalid_arg "Compile.solve";
+  let r = Array.length t.residuals in
+  if r = 0 then
+    { value = eval_node [||] t.root; trials = 0; residual_mass = 0. }
+  else begin
+    (* Truncation guard: Shannon cut-off can leave residual leaves whose
+       combined worst-case budget exceeds just sampling the original DNF
+       (clauses get duplicated across branches).  Compare the caps and take
+       whichever problem is cheaper — compilation must pay for itself. *)
+    let compiled_cap =
+      let d = delta /. 2. /. float_of_int r in
+      Array.fold_left
+        (fun acc dnf -> acc + cost_cap dnf ~eps ~delta:d)
+        0 t.residuals
+    in
+    let plain_cap =
+      match t.fallback with
+      | Some dnf -> cost_cap dnf ~eps ~delta
+      | None -> max_int
+    in
+    if plain_cap < compiled_cap then begin
+      let dnf = Option.get t.fallback in
+      let p, n = Karp_luby.adaptive rng dnf ~eps ~delta in
+      { value = p; trials = n; residual_mass = p }
+    end
+    else begin
+      let vals, trials = solve_residuals rng t ~eps ~delta in
+      let v = eval_node vals t.root in
+      let mass = ref 0. in
+      Array.iteri
+        (fun i p -> mass := !mass +. (t.res_weights.(i) *. p))
+        vals;
+      { value = v; trials; residual_mass = Float.min v !mass }
+    end
+  end
+
+let confidence ?fuel rng w clauses ~eps ~delta =
+  (solve rng (compile ?fuel w clauses) ~eps ~delta).value

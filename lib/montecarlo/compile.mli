@@ -1,0 +1,109 @@
+(** The confidence compilation engine: pay Monte-Carlo cost only for the
+    hard cases.
+
+    Most real lineage decomposes (Koch & Olteanu, "Conditioning probabilistic
+    databases"): after normalization ({!Lineage.normalize}) a tuple's DNF
+    usually splits into variable-disjoint independent components, each of
+    which factors further through disjoint (mutually exclusive) expansions.
+    [compile] applies those rewrites — independent-OR, disjoint-OR on a
+    variable bound in every clause, and {e bounded} Shannon expansion on the
+    most-shared variable — solving everything it can in closed form and
+    leaving only the irreducible residues as prepared {!Dnf} leaves for the
+    adaptive Karp-Luby sampler.
+
+    {2 Error propagation}
+
+    The compiled tree combines children only through
+    [Σ wᵢ·pᵢ (Σ wᵢ ≤ 1, wᵢ ≥ 0)] and [1 − Π(1 − pᵢ)].  Both preserve
+    relative error: if every residual estimate satisfies
+    [p̂ᵢ ∈ [(1−ε)pᵢ, (1+ε)pᵢ]], the root value is within relative [ε] of the
+    true probability.  (Linear combinations are immediate; for the
+    independent-OR, [f(ε) = 1 − Π(1 − (1+ε)pᵢ)] is concave in [ε] with
+    [f'(0) = Σᵢ pᵢ·Π_{j≠i}(1−pⱼ) ≤ 1 − Π(1−pᵢ) = f(0)], so
+    [f(ε) ≤ (1+ε)f(0)]; the lower side follows from the chord through
+    [f(−1) = 0].)  Hence {!solve} estimates each residual at relative [ε]
+    with failure budget [δ/r] and the union bound gives an overall (ε, δ)
+    guarantee — the exact probability mass never spends a trial. *)
+
+open Pqdb_numeric
+open Pqdb_urel
+
+type t
+
+val default_fuel : int
+
+val compile : ?fuel:int -> Wtable.t -> Assignment.t list -> t
+(** Normalize and decompose the DNF.  [fuel] (default {!default_fuel})
+    bounds the Shannon-expansion work: each pivot charges its domain size
+    plus the clause count, and once exhausted the remaining clause set
+    becomes a residual leaf.  [fuel = 0] disables compilation beyond
+    normalization, trivial cases and single clauses — the pure-FPRAS
+    baseline.  Independent-component splits and disjoint-OR expansions are
+    free (they are linear-time and always shrink the problem).
+    Deterministic: the tree and residual numbering are a pure function of
+    (W table, clause list, fuel). *)
+
+val is_exact : t -> bool
+val exact_value : t -> float option
+(** [Some p] iff compilation resolved the whole DNF ([is_exact]). *)
+
+val residuals : t -> Dnf.t array
+(** The irreducible clause sets, prepared for sampling, in deterministic
+    order. *)
+
+val residual_count : t -> int
+
+val residual_weights : t -> float array
+(** Per residual: the summed path weight from the root, an upper bound on
+    [∂P/∂p̂ᵢ] — how much of the final value the residual can account for. *)
+
+val value : t -> float array -> float
+(** Evaluate the tree given one probability estimate per residual (pass
+    [[||]] when [is_exact]).  Monotone in every estimate, so plugging in
+    per-residual interval endpoints yields sound interval endpoints for the
+    tuple confidence (top-k uses this).
+    @raise Invalid_argument on an estimate-count mismatch. *)
+
+val size : t -> int
+(** Node count (diagnostics). *)
+
+type outcome = {
+  value : float;  (** the (ε, δ) estimate — exact when [trials = 0] *)
+  trials : int;  (** estimator calls spent on residuals *)
+  residual_mass : float;
+      (** Σ path-weight·p̂ over residuals, clamped to [value]: the share of
+          the reported probability that rests on sampling.  [0] when exact;
+          [1 − residual_mass/value] is the per-tuple exact fraction. *)
+}
+
+val solve : Rng.t -> t -> eps:float -> delta:float -> outcome
+(** Estimate every residual with {!Karp_luby.adaptive} and evaluate the
+    tree; by the error propagation above the result is an (ε, δ) relative
+    approximation of the tuple confidence.  Residuals are sampled in order
+    from the given RNG, so the outcome is deterministic per RNG state.
+
+    Two refinements make the residual phase pay only for what sampling must
+    actually decide:
+
+    {ul
+    {- {e Exact-mass tightening} (for [ε < ½]): a coarse ε₁ = ½ pass over
+       the residuals yields a certified lower bound [T_lo] on the tuple
+       confidence (evaluate the monotone tree at [p̂ᵢ/(1+ε₁)]) and an upper
+       bound [S_hi = (1+ε₁)·Σwᵢp̂ᵢ] on the sampled sensitivity.  Since the
+       tree is multilinear with [|∂P/∂p̂ᵢ| ≤ wᵢ], re-sampling at
+       [ε₂ = ε·T_lo/S_hi ≥ ε] still lands the root within relative [ε] —
+       closed-form mass directly relaxes (quadratically cheapens) the
+       residual budgets.  When [ε₂ ≥ ½] the coarse pass is already
+       sufficient and no second pass runs.}
+    {- {e Truncation guard}: bounded Shannon expansion duplicates clauses
+       across branches, so the residual leaves can be collectively more
+       expensive than the original DNF.  [solve] compares worst-case
+       Chernoff caps and falls back to one adaptive pass over the whole
+       normalized DNF when that is cheaper — compilation never costs more
+       than a bounded overhead relative to pure FPRAS.}}
+    @raise Invalid_argument when [eps <= 0] or [delta <= 0]. *)
+
+val confidence :
+  ?fuel:int -> Rng.t -> Wtable.t -> Assignment.t list ->
+  eps:float -> delta:float -> float
+(** [compile] + [solve], returning just the estimate. *)

@@ -1,64 +1,101 @@
 open Pqdb_numeric
 open Pqdb_urel
 
-type batch = { dnfs : Dnf.t array }
+type batch = {
+  clause_sets : Assignment.t list array;
+  comps : Compile.t array;
+}
 
-let prepare w clause_sets =
-  (* Serial phase: builds every DNF's sampling tables and forces the shared
-     per-variable alias cache in the W table, so the parallel phase below is
-     read-only on all shared structures. *)
-  { dnfs = Array.map (Dnf.prepare w) clause_sets }
+type stats = { trials_used : int array; exact_fraction : float }
 
-let size batch = Array.length batch.dnfs
+let prepare ?compile_fuel w clause_sets =
+  (* Serial phase: compilation prepares every residual DNF's sampling tables
+     and forces the shared per-variable alias cache in the W table, so the
+     parallel phase below is read-only on all shared structures. *)
+  { clause_sets; comps = Array.map (Compile.compile ?fuel:compile_fuel w) clause_sets }
+
+let size batch = Array.length batch.comps
 
 let total_trials batch ~eps ~delta =
+  (* The historical cost model: the fixed Chernoff budget the pure FPRAS
+     would pay per tuple, before compilation removes the exact mass. *)
   Array.fold_left
-    (fun acc dnf -> acc + Karp_luby.trials_for dnf ~eps ~delta)
-    0 batch.dnfs
+    (fun acc clauses ->
+      match clauses with
+      | [] -> acc
+      | cs when List.exists Assignment.is_empty cs -> acc
+      | cs -> acc + Stats.karp_luby_trials ~clauses:(List.length cs) ~eps ~delta)
+    0 batch.clause_sets
 
-let run ?nworkers rng batch ~eps ~delta =
+(* Cap on what the adaptive sampler can spend on tuple [i] — used only to
+   order the farmed work longest-first so stragglers start early. *)
+let cost_bound batch i ~eps ~delta =
+  Array.fold_left
+    (fun acc dnf ->
+      if Dnf.is_trivially_false dnf || Dnf.is_trivially_true dnf then acc
+      else acc + Stats.karp_luby_trials ~clauses:(Dnf.clause_count dnf) ~eps ~delta)
+    0
+    (Compile.residuals batch.comps.(i))
+
+let run_with_stats ?nworkers rng batch ~eps ~delta =
   if eps <= 0. || delta <= 0. then invalid_arg "Confidence.run";
   let nworkers =
     match nworkers with Some n -> n | None -> Pool.default_workers ()
   in
   if nworkers <= 0 then
     invalid_arg "Confidence.run: nworkers must be positive";
-  let n = Array.length batch.dnfs in
+  let n = size batch in
   let out = Array.make n 0. in
+  let trials_used = Array.make n 0 in
+  let masses = Array.make n 0. in
   if n > 0 then begin
     (* One child stream and one output slot per tuple: the estimates are
        bit-deterministic for a fixed parent RNG state, independent of the
        pool size and of which domain runs which tuple. *)
     let rngs = Rng.split_n rng n in
-    let budgets =
-      Array.map (fun dnf -> Karp_luby.trials_for dnf ~eps ~delta) batch.dnfs
-    in
+    (* Tuples the compiler resolved in closed form cost nothing — fill them
+       here and farm only the ones with residual sampling work, longest
+       worst-case budget first. *)
+    let live = ref [] in
     Array.iteri
-      (fun i dnf -> if Dnf.is_trivially_true dnf then out.(i) <- 1.)
-      batch.dnfs;
-    (* Farm only the tuples that actually need sampling, longest budget
-       first so stragglers start early. *)
+      (fun i comp ->
+        match Compile.exact_value comp with
+        | Some p -> out.(i) <- p
+        | None -> live := i :: !live)
+      batch.comps;
     let live =
       Array.of_list
-        (List.sort
-           (fun i j -> compare budgets.(j) budgets.(i))
-           (List.filter
-              (fun i -> budgets.(i) > 0)
-              (List.init n Fun.id)))
+        (List.stable_sort
+           (fun i j ->
+             compare (cost_bound batch j ~eps ~delta)
+               (cost_bound batch i ~eps ~delta))
+           (List.rev !live))
     in
     let ntasks = Array.length live in
     if ntasks > 0 then
       Pool.run (Pool.create (min nworkers ntasks)) ~ntasks (fun k ->
           let i = live.(k) in
-          out.(i) <- Karp_luby.run rngs.(i) batch.dnfs.(i) ~trials:budgets.(i))
+          let o = Compile.solve rngs.(i) batch.comps.(i) ~eps ~delta in
+          out.(i) <- o.value;
+          trials_used.(i) <- o.trials;
+          masses.(i) <- o.residual_mass)
   end;
-  out
+  let total_value = Array.fold_left ( +. ) 0. out in
+  let sampled_mass = Array.fold_left ( +. ) 0. masses in
+  let exact_fraction =
+    if total_value <= 0. then 1.
+    else Float.max 0. (1. -. (sampled_mass /. total_value))
+  in
+  (out, { trials_used; exact_fraction })
 
-let batch_fpras ?nworkers rng w clause_sets ~eps ~delta =
-  run ?nworkers rng (prepare w clause_sets) ~eps ~delta
+let run ?nworkers rng batch ~eps ~delta =
+  fst (run_with_stats ?nworkers rng batch ~eps ~delta)
 
-let approx_confidences ?nworkers rng w u ~eps ~delta =
+let batch_fpras ?nworkers ?compile_fuel rng w clause_sets ~eps ~delta =
+  run ?nworkers rng (prepare ?compile_fuel w clause_sets) ~eps ~delta
+
+let approx_confidences ?nworkers ?compile_fuel rng w u ~eps ~delta =
   let groups = Urelation.clauses_by_tuple u in
-  let batch = prepare w (Array.of_list (List.map snd groups)) in
+  let batch = prepare ?compile_fuel w (Array.of_list (List.map snd groups)) in
   let estimates = run ?nworkers rng batch ~eps ~delta in
   List.mapi (fun i (t, _) -> (t, estimates.(i))) groups

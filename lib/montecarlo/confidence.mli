@@ -1,16 +1,17 @@
-(** Batched approximate confidence: the whole-U-relation FPRAS path.
+(** Batched approximate confidence: the whole-U-relation compiled path.
 
-    Where {!Karp_luby.fpras} answers one tuple, this module prepares all the
-    DNFs of a U-relation once — sharing the W table's per-variable alias
-    tables across tuples — and farms the per-tuple trial budgets over one
-    domain pool.  Not to be confused with {!Pqdb_urel.Confidence}, the exact
-    (#P-hard) solver.
+    Where {!Karp_luby.fpras} answers one tuple by pure sampling, this module
+    compiles every tuple's lineage first ({!Compile}): tuples that decompose
+    fully are answered exactly for free, and only the irreducible residues
+    are farmed to the adaptive Karp-Luby sampler over the domain pool.  Not
+    to be confused with {!Pqdb_urel.Confidence}, the exact (#P-hard) solver.
 
     Determinism contract: every tuple gets its own
     {!Pqdb_numeric.Rng.split_n} child stream and its own output slot, and
-    runs its budget serially on one domain.  For a fixed parent RNG state the
-    estimates are therefore bit-identical across runs {e and across pool
-    sizes}; parallelism is across tuples only (shard a single huge tuple with
+    runs its residual budgets serially on one domain.  For a fixed parent
+    RNG state (and fixed compilation fuel) the estimates are therefore
+    bit-identical across runs {e and across pool sizes}; parallelism is
+    across tuples only (shard a single huge tuple with
     {!Karp_luby.run_parallel} instead). *)
 
 open Pqdb_numeric
@@ -19,27 +20,47 @@ open Pqdb_urel
 
 type batch
 
-val prepare : Wtable.t -> Assignment.t list array -> batch
-(** Serial preparation: builds each DNF's sampling tables and forces the
-    shared W-table alias cache, leaving the sampling phase read-only. *)
+type stats = {
+  trials_used : int array;
+      (** Estimator calls actually spent per tuple (0 for compiled-exact
+          tuples), in clause-set order. *)
+  exact_fraction : float;
+      (** Share of the batch's total probability mass resolved in closed
+          form: [1 − Σ residual_mass / Σ estimate].  [1] when nothing needed
+          sampling (or the batch is empty / all-zero). *)
+}
+
+val prepare : ?compile_fuel:int -> Wtable.t -> Assignment.t list array -> batch
+(** Serial preparation: compiles each clause set ({!Compile.compile}, fuel
+    default {!Compile.default_fuel}; [~compile_fuel:0] recovers the pure
+    per-tuple FPRAS baseline) and forces the shared W-table alias cache,
+    leaving the sampling phase read-only. *)
 
 val size : batch -> int
 
 val total_trials : batch -> eps:float -> delta:float -> int
-(** Σ per-tuple Chernoff budgets — the estimator-call cost {!run} will pay. *)
+(** Σ per-tuple fixed Chernoff budgets — what the {e uncompiled} FPRAS would
+    pay.  The compiled run typically spends far less; compare against
+    {!stats.trials_used}. *)
 
 val run : ?nworkers:int -> Rng.t -> batch -> eps:float -> delta:float -> float array
 (** Per-tuple (ε, δ) estimates, in the order of the prepared clause sets.
     [nworkers] defaults to {!Pool.default_workers}.
     @raise Invalid_argument when [eps <= 0], [delta <= 0] or [nworkers <= 0]. *)
 
+val run_with_stats :
+  ?nworkers:int -> Rng.t -> batch -> eps:float -> delta:float ->
+  float array * stats
+(** As {!run}, also reporting the per-tuple trial spend and the batch exact
+    fraction. *)
+
 val batch_fpras :
-  ?nworkers:int -> Rng.t -> Wtable.t -> Assignment.t list array ->
-  eps:float -> delta:float -> float array
+  ?nworkers:int -> ?compile_fuel:int -> Rng.t -> Wtable.t ->
+  Assignment.t list array -> eps:float -> delta:float -> float array
 (** [prepare] + [run]. *)
 
 val approx_confidences :
-  ?nworkers:int -> Rng.t -> Wtable.t -> Urelation.t ->
+  ?nworkers:int -> ?compile_fuel:int -> Rng.t -> Wtable.t -> Urelation.t ->
   eps:float -> delta:float -> (Tuple.t * float) list
 (** The approximate [conf(R)]: every possible tuple of [u] with its (ε, δ)
     confidence estimate, grouped via

@@ -32,6 +32,7 @@ let prepare w clause_list =
   in
   { w; clauses; weights; total; dist; vars; var_alias; slot_of_var }
 
+let wtable t = t.w
 let clause_count t = Array.length t.clauses
 let total_weight t = t.total
 let is_trivially_false t = Array.length t.clauses = 0

@@ -14,6 +14,10 @@ type t
 val prepare : Wtable.t -> Assignment.t list -> t
 (** Clause order is the list order. *)
 
+val wtable : t -> Wtable.t
+(** The W table the DNF was prepared against — lets consumers (the confidence
+    compiler, top-k) recompile or condition the clause set. *)
+
 val clause_count : t -> int
 (** [|F|] — the FPRAS trial counts scale linearly in it. *)
 

@@ -49,6 +49,34 @@ let delta_bound t ~eps =
         Stats.karp_luby_delta ~trials:t.trials
           ~clauses:(Dnf.clause_count t.dnf) ~eps
 
+let eps_bound t ~delta =
+  match t.degenerate with
+  | Some _ -> 0.
+  | None ->
+      if Dnf.clause_count t.dnf = 1 then 0.
+      else if t.trials = 0 then 1.
+      else
+        (* Invert δ = 2·exp(−m·ε²/(3|F|)): the ε certified by m trials. *)
+        sqrt
+          (3. *. float_of_int (Dnf.clause_count t.dnf) *. log (2. /. delta)
+          /. float_of_int t.trials)
+
+let interval t ~delta =
+  match t.degenerate with
+  | Some v -> (v, v)
+  | None ->
+      if Dnf.clause_count t.dnf = 1 then
+        (* A single clause is exact: p = M regardless of trials. *)
+        let p = Dnf.total_weight t.dnf in
+        (p, p)
+      else
+        let p = estimate t in
+        let eps = eps_bound t ~delta in
+        if eps >= 1. then (0., 1.)
+        else
+          (* |p̂ − p| ≤ ε·p rearranges to p ∈ [p̂/(1+ε), p̂/(1−ε)]. *)
+          (Float.max 0. (p /. (1. +. eps)), Float.min 1. (p /. (1. -. eps)))
+
 let trials_to_reach t ~eps ~delta =
   match t.degenerate with
   | Some _ -> 0

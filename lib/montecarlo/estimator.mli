@@ -31,5 +31,17 @@ val estimate : t -> float
 val delta_bound : t -> eps:float -> float
 (** [δᵢ(ε)] after the trials so far (0 for degenerate DNFs). *)
 
+val eps_bound : t -> delta:float -> float
+(** The relative half-width certified by the trials so far at failure budget
+    [delta]: [√(3|F|·ln(2/δ)/m)] — the inverse of {!delta_bound}.  [0] for
+    degenerate and single-clause DNFs (they are exact), [1] before any
+    trial. *)
+
+val interval : t -> delta:float -> float * float
+(** Confidence interval [[p̂/(1+ε), p̂/(1−ε)] ∩ [0, 1]] at the certified
+    [ε = eps_bound t ~delta]; degenerate and single-clause DNFs give a point
+    interval, and [ε ≥ 1] gives the vacuous [[0, 1]].  Used by the top-k
+    engine to prune candidates without fixing trial budgets up front. *)
+
 val trials_to_reach : t -> eps:float -> delta:float -> int
 (** Additional trials needed so that [delta_bound] drops to [delta]. *)

@@ -62,3 +62,75 @@ let fpras_parallel ?nworkers rng dnf ~eps ~delta =
 
 let confidence rng w clauses ~eps ~delta =
   fpras rng (Dnf.prepare w clauses) ~eps ~delta
+
+(* ------------------------------------------------------------------ *)
+(* Adaptive stopping (Dagum–Karp–Luby–Ross)                            *)
+(* ------------------------------------------------------------------ *)
+
+(* DKLR stopping rule on the 0/1 Karp-Luby estimator: run until the success
+   count reaches Υ₁ = 1 + (1+ε)·4λ·ln(2/δ)/ε² (λ = e − 2) and estimate
+   μ̂ = Υ₁/N, so the trial count adapts to the true mean μ = p/M instead of
+   its worst case 1/|F|.  The [cap] keeps the loop bounded: if it is reached
+   first, the plain sample mean at that fixed Chernoff budget is returned,
+   which satisfies the same (ε, δ) bound by construction. *)
+let stopping_rule rng dnf ~eps ~delta ~cap =
+  let lambda = Float.exp 1. -. 2. in
+  let ups = 4. *. lambda *. log (2. /. delta) /. (eps *. eps) in
+  let ups1 = 1. +. ((1. +. eps) *. ups) in
+  let target = int_of_float (Float.ceil ups1) in
+  let s = ref 0 and n = ref 0 in
+  while !s < target && !n < cap do
+    s := !s + Dnf.sample_estimator rng dnf;
+    incr n
+  done;
+  let m = Dnf.total_weight dnf in
+  let estimate =
+    if !s >= target then ups1 /. float_of_int !n *. m
+    else if !n = 0 then 0.
+    else float_of_int !s *. m /. float_of_int !n
+  in
+  (estimate, !n)
+
+let adaptive rng dnf ~eps ~delta =
+  if eps <= 0. || delta <= 0. then invalid_arg "Karp_luby.adaptive";
+  if Dnf.is_trivially_false dnf then (0., 0)
+  else if Dnf.is_trivially_true dnf then (1., 0)
+  else if Dnf.clause_count dnf = 1 then
+    (* The estimator always fires: p = M exactly, no trials needed. *)
+    (Dnf.total_weight dnf, 0)
+  else begin
+    let clauses = Dnf.clause_count dnf in
+    if eps >= 0.5 then
+      (* Coarse targets: a single stopping-rule phase already beats the
+         fixed budget and meets (ε, δ) on both exit paths. *)
+      stopping_rule rng dnf ~eps ~delta
+        ~cap:(Stats.karp_luby_trials ~clauses ~eps ~delta)
+    else begin
+      (* AA-style two-phase schedule.  Phase 1: a rough estimate at ε₁ = ½,
+         spending δ/2.  Phase 2: a fresh Chernoff batch sized from the
+         phase-1 lower bound on μ (floored at the unconditional 1/|F|),
+         spending the remaining δ/2.  Union bound: the final estimate is
+         within relative ε with probability ≥ 1 − δ. *)
+      let eps1 = 0.5 and d2 = delta /. 2. in
+      let p1, n1 =
+        stopping_rule rng dnf ~eps:eps1 ~delta:d2
+          ~cap:(Stats.karp_luby_trials ~clauses ~eps:eps1 ~delta:d2)
+      in
+      let m = Dnf.total_weight dnf in
+      let mu_lo =
+        Float.max (p1 /. m /. (1. +. eps1)) (1. /. float_of_int clauses)
+      in
+      let n2 =
+        max 1
+          (int_of_float
+             (Float.ceil (3. *. log (4. /. delta) /. (eps *. eps *. mu_lo))))
+      in
+      let s = ref 0 in
+      for _ = 1 to n2 do
+        s := !s + Dnf.sample_estimator rng dnf
+      done;
+      (float_of_int !s *. m /. float_of_int n2, n1 + n2)
+    end
+  end
+
+let fpras_adaptive rng dnf ~eps ~delta = fst (adaptive rng dnf ~eps ~delta)

@@ -38,3 +38,26 @@ val trials_for : Dnf.t -> eps:float -> delta:float -> int
 val confidence : Rng.t -> Wtable.t -> Assignment.t list ->
   eps:float -> delta:float -> float
 (** Convenience: prepare + fpras. *)
+
+(** {1 Adaptive stopping (Dagum–Karp–Luby–Ross)}
+
+    The fixed Chernoff budget [3·|F|·ln(2/δ)/ε²] provisions for the
+    worst-case mean [μ = p/M ≥ 1/|F|].  The optimal-stopping approach of
+    Dagum, Karp, Luby and Ross ("An optimal algorithm for Monte Carlo
+    estimation") instead spends [O(ln(1/δ)/(ε²·μ))] expected trials — the
+    win is a factor of [|F|·μ], which on real lineage (few deeply
+    overlapping clauses) is most of the budget. *)
+
+val adaptive : Rng.t -> Dnf.t -> eps:float -> delta:float -> float * int
+(** [(p̂, trials)] with [Pr(|p̂ − p| ≥ ε·p) ≤ δ].  Degenerate and
+    single-clause DNFs are answered exactly with 0 trials.  For [ε ≥ ½] one
+    stopping-rule phase runs; below that, a two-phase AA-style schedule:
+    a rough stopping-rule estimate at ε₁ = ½ (δ/2), then a fresh Chernoff
+    batch sized by the estimated mean (δ/2).  Every phase is capped at its
+    fixed-budget equivalent, so the trial count never exceeds roughly the
+    non-adaptive cost and the guarantee holds on the capped path too.
+    Deterministic given the RNG state.
+    @raise Invalid_argument when [eps <= 0] or [delta <= 0]. *)
+
+val fpras_adaptive : Rng.t -> Dnf.t -> eps:float -> delta:float -> float
+(** [fst ∘ adaptive] — drop-in replacement for {!fpras}. *)

@@ -8,34 +8,158 @@ let create nworkers =
 
 let size t = t.nworkers
 
+(* ------------------------------------------------------------------ *)
+(* Resident workers                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type job = {
+  f : int -> unit;
+  ntasks : int;
+  chunk : int;
+  allowed : int;  (* helper domains this job may use *)
+  claimers : int Atomic.t;
+  next : int Atomic.t;
+  completed : int Atomic.t;
+  failure : exn option Atomic.t;
+}
+
+let lock = Mutex.create ()
+let wake = Condition.create ()  (* workers: a job was posted *)
+let finished = Condition.create ()  (* submitter: all tasks completed *)
+let posted : (int * job) option ref = ref None
+let seq = ref 0
+let quit = ref false
+let resident = ref [||]
+let started = ref false
+
+(* Serializes job submission; a submitter that cannot take it (nested or
+   concurrent [run]) falls back to running its tasks inline. *)
+let submit_lock = Mutex.create ()
+
+let run_chunk job lo hi =
+  (try
+     for i = lo to hi - 1 do
+       job.f i
+     done
+   with e -> ignore (Atomic.compare_and_set job.failure None (Some e)));
+  let n = hi - lo in
+  if Atomic.fetch_and_add job.completed n + n >= job.ntasks then begin
+    Mutex.lock lock;
+    Condition.broadcast finished;
+    Mutex.unlock lock
+  end
+
+let participate job =
+  let rec claim () =
+    let lo = Atomic.fetch_and_add job.next job.chunk in
+    if lo < job.ntasks then begin
+      run_chunk job lo (min job.ntasks (lo + job.chunk));
+      claim ()
+    end
+  in
+  claim ()
+
+let worker_loop () =
+  let seen = ref 0 in
+  let rec loop () =
+    Mutex.lock lock;
+    let rec await () =
+      if !quit then None
+      else
+        match !posted with
+        | Some (s, job) when s <> !seen ->
+            seen := s;
+            Some job
+        | _ ->
+            Condition.wait wake lock;
+            await ()
+    in
+    let next_job = await () in
+    Mutex.unlock lock;
+    match next_job with
+    | None -> ()
+    | Some job ->
+        if Atomic.fetch_and_add job.claimers 1 < job.allowed then
+          participate job;
+        loop ()
+  in
+  loop ()
+
+let resident_target () =
+  let requested =
+    match Sys.getenv_opt "PQDB_POOL_WORKERS" with
+    | Some s -> ( try max 1 (int_of_string (String.trim s)) with _ -> default_workers ())
+    | None -> default_workers ()
+  in
+  max 0 (requested - 1)
+
+let shutdown () =
+  Mutex.lock lock;
+  quit := true;
+  Condition.broadcast wake;
+  Mutex.unlock lock;
+  Array.iter Domain.join !resident;
+  resident := [||]
+
+let ensure_started () =
+  (* First call wins; [run] is serialized by [submit_lock] before any
+     parallel submission, and a lost race only means an inline run. *)
+  if not !started then begin
+    started := true;
+    let n = resident_target () in
+    if n > 0 then begin
+      resident := Array.init n (fun _ -> Domain.spawn worker_loop);
+      at_exit shutdown
+    end
+  end
+
+let resident_workers () =
+  ensure_started ();
+  Array.length !resident
+
+let run_inline ~ntasks f =
+  for i = 0 to ntasks - 1 do
+    f i
+  done
+
 let run t ~ntasks f =
   if ntasks < 0 then invalid_arg "Pool.run: ntasks must be nonnegative";
   if ntasks > 0 then begin
-    let next = Atomic.make 0 in
-    let worker () =
-      let rec loop () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < ntasks then begin
-          f i;
-          loop ()
-        end
-      in
-      loop ()
+    ensure_started ();
+    let helpers =
+      min (min (t.nworkers - 1) (Array.length !resident)) (ntasks - 1)
     in
-    let spawned = min (t.nworkers - 1) (ntasks - 1) in
-    let domains = Array.init spawned (fun _ -> Domain.spawn worker) in
-    (* The calling domain participates; if its slice raises we must still
-       join every spawned domain before re-raising. *)
-    let parent_exn = (try worker (); None with e -> Some e) in
-    let child_exn =
-      Array.fold_left
-        (fun acc d ->
-          match (try Domain.join d; None with e -> Some e) with
-          | Some _ as e when acc = None -> e
-          | _ -> acc)
-        None domains
-    in
-    match (parent_exn, child_exn) with
-    | Some e, _ | None, Some e -> raise e
-    | None, None -> ()
+    if helpers <= 0 then run_inline ~ntasks f
+    else if not (Mutex.try_lock submit_lock) then run_inline ~ntasks f
+    else
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock submit_lock)
+        (fun () ->
+          let chunk = max 1 (ntasks / ((helpers + 1) * 4)) in
+          let job =
+            {
+              f;
+              ntasks;
+              chunk;
+              allowed = helpers;
+              claimers = Atomic.make 0;
+              next = Atomic.make 0;
+              completed = Atomic.make 0;
+              failure = Atomic.make None;
+            }
+          in
+          Mutex.lock lock;
+          incr seq;
+          posted := Some (!seq, job);
+          Condition.broadcast wake;
+          Mutex.unlock lock;
+          participate job;
+          Mutex.lock lock;
+          while Atomic.get job.completed < ntasks do
+            Condition.wait finished lock
+          done;
+          (* Free the job closure; workers treat [None] as nothing new. *)
+          posted := None;
+          Mutex.unlock lock;
+          match Atomic.get job.failure with Some e -> raise e | None -> ())
   end

@@ -1,13 +1,22 @@
-(** A minimal fork-join domain pool for the confidence engine.
+(** A resident fork-join domain pool for the confidence engine.
 
-    [run] fans a task index range out over up to [size] OCaml 5 domains via
-    an atomic work-stealing counter; the calling domain participates, so a
-    pool of size 1 degenerates to a plain loop with no spawns.  Domains are
-    spawned per [run] call and joined before it returns — there are no idle
-    resident workers, and a pool value is just a size, cheap to create and
-    to discard.  Tasks must write results to disjoint slots (or otherwise
-    not race): the pool provides no synchronisation beyond the counter and
-    the join.
+    A fixed set of worker domains is spawned lazily on first use — sized to
+    [Domain.recommended_domain_count () - 1] (the caller is the remaining
+    worker), overridable with the [PQDB_POOL_WORKERS] environment variable —
+    and kept alive for the life of the process (torn down via [at_exit]).
+    [run] posts a job to those residents: task indices are claimed in chunks
+    through an atomic counter, the calling domain participates, and the call
+    returns when every task has executed.  Spawning a domain costs far more
+    than a typical job on this engine's workloads, which is why workers are
+    resident rather than per-call.
+
+    A pool value is just a cap: [run] uses at most [size t - 1] helpers (and
+    never more than the resident count, or [ntasks - 1]).  With no available
+    helpers — a 1-worker pool, a single task, one recommended domain, or a
+    nested/concurrent [run] — the tasks run inline on the caller, spawning
+    nothing.  Tasks must write results to disjoint slots (or otherwise not
+    race): the pool provides no synchronisation beyond the claim counter and
+    the completion barrier.
 
     Determinism note: callers that want bit-reproducible results give each
     task its own {!Pqdb_numeric.Rng} stream and its own output slot; which
@@ -23,8 +32,14 @@ val size : t -> int
 val default_workers : unit -> int
 (** [Domain.recommended_domain_count], floored at 1. *)
 
+val resident_workers : unit -> int
+(** The number of live resident helper domains, starting them if needed.
+    [0] means every [run] executes inline on the calling domain. *)
+
 val run : t -> ntasks:int -> (int -> unit) -> unit
 (** [run t ~ntasks f] executes [f 0 … f (ntasks-1)], each exactly once, on
-    up to [size t] domains, and waits for all of them.  If any task raises,
-    the first observed exception is re-raised after every domain has been
-    joined (remaining tasks may still run). *)
+    the caller plus up to [min (size t - 1) (resident_workers ())] helper
+    domains, and waits for all of them.  If any task raises, the first
+    observed exception is re-raised after the job has drained (remaining
+    tasks may still run).
+    @raise Invalid_argument when [ntasks] is negative. *)

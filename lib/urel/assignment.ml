@@ -82,6 +82,23 @@ let remove a v =
 
 let extended_by total a = Array.for_all (fun (v, x) -> total v = x) a
 
+(* Sorted-merge subset test: every binding of [a] is a binding of [b]. *)
+let subsumes a b =
+  let la = Array.length a and lb = Array.length b in
+  let rec go i j =
+    if i >= la then true
+    else if j >= lb || lb - j < la - i then false
+    else begin
+      let va, xa = a.(i) and vb, xb = b.(j) in
+      if va < vb then false
+      else if va > vb then go i (j + 1)
+      else xa = xb && go (i + 1) (j + 1)
+    end
+  in
+  la <= lb && go 0 0
+
+let iter_vars f a = Array.iter (fun (v, _) -> f v) a
+
 let weight w a =
   Array.fold_left
     (fun acc (v, x) -> Rational.mul acc (Wtable.prob w v x))

@@ -40,6 +40,15 @@ val remove : t -> Wtable.var -> t
 val extended_by : (Wtable.var -> int) -> t -> bool
 (** [extended_by f* f]: does the total assignment [f*] belong to [ω(f)]? *)
 
+val subsumes : t -> t -> bool
+(** [subsumes a b] iff every binding of [a] is a binding of [b], i.e.
+    [ω(b) ⊆ ω(a)].  As DNF clauses, [b] is then redundant next to [a].
+    O(|a| + |b|) on the sorted binding arrays. *)
+
+val iter_vars : (Wtable.var -> unit) -> t -> unit
+(** Iterate over the domain without building a list — the lineage
+    partitioner's hot loop. *)
+
 val weight : Wtable.t -> t -> Rational.t
 val weight_float : Wtable.t -> t -> float
 

@@ -5,6 +5,12 @@ open Pqdb_numeric
 open Pqdb_urel
 open Pqdb_montecarlo
 module Q = Rational
+module Gen = Pqdb_workload.Gen
+
+(* Force a few resident pool workers so the parallel path is exercised even
+   on single-core CI machines (where the pool would otherwise stay inline).
+   Must run before the first [Pool.run]. *)
+let () = Unix.putenv "PQDB_POOL_WORKERS" "3"
 
 let check = Alcotest.check
 let bool_c = Alcotest.bool
@@ -415,6 +421,267 @@ let test_batch_trials_accounting () =
           (Confidence.prepare w [||])
           ~eps:0.1 ~delta:0.1))
 
+(* ------------------------------------------------------------------ *)
+(* Lineage compilation                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_compile_fixture_exact () =
+  (* The three-clause fixture decomposes completely: Shannon on x, then
+     trivial branches.  No residuals, exact value 0.88. *)
+  let w, clauses = fixture () in
+  let c = Compile.compile w clauses in
+  check bool_c "exact" true (Compile.is_exact c);
+  check int_c "no residuals" 0 (Compile.residual_count c);
+  (match Compile.exact_value c with
+  | Some p -> check (Alcotest.float 1e-9) "p = 0.88" 0.88 p
+  | None -> Alcotest.fail "expected exact value");
+  (* solve on an exact tree spends nothing. *)
+  let o = Compile.solve (Rng.create ~seed:5) c ~eps:0.1 ~delta:0.1 in
+  check int_c "0 trials" 0 o.Compile.trials;
+  check (Alcotest.float 1e-9) "solve = exact" 0.88 o.Compile.value;
+  check (Alcotest.float 0.) "no residual mass" 0. o.Compile.residual_mass
+
+let test_compile_trivial_and_normalization () =
+  let w, _ = fixture () in
+  check (Alcotest.option (Alcotest.float 0.)) "empty DNF = 0" (Some 0.)
+    (Compile.exact_value (Compile.compile w []));
+  check (Alcotest.option (Alcotest.float 0.)) "empty clause = 1" (Some 1.)
+    (Compile.exact_value (Compile.compile w [ Assignment.empty ]));
+  (* Subsumption: {x=1} absorbs {x=1, y=1}; dedup absorbs the copy. *)
+  let x = Wtable.add_var w [ Q.half; Q.half ] in
+  let y = Wtable.add_var w [ Q.half; Q.half ] in
+  let c =
+    Compile.compile w
+      [
+        Assignment.singleton x 1;
+        Assignment.of_list [ (x, 1); (y, 1) ];
+        Assignment.singleton x 1;
+      ]
+  in
+  check (Alcotest.option (Alcotest.float 1e-12)) "normalized to {x=1}"
+    (Some 0.5) (Compile.exact_value c)
+
+let test_compile_independent_components () =
+  (* Disjoint singletons combine by the product rule, no sampling. *)
+  let w = Wtable.create () in
+  let x = Wtable.add_var w [ Q.half; Q.half ] in
+  let y = Wtable.add_var w [ Q.of_ints 1 4; Q.of_ints 3 4 ] in
+  let c =
+    Compile.compile w [ Assignment.singleton x 1; Assignment.singleton y 1 ]
+  in
+  check bool_c "exact" true (Compile.is_exact c);
+  check (Alcotest.option (Alcotest.float 1e-12)) "1 - (1/2)(1/4) = 7/8"
+    (Some 0.875) (Compile.exact_value c)
+
+let test_compile_fuel_zero_is_residual () =
+  (* fuel = 0 turns any multi-clause set into one residual leaf: the
+     pure-FPRAS baseline. *)
+  let w, clauses = fixture () in
+  let c = Compile.compile ~fuel:0 w clauses in
+  check bool_c "not exact" false (Compile.is_exact c);
+  check int_c "one residual" 1 (Compile.residual_count c);
+  check int_c "residual keeps all clauses" 3
+    (Dnf.clause_count (Compile.residuals c).(0));
+  check (Alcotest.float 1e-9) "residual weight 1" 1.
+    (Compile.residual_weights c).(0);
+  (* Single clauses stay exact even without fuel. *)
+  let x = Wtable.add_var w [ Q.half; Q.half ] in
+  check bool_c "single clause exact at fuel 0" true
+    (Compile.is_exact (Compile.compile ~fuel:0 w [ Assignment.singleton x 1 ]))
+
+let test_compile_solve_accuracy () =
+  (* The compiled+residual path still lands inside the (eps, delta) band on
+     the fixture when compilation is disabled. *)
+  let w, clauses = fixture () in
+  let c = Compile.compile ~fuel:0 w clauses in
+  let o = Compile.solve (Rng.create ~seed:11) c ~eps:0.05 ~delta:0.01 in
+  check bool_c
+    (Printf.sprintf "estimate %.4f near 0.88" o.Compile.value)
+    true
+    (Float.abs (o.Compile.value -. 0.88) <= 0.05 *. 0.88);
+  check bool_c "spent trials" true (o.Compile.trials > 0);
+  check bool_c "residual mass covers the estimate" true
+    (Float.abs (o.Compile.residual_mass -. o.Compile.value) <= 1e-9)
+
+let prop_compile_matches_exact =
+  QCheck.Test.make ~name:"compiled confidence = exact solver" ~count:120
+    (QCheck.int_range 0 100_000) (fun seed ->
+      let rng = Rng.create ~seed in
+      let w = Wtable.create () in
+      let clauses =
+        Gen.random_dnf rng w ~vars:8 ~clauses:6 ~clause_len:3
+      in
+      let c = Compile.compile ~fuel:1_000_000 w clauses in
+      if not (Compile.is_exact c) then false
+      else
+        let got = Option.get (Compile.exact_value c) in
+        let expect = Q.to_float (Pqdb_urel.Confidence.exact w clauses) in
+        Float.abs (got -. expect) <= 1e-6)
+
+let prop_compile_residual_path_tracks_exact =
+  (* Even at tiny fuel the solve must stay within the requested relative
+     band (generously slacked: one qcheck failure would need the sampler to
+     leave a 3-sigma-equivalent bound). *)
+  QCheck.Test.make ~name:"residual path tracks exact" ~count:40
+    (QCheck.int_range 0 100_000) (fun seed ->
+      let rng = Rng.create ~seed in
+      let w = Wtable.create () in
+      let clauses =
+        Gen.random_dnf rng w ~vars:10 ~clauses:8 ~clause_len:3
+      in
+      let expect = Q.to_float (Pqdb_urel.Confidence.exact w clauses) in
+      let c = Compile.compile ~fuel:8 w clauses in
+      let o =
+        Compile.solve (Rng.create ~seed:(seed + 1)) c ~eps:0.1 ~delta:0.01
+      in
+      Float.abs (o.Compile.value -. expect) <= (0.2 *. expect) +. 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Adaptive stopping rule                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_adaptive_degenerate () =
+  let w, _ = fixture () in
+  let rng = Rng.create ~seed:3 in
+  check (Alcotest.pair (Alcotest.float 0.) int_c) "false -> (0, 0)" (0., 0)
+    (Karp_luby.adaptive rng (Dnf.prepare w []) ~eps:0.1 ~delta:0.1);
+  check (Alcotest.pair (Alcotest.float 0.) int_c) "true -> (1, 0)" (1., 0)
+    (Karp_luby.adaptive rng
+       (Dnf.prepare w [ Assignment.empty ])
+       ~eps:0.1 ~delta:0.1);
+  let x = Wtable.add_var w [ Q.of_ints 3 10; Q.of_ints 7 10 ] in
+  let p, n =
+    Karp_luby.adaptive rng
+      (Dnf.prepare w [ Assignment.singleton x 1 ])
+      ~eps:0.1 ~delta:0.1
+  in
+  check (Alcotest.float 1e-9) "single clause exact" 0.7 p;
+  check int_c "single clause free" 0 n;
+  check bool_c "invalid eps rejected" true
+    (try
+       ignore
+         (Karp_luby.adaptive rng (Dnf.prepare w [ Assignment.singleton x 1 ])
+            ~eps:0. ~delta:0.1);
+       false
+     with Invalid_argument _ -> true)
+
+let test_adaptive_guarantee_and_savings () =
+  (* Statistical check of the DKLR schedule on the fixture (p = 0.88,
+     M = 1.16): over many runs the empirical failure rate must stay near
+     delta, and the mean trial count must undercut the fixed Chernoff
+     budget. *)
+  let w, clauses = fixture () in
+  let dnf = Dnf.prepare w clauses in
+  let eps = 0.1 and delta = 0.05 in
+  let fixed = Karp_luby.trials_for dnf ~eps ~delta in
+  let runs = 200 in
+  let failures = ref 0 and total_trials = ref 0 in
+  for seed = 1 to runs do
+    let p, n = Karp_luby.adaptive (Rng.create ~seed) dnf ~eps ~delta in
+    total_trials := !total_trials + n;
+    if Float.abs (p -. 0.88) > eps *. 0.88 then incr failures
+  done;
+  let mean_trials = float_of_int !total_trials /. float_of_int runs in
+  check bool_c
+    (Printf.sprintf "failure rate %d/%d within delta + slack" !failures runs)
+    true
+    (float_of_int !failures /. float_of_int runs <= delta +. 0.05);
+  check bool_c
+    (Printf.sprintf "mean trials %.0f < fixed budget %d" mean_trials fixed)
+    true
+    (mean_trials < float_of_int fixed)
+
+let test_adaptive_deterministic () =
+  let w, clauses = fixture () in
+  let dnf = Dnf.prepare w clauses in
+  let a = Karp_luby.adaptive (Rng.create ~seed:77) dnf ~eps:0.2 ~delta:0.1 in
+  let b = Karp_luby.adaptive (Rng.create ~seed:77) dnf ~eps:0.2 ~delta:0.1 in
+  check (Alcotest.pair (Alcotest.float 0.) int_c) "same seed, same outcome" a b
+
+(* ------------------------------------------------------------------ *)
+(* Resident pool                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_reuse_and_results () =
+  (* The resident pool survives across calls and every task runs exactly
+     once, whatever the pool size. *)
+  let pool = Pool.create 4 in
+  for round = 1 to 3 do
+    let n = 97 in
+    let hits = Array.make n 0 in
+    Pool.run pool ~ntasks:n (fun i -> hits.(i) <- hits.(i) + 1);
+    check bool_c
+      (Printf.sprintf "round %d: each task ran once" round)
+      true
+      (Array.for_all (fun h -> h = 1) hits)
+  done;
+  Pool.run pool ~ntasks:0 (fun _ -> Alcotest.fail "no tasks to run");
+  check bool_c "negative ntasks rejected" true
+    (try
+       Pool.run pool ~ntasks:(-1) ignore;
+       false
+     with Invalid_argument _ -> true)
+
+let test_pool_exception_propagates () =
+  let pool = Pool.create 4 in
+  check bool_c "task failure reraised" true
+    (try
+       Pool.run pool ~ntasks:10 (fun i -> if i = 7 then failwith "boom");
+       false
+     with Failure msg -> msg = "boom");
+  (* The pool must still be usable after a failed job. *)
+  let ok = Array.make 8 false in
+  Pool.run pool ~ntasks:8 (fun i -> ok.(i) <- true);
+  check bool_c "pool alive after failure" true (Array.for_all Fun.id ok)
+
+let test_batch_compiled_deterministic_across_pool_sizes () =
+  (* The compiled+residual path keeps the batch determinism contract: with
+     compilation disabled every tuple samples, and the estimates still
+     depend only on the parent RNG state — not on the pool size. *)
+  let w, clause_sets = batch_fixture () in
+  let batch = Confidence.prepare ~compile_fuel:0 w clause_sets in
+  let run nworkers =
+    fst
+      (Confidence.run_with_stats ~nworkers (Rng.create ~seed:83) batch
+         ~eps:0.1 ~delta:0.1)
+  in
+  let reference = run 1 in
+  List.iter
+    (fun nworkers ->
+      let got = run nworkers in
+      Array.iteri
+        (fun i v ->
+          check (Alcotest.float 0.)
+            (Printf.sprintf "tuple %d identical with %d workers" i nworkers)
+            reference.(i) v)
+        got)
+    [ 1; 2; 4 ]
+
+let test_batch_stats () =
+  let w, clause_sets = batch_fixture () in
+  (* Default fuel: everything in the fixture compiles exactly. *)
+  let batch = Confidence.prepare w clause_sets in
+  let estimates, stats =
+    Confidence.run_with_stats (Rng.create ~seed:29) batch ~eps:0.1 ~delta:0.1
+  in
+  check (Alcotest.float 1e-9) "fully exact" 1.
+    stats.Confidence.exact_fraction;
+  check bool_c "no trials spent" true
+    (Array.for_all (fun n -> n = 0) stats.Confidence.trials_used);
+  check (Alcotest.float 1e-9) "tuple 0 exact" 0.88 estimates.(0);
+  (* fuel 0: the multi-clause tuple samples, the trivial ones stay free. *)
+  let batch0 = Confidence.prepare ~compile_fuel:0 w clause_sets in
+  let _, stats0 =
+    Confidence.run_with_stats (Rng.create ~seed:29) batch0 ~eps:0.1 ~delta:0.1
+  in
+  check bool_c "multi-clause tuple sampled" true
+    (stats0.Confidence.trials_used.(0) > 0);
+  check int_c "certain tuple free" 0 stats0.Confidence.trials_used.(2);
+  check int_c "impossible tuple free" 0 stats0.Confidence.trials_used.(3);
+  check bool_c "exact fraction strictly between 0 and 1" true
+    (stats0.Confidence.exact_fraction > 0.
+    && stats0.Confidence.exact_fraction < 1.)
+
 let qcheck = QCheck_alcotest.to_alcotest
 
 let () =
@@ -473,5 +740,37 @@ let () =
           Alcotest.test_case "matches exact" `Slow test_batch_matches_exact;
           Alcotest.test_case "trials accounting" `Quick
             test_batch_trials_accounting;
+          Alcotest.test_case "compiled path deterministic" `Quick
+            test_batch_compiled_deterministic_across_pool_sizes;
+          Alcotest.test_case "trial and exactness stats" `Quick
+            test_batch_stats;
+        ] );
+      ( "compile",
+        [
+          Alcotest.test_case "fixture compiles exactly" `Quick
+            test_compile_fixture_exact;
+          Alcotest.test_case "normalization" `Quick
+            test_compile_trivial_and_normalization;
+          Alcotest.test_case "independent components" `Quick
+            test_compile_independent_components;
+          Alcotest.test_case "fuel 0 = pure FPRAS" `Quick
+            test_compile_fuel_zero_is_residual;
+          Alcotest.test_case "residual solve accuracy" `Slow
+            test_compile_solve_accuracy;
+          qcheck prop_compile_matches_exact;
+          qcheck prop_compile_residual_path_tracks_exact;
+        ] );
+      ( "adaptive stopping",
+        [
+          Alcotest.test_case "degenerate cases" `Quick test_adaptive_degenerate;
+          Alcotest.test_case "(eps,delta) guarantee and savings" `Slow
+            test_adaptive_guarantee_and_savings;
+          Alcotest.test_case "deterministic" `Quick test_adaptive_deterministic;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "resident reuse" `Quick test_pool_reuse_and_results;
+          Alcotest.test_case "exception propagation" `Quick
+            test_pool_exception_propagates;
         ] );
     ]

@@ -8,7 +8,6 @@ module Q = Pqdb_numeric.Rational
 module Rng = Pqdb_numeric.Rng
 module Ua = Pqdb_ast.Ua
 module Topk = Pqdb.Topk
-module Estimator = Pqdb_montecarlo.Estimator
 module Dnf = Pqdb_montecarlo.Dnf
 module Gen = Pqdb_workload.Gen
 
@@ -64,10 +63,11 @@ let test_decomposition_speedup_shape () =
 let bernoulli_candidate w name p =
   let num = int_of_float (Float.round (p *. 1000.)) in
   let var = Wtable.add_var w [ Q.of_ints (1000 - num) 1000; Q.of_ints num 1000 ] in
-  ( Tuple.of_list [ V.Str name ],
-    Estimator.create (Dnf.prepare w [ Assignment.singleton var 1 ]) )
+  (Tuple.of_list [ V.Str name ], Dnf.prepare w [ Assignment.singleton var 1 ])
 
-(* Two-clause candidate so the estimate is genuinely noisy. *)
+(* Two-clause candidate so the estimate is genuinely noisy when compilation
+   is disabled ([compile_fuel:0]); with compilation on it resolves exactly
+   (two independent clauses). *)
 let noisy_candidate w name p =
   let q = 1. -. sqrt (1. -. p) in
   let num = max 1 (int_of_float (Float.round (q *. 1000.))) in
@@ -75,12 +75,11 @@ let noisy_candidate w name p =
     Wtable.add_var w [ Q.of_ints (1000 - num) 1000; Q.of_ints num 1000 ]
   in
   ( Tuple.of_list [ V.Str name ],
-    Estimator.create
-      (Dnf.prepare w
-         [
-           Assignment.singleton (fresh ()) 1;
-           Assignment.singleton (fresh ()) 1;
-         ]) )
+    Dnf.prepare w
+      [
+        Assignment.singleton (fresh ()) 1;
+        Assignment.singleton (fresh ()) 1;
+      ] )
 
 let test_topk_ranks_correctly () =
   let rng = Rng.create ~seed:1 in
@@ -98,7 +97,11 @@ let test_topk_ranks_correctly () =
     List.map (fun (t, _) -> V.to_string (Tuple.get t 0)) r.Topk.ranked
   in
   check (Alcotest.list Alcotest.string) "top 2" [ "top"; "high" ] names;
-  check bool_c "certified" true r.Topk.certified
+  check bool_c "certified" true r.Topk.certified;
+  (* Two independent clauses per candidate: the compiler solves all of them
+     in closed form, so the ranking costs zero estimator calls. *)
+  check int_c "all candidates compiled exact" 4 r.Topk.exact_candidates;
+  check int_c "no sampling needed" 0 r.Topk.estimator_calls
 
 let test_topk_prunes_clear_losers () =
   (* A clear loser should stop refining long before the contested pair. *)
@@ -107,12 +110,16 @@ let test_topk_prunes_clear_losers () =
   let loser = noisy_candidate w "loser" 0.05 in
   let a = noisy_candidate w "a" 0.6 in
   let b = noisy_candidate w "b" 0.52 in
-  let r = Topk.run ~rng ~delta:0.05 ~k:1 [ loser; a; b ] in
+  (* [compile_fuel:0] forces every candidate onto the sampling path — this
+     test is about interval pruning, not compilation. *)
+  let r = Topk.run ~compile_fuel:0 ~rng ~delta:0.05 ~k:1 [ loser; a; b ] in
   check bool_c "ranked a first" true
     (match r.Topk.ranked with
     | [ (t, _) ] -> V.to_string (Tuple.get t 0) = "a"
     | _ -> false);
-  let trials_of (_, est) = Estimator.trials est in
+  let trials_of (t, _) =
+    match List.assoc_opt t r.Topk.sampled with Some n -> n | None -> 0
+  in
   check bool_c
     (Printf.sprintf "loser (%d) sampled less than contested (%d)"
        (trials_of loser) (trials_of a))
@@ -126,9 +133,22 @@ let test_topk_tie_uncertified () =
   let candidates =
     [ noisy_candidate w "t1" 0.5; noisy_candidate w "t2" 0.5 ]
   in
-  let r = Topk.run ~eps0:0.05 ~rng ~delta:0.1 ~k:1 candidates in
+  let r = Topk.run ~eps0:0.05 ~compile_fuel:0 ~rng ~delta:0.1 ~k:1 candidates in
   check bool_c "terminates" true (List.length r.Topk.ranked = 1);
   check bool_c "uncertified on a tie" false r.Topk.certified
+
+let test_topk_compiled_tie_certifies () =
+  (* With compilation on, the same tie is two point intervals at exactly
+     0.5: the boundary test holds with equality and the run certifies with
+     zero sampling — compilation removes the singularity. *)
+  let rng = Rng.create ~seed:3 in
+  let w = Wtable.create () in
+  let candidates =
+    [ noisy_candidate w "t1" 0.5; noisy_candidate w "t2" 0.5 ]
+  in
+  let r = Topk.run ~eps0:0.05 ~rng ~delta:0.1 ~k:1 candidates in
+  check bool_c "certified exactly" true r.Topk.certified;
+  check int_c "no sampling" 0 r.Topk.estimator_calls
 
 let test_topk_k_covers_all () =
   let rng = Rng.create ~seed:4 in
@@ -185,6 +205,8 @@ let () =
             test_topk_prunes_clear_losers;
           Alcotest.test_case "ties are uncertified" `Quick
             test_topk_tie_uncertified;
+          Alcotest.test_case "compiled ties certify" `Quick
+            test_topk_compiled_tie_certifies;
           Alcotest.test_case "k >= n" `Quick test_topk_k_covers_all;
           Alcotest.test_case "validation" `Quick test_topk_validation;
           Alcotest.test_case "query on the coin bag" `Quick
