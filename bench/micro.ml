@@ -12,6 +12,7 @@ module Apred = Pqdb_ast.Apred
 module Dnf = Pqdb_montecarlo.Dnf
 module Karp_luby = Pqdb_montecarlo.Karp_luby
 module Mc_confidence = Pqdb_montecarlo.Confidence
+module Budget = Pqdb_montecarlo.Budget
 module Schema = Pqdb_relational.Schema
 module Tuple = Pqdb_relational.Tuple
 
@@ -266,6 +267,9 @@ type bench_entry = {
   be_speedup : float;
   be_trials : int option;
   be_exact_fraction : float option;
+  be_width : float option;
+      (* mean certified interval width over the batch, for the anytime
+         (deadline-governed) entries *)
 }
 
 let confidence_engine () =
@@ -273,7 +277,7 @@ let confidence_engine () =
     "Confidence-engine wall clock: compiled lineage, adaptive stopping, \
      parallel Karp-Luby, hash join";
   let entries = ref [] in
-  let record ?trials ?exact_fraction name seconds baseline =
+  let record ?trials ?exact_fraction ?width name seconds baseline =
     entries :=
       {
         be_name = name;
@@ -281,6 +285,7 @@ let confidence_engine () =
         be_speedup = baseline /. seconds;
         be_trials = trials;
         be_exact_fraction = exact_fraction;
+        be_width = width;
       }
       :: !entries
   in
@@ -452,6 +457,83 @@ let confidence_engine () =
         Printf.sprintf "%.2fx" (fixed_stop /. adaptive_stop);
       ];
     ];
+  (* 2d. Anytime governor (E6b).  Two claims: a generous budget costs about
+     the same as no budget (the governor is one atomic poll per estimator
+     trial), and shrinking deadlines trade certified interval width for
+     wall clock — the brackets widen but stay sound. *)
+  let mean_width (st : Mc_confidence.stats) =
+    let n = Array.length st.Mc_confidence.intervals in
+    if n = 0 then 0.
+    else
+      Array.fold_left
+        (fun acc (lo, hi) -> acc +. (hi -. lo))
+        0. st.Mc_confidence.intervals
+      /. float_of_int n
+  in
+  record ~trials:mixed_trials ~width:(mean_width mixed_stats)
+    "anytime-no-budget" mixed_compiled mixed_compiled;
+  let generous () = Budget.create ~max_trials:max_int () in
+  let governed =
+    Report.time_median (fun () ->
+        ignore
+          (Mc_confidence.run ~budget:(generous ()) (Rng.create ~seed:3)
+             mixed_batch ~eps ~delta))
+  in
+  let _, gov_stats =
+    Mc_confidence.run_with_stats ~budget:(generous ()) (Rng.create ~seed:3)
+      mixed_batch ~eps ~delta
+  in
+  let gov_trials =
+    Array.fold_left ( + ) 0 gov_stats.Mc_confidence.trials_used
+  in
+  record ~trials:gov_trials ~width:(mean_width gov_stats)
+    "anytime-generous-budget" governed mixed_compiled;
+  let deadline_row d =
+    let seconds =
+      Report.time_median (fun () ->
+          ignore
+            (Mc_confidence.run
+               ~budget:(Budget.create ~deadline_s:d ())
+               (Rng.create ~seed:3) mixed_batch ~eps ~delta))
+    in
+    let _, st =
+      Mc_confidence.run_with_stats
+        ~budget:(Budget.create ~deadline_s:d ())
+        (Rng.create ~seed:3) mixed_batch ~eps ~delta
+    in
+    let trials = Array.fold_left ( + ) 0 st.Mc_confidence.trials_used in
+    record ~trials ~width:(mean_width st)
+      (Printf.sprintf "anytime-deadline-%.0fms" (d *. 1000.))
+      seconds mixed_compiled;
+    [
+      Printf.sprintf "deadline %.0fms" (d *. 1000.);
+      Report.fmt_seconds seconds;
+      Report.fmt_int trials;
+      Printf.sprintf "%.4f" (mean_width st);
+      (if st.Mc_confidence.complete then "yes" else "no");
+    ]
+  in
+  let deadline_rows = List.map deadline_row [ 0.05; 0.01; 0.002 ] in
+  Report.table
+    ~header:
+      [ "anytime, mixed 500"; "median"; "trials"; "mean width"; "complete" ]
+    ([
+       [
+         "no budget";
+         Report.fmt_seconds mixed_compiled;
+         Report.fmt_int mixed_trials;
+         Printf.sprintf "%.4f" (mean_width mixed_stats);
+         (if mixed_stats.Mc_confidence.complete then "yes" else "no");
+       ];
+       [
+         "generous budget";
+         Report.fmt_seconds governed;
+         Report.fmt_int gov_trials;
+         Printf.sprintf "%.4f" (mean_width gov_stats);
+         (if gov_stats.Mc_confidence.complete then "yes" else "no");
+       ];
+     ]
+    @ deadline_rows);
   (* 3. Hash join vs the nested-loop baseline it replaced. *)
   let r, s = join_inputs () in
   let nested =
@@ -490,15 +572,16 @@ let confidence_engine () =
         | Some n -> Printf.sprintf ", \"trials_used\": %d" n
         | None -> ""
       in
-      let opt_float = function
-        | Some f -> Printf.sprintf ", \"exact_fraction\": %.4f" f
+      let opt_float key = function
+        | Some f -> Printf.sprintf ", \"%s\": %.4f" key f
         | None -> ""
       in
       Printf.fprintf oc
-        "    {\"name\": \"%s\", \"median_seconds\": %.6e, \"speedup\": %.3f%s%s}%s\n"
+        "    {\"name\": \"%s\", \"median_seconds\": %.6e, \"speedup\": %.3f%s%s%s}%s\n"
         e.be_name e.be_seconds e.be_speedup
         (opt_int e.be_trials)
-        (opt_float e.be_exact_fraction)
+        (opt_float "exact_fraction" e.be_exact_fraction)
+        (opt_float "mean_width" e.be_width)
         (if i = List.length items - 1 then "" else ","))
     items;
   output_string oc "  ]\n}\n";

@@ -46,13 +46,73 @@ let read_query query query_file =
   | Some _, Some _ -> failwith "give either a query or --query-file, not both"
   | None, None -> failwith "no query given (positional argument or --query-file)"
 
+(* Boundary validation: turn bad parameters into friendly messages before
+   they reach the engine as cryptic Invalid_argument/assert failures. *)
+let check_unit_interval name v =
+  if not (v > 0. && v < 1.) then
+    failwith (Printf.sprintf "--%s must be strictly between 0 and 1, got %g" name v)
+
+let check_positive_float name = function
+  | None -> ()
+  | Some v ->
+      if not (v > 0. && Float.is_finite v) then
+        failwith
+          (Printf.sprintf "--%s must be a positive number of seconds, got %g"
+             name v)
+
+let check_positive_int name = function
+  | None -> ()
+  | Some v ->
+      if v <= 0 then
+        failwith (Printf.sprintf "--%s must be a positive integer, got %d" name v)
+
+let check_nonneg_int name = function
+  | None -> ()
+  | Some v ->
+      if v < 0 then
+        failwith (Printf.sprintf "--%s must be non-negative, got %d" name v)
+
+let check_pool_workers_env () =
+  match Sys.getenv_opt "PQDB_POOL_WORKERS" with
+  | None -> ()
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n > 0 -> ()
+      | _ ->
+          failwith
+            (Printf.sprintf
+               "PQDB_POOL_WORKERS must be a positive integer, got %S" s))
+
+let make_budget ~deadline ~max_trials =
+  check_positive_float "deadline" deadline;
+  check_positive_int "max-trials" max_trials;
+  match (deadline, max_trials) with
+  | None, None -> None
+  | _ ->
+      Some
+        (Pqdb_montecarlo.Budget.create ?deadline_s:deadline ?max_trials ())
+
+let report_budget = function
+  | None -> ()
+  | Some b ->
+      Format.printf "-- budget: %d trials spent%s@."
+        (Pqdb_montecarlo.Budget.spent b)
+        (if Pqdb_montecarlo.Budget.exhausted b then
+           ", exhausted (result degraded but sound)"
+         else "")
+
 let print_result_urel u =
   if Urelation.is_complete_rep u then
     Format.printf "%a@." Relation.pp (Urelation.to_relation u)
   else Format.printf "%a@." Urelation.pp u
 
-let run_cmd db tables query_file approx optimize delta eps0 seed query =
+let run_cmd db tables query_file approx optimize delta eps0 deadline
+    max_trials seed query =
   try
+    check_unit_interval "delta" delta;
+    check_unit_interval "eps0" eps0;
+    check_pool_workers_env ();
+    let budget = make_budget ~deadline ~max_trials in
     let udb = load_tables ?db tables in
     let text = read_query query query_file in
     let _views, final = Qparser.parse_program text in
@@ -64,8 +124,8 @@ let run_cmd db tables query_file approx optimize delta eps0 seed query =
     let q = if optimize then Pqdb.Optimizer.optimize_for udb q else q in
     if approx then begin
       let rng = Rng.create ~seed in
-      let result, stats, budget =
-        Pqdb.Eval_approx.eval_with_guarantee ~eps0 ~rng ~delta udb q
+      let result, stats, rounds =
+        Pqdb.Eval_approx.eval_with_guarantee ?budget ~eps0 ~rng ~delta udb q
       in
       print_result_urel result.Pqdb.Eval_approx.urel;
       Format.printf "-- per-tuple error bounds (target %.4g):@." delta;
@@ -81,13 +141,17 @@ let run_cmd db tables query_file approx optimize delta eps0 seed query =
       Format.printf
         "-- %d sigma-hat decisions, %d estimator calls, round budget %d@."
         stats.Pqdb.Eval_approx.decisions
-        stats.Pqdb.Eval_approx.estimator_calls budget
+        stats.Pqdb.Eval_approx.estimator_calls rounds;
+      report_budget budget
     end
     else print_result_urel (Pqdb.Eval_exact.eval udb q);
     0
   with
   | Failure msg | Invalid_argument msg | Sys_error msg ->
       Format.eprintf "error: %s@." msg;
+      1
+  | Pqdb_runtime.Pqdb_error.Error e ->
+      Format.eprintf "error: %s@." (Pqdb_runtime.Pqdb_error.to_string e);
       1
   | Qparser.Error (msg, off) ->
       Format.eprintf "parse error at offset %d: %s@." off msg;
@@ -175,6 +239,9 @@ let explain_cmd db tables query_file query =
   | Failure msg | Invalid_argument msg | Sys_error msg ->
       Format.eprintf "error: %s@." msg;
       1
+  | Pqdb_runtime.Pqdb_error.Error e ->
+      Format.eprintf "error: %s@." (Pqdb_runtime.Pqdb_error.to_string e);
+      1
   | Qparser.Error (msg, off) ->
       Format.eprintf "parse error at offset %d: %s@." off msg;
       1
@@ -182,8 +249,15 @@ let explain_cmd db tables query_file query =
       Format.eprintf "unsupported: %s@." msg;
       1
 
-let topk_cmd db tables query_file k delta seed query =
+let topk_cmd db tables query_file k delta compile_fuel deadline max_trials
+    seed query =
   try
+    check_unit_interval "delta" delta;
+    if k <= 0 then
+      failwith (Printf.sprintf "--k must be a positive integer, got %d" k);
+    check_nonneg_int "compile-fuel" compile_fuel;
+    check_pool_workers_env ();
+    let budget = make_budget ~deadline ~max_trials in
     let udb = load_tables ?db tables in
     let text = read_query query query_file in
     let _views, final = Qparser.parse_program text in
@@ -193,16 +267,20 @@ let topk_cmd db tables query_file k delta seed query =
       | None -> failwith "the program has no final query expression"
     in
     let rng = Rng.create ~seed in
-    let r = Pqdb.Topk.query ~rng ~delta ~k udb q in
+    let r = Pqdb.Topk.query ?budget ?compile_fuel ~rng ~delta ~k udb q in
     List.iteri
       (fun i (t, p) -> Format.printf "%d. %a  (~%.4f)@." (i + 1) Tuple.pp t p)
       r.Pqdb.Topk.ranked;
     Format.printf "-- certified: %b, %d estimator calls, %d rounds@."
       r.Pqdb.Topk.certified r.Pqdb.Topk.estimator_calls r.Pqdb.Topk.rounds;
+    report_budget budget;
     0
   with
   | Failure msg | Invalid_argument msg | Sys_error msg ->
       Format.eprintf "error: %s@." msg;
+      1
+  | Pqdb_runtime.Pqdb_error.Error e ->
+      Format.eprintf "error: %s@." (Pqdb_runtime.Pqdb_error.to_string e);
       1
   | Qparser.Error (msg, off) ->
       Format.eprintf "parse error at offset %d: %s@." off msg;
@@ -337,6 +415,8 @@ let repl_cmd seed =
             Format.printf "opened %s@." dir
         | exception Sys_error msg -> Format.printf "cannot open: %s@." msg
         | exception Invalid_argument msg -> Format.printf "bad db: %s@." msg
+        | exception Pqdb_runtime.Pqdb_error.Error e ->
+            Format.printf "bad db: %s@." (Pqdb_runtime.Pqdb_error.to_string e)
       end
     | [ "\\save"; dir ] -> begin
         match Udb_io.save dir udb with
@@ -424,6 +504,9 @@ let repl_cmd seed =
                    Format.printf "unsupported: %s@." msg
                | Invalid_argument msg | Failure msg ->
                    Format.printf "error: %s@." msg
+               | Pqdb_runtime.Pqdb_error.Error e ->
+                   Format.printf "error: %s@."
+                     (Pqdb_runtime.Pqdb_error.to_string e)
              end
            end
      done
@@ -480,6 +563,25 @@ let eps0_arg =
     & info [ "eps0" ] ~docv:"EPS0"
         ~doc:"Relative-width floor of the predicate approximation.")
 
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline" ] ~docv:"SECS"
+        ~doc:
+          "Anytime mode: wall-clock budget in seconds for the sampling \
+           layers.  On expiry the engine stops sampling and reports what \
+           the trials so far certify (wider intervals, degraded but sound).")
+
+let max_trials_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-trials" ] ~docv:"N"
+        ~doc:
+          "Anytime mode: cap the total number of Monte Carlo estimator \
+           trials across the whole run.")
+
 let seed_arg =
   Arg.(
     value & opt int 42
@@ -494,7 +596,8 @@ let query_arg =
 let run_term =
   Term.(
     const run_cmd $ db_arg $ tables_arg $ query_file_arg $ approx_arg
-    $ optimize_arg $ delta_arg $ eps0_arg $ seed_arg $ query_arg)
+    $ optimize_arg $ delta_arg $ eps0_arg $ deadline_arg $ max_trials_arg
+    $ seed_arg $ query_arg)
 
 let run_cmd_info =
   Cmd.info "run" ~doc:"Evaluate a UA query over CSV base tables."
@@ -525,10 +628,19 @@ let k_arg =
     value & opt int 3
     & info [ "k" ] ~docv:"K" ~doc:"How many tuples to return (default 3).")
 
+let compile_fuel_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "compile-fuel" ] ~docv:"FUEL"
+        ~doc:
+          "Lineage-compilation fuel per candidate (0 disables compilation \
+           and recovers pure-sampling multisimulation).")
+
 let topk_term =
   Term.(
     const topk_cmd $ db_arg $ tables_arg $ query_file_arg $ k_arg $ delta_arg
-    $ seed_arg $ query_arg)
+    $ compile_fuel_arg $ deadline_arg $ max_trials_arg $ seed_arg $ query_arg)
 
 let topk_cmd_info =
   Cmd.info "topk"

@@ -68,7 +68,7 @@ let project_mu ~out_of ann =
   (* out_of : input tuple -> output tuple *)
   TMap.fold (fun t v acc -> add_mu acc (out_of t) v) ann.mu TMap.empty
 
-let sigma_hat_eval ~eps0 ~max_rounds ~sigma_delta ~rng ~stats w
+let sigma_hat_eval ?budget ~eps0 ~max_rounds ~sigma_delta ~rng ~stats w
     { Ua.phi; conf_args; input = _ } input_ann =
   let u = input_ann.au in
   let schema = Urelation.schema u in
@@ -105,8 +105,8 @@ let sigma_hat_eval ~eps0 ~max_rounds ~sigma_delta ~rng ~stats w
              branches arg_positions)
       in
       let decision =
-        Predicate_approx.decide ~eps0 ?max_rounds ~rng ~delta:sigma_delta phi
-          estimators
+        Predicate_approx.decide ?budget ~eps0 ?max_rounds ~rng
+          ~delta:sigma_delta phi estimators
       in
       stats.decisions <- stats.decisions + 1;
       stats.estimator_calls <- stats.estimator_calls + decision.estimator_calls;
@@ -178,20 +178,23 @@ let conf_like a confs value_of =
 (* Structurally identical subexpressions denote the same relation: memoize
    so shared repair-keys create one set of variables and shared sigma-hats
    decide once. *)
-let rec eval_ann ~cache ~eps0 ~max_rounds ~sigma_delta ~rng ~stats udb
+let rec eval_ann ?budget ~cache ~eps0 ~max_rounds ~sigma_delta ~rng ~stats udb
     (q : Ua.t) : ann =
   let key = Format.asprintf "%a" Ua.pp q in
   match Hashtbl.find_opt cache key with
   | Some a -> a
   | None ->
-      let a = eval_ann_raw ~cache ~eps0 ~max_rounds ~sigma_delta ~rng ~stats udb q in
+      let a =
+        eval_ann_raw ?budget ~cache ~eps0 ~max_rounds ~sigma_delta ~rng ~stats
+          udb q
+      in
       Hashtbl.replace cache key a;
       a
 
-and eval_ann_raw ~cache ~eps0 ~max_rounds ~sigma_delta ~rng ~stats udb
+and eval_ann_raw ?budget ~cache ~eps0 ~max_rounds ~sigma_delta ~rng ~stats udb
     (q : Ua.t) : ann =
   let recur q =
-    eval_ann ~cache ~eps0 ~max_rounds ~sigma_delta ~rng ~stats udb q
+    eval_ann ?budget ~cache ~eps0 ~max_rounds ~sigma_delta ~rng ~stats udb q
   in
   let w = Udb.wtable udb in
   match q with
@@ -256,13 +259,35 @@ and eval_ann_raw ~cache ~eps0 ~max_rounds ~sigma_delta ~rng ~stats udb
           (Array.of_list (List.map snd groups))
       in
       let estimates, cstats =
-        Pqdb_montecarlo.Confidence.run_with_stats rng batch ~eps ~delta
+        Pqdb_montecarlo.Confidence.run_with_stats ?budget rng batch ~eps
+          ~delta
       in
       stats.estimator_calls <-
         stats.estimator_calls
         + Array.fold_left ( + ) 0 cstats.Pqdb_montecarlo.Confidence.trials_used;
       let approx = List.mapi (fun i (t, _) -> (t, estimates.(i))) groups in
       let ann = conf_like a approx (fun p -> Value.Float p) in
+      (* Tuples the governor (or a contained failure) kept from reaching the
+         requested ε are singularity-style suspects: their P value only
+         carries the wider achieved bound (Section 6: unreliability is
+         reported as added uncertainty, not as a crash). *)
+      let ann =
+        if cstats.Pqdb_montecarlo.Confidence.complete then ann
+        else
+          let achieved = cstats.Pqdb_montecarlo.Confidence.achieved_eps in
+          let susp =
+            List.fold_left
+              (fun acc (i, (t, _)) ->
+                if achieved.(i) > eps then
+                  TSet.add
+                    (conf_row t estimates.(i) (fun p -> Value.Float p))
+                    acc
+                else acc)
+              ann.susp
+              (List.mapi (fun i g -> (i, g)) groups)
+          in
+          { ann with susp }
+      in
       (* The reported P is outside the ε-relative interval with probability
          at most δ on top of the input's membership error. *)
       let mu =
@@ -313,7 +338,8 @@ and eval_ann_raw ~cache ~eps0 ~max_rounds ~sigma_delta ~rng ~stats udb
       }
   | Ua.ApproxSelect sh ->
       let input_ann = recur sh.input in
-      sigma_hat_eval ~eps0 ~max_rounds ~sigma_delta ~rng ~stats w sh input_ann
+      sigma_hat_eval ?budget ~eps0 ~max_rounds ~sigma_delta ~rng ~stats w sh
+        input_ann
 
 and binary ~recur kind l r =  let a = recur l and b = recur r in
   let au =
@@ -368,7 +394,7 @@ let result_of_ann a =
     unreliable = a.unrel;
   }
 
-let eval ?(eps0 = 0.05) ?max_rounds ?(sigma_delta = 0.05) ~rng udb q =
+let eval ?budget ?(eps0 = 0.05) ?max_rounds ?(sigma_delta = 0.05) ~rng udb q =
   if Ua.has_sigma_hat_below_repair_key q then
     raise
       (Eval_exact.Unsupported
@@ -376,7 +402,9 @@ let eval ?(eps0 = 0.05) ?max_rounds ?(sigma_delta = 0.05) ~rng udb q =
           (footnote 3)");
   let stats = fresh_stats () in
   let cache = Hashtbl.create 64 in
-  let a = eval_ann ~cache ~eps0 ~max_rounds ~sigma_delta ~rng ~stats udb q in
+  let a =
+    eval_ann ?budget ~cache ~eps0 ~max_rounds ~sigma_delta ~rng ~stats udb q
+  in
   (result_of_ann a, stats)
 
 (* Active-domain size: distinct values across the base relations. *)
@@ -394,8 +422,8 @@ let active_domain_size udb =
     (Udb.names udb);
   max 2 (Hashtbl.length seen)
 
-let eval_with_guarantee ?(eps0 = 0.05) ?(initial_rounds = 1) ~rng ~delta udb q
-    =
+let eval_with_guarantee ?budget ?(eps0 = 0.05) ?(initial_rounds = 1) ~rng
+    ~delta udb q =
   let k = max 1 (Ua.max_conf_width q) in
   let d = max 1 (Ua.nesting_depth q) in
   let n = active_domain_size udb in
@@ -408,7 +436,7 @@ let eval_with_guarantee ?(eps0 = 0.05) ?(initial_rounds = 1) ~rng ~delta udb q
   in
   let rec attempt l sigma_delta =
     let udb' = Udb.copy udb in
-    let r, stats = eval ~eps0 ~max_rounds:l ~sigma_delta ~rng udb' q in
+    let r, stats = eval ?budget ~eps0 ~max_rounds:l ~sigma_delta ~rng udb' q in
     accumulate stats;
     Log.debug (fun m ->
         m
@@ -421,7 +449,16 @@ let eval_with_guarantee ?(eps0 = 0.05) ?(initial_rounds = 1) ~rng ~delta udb q
        target shrinks along with the budget doubling because per-tuple
        bounds *sum* over the provenance (Lemma 6.4): a nested query needs
        decisions tighter than the overall delta. *)
-    if max_error r <= delta || l >= l_cap then (r, total, l)
+    let budget_exhausted =
+      match budget with
+      | Some b -> Pqdb_montecarlo.Budget.exhausted b
+      | None -> false
+    in
+    (* An exhausted governor ends the doubling: another attempt could not
+       sample anyway, and the current result already carries sound (wider)
+       bounds and suspects. *)
+    if max_error r <= delta || l >= l_cap || budget_exhausted then
+      (r, total, l)
     else attempt (min l_cap (2 * l)) (sigma_delta /. 2.)
   in
   attempt (max 1 initial_rounds) delta

@@ -40,6 +40,7 @@ val max_error : result -> float
 val error_of : result -> Tuple.t -> float
 
 val eval :
+  ?budget:Pqdb_montecarlo.Budget.t ->
   ?eps0:float ->
   ?max_rounds:int ->
   ?sigma_delta:float ->
@@ -52,10 +53,17 @@ val eval :
     [l] of Theorem 6.7 (default: unlimited, i.e. run Figure 3 to its stopping
     condition).  Mutates the W table via [repair-key] — evaluate on
     {!Pqdb_urel.Udb.copy} when the database must survive.
+
+    [budget] makes the pass anytime: [conf_{ε,δ}] batches and σ̂ decisions
+    charge the shared governor and degrade on exhaustion — estimates stay
+    sound but tuples that missed their (ε, δ) contract are reported as
+    {!result.suspects} (σ̂ decisions additionally count as
+    [round_limit_hits]).
     @raise Eval_exact.Unsupported as the exact evaluator, and additionally
     when [repair-key] sits above a σ̂ (footnote 3 of the paper). *)
 
 val eval_with_guarantee :
+  ?budget:Pqdb_montecarlo.Budget.t ->
   ?eps0:float ->
   ?initial_rounds:int ->
   rng:Rng.t ->
@@ -74,4 +82,7 @@ val eval_with_guarantee :
     Each attempt runs on a fresh {!Pqdb_urel.Udb.copy}, so repair-key
     variables created during evaluation live in that copy's W table; use the
     driver for queries whose result is complete (σ̂ or [conf] on top — the
-    intended use), where result rows carry no conditions. *)
+    intended use), where result rows carry no conditions.
+
+    With a [budget], the doubling also stops (with the current, degraded
+    result) once the governor is exhausted. *)

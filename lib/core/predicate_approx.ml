@@ -46,33 +46,58 @@ let finish ~independent ~value ~eps ~eps_phi ~eps0 ~rounds ~hit_round_limit
     used_floor = eps_phi < eps0;
   }
 
-let decide ?(eps0 = 0.05) ?max_rounds ?(search_iterations = 40) ?batch
+let decide ?budget ?(eps0 = 0.05) ?max_rounds ?(search_iterations = 40) ?batch
     ?(independent = false) ~rng ~delta phi estimators =
   check_args ~delta ~eps0 phi estimators;
+  let total_trials () =
+    Array.fold_left (fun acc est -> acc + Estimator.trials est) 0 estimators
+  in
   let step est =
     match batch with
     | None -> Estimator.step_round rng est (* |F_i| calls, as in Figure 3 *)
     | Some n -> Estimator.batch rng est n
   in
+  let out_of_budget () =
+    match budget with
+    | Some b -> Pqdb_montecarlo.Budget.exhausted b
+    | None -> false
+  in
   let rec loop rounds =
-    Array.iter step estimators;
-    let rounds = rounds + 1 in
-    let p_hat = Array.map Estimator.estimate estimators in
-    (* ε := max(ε₀, ε_ψ(p̂)) with ψ = φ or ¬φ as evaluated at p̂; the
-       truth-directed ε computation covers both cases. *)
-    let eps_phi = Epsilon.epsilon ~search_iterations phi p_hat in
-    let eps = Float.max eps0 eps_phi in
-    if combined_error ~independent estimators ~eps <= delta then
+    if out_of_budget () then begin
+      (* Deadline degradation: decide with whatever the accumulated trials
+         say and report the error bound actually achieved, reusing the
+         round-limit machinery (callers treat these tuples as suspects). *)
+      let p_hat = Array.map Estimator.estimate estimators in
+      let eps_phi = Epsilon.epsilon ~search_iterations phi p_hat in
+      let eps = Float.max eps0 eps_phi in
       finish ~independent
         ~value:(Apred.eval p_hat phi)
-        ~eps ~eps_phi ~eps0 ~rounds ~hit_round_limit:false estimators
+        ~eps ~eps_phi ~eps0 ~rounds ~hit_round_limit:true estimators
+    end
     else begin
-      match max_rounds with
-      | Some limit when rounds >= limit ->
-          finish ~independent
-            ~value:(Apred.eval p_hat phi)
-            ~eps ~eps_phi ~eps0 ~rounds ~hit_round_limit:true estimators
-      | _ -> loop rounds
+      let before = total_trials () in
+      Array.iter step estimators;
+      (match budget with
+      | Some b -> Pqdb_montecarlo.Budget.spend b (total_trials () - before)
+      | None -> ());
+      let rounds = rounds + 1 in
+      let p_hat = Array.map Estimator.estimate estimators in
+      (* ε := max(ε₀, ε_ψ(p̂)) with ψ = φ or ¬φ as evaluated at p̂; the
+         truth-directed ε computation covers both cases. *)
+      let eps_phi = Epsilon.epsilon ~search_iterations phi p_hat in
+      let eps = Float.max eps0 eps_phi in
+      if combined_error ~independent estimators ~eps <= delta then
+        finish ~independent
+          ~value:(Apred.eval p_hat phi)
+          ~eps ~eps_phi ~eps0 ~rounds ~hit_round_limit:false estimators
+      else begin
+        match max_rounds with
+        | Some limit when rounds >= limit ->
+            finish ~independent
+              ~value:(Apred.eval p_hat phi)
+              ~eps ~eps_phi ~eps0 ~rounds ~hit_round_limit:true estimators
+        | _ -> loop rounds
+      end
     end
   in
   (* Degenerate case: every estimator already exact (trivial DNFs). *)

@@ -30,6 +30,7 @@ type decision = {
 }
 
 val decide :
+  ?budget:Pqdb_montecarlo.Budget.t ->
   ?eps0:float ->
   ?max_rounds:int ->
   ?search_iterations:int ->
@@ -48,7 +49,11 @@ val decide :
     Figure 3's [Σᵢ δᵢ(ε)]) switches the combined bound to the tighter
     [1 − Πᵢ(1 − δᵢ(ε))] that Lemma 5.1's remark justifies for independent
     Karp-Luby runs.  The estimators keep their accumulated
-    trials, so successive calls refine rather than restart.
+    trials, so successive calls refine rather than restart.  [budget]
+    (default: none) makes the decision anytime: every round charges the
+    shared {!Pqdb_montecarlo.Budget} and, once it is exhausted, the decision
+    is made with the trials accumulated so far and flagged
+    [hit_round_limit = true], so callers treat it as a suspect.
     @raise Invalid_argument when [delta <= 0], [eps0 <= 0], or the predicate
     mentions more variables than there are estimators. *)
 

@@ -50,7 +50,8 @@ let update_interval ~delta_r c =
   c.lo <- Float.max 0. (Compile.value c.comp (Array.map fst intervals));
   c.hi <- Float.min 1. (Compile.value c.comp (Array.map snd intervals))
 
-let run ?(eps0 = 0.01) ?max_rounds ?compile_fuel ~rng ~delta ~k candidates =
+let run ?budget ?(eps0 = 0.01) ?max_rounds ?compile_fuel ~rng ~delta ~k
+    candidates =
   if k <= 0 then invalid_arg "Topk.run: k must be positive";
   if candidates = [] then invalid_arg "Topk.run: no candidates";
   let cands =
@@ -99,15 +100,47 @@ let run ?(eps0 = 0.01) ?max_rounds ?compile_fuel ~rng ~delta ~k candidates =
                  && (not (is_exact_candidate c))
                  && eps_at c ~delta_r:(delta_r c) > eps0)
         in
+        let out_of_budget =
+          match budget with
+          | Some b -> Pqdb_montecarlo.Budget.exhausted b
+          | None -> false
+        in
         match refinable with
         | [] -> (order, false) (* ties at the eps0 floor: uncertified *)
+        | _ when out_of_budget ->
+            (* Anytime exit: the current ranking with its (sound) intervals,
+               explicitly uncertified. *)
+            (order, false)
         | _ ->
+            let before =
+              match budget with
+              | None -> 0
+              | Some _ ->
+                  Array.fold_left
+                    (fun acc c ->
+                      Array.fold_left
+                        (fun acc est -> acc + Estimator.trials est)
+                        acc c.ests)
+                    0 cands
+            in
             List.iter
               (fun c ->
                 Array.iter
                   (fun est -> Estimator.step_round rng est)
                   c.ests)
               refinable;
+            (match budget with
+            | None -> ()
+            | Some b ->
+                let after =
+                  Array.fold_left
+                    (fun acc c ->
+                      Array.fold_left
+                        (fun acc est -> acc + Estimator.trials est)
+                        acc c.ests)
+                    0 cands
+                in
+                Pqdb_montecarlo.Budget.spend b (after - before));
             incr rounds;
             (match max_rounds with
             | Some limit when !rounds >= limit -> (order, false)
@@ -143,7 +176,7 @@ let run ?(eps0 = 0.01) ?max_rounds ?compile_fuel ~rng ~delta ~k candidates =
              if t > 0 then Some (c.tuple, t) else None);
   }
 
-let query ?eps0 ?max_rounds ?compile_fuel ~rng ~delta ~k udb q =
+let query ?budget ?eps0 ?max_rounds ?compile_fuel ~rng ~delta ~k udb q =
   let u = Eval_exact.eval udb q in
   let w = Udb.wtable udb in
   let candidates =
@@ -151,4 +184,4 @@ let query ?eps0 ?max_rounds ?compile_fuel ~rng ~delta ~k udb q =
       (fun t -> (t, Dnf.prepare w (Urelation.clauses_for u t)))
       (Urelation.possible_tuples u)
   in
-  run ?eps0 ?max_rounds ?compile_fuel ~rng ~delta ~k candidates
+  run ?budget ?eps0 ?max_rounds ?compile_fuel ~rng ~delta ~k candidates

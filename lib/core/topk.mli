@@ -36,6 +36,7 @@ type result = {
 }
 
 val run :
+  ?budget:Pqdb_montecarlo.Budget.t ->
   ?eps0:float ->
   ?max_rounds:int ->
   ?compile_fuel:int ->
@@ -49,10 +50,13 @@ val run :
     {!Pqdb_montecarlo.Compile.default_fuel}; [~compile_fuel:0] recovers
     pure-sampling multisimulation).  [delta] is split evenly across
     candidates, then across each candidate's residuals, for the per-tuple
-    interval bounds.
+    interval bounds.  [budget] makes the ranking anytime: refinement rounds
+    charge the shared governor, and on exhaustion the current order is
+    returned with [certified = false] (its interval bounds remain sound).
     @raise Invalid_argument when [k <= 0] or there are no candidates. *)
 
 val query :
+  ?budget:Pqdb_montecarlo.Budget.t ->
   ?eps0:float ->
   ?max_rounds:int ->
   ?compile_fuel:int ->

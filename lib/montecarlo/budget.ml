@@ -1,0 +1,51 @@
+type t = {
+  deadline : float option;  (* absolute Unix time *)
+  max_trials : int option;
+  cancelled_flag : bool Atomic.t;
+  trials : int Atomic.t;
+  expired : bool Atomic.t;  (* sticky deadline observation *)
+}
+
+let create ?deadline_s ?max_trials () =
+  (match deadline_s with
+  | Some d when d <= 0. -> invalid_arg "Budget.create: deadline_s must be positive"
+  | _ -> ());
+  (match max_trials with
+  | Some n when n <= 0 -> invalid_arg "Budget.create: max_trials must be positive"
+  | _ -> ());
+  {
+    deadline = Option.map (fun d -> Unix.gettimeofday () +. d) deadline_s;
+    max_trials;
+    cancelled_flag = Atomic.make false;
+    trials = Atomic.make 0;
+    expired = Atomic.make false;
+  }
+
+let cancel t = Atomic.set t.cancelled_flag true
+let cancelled t = Atomic.get t.cancelled_flag
+let spend t n = if n > 0 then ignore (Atomic.fetch_and_add t.trials n)
+let spent t = Atomic.get t.trials
+
+let remaining_trials t =
+  match t.max_trials with
+  | None -> max_int
+  | Some m -> max 0 (m - Atomic.get t.trials)
+
+let past_deadline t =
+  match t.deadline with
+  | None -> false
+  | Some d ->
+      Atomic.get t.expired
+      ||
+      if Unix.gettimeofday () > d then begin
+        Atomic.set t.expired true;
+        true
+      end
+      else false
+
+let exhausted t =
+  Atomic.get t.cancelled_flag
+  || (match t.max_trials with
+     | Some m -> Atomic.get t.trials >= m
+     | None -> false)
+  || past_deadline t

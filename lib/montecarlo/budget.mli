@@ -1,0 +1,47 @@
+(** Resource governor for anytime confidence computation.
+
+    A budget carries up to three cooperative limits — a wall-clock deadline,
+    a total estimator-trial budget, and a cancellation flag — and is
+    threaded through the sampling layers ({!Karp_luby}, {!Compile.solve},
+    {!Confidence.run}, top-k, predicate decisions).  Layers poll
+    {!exhausted} inside their sampling loops and, on exhaustion, {e degrade
+    instead of failing}: they stop sampling and report what the trials spent
+    so far certify (a wider interval / a larger achieved ε), in the spirit
+    of the paper's Section 6 treatment of unreliability as added
+    uncertainty.
+
+    A budget is shared: all tuples of a batch (across all pool domains)
+    draw from the same trial pool and watch the same deadline.  All
+    operations are atomic/lock-free and safe from worker domains.
+
+    No-budget calls ([?budget] left [None]) take the exact pre-existing
+    code paths — zero overhead, bit-identical results. *)
+
+type t
+
+val create : ?deadline_s:float -> ?max_trials:int -> unit -> t
+(** [deadline_s] is relative wall-clock seconds from now; [max_trials]
+    bounds the total estimator calls charged via {!spend}.  Omitting both
+    yields a budget that only exhausts via {!cancel}.
+    @raise Invalid_argument when [deadline_s <= 0] or [max_trials <= 0]. *)
+
+val cancel : t -> unit
+(** Cooperative cancellation: every subsequent {!exhausted} returns
+    [true]. *)
+
+val cancelled : t -> bool
+
+val spend : t -> int -> unit
+(** Charge [n] estimator trials against the budget. *)
+
+val spent : t -> int
+(** Total trials charged so far. *)
+
+val remaining_trials : t -> int
+(** Trials left before the trial budget exhausts ([max_int] when
+    unlimited); never negative. *)
+
+val exhausted : t -> bool
+(** [true] once the budget is cancelled, over its trial budget, or past its
+    deadline.  The deadline check is sticky: once observed expired it stays
+    expired, so a loop polling [exhausted] terminates promptly. *)

@@ -111,7 +111,15 @@ let size t =
   in
   go t.root
 
-type outcome = { value : float; trials : int; residual_mass : float }
+type outcome = {
+  value : float;
+  trials : int;
+  residual_mass : float;
+  lo : float;
+  hi : float;
+  achieved_eps : float;
+  complete : bool;
+}
 
 (* Worst-case estimator calls to answer [dnf] at relative [eps], failure
    [delta] — the fixed Chernoff budget the adaptive sampler is capped at. *)
@@ -120,75 +128,165 @@ let cost_cap dnf ~eps ~delta =
   else if Dnf.clause_count dnf = 1 then 0
   else Pqdb_numeric.Stats.karp_luby_trials ~clauses:(Dnf.clause_count dnf) ~eps ~delta
 
+let residual_ub dnf = Float.min 1. (Dnf.total_weight dnf)
+
+let vacuous_interval t =
+  if is_exact t then
+    let v = eval_node [||] t.root in
+    (v, v)
+  else
+    (* The monotone tree at the residual extremes: the lower endpoint is the
+       exact compiled mass — what the tuple is worth with every residual
+       written off — and the upper endpoint charges each residual its full
+       a-priori mass min(1, Mᵢ). *)
+    let zeros = Array.map (fun _ -> 0.) t.residuals in
+    let ubs = Array.map residual_ub t.residuals in
+    ( Float.max 0. (eval_node zeros t.root),
+      Float.min 1. (eval_node ubs t.root) )
+
+(* Per-residual sampling result: estimate, sound probability interval,
+   relative error certified at the residual's δ share (0 = exact, infinity =
+   vacuous), and whether the residual's own (ε, δ) ask was met. *)
+type rres = { r_est : float; r_lo : float; r_hi : float; r_eps : float; r_ok : bool }
+
+let r_vacuous dnf =
+  { r_est = 0.; r_lo = 0.; r_hi = residual_ub dnf; r_eps = Float.infinity; r_ok = false }
+
+let r_point p = { r_est = p; r_lo = p; r_hi = p; r_eps = 0.; r_ok = true }
+
+let r_certified dnf ~eps p =
+  let ub = residual_ub dnf in
+  { r_est = p;
+    r_lo = Float.max 0. (p /. (1. +. eps));
+    r_hi = (if eps >= 1. then ub else Float.min ub (p /. (1. -. eps)));
+    r_eps = eps;
+    r_ok = true }
+
+(* One contained adaptive pass over a residual.  Any estimator failure
+   (injected or real) degrades that residual to its vacuous interval instead
+   of aborting the tuple. *)
+let sample_residual rng trials dnf ~eps ~delta =
+  match Karp_luby.adaptive rng dnf ~eps ~delta with
+  | p, n ->
+      trials := !trials + n;
+      if n = 0 then r_point p else r_certified dnf ~eps p
+  | exception _ -> r_vacuous dnf
+
+(* Returns (per-residual results, trials, complete): [complete] means the
+   pass certifies the root at relative [eps] (error propagation lemma +
+   union bound, or the exact-mass tightening argument below). *)
 let solve_residuals rng t ~eps ~delta =
   let r = Array.length t.residuals in
   let trials = ref 0 in
-  let vals =
-    if eps >= 0.5 then begin
-      (* Coarse target: a single adaptive pass per residual at (eps, δ/r)
-         already meets the guarantee (error propagation lemma + union
-         bound). *)
-      let d = delta /. float_of_int r in
-      Array.map
-        (fun dnf ->
-          let p, n = Karp_luby.adaptive rng dnf ~eps ~delta:d in
-          trials := !trials + n;
-          p)
-        t.residuals
-    end
+  if eps >= 0.5 then begin
+    (* Coarse target: a single adaptive pass per residual at (eps, δ/r)
+       already meets the guarantee (error propagation lemma + union
+       bound). *)
+    let d = delta /. float_of_int r in
+    let rrs = Array.map (fun dnf -> sample_residual rng trials dnf ~eps ~delta:d) t.residuals in
+    (rrs, !trials, Array.for_all (fun rr -> rr.r_ok) rrs)
+  end
+  else begin
+    (* Exact-mass tightening.  Phase 1: coarse (ε₁ = ½) estimates of every
+       residual, spending δ/2r each.  They yield, with probability
+       ≥ 1 − δ/2:
+         T_lo = value(p̂/1.5)   ≤ true tuple confidence   (monotone tree)
+         S_hi = 1.5·Σ wᵢ·p̂ᵢ    ≥ Σ wᵢ·pᵢ                  (sensitivity)
+       Since |Δvalue| ≤ Σ wᵢ·|Δpᵢ| (the path weights bound the partial
+       derivatives of the multilinear tree), sampling every residual at
+       relative ε₂ keeps the tuple error ≤ ε₂·Σwᵢpᵢ ≤ ε₂·S_hi.  So
+       ε₂ = ε·T_lo/S_hi suffices for a relative-ε answer — the exact mass
+       already in T_lo buys a looser, cheaper residual target.  Phase 2
+       re-samples at (max ε ε₂, δ/2r); if ε₂ ≥ ½ the phase-1 estimates
+       are already good enough and phase 2 is skipped.  A residual that
+       failed in phase 1 contributes 0 to both bounds and is not
+       re-sampled; one that fails in phase 2 keeps its (coarser) phase-1
+       certificate.  Either failure voids the root's ε contract
+       ([complete = false]) but never its interval. *)
+    let eps1 = 0.5 in
+    let d = delta /. 2. /. float_of_int r in
+    let p1 =
+      Array.map (fun dnf -> sample_residual rng trials dnf ~eps:eps1 ~delta:d) t.residuals
+    in
+    let t_lo = eval_node (Array.map (fun rr -> rr.r_lo) p1) t.root in
+    let s_hi =
+      (1. +. eps1)
+      *. snd
+           (Array.fold_left
+              (fun (i, acc) rr -> (i + 1, acc +. (t.res_weights.(i) *. rr.r_est)))
+              (0, 0.) p1)
+    in
+    let eps2 = if s_hi <= 0. then 1. else Float.max eps (eps *. t_lo /. s_hi) in
+    if eps2 >= eps1 then (p1, !trials, Array.for_all (fun rr -> rr.r_ok) p1)
     else begin
-      (* Exact-mass tightening.  Phase 1: coarse (ε₁ = ½) estimates of every
-         residual, spending δ/2r each.  They yield, with probability
-         ≥ 1 − δ/2:
-           T_lo = value(p̂/1.5)   ≤ true tuple confidence   (monotone tree)
-           S_hi = 1.5·Σ wᵢ·p̂ᵢ    ≥ Σ wᵢ·pᵢ                  (sensitivity)
-         Since |Δvalue| ≤ Σ wᵢ·|Δpᵢ| (the path weights bound the partial
-         derivatives of the multilinear tree), sampling every residual at
-         relative ε₂ keeps the tuple error ≤ ε₂·Σwᵢpᵢ ≤ ε₂·S_hi.  So
-         ε₂ = ε·T_lo/S_hi suffices for a relative-ε answer — the exact mass
-         already in T_lo buys a looser, cheaper residual target.  Phase 2
-         re-samples at (max ε ε₂, δ/2r); if ε₂ ≥ ½ the phase-1 estimates
-         are already good enough and phase 2 is skipped. *)
-      let eps1 = 0.5 in
-      let d = delta /. 2. /. float_of_int r in
-      let p1 =
-        Array.map
-          (fun dnf ->
-            let p, n = Karp_luby.adaptive rng dnf ~eps:eps1 ~delta:d in
-            trials := !trials + n;
-            p)
-          t.residuals
+      let rrs =
+        Array.mapi
+          (fun i rr1 ->
+            if not rr1.r_ok then rr1
+            else
+              let rr2 = sample_residual rng trials t.residuals.(i) ~eps:eps2 ~delta:d in
+              if rr2.r_ok then rr2 else rr1)
+          p1
       in
-      let t_lo =
-        eval_node (Array.map (fun p -> p /. (1. +. eps1)) p1) t.root
-      in
-      let s_hi =
-        (1. +. eps1)
-        *. snd
-             (Array.fold_left
-                (fun (i, acc) p -> (i + 1, acc +. (t.res_weights.(i) *. p)))
-                (0, 0.) p1)
-      in
-      let eps2 =
-        if s_hi <= 0. then 1. else Float.max eps (eps *. t_lo /. s_hi)
-      in
-      if eps2 >= eps1 then p1
-      else
-        Array.map
-          (fun dnf ->
-            let p, n = Karp_luby.adaptive rng dnf ~eps:eps2 ~delta:d in
-            trials := !trials + n;
-            p)
-          t.residuals
+      ( rrs,
+        !trials,
+        Array.for_all (fun rr -> rr.r_ok && rr.r_eps <= eps2) rrs )
     end
-  in
-  (vals, !trials)
+  end
 
-let solve rng t ~eps ~delta =
+(* Assemble the tuple outcome from per-residual results.  The interval
+   always holds with probability ≥ 1 − δ: the monotone tree maps sound
+   per-residual intervals to a sound root interval, and on a complete pass
+   the relative-ε claim [v/(1+ε), v/(1−ε)] is intersected in. *)
+let assemble t rrs ~eps ~trials ~complete =
+  let v = eval_node (Array.map (fun rr -> rr.r_est) rrs) t.root in
+  let lo_tree = eval_node (Array.map (fun rr -> rr.r_lo) rrs) t.root in
+  let hi_tree = eval_node (Array.map (fun rr -> rr.r_hi) rrs) t.root in
+  let lo = Float.max 0. lo_tree and hi = Float.min 1. hi_tree in
+  let lo, hi =
+    if complete then
+      ( Float.max lo (v /. (1. +. eps)),
+        if eps >= 1. then hi else Float.min hi (v /. (1. -. eps)) )
+    else (lo, hi)
+  in
+  let mass = ref 0. in
+  Array.iteri (fun i rr -> mass := !mass +. (t.res_weights.(i) *. rr.r_est)) rrs;
+  let achieved_eps =
+    if complete then eps
+    else Array.fold_left (fun acc rr -> Float.max acc rr.r_eps) 0. rrs
+  in
+  { value = v;
+    trials;
+    residual_mass = Float.min v !mass;
+    lo;
+    hi = Float.max lo hi;
+    achieved_eps;
+    complete }
+
+let exact_outcome v =
+  { value = v; trials = 0; residual_mass = 0.; lo = v; hi = v;
+    achieved_eps = 0.; complete = true }
+
+(* The truncation-guard path samples the whole normalized DNF instead of the
+   residual leaves; the compiled tree still brackets the answer when that
+   sampling fails or runs out of budget. *)
+let fallback_outcome t partial =
+  let open Karp_luby in
+  let tree_lo, tree_hi = vacuous_interval t in
+  let lo = Float.max tree_lo partial.p_lo
+  and hi = Float.min tree_hi partial.p_hi in
+  { value = partial.p_estimate;
+    trials = partial.p_trials;
+    residual_mass = partial.p_estimate;
+    lo;
+    hi = Float.max lo hi;
+    achieved_eps = partial.p_eps;
+    complete = partial.p_complete }
+
+let solve ?budget rng t ~eps ~delta =
   if eps <= 0. || delta <= 0. then invalid_arg "Compile.solve";
   let r = Array.length t.residuals in
-  if r = 0 then
-    { value = eval_node [||] t.root; trials = 0; residual_mass = 0. }
+  if r = 0 then exact_outcome (eval_node [||] t.root)
   else begin
     (* Truncation guard: Shannon cut-off can leave residual leaves whose
        combined worst-case budget exceeds just sampling the original DNF
@@ -207,18 +305,42 @@ let solve rng t ~eps ~delta =
     in
     if plain_cap < compiled_cap then begin
       let dnf = Option.get t.fallback in
-      let p, n = Karp_luby.adaptive rng dnf ~eps ~delta in
-      { value = p; trials = n; residual_mass = p }
+      match Karp_luby.adaptive_partial ?budget rng dnf ~eps ~delta with
+      | partial -> fallback_outcome t partial
+      | exception _ ->
+          (* Sampling the fallback died outright: all that remains sound is
+             the compiled bracket. *)
+          let lo, hi = vacuous_interval t in
+          { value = lo; trials = 0; residual_mass = 0.; lo; hi;
+            achieved_eps = Float.infinity; complete = false }
     end
-    else begin
-      let vals, trials = solve_residuals rng t ~eps ~delta in
-      let v = eval_node vals t.root in
-      let mass = ref 0. in
-      Array.iteri
-        (fun i p -> mass := !mass +. (t.res_weights.(i) *. p))
-        vals;
-      { value = v; trials; residual_mass = Float.min v !mass }
-    end
+    else
+      match budget with
+      | None ->
+          let rrs, trials, complete = solve_residuals rng t ~eps ~delta in
+          assemble t rrs ~eps ~trials ~complete
+      | Some _ ->
+          (* Budget-governed: one partial pass per residual at (ε, δ/r),
+             all charging the shared governor.  Residuals past the deadline
+             come back with whatever interval their trials certify. *)
+          let d = delta /. float_of_int r in
+          let trials = ref 0 in
+          let rrs =
+            Array.map
+              (fun dnf ->
+                match Karp_luby.adaptive_partial ?budget rng dnf ~eps ~delta:d with
+                | p ->
+                    trials := !trials + p.Karp_luby.p_trials;
+                    { r_est = p.Karp_luby.p_estimate;
+                      r_lo = p.Karp_luby.p_lo;
+                      r_hi = p.Karp_luby.p_hi;
+                      r_eps = p.Karp_luby.p_eps;
+                      r_ok = p.Karp_luby.p_complete }
+                | exception _ -> r_vacuous dnf)
+              t.residuals
+          in
+          let complete = Array.for_all (fun rr -> rr.r_ok) rrs in
+          assemble t rrs ~eps ~trials:!trials ~complete
   end
 
 let confidence ?fuel rng w clauses ~eps ~delta =

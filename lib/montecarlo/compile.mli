@@ -74,9 +74,28 @@ type outcome = {
       (** Σ path-weight·p̂ over residuals, clamped to [value]: the share of
           the reported probability that rests on sampling.  [0] when exact;
           [1 − residual_mass/value] is the per-tuple exact fraction. *)
+  lo : float;
+  hi : float;
+      (** a sound probability interval for the tuple confidence, holding
+          with probability ≥ 1 − δ: per-residual certified intervals pushed
+          through the monotone tree, intersected with the relative-ε bracket
+          when [complete].  Degenerates to a point when exact; never wider
+          than the a-priori {!vacuous_interval}. *)
+  achieved_eps : float;
+      (** the relative error actually certified at confidence δ: the
+          requested ε when [complete], the worst residual's partial-trial
+          ε′ otherwise ([infinity] when some residual is vacuous, [0] when
+          exact) *)
+  complete : bool;  (** the requested (ε, δ) contract was met *)
 }
 
-val solve : Rng.t -> t -> eps:float -> delta:float -> outcome
+val vacuous_interval : t -> float * float
+(** The a-priori bracket on the tuple confidence, free of any sampling:
+    the monotone tree evaluated with every residual at 0 (the exact
+    compiled mass — a hard floor) and at its full mass [min(1, Mᵢ)].  A
+    point when [is_exact]. *)
+
+val solve : ?budget:Budget.t -> Rng.t -> t -> eps:float -> delta:float -> outcome
 (** Estimate every residual with {!Karp_luby.adaptive} and evaluate the
     tree; by the error propagation above the result is an (ε, δ) relative
     approximation of the tuple confidence.  Residuals are sampled in order
@@ -101,6 +120,15 @@ val solve : Rng.t -> t -> eps:float -> delta:float -> outcome
        Chernoff caps and falls back to one adaptive pass over the whole
        normalized DNF when that is cheaper — compilation never costs more
        than a bounded overhead relative to pure FPRAS.}}
+
+    {e Degradation}: estimator failures are contained per residual — a
+    residual whose sampling raises keeps its vacuous interval and the tuple
+    still comes back with a sound (wider) [lo, hi] and [complete = false].
+    With a [budget], every residual pass charges the shared governor
+    ({!Karp_luby.adaptive_partial}) and stops at exhaustion, reporting the
+    interval its partial trials certify.  Without a budget the call consumes
+    the RNG exactly as before and returns [complete = true] with
+    [achieved_eps = eps].
     @raise Invalid_argument when [eps <= 0] or [delta <= 0]. *)
 
 val confidence :

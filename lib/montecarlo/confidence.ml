@@ -6,7 +6,13 @@ type batch = {
   comps : Compile.t array;
 }
 
-type stats = { trials_used : int array; exact_fraction : float }
+type stats = {
+  trials_used : int array;
+  exact_fraction : float;
+  intervals : (float * float) array;
+  achieved_eps : float array;
+  complete : bool;
+}
 
 let prepare ?compile_fuel w clause_sets =
   (* Serial phase: compilation prepares every residual DNF's sampling tables
@@ -37,7 +43,7 @@ let cost_bound batch i ~eps ~delta =
     0
     (Compile.residuals batch.comps.(i))
 
-let run_with_stats ?nworkers rng batch ~eps ~delta =
+let run_with_stats ?budget ?nworkers rng batch ~eps ~delta =
   if eps <= 0. || delta <= 0. then invalid_arg "Confidence.run";
   let nworkers =
     match nworkers with Some n -> n | None -> Pool.default_workers ()
@@ -48,6 +54,11 @@ let run_with_stats ?nworkers rng batch ~eps ~delta =
   let out = Array.make n 0. in
   let trials_used = Array.make n 0 in
   let masses = Array.make n 0. in
+  let intervals = Array.make n (0., 0.) in
+  let achieved = Array.make n 0. in
+  (* Flipped (from any domain) the moment a tuple misses its (ε, δ)
+     contract or a task/pool failure is contained. *)
+  let all_complete = Atomic.make true in
   if n > 0 then begin
     (* One child stream and one output slot per tuple: the estimates are
        bit-deterministic for a fixed parent RNG state, independent of the
@@ -55,13 +66,22 @@ let run_with_stats ?nworkers rng batch ~eps ~delta =
     let rngs = Rng.split_n rng n in
     (* Tuples the compiler resolved in closed form cost nothing — fill them
        here and farm only the ones with residual sampling work, longest
-       worst-case budget first. *)
+       worst-case budget first.  Live tuples are pre-filled with their
+       a-priori compiled bracket so that a tuple whose task never runs (or
+       dies) still reports a sound interval instead of garbage. *)
     let live = ref [] in
     Array.iteri
       (fun i comp ->
         match Compile.exact_value comp with
-        | Some p -> out.(i) <- p
-        | None -> live := i :: !live)
+        | Some p ->
+            out.(i) <- p;
+            intervals.(i) <- (p, p)
+        | None ->
+            let lo, hi = Compile.vacuous_interval comp in
+            out.(i) <- lo;
+            intervals.(i) <- (lo, hi);
+            achieved.(i) <- Float.infinity;
+            live := i :: !live)
       batch.comps;
     let live =
       Array.of_list
@@ -72,13 +92,29 @@ let run_with_stats ?nworkers rng batch ~eps ~delta =
            (List.rev !live))
     in
     let ntasks = Array.length live in
-    if ntasks > 0 then
-      Pool.run (Pool.create (min nworkers ntasks)) ~ntasks (fun k ->
-          let i = live.(k) in
-          let o = Compile.solve rngs.(i) batch.comps.(i) ~eps ~delta in
-          out.(i) <- o.value;
-          trials_used.(i) <- o.trials;
-          masses.(i) <- o.residual_mass)
+    if ntasks > 0 then begin
+      let task k =
+        let i = live.(k) in
+        match Compile.solve ?budget rngs.(i) batch.comps.(i) ~eps ~delta with
+        | o ->
+            out.(i) <- o.Compile.value;
+            trials_used.(i) <- o.Compile.trials;
+            masses.(i) <- o.Compile.residual_mass;
+            intervals.(i) <- (o.Compile.lo, o.Compile.hi);
+            achieved.(i) <- o.Compile.achieved_eps;
+            if not o.Compile.complete then Atomic.set all_complete false
+        | exception _ ->
+            (* Keep the pre-filled bracket; the batch must survive any
+               single tuple. *)
+            Atomic.set all_complete false
+      in
+      (* A pool-level failure (a task the pool itself could not run, a
+         spawn problem surfacing late) degrades the whole batch to its
+         pre-filled brackets rather than crashing it. *)
+      match Pool.run (Pool.create (min nworkers ntasks)) ~ntasks task with
+      | () -> ()
+      | exception _ -> Atomic.set all_complete false
+    end
   end;
   let total_value = Array.fold_left ( +. ) 0. out in
   let sampled_mass = Array.fold_left ( +. ) 0. masses in
@@ -86,16 +122,23 @@ let run_with_stats ?nworkers rng batch ~eps ~delta =
     if total_value <= 0. then 1.
     else Float.max 0. (1. -. (sampled_mass /. total_value))
   in
-  (out, { trials_used; exact_fraction })
+  ( out,
+    {
+      trials_used;
+      exact_fraction;
+      intervals;
+      achieved_eps = achieved;
+      complete = Atomic.get all_complete;
+    } )
 
-let run ?nworkers rng batch ~eps ~delta =
-  fst (run_with_stats ?nworkers rng batch ~eps ~delta)
+let run ?budget ?nworkers rng batch ~eps ~delta =
+  fst (run_with_stats ?budget ?nworkers rng batch ~eps ~delta)
 
-let batch_fpras ?nworkers ?compile_fuel rng w clause_sets ~eps ~delta =
-  run ?nworkers rng (prepare ?compile_fuel w clause_sets) ~eps ~delta
+let batch_fpras ?budget ?nworkers ?compile_fuel rng w clause_sets ~eps ~delta =
+  run ?budget ?nworkers rng (prepare ?compile_fuel w clause_sets) ~eps ~delta
 
-let approx_confidences ?nworkers ?compile_fuel rng w u ~eps ~delta =
+let approx_confidences ?budget ?nworkers ?compile_fuel rng w u ~eps ~delta =
   let groups = Urelation.clauses_by_tuple u in
   let batch = prepare ?compile_fuel w (Array.of_list (List.map snd groups)) in
-  let estimates = run ?nworkers rng batch ~eps ~delta in
+  let estimates = run ?budget ?nworkers rng batch ~eps ~delta in
   List.mapi (fun i (t, _) -> (t, estimates.(i))) groups

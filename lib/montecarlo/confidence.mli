@@ -28,6 +28,20 @@ type stats = {
       (** Share of the batch's total probability mass resolved in closed
           form: [1 − Σ residual_mass / Σ estimate].  [1] when nothing needed
           sampling (or the batch is empty / all-zero). *)
+  intervals : (float * float) array;
+      (** Per tuple, a sound [lo, hi] bracket on the true confidence holding
+          with probability ≥ 1 − δ ({!Compile.outcome}).  A point for
+          compiled-exact tuples; the a-priori compiled bracket for tuples
+          whose sampling never ran (budget exhausted early, contained
+          failure). *)
+  achieved_eps : float array;
+      (** Per tuple, the relative error actually certified: the requested ε
+          on a complete run, the partial-trial ε′ under a budget, [infinity]
+          when only the a-priori bracket holds, [0] for exact tuples. *)
+  complete : bool;
+      (** Every tuple met the requested (ε, δ) contract.  [false] means the
+          run degraded somewhere — inspect [achieved_eps]/[intervals] —
+          but the estimates and brackets are still sound. *)
 }
 
 val prepare : ?compile_fuel:int -> Wtable.t -> Assignment.t list array -> batch
@@ -43,25 +57,41 @@ val total_trials : batch -> eps:float -> delta:float -> int
     pay.  The compiled run typically spends far less; compare against
     {!stats.trials_used}. *)
 
-val run : ?nworkers:int -> Rng.t -> batch -> eps:float -> delta:float -> float array
+val run :
+  ?budget:Budget.t -> ?nworkers:int -> Rng.t -> batch ->
+  eps:float -> delta:float -> float array
 (** Per-tuple (ε, δ) estimates, in the order of the prepared clause sets.
     [nworkers] defaults to {!Pool.default_workers}.
     @raise Invalid_argument when [eps <= 0], [delta <= 0] or [nworkers <= 0]. *)
 
 val run_with_stats :
-  ?nworkers:int -> Rng.t -> batch -> eps:float -> delta:float ->
-  float array * stats
-(** As {!run}, also reporting the per-tuple trial spend and the batch exact
-    fraction. *)
+  ?budget:Budget.t -> ?nworkers:int -> Rng.t -> batch ->
+  eps:float -> delta:float -> float array * stats
+(** As {!run}, also reporting the per-tuple trial spend, the batch exact
+    fraction, and the soundness brackets.
+
+    With a [budget], all tuples charge the shared governor and the call is
+    {e anytime}: on exhaustion the remaining sampling is cut short and
+    every tuple still reports a sound interval — the partial-trial bracket
+    for tuples cut mid-flight, the a-priori compiled bracket for tuples
+    never reached — with [stats.complete = false].  Without a budget the
+    estimates are bit-identical to previous releases.
+
+    The call never throws because of a single tuple: per-tuple failures
+    (including injected ones) are contained and degrade that tuple to its
+    sound bracket; pool-level failures degrade the whole batch to the
+    pre-filled brackets. *)
 
 val batch_fpras :
-  ?nworkers:int -> ?compile_fuel:int -> Rng.t -> Wtable.t ->
-  Assignment.t list array -> eps:float -> delta:float -> float array
+  ?budget:Budget.t -> ?nworkers:int -> ?compile_fuel:int -> Rng.t ->
+  Wtable.t -> Assignment.t list array -> eps:float -> delta:float ->
+  float array
 (** [prepare] + [run]. *)
 
 val approx_confidences :
-  ?nworkers:int -> ?compile_fuel:int -> Rng.t -> Wtable.t -> Urelation.t ->
-  eps:float -> delta:float -> (Tuple.t * float) list
+  ?budget:Budget.t -> ?nworkers:int -> ?compile_fuel:int -> Rng.t ->
+  Wtable.t -> Urelation.t -> eps:float -> delta:float ->
+  (Tuple.t * float) list
 (** The approximate [conf(R)]: every possible tuple of [u] with its (ε, δ)
     confidence estimate, grouped via
     {!Pqdb_urel.Urelation.clauses_by_tuple}. *)

@@ -99,6 +99,7 @@ let adaptive rng dnf ~eps ~delta =
     (* The estimator always fires: p = M exactly, no trials needed. *)
     (Dnf.total_weight dnf, 0)
   else begin
+    Pqdb_runtime.Faultpoint.fire "karp_luby.estimator";
     let clauses = Dnf.clause_count dnf in
     if eps >= 0.5 then
       (* Coarse targets: a single stopping-rule phase already beats the
@@ -134,3 +135,106 @@ let adaptive rng dnf ~eps ~delta =
   end
 
 let fpras_adaptive rng dnf ~eps ~delta = fst (adaptive rng dnf ~eps ~delta)
+
+(* ------------------------------------------------------------------ *)
+(* Budget-governed estimation with partial-trial bounds                *)
+(* ------------------------------------------------------------------ *)
+
+type partial = {
+  p_estimate : float;
+  p_lo : float;
+  p_hi : float;
+  p_trials : int;
+  p_eps : float;
+  p_complete : bool;
+}
+
+let point p n =
+  { p_estimate = p; p_lo = p; p_hi = p; p_trials = n; p_eps = 0.; p_complete = true }
+
+(* [p̂] certified at relative error [eps] with confidence δ — the standard
+   multiplicative inversion p ∈ [p̂/(1+ε), p̂/(1−ε)], clamped to [0, ub]. *)
+let certified ~ub ~eps p n =
+  let lo = Float.max 0. (p /. (1. +. eps)) in
+  let hi = if eps >= 1. then ub else Float.min ub (p /. (1. -. eps)) in
+  { p_estimate = p; p_lo = lo; p_hi = hi; p_trials = n; p_eps = eps; p_complete = true }
+
+let adaptive_partial ?budget rng dnf ~eps ~delta =
+  if eps <= 0. || delta <= 0. then invalid_arg "Karp_luby.adaptive_partial";
+  match budget with
+  | None ->
+      (* No governor: delegate to [adaptive] (same RNG consumption, same
+         estimate) and dress the result as a complete partial.  [adaptive]
+         spends 0 trials exactly when the answer is exact. *)
+      let p, n = adaptive rng dnf ~eps ~delta in
+      if n = 0 then point p n
+      else certified ~ub:(Float.min 1. (Dnf.total_weight dnf)) ~eps p n
+  | Some b ->
+      if Dnf.is_trivially_false dnf then point 0. 0
+      else if Dnf.is_trivially_true dnf then point 1. 0
+      else if Dnf.clause_count dnf = 1 then point (Dnf.total_weight dnf) 0
+      else begin
+        Pqdb_runtime.Faultpoint.fire "karp_luby.estimator";
+        (* With few trials the raw estimate (s/n)·M can overshoot its own
+           certified interval (even 1); clamp it in — projecting onto the
+           interval never increases the error.  (The no-budget branch above
+           keeps the raw estimate for bit-compatibility.) *)
+        let clamp p =
+          let lo = Float.min p.p_lo p.p_hi in
+          { p with
+            p_lo = lo;
+            p_estimate = Float.min p.p_hi (Float.max lo p.p_estimate) }
+        in
+        let clauses = Dnf.clause_count dnf in
+        let cap = Stats.karp_luby_trials ~clauses ~eps ~delta in
+        (* Single DKLR phase at (ε, δ), polling the budget per trial. *)
+        let lambda = Float.exp 1. -. 2. in
+        let ups = 4. *. lambda *. log (2. /. delta) /. (eps *. eps) in
+        let ups1 = 1. +. ((1. +. eps) *. ups) in
+        let target = int_of_float (Float.ceil ups1) in
+        let s = ref 0 and n = ref 0 in
+        let out_of_budget = ref false in
+        while (not !out_of_budget) && !s < target && !n < cap do
+          if Budget.exhausted b then out_of_budget := true
+          else begin
+            s := !s + Dnf.sample_estimator rng dnf;
+            incr n;
+            Budget.spend b 1
+          end
+        done;
+        let m = Dnf.total_weight dnf in
+        let ub = Float.min 1. m in
+        if !s >= target then
+          clamp (certified ~ub ~eps (ups1 /. float_of_int !n *. m) !n)
+        else if not !out_of_budget then
+          (* Chernoff cap reached: the plain mean at the fixed budget meets
+             (ε, δ) by construction. *)
+          clamp
+            (certified ~ub ~eps (float_of_int !s *. m /. float_of_int !n) !n)
+        else if !n = 0 then
+          (* Not one trial fit in the budget: the only sound claim is the
+             a-priori interval [0, min(1, M)]. *)
+          { p_estimate = 0.; p_lo = 0.; p_hi = ub; p_trials = 0;
+            p_eps = Float.infinity; p_complete = false }
+        else begin
+          (* Partial trials: invert the Chernoff tail to the relative error
+             the [n] trials actually certify at this δ,
+             ε′ = √(3·|F|·ln(2/δ)/n). *)
+          let n = !n in
+          let p = float_of_int !s *. m /. float_of_int n in
+          let eps' =
+            sqrt (3. *. float_of_int clauses *. log (2. /. delta)
+                  /. float_of_int n)
+          in
+          if eps' >= 1. then
+            clamp
+              { p_estimate = p; p_lo = 0.; p_hi = ub; p_trials = n;
+                p_eps = eps'; p_complete = false }
+          else
+            clamp
+              { p_estimate = p;
+                p_lo = Float.max 0. (p /. (1. +. eps'));
+                p_hi = Float.min ub (p /. (1. -. eps'));
+                p_trials = n; p_eps = eps'; p_complete = eps' <= eps }
+        end
+      end

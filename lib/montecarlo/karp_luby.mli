@@ -61,3 +61,33 @@ val adaptive : Rng.t -> Dnf.t -> eps:float -> delta:float -> float * int
 
 val fpras_adaptive : Rng.t -> Dnf.t -> eps:float -> delta:float -> float
 (** [fst ∘ adaptive] — drop-in replacement for {!fpras}. *)
+
+(** {1 Budget-governed estimation}
+
+    When a {!Budget} is supplied, sampling stops the moment the governor is
+    exhausted and the result reports what the trials spent so far certify:
+    a sound probability interval [[p_lo, p_hi]] and the achieved relative
+    error [p_eps] at the requested confidence δ. *)
+
+type partial = {
+  p_estimate : float;  (** point estimate (0 when no trial ran) *)
+  p_lo : float;        (** certified lower bound, in [0, 1] *)
+  p_hi : float;        (** certified upper bound, ≤ min(1, M) *)
+  p_trials : int;      (** estimator calls actually spent *)
+  p_eps : float;
+      (** achieved relative error at confidence δ: the requested ε when
+          complete, [√(3·|F|·ln(2/δ)/n)] after [n] partial trials,
+          [infinity] when the interval is vacuous, 0 when exact *)
+  p_complete : bool;   (** the requested (ε, δ) contract was met *)
+}
+
+val adaptive_partial :
+  ?budget:Budget.t -> Rng.t -> Dnf.t -> eps:float -> delta:float -> partial
+(** Without a budget this delegates to {!adaptive} (same RNG consumption,
+    same estimate) and always returns [p_complete = true].  With a budget it
+    runs a single DKLR stopping-rule phase at (ε, δ), charging one trial at
+    a time and polling {!Budget.exhausted}; on exhaustion the partial-trial
+    Chernoff inversion above yields the interval (vacuous [0, min(1, M)]
+    when nothing can be said).  Degenerate and single-clause DNFs are
+    answered exactly with a point interval and 0 trials either way.
+    @raise Invalid_argument when [eps <= 0] or [delta <= 0]. *)

@@ -20,7 +20,7 @@ type job = {
   claimers : int Atomic.t;
   next : int Atomic.t;
   completed : int Atomic.t;
-  failure : exn option Atomic.t;
+  failure : (int * exn * Printexc.raw_backtrace) option Atomic.t;
 }
 
 let lock = Mutex.create ()
@@ -36,12 +36,28 @@ let started = ref false
    concurrent [run]) falls back to running its tasks inline. *)
 let submit_lock = Mutex.create ()
 
+(* Exceptions are contained per task, not per chunk: a failing task records
+   (index, exn, backtrace) and the remaining tasks of the chunk — and of the
+   job — still run, so one bad tuple cannot starve a batch. *)
+let run_task job i =
+  try
+    Pqdb_runtime.Faultpoint.fire "pool.task";
+    job.f i
+  with e ->
+    let bt = Printexc.get_raw_backtrace () in
+    ignore (Atomic.compare_and_set job.failure None (Some (i, e, bt)))
+
+let reraise_failure = function
+  | None -> ()
+  | Some (i, e, bt) ->
+      Printexc.raise_with_backtrace
+        (Pqdb_runtime.Pqdb_error.(Error (Task_failure { index = i; inner = e })))
+        bt
+
 let run_chunk job lo hi =
-  (try
-     for i = lo to hi - 1 do
-       job.f i
-     done
-   with e -> ignore (Atomic.compare_and_set job.failure None (Some e)));
+  for i = lo to hi - 1 do
+    run_task job i
+  done;
   let n = hi - lo in
   if Atomic.fetch_and_add job.completed n + n >= job.ntasks then begin
     Mutex.lock lock;
@@ -101,6 +117,8 @@ let shutdown () =
   Array.iter Domain.join !resident;
   resident := [||]
 
+let exit_hook_registered = ref false
+
 let ensure_started () =
   (* First call wins; [run] is serialized by [submit_lock] before any
      parallel submission, and a lost race only means an inline run. *)
@@ -108,19 +126,63 @@ let ensure_started () =
     started := true;
     let n = resident_target () in
     if n > 0 then begin
-      resident := Array.init n (fun _ -> Domain.spawn worker_loop);
-      at_exit shutdown
+      (* [Domain.spawn] can fail (domain limit, resource exhaustion).  Keep
+         whatever workers came up and degrade towards inline execution
+         rather than failing the computation. *)
+      let spawned = ref [] in
+      (try
+         for _ = 1 to n do
+           Pqdb_runtime.Faultpoint.fire "pool.spawn";
+           spawned := Domain.spawn worker_loop :: !spawned
+         done
+       with _ -> ());
+      resident := Array.of_list !spawned;
+      if Array.length !resident > 0 && not !exit_hook_registered then begin
+        exit_hook_registered := true;
+        at_exit shutdown
+      end
     end
   end
+
+(* Test hook: tear the resident workers down and forget that the pool ever
+   started, so the next [run] re-evaluates PQDB_POOL_WORKERS and re-spawns
+   (possibly through an armed "pool.spawn" fault point). *)
+let reset () =
+  Mutex.lock submit_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock submit_lock)
+    (fun () ->
+      shutdown ();
+      Mutex.lock lock;
+      quit := false;
+      posted := None;
+      Mutex.unlock lock;
+      started := false)
 
 let resident_workers () =
   ensure_started ();
   Array.length !resident
 
+(* Inline execution honours the same contract as the parallel path: per-task
+   containment, first failure re-raised as [Task_failure] after every task
+   has had its chance to run. *)
 let run_inline ~ntasks f =
+  let job =
+    {
+      f;
+      ntasks;
+      chunk = ntasks;
+      allowed = 0;
+      claimers = Atomic.make 0;
+      next = Atomic.make 0;
+      completed = Atomic.make 0;
+      failure = Atomic.make None;
+    }
+  in
   for i = 0 to ntasks - 1 do
-    f i
-  done
+    run_task job i
+  done;
+  reraise_failure (Atomic.get job.failure)
 
 let run t ~ntasks f =
   if ntasks < 0 then invalid_arg "Pool.run: ntasks must be nonnegative";
@@ -161,5 +223,5 @@ let run t ~ntasks f =
           (* Free the job closure; workers treat [None] as nothing new. *)
           posted := None;
           Mutex.unlock lock;
-          match Atomic.get job.failure with Some e -> raise e | None -> ())
+          reraise_failure (Atomic.get job.failure))
   end

@@ -39,7 +39,15 @@ val resident_workers : unit -> int
 val run : t -> ntasks:int -> (int -> unit) -> unit
 (** [run t ~ntasks f] executes [f 0 … f (ntasks-1)], each exactly once, on
     the caller plus up to [min (size t - 1) (resident_workers ())] helper
-    domains, and waits for all of them.  If any task raises, the first
-    observed exception is re-raised after the job has drained (remaining
-    tasks may still run).
+    domains, and waits for all of them.  Exceptions are contained per task:
+    a failing task never prevents the remaining tasks from running, and
+    after the job has drained the first observed failure is re-raised as
+    [Pqdb_runtime.Pqdb_error.(Error (Task_failure {index; inner}))] with the
+    failing task's original backtrace.  The inline (no-helper) path honours
+    the same contract.
     @raise Invalid_argument when [ntasks] is negative. *)
+
+val reset : unit -> unit
+(** Test hook: join and discard the resident workers and forget that the
+    pool ever started, so the next {!run} re-reads [PQDB_POOL_WORKERS] and
+    re-spawns.  Must not be called concurrently with {!run}. *)

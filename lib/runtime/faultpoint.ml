@@ -1,0 +1,82 @@
+let table : (string, int) Hashtbl.t = Hashtbl.create 8
+let lock = Mutex.create ()
+
+(* The hot-path guard: sites check this single atomic before touching the
+   table, so an unarmed engine pays one load per instrumented call. *)
+let any_armed = Atomic.make false
+let env_loaded = ref false
+
+let refresh_flag () = Atomic.set any_armed (Hashtbl.length table > 0)
+
+let load_env () =
+  match Sys.getenv_opt "PQDB_FAULTPOINTS" with
+  | None | Some "" -> ()
+  | Some spec ->
+      String.split_on_char ',' spec
+      |> List.iter (fun entry ->
+             let entry = String.trim entry in
+             if entry <> "" then begin
+               let name, count =
+                 match String.index_opt entry ':' with
+                 | None -> (entry, max_int)
+                 | Some i -> (
+                     let name = String.sub entry 0 i in
+                     let n =
+                       String.sub entry (i + 1) (String.length entry - i - 1)
+                     in
+                     match int_of_string_opt (String.trim n) with
+                     | Some c when c > 0 -> (name, c)
+                     | _ -> (name, max_int))
+               in
+               Hashtbl.replace table name count
+             end);
+      refresh_flag ()
+
+let ensure_env () =
+  if not !env_loaded then begin
+    env_loaded := true;
+    load_env ()
+  end
+
+let with_lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let arm ?(count = max_int) name =
+  with_lock (fun () ->
+      ensure_env ();
+      Hashtbl.replace table name count;
+      refresh_flag ())
+
+let disarm name =
+  with_lock (fun () ->
+      ensure_env ();
+      Hashtbl.remove table name;
+      refresh_flag ())
+
+let reset () =
+  with_lock (fun () ->
+      Hashtbl.reset table;
+      load_env ();
+      refresh_flag ())
+
+let armed () =
+  with_lock (fun () ->
+      ensure_env ();
+      Hashtbl.fold (fun name _ acc -> name :: acc) table [])
+
+let should_fail name =
+  if not (Atomic.get any_armed) && !env_loaded then false
+  else
+    with_lock (fun () ->
+        ensure_env ();
+        match Hashtbl.find_opt table name with
+        | None -> false
+        | Some n ->
+            if n <= 1 then Hashtbl.remove table name
+            else Hashtbl.replace table name (n - 1);
+            refresh_flag ();
+            true)
+
+let fire name =
+  if should_fail name then Pqdb_error.error (Pqdb_error.Injected name)

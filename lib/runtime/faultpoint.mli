@@ -1,0 +1,35 @@
+(** Fault-injection registry.
+
+    A fault point is a named site in the engine (e.g.
+    ["karp_luby.estimator"], ["pool.task"], ["pool.spawn"],
+    ["udb_io.wtable"]) that calls {!fire} or {!should_fail}.  Nothing
+    happens unless the point is {e armed} — programmatically via {!arm}, or
+    through the [PQDB_FAULTPOINTS] environment variable, a comma-separated
+    list of [name] (fires forever) or [name:count] (fires [count] times)
+    entries, read once at first use.  Tests and CI use this to drive the
+    estimator, the domain pool and the loaders down their degradation paths
+    on demand.
+
+    The unarmed fast path is one atomic load, so instrumented hot paths stay
+    free when no injection is configured.  Arming/consuming is serialized by
+    a mutex and safe to use from pool worker domains. *)
+
+val arm : ?count:int -> string -> unit
+(** Arm [name].  [count] bounds how many times it fires (default:
+    unlimited). *)
+
+val disarm : string -> unit
+
+val reset : unit -> unit
+(** Clear every programmatic arm, then re-apply [PQDB_FAULTPOINTS]. *)
+
+val armed : unit -> string list
+(** Names currently armed (for diagnostics; does not consume shots). *)
+
+val should_fail : string -> bool
+(** [true] iff [name] is armed, consuming one shot.  For sites that degrade
+    in place rather than raise. *)
+
+val fire : string -> unit
+(** @raise Pqdb_error.Error [(Injected name)] iff [name] is armed,
+    consuming one shot. *)

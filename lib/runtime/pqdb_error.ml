@@ -1,0 +1,25 @@
+type t =
+  | Invalid_probability of { context : string; detail : string }
+  | Malformed_input of { source : string; detail : string }
+  | Task_failure of { index : int; inner : exn }
+  | Injected of string
+
+exception Error of t
+
+let error t = raise (Error t)
+let invalid_probability ~context detail = error (Invalid_probability { context; detail })
+let malformed ~source detail = error (Malformed_input { source; detail })
+
+let to_string = function
+  | Invalid_probability { context; detail } ->
+      Printf.sprintf "%s: %s" context detail
+  | Malformed_input { source; detail } ->
+      Printf.sprintf "malformed input in %s: %s" source detail
+  | Task_failure { index; inner } ->
+      Printf.sprintf "task %d failed: %s" index (Printexc.to_string inner)
+  | Injected name -> Printf.sprintf "injected fault %S" name
+
+let () =
+  Printexc.register_printer (function
+    | Error t -> Some ("Pqdb_error.Error: " ^ to_string t)
+    | _ -> None)

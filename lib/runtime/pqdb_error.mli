@@ -1,0 +1,37 @@
+(** Typed errors for the library boundaries.
+
+    The engine's internal invariants keep using [Invalid_argument] /
+    [assert]; this module covers the places where the cause is {e outside}
+    the library — malformed external data, invalid probabilities handed in
+    by a caller, a worker task blowing up, or an injected fault — so that
+    front ends can catch one exception type and render a friendly message
+    instead of a raw trace, and so tests can assert on structure rather than
+    on message strings. *)
+
+type t =
+  | Invalid_probability of { context : string; detail : string }
+      (** A probability or weight outside what the model admits: negative,
+          greater than 1, NaN, or a distribution whose mass does not sum
+          to 1.  [context] names the operation (e.g. ["Wtable.add_var"],
+          ["repair-key"]). *)
+  | Malformed_input of { source : string; detail : string }
+      (** External data that does not parse or is internally inconsistent
+          (truncated CSV, non-dense variable ids, duplicate rows).  [source]
+          names the file or stream. *)
+  | Task_failure of { index : int; inner : exn }
+      (** A pool task raised.  [index] is the failing task's index in the
+          job; [inner] is the original exception. *)
+  | Injected of string
+      (** A {!Faultpoint} fired.  Carries the fault point's name. *)
+
+exception Error of t
+
+val error : t -> 'a
+(** [raise (Error t)], typed as bottom for use in expression position. *)
+
+val invalid_probability : context:string -> string -> 'a
+val malformed : source:string -> string -> 'a
+
+val to_string : t -> string
+(** Human-readable one-liner (also installed as the [Printexc] printer for
+    {!Error}, so uncaught typed errors render readably). *)

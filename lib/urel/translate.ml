@@ -83,14 +83,19 @@ let diff_complete a b =
 
 let poss u = Relation.of_list (Urelation.schema u) (Urelation.possible_tuples u)
 
+let bad_weight detail =
+  Pqdb_runtime.Pqdb_error.invalid_probability ~context:"Translate.repair_key"
+    detail
+
 let weight_of value =
   match Value.to_rational_opt value with
   | Some r when Rational.sign r > 0 -> r
-  | Some _ -> invalid_arg "repair-key: weight must be positive"
+  | Some _ -> bad_weight "weight must be positive"
   | None -> begin
       match value with
-      | Value.Float f when f > 0. -> Rational.of_float f
-      | _ -> invalid_arg "repair-key: weight must be a positive number"
+      | Value.Float f when Float.is_nan f -> bad_weight "weight is NaN"
+      | Value.Float f when f > 0. && Float.is_finite f -> Rational.of_float f
+      | _ -> bad_weight "weight must be a positive finite number"
     end
 
 let repair_key w ~key ~weight u =

@@ -13,7 +13,7 @@ let condition_to_string a =
        (fun (v, x) -> Printf.sprintf "x%d=%d" v x)
        (Assignment.bindings a))
 
-let condition_of_string s =
+let condition_of_string ~source s =
   if String.trim s = "" then Assignment.empty
   else begin
     let atom part =
@@ -25,9 +25,13 @@ let condition_of_string s =
               int_of_string_opt value )
           with
           | Some v, Some x -> (v, x)
-          | _ -> invalid_arg ("Udb_io: bad condition atom " ^ part)
+          | _ ->
+              Pqdb_runtime.Pqdb_error.malformed ~source
+                ("bad condition atom " ^ part)
         end
-      | _ -> invalid_arg ("Udb_io: bad condition atom " ^ part)
+      | _ ->
+          Pqdb_runtime.Pqdb_error.malformed ~source
+            ("bad condition atom " ^ part)
     in
     Assignment.of_list (List.map atom (String.split_on_char ';' s))
   end
@@ -83,11 +87,25 @@ let save dir udb =
 
 (* --- load ---------------------------------------------------------------- *)
 
+(* Every parse failure in a load is a typed [Malformed_input] naming the
+   offending file: truncated/ragged CSVs (whatever {!Csv.load} rejects),
+   unreadable probabilities, duplicate or non-dense variable ids — the CLI
+   and tests match on the type, not on message strings. *)
+let load_csv path =
+  match Csv.load path with
+  | rel -> rel
+  | exception (Invalid_argument d | Failure d) ->
+      Pqdb_runtime.Pqdb_error.malformed ~source:path d
+  | exception Sys_error d -> Pqdb_runtime.Pqdb_error.malformed ~source:path d
+
 let load dir =
   let udb = Udb.create () in
   let w = Udb.wtable udb in
   (* Rebuild the W table in id order; ids must come out dense. *)
-  let wrel = Csv.load (Filename.concat dir wtable_file) in
+  let wsource = Filename.concat dir wtable_file in
+  let bad_wtable detail = Pqdb_runtime.Pqdb_error.malformed ~source:wsource detail in
+  Pqdb_runtime.Faultpoint.fire "udb_io.wtable";
+  let wrel = load_csv wsource in
   let entries = Hashtbl.create 16 in
   Relation.iter
     (fun t ->
@@ -95,10 +113,12 @@ let load dir =
       | [ Value.Int v; Value.Str name; Value.Int x; p ] ->
           let prob =
             match p with
-            | Value.Str s -> Rational.of_string s
+            | Value.Str s -> (
+                try Rational.of_string s
+                with _ -> bad_wtable ("bad probability " ^ s))
             | Value.Int n -> Rational.of_int n
             | Value.Rat r -> r
-            | _ -> invalid_arg "Udb_io: bad probability"
+            | _ -> bad_wtable "bad probability"
           in
           let name_ref, dist =
             match Hashtbl.find_opt entries v with
@@ -109,32 +129,39 @@ let load dir =
                 e
           in
           name_ref := name;
+          if Hashtbl.mem dist x then
+            bad_wtable
+              (Printf.sprintf "duplicate row for variable %d value %d" v x);
           Hashtbl.replace dist x prob
-      | _ -> invalid_arg "Udb_io: bad wtable row")
+      | _ -> bad_wtable "bad wtable row")
     wrel;
   let var_count = Hashtbl.length entries in
   for v = 0 to var_count - 1 do
     match Hashtbl.find_opt entries v with
-    | None -> invalid_arg "Udb_io: variable ids are not dense"
+    | None -> bad_wtable "variable ids are not dense"
     | Some (name, dist) ->
         let n = Hashtbl.length dist in
         let probs =
           List.init n (fun x ->
               match Hashtbl.find_opt dist x with
               | Some p -> p
-              | None -> invalid_arg "Udb_io: domain values are not dense")
+              | None -> bad_wtable "domain values are not dense")
         in
         let id = Wtable.add_var ~name:!name w probs in
         assert (id = v)
   done;
   (* Relations per the manifest. *)
-  let manifest = Csv.load (Filename.concat dir manifest_file) in
+  let msource = Filename.concat dir manifest_file in
+  let bad_manifest detail =
+    Pqdb_runtime.Pqdb_error.malformed ~source:msource detail
+  in
+  let manifest = load_csv msource in
   let ordered =
     List.sort
       (fun a b ->
         match (Tuple.get a 0, Tuple.get b 0) with
         | Value.Int i, Value.Int j -> compare i j
-        | _ -> invalid_arg "Udb_io: bad manifest order column")
+        | _ -> bad_manifest "bad manifest order column")
       (Relation.tuples manifest)
   in
   List.iter
@@ -142,12 +169,16 @@ let load dir =
       match Tuple.to_list t with
       | [ _; name_v; Value.Bool complete ] ->
           let name = Value.to_string name_v in
-          let rel = Csv.load (Filename.concat dir (rel_file name)) in
+          let rsource = Filename.concat dir (rel_file name) in
+          let bad_rel detail =
+            Pqdb_runtime.Pqdb_error.malformed ~source:rsource detail
+          in
+          let rel = load_csv rsource in
           let schema = Relation.schema rel in
           let attrs =
             match Schema.attributes schema with
             | "D" :: rest -> rest
-            | _ -> invalid_arg ("Udb_io: relation " ^ name ^ " lacks a D column")
+            | _ -> bad_rel "relation lacks a D column"
           in
           let rows =
             List.map
@@ -156,15 +187,15 @@ let load dir =
                 | d :: values ->
                     let cond =
                       match d with
-                      | Value.Str s -> condition_of_string s
-                      | _ -> invalid_arg "Udb_io: bad D value"
+                      | Value.Str s -> condition_of_string ~source:rsource s
+                      | _ -> bad_rel "bad D value"
                     in
                     (cond, Tuple.of_list values)
-                | [] -> invalid_arg "Udb_io: empty row")
+                | [] -> bad_rel "empty row")
               (Relation.tuples rel)
           in
           let u = Urelation.make (Schema.of_list attrs) rows in
           Udb.add_urelation ~complete udb name u
-      | _ -> invalid_arg "Udb_io: bad manifest row")
+      | _ -> bad_manifest "bad manifest row")
     ordered;
   udb

@@ -19,6 +19,9 @@ val save : string -> Udb.t -> unit
     @raise Sys_error on I/O failure. *)
 
 val load : string -> Udb.t
-(** @raise Sys_error on I/O failure.
-    @raise Invalid_argument on malformed files (bad condition syntax,
-    non-dense variable ids, unknown relations in the manifest). *)
+(** @raise Pqdb_runtime.Pqdb_error.Error
+    ([Malformed_input {source; _}] naming the offending file) on malformed
+    input: truncated or ragged CSVs, unreadable probabilities, duplicate or
+    non-dense variable ids, bad condition syntax, manifest problems, missing
+    files.  Probability-law violations surface as the typed
+    [Invalid_probability] from {!Wtable.add_var}. *)

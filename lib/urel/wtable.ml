@@ -14,18 +14,21 @@ type t = { mutable entries : entry array; mutable count : int }
 
 let create () = { entries = [||]; count = 0 }
 
+let reject detail =
+  Pqdb_runtime.Pqdb_error.invalid_probability ~context:"Wtable.add_var" detail
+
 let add_var ?name t dist =
   let dist = Array.of_list dist in
-  if Array.length dist = 0 then
-    invalid_arg "Wtable.add_var: empty distribution";
+  if Array.length dist = 0 then reject "empty distribution";
   Array.iter
     (fun p ->
-      if Rational.sign p <= 0 then
-        invalid_arg "Wtable.add_var: probabilities must be positive")
+      if Rational.sign p <= 0 then reject "probabilities must be positive";
+      if Rational.compare p Rational.one > 0 then
+        reject "probabilities must be at most 1")
     dist;
   let total = Array.fold_left Rational.add Rational.zero dist in
   if not (Rational.equal total Rational.one) then
-    invalid_arg "Wtable.add_var: probabilities must sum to 1";
+    reject "probabilities must sum to 1";
   let id = t.count in
   let var_name =
     match name with Some n -> n | None -> "x" ^ string_of_int id

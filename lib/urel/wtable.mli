@@ -17,8 +17,10 @@ val create : unit -> t
 val add_var : ?name:string -> t -> Rational.t list -> var
 (** [add_var t dist] registers a fresh variable whose domain is
     [0 .. length dist - 1] with the given probabilities.
-    @raise Invalid_argument unless all probabilities are positive and sum
-    to 1, with at least one alternative. *)
+    @raise Pqdb_runtime.Pqdb_error.Error
+    ([Invalid_probability {context = "Wtable.add_var"; _}]) unless all
+    probabilities are in (0, 1] and sum to 1, with at least one
+    alternative. *)
 
 val var_count : t -> int
 val vars : t -> var list

@@ -1,0 +1,430 @@
+(* Fault-injection tests: every Faultpoint site must degrade gracefully —
+   a typed error at a boundary, containment inside the engine, never a
+   whole-batch crash.  The suite is written to also pass under an
+   environment-armed fault (the CI matrix runs it with
+   PQDB_FAULTPOINTS=<site> for every site): the smoke test below runs
+   first, against whatever the environment armed, and each later test
+   clears the registry before arming its own site. *)
+
+open Pqdb_numeric
+open Pqdb_relational
+open Pqdb_urel
+open Pqdb_montecarlo
+module Q = Rational
+module FP = Pqdb_runtime.Faultpoint
+module E = Pqdb_runtime.Pqdb_error
+
+(* Exercise the parallel path even on single-core machines. *)
+let () = Unix.putenv "PQDB_POOL_WORKERS" "3"
+
+let check = Alcotest.check
+let bool_c = Alcotest.bool
+let int_c = Alcotest.int
+
+(* Clear every arm — programmatic and environment — so a test controls
+   exactly which site fires.  (FP.reset would re-apply PQDB_FAULTPOINTS.) *)
+let clear_all () = List.iter FP.disarm (FP.armed ())
+
+let batch_fixture () =
+  let w = Wtable.create () in
+  let x = Wtable.add_var w [ Q.of_ints 3 10; Q.of_ints 7 10 ] in
+  let y = Wtable.add_var w [ Q.of_ints 1 2; Q.of_ints 1 2 ] in
+  let z = Wtable.add_var w [ Q.of_ints 4 5; Q.of_ints 1 5 ] in
+  let clause_sets =
+    [|
+      [
+        Assignment.singleton x 1;
+        Assignment.of_list [ (y, 1); (z, 0) ];
+        Assignment.of_list [ (x, 0); (z, 1) ];
+      ];
+      [ Assignment.singleton y 1 ];
+      [ Assignment.empty ];
+      [];
+    |]
+  in
+  (w, clause_sets)
+
+let exact_probs w clause_sets =
+  Array.map
+    (fun clauses -> Q.to_float (Pqdb_urel.Confidence.exact w clauses))
+    clause_sets
+
+let assert_sound name w clause_sets (stats : Confidence.stats) =
+  Array.iteri
+    (fun i p ->
+      let lo, hi = stats.Confidence.intervals.(i) in
+      check bool_c
+        (Printf.sprintf "%s: tuple %d exact %.4f inside [%g, %g]" name i p lo
+           hi)
+        true
+        (lo -. 1e-9 <= p && p <= hi +. 1e-9))
+    (exact_probs w clause_sets)
+
+let temp_counter = ref 0
+
+let with_temp_dir f =
+  incr temp_counter;
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "pqdb_faults_%d_%d" (Unix.getpid ()) !temp_counter)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter
+          (fun f -> Sys.remove (Filename.concat dir f))
+          (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () -> f dir)
+
+let write_file dir name body =
+  let oc = open_out (Filename.concat dir name) in
+  output_string oc body;
+  close_out oc
+
+let small_udb () =
+  let udb = Udb.create () in
+  let w = Udb.wtable udb in
+  let x = Wtable.add_var ~name:"x" w [ Q.half; Q.half ] in
+  let u =
+    Urelation.make
+      (Schema.of_list [ "A" ])
+      [
+        (Assignment.singleton x 0, Tuple.of_list [ Value.Int 1 ]);
+        (Assignment.singleton x 1, Tuple.of_list [ Value.Int 2 ]);
+      ]
+  in
+  Udb.add_urelation udb "R" u;
+  udb
+
+(* ------------------------------------------------------------------ *)
+(* Smoke: survive whatever PQDB_FAULTPOINTS armed                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_env_smoke () =
+  (* Runs FIRST, with the environment's arming (if any) intact.  Whatever
+     site fires, a batched confidence run must come back with sound
+     intervals, and a load must either succeed or fail with the typed
+     error — never a crash or a stuck pool. *)
+  let w, clause_sets = batch_fixture () in
+  let batch = Confidence.prepare ~compile_fuel:0 w clause_sets in
+  let _, stats =
+    Confidence.run_with_stats (Rng.create ~seed:23) batch ~eps:0.1 ~delta:0.1
+  in
+  assert_sound "env smoke" w clause_sets stats;
+  with_temp_dir (fun dir ->
+      let udb = small_udb () in
+      Udb_io.save dir udb;
+      match Udb_io.load dir with
+      | back -> check int_c "load ok" 1 (Wtable.var_count (Udb.wtable back))
+      | exception E.Error (E.Injected _) -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Registry semantics                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_registry () =
+  clear_all ();
+  check bool_c "clean registry" true (FP.armed () = []);
+  check bool_c "unarmed site never fires" false (FP.should_fail "test.site");
+  FP.arm ~count:2 "test.site";
+  check bool_c "armed listed" true (List.mem "test.site" (FP.armed ()));
+  check bool_c "first shot" true (FP.should_fail "test.site");
+  check bool_c "second shot" true (FP.should_fail "test.site");
+  check bool_c "shots exhausted" false (FP.should_fail "test.site");
+  FP.arm "test.site";
+  check bool_c "fire raises typed error" true
+    (try
+       FP.fire "test.site";
+       false
+     with E.Error (E.Injected "test.site") -> true);
+  FP.disarm "test.site";
+  check bool_c "disarmed" false (FP.should_fail "test.site")
+
+let test_env_parsing () =
+  let original = Sys.getenv_opt "PQDB_FAULTPOINTS" in
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv "PQDB_FAULTPOINTS"
+        (match original with Some s -> s | None -> "");
+      FP.reset ();
+      clear_all ())
+    (fun () ->
+      Unix.putenv "PQDB_FAULTPOINTS" "alpha, beta:2 ,gamma:bogus";
+      FP.reset ();
+      check bool_c "alpha fires repeatedly" true
+        (FP.should_fail "alpha" && FP.should_fail "alpha"
+        && FP.should_fail "alpha");
+      check bool_c "beta fires twice" true
+        (FP.should_fail "beta" && FP.should_fail "beta");
+      check bool_c "beta exhausted" false (FP.should_fail "beta");
+      (* A malformed count falls back to unlimited rather than dropping
+         the entry. *)
+      check bool_c "bogus count still armed" true (FP.should_fail "gamma"))
+
+(* ------------------------------------------------------------------ *)
+(* Site: karp_luby.estimator                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_estimator_fault_contained () =
+  clear_all ();
+  FP.arm "karp_luby.estimator";
+  Fun.protect ~finally:clear_all (fun () ->
+      let w, clause_sets = batch_fixture () in
+      let batch = Confidence.prepare ~compile_fuel:0 w clause_sets in
+      let estimates, stats =
+        Confidence.run_with_stats (Rng.create ~seed:29) batch ~eps:0.1
+          ~delta:0.1
+      in
+      (* Sampling tuples degrade to their a-priori brackets; the batch
+         itself survives. *)
+      check bool_c "degraded, not crashed" false stats.Confidence.complete;
+      assert_sound "estimator fault" w clause_sets stats;
+      check (Alcotest.float 0.) "certain tuple still exact" 1. estimates.(2);
+      check (Alcotest.float 0.) "impossible tuple still exact" 0.
+        estimates.(3));
+  (* Disarmed: same batch completes again. *)
+  let w, clause_sets = batch_fixture () in
+  let batch = Confidence.prepare ~compile_fuel:0 w clause_sets in
+  let _, stats =
+    Confidence.run_with_stats (Rng.create ~seed:29) batch ~eps:0.1 ~delta:0.1
+  in
+  check bool_c "recovers once disarmed" true stats.Confidence.complete
+
+let test_estimator_fault_under_budget () =
+  clear_all ();
+  FP.arm "karp_luby.estimator";
+  Fun.protect ~finally:clear_all (fun () ->
+      let w, clause_sets = batch_fixture () in
+      let batch = Confidence.prepare ~compile_fuel:0 w clause_sets in
+      let b = Budget.create ~max_trials:1000 () in
+      let _, stats =
+        Confidence.run_with_stats ~budget:b (Rng.create ~seed:31) batch
+          ~eps:0.1 ~delta:0.1
+      in
+      check bool_c "budget path degrades too" false stats.Confidence.complete;
+      assert_sound "estimator fault + budget" w clause_sets stats)
+
+(* ------------------------------------------------------------------ *)
+(* Site: pool.task                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_task_fault () =
+  clear_all ();
+  (* Direct pool use: the injected failure surfaces as the typed
+     Task_failure with the injected error inside. *)
+  FP.arm ~count:1 "pool.task";
+  let pool = Pool.create 4 in
+  check bool_c "typed task failure" true
+    (try
+       Pool.run pool ~ntasks:8 ignore;
+       false
+     with
+    | E.Error (E.Task_failure { inner = E.Error (E.Injected site); _ }) ->
+        site = "pool.task");
+  (* The shot is consumed: the pool keeps working. *)
+  let ok = Array.make 8 false in
+  Pool.run pool ~ntasks:8 (fun i -> ok.(i) <- true);
+  check bool_c "pool alive after injected failure" true
+    (Array.for_all Fun.id ok);
+  (* Batch engine: an unlimited pool.task fault degrades every sampling
+     tuple, crashes nothing. *)
+  FP.arm "pool.task";
+  Fun.protect ~finally:clear_all (fun () ->
+      let w, clause_sets = batch_fixture () in
+      let batch = Confidence.prepare ~compile_fuel:0 w clause_sets in
+      let _, stats =
+        Confidence.run_with_stats (Rng.create ~seed:37) batch ~eps:0.1
+          ~delta:0.1
+      in
+      check bool_c "batch degraded" false stats.Confidence.complete;
+      assert_sound "pool.task fault" w clause_sets stats)
+
+(* ------------------------------------------------------------------ *)
+(* Site: pool.spawn                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_spawn_fault_degrades_inline () =
+  clear_all ();
+  Pool.reset ();
+  FP.arm "pool.spawn";
+  Fun.protect
+    ~finally:(fun () ->
+      clear_all ();
+      Pool.reset ())
+    (fun () ->
+      check int_c "no resident workers under spawn fault" 0
+        (Pool.resident_workers ());
+      (* Work still completes — inline. *)
+      let pool = Pool.create 4 in
+      let ok = Array.make 16 false in
+      Pool.run pool ~ntasks:16 (fun i -> ok.(i) <- true);
+      check bool_c "tasks ran inline" true (Array.for_all Fun.id ok);
+      (* And a whole batch still computes correct estimates. *)
+      let w, clause_sets = batch_fixture () in
+      let batch = Confidence.prepare ~compile_fuel:0 w clause_sets in
+      let _, stats =
+        Confidence.run_with_stats (Rng.create ~seed:41) batch ~eps:0.1
+          ~delta:0.1
+      in
+      check bool_c "batch completes inline" true stats.Confidence.complete;
+      assert_sound "pool.spawn fault" w clause_sets stats);
+  (* After reset without the fault, workers come back. *)
+  check bool_c "workers respawn once disarmed" true
+    (Pool.resident_workers () > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Site: udb_io.wtable                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_udb_io_fault () =
+  clear_all ();
+  with_temp_dir (fun dir ->
+      let udb = small_udb () in
+      Udb_io.save dir udb;
+      FP.arm ~count:1 "udb_io.wtable";
+      check bool_c "load fails with the injected error" true
+        (try
+           ignore (Udb_io.load dir);
+           false
+         with E.Error (E.Injected site) -> site = "udb_io.wtable");
+      (* Shot consumed: the very next load succeeds. *)
+      let back = Udb_io.load dir in
+      check int_c "load recovers" 1 (Wtable.var_count (Udb.wtable back)))
+
+(* ------------------------------------------------------------------ *)
+(* Malformed inputs reach the loader as typed errors                   *)
+(* ------------------------------------------------------------------ *)
+
+let load_error dir =
+  match Udb_io.load dir with
+  | _ -> Alcotest.fail "expected the load to be rejected"
+  | exception E.Error e -> e
+
+let write_db dir ~wtable =
+  Sys.mkdir dir 0o755;
+  write_file dir "wtable.csv" wtable;
+  write_file dir "manifest.csv" "Ord,Name,Complete\n0,R,false\n";
+  write_file dir "rel_R.csv" "D,A\nx0=0,1\n"
+
+let test_malformed_wtable_inputs () =
+  clear_all ();
+  let is_malformed = function E.Malformed_input _ -> true | _ -> false in
+  let is_invalid_prob = function
+    | E.Invalid_probability _ -> true
+    | _ -> false
+  in
+  let cases =
+    [
+      ("negative probability", "Var,Name,Dom,P\n0,x,0,3/2\n0,x,1,-1/2\n",
+       is_invalid_prob);
+      ("mass over 1", "Var,Name,Dom,P\n0,x,0,2/3\n0,x,1,2/3\n",
+       is_invalid_prob);
+      ("unparseable probability", "Var,Name,Dom,P\n0,x,0,zebra\n0,x,1,1/2\n",
+       is_malformed);
+      (* Relations are sets, so the conflicting duplicate must differ in
+         probability to survive CSV loading. *)
+      ( "duplicate (var, value) row",
+        "Var,Name,Dom,P\n0,x,0,1/2\n0,x,0,1/3\n0,x,1,1/2\n",
+        is_malformed );
+      ("truncated row", "Var,Name,Dom,P\n0,x,0\n", is_malformed);
+      ("sparse variable ids", "Var,Name,Dom,P\n1,x,0,1/2\n1,x,1,1/2\n",
+       is_malformed);
+      ("sparse domain values", "Var,Name,Dom,P\n0,x,0,1/2\n0,x,2,1/2\n",
+       is_malformed);
+    ]
+  in
+  List.iter
+    (fun (name, wtable, classify) ->
+      with_temp_dir (fun dir ->
+          write_db dir ~wtable;
+          let e = load_error dir in
+          check bool_c
+            (Printf.sprintf "%s: %s" name (E.to_string e))
+            true (classify e)))
+    cases
+
+let test_malformed_relation_inputs () =
+  clear_all ();
+  with_temp_dir (fun dir ->
+      Sys.mkdir dir 0o755;
+      write_file dir "wtable.csv" "Var,Name,Dom,P\n0,x,0,1/2\n0,x,1,1/2\n";
+      write_file dir "manifest.csv" "Ord,Name,Complete\n0,R,false\n";
+      (* Condition referencing nothing parseable. *)
+      write_file dir "rel_R.csv" "D,A\nnot-a-condition,1\n";
+      check bool_c "bad condition is malformed input" true
+        (match load_error dir with
+        | E.Malformed_input { source; _ } ->
+            Filename.basename source = "rel_R.csv"
+        | _ -> false));
+  with_temp_dir (fun dir ->
+      Sys.mkdir dir 0o755;
+      write_file dir "wtable.csv" "Var,Name,Dom,P\n0,x,0,1/2\n0,x,1,1/2\n";
+      (* Manifest names a relation with no file. *)
+      write_file dir "manifest.csv" "Ord,Name,Complete\n0,Ghost,true\n";
+      check bool_c "missing relation file is malformed input" true
+        (match load_error dir with E.Malformed_input _ -> true | _ -> false))
+
+(* ------------------------------------------------------------------ *)
+(* Round-trip property                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let prop_save_load_roundtrip =
+  QCheck.Test.make ~name:"save/load round-trips confidences" ~count:30
+    (QCheck.int_range 0 100_000) (fun seed ->
+      clear_all ();
+      let rng = Rng.create ~seed in
+      let udb = Udb.create () in
+      let w = Udb.wtable udb in
+      let u =
+        Pqdb_workload.Gen.tuple_independent rng w ~attrs:[ "A"; "B" ]
+          ~rows:(1 + Rng.int rng 5) ~domain:3
+      in
+      Udb.add_urelation udb "U" u;
+      with_temp_dir (fun dir ->
+          Udb_io.save dir udb;
+          let back = Udb_io.load dir in
+          let conf db =
+            Pqdb_urel.Confidence.all_confidences (Udb.wtable db)
+              (Udb.find db "U")
+          in
+          List.for_all2
+            (fun (t, p) (t', p') -> Tuple.equal t t' && Q.equal p p')
+            (conf udb) (conf back)
+          && Wtable.var_count (Udb.wtable udb)
+             = Wtable.var_count (Udb.wtable back)))
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "faults"
+    [
+      ( "smoke",
+        [ Alcotest.test_case "survive env faults" `Quick test_env_smoke ] );
+      ( "registry",
+        [
+          Alcotest.test_case "arm/disarm/count" `Quick test_registry;
+          Alcotest.test_case "env parsing" `Quick test_env_parsing;
+        ] );
+      ( "sites",
+        [
+          Alcotest.test_case "karp_luby.estimator contained" `Quick
+            test_estimator_fault_contained;
+          Alcotest.test_case "karp_luby.estimator under budget" `Quick
+            test_estimator_fault_under_budget;
+          Alcotest.test_case "pool.task" `Quick test_pool_task_fault;
+          Alcotest.test_case "pool.spawn degrades inline" `Quick
+            test_pool_spawn_fault_degrades_inline;
+          Alcotest.test_case "udb_io.wtable" `Quick test_udb_io_fault;
+        ] );
+      ( "malformed inputs",
+        [
+          Alcotest.test_case "wtable corruption" `Quick
+            test_malformed_wtable_inputs;
+          Alcotest.test_case "relation corruption" `Quick
+            test_malformed_relation_inputs;
+        ] );
+      ("round-trip", [ qcheck prop_save_load_roundtrip ]);
+    ]

@@ -624,11 +624,13 @@ let test_pool_reuse_and_results () =
 
 let test_pool_exception_propagates () =
   let pool = Pool.create 4 in
-  check bool_c "task failure reraised" true
+  check bool_c "task failure reraised with index" true
     (try
        Pool.run pool ~ntasks:10 (fun i -> if i = 7 then failwith "boom");
        false
-     with Failure msg -> msg = "boom");
+     with
+    | Pqdb_runtime.Pqdb_error.Error (Task_failure { index = 7; inner }) ->
+        (match inner with Failure msg -> msg = "boom" | _ -> false));
   (* The pool must still be usable after a failed job. *)
   let ok = Array.make 8 false in
   Pool.run pool ~ntasks:8 (fun i -> ok.(i) <- true);

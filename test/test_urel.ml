@@ -30,13 +30,21 @@ let test_wtable_basics () =
   check Alcotest.string "name" "c" (Wtable.name w x)
 
 let test_wtable_validation () =
+  let module E = Pqdb_runtime.Pqdb_error in
   let w = Wtable.create () in
-  Alcotest.check_raises "must sum to 1"
-    (Invalid_argument "Wtable.add_var: probabilities must sum to 1")
-    (fun () -> ignore (Wtable.add_var w [ Q.half; Q.of_ints 1 3 ]));
-  Alcotest.check_raises "positive"
-    (Invalid_argument "Wtable.add_var: probabilities must be positive")
-    (fun () -> ignore (Wtable.add_var w [ Q.one; Q.zero ]))
+  let expect_invalid name detail thunk =
+    Alcotest.check_raises name
+      (E.Error (Invalid_probability { context = "Wtable.add_var"; detail }))
+      (fun () -> ignore (thunk ()))
+  in
+  expect_invalid "must sum to 1" "probabilities must sum to 1" (fun () ->
+      Wtable.add_var w [ Q.half; Q.of_ints 1 3 ]);
+  expect_invalid "positive" "probabilities must be positive" (fun () ->
+      Wtable.add_var w [ Q.one; Q.zero ]);
+  expect_invalid "at most 1" "probabilities must be at most 1" (fun () ->
+      Wtable.add_var w [ Q.of_ints 3 2; Q.of_ints (-1) 2 ]);
+  expect_invalid "non-empty" "empty distribution" (fun () ->
+      Wtable.add_var w [])
 
 (* ------------------------------------------------------------------ *)
 (* Assignments                                                         *)
@@ -615,14 +623,16 @@ let test_udb_io_failure_injection () =
         (try
            ignore (Udb_io.load dir);
            false
-         with Invalid_argument _ -> true);
+         with
+        | Pqdb_runtime.Pqdb_error.Error (Malformed_input { source; _ }) ->
+            source = rel_path);
       (* Missing relation file referenced by the manifest. *)
       Sys.remove rel_path;
       check bool_c "missing relation file" true
         (try
            ignore (Udb_io.load dir);
            false
-         with Sys_error _ -> true))
+         with Pqdb_runtime.Pqdb_error.Error (Malformed_input _) -> true))
 
 let test_udb_io_sparse_var_ids_rejected () =
   with_temp_dir (fun dir ->
@@ -640,7 +650,7 @@ let test_udb_io_sparse_var_ids_rejected () =
         (try
            ignore (Udb_io.load dir);
            false
-         with Invalid_argument _ -> true))
+         with Pqdb_runtime.Pqdb_error.Error (Malformed_input _) -> true))
 
 let qcheck = QCheck_alcotest.to_alcotest
 
