@@ -261,6 +261,18 @@ let stopping_inputs () =
   in
   (w, sets)
 
+(* A 2k-tuple batch of small DNFs: each compiles to a closed form, so the
+   engine's resident state is dominated by the compiled trees and sampling
+   tables — exactly the footprint streaming is supposed to bound. *)
+let stream_inputs () =
+  let rng = Rng.create ~seed:211 in
+  let w = Wtable.create () in
+  let sets =
+    Array.init 2000 (fun _ ->
+        Gen.random_dnf rng w ~vars:8 ~clauses:6 ~clause_len:3)
+  in
+  (w, sets)
+
 type bench_entry = {
   be_name : string;
   be_seconds : float;
@@ -270,6 +282,9 @@ type bench_entry = {
   be_width : float option;
       (* mean certified interval width over the batch, for the anytime
          (deadline-governed) entries *)
+  be_peak_words : int option;
+      (* peak live major-heap words above the fixture baseline, for the
+         streaming-vs-materialized entries *)
 }
 
 let confidence_engine () =
@@ -277,7 +292,8 @@ let confidence_engine () =
     "Confidence-engine wall clock: compiled lineage, adaptive stopping, \
      parallel Karp-Luby, hash join";
   let entries = ref [] in
-  let record ?trials ?exact_fraction ?width name seconds baseline =
+  let record ?trials ?exact_fraction ?width ?peak_words name seconds baseline
+      =
     entries :=
       {
         be_name = name;
@@ -286,6 +302,7 @@ let confidence_engine () =
         be_trials = trials;
         be_exact_fraction = exact_fraction;
         be_width = width;
+        be_peak_words = peak_words;
       }
       :: !entries
   in
@@ -534,6 +551,126 @@ let confidence_engine () =
        ];
      ]
     @ deadline_rows);
+  (* 2e. Streaming shard engine (E6c).  Two claims: resident memory is
+     bounded by the shard ceiling rather than the batch (the materialized
+     path keeps all 2000 compiled trees and sampling tables live at once,
+     the stream one shard's worth), and resuming a checkpointed run that
+     lost its final shard replays the journal instead of recomputing. *)
+  let ws2, stream_sets = stream_inputs () in
+  let seps2 = 0.25 and sdelta2 = 0.1 in
+  let live_now () =
+    Gc.full_major ();
+    (Gc.stat ()).Gc.live_words
+  in
+  let base_live = live_now () in
+  let mat_batch = ref (Some (Mc_confidence.prepare ws2 stream_sets)) in
+  let mat_peak = live_now () - base_live in
+  let mat_time =
+    Report.time_median (fun () ->
+        ignore
+          (Mc_confidence.run (Rng.create ~seed:5) (Option.get !mat_batch)
+             ~eps:seps2 ~delta:sdelta2))
+  in
+  mat_batch := None;
+  record ~peak_words:mat_peak "batch-materialized-2k" mat_time mat_time;
+  (* One shard per tuple (the singleton rule): the per-shard ceiling is a
+     single compiled tree, the strictest possible memory bound. *)
+  let stream_opts =
+    { Mc_confidence.default_stream_options with shard_cost = 1 }
+  in
+  let stream_base = live_now () in
+  let stream_peak = ref 0 in
+  let emitted = ref 0 in
+  ignore
+    (Mc_confidence.run_stream ~options:stream_opts (Rng.create ~seed:5) ws2
+       stream_sets ~eps:seps2 ~delta:sdelta2 ~emit:(fun _ ->
+         incr emitted;
+         if !emitted land 127 = 0 then
+           stream_peak := max !stream_peak (live_now () - stream_base)));
+  let stream_time =
+    Report.time_median (fun () ->
+        ignore
+          (Mc_confidence.run_stream_with_stats ~options:stream_opts
+             (Rng.create ~seed:5) ws2 stream_sets ~eps:seps2 ~delta:sdelta2))
+  in
+  record ~peak_words:!stream_peak "stream-2k-shards" stream_time mat_time;
+  (* Resume: journal a full streaming run, drop its final shard record (the
+     most a SIGKILL can lose), resume — completed shards replay from the
+     journal, only the lost one is recomputed. *)
+  let journal = Filename.temp_file "pqdb_bench" ".ckpt" in
+  let resume_opts =
+    {
+      Mc_confidence.default_stream_options with
+      shard_cost = 10_000;
+      checkpoint = Some journal;
+    }
+  in
+  (* compile_fuel 0 = pure FPRAS on every tuple: the cold run pays real
+     sampling, so replay-vs-recompute is measured, not just parsing. *)
+  let cold_once () =
+    Sys.remove journal;
+    ignore
+      (Mc_confidence.run_stream_with_stats ~compile_fuel:0
+         ~options:resume_opts (Rng.create ~seed:6) ws2
+         (Array.sub stream_sets 0 200)
+         ~eps:seps2 ~delta:sdelta2)
+  in
+  let cold_time = Report.time_median cold_once in
+  cold_once ();
+  let lines =
+    String.split_on_char '\n'
+      (In_channel.with_open_bin journal In_channel.input_all)
+  in
+  let lines = List.filter (fun l -> l <> "") lines in
+  let kept = List.filteri (fun i _ -> i < List.length lines - 1) lines in
+  Out_channel.with_open_bin journal (fun oc ->
+      List.iter (fun l -> Out_channel.output_string oc (l ^ "\n")) kept);
+  let truncated = In_channel.with_open_bin journal In_channel.input_all in
+  let resume_time =
+    Report.time_median (fun () ->
+        (* Re-truncate each round: a resumed run re-journals the recomputed
+           shard, which would make later rounds pure replay. *)
+        Out_channel.with_open_bin journal (fun oc ->
+            Out_channel.output_string oc truncated);
+        ignore
+          (Mc_confidence.run_stream_with_stats ~compile_fuel:0
+             ~options:{ resume_opts with resume = true }
+             (Rng.create ~seed:6) ws2
+             (Array.sub stream_sets 0 200)
+             ~eps:seps2 ~delta:sdelta2))
+  in
+  Sys.remove journal;
+  record "resume-after-kill" resume_time cold_time;
+  Report.table
+    ~header:[ "streaming (2k tuples)"; "median"; "peak live words"; "vs" ]
+    [
+      [
+        "materialized run";
+        Report.fmt_seconds mat_time;
+        Report.fmt_int mat_peak;
+        "1.00x";
+      ];
+      [
+        "stream, 1-tuple shards";
+        Report.fmt_seconds stream_time;
+        Report.fmt_int !stream_peak;
+        Printf.sprintf "%.2fx time, %.1fx less memory"
+          (mat_time /. stream_time)
+          (float_of_int mat_peak /. float_of_int (max 1 !stream_peak));
+      ];
+      [
+        "cold run, 200 FPRAS tuples";
+        Report.fmt_seconds cold_time;
+        "-";
+        "1.00x";
+      ];
+      [
+        "resume (1 shard lost)";
+        Report.fmt_seconds resume_time;
+        "-";
+        Printf.sprintf "%.2fx" (cold_time /. resume_time);
+      ];
+    ];
   (* 3. Hash join vs the nested-loop baseline it replaced. *)
   let r, s = join_inputs () in
   let nested =
@@ -559,7 +696,7 @@ let confidence_engine () =
   let oc = open_out path in
   Printf.fprintf oc
     "{\n\
-    \  \"schema\": \"pqdb-bench-confidence/v2\",\n\
+    \  \"schema\": \"pqdb-bench-confidence/v3\",\n\
     \  \"recommended_domains\": %d,\n\
     \  \"resident_pool_workers\": %d,\n\
     \  \"results\": [\n"
@@ -576,12 +713,17 @@ let confidence_engine () =
         | Some f -> Printf.sprintf ", \"%s\": %.4f" key f
         | None -> ""
       in
+      let opt_words = function
+        | Some n -> Printf.sprintf ", \"peak_live_words\": %d" n
+        | None -> ""
+      in
       Printf.fprintf oc
-        "    {\"name\": \"%s\", \"median_seconds\": %.6e, \"speedup\": %.3f%s%s%s}%s\n"
+        "    {\"name\": \"%s\", \"median_seconds\": %.6e, \"speedup\": %.3f%s%s%s%s}%s\n"
         e.be_name e.be_seconds e.be_speedup
         (opt_int e.be_trials)
         (opt_float "exact_fraction" e.be_exact_fraction)
         (opt_float "mean_width" e.be_width)
+        (opt_words e.be_peak_words)
         (if i = List.length items - 1 then "" else ","))
     items;
   output_string oc "  ]\n}\n";

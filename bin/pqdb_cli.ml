@@ -83,6 +83,84 @@ let check_pool_workers_env () =
             (Printf.sprintf
                "PQDB_POOL_WORKERS must be a positive integer, got %S" s))
 
+(* --faultpoints mirrors PQDB_FAULTPOINTS: comma-separated name[:count]
+   entries, validated against the registry so a typo'd site fails loudly
+   instead of silently never firing. *)
+let apply_faultpoints specs =
+  let module FP = Pqdb_runtime.Faultpoint in
+  List.iter
+    (fun spec ->
+      List.iter
+        (fun entry ->
+          let entry = String.trim entry in
+          if entry <> "" then begin
+            let name, count =
+              match String.index_opt entry ':' with
+              | None -> (entry, None)
+              | Some i -> (
+                  let name = String.sub entry 0 i in
+                  let c =
+                    String.sub entry (i + 1) (String.length entry - i - 1)
+                  in
+                  match int_of_string_opt c with
+                  | Some n when n > 0 -> (name, Some n)
+                  | _ ->
+                      failwith
+                        (Printf.sprintf
+                           "--faultpoints: count in %S must be a positive \
+                            integer"
+                           entry))
+            in
+            if not (List.mem name FP.known) then
+              failwith
+                (Printf.sprintf
+                   "--faultpoints: unknown fault point %S (known: %s)" name
+                   (String.concat ", " FP.known));
+            FP.arm ?count name
+          end)
+        (String.split_on_char ',' spec))
+    specs
+
+(* Streaming options for the shard engine, shared by run and batch.  The
+   resume journal doubles as the checkpoint path; naming both only works
+   when they agree. *)
+let make_stream ~shard_size ~checkpoint ~resume ~retries =
+  check_positive_int "shard-size" shard_size;
+  check_nonneg_int "retries" retries;
+  match (shard_size, checkpoint, resume, retries) with
+  | None, None, None, None -> None
+  | _ ->
+      let checkpoint =
+        match (checkpoint, resume) with
+        | Some c, Some r when c <> r ->
+            failwith "--checkpoint and --resume must name the same journal"
+        | Some c, _ -> Some c
+        | None, Some r -> Some r
+        | None, None -> None
+      in
+      let d = Pqdb_montecarlo.Confidence.default_stream_options in
+      Some
+        {
+          Pqdb_montecarlo.Confidence.shard_cost =
+            Option.value shard_size
+              ~default:d.Pqdb_montecarlo.Confidence.shard_cost;
+          retries =
+            Option.value retries ~default:d.Pqdb_montecarlo.Confidence.retries;
+          checkpoint;
+          resume = resume <> None;
+        }
+
+(* Peak resident set from the kernel, when the platform exposes it. *)
+let report_rss () =
+  match In_channel.with_open_text "/proc/self/status" In_channel.input_all with
+  | contents ->
+      List.iter
+        (fun line ->
+          if String.length line >= 6 && String.sub line 0 6 = "VmHWM:" then
+            Format.eprintf "-- peak rss %s@." (String.trim (String.sub line 6 (String.length line - 6))))
+        (String.split_on_char '\n' contents)
+  | exception _ -> ()
+
 let make_budget ~deadline ~max_trials =
   check_positive_float "deadline" deadline;
   check_positive_int "max-trials" max_trials;
@@ -92,10 +170,10 @@ let make_budget ~deadline ~max_trials =
       Some
         (Pqdb_montecarlo.Budget.create ?deadline_s:deadline ?max_trials ())
 
-let report_budget = function
+let report_budget ?(ppf = Format.std_formatter) = function
   | None -> ()
   | Some b ->
-      Format.printf "-- budget: %d trials spent%s@."
+      Format.fprintf ppf "-- budget: %d trials spent%s@."
         (Pqdb_montecarlo.Budget.spent b)
         (if Pqdb_montecarlo.Budget.exhausted b then
            ", exhausted (result degraded but sound)"
@@ -107,11 +185,17 @@ let print_result_urel u =
   else Format.printf "%a@." Urelation.pp u
 
 let run_cmd db tables query_file approx optimize delta eps0 deadline
-    max_trials seed query =
+    max_trials seed shard_size checkpoint resume retries faultpoints query =
   try
     check_unit_interval "delta" delta;
     check_unit_interval "eps0" eps0;
     check_pool_workers_env ();
+    apply_faultpoints faultpoints;
+    let stream = make_stream ~shard_size ~checkpoint ~resume ~retries in
+    if stream <> None && not approx then
+      failwith
+        "--shard-size/--checkpoint/--resume/--retries only apply to \
+         --approx runs";
     let budget = make_budget ~deadline ~max_trials in
     let udb = load_tables ?db tables in
     let text = read_query query query_file in
@@ -125,7 +209,8 @@ let run_cmd db tables query_file approx optimize delta eps0 deadline
     if approx then begin
       let rng = Rng.create ~seed in
       let result, stats, rounds =
-        Pqdb.Eval_approx.eval_with_guarantee ?budget ~eps0 ~rng ~delta udb q
+        Pqdb.Eval_approx.eval_with_guarantee ?budget ?stream ~eps0 ~rng ~delta
+          udb q
       in
       print_result_urel result.Pqdb.Eval_approx.urel;
       Format.printf "-- per-tuple error bounds (target %.4g):@." delta;
@@ -250,13 +335,14 @@ let explain_cmd db tables query_file query =
       1
 
 let topk_cmd db tables query_file k delta compile_fuel deadline max_trials
-    seed query =
+    seed faultpoints query =
   try
     check_unit_interval "delta" delta;
     if k <= 0 then
       failwith (Printf.sprintf "--k must be a positive integer, got %d" k);
     check_nonneg_int "compile-fuel" compile_fuel;
     check_pool_workers_env ();
+    apply_faultpoints faultpoints;
     let budget = make_budget ~deadline ~max_trials in
     let udb = load_tables ?db tables in
     let text = read_query query query_file in
@@ -287,6 +373,104 @@ let topk_cmd db tables query_file k delta compile_fuel deadline max_trials
       1
   | Pqdb.Eval_exact.Unsupported msg ->
       Format.eprintf "unsupported: %s@." msg;
+      1
+
+(* --- batch ------------------------------------------------------------ *)
+
+(* Streaming batch confidence over raw lineage, without a query in front.
+   stdout carries exactly one line per tuple ("index est lo hi trials",
+   floats in %h so runs can be compared bit-for-bit with cmp); everything
+   diagnostic goes to stderr.  This is the surface the crash-recovery CI
+   job drives: kill a checkpointed run, resume it, cmp the outputs. *)
+let batch_inputs ~db ~relation ~gen ~gen_seed =
+  match (gen, db, relation) with
+  | Some n, None, None ->
+      check_positive_int "gen" gen;
+      let module Q = Pqdb_numeric.Rational in
+      let rng = Rng.create ~seed:gen_seed in
+      let w = Wtable.create () in
+      (* Mostly easy singleton lineage with a hard DNF minority, the same
+         shape as the confidence microbenchmarks: planning sees wildly
+         uneven shard costs, which is the interesting case. *)
+      let sets =
+        Array.init n (fun i ->
+            if i mod 10 = 9 then
+              Pqdb_workload.Gen.random_dnf rng w ~vars:12 ~clauses:12
+                ~clause_len:3
+            else
+              let num = 1 + Rng.int rng 9 in
+              let v =
+                Wtable.add_var w [ Q.of_ints (10 - num) 10; Q.of_ints num 10 ]
+              in
+              [ Assignment.singleton v 1 ])
+      in
+      (w, sets)
+  | None, Some dir, Some name ->
+      let udb = Udb_io.load dir in
+      let u = Udb.find udb name in
+      let sets =
+        Array.of_list (List.map snd (Urelation.clauses_by_tuple u))
+      in
+      (Udb.wtable udb, sets)
+  | _ ->
+      failwith
+        "give either --gen N (synthetic lineage) or --db DIR --relation NAME"
+
+let batch_cmd db relation gen gen_seed eps delta seed compile_fuel shard_size
+    checkpoint resume retries deadline max_trials faultpoints =
+  try
+    check_unit_interval "eps" eps;
+    check_unit_interval "delta" delta;
+    check_nonneg_int "compile-fuel" compile_fuel;
+    check_pool_workers_env ();
+    apply_faultpoints faultpoints;
+    let options = make_stream ~shard_size ~checkpoint ~resume ~retries in
+    let budget = make_budget ~deadline ~max_trials in
+    let w, sets = batch_inputs ~db ~relation ~gen ~gen_seed in
+    let rng = Rng.create ~seed in
+    let module C = Pqdb_montecarlo.Confidence in
+    let module S = Pqdb_montecarlo.Shard in
+    let summary =
+      C.run_stream ?budget ?compile_fuel ?options rng w sets ~eps ~delta
+        ~emit:(fun (o : S.outcome) ->
+          Array.iteri
+            (fun j est ->
+              let lo, hi = o.S.intervals.(j) in
+              Printf.printf "%d %h %h %h %d\n"
+                (o.S.shard.S.first + j)
+                est lo hi o.S.trials.(j))
+            o.S.estimates;
+          (* One flush per shard: a kill leaves whole-shard prefixes on
+             stdout, matching what the journal holds. *)
+          flush stdout)
+    in
+    Format.eprintf
+      "-- %d tuples, %d shards (%d resumed), %d quarantined, %d trials@."
+      (Array.length sets) summary.C.shards summary.C.resumed_shards
+      (List.length summary.C.quarantined)
+      summary.C.stream_trials;
+    if not summary.C.stream_complete then
+      Format.eprintf
+        "-- incomplete: some tuples report a-priori brackets (sound, wider \
+         than the (eps, delta) contract)@.";
+    if not summary.C.journal_ok then
+      Format.eprintf
+        "-- journaling abandoned mid-run; results unaffected, resume will \
+         recompute the missing shards@.";
+    List.iter
+      (fun (i, e) ->
+        Format.eprintf "-- quarantined shard %d: %s@." i
+          (Pqdb_runtime.Pqdb_error.to_string e))
+      summary.C.quarantined;
+    report_budget ~ppf:Format.err_formatter budget;
+    report_rss ();
+    0
+  with
+  | Failure msg | Invalid_argument msg | Sys_error msg ->
+      Format.eprintf "error: %s@." msg;
+      1
+  | Pqdb_runtime.Pqdb_error.Error e ->
+      Format.eprintf "error: %s@." (Pqdb_runtime.Pqdb_error.to_string e);
       1
 
 (* --- repl ------------------------------------------------------------- *)
@@ -593,11 +777,59 @@ let query_arg =
     & pos 0 (some string) None
     & info [] ~docv:"QUERY" ~doc:"The UA query (or program with let views).")
 
+let faultpoints_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "faultpoints" ] ~docv:"SITE[:N][,...]"
+        ~doc:
+          "Arm fault-injection sites for robustness drills (comma-separated, \
+           repeatable), like the PQDB_FAULTPOINTS environment variable.  \
+           Each entry names a known site, optionally with a shot count.")
+
+let shard_size_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "shard-size" ] ~docv:"COST"
+        ~doc:
+          "Streaming: worst-case-trial cost ceiling per shard.  Bounds \
+           resident memory and the work a crash can lose.")
+
+let checkpoint_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint" ] ~docv:"FILE"
+        ~doc:
+          "Streaming: append every completed shard to this crash-safe \
+           journal (CRC-framed, fsync'd before the shard is reported).")
+
+let resume_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "resume" ] ~docv:"FILE"
+        ~doc:
+          "Resume from the journal of an interrupted run (implies \
+           $(b,--checkpoint) $(docv)): completed shards are replayed \
+           bit-identically, computation restarts at the first gap.")
+
+let retries_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "retries" ] ~docv:"N"
+        ~doc:
+          "Streaming: attempts after a shard's first failure before it is \
+           quarantined (reported with sound a-priori brackets and the typed \
+           error).")
+
 let run_term =
   Term.(
     const run_cmd $ db_arg $ tables_arg $ query_file_arg $ approx_arg
     $ optimize_arg $ delta_arg $ eps0_arg $ deadline_arg $ max_trials_arg
-    $ seed_arg $ query_arg)
+    $ seed_arg $ shard_size_arg $ checkpoint_arg $ resume_arg $ retries_arg
+    $ faultpoints_arg $ query_arg)
 
 let run_cmd_info =
   Cmd.info "run" ~doc:"Evaluate a UA query over CSV base tables."
@@ -640,7 +872,8 @@ let compile_fuel_arg =
 let topk_term =
   Term.(
     const topk_cmd $ db_arg $ tables_arg $ query_file_arg $ k_arg $ delta_arg
-    $ compile_fuel_arg $ deadline_arg $ max_trials_arg $ seed_arg $ query_arg)
+    $ compile_fuel_arg $ deadline_arg $ max_trials_arg $ seed_arg
+    $ faultpoints_arg $ query_arg)
 
 let topk_cmd_info =
   Cmd.info "topk"
@@ -656,6 +889,52 @@ let explain_cmd_info =
     ~doc:
       "Evaluate exactly and print each result tuple's provenance (the \
        precedes-relation of Section 6)."
+
+let gen_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "gen" ] ~docv:"N"
+        ~doc:
+          "Generate N synthetic lineage sets (mostly Bernoulli singletons \
+           with a hard random-DNF minority) instead of loading a database.")
+
+let gen_seed_arg =
+  Arg.(
+    value & opt int 209
+    & info [ "gen-seed" ] ~docv:"SEED"
+        ~doc:"Seed for the synthetic $(b,--gen) workload.")
+
+let relation_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "relation" ] ~docv:"NAME"
+        ~doc:
+          "With $(b,--db): compute confidence for every possible tuple of \
+           this stored relation.")
+
+let eps_arg =
+  Arg.(
+    value & opt float 0.1
+    & info [ "eps" ] ~docv:"EPS"
+        ~doc:"Additive error target of each confidence interval.")
+
+let batch_term =
+  Term.(
+    const batch_cmd $ db_arg $ relation_arg $ gen_arg $ gen_seed_arg $ eps_arg
+    $ delta_arg $ seed_arg $ compile_fuel_arg $ shard_size_arg
+    $ checkpoint_arg $ resume_arg $ retries_arg $ deadline_arg
+    $ max_trials_arg $ faultpoints_arg)
+
+let batch_cmd_info =
+  Cmd.info "batch"
+    ~doc:
+      "Streaming sharded batch confidence: per-tuple (eps, delta) intervals \
+       over raw lineage, with optional crash-safe checkpointing, resume, \
+       retry/quarantine containment and budget-aware shard scheduling.  \
+       stdout is one bit-reproducible line per tuple; diagnostics go to \
+       stderr."
 
 let repl_term = Term.(const repl_cmd $ seed_arg)
 
@@ -675,6 +954,7 @@ let main =
       Cmd.v repl_cmd_info repl_term;
       Cmd.v explain_cmd_info explain_term;
       Cmd.v topk_cmd_info topk_term;
+      Cmd.v batch_cmd_info batch_term;
     ]
 
 let () = exit (Cmd.eval' main)

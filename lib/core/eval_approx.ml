@@ -175,26 +175,45 @@ let conf_like a confs value_of =
   in
   { au = Urelation.make out_schema rows; mu; susp; unrel = a.unrel }
 
+(* Each ApproxConf occurrence gets its own journal: the first keeps the
+   caller's path untouched (the common single-aconf query), later ones get a
+   deterministic [.aconf<k>] suffix.  Traversal order is deterministic and
+   memoized subtrees consume one ordinal, so a resumed run numbers the nodes
+   identically. *)
+let stream_options_for stream aconf_ord =
+  match stream with
+  | None -> None
+  | Some (o : Pqdb_montecarlo.Confidence.stream_options) ->
+      let k = !aconf_ord in
+      incr aconf_ord;
+      let checkpoint =
+        Option.map
+          (fun p -> if k = 0 then p else Printf.sprintf "%s.aconf%d" p k)
+          o.checkpoint
+      in
+      Some { o with checkpoint }
+
 (* Structurally identical subexpressions denote the same relation: memoize
    so shared repair-keys create one set of variables and shared sigma-hats
    decide once. *)
-let rec eval_ann ?budget ~cache ~eps0 ~max_rounds ~sigma_delta ~rng ~stats udb
-    (q : Ua.t) : ann =
+let rec eval_ann ?budget ?stream ~aconf_ord ~cache ~eps0 ~max_rounds
+    ~sigma_delta ~rng ~stats udb (q : Ua.t) : ann =
   let key = Format.asprintf "%a" Ua.pp q in
   match Hashtbl.find_opt cache key with
   | Some a -> a
   | None ->
       let a =
-        eval_ann_raw ?budget ~cache ~eps0 ~max_rounds ~sigma_delta ~rng ~stats
-          udb q
+        eval_ann_raw ?budget ?stream ~aconf_ord ~cache ~eps0 ~max_rounds
+          ~sigma_delta ~rng ~stats udb q
       in
       Hashtbl.replace cache key a;
       a
 
-and eval_ann_raw ?budget ~cache ~eps0 ~max_rounds ~sigma_delta ~rng ~stats udb
-    (q : Ua.t) : ann =
+and eval_ann_raw ?budget ?stream ~aconf_ord ~cache ~eps0 ~max_rounds
+    ~sigma_delta ~rng ~stats udb (q : Ua.t) : ann =
   let recur q =
-    eval_ann ?budget ~cache ~eps0 ~max_rounds ~sigma_delta ~rng ~stats udb q
+    eval_ann ?budget ?stream ~aconf_ord ~cache ~eps0 ~max_rounds ~sigma_delta
+      ~rng ~stats udb q
   in
   let w = Udb.wtable udb in
   match q with
@@ -250,17 +269,19 @@ and eval_ann_raw ?budget ~cache ~eps0 ~max_rounds ~sigma_delta ~rng ~stats udb
       conf_like a confs (fun p -> Value.Rat p)
   | Ua.ApproxConf ({ eps; delta }, q) ->
       let a = recur q in
-      (* Compiled batch: every tuple's lineage is compiled once (sharing W
-         alias tables); tuples that decompose fully are answered exactly and
-         only the residues are sampled, adaptively, over the domain pool. *)
+      (* Streaming compiled batch: tuples are sharded by a-priori cost and
+         compiled/solved shard-at-a-time (bounded resident memory, optional
+         crash-recovery journal); tuples that decompose fully are answered
+         exactly and only the residues are sampled, adaptively, over the
+         domain pool.  Without a budget this is bit-identical to the old
+         materialized run; with one, the remaining allowance is split
+         across shards proportionally to their cost. *)
       let groups = Urelation.clauses_by_tuple a.au in
-      let batch =
-        Pqdb_montecarlo.Confidence.prepare w
+      let estimates, cstats, _summary =
+        Pqdb_montecarlo.Confidence.run_stream_with_stats ?budget
+          ?options:(stream_options_for stream aconf_ord) rng w
           (Array.of_list (List.map snd groups))
-      in
-      let estimates, cstats =
-        Pqdb_montecarlo.Confidence.run_with_stats ?budget rng batch ~eps
-          ~delta
+          ~eps ~delta
       in
       stats.estimator_calls <-
         stats.estimator_calls
@@ -394,7 +415,8 @@ let result_of_ann a =
     unreliable = a.unrel;
   }
 
-let eval ?budget ?(eps0 = 0.05) ?max_rounds ?(sigma_delta = 0.05) ~rng udb q =
+let eval ?budget ?stream ?(eps0 = 0.05) ?max_rounds ?(sigma_delta = 0.05) ~rng
+    udb q =
   if Ua.has_sigma_hat_below_repair_key q then
     raise
       (Eval_exact.Unsupported
@@ -402,8 +424,10 @@ let eval ?budget ?(eps0 = 0.05) ?max_rounds ?(sigma_delta = 0.05) ~rng udb q =
           (footnote 3)");
   let stats = fresh_stats () in
   let cache = Hashtbl.create 64 in
+  let aconf_ord = ref 0 in
   let a =
-    eval_ann ?budget ~cache ~eps0 ~max_rounds ~sigma_delta ~rng ~stats udb q
+    eval_ann ?budget ?stream ~aconf_ord ~cache ~eps0 ~max_rounds ~sigma_delta
+      ~rng ~stats udb q
   in
   (result_of_ann a, stats)
 
@@ -422,8 +446,8 @@ let active_domain_size udb =
     (Udb.names udb);
   max 2 (Hashtbl.length seen)
 
-let eval_with_guarantee ?budget ?(eps0 = 0.05) ?(initial_rounds = 1) ~rng
-    ~delta udb q =
+let eval_with_guarantee ?budget ?stream ?(eps0 = 0.05) ?(initial_rounds = 1)
+    ~rng ~delta udb q =
   let k = max 1 (Ua.max_conf_width q) in
   let d = max 1 (Ua.nesting_depth q) in
   let n = active_domain_size udb in
@@ -434,9 +458,23 @@ let eval_with_guarantee ?budget ?(eps0 = 0.05) ?(initial_rounds = 1) ~rng
     total.estimator_calls <- total.estimator_calls + stats.estimator_calls;
     total.round_limit_hits <- total.round_limit_hits + stats.round_limit_hits
   in
-  let rec attempt l sigma_delta =
+  let rec attempt ~first l sigma_delta =
     let udb' = Udb.copy udb in
-    let r, stats = eval ?budget ~eps0 ~max_rounds:l ~sigma_delta ~rng udb' q in
+    (* Only the first attempt may replay a journal from a previous process:
+       later doubling attempts can see different aconf inputs (σ̂ decisions
+       shift memberships), so their journals must start fresh rather than
+       fail the fingerprint check. *)
+    let stream =
+      if first then stream
+      else
+        Option.map
+          (fun (o : Pqdb_montecarlo.Confidence.stream_options) ->
+            { o with Pqdb_montecarlo.Confidence.resume = false })
+          stream
+    in
+    let r, stats =
+      eval ?budget ?stream ~eps0 ~max_rounds:l ~sigma_delta ~rng udb' q
+    in
     accumulate stats;
     Log.debug (fun m ->
         m
@@ -459,6 +497,6 @@ let eval_with_guarantee ?budget ?(eps0 = 0.05) ?(initial_rounds = 1) ~rng
        bounds and suspects. *)
     if max_error r <= delta || l >= l_cap || budget_exhausted then
       (r, total, l)
-    else attempt (min l_cap (2 * l)) (sigma_delta /. 2.)
+    else attempt ~first:false (min l_cap (2 * l)) (sigma_delta /. 2.)
   in
-  attempt (max 1 initial_rounds) delta
+  attempt ~first:true (max 1 initial_rounds) delta

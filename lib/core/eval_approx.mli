@@ -41,6 +41,7 @@ val error_of : result -> Tuple.t -> float
 
 val eval :
   ?budget:Pqdb_montecarlo.Budget.t ->
+  ?stream:Pqdb_montecarlo.Confidence.stream_options ->
   ?eps0:float ->
   ?max_rounds:int ->
   ?sigma_delta:float ->
@@ -59,11 +60,19 @@ val eval :
     sound but tuples that missed their (ε, δ) contract are reported as
     {!result.suspects} (σ̂ decisions additionally count as
     [round_limit_hits]).
+
+    [conf_{ε,δ}] batches always run through the streaming shard engine
+    ({!Pqdb_montecarlo.Confidence.run_stream}); [stream] overrides its
+    options — shard ceiling, retry budget, and crash-recovery journal.  A
+    query with several [aconf] nodes journals the first at the given path
+    and later ones at deterministic [.aconf<k>] suffixes, so [resume] pairs
+    each node with its own journal.
     @raise Eval_exact.Unsupported as the exact evaluator, and additionally
     when [repair-key] sits above a σ̂ (footnote 3 of the paper). *)
 
 val eval_with_guarantee :
   ?budget:Pqdb_montecarlo.Budget.t ->
+  ?stream:Pqdb_montecarlo.Confidence.stream_options ->
   ?eps0:float ->
   ?initial_rounds:int ->
   rng:Rng.t ->
@@ -85,4 +94,9 @@ val eval_with_guarantee :
     intended use), where result rows carry no conditions.
 
     With a [budget], the doubling also stops (with the current, degraded
-    result) once the governor is exhausted. *)
+    result) once the governor is exhausted.
+
+    [stream] is threaded to every attempt's [conf] batches as in {!eval},
+    except that only the first attempt honours [resume] — later doubling
+    attempts can present different batches to the same node, so they start
+    their journals fresh instead of failing the fingerprint check. *)

@@ -54,7 +54,7 @@ let run ?budget ?(eps0 = 0.01) ?max_rounds ?compile_fuel ~rng ~delta ~k
     candidates =
   if k <= 0 then invalid_arg "Topk.run: k must be positive";
   if candidates = [] then invalid_arg "Topk.run: no candidates";
-  let cands =
+  let compiled =
     Array.of_list
       (List.map
          (fun (tuple, dnf) ->
@@ -62,13 +62,63 @@ let run ?budget ?(eps0 = 0.01) ?max_rounds ?compile_fuel ~rng ~delta ~k
              Compile.compile ?fuel:compile_fuel (Dnf.wtable dnf)
                (Dnf.clauses dnf)
            in
-           let ests = Array.map Estimator.create (Compile.residuals comp) in
-           { tuple; comp; ests; lo = 0.; hi = 1. })
+           let lo, hi =
+             match Compile.exact_value comp with
+             | Some p -> (p, p)
+             | None -> Compile.vacuous_interval comp
+           in
+           (tuple, comp, lo, hi))
          candidates)
   in
-  let n = Array.length cands in
+  let n = Array.length compiled in
   let delta_t = delta /. float_of_int n in
   let k = min k n in
+  let exact_candidates =
+    Array.fold_left
+      (fun acc (_, comp, _, _) ->
+        if Compile.is_exact comp then acc + 1 else acc)
+      0 compiled
+  in
+  (* A-priori prescreen: with θ the k-th largest compiled lower bound, a
+     candidate whose upper bound sits strictly below θ can never enter the
+     top k (k candidates are certified above it before any sampling), so it
+     never gets samplers at all — clear losers cost compilation only.  The
+     pruned ceiling [floor_hi] stays in the certification and contested-band
+     arithmetic below, keeping the certificate sound: selected candidates
+     must still be separated from the best pruned candidate. *)
+  let floor_hi = ref 0. in
+  let keep =
+    if n <= k then Array.map (fun _ -> true) compiled
+    else begin
+      let los = Array.map (fun (_, _, lo, _) -> lo) compiled in
+      Array.sort (fun a b -> compare b a) los;
+      let theta = los.(k - 1) in
+      Array.map
+        (fun (_, _, _, hi) ->
+          if hi < theta then begin
+            floor_hi := Float.max !floor_hi hi;
+            false
+          end
+          else true)
+        compiled
+    end
+  in
+  let cands =
+    Array.of_list
+      (List.filter_map
+         (fun i ->
+           if keep.(i) then begin
+             let tuple, comp, lo, hi = compiled.(i) in
+             let ests = Array.map Estimator.create (Compile.residuals comp) in
+             Some { tuple; comp; ests; lo; hi }
+           end
+           else None)
+         (List.init n Fun.id))
+  in
+  let floor_hi = !floor_hi in
+  (* The k candidates defining θ all survive (their hi ≥ lo ≥ θ), so the
+     kept pool never shrinks below k. *)
+  let n = Array.length cands in
   let rounds = ref 0 in
   let delta_r c =
     delta_t /. float_of_int (max 1 (Array.length c.ests))
@@ -78,8 +128,9 @@ let run ?budget ?(eps0 = 0.01) ?max_rounds ?compile_fuel ~rng ~delta ~k
     (* Order by estimate; the k-th and (k+1)-th define the boundary. *)
     let order = Array.copy cands in
     Array.sort (fun a b -> compare (current_value b) (current_value a)) order;
-    if k >= n then (order, true)
-    else begin
+    begin
+      (* [rejected] may be empty (k = n after pruning): the certificate is
+         then separation from the best pruned candidate, [floor_hi]. *)
       let selected = Array.sub order 0 k in
       let rejected = Array.sub order k (n - k) in
       let min_selected_lo =
@@ -87,6 +138,7 @@ let run ?budget ?(eps0 = 0.01) ?max_rounds ?compile_fuel ~rng ~delta ~k
       in
       let max_rejected_hi =
         Array.fold_left (fun acc c -> Float.max acc c.hi) 0. rejected
+        |> Float.max floor_hi
       in
       if min_selected_lo >= max_rejected_hi then (order, true)
       else begin
@@ -154,11 +206,6 @@ let run ?budget ?(eps0 = 0.01) ?max_rounds ?compile_fuel ~rng ~delta ~k
   in
   let calls =
     Array.fold_left (fun acc c -> acc + candidate_trials c) 0 cands
-  in
-  let exact_candidates =
-    Array.fold_left
-      (fun acc c -> if Compile.is_exact c.comp then acc + 1 else acc)
-      0 cands
   in
   {
     ranked =

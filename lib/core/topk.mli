@@ -12,6 +12,15 @@
     the k-th boundary are refined further, so clearly-in and clearly-out
     tuples stop sampling early.
 
+    Before any sampler is even allocated, an {e a-priori prescreen} on the
+    compiled brackets drops clear losers: with θ the k-th largest compiled
+    lower bound, a candidate whose compiled upper bound lies strictly below
+    θ can never rank and is pruned for the cost of compilation alone — on
+    skewed workloads most of the field never materializes estimators, which
+    bounds the race's resident memory the same way streaming bounds the
+    batch engine's.  The best pruned upper bound stays in the certification
+    arithmetic, so [certified] still means what it says.
+
     Like predicate approximation, ranking has singularities: ties at the
     boundary cannot be separated, so refinement stops at the relative floor
     [eps0] and the result is flagged uncertified. *)

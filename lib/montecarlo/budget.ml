@@ -43,9 +43,41 @@ let past_deadline t =
       end
       else false
 
+let remaining_deadline t =
+  Option.map (fun d -> d -. Unix.gettimeofday ()) t.deadline
+
+let limitless t = t.deadline = None && t.max_trials = None
+
 let exhausted t =
   Atomic.get t.cancelled_flag
   || (match t.max_trials with
      | Some m -> Atomic.get t.trials >= m
      | None -> false)
   || past_deadline t
+
+let split t ~fraction =
+  let fraction = Float.max 0. (Float.min 1. fraction) in
+  let dead () =
+    let b = create () in
+    cancel b;
+    b
+  in
+  if exhausted t then dead ()
+  else
+    let deadline_s =
+      match remaining_deadline t with
+      | None -> None
+      | Some rem -> Some (rem *. fraction)
+    in
+    let max_trials =
+      match t.max_trials with
+      | None -> None
+      | Some _ ->
+          Some
+            (max 1
+               (int_of_float
+                  (ceil (float_of_int (remaining_trials t) *. fraction))))
+    in
+    match deadline_s with
+    | Some s when s <= 0. -> dead ()
+    | _ -> create ?deadline_s ?max_trials ()

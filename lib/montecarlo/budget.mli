@@ -41,7 +41,29 @@ val remaining_trials : t -> int
 (** Trials left before the trial budget exhausts ([max_int] when
     unlimited); never negative. *)
 
+val remaining_deadline : t -> float option
+(** Wall-clock seconds until the deadline ([None] when there is none); may
+    be negative once past it. *)
+
+val limitless : t -> bool
+(** [true] when the budget carries neither a deadline nor a trial cap — it
+    can only exhaust via {!cancel}.  Schedulers share such a budget directly
+    instead of splitting it, so cancellation propagates live. *)
+
 val exhausted : t -> bool
 (** [true] once the budget is cancelled, over its trial budget, or past its
     deadline.  The deadline check is sticky: once observed expired it stays
     expired, so a loop polling [exhausted] terminates promptly. *)
+
+val split : t -> fraction:float -> t
+(** A fresh child budget granted [fraction] (clamped to [[0,1]]) of the
+    parent's {e remaining} trial and wall-clock allowance — the primitive
+    behind budget-aware shard scheduling: giving shard [k] the fraction
+    [cost_k / remaining_cost] divides what is left proportionally instead of
+    first-come-first-served.  The child is independent once created (charge
+    the parent with the trials actually used afterwards); an already
+    exhausted parent yields a cancelled child.  Trial shares round up, so
+    concurrent shares can oversubscribe the parent by at most one trial
+    each — the per-shard re-split against the parent's live remainder
+    self-corrects.  Trial-only splits are deterministic; deadline shares
+    depend on the clock. *)

@@ -312,7 +312,7 @@ let solve ?budget rng t ~eps ~delta =
              the compiled bracket. *)
           let lo, hi = vacuous_interval t in
           { value = lo; trials = 0; residual_mass = 0.; lo; hi;
-            achieved_eps = Float.infinity; complete = false }
+            achieved_eps = (hi -. lo) /. 2.; complete = false }
     end
     else
       match budget with

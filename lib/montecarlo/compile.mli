@@ -85,7 +85,11 @@ type outcome = {
       (** the relative error actually certified at confidence δ: the
           requested ε when [complete], the worst residual's partial-trial
           ε′ otherwise ([infinity] when some residual is vacuous, [0] when
-          exact) *)
+          exact).  When sampling never ran at all — fallback sampling died,
+          budget exhausted before the first trial — this is instead the
+          {e absolute} half-width of the a-priori {!vacuous_interval}, the
+          honest certificate actually held, rather than a claim about a
+          relative contract that was never attempted. *)
   complete : bool;  (** the requested (ε, δ) contract was met *)
 }
 

@@ -1,5 +1,8 @@
 open Pqdb_numeric
 open Pqdb_urel
+module Checkpoint = Pqdb_runtime.Checkpoint
+module Faultpoint = Pqdb_runtime.Faultpoint
+module Pqdb_error = Pqdb_runtime.Pqdb_error
 
 type batch = {
   clause_sets : Assignment.t list array;
@@ -43,14 +46,28 @@ let cost_bound batch i ~eps ~delta =
     0
     (Compile.residuals batch.comps.(i))
 
-let run_with_stats ?budget ?nworkers rng batch ~eps ~delta =
-  if eps <= 0. || delta <= 0. then invalid_arg "Confidence.run";
+type core = {
+  c_out : float array;
+  c_trials : int array;
+  c_masses : float array;
+  c_intervals : (float * float) array;
+  c_achieved : float array;
+  c_complete : bool;
+}
+
+(* The solve phase over pre-split per-tuple RNG lanes.  Tuple [i] consumes
+   only [lanes.(i)], so any partition of a batch into sub-batches run
+   through this (with the matching lane slices) produces bit-identical
+   per-tuple results — the property the streaming/resume layer rests on. *)
+let run_core ?budget ?nworkers lanes batch ~eps ~delta =
   let nworkers =
     match nworkers with Some n -> n | None -> Pool.default_workers ()
   in
   if nworkers <= 0 then
     invalid_arg "Confidence.run: nworkers must be positive";
   let n = size batch in
+  if Array.length lanes <> n then
+    invalid_arg "Confidence.run: one RNG lane per tuple";
   let out = Array.make n 0. in
   let trials_used = Array.make n 0 in
   let masses = Array.make n 0. in
@@ -60,15 +77,13 @@ let run_with_stats ?budget ?nworkers rng batch ~eps ~delta =
      contract or a task/pool failure is contained. *)
   let all_complete = Atomic.make true in
   if n > 0 then begin
-    (* One child stream and one output slot per tuple: the estimates are
-       bit-deterministic for a fixed parent RNG state, independent of the
-       pool size and of which domain runs which tuple. *)
-    let rngs = Rng.split_n rng n in
     (* Tuples the compiler resolved in closed form cost nothing — fill them
        here and farm only the ones with residual sampling work, longest
        worst-case budget first.  Live tuples are pre-filled with their
        a-priori compiled bracket so that a tuple whose task never runs (or
-       dies) still reports a sound interval instead of garbage. *)
+       dies) still reports a sound interval instead of garbage; its
+       achieved_eps is the bracket's absolute half-width — the certificate
+       actually held — never the requested ε. *)
     let live = ref [] in
     Array.iteri
       (fun i comp ->
@@ -80,7 +95,7 @@ let run_with_stats ?budget ?nworkers rng batch ~eps ~delta =
             let lo, hi = Compile.vacuous_interval comp in
             out.(i) <- lo;
             intervals.(i) <- (lo, hi);
-            achieved.(i) <- Float.infinity;
+            achieved.(i) <- (hi -. lo) /. 2.;
             live := i :: !live)
       batch.comps;
     let live =
@@ -95,7 +110,7 @@ let run_with_stats ?budget ?nworkers rng batch ~eps ~delta =
     if ntasks > 0 then begin
       let task k =
         let i = live.(k) in
-        match Compile.solve ?budget rngs.(i) batch.comps.(i) ~eps ~delta with
+        match Compile.solve ?budget lanes.(i) batch.comps.(i) ~eps ~delta with
         | o ->
             out.(i) <- o.Compile.value;
             trials_used.(i) <- o.Compile.trials;
@@ -116,19 +131,36 @@ let run_with_stats ?budget ?nworkers rng batch ~eps ~delta =
       | exception _ -> Atomic.set all_complete false
     end
   end;
+  {
+    c_out = out;
+    c_trials = trials_used;
+    c_masses = masses;
+    c_intervals = intervals;
+    c_achieved = achieved;
+    c_complete = Atomic.get all_complete;
+  }
+
+let exact_fraction_of ~out ~masses =
   let total_value = Array.fold_left ( +. ) 0. out in
   let sampled_mass = Array.fold_left ( +. ) 0. masses in
-  let exact_fraction =
-    if total_value <= 0. then 1.
-    else Float.max 0. (1. -. (sampled_mass /. total_value))
-  in
-  ( out,
+  if total_value <= 0. then 1.
+  else Float.max 0. (1. -. (sampled_mass /. total_value))
+
+let run_with_stats ?budget ?nworkers rng batch ~eps ~delta =
+  if eps <= 0. || delta <= 0. then invalid_arg "Confidence.run";
+  let n = size batch in
+  (* One child stream and one output slot per tuple: the estimates are
+     bit-deterministic for a fixed parent RNG state, independent of the
+     pool size and of which domain runs which tuple. *)
+  let lanes = if n = 0 then [||] else Rng.split_n rng n in
+  let c = run_core ?budget ?nworkers lanes batch ~eps ~delta in
+  ( c.c_out,
     {
-      trials_used;
-      exact_fraction;
-      intervals;
-      achieved_eps = achieved;
-      complete = Atomic.get all_complete;
+      trials_used = c.c_trials;
+      exact_fraction = exact_fraction_of ~out:c.c_out ~masses:c.c_masses;
+      intervals = c.c_intervals;
+      achieved_eps = c.c_achieved;
+      complete = c.c_complete;
     } )
 
 let run ?budget ?nworkers rng batch ~eps ~delta =
@@ -142,3 +174,294 @@ let approx_confidences ?budget ?nworkers ?compile_fuel rng w u ~eps ~delta =
   let batch = prepare ?compile_fuel w (Array.of_list (List.map snd groups)) in
   let estimates = run ?budget ?nworkers rng batch ~eps ~delta in
   List.mapi (fun i (t, _) -> (t, estimates.(i))) groups
+
+(* --- streaming / checkpointed execution --------------------------------- *)
+
+type stream_options = {
+  shard_cost : int;
+  retries : int;
+  checkpoint : string option;
+  resume : bool;
+}
+
+let default_stream_options =
+  { shard_cost = 1_000_000; retries = 2; checkpoint = None; resume = false }
+
+type stream_summary = {
+  shards : int;
+  resumed_shards : int;
+  quarantined : (int * Pqdb_error.t) list;
+  stream_trials : int;
+  stream_complete : bool;
+  journal_ok : bool;
+}
+
+let sum_trials a = Array.fold_left ( + ) 0 a
+
+let run_stream ?budget ?nworkers ?compile_fuel
+    ?(options = default_stream_options) rng w clause_sets ~eps ~delta ~emit =
+  if eps <= 0. || delta <= 0. then invalid_arg "Confidence.run_stream";
+  if options.shard_cost < 1 then
+    invalid_arg "Confidence.run_stream: shard_cost must be >= 1";
+  if options.retries < 0 then
+    invalid_arg "Confidence.run_stream: retries must be >= 0";
+  if options.resume && options.checkpoint = None then
+    invalid_arg "Confidence.run_stream: resume requires a checkpoint journal";
+  let n = Array.length clause_sets in
+  let shards = Shard.plan ~eps ~delta ~max_cost:options.shard_cost clause_sets in
+  (* Per-tuple lanes are split over the WHOLE batch up front; shards consume
+     their tuples' lanes only.  Combined with the run_core contract this
+     makes the stream bit-identical to the materialized run — and to any
+     interrupted-and-resumed replay of itself. *)
+  let lanes = if n = 0 then [||] else Rng.split_n rng n in
+  let meta =
+    Shard.meta_payload ~n ~eps ~delta ~fuel:compile_fuel
+      ~shard_cost:options.shard_cost
+  in
+  let journal_ok = ref true in
+  let writer = ref None in
+  let drop_writer () =
+    match !writer with
+    | None -> ()
+    | Some wtr ->
+        journal_ok := false;
+        writer := None;
+        (try Checkpoint.close wtr with _ -> ())
+  in
+  let append_record payload =
+    match !writer with
+    | None -> ()
+    | Some wtr ->
+        let rec go attempt =
+          match Checkpoint.append wtr payload with
+          | () -> ()
+          | exception _ ->
+              if attempt >= options.retries then
+                (* Journaling is an aid, not a contract: a persistently
+                   failing journal is abandoned and the computation
+                   continues (reported via journal_ok). *)
+                drop_writer ()
+              else begin
+                Unix.sleepf (Shard.backoff_s ~attempt:(attempt + 1));
+                go (attempt + 1)
+              end
+        in
+        go 0
+  in
+  let resumed : (int, Shard.outcome) Hashtbl.t = Hashtbl.create 16 in
+  (match options.checkpoint with
+  | None -> ()
+  | Some path ->
+      let wtr, payloads = Checkpoint.open_writer ~resume:options.resume path in
+      writer := Some wtr;
+      (match payloads with
+      | [] -> append_record meta
+      | stored_meta :: records ->
+          if not (String.equal stored_meta meta) then
+            Pqdb_error.malformed ~source:path
+              (Printf.sprintf
+                 "journal parameters do not match this run (journal %S, run %S)"
+                 stored_meta meta);
+          List.iteri
+            (fun k payload ->
+              let record = k + 1 in
+              let o = Shard.of_payload ~source:path ~record payload in
+              let idx = o.Shard.shard.Shard.index in
+              match Hashtbl.find_opt resumed idx with
+              | Some prev ->
+                  (* Identical duplicates (a crash between fsync and the
+                     caller's bookkeeping can legitimately replay a shard)
+                     resolve first-wins; conflicting ones are corruption. *)
+                  if not (String.equal (Shard.to_payload prev) payload) then
+                    Pqdb_error.malformed ~source:path
+                      (Printf.sprintf
+                         "record %d: conflicting duplicate of shard %d" record
+                         idx)
+              | None ->
+                  if idx < 0 || idx >= Array.length shards then
+                    Pqdb_error.malformed ~source:path
+                      (Printf.sprintf "record %d: unknown shard %d" record idx);
+                  let expected = shards.(idx) in
+                  if
+                    expected.Shard.first <> o.Shard.shard.Shard.first
+                    || expected.Shard.count <> o.Shard.shard.Shard.count
+                  then
+                    Pqdb_error.malformed ~source:path
+                      (Printf.sprintf
+                         "record %d: shard %d geometry does not match the plan"
+                         record idx);
+                  if
+                    not
+                      (String.equal (Shard.fingerprint clause_sets expected)
+                         o.Shard.fp)
+                  then
+                    Pqdb_error.malformed ~source:path
+                      (Printf.sprintf
+                         "record %d: shard %d fingerprint does not match the \
+                          data"
+                         record idx);
+                  Hashtbl.add resumed idx o)
+            records));
+  let total_cost = Array.fold_left (fun a s -> a + s.Shard.cost) 0 shards in
+  let remaining_cost = ref total_cost in
+  let stream_trials = ref 0 in
+  let quarantined = ref [] in
+  let resumed_count = ref 0 in
+  let all_complete = ref true in
+  let quarantine_outcome (sh : Shard.t) fp e =
+    let count = sh.count in
+    let estimates = Array.make count 0. in
+    let intervals = Array.make count (0., 1.) in
+    let achieved = Array.make count 0.5 in
+    for j = 0 to count - 1 do
+      match Compile.compile ?fuel:compile_fuel w clause_sets.(sh.first + j) with
+      | comp -> (
+          match Compile.exact_value comp with
+          | Some p ->
+              estimates.(j) <- p;
+              intervals.(j) <- (p, p);
+              achieved.(j) <- 0.
+          | None ->
+              let lo, hi = Compile.vacuous_interval comp in
+              estimates.(j) <- lo;
+              intervals.(j) <- (lo, hi);
+              achieved.(j) <- (hi -. lo) /. 2.)
+      | exception _ -> () (* keep the vacuous [0, 1] default *)
+    done;
+    let err =
+      match e with
+      | Pqdb_error.Error t -> t
+      | e -> Pqdb_error.Task_failure { index = sh.index; inner = e }
+    in
+    {
+      Shard.shard = sh;
+      fp;
+      estimates;
+      intervals;
+      trials = Array.make count 0;
+      achieved;
+      masses = Array.make count 0.;
+      complete = false;
+      resumed = false;
+      quarantined = Some err;
+    }
+  in
+  let run_shard (sh : Shard.t) =
+    let fp = Shard.fingerprint clause_sets sh in
+    let attempt_once () =
+      Faultpoint.fire "shard.run";
+      let batch =
+        prepare ?compile_fuel w (Array.sub clause_sets sh.first sh.count)
+      in
+      (* Fresh lane copies per attempt: a retried shard replays exactly the
+         stream a fault-free first attempt would have consumed. *)
+      let sub_lanes =
+        Array.init sh.count (fun j -> Rng.copy lanes.(sh.first + j))
+      in
+      let sub_budget, charge_parent =
+        match budget with
+        | None -> (None, fun _ -> ())
+        | Some b ->
+            if Budget.limitless b then (Some b, fun _ -> ())
+            else
+              (* Budget-aware scheduling: this shard's proportional share of
+                 what is left, by a-priori cost — the tail degrades evenly
+                 instead of starving. *)
+              let fraction =
+                float_of_int sh.cost /. float_of_int (max 1 !remaining_cost)
+              in
+              (Some (Budget.split b ~fraction), fun used -> Budget.spend b used)
+      in
+      let c = run_core ?budget:sub_budget ?nworkers sub_lanes batch ~eps ~delta in
+      charge_parent (sum_trials c.c_trials);
+      {
+        Shard.shard = sh;
+        fp;
+        estimates = c.c_out;
+        intervals = c.c_intervals;
+        trials = c.c_trials;
+        achieved = c.c_achieved;
+        masses = c.c_masses;
+        complete = c.c_complete;
+        resumed = false;
+        quarantined = None;
+      }
+    in
+    let rec go attempt =
+      match attempt_once () with
+      | o -> o
+      | exception e ->
+          if attempt >= options.retries then quarantine_outcome sh fp e
+          else begin
+            Unix.sleepf (Shard.backoff_s ~attempt:(attempt + 1));
+            go (attempt + 1)
+          end
+    in
+    go 0
+  in
+  Array.iter
+    (fun (sh : Shard.t) ->
+      let outcome =
+        match Hashtbl.find_opt resumed sh.index with
+        | Some o ->
+            incr resumed_count;
+            (* Charge the governor with the journaled spend so later shards
+               see the same remaining allowance as in the uninterrupted
+               run. *)
+            (match budget with
+            | Some b -> Budget.spend b (sum_trials o.Shard.trials)
+            | None -> ());
+            o
+        | None -> run_shard sh
+      in
+      remaining_cost := !remaining_cost - sh.cost;
+      stream_trials := !stream_trials + sum_trials outcome.Shard.trials;
+      if not outcome.Shard.complete then all_complete := false;
+      (match outcome.Shard.quarantined with
+      | Some err -> quarantined := (sh.index, err) :: !quarantined
+      | None ->
+          if not outcome.Shard.resumed then
+            append_record (Shard.to_payload outcome));
+      emit outcome)
+    shards;
+  (match !writer with
+  | Some wtr ->
+      writer := None;
+      Checkpoint.close wtr
+  | None -> ());
+  {
+    shards = Array.length shards;
+    resumed_shards = !resumed_count;
+    quarantined = List.rev !quarantined;
+    stream_trials = !stream_trials;
+    stream_complete = !all_complete && !quarantined = [];
+    journal_ok = !journal_ok;
+  }
+
+let run_stream_with_stats ?budget ?nworkers ?compile_fuel ?options rng w
+    clause_sets ~eps ~delta =
+  let n = Array.length clause_sets in
+  let out = Array.make n 0. in
+  let trials_used = Array.make n 0 in
+  let masses = Array.make n 0. in
+  let intervals = Array.make n (0., 0.) in
+  let achieved = Array.make n 0. in
+  let summary =
+    run_stream ?budget ?nworkers ?compile_fuel ?options rng w clause_sets ~eps
+      ~delta ~emit:(fun (o : Shard.outcome) ->
+        let f = o.shard.Shard.first and c = o.shard.Shard.count in
+        Array.blit o.estimates 0 out f c;
+        Array.blit o.trials 0 trials_used f c;
+        Array.blit o.masses 0 masses f c;
+        Array.blit o.intervals 0 intervals f c;
+        Array.blit o.achieved 0 achieved f c)
+  in
+  ( out,
+    {
+      trials_used;
+      exact_fraction = exact_fraction_of ~out ~masses;
+      intervals;
+      achieved_eps = achieved;
+      complete = summary.stream_complete;
+    },
+    summary )

@@ -35,9 +35,13 @@ type stats = {
           whose sampling never ran (budget exhausted early, contained
           failure). *)
   achieved_eps : float array;
-      (** Per tuple, the relative error actually certified: the requested ε
-          on a complete run, the partial-trial ε′ under a budget, [infinity]
-          when only the a-priori bracket holds, [0] for exact tuples. *)
+      (** Per tuple, the error actually certified: the requested relative ε
+          on a complete run, the partial-trial relative ε′ under a budget,
+          [0] for exact tuples.  For tuples where only the a-priori compiled
+          bracket holds — quarantined, unreached, or sampling died — this is
+          the bracket's {e absolute half-width}, the certificate actually in
+          hand, so the stats line never over-claims precision (it is never
+          the requested ε for a tuple that was not sampled). *)
   complete : bool;
       (** Every tuple met the requested (ε, δ) contract.  [false] means the
           run degraded somewhere — inspect [achieved_eps]/[intervals] —
@@ -95,3 +99,85 @@ val approx_confidences :
 (** The approximate [conf(R)]: every possible tuple of [u] with its (ε, δ)
     confidence estimate, grouped via
     {!Pqdb_urel.Urelation.clauses_by_tuple}. *)
+
+(** {1 Streaming, checkpointed execution}
+
+    {!run_stream} processes a batch shard-at-a-time ({!Shard.plan}): only
+    one shard's compiled trees and samplers are resident at a time, so
+    memory is bounded by the shard cost ceiling rather than the batch, and
+    results are pushed to [emit] incrementally.  Per-tuple RNG lanes are
+    split over the whole batch up front, so without a budget the stream is
+    {e bit-identical} to {!run_with_stats} — and, through the journal, to
+    any interrupted-and-resumed replay of itself. *)
+
+type stream_options = {
+  shard_cost : int;
+      (** Worst-case-trial ceiling per shard ({!Shard.plan}); bounds
+          resident memory and the work a crash can lose.  Default 1e6. *)
+  retries : int;
+      (** Attempts after the first failure before a shard is quarantined
+          (also the retry budget for journal appends).  Deterministic
+          backoff {!Shard.backoff_s} between attempts.  Default 2. *)
+  checkpoint : string option;
+      (** Journal path ({!Pqdb_runtime.Checkpoint}): every completed shard
+          is appended and fsync'd before [emit] sees it, so a killed process
+          loses at most the shard in flight. *)
+  resume : bool;
+      (** Replay completed shards from [checkpoint] instead of recomputing
+          them, then continue (and keep journaling) from the first gap. *)
+}
+
+val default_stream_options : stream_options
+
+type stream_summary = {
+  shards : int;
+  resumed_shards : int;  (** replayed from the journal, not recomputed *)
+  quarantined : (int * Pqdb_runtime.Pqdb_error.t) list;
+      (** Shards that kept failing after their retry budget, with the last
+          typed error.  Their tuples report a-priori brackets; they are not
+          journaled, so a later resume retries them (self-healing). *)
+  stream_trials : int;  (** estimator calls, journaled spend included *)
+  stream_complete : bool;
+      (** every shard ran (or replayed) to its (ε, δ) contract *)
+  journal_ok : bool;
+      (** [false] when journaling had to be abandoned mid-run (persistent
+          append failure) — results are unaffected but the journal is
+          incomplete. *)
+}
+
+val run_stream :
+  ?budget:Budget.t -> ?nworkers:int -> ?compile_fuel:int ->
+  ?options:stream_options -> Rng.t -> Wtable.t -> Assignment.t list array ->
+  eps:float -> delta:float -> emit:(Shard.outcome -> unit) -> stream_summary
+(** Stream the batch shard by shard, calling [emit] once per shard in plan
+    order.  Each shard is compiled, solved on its tuples' RNG lanes (fresh
+    lane copies per attempt, so retries replay the fault-free stream),
+    journaled, then released before the next shard starts.
+
+    With a [budget], each shard receives the fraction of the {e remaining}
+    allowance proportional to its a-priori cost ({!Budget.split}) — the
+    tail degrades evenly instead of first-come-first-served exhaustion;
+    trial-only budgets keep the schedule deterministic.  A cancel-only
+    budget is shared directly so cancellation takes effect mid-shard.
+
+    Failures are contained at shard granularity: a shard that still raises
+    after [retries] attempts is {e quarantined} — emitted with sound
+    a-priori brackets and the typed error — and the stream continues.
+    Exceptions from [emit] itself are not contained (the journal already
+    holds the emitted shard, so a crashed consumer resumes cleanly).
+
+    @raise Invalid_argument on bad (ε, δ), options, or [resume] without a
+    [checkpoint] path.
+    @raise Pqdb_runtime.Pqdb_error.Error ([Malformed_input] naming the
+    journal path and record index) when resuming from a journal that is
+    corrupt mid-file or was written by a different run (parameters,
+    geometry or data fingerprint mismatch). *)
+
+val run_stream_with_stats :
+  ?budget:Budget.t -> ?nworkers:int -> ?compile_fuel:int ->
+  ?options:stream_options -> Rng.t -> Wtable.t -> Assignment.t list array ->
+  eps:float -> delta:float -> float array * stats * stream_summary
+(** {!run_stream} collected into the {!run_with_stats} shape (plus the
+    stream summary), for callers that want checkpointing/containment but a
+    materialized result.  Without a budget the arrays are bit-identical to
+    {!run_with_stats} on the same inputs. *)

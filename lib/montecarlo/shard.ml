@@ -1,0 +1,175 @@
+open Pqdb_numeric
+open Pqdb_urel
+module Checkpoint = Pqdb_runtime.Checkpoint
+module Pqdb_error = Pqdb_runtime.Pqdb_error
+
+type t = { index : int; first : int; count : int; cost : int }
+
+let tuple_cost ~eps ~delta clauses =
+  match clauses with
+  | [] -> 1
+  | cs when List.exists Assignment.is_empty cs -> 1
+  | cs -> 1 + Stats.karp_luby_trials ~clauses:(List.length cs) ~eps ~delta
+
+let plan ~eps ~delta ~max_cost clause_sets =
+  if max_cost < 1 then invalid_arg "Shard.plan: max_cost must be >= 1";
+  let n = Array.length clause_sets in
+  let shards = ref [] in
+  let nshards = ref 0 in
+  let first = ref 0 in
+  let count = ref 0 in
+  let cost = ref 0 in
+  let flush () =
+    if !count > 0 then begin
+      shards :=
+        { index = !nshards; first = !first; count = !count; cost = !cost }
+        :: !shards;
+      incr nshards;
+      first := !first + !count;
+      count := 0;
+      cost := 0
+    end
+  in
+  for i = 0 to n - 1 do
+    let c = tuple_cost ~eps ~delta clause_sets.(i) in
+    if !count > 0 && !cost + c > max_cost then flush ();
+    incr count;
+    cost := !cost + c
+  done;
+  flush ();
+  Array.of_list (List.rev !shards)
+
+let fingerprint clause_sets sh =
+  let buf = Buffer.create 256 in
+  for i = sh.first to sh.first + sh.count - 1 do
+    List.iter
+      (fun a ->
+        Buffer.add_string buf (Udb_io.condition_to_string a);
+        Buffer.add_char buf '|')
+      clause_sets.(i);
+    Buffer.add_char buf '/'
+  done;
+  Checkpoint.crc32_hex (Buffer.contents buf)
+
+type outcome = {
+  shard : t;
+  fp : string;
+  estimates : float array;
+  intervals : (float * float) array;
+  trials : int array;
+  achieved : float array;
+  masses : float array;
+  complete : bool;
+  resumed : bool;
+  quarantined : Pqdb_error.t option;
+}
+
+(* --- serialization ------------------------------------------------------ *)
+
+let floats_csv a =
+  String.concat "," (List.map (Printf.sprintf "%h") (Array.to_list a))
+
+let ints_csv a = String.concat "," (List.map string_of_int (Array.to_list a))
+
+let to_payload o =
+  if o.quarantined <> None then
+    invalid_arg "Shard.to_payload: quarantined outcomes are never journaled";
+  let lo = Array.map fst o.intervals and hi = Array.map snd o.intervals in
+  Printf.sprintf
+    "shard=%d first=%d count=%d cost=%d fp=%s complete=%d est=%s lo=%s \
+     hi=%s tr=%s ae=%s ms=%s"
+    o.shard.index o.shard.first o.shard.count o.shard.cost o.fp
+    (if o.complete then 1 else 0)
+    (floats_csv o.estimates) (floats_csv lo) (floats_csv hi)
+    (ints_csv o.trials) (floats_csv o.achieved) (floats_csv o.masses)
+
+let of_payload ~source ~record s =
+  let fail detail =
+    Pqdb_error.malformed ~source (Printf.sprintf "record %d: %s" record detail)
+  in
+  let kv tok =
+    match String.index_opt tok '=' with
+    | Some i ->
+        (String.sub tok 0 i, String.sub tok (i + 1) (String.length tok - i - 1))
+    | None -> fail (Printf.sprintf "bad field %S" tok)
+  in
+  let fields =
+    String.split_on_char ' ' s
+    |> List.filter (fun t -> t <> "")
+    |> List.map kv
+  in
+  let get k =
+    match List.assoc_opt k fields with
+    | Some v -> v
+    | None -> fail ("missing field " ^ k)
+  in
+  let int_field k =
+    match int_of_string_opt (get k) with
+    | Some i -> i
+    | None -> fail (Printf.sprintf "field %s: not an integer (%S)" k (get k))
+  in
+  let float_array k n =
+    let parts = String.split_on_char ',' (get k) in
+    if List.length parts <> n then
+      fail (Printf.sprintf "field %s: expected %d values" k n);
+    Array.of_list
+      (List.map
+         (fun v ->
+           match float_of_string_opt v with
+           | Some f -> f
+           | None -> fail (Printf.sprintf "field %s: bad float %S" k v))
+         parts)
+  in
+  let int_array k n =
+    let parts = String.split_on_char ',' (get k) in
+    if List.length parts <> n then
+      fail (Printf.sprintf "field %s: expected %d values" k n);
+    Array.of_list
+      (List.map
+         (fun v ->
+           match int_of_string_opt v with
+           | Some i -> i
+           | None -> fail (Printf.sprintf "field %s: bad integer %S" k v))
+         parts)
+  in
+  let index = int_field "shard" in
+  let first = int_field "first" in
+  let count = int_field "count" in
+  let cost = int_field "cost" in
+  if index < 0 || first < 0 || count < 1 || cost < 0 then
+    fail "negative or empty shard geometry";
+  let fp = get "fp" in
+  if String.length fp <> 8 then fail "field fp: expected 8 hex digits";
+  let complete =
+    match int_field "complete" with
+    | 0 -> false
+    | 1 -> true
+    | _ -> fail "field complete: expected 0 or 1"
+  in
+  let estimates = float_array "est" count in
+  let lo = float_array "lo" count in
+  let hi = float_array "hi" count in
+  let trials = int_array "tr" count in
+  let achieved = float_array "ae" count in
+  let masses = float_array "ms" count in
+  {
+    shard = { index; first; count; cost };
+    fp;
+    estimates;
+    intervals = Array.init count (fun i -> (lo.(i), hi.(i)));
+    trials;
+    achieved;
+    masses;
+    complete;
+    resumed = true;
+    quarantined = None;
+  }
+
+let meta_payload ~n ~eps ~delta ~fuel ~shard_cost =
+  Printf.sprintf "meta n=%d eps=%h delta=%h fuel=%s shard_cost=%d" n eps delta
+    (match fuel with None -> "default" | Some f -> string_of_int f)
+    shard_cost
+
+let backoff_s ~attempt =
+  if attempt <= 0 then 0.
+  else Float.min 0.1 (0.005 *. Float.pow 2. (float_of_int (attempt - 1)))

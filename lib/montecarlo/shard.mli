@@ -1,0 +1,85 @@
+(** Shard planning and checkpoint records for streaming batch confidence.
+
+    A shard is a contiguous run of batch tuples whose summed {e worst-case}
+    sampling cost (the fixed Chernoff budget of the uncompiled FPRAS, the
+    same a-priori model as {!Confidence.total_trials}) fits under a caller
+    chosen ceiling.  {!Confidence.run_stream} compiles and solves one shard
+    at a time, so resident memory is bounded by the shard ceiling rather
+    than the batch, and journals one {!outcome} record per shard so a killed
+    run loses at most the shard in flight.
+
+    Planning is a pure function of the clause sets and (ε, δ, max_cost) —
+    the same inputs always cut the same shard boundaries, which is what
+    makes journal records from a previous process meaningful.  Tuples the
+    compiler will resolve exactly still count 1 so a shard's tuple count
+    never exceeds [max_cost].
+
+    Records serialize through ["%h"] hex floats, so estimates and brackets
+    round-trip {e bit-exactly} — resuming from a journal reproduces the
+    uninterrupted run to the last bit. *)
+
+open Pqdb_urel
+
+type t = {
+  index : int;  (** position in the plan, 0-based *)
+  first : int;  (** index of the shard's first tuple in the batch *)
+  count : int;  (** number of tuples (≥ 1) *)
+  cost : int;  (** summed worst-case trial cost of its tuples *)
+}
+
+val tuple_cost : eps:float -> delta:float -> Assignment.t list -> int
+(** Worst-case cost of one tuple: its fixed Chernoff budget, plus 1 so even
+    free (empty / trivially-true) tuples occupy planning weight. *)
+
+val plan : eps:float -> delta:float -> max_cost:int -> Assignment.t list array -> t array
+(** Greedy contiguous cut: tuples are appended to the current shard while
+    the summed cost stays within [max_cost]; a single tuple costlier than
+    [max_cost] gets a shard of its own.  Covers every tuple exactly once, in
+    order.  Empty input plans to [[||]].
+    @raise Invalid_argument when [max_cost < 1]. *)
+
+val fingerprint : Assignment.t list array -> t -> string
+(** 8-hex CRC-32 over the shard's clause sets in canonical
+    {!Udb_io.condition_to_string} syntax.  Stored in each journal record and
+    re-checked on resume, so a journal replayed against different data (or a
+    different shard plan) fails typed instead of silently splicing wrong
+    numbers in. *)
+
+type outcome = {
+  shard : t;
+  fp : string;  (** the shard's {!fingerprint}, carried in the record *)
+  estimates : float array;  (** per tuple of the shard, in batch order *)
+  intervals : (float * float) array;
+  trials : int array;
+  achieved : float array;
+  masses : float array;  (** per-tuple sampled residual mass *)
+  complete : bool;  (** every tuple met its (ε, δ) contract *)
+  resumed : bool;  (** replayed from a journal, not recomputed *)
+  quarantined : Pqdb_runtime.Pqdb_error.t option;
+      (** [Some err] when the shard kept failing after its retry budget: the
+          arrays hold a-priori compiled brackets (sound, never journaled)
+          and [err] is the last failure, typed. *)
+}
+
+val to_payload : outcome -> string
+(** Newline-free journal payload.  Quarantined outcomes must not be
+    journaled (resume should retry them); this raises [Invalid_argument] on
+    one. *)
+
+val of_payload : source:string -> record:int -> string -> outcome
+(** Parse a journal payload back ([resumed] set, bit-exact floats).
+    @raise Pqdb_runtime.Pqdb_error.Error ([Malformed_input] naming [source]
+    and [record]) on any syntax, arity or range problem. *)
+
+val meta_payload :
+  n:int -> eps:float -> delta:float -> fuel:int option -> shard_cost:int -> string
+(** First record of every stream journal: the parameters that determine the
+    shard plan and the sampling results.  Resume compares the stored payload
+    against the current run's for literal equality — any drift (different
+    batch size, ε, δ, fuel or shard ceiling) makes old records meaningless
+    and must fail typed rather than resume. *)
+
+val backoff_s : attempt:int -> float
+(** Deterministic retry backoff: 0 before the first attempt, then
+    5 ms · 2^(attempt−1), capped at 100 ms.  Pure function of [attempt], so
+    retried runs behave identically everywhere. *)

@@ -1,0 +1,137 @@
+let magic = "pqdb-checkpoint/v1"
+
+(* IEEE 802.3 CRC-32, table-driven; hand-rolled so the runtime library keeps
+   its no-dependency footprint. *)
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFFl in
+  String.iter
+    (fun ch ->
+      let idx =
+        Int32.to_int
+          (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code ch))) 0xFFl)
+      in
+      c := Int32.logxor table.(idx) (Int32.shift_right_logical !c 8))
+    s;
+  Int32.logxor !c 0xFFFFFFFFl
+
+let crc32_hex s = Printf.sprintf "%08lx" (crc32 s)
+
+let frame payload = Printf.sprintf "r %s %s" (crc32_hex payload) payload
+
+(* A framed line is "r " ^ 8 hex chars ^ " " ^ payload. *)
+let unframe line =
+  let n = String.length line in
+  if n < 11 || line.[0] <> 'r' || line.[1] <> ' ' || line.[10] <> ' ' then None
+  else
+    let payload = String.sub line 11 (n - 11) in
+    if String.equal (String.sub line 2 8) (crc32_hex payload) then Some payload
+    else None
+
+let malformed source detail = Pqdb_error.malformed ~source detail
+
+(* Walk the raw journal text.  Returns the validated payloads (in order) and
+   the byte length of the valid prefix — everything past it is a torn tail a
+   crash could legitimately have left, safe to truncate away.  Corruption
+   strictly before the final line is not crash damage and raises. *)
+let validate ~source text =
+  let len = String.length text in
+  let payloads = ref [] in
+  let valid = ref 0 in
+  let pos = ref 0 in
+  let saw_header = ref false in
+  let record = ref 0 in
+  (try
+     while !pos < len do
+       match String.index_from_opt text !pos '\n' with
+       | None -> raise Exit (* incomplete final line: torn, drop *)
+       | Some nl ->
+           let line = String.sub text !pos (nl - !pos) in
+           let last = nl + 1 >= len in
+           if not !saw_header then
+             if String.equal line magic then (
+               saw_header := true;
+               valid := nl + 1)
+             else
+               raise
+                 (malformed source
+                    (Printf.sprintf "bad journal header %S (want %S)" line
+                       magic))
+           else (
+             (match unframe line with
+             | Some payload ->
+                 payloads := payload :: !payloads;
+                 valid := nl + 1
+             | None ->
+                 if last then raise Exit (* torn/corrupt tail record: drop *)
+                 else
+                   raise
+                     (malformed source
+                        (Printf.sprintf
+                           "record %d: bad frame or CRC mismatch"
+                           (!record + 1))));
+             incr record);
+           pos := nl + 1
+     done
+   with Exit -> ());
+  (List.rev !payloads, !valid)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let read path =
+  if not (Sys.file_exists path) then []
+  else fst (validate ~source:path (read_file path))
+
+type writer = { path : string; fd : Unix.file_descr; mutable oc : out_channel option }
+
+let open_writer ?(resume = false) path =
+  let text = if resume && Sys.file_exists path then read_file path else "" in
+  let payloads, valid_bytes =
+    if text = "" then ([], 0) else validate ~source:path text
+  in
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644 in
+  (try
+     Unix.ftruncate fd valid_bytes;
+     ignore (Unix.lseek fd 0 Unix.SEEK_END)
+   with e ->
+     Unix.close fd;
+     raise e);
+  let oc = Unix.out_channel_of_descr fd in
+  if valid_bytes = 0 then (
+    output_string oc (magic ^ "\n");
+    flush oc);
+  ({ path; fd; oc = Some oc }, payloads)
+
+let append w payload =
+  if String.contains payload '\n' then
+    invalid_arg "Checkpoint.append: payload must be newline-free";
+  Faultpoint.fire "checkpoint.write";
+  match w.oc with
+  | None -> failwith (Printf.sprintf "Checkpoint.append: %s is closed" w.path)
+  | Some oc ->
+      output_string oc (frame payload ^ "\n");
+      flush oc;
+      Unix.fsync w.fd
+
+let close w =
+  match w.oc with
+  | None -> ()
+  | Some oc ->
+      w.oc <- None;
+      close_out_noerr oc

@@ -1,3 +1,13 @@
+let known =
+  [
+    "karp_luby.estimator";
+    "pool.task";
+    "pool.spawn";
+    "udb_io.wtable";
+    "checkpoint.write";
+    "shard.run";
+  ]
+
 let table : (string, int) Hashtbl.t = Hashtbl.create 8
 let lock = Mutex.create ()
 

@@ -1,8 +1,9 @@
 (** Fault-injection registry.
 
-    A fault point is a named site in the engine (e.g.
+    A fault point is a named site in the engine (see {!known}:
     ["karp_luby.estimator"], ["pool.task"], ["pool.spawn"],
-    ["udb_io.wtable"]) that calls {!fire} or {!should_fail}.  Nothing
+    ["udb_io.wtable"], ["checkpoint.write"], ["shard.run"]) that calls
+    {!fire} or {!should_fail}.  Nothing
     happens unless the point is {e armed} — programmatically via {!arm}, or
     through the [PQDB_FAULTPOINTS] environment variable, a comma-separated
     list of [name] (fires forever) or [name:count] (fires [count] times)
@@ -13,6 +14,12 @@
     The unarmed fast path is one atomic load, so instrumented hot paths stay
     free when no injection is configured.  Arming/consuming is serialized by
     a mutex and safe to use from pool worker domains. *)
+
+val known : string list
+(** Every site instrumented in the tree, for CLI/tooling validation and
+    [--help] discoverability.  Arming an unknown name is legal (it simply
+    never fires) but almost always a typo — front ends should check against
+    this list and say so. *)
 
 val arm : ?count:int -> string -> unit
 (** Arm [name].  [count] bounds how many times it fires (default:

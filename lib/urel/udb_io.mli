@@ -13,6 +13,16 @@
     survive.  Variable ids are dense and preserved exactly, so conditions
     remain valid across save/load. *)
 
+val condition_to_string : Assignment.t -> string
+(** The [D]-column syntax: [x<id>=<val>] atoms joined by [';'] ([""] for the
+    empty condition).  Canonical — bindings print in sorted variable order —
+    so it doubles as a stable fingerprint key for checkpoint journals. *)
+
+val condition_of_string : source:string -> string -> Assignment.t
+(** Inverse of {!condition_to_string}.  [source] names the input in errors.
+    @raise Pqdb_runtime.Pqdb_error.Error ([Malformed_input]) on bad atom
+    syntax. *)
+
 val save : string -> Udb.t -> unit
 (** [save dir udb] creates [dir] if needed and (over)writes the database
     files inside it.

@@ -1,0 +1,895 @@
+(* Streaming, checkpointed batch execution: journal framing, crash/resume
+   bit-identity, shard quarantine containment, and budget-aware scheduling.
+
+   Like test_faults, this suite is written to pass under an
+   environment-armed fault (the CI matrix runs every suite with
+   PQDB_FAULTPOINTS=<site>): the smoke test below runs first against
+   whatever the environment armed, and every later test clears the registry
+   before arming its own site — the bit-identity assertions only make sense
+   on a fault-free engine. *)
+
+open Pqdb_numeric
+open Pqdb_urel
+open Pqdb_montecarlo
+module Q = Rational
+module FP = Pqdb_runtime.Faultpoint
+module E = Pqdb_runtime.Pqdb_error
+module Checkpoint = Pqdb_runtime.Checkpoint
+module Gen = Pqdb_workload.Gen
+
+(* Exercise the parallel path even on single-core machines. *)
+let () = Unix.putenv "PQDB_POOL_WORKERS" "3"
+
+let check = Alcotest.check
+let bool_c = Alcotest.bool
+let int_c = Alcotest.int
+let clear_all () = List.iter FP.disarm (FP.armed ())
+
+let find_sub ~sub s =
+  let nl = String.length sub and hl = String.length s in
+  let rec go i =
+    if i + nl > hl then None
+    else if String.sub s i nl = sub then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let contains ~needle hay = find_sub ~sub:needle hay <> None
+
+(* Literal first-occurrence replacement (no Str dependency). *)
+let replace_once ~sub ~by s =
+  match find_sub ~sub s with
+  | None -> s
+  | Some i ->
+      String.sub s 0 i ^ by
+      ^ String.sub s
+          (i + String.length sub)
+          (String.length s - i - String.length sub)
+
+let temp_counter = ref 0
+
+let with_temp_dir f =
+  incr temp_counter;
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "pqdb_ckpt_%d_%d" (Unix.getpid ()) !temp_counter)
+  in
+  Unix.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter
+          (fun f -> Sys.remove (Filename.concat dir f))
+          (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () -> f dir)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let write_raw path body =
+  let oc = open_out_bin path in
+  output_string oc body;
+  close_out oc
+
+(* ------------------------------------------------------------------ *)
+(* Fixture: a mixed batch big enough to plan into several shards.      *)
+
+let eps = 0.35
+let delta = 0.2
+
+let fixture () =
+  let rng = Rng.create ~seed:4242 in
+  let w = Wtable.create () in
+  let sets =
+    List.init 18 (fun i ->
+        match i mod 6 with
+        | 0 -> Gen.random_dnf rng w ~vars:8 ~clauses:5 ~clause_len:3
+        | 1 ->
+            let num = 1 + Rng.int rng 9 in
+            let v =
+              Wtable.add_var w [ Q.of_ints (10 - num) 10; Q.of_ints num 10 ]
+            in
+            [ Assignment.singleton v 1 ]
+        | 2 -> Gen.random_dnf rng w ~vars:6 ~clauses:4 ~clause_len:2
+        | 3 -> [ Assignment.empty ] (* certain *)
+        | 4 -> [] (* impossible *)
+        | _ -> Gen.random_dnf rng w ~vars:10 ~clauses:6 ~clause_len:3)
+  in
+  (w, Array.of_list sets)
+
+(* A shard ceiling that cuts the fixture into several shards. *)
+let shard_cost_for clause_sets ~target =
+  let total =
+    Array.fold_left
+      (fun acc cs -> acc + Shard.tuple_cost ~eps ~delta cs)
+      0 clause_sets
+  in
+  max 1 (total / target)
+
+let exact_probs w clause_sets =
+  Array.map
+    (fun clauses -> Q.to_float (Pqdb_urel.Confidence.exact w clauses))
+    clause_sets
+
+let assert_sound name w clause_sets (intervals : (float * float) array) =
+  Array.iteri
+    (fun i p ->
+      let lo, hi = intervals.(i) in
+      check bool_c
+        (Printf.sprintf "%s: tuple %d exact %.4f inside [%g, %g]" name i p lo
+           hi)
+        true
+        (lo -. 1e-9 <= p && p <= hi +. 1e-9))
+    (exact_probs w clause_sets)
+
+let bits = Int64.bits_of_float
+
+let check_floats_bitwise name a b =
+  check int_c (name ^ ": length") (Array.length a) (Array.length b);
+  Array.iteri
+    (fun i x ->
+      check Alcotest.int64
+        (Printf.sprintf "%s: slot %d" name i)
+        (bits x) (bits b.(i)))
+    a
+
+let check_intervals_bitwise name a b =
+  check int_c (name ^ ": length") (Array.length a) (Array.length b);
+  Array.iteri
+    (fun i (lo, hi) ->
+      let lo', hi' = b.(i) in
+      check Alcotest.int64
+        (Printf.sprintf "%s: lo %d" name i)
+        (bits lo) (bits lo');
+      check Alcotest.int64
+        (Printf.sprintf "%s: hi %d" name i)
+        (bits hi) (bits hi'))
+    a
+
+let check_same_result name (out, (stats : Confidence.stats))
+    (out', (stats' : Confidence.stats)) =
+  check_floats_bitwise (name ^ ": estimates") out out';
+  check_intervals_bitwise (name ^ ": intervals") stats.Confidence.intervals
+    stats'.Confidence.intervals;
+  check_floats_bitwise (name ^ ": achieved") stats.Confidence.achieved_eps
+    stats'.Confidence.achieved_eps;
+  check
+    Alcotest.(array int_c)
+    (name ^ ": trials") stats.Confidence.trials_used
+    stats'.Confidence.trials_used
+
+let stream_opts ?checkpoint ?(resume = false) ?(retries = 2) ~shard_cost () =
+  { Confidence.shard_cost; retries; checkpoint; resume }
+
+let run_stream ?budget ?compile_fuel ~options w clause_sets =
+  let rng = Rng.create ~seed:99 in
+  let out, stats, summary =
+    Confidence.run_stream_with_stats ?budget ?compile_fuel ~options rng w
+      clause_sets ~eps ~delta
+  in
+  ((out, stats), summary)
+
+let run_materialized ?budget ?compile_fuel w clause_sets =
+  let rng = Rng.create ~seed:99 in
+  let batch = Confidence.prepare ?compile_fuel w clause_sets in
+  Confidence.run_with_stats ?budget rng batch ~eps ~delta
+
+(* ------------------------------------------------------------------ *)
+(* 0. Environment smoke: whatever site CI armed, a checkpointed stream
+      must stay sound — typed quarantine or degraded journal, never a
+      crash or an unsound bracket. *)
+
+let test_env_smoke () =
+  with_temp_dir (fun dir ->
+      let w, clause_sets = fixture () in
+      let shard_cost = shard_cost_for clause_sets ~target:6 in
+      let path = Filename.concat dir "smoke.ckpt" in
+      let options = stream_opts ~checkpoint:path ~retries:1 ~shard_cost () in
+      let (_, stats), summary = run_stream ~options w clause_sets in
+      assert_sound "env smoke" w clause_sets stats.Confidence.intervals;
+      List.iter
+        (fun (_, err) ->
+          check bool_c "quarantine error is typed" true
+            (String.length (E.to_string err) > 0))
+        summary.Confidence.quarantined)
+
+(* ------------------------------------------------------------------ *)
+(* 1. Checkpoint journal plumbing. *)
+
+let test_journal_framing () =
+  clear_all ();
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "j.ckpt" in
+      check
+        Alcotest.(list string)
+        "missing file reads empty" [] (Checkpoint.read path);
+      let wtr, prior = Checkpoint.open_writer path in
+      check Alcotest.(list string) "fresh journal" [] prior;
+      Checkpoint.append wtr "alpha one";
+      Checkpoint.append wtr "beta two";
+      Alcotest.check_raises "newline payload rejected"
+        (Invalid_argument "Checkpoint.append: payload must be newline-free")
+        (fun () -> Checkpoint.append wtr "bad\npayload");
+      Checkpoint.close wtr;
+      check
+        Alcotest.(list string)
+        "round trip"
+        [ "alpha one"; "beta two" ]
+        (Checkpoint.read path);
+      let wtr, prior = Checkpoint.open_writer ~resume:true path in
+      check
+        Alcotest.(list string)
+        "resume sees prior records"
+        [ "alpha one"; "beta two" ]
+        prior;
+      Checkpoint.append wtr "gamma";
+      Checkpoint.close wtr;
+      check int_c "append after resume" 3 (List.length (Checkpoint.read path));
+      (* resume:false truncates. *)
+      let wtr, prior = Checkpoint.open_writer path in
+      check Alcotest.(list string) "truncated on fresh open" [] prior;
+      Checkpoint.close wtr)
+
+let test_torn_tail () =
+  clear_all ();
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "torn.ckpt" in
+      let wtr, _ = Checkpoint.open_writer path in
+      Checkpoint.append wtr "first";
+      Checkpoint.append wtr "second";
+      Checkpoint.close wtr;
+      let body = read_file path in
+      (* Chop bytes off the tail: every truncation must still read the
+         surviving whole records, silently dropping the torn line. *)
+      for cut = 1 to 8 do
+        write_raw path (String.sub body 0 (String.length body - cut));
+        let records = Checkpoint.read path in
+        check bool_c
+          (Printf.sprintf "cut %d keeps a valid prefix" cut)
+          true
+          (records = [ "first" ] || records = [ "first"; "second" ])
+      done;
+      (* A torn tail is also writable: resume truncates it away. *)
+      write_raw path (String.sub body 0 (String.length body - 3));
+      let wtr, prior = Checkpoint.open_writer ~resume:true path in
+      check Alcotest.(list string) "torn record dropped" [ "first" ] prior;
+      Checkpoint.append wtr "third";
+      Checkpoint.close wtr;
+      check
+        Alcotest.(list string)
+        "journal healed" [ "first"; "third" ] (Checkpoint.read path))
+
+let test_mid_corruption () =
+  clear_all ();
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "flip.ckpt" in
+      let wtr, _ = Checkpoint.open_writer path in
+      Checkpoint.append wtr "first";
+      Checkpoint.append wtr "second";
+      Checkpoint.append wtr "third";
+      Checkpoint.close wtr;
+      let body = read_file path in
+      (* Flip a byte inside record 1 (not the final line): typed
+         Malformed_input naming the path and the record index. *)
+      let idx =
+        let rec find i = if body.[i] = 'f' then i else find (i + 1) in
+        find (String.length Checkpoint.magic)
+      in
+      let corrupt = Bytes.of_string body in
+      Bytes.set corrupt idx 'F';
+      write_raw path (Bytes.to_string corrupt);
+      (match Checkpoint.read path with
+      | _ -> Alcotest.fail "corrupt mid-file record must raise"
+      | exception E.Error (E.Malformed_input { source; detail }) ->
+          check Alcotest.string "names the journal" path source;
+          check bool_c "names the record" true
+            (contains ~needle:"record 1" detail));
+      (* The same flip in the FINAL record is indistinguishable from a torn
+         tail and is dropped, not fatal. *)
+      let last_t = String.rindex body 't' in
+      let corrupt = Bytes.of_string body in
+      Bytes.set corrupt last_t 'T';
+      write_raw path (Bytes.to_string corrupt);
+      check
+        Alcotest.(list string)
+        "flipped final record dropped"
+        [ "first"; "second" ]
+        (Checkpoint.read path);
+      (* A corrupt header is always fatal. *)
+      write_raw path "not-a-journal\nr 00000000 x\n";
+      match Checkpoint.read path with
+      | _ -> Alcotest.fail "bad header must raise"
+      | exception E.Error (E.Malformed_input { detail; _ }) ->
+          check bool_c "header named" true (contains ~needle:"header" detail))
+
+(* ------------------------------------------------------------------ *)
+(* 2. Stream = materialized run, bit for bit. *)
+
+let test_stream_matches_run () =
+  clear_all ();
+  let w, clause_sets = fixture () in
+  let reference = run_materialized w clause_sets in
+  let shard_cost = shard_cost_for clause_sets ~target:6 in
+  let streamed, summary =
+    run_stream ~options:(stream_opts ~shard_cost ()) w clause_sets
+  in
+  check bool_c "plan has several shards" true (summary.Confidence.shards >= 4);
+  check bool_c "stream complete" true summary.Confidence.stream_complete;
+  check_same_result "stream vs run" reference streamed;
+  (* One-shard-per-tuple is the degenerate extreme and must still agree. *)
+  let streamed, summary =
+    run_stream ~options:(stream_opts ~shard_cost:1 ()) w clause_sets
+  in
+  check int_c "singleton shards"
+    (Array.length clause_sets)
+    summary.Confidence.shards;
+  check_same_result "singleton stream vs run" reference streamed
+
+(* ------------------------------------------------------------------ *)
+(* 3. Crash mid-stream, resume, bit-identical. *)
+
+let crash_after ?budget ~k ~options w clause_sets =
+  (* Simulate a crash: the consumer dies after [k] shards were computed,
+     journaled and emitted.  The journal then holds exactly [k] records. *)
+  let rng = Rng.create ~seed:99 in
+  let seen = ref 0 in
+  match
+    Confidence.run_stream ?budget ~options rng w clause_sets ~eps ~delta
+      ~emit:(fun _ ->
+        incr seen;
+        if !seen >= k then raise Exit)
+  with
+  | _ -> Alcotest.fail "crash simulation must escape run_stream"
+  | exception Exit -> ()
+
+let test_crash_resume () =
+  clear_all ();
+  with_temp_dir (fun dir ->
+      let w, clause_sets = fixture () in
+      let shard_cost = shard_cost_for clause_sets ~target:6 in
+      let reference =
+        run_stream ~options:(stream_opts ~shard_cost ()) w clause_sets
+      in
+      let path = Filename.concat dir "crash.ckpt" in
+      crash_after ~k:2
+        ~options:(stream_opts ~checkpoint:path ~shard_cost ())
+        w clause_sets;
+      check int_c "journal holds meta + crashed prefix" 3
+        (List.length (Checkpoint.read path));
+      let resumed, summary =
+        run_stream
+          ~options:(stream_opts ~checkpoint:path ~resume:true ~shard_cost ())
+          w clause_sets
+      in
+      check int_c "two shards replayed" 2 summary.Confidence.resumed_shards;
+      check bool_c "resume complete" true summary.Confidence.stream_complete;
+      check bool_c "journal intact" true summary.Confidence.journal_ok;
+      check_same_result "resumed vs cold" (fst reference) resumed;
+      check int_c "journal now covers every shard"
+        (summary.Confidence.shards + 1)
+        (List.length (Checkpoint.read path));
+      (* Resuming a COMPLETE journal recomputes nothing at all. *)
+      let replayed, summary =
+        run_stream
+          ~options:(stream_opts ~checkpoint:path ~resume:true ~shard_cost ())
+          w clause_sets
+      in
+      check int_c "everything replayed" summary.Confidence.shards
+        summary.Confidence.resumed_shards;
+      check_same_result "pure replay vs cold" (fst reference) replayed)
+
+let test_crash_resume_under_budget () =
+  clear_all ();
+  with_temp_dir (fun dir ->
+      let w, clause_sets = fixture () in
+      let shard_cost = shard_cost_for clause_sets ~target:6 in
+      (* Size the allowance off the ACTUAL fault-free spend (the compiled
+         run spends far less than the a-priori worst case), so the governor
+         genuinely runs dry mid-batch. *)
+      let _, (free : Confidence.stats) = run_materialized w clause_sets in
+      let actual =
+        Array.fold_left ( + ) 0 free.Confidence.trials_used
+      in
+      let allowance = max 1 (actual * 3 / 10) in
+      let fresh_budget () = Budget.create ~max_trials:allowance () in
+      let reference =
+        run_stream ~budget:(fresh_budget ())
+          ~options:(stream_opts ~shard_cost ())
+          w clause_sets
+      in
+      let path = Filename.concat dir "budget.ckpt" in
+      crash_after ~budget:(fresh_budget ()) ~k:2
+        ~options:(stream_opts ~checkpoint:path ~shard_cost ())
+        w clause_sets;
+      (* Trial-only budgets make the split schedule deterministic, and
+         resumed shards charge the governor with their journaled spend — so
+         the resumed run's tail sees exactly the cold run's allowance. *)
+      let resumed, summary =
+        run_stream ~budget:(fresh_budget ())
+          ~options:(stream_opts ~checkpoint:path ~resume:true ~shard_cost ())
+          w clause_sets
+      in
+      check int_c "budget resume replayed the prefix" 2
+        summary.Confidence.resumed_shards;
+      check_same_result "budget resumed vs cold" (fst reference) resumed;
+      assert_sound "budget resume" w clause_sets
+        (snd resumed).Confidence.intervals)
+
+(* ------------------------------------------------------------------ *)
+(* 4. Quarantine containment and self-healing resume. *)
+
+let test_quarantine_containment () =
+  clear_all ();
+  with_temp_dir (fun dir ->
+      let w, clause_sets = fixture () in
+      let shard_cost = shard_cost_for clause_sets ~target:6 in
+      let reference, ref_summary =
+        run_stream ~options:(stream_opts ~shard_cost ()) w clause_sets
+      in
+      let nshards = ref_summary.Confidence.shards in
+      check bool_c "fixture plans >= 4 shards" true (nshards >= 4);
+      let retries = 1 in
+      (* Each poisoned shard consumes (retries + 1) shots before it is
+         quarantined, so count = 2 * (retries + 1) poisons exactly the
+         first two shards and leaves every other shard untouched. *)
+      FP.arm ~count:(2 * (retries + 1)) "shard.run";
+      let path = Filename.concat dir "poison.ckpt" in
+      let options = stream_opts ~checkpoint:path ~retries ~shard_cost () in
+      let (out, stats), summary = run_stream ~options w clause_sets in
+      clear_all ();
+      check int_c "exactly two shards quarantined" 2
+        (List.length summary.Confidence.quarantined);
+      check
+        Alcotest.(list int_c)
+        "the first two shards" [ 0; 1 ]
+        (List.map fst summary.Confidence.quarantined);
+      List.iter
+        (fun (_, err) ->
+          match err with
+          | E.Injected _ -> ()
+          | e ->
+              Alcotest.failf "expected typed Injected, got %s" (E.to_string e))
+        summary.Confidence.quarantined;
+      check bool_c "stream not complete" false
+        summary.Confidence.stream_complete;
+      (* Every bracket stays sound, quarantined tuples included. *)
+      assert_sound "quarantine" w clause_sets stats.Confidence.intervals;
+      (* Tuples outside the poisoned shards are bit-identical to the
+         fault-free run; poisoned tuples spent nothing. *)
+      let plan = Shard.plan ~eps ~delta ~max_cost:shard_cost clause_sets in
+      let poisoned_tuples = plan.(0).Shard.count + plan.(1).Shard.count in
+      let ref_out, _ = reference in
+      Array.iteri
+        (fun i x ->
+          if i >= poisoned_tuples then
+            check Alcotest.int64
+              (Printf.sprintf "clean tuple %d bit-identical" i)
+              (bits ref_out.(i)) (bits x)
+          else
+            check int_c
+              (Printf.sprintf "poisoned tuple %d spent nothing" i)
+              0
+              stats.Confidence.trials_used.(i))
+        out;
+      (* Quarantined shards are NOT journaled, so a resume with the fault
+         gone retries exactly them and heals to the fault-free result. *)
+      let healed, summary =
+        run_stream
+          ~options:(stream_opts ~checkpoint:path ~resume:true ~shard_cost ())
+          w clause_sets
+      in
+      check int_c "healed resume replays the clean shards" (nshards - 2)
+        summary.Confidence.resumed_shards;
+      check bool_c "healed stream complete" true
+        summary.Confidence.stream_complete;
+      check_same_result "healed vs fault-free" reference healed)
+
+let test_retry_recovers () =
+  clear_all ();
+  let w, clause_sets = fixture () in
+  let shard_cost = shard_cost_for clause_sets ~target:6 in
+  let reference, _ =
+    run_stream ~options:(stream_opts ~shard_cost ()) w clause_sets
+  in
+  (* One transient fault, one retry allowed: the shard must recover on the
+     second attempt and — because every attempt runs on fresh copies of the
+     tuples' RNG lanes — produce exactly the fault-free stream. *)
+  FP.arm ~count:1 "shard.run";
+  let streamed, summary =
+    run_stream ~options:(stream_opts ~retries:1 ~shard_cost ()) w clause_sets
+  in
+  clear_all ();
+  check int_c "nothing quarantined" 0
+    (List.length summary.Confidence.quarantined);
+  check bool_c "complete" true summary.Confidence.stream_complete;
+  check_same_result "retried vs fault-free" reference streamed
+
+let test_journal_abandoned () =
+  clear_all ();
+  with_temp_dir (fun dir ->
+      let w, clause_sets = fixture () in
+      let shard_cost = shard_cost_for clause_sets ~target:6 in
+      let reference, _ =
+        run_stream ~options:(stream_opts ~shard_cost ()) w clause_sets
+      in
+      (* A persistently failing journal append must degrade journal_ok and
+         nothing else: the computation is unaffected. *)
+      FP.arm "checkpoint.write";
+      let path = Filename.concat dir "dead.ckpt" in
+      let streamed, summary =
+        run_stream
+          ~options:(stream_opts ~checkpoint:path ~retries:1 ~shard_cost ())
+          w clause_sets
+      in
+      clear_all ();
+      check bool_c "journal reported broken" false
+        summary.Confidence.journal_ok;
+      check bool_c "stream still complete" true
+        summary.Confidence.stream_complete;
+      check_same_result "abandoned journal vs fault-free" reference streamed)
+
+(* ------------------------------------------------------------------ *)
+(* 5. Journal corruption corpus against a REAL stream journal. *)
+
+let resume_from ~w ~clause_sets ~shard_cost ~path =
+  run_stream
+    ~options:(stream_opts ~checkpoint:path ~resume:true ~shard_cost ())
+    w clause_sets
+
+let reframe payload = "r " ^ Checkpoint.crc32_hex payload ^ " " ^ payload
+let payload_of_line line = String.sub line 11 (String.length line - 11)
+
+let expect_malformed name f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected Malformed_input" name
+  | exception E.Error (E.Malformed_input { source; detail }) -> (source, detail)
+
+let test_corrupt_corpus () =
+  clear_all ();
+  with_temp_dir (fun dir ->
+      let w, clause_sets = fixture () in
+      let shard_cost = shard_cost_for clause_sets ~target:6 in
+      let path = Filename.concat dir "real.ckpt" in
+      let reference, real_summary =
+        run_stream
+          ~options:(stream_opts ~checkpoint:path ~shard_cost ())
+          w clause_sets
+      in
+      check bool_c "corpus journal complete" true
+        real_summary.Confidence.journal_ok;
+      let body = read_file path in
+      let lines = String.split_on_char '\n' body in
+      let meta_line = List.nth lines 1 in
+      (* first shard record: header and meta are lines 0 and 1 *)
+      let first_record = List.nth lines 2 in
+      let payload = payload_of_line first_record in
+      (* (a) Truncation anywhere: always resumes cleanly and lands on the
+         cold result — truncation only ever hits the tail. *)
+      List.iter
+        (fun cut ->
+          write_raw path (String.sub body 0 (String.length body - cut));
+          let resumed, summary = resume_from ~w ~clause_sets ~shard_cost ~path in
+          check bool_c
+            (Printf.sprintf "truncate %d resumes complete" cut)
+            true summary.Confidence.stream_complete;
+          check_same_result
+            (Printf.sprintf "truncate %d vs cold" cut)
+            reference resumed)
+        [ 1; 7; String.length body / 2 ];
+      (* (b) An identical duplicate record is legitimate (a crash between
+         fsync and bookkeeping can replay a shard) and resolves
+         first-wins. *)
+      write_raw path (body ^ first_record ^ "\n");
+      let resumed, _ = resume_from ~w ~clause_sets ~shard_cost ~path in
+      check_same_result "identical duplicate vs cold" reference resumed;
+      (* (c) A CONFLICTING duplicate — valid frame, different numbers — is
+         corruption and must fail typed. *)
+      let conflicting =
+        if contains ~needle:"complete=1" payload then
+          replace_once ~sub:"complete=1" ~by:"complete=0" payload
+        else replace_once ~sub:"complete=0" ~by:"complete=1" payload
+      in
+      write_raw path (body ^ reframe conflicting ^ "\n");
+      let _, detail =
+        expect_malformed "conflicting duplicate" (fun () ->
+            resume_from ~w ~clause_sets ~shard_cost ~path)
+      in
+      check bool_c "conflict named" true
+        (contains ~needle:"conflicting duplicate" detail);
+      (* (d) A record claiming a shard outside the plan. *)
+      let alien = replace_once ~sub:"shard=0 " ~by:"shard=99 " payload in
+      write_raw path (body ^ reframe alien ^ "\n");
+      let _, detail =
+        expect_malformed "unknown shard" (fun () ->
+            resume_from ~w ~clause_sets ~shard_cost ~path)
+      in
+      check bool_c "unknown shard named" true
+        (contains ~needle:"unknown shard" detail);
+      (* (e) Geometry drift: same shard index, different first tuple.  The
+         journal is rebuilt as header + meta + the doctored record twice,
+         so the bad record is never a droppable torn tail. *)
+      let drifted = replace_once ~sub:"first=0 " ~by:"first=7 " payload in
+      write_raw path
+        (Checkpoint.magic ^ "\n" ^ meta_line ^ "\n" ^ reframe drifted ^ "\n"
+       ^ reframe drifted ^ "\n");
+      let _, detail =
+        expect_malformed "geometry drift" (fun () ->
+            resume_from ~w ~clause_sets ~shard_cost ~path)
+      in
+      check bool_c "geometry named" true (contains ~needle:"geometry" detail);
+      (* (f) Fingerprint drift: same geometry, foreign data. *)
+      let fp_idx =
+        match find_sub ~sub:"fp=" payload with
+        | Some i -> i + 3
+        | None -> Alcotest.fail "payload has no fingerprint"
+      in
+      let real_fp = String.sub payload fp_idx 8 in
+      let fake_fp = if real_fp = "deadbeef" then "deadbee0" else "deadbeef" in
+      let refp =
+        replace_once ~sub:("fp=" ^ real_fp) ~by:("fp=" ^ fake_fp) payload
+      in
+      write_raw path
+        (Checkpoint.magic ^ "\n" ^ meta_line ^ "\n" ^ reframe refp ^ "\n"
+       ^ reframe refp ^ "\n");
+      let _, detail =
+        expect_malformed "fingerprint drift" (fun () ->
+            resume_from ~w ~clause_sets ~shard_cost ~path)
+      in
+      check bool_c "fingerprint named" true
+        (contains ~needle:"fingerprint" detail))
+
+let test_meta_mismatch () =
+  clear_all ();
+  with_temp_dir (fun dir ->
+      let w, clause_sets = fixture () in
+      let shard_cost = shard_cost_for clause_sets ~target:6 in
+      let path = Filename.concat dir "meta.ckpt" in
+      let _ =
+        run_stream
+          ~options:(stream_opts ~checkpoint:path ~shard_cost ())
+          w clause_sets
+      in
+      (* Same journal, different ε: the shard plan and every stored number
+         are meaningless for the new run — typed failure, not a resume. *)
+      let rng = Rng.create ~seed:99 in
+      match
+        Confidence.run_stream_with_stats
+          ~options:(stream_opts ~checkpoint:path ~resume:true ~shard_cost ())
+          rng w clause_sets ~eps:(eps /. 2.) ~delta
+      with
+      | _ -> Alcotest.fail "meta mismatch must raise"
+      | exception E.Error (E.Malformed_input { source; detail }) ->
+          check Alcotest.string "names the journal" path source;
+          check bool_c "names the parameters" true
+            (contains ~needle:"parameters" detail))
+
+(* ------------------------------------------------------------------ *)
+(* 6. Budget-aware scheduling: the tail degrades evenly. *)
+
+let hard_fixture () =
+  let rng = Rng.create ~seed:777 in
+  let w = Wtable.create () in
+  let sets =
+    (* Three hogs and seven small tuples: the materialized engine farms
+       work longest-first, so a binding governor is drained by the hogs
+       before the small tuples ever run. *)
+    List.init 10 (fun i ->
+        if i < 3 then Gen.random_dnf rng w ~vars:10 ~clauses:40 ~clause_len:3
+        else Gen.random_dnf rng w ~vars:10 ~clauses:4 ~clause_len:3)
+  in
+  (w, Array.of_list sets)
+
+let test_budget_split_spreads_tail () =
+  clear_all ();
+  let w, clause_sets = hard_fixture () in
+  let n = Array.length clause_sets in
+  (* compile_fuel:0 recovers the pure FPRAS: the compiler resolves these
+     small formulas exactly otherwise, and the test needs sampling work. *)
+  let _, (free : Confidence.stats) =
+    run_materialized ~compile_fuel:0 w clause_sets
+  in
+  let needs_sampling = Array.map (fun t -> t > 0) free.Confidence.trials_used in
+  let sampled_count =
+    Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 needs_sampling
+  in
+  check bool_c "fixture has sampling work" true (sampled_count >= 5);
+  let actual = Array.fold_left ( + ) 0 free.Confidence.trials_used in
+  let allowance = max 1 (actual / 10) in
+  (* FCFS: the materialized run drains the governor longest-first and
+     starves whole tuples outright. *)
+  let _, (fcfs : Confidence.stats) =
+    run_materialized ~compile_fuel:0
+      ~budget:(Budget.create ~max_trials:allowance ())
+      w clause_sets
+  in
+  let starved =
+    let c = ref 0 in
+    Array.iteri
+      (fun i t -> if needs_sampling.(i) && t = 0 then incr c)
+      fcfs.Confidence.trials_used;
+    !c
+  in
+  check bool_c "FCFS starves sampled tuples" true (starved >= 1);
+  (* Proportional split, one shard per tuple: every sampling tuple gets its
+     share of the remaining allowance and makes progress. *)
+  let (_, (stats : Confidence.stats)), summary =
+    run_stream ~compile_fuel:0
+      ~budget:(Budget.create ~max_trials:allowance ())
+      ~options:(stream_opts ~shard_cost:1 ())
+      w clause_sets
+  in
+  check int_c "one shard per tuple" n summary.Confidence.shards;
+  Array.iteri
+    (fun i t ->
+      if needs_sampling.(i) then
+        check bool_c (Printf.sprintf "tuple %d made progress" i) true (t > 0))
+    stats.Confidence.trials_used;
+  (* Both degraded, both sound. *)
+  check bool_c "stream degraded" false summary.Confidence.stream_complete;
+  assert_sound "budget split" w clause_sets stats.Confidence.intervals;
+  (* The streamed spend respects the governor: at most the per-shard ceil
+     rounding plus in-flight overshoot on top of the allowance. *)
+  check bool_c "stream within allowance" true
+    (Array.fold_left ( + ) 0 stats.Confidence.trials_used
+    <= allowance + (9 * n))
+
+(* ------------------------------------------------------------------ *)
+(* 7. Shard planning and record round-trips. *)
+
+let test_shard_plan () =
+  clear_all ();
+  let _, clause_sets = fixture () in
+  let costs = Array.map (Shard.tuple_cost ~eps ~delta) clause_sets in
+  let max_cost = shard_cost_for clause_sets ~target:6 in
+  let plan = Shard.plan ~eps ~delta ~max_cost clause_sets in
+  (* Covers every tuple exactly once, contiguously and in order. *)
+  let next = ref 0 in
+  Array.iteri
+    (fun i (sh : Shard.t) ->
+      check int_c (Printf.sprintf "shard %d index" i) i sh.Shard.index;
+      check int_c (Printf.sprintf "shard %d first" i) !next sh.Shard.first;
+      check bool_c (Printf.sprintf "shard %d nonempty" i) true
+        (sh.Shard.count >= 1);
+      let cost = ref 0 in
+      for j = sh.Shard.first to sh.Shard.first + sh.Shard.count - 1 do
+        cost := !cost + costs.(j)
+      done;
+      check int_c (Printf.sprintf "shard %d cost" i) !cost sh.Shard.cost;
+      check bool_c
+        (Printf.sprintf "shard %d under ceiling (or oversize singleton)" i)
+        true
+        (sh.Shard.cost <= max_cost || sh.Shard.count = 1);
+      next := sh.Shard.first + sh.Shard.count)
+    plan;
+  check int_c "plan covers the batch" (Array.length clause_sets) !next;
+  check int_c "empty batch plans empty" 0
+    (Array.length (Shard.plan ~eps ~delta ~max_cost [||]));
+  Alcotest.check_raises "max_cost must be positive"
+    (Invalid_argument "Shard.plan: max_cost must be >= 1") (fun () ->
+      ignore (Shard.plan ~eps ~delta ~max_cost:0 clause_sets))
+
+let outcome_of_seed seed =
+  let rng = Rng.create ~seed in
+  let count = 1 + Rng.int rng 5 in
+  let fl () =
+    match Rng.int rng 6 with
+    | 0 -> 0.
+    | 1 -> 1.
+    | 2 -> Float.infinity
+    | 3 -> Rng.float rng 1. /. 3.
+    | 4 -> ldexp (Rng.float rng 1.) (-Rng.int rng 1000)
+    | _ -> Rng.float rng 1.
+  in
+  {
+    Shard.shard =
+      {
+        Shard.index = Rng.int rng 100;
+        first = Rng.int rng 1000;
+        count;
+        cost = 1 + Rng.int rng 100_000;
+      };
+    fp = Checkpoint.crc32_hex (string_of_int seed);
+    estimates = Array.init count (fun _ -> fl ());
+    intervals = Array.init count (fun _ -> (fl (), fl ()));
+    trials = Array.init count (fun _ -> Rng.int rng 1_000_000);
+    achieved = Array.init count (fun _ -> fl ());
+    masses = Array.init count (fun _ -> fl ());
+    complete = Rng.int rng 2 = 0;
+    resumed = false;
+    quarantined = None;
+  }
+
+let outcome_roundtrip =
+  QCheck.Test.make ~name:"journal record round-trips bit-exactly" ~count:200
+    (QCheck.int_range 0 1_000_000) (fun seed ->
+      let o = outcome_of_seed seed in
+      let payload = Shard.to_payload o in
+      let o' = Shard.of_payload ~source:"qcheck" ~record:1 payload in
+      let fa a b =
+        Array.length a = Array.length b
+        && Array.for_all2 (fun x y -> bits x = bits y) a b
+      in
+      o'.Shard.shard = o.Shard.shard
+      && String.equal o'.Shard.fp o.Shard.fp
+      && fa o'.Shard.estimates o.Shard.estimates
+      && fa o'.Shard.achieved o.Shard.achieved
+      && fa o'.Shard.masses o.Shard.masses
+      && o'.Shard.trials = o.Shard.trials
+      && Array.for_all2
+           (fun (a, b) (c, d) -> bits a = bits c && bits b = bits d)
+           o'.Shard.intervals o.Shard.intervals
+      && o'.Shard.complete = o.Shard.complete
+      && o'.Shard.resumed (* parsed records are marked replayed *)
+      && o'.Shard.quarantined = None)
+
+let test_quarantined_not_serializable () =
+  clear_all ();
+  let o = outcome_of_seed 1 in
+  let o = { o with Shard.quarantined = Some (E.Injected "shard.run") } in
+  Alcotest.check_raises "quarantined outcomes must not be journaled"
+    (Invalid_argument "Shard.to_payload: quarantined outcomes are never journaled")
+    (fun () ->
+      ignore (Shard.to_payload o))
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "checkpoint"
+    [
+      ( "smoke",
+        [
+          Alcotest.test_case "env-armed stream stays sound" `Quick
+            test_env_smoke;
+        ] );
+      ( "journal",
+        [
+          Alcotest.test_case "framing round-trip" `Quick test_journal_framing;
+          Alcotest.test_case "torn tail tolerated" `Quick test_torn_tail;
+          Alcotest.test_case "mid-file corruption typed" `Quick
+            test_mid_corruption;
+        ] );
+      ( "stream",
+        [
+          Alcotest.test_case "bit-identical to materialized run" `Quick
+            test_stream_matches_run;
+          Alcotest.test_case "shard plan geometry" `Quick test_shard_plan;
+        ] );
+      ( "resume",
+        [
+          Alcotest.test_case "crash and resume bit-identical" `Quick
+            test_crash_resume;
+          Alcotest.test_case "crash and resume under trial budget" `Quick
+            test_crash_resume_under_budget;
+          Alcotest.test_case "corrupt journal corpus" `Quick
+            test_corrupt_corpus;
+          Alcotest.test_case "parameter mismatch fails typed" `Quick
+            test_meta_mismatch;
+        ] );
+      ( "containment",
+        [
+          Alcotest.test_case "poison shards quarantined exactly" `Quick
+            test_quarantine_containment;
+          Alcotest.test_case "transient fault retried to recovery" `Quick
+            test_retry_recovers;
+          Alcotest.test_case "dead journal abandoned, results unaffected"
+            `Quick test_journal_abandoned;
+        ] );
+      ( "records",
+        [
+          qcheck outcome_roundtrip;
+          Alcotest.test_case "quarantined records rejected" `Quick
+            test_quarantined_not_serializable;
+        ] );
+      ( "budget",
+        [
+          Alcotest.test_case "proportional split feeds the tail" `Quick
+            test_budget_split_spreads_tail;
+        ] );
+    ]
