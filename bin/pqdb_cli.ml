@@ -416,12 +416,75 @@ let batch_inputs ~db ~relation ~gen ~gen_seed =
       failwith
         "give either --gen N (synthetic lineage) or --db DIR --relation NAME"
 
+(* The batch output contract: one line per tuple, "%h" floats, one flush
+   per shard — a kill leaves whole-shard prefixes on stdout, matching what
+   the journal holds.  Shared verbatim by the in-process and distributed
+   paths; byte-identical output is the distributed mode's acceptance
+   test. *)
+let emit_batch_outcome (o : Pqdb_montecarlo.Shard.outcome) =
+  let module S = Pqdb_montecarlo.Shard in
+  Array.iteri
+    (fun j est ->
+      let lo, hi = o.S.intervals.(j) in
+      Printf.printf "%d %h %h %h %d\n" (o.S.shard.S.first + j) est lo hi
+        o.S.trials.(j))
+    o.S.estimates;
+  flush stdout
+
+let report_stream_summary ~tuples (summary : Pqdb_montecarlo.Confidence.stream_summary) =
+  let module C = Pqdb_montecarlo.Confidence in
+  Format.eprintf
+    "-- %d tuples, %d shards (%d resumed), %d quarantined, %d trials@."
+    tuples summary.C.shards summary.C.resumed_shards
+    (List.length summary.C.quarantined)
+    summary.C.stream_trials;
+  if not summary.C.stream_complete then
+    Format.eprintf
+      "-- incomplete: some tuples report a-priori brackets (sound, wider \
+       than the (eps, delta) contract)@.";
+  if not summary.C.journal_ok then
+    Format.eprintf
+      "-- journaling abandoned mid-run; results unaffected, resume will \
+       recompute the missing shards@.";
+  List.iter
+    (fun (i, e) ->
+      Format.eprintf "-- quarantined shard %d: %s@." i
+        (Pqdb_runtime.Pqdb_error.to_string e))
+    summary.C.quarantined
+
+(* Worker argv for --workers: re-spawn this executable's [worker]
+   subcommand with every parameter that feeds the shard plan, the RNG lanes
+   or the sampling — the handshake (meta payload + RNG probe) re-checks
+   that nothing drifted in flight.  Floats go through "%.17g" so they
+   re-parse to the same bits. *)
+let worker_argv ~db ~relation ~gen ~gen_seed ~eps ~delta ~seed ~compile_fuel
+    ~shard_cost ~faultpoints =
+  Array.of_list
+    (List.concat
+       [
+         [ Sys.executable_name; "worker" ];
+         (match gen with
+         | Some n -> [ "--gen"; string_of_int n; "--gen-seed"; string_of_int gen_seed ]
+         | None -> []);
+         (match db with Some d -> [ "--db"; d ] | None -> []);
+         (match relation with Some r -> [ "--relation"; r ] | None -> []);
+         [ "--eps"; Printf.sprintf "%.17g" eps ];
+         [ "--delta"; Printf.sprintf "%.17g" delta ];
+         [ "--seed"; string_of_int seed ];
+         (match compile_fuel with
+         | Some f -> [ "--compile-fuel"; string_of_int f ]
+         | None -> []);
+         [ "--shard-size"; string_of_int shard_cost ];
+         List.concat_map (fun s -> [ "--faultpoints"; s ]) faultpoints;
+       ])
+
 let batch_cmd db relation gen gen_seed eps delta seed compile_fuel shard_size
-    checkpoint resume retries deadline max_trials faultpoints =
+    checkpoint resume retries deadline max_trials workers faultpoints =
   try
     check_unit_interval "eps" eps;
     check_unit_interval "delta" delta;
     check_nonneg_int "compile-fuel" compile_fuel;
+    check_nonneg_int "workers" (Some workers);
     check_pool_workers_env ();
     apply_faultpoints faultpoints;
     let options = make_stream ~shard_size ~checkpoint ~resume ~retries in
@@ -429,41 +492,81 @@ let batch_cmd db relation gen gen_seed eps delta seed compile_fuel shard_size
     let w, sets = batch_inputs ~db ~relation ~gen ~gen_seed in
     let rng = Rng.create ~seed in
     let module C = Pqdb_montecarlo.Confidence in
-    let module S = Pqdb_montecarlo.Shard in
-    let summary =
-      C.run_stream ?budget ?compile_fuel ?options rng w sets ~eps ~delta
-        ~emit:(fun (o : S.outcome) ->
-          Array.iteri
-            (fun j est ->
-              let lo, hi = o.S.intervals.(j) in
-              Printf.printf "%d %h %h %h %d\n"
-                (o.S.shard.S.first + j)
-                est lo hi o.S.trials.(j))
-            o.S.estimates;
-          (* One flush per shard: a kill leaves whole-shard prefixes on
-             stdout, matching what the journal holds. *)
-          flush stdout)
-    in
-    Format.eprintf
-      "-- %d tuples, %d shards (%d resumed), %d quarantined, %d trials@."
-      (Array.length sets) summary.C.shards summary.C.resumed_shards
-      (List.length summary.C.quarantined)
-      summary.C.stream_trials;
-    if not summary.C.stream_complete then
+    if workers = 0 then begin
+      let summary =
+        C.run_stream ?budget ?compile_fuel ?options rng w sets ~eps ~delta
+          ~emit:emit_batch_outcome
+      in
+      report_stream_summary ~tuples:(Array.length sets) summary
+    end
+    else begin
+      let module D = Pqdb_distrib.Coordinator in
+      let opts = Option.value options ~default:C.default_stream_options in
+      let argv =
+        worker_argv ~db ~relation ~gen ~gen_seed ~eps ~delta ~seed
+          ~compile_fuel ~shard_cost:opts.C.shard_cost ~faultpoints
+      in
+      let summary =
+        D.run ?budget ?compile_fuel ~options:opts ~workers
+          ~spawn:(fun _ -> D.process_transport argv)
+          rng w sets ~eps ~delta ~emit:emit_batch_outcome
+      in
+      report_stream_summary ~tuples:(Array.length sets) summary.D.stream;
       Format.eprintf
-        "-- incomplete: some tuples report a-priori brackets (sound, wider \
-         than the (eps, delta) contract)@.";
-    if not summary.C.journal_ok then
-      Format.eprintf
-        "-- journaling abandoned mid-run; results unaffected, resume will \
-         recompute the missing shards@.";
-    List.iter
-      (fun (i, e) ->
-        Format.eprintf "-- quarantined shard %d: %s@." i
-          (Pqdb_runtime.Pqdb_error.to_string e))
-      summary.C.quarantined;
+        "-- distrib: %d workers (%d lost), %d shards reassigned, %d solved \
+         in-process%s@."
+        summary.D.workers_spawned summary.D.workers_lost summary.D.reassigned
+        summary.D.fallback_shards
+        (match summary.D.compacted with
+        | Some (kept, dropped) ->
+            Printf.sprintf ", journal compacted (%d kept, %d dropped)" kept
+              dropped
+        | None -> "")
+    end;
     report_budget ~ppf:Format.err_formatter budget;
     report_rss ();
+    0
+  with
+  | Failure msg | Invalid_argument msg | Sys_error msg ->
+      Format.eprintf "error: %s@." msg;
+      1
+  | Pqdb_runtime.Pqdb_error.Error e ->
+      Format.eprintf "error: %s@." (Pqdb_runtime.Pqdb_error.to_string e);
+      1
+
+(* --- worker ----------------------------------------------------------- *)
+
+let worker_cmd db relation gen gen_seed eps delta seed compile_fuel
+    shard_size faultpoints =
+  try
+    check_unit_interval "eps" eps;
+    check_unit_interval "delta" delta;
+    check_nonneg_int "compile-fuel" compile_fuel;
+    check_positive_int "shard-size" shard_size;
+    check_pool_workers_env ();
+    apply_faultpoints faultpoints;
+    let w, sets = batch_inputs ~db ~relation ~gen ~gen_seed in
+    let rng = Rng.create ~seed in
+    (* stdout belongs to the protocol: everything human goes to stderr. *)
+    Pqdb_distrib.Worker.serve ?compile_fuel ?shard_cost:shard_size rng w sets
+      ~eps ~delta ~input:stdin ~output:stdout;
+    0
+  with
+  | Failure msg | Invalid_argument msg | Sys_error msg ->
+      Format.eprintf "worker error: %s@." msg;
+      1
+  | Pqdb_runtime.Pqdb_error.Error e ->
+      Format.eprintf "worker error: %s@."
+        (Pqdb_runtime.Pqdb_error.to_string e);
+      1
+
+(* --- checkpoint ------------------------------------------------------- *)
+
+let compact_cmd path =
+  try
+    let kept, dropped = Pqdb_montecarlo.Shard.compact_journal path in
+    Format.printf "compacted %s: %d records kept, %d dropped@." path kept
+      dropped;
     0
   with
   | Failure msg | Invalid_argument msg | Sys_error msg ->
@@ -920,21 +1023,70 @@ let eps_arg =
     & info [ "eps" ] ~docv:"EPS"
         ~doc:"Additive error target of each confidence interval.")
 
+let workers_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "workers" ] ~docv:"N"
+        ~doc:
+          "Distributed mode: deal shards to N worker processes (spawned \
+           from this executable's $(b,worker) subcommand) and reconcile \
+           their answers, surviving worker crashes by reassignment.  0 \
+           (default) runs in-process.  stdout is byte-identical either \
+           way.")
+
 let batch_term =
   Term.(
     const batch_cmd $ db_arg $ relation_arg $ gen_arg $ gen_seed_arg $ eps_arg
     $ delta_arg $ seed_arg $ compile_fuel_arg $ shard_size_arg
     $ checkpoint_arg $ resume_arg $ retries_arg $ deadline_arg
-    $ max_trials_arg $ faultpoints_arg)
+    $ max_trials_arg $ workers_arg $ faultpoints_arg)
 
 let batch_cmd_info =
   Cmd.info "batch"
     ~doc:
       "Streaming sharded batch confidence: per-tuple (eps, delta) intervals \
        over raw lineage, with optional crash-safe checkpointing, resume, \
-       retry/quarantine containment and budget-aware shard scheduling.  \
-       stdout is one bit-reproducible line per tuple; diagnostics go to \
-       stderr."
+       retry/quarantine containment, budget-aware shard scheduling and \
+       multi-process execution ($(b,--workers)).  stdout is one \
+       bit-reproducible line per tuple; diagnostics go to stderr."
+
+let worker_term =
+  Term.(
+    const worker_cmd $ db_arg $ relation_arg $ gen_arg $ gen_seed_arg
+    $ eps_arg $ delta_arg $ seed_arg $ compile_fuel_arg $ shard_size_arg
+    $ faultpoints_arg)
+
+let worker_cmd_info =
+  Cmd.info "worker"
+    ~doc:
+      "Shard worker for $(b,batch --workers): speaks the coordinator \
+       protocol on stdin/stdout (orders in, bit-exact shard outcomes out).  \
+       Takes the same input parameters as $(b,batch); the handshake refuses \
+       a coordinator whose parameters or seed drifted.  Not intended for \
+       interactive use."
+
+let compact_term =
+  Term.(
+    const compact_cmd
+    $ Arg.(
+        required
+        & pos 0 (some string) None
+        & info [] ~docv:"FILE" ~doc:"The checkpoint journal to compact."))
+
+let checkpoint_group =
+  Cmd.group
+    (Cmd.info "checkpoint"
+       ~doc:"Maintain crash-recovery journals written by $(b,--checkpoint).")
+    [
+      Cmd.v
+        (Cmd.info "compact"
+           ~doc:
+             "Rewrite a journal keeping only the latest record per shard \
+              (atomic, crash-safe): a journal grown across many partial \
+              runs resumes in O(live shards).  Conflicting duplicates fail \
+              typed, exactly as resume would.")
+        compact_term;
+    ]
 
 let repl_term = Term.(const repl_cmd $ seed_arg)
 
@@ -955,6 +1107,8 @@ let main =
       Cmd.v explain_cmd_info explain_term;
       Cmd.v topk_cmd_info topk_term;
       Cmd.v batch_cmd_info batch_term;
+      Cmd.v worker_cmd_info worker_term;
+      checkpoint_group;
     ]
 
 let () = exit (Cmd.eval' main)

@@ -1,0 +1,484 @@
+open Pqdb_numeric
+module Shard = Pqdb_montecarlo.Shard
+module Confidence = Pqdb_montecarlo.Confidence
+module Budget = Pqdb_montecarlo.Budget
+module Faultpoint = Pqdb_runtime.Faultpoint
+module Pqdb_error = Pqdb_runtime.Pqdb_error
+
+type transport = {
+  send : Protocol.msg -> unit;
+  recv : unit -> Protocol.msg option;
+  pid : int option;
+  close : unit -> unit;
+}
+
+let channel_transport ?pid ~close input output =
+  {
+    send = (fun m -> Protocol.write output m);
+    recv = (fun () -> Protocol.read input);
+    pid;
+    close;
+  }
+
+let process_transport argv =
+  let to_child_r, to_child_w = Unix.pipe () in
+  let from_child_r, from_child_w = Unix.pipe () in
+  (* The parent-side ends must not leak into sibling workers: a sibling
+     holding a dup of this worker's stdout write end would mask its EOF on
+     death.  (create_process dup2s the child-side ends onto 0/1, which
+     clears close-on-exec for the child itself.) *)
+  List.iter Unix.set_close_on_exec [ to_child_w; from_child_r; to_child_r; from_child_w ];
+  let pid = Unix.create_process argv.(0) argv to_child_r from_child_w Unix.stderr in
+  Unix.close to_child_r;
+  Unix.close from_child_w;
+  let input = Unix.in_channel_of_descr from_child_r in
+  let output = Unix.out_channel_of_descr to_child_w in
+  let close () =
+    (try close_out output with _ -> ());
+    try close_in input with _ -> ()
+  in
+  channel_transport ~pid ~close input output
+
+let thread_transport serve =
+  let to_w_r, to_w_w = Unix.pipe () in
+  let from_w_r, from_w_w = Unix.pipe () in
+  let w_in = Unix.in_channel_of_descr to_w_r in
+  let w_out = Unix.out_channel_of_descr from_w_w in
+  let th =
+    Thread.create
+      (fun () ->
+        (try serve ~input:w_in ~output:w_out with _ -> ());
+        (try close_out w_out with _ -> ());
+        try close_in w_in with _ -> ())
+      ()
+  in
+  let input = Unix.in_channel_of_descr from_w_r in
+  let output = Unix.out_channel_of_descr to_w_w in
+  let close () =
+    (* Closing the order channel EOFs the worker loop; join before closing
+       our read side so the worker is never writing into a closed pipe. *)
+    (try close_out output with _ -> ());
+    (try Thread.join th with _ -> ());
+    try close_in input with _ -> ()
+  in
+  channel_transport ~close input output
+
+type summary = {
+  stream : Confidence.stream_summary;
+  workers_spawned : int;
+  workers_lost : int;
+  reassigned : int;
+  fallback_shards : int;
+  compacted : (int * int) option;
+}
+
+type wstate = Starting | Idle | Busy of int | Dead
+
+type worker = {
+  id : int;
+  tr : transport;
+  mutable state : wstate;
+  mutable last_seen : float;
+}
+
+type event = Msg of Protocol.msg | Gone
+
+let sum_trials = Array.fold_left ( + ) 0
+
+let run ?budget ?nworkers ?compile_fuel
+    ?(options = Confidence.default_stream_options)
+    ?(heartbeat_timeout_s = 30.) ~workers:nw ~spawn rng w clause_sets ~eps
+    ~delta ~emit =
+  if eps <= 0. || delta <= 0. then invalid_arg "Coordinator.run";
+  if nw < 1 then invalid_arg "Coordinator.run: workers must be >= 1";
+  if options.Confidence.shard_cost < 1 then
+    invalid_arg "Coordinator.run: shard_cost must be >= 1";
+  if options.retries < 0 then
+    invalid_arg "Coordinator.run: retries must be >= 0";
+  if options.resume && options.checkpoint = None then
+    invalid_arg "Coordinator.run: resume requires a checkpoint journal";
+  if heartbeat_timeout_s <= 0. then
+    invalid_arg "Coordinator.run: heartbeat_timeout_s must be positive";
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  let n = Array.length clause_sets in
+  let plan =
+    Shard.plan ~eps ~delta ~max_cost:options.shard_cost clause_sets
+  in
+  let nshards = Array.length plan in
+  let probe = Worker.probe_of rng in
+  let lanes = if n = 0 then [||] else Rng.split_n rng n in
+  let meta =
+    Shard.meta_payload ~n ~eps ~delta ~fuel:compile_fuel
+      ~shard_cost:options.shard_cost
+  in
+  let journal, resumed =
+    match options.checkpoint with
+    | None -> (Shard.null_journal (), Hashtbl.create 1)
+    | Some path ->
+        Shard.open_journal ~retries:options.retries ~resume:options.resume
+          ~meta ~plan ~clause_sets path
+  in
+  let fps = Array.map (fun sh -> Shard.fingerprint clause_sets sh) plan in
+  (* Every resolved shard lands here (resumed, worker, fallback or
+     quarantined); emission walks the plan in order over it. *)
+  let results : (int, Shard.outcome) Hashtbl.t = Hashtbl.create (max 1 nshards) in
+  Hashtbl.iter (fun i o -> Hashtbl.replace results i o) resumed;
+  (match budget with
+  | None -> ()
+  | Some b ->
+      Hashtbl.iter
+        (fun _ (o : Shard.outcome) -> Budget.spend b (sum_trials o.trials))
+        resumed);
+  (* Static budget slices: the remaining trial allowance dealt over the
+     unresolved shards proportionally to a-priori cost, exactly
+     ({!Budget.allocate}).  Unlike the sequential stream's re-split against
+     live remainder, slices are fixed up front so a shard's allowance does
+     not depend on which worker runs it or in what order — retries and
+     reassignments replay the same slice. *)
+  let todo =
+    Array.to_list
+      (Array.of_seq
+         (Seq.filter
+            (fun i -> not (Hashtbl.mem results i))
+            (Seq.init nshards Fun.id)))
+  in
+  let trial_slices : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  (match budget with
+  | Some b when Budget.remaining_trials b <> max_int ->
+      let idx = Array.of_list todo in
+      let costs = Array.map (fun i -> plan.(i).Shard.cost) idx in
+      let shares = Budget.allocate ~trials:(Budget.remaining_trials b) ~costs in
+      Array.iteri (fun k i -> Hashtbl.replace trial_slices i shares.(k)) idx
+  | _ -> ());
+  let slice_of i =
+    match budget with
+    | None -> (None, None)
+    | Some b ->
+        let trials =
+          if Budget.cancelled b then Some 0 else Hashtbl.find_opt trial_slices i
+        in
+        (trials, Budget.remaining_deadline b)
+  in
+  (* Pending queue: LPT — deal the heaviest shards first so the tail of the
+     run is small shards that balance across workers. *)
+  let pending =
+    ref
+      (List.sort
+         (fun a b ->
+           match compare plan.(b).Shard.cost plan.(a).Shard.cost with
+           | 0 -> compare a b
+           | c -> c)
+         todo)
+  in
+  let failures : (int, int list) Hashtbl.t = Hashtbl.create 8 in
+  let workers_lost = ref 0 in
+  let reassigned = ref 0 in
+  let fallback_shards = ref 0 in
+  let quarantined = ref [] in
+  let events : (int * event) Queue.t = Queue.create () in
+  let elock = Mutex.create () in
+  let push ev = Mutex.protect elock (fun () -> Queue.add ev events) in
+  let drain () =
+    Mutex.protect elock (fun () ->
+        let l = List.of_seq (Queue.to_seq events) in
+        Queue.clear events;
+        l)
+  in
+  let fleet =
+    List.filter_map
+      (fun id ->
+        match
+          Faultpoint.fire "distrib.spawn";
+          spawn id
+        with
+        | tr ->
+            let wk = { id; tr; state = Starting; last_seen = Unix.gettimeofday () } in
+            let _reader : Thread.t =
+              Thread.create
+                (fun () ->
+                  let rec rloop () =
+                    match tr.recv () with
+                    | Some m ->
+                        push (id, Msg m);
+                        rloop ()
+                    | None -> push (id, Gone)
+                    | exception _ -> push (id, Gone)
+                  in
+                  rloop ())
+                ()
+            in
+            Some wk
+        | exception _ -> None)
+      (List.init nw Fun.id)
+  in
+  let workers_spawned = List.length fleet in
+  let find_worker id = List.find (fun wk -> wk.id = id) fleet in
+  let live () = List.filter (fun wk -> wk.state <> Dead) fleet in
+  let requeue i =
+    (* Reassigned shards go back in cost order; a fresh attempt re-copies
+       the shard's lane slice, so whoever picks it up reproduces the
+       original stream bit for bit. *)
+    pending :=
+      List.sort
+        (fun a b ->
+          match compare plan.(b).Shard.cost plan.(a).Shard.cost with
+          | 0 -> compare a b
+          | c -> c)
+        (i :: !pending)
+  in
+  let reap wk =
+    match wk.tr.pid with
+    | Some pid -> ( try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+    | None -> ()
+  in
+  let bury wk =
+    if wk.state <> Dead then begin
+      (match wk.state with
+      | Busy i ->
+          incr reassigned;
+          requeue i
+      | _ -> ());
+      wk.state <- Dead;
+      incr workers_lost;
+      wk.tr.close ();
+      reap wk
+    end
+  in
+  let kill wk =
+    (match wk.tr.pid with
+    | Some pid -> ( try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ())
+    | None -> ());
+    bury wk
+  in
+  let quarantine i err =
+    let e =
+      Pqdb_error.Error
+        (Pqdb_error.Task_failure { index = i; inner = Failure err })
+    in
+    let o =
+      Confidence.apriori_outcome ?compile_fuel w clause_sets plan.(i)
+        ~fp:fps.(i) ~error:e
+    in
+    quarantined := (i, Option.get o.Shard.quarantined) :: !quarantined;
+    Hashtbl.replace results i o
+  in
+  let record_outcome (o : Shard.outcome) =
+    (match budget with
+    | Some b -> Budget.spend b (sum_trials o.trials)
+    | None -> ());
+    (match o.quarantined with
+    | Some _ -> ()
+    | None -> Shard.journal_append journal (Shard.to_payload o));
+    Hashtbl.replace results o.shard.Shard.index o
+  in
+  let shard_failed wid i detail =
+    (* One entry per failed attempt (worker ids, duplicates kept): the
+       quarantine cap is total attempts — mirroring the sequential stream's
+       retry budget — while assignment preference (below) spreads the
+       retries over distinct workers whenever the fleet allows it. *)
+    let attempts = wid :: Option.value ~default:[] (Hashtbl.find_opt failures i) in
+    Hashtbl.replace failures i attempts;
+    if List.length attempts > options.retries then quarantine i detail
+    else requeue i
+  in
+  let handle_msg wk msg =
+    wk.last_seen <- Unix.gettimeofday ();
+    match (wk.state, msg) with
+    | Starting, Protocol.Hello { meta = m; probe = p } ->
+        if String.equal m meta && String.equal p probe then wk.state <- Idle
+        else begin
+          (* Well-formed but wrong run: the worker would compute plausible
+             garbage.  Refuse it at the door. *)
+          (try wk.tr.send Protocol.Shutdown with _ -> ());
+          kill wk
+        end
+    | _, Protocol.Heartbeat -> ()
+    | Busy i, Protocol.Outcome { payload } -> (
+        match
+          Shard.of_payload ~resumed:false
+            ~source:(Printf.sprintf "worker-%d" wk.id)
+            ~record:i payload
+        with
+        | o
+          when o.Shard.shard = plan.(i) && String.equal o.Shard.fp fps.(i)
+               && o.Shard.quarantined = None ->
+            wk.state <- Idle;
+            record_outcome o
+        | _ | (exception Pqdb_error.Error (Pqdb_error.Malformed_input _)) ->
+            (* A worker answering with the wrong shard, a drifted
+               fingerprint or a torn record is not trustworthy for further
+               orders either. *)
+            kill wk)
+    | Busy i, Protocol.Failed { index; detail } when index = i ->
+        wk.state <- Idle;
+        shard_failed wk.id i detail
+    | _, Protocol.Shutdown -> bury wk
+    | _, (Protocol.Hello _ | Protocol.Order _ | Protocol.Outcome _
+         | Protocol.Failed _) ->
+        (* Out-of-protocol traffic: treat like corruption. *)
+        kill wk
+  in
+  let assign wk i =
+    let trials, deadline_s = slice_of i in
+    match
+      wk.tr.send (Protocol.Order { index = i; fp = fps.(i); trials; deadline_s })
+    with
+    | () -> wk.state <- Busy i
+    | exception _ ->
+        requeue i;
+        bury wk
+  in
+  (* In-process fallback: with every worker gone the coordinator degrades
+     to the sequential stream's own retry/quarantine loop over whatever is
+     left — same solve, same slices, same outcomes. *)
+  let solve_local i =
+    let sh = plan.(i) in
+    let budget_for_attempt () =
+      let trials, deadline_s = slice_of i in
+      Worker.budget_of_slice ~trials ~deadline_s
+    in
+    let rec go attempt =
+      match
+        Confidence.solve_shard ?budget:(budget_for_attempt ()) ?nworkers
+          ?compile_fuel ~lanes w clause_sets sh ~fp:fps.(i) ~eps ~delta
+      with
+      | o -> record_outcome o
+      | exception e ->
+          if attempt >= options.retries then
+            let detail =
+              match e with
+              | Pqdb_error.Error t -> Pqdb_error.to_string t
+              | e -> Printexc.to_string e
+            in
+            quarantine i detail
+          else begin
+            Unix.sleepf (Shard.backoff_s ~attempt:(attempt + 1));
+            go (attempt + 1)
+          end
+    in
+    incr fallback_shards;
+    go 0
+  in
+  let cursor = ref 0 in
+  let emit_ready () =
+    while
+      !cursor < nshards
+      &&
+      match Hashtbl.find_opt results !cursor with
+      | Some o ->
+          emit o;
+          incr cursor;
+          true
+      | None -> false
+    do
+      ()
+    done
+  in
+  let unresolved () = Hashtbl.length results < nshards in
+  (try
+     while unresolved () do
+       let evs = drain () in
+       List.iter
+         (fun (id, ev) ->
+           let wk = find_worker id in
+           match ev with
+           | Msg m -> if wk.state <> Dead then handle_msg wk m
+           | Gone -> bury wk)
+         evs;
+       (* Heartbeat watchdog — only for real processes; an in-thread worker
+          cannot be killed, only joined. *)
+       let now = Unix.gettimeofday () in
+       List.iter
+         (fun wk ->
+           if wk.tr.pid <> None && now -. wk.last_seen > heartbeat_timeout_s
+           then kill wk)
+         (live ());
+       let idle =
+         List.filter (fun wk -> wk.state = Idle) (live ())
+       in
+       List.iter
+         (fun wk ->
+           (* Prefer a shard this worker has not already failed, so retries
+              land on distinct workers when the fleet allows; fall back to
+              the head rather than stall when it does not. *)
+           let fresh i =
+             match Hashtbl.find_opt failures i with
+             | Some ws -> not (List.mem wk.id ws)
+             | None -> true
+           in
+           let picked =
+             match List.find_opt fresh !pending with
+             | Some i -> Some i
+             | None -> ( match !pending with [] -> None | i :: _ -> Some i)
+           in
+           match picked with
+           | None -> ()
+           | Some i ->
+               pending := List.filter (fun j -> j <> i) !pending;
+               assign wk i)
+         idle;
+       if live () = [] then
+         (* All workers down (or none ever came up): finish in-process.
+            Shards still marked in-flight were requeued by [bury]. *)
+         while unresolved () do
+           match !pending with
+           | i :: rest ->
+               pending := rest;
+               solve_local i;
+               emit_ready ()
+           | [] -> assert false
+         done
+       else begin
+         emit_ready ();
+         (* Poll only when this round was quiet; a round that consumed
+            events or dealt work re-checks immediately. *)
+         if unresolved () && evs = [] then Thread.delay 0.005
+       end
+     done;
+     emit_ready ()
+   with e ->
+     List.iter (fun wk -> kill wk) (live ());
+     Shard.close_journal journal;
+     raise e);
+  List.iter
+    (fun wk ->
+      (try wk.tr.send Protocol.Shutdown with _ -> ());
+      wk.state <- Dead;
+      wk.tr.close ();
+      reap wk)
+    (live ());
+  Shard.close_journal journal;
+  let quarantined =
+    List.sort (fun (a, _) (b, _) -> compare a b) !quarantined
+  in
+  let stream_trials = ref 0 in
+  let all_complete = ref true in
+  Hashtbl.iter
+    (fun _ (o : Shard.outcome) ->
+      stream_trials := !stream_trials + sum_trials o.trials;
+      if not o.complete then all_complete := false)
+    results;
+  let compacted =
+    match options.checkpoint with
+    | Some path
+      when quarantined = [] && Shard.journal_ok journal && nshards > 0 -> (
+        try Some (Shard.compact_journal path) with _ -> None)
+    | _ -> None
+  in
+  {
+    stream =
+      {
+        Confidence.shards = nshards;
+        resumed_shards = Hashtbl.length resumed;
+        quarantined;
+        stream_trials = !stream_trials;
+        stream_complete = !all_complete && quarantined = [];
+        journal_ok = Shard.journal_ok journal;
+      };
+    workers_spawned;
+    workers_lost = !workers_lost;
+    reassigned = !reassigned;
+    fallback_shards = !fallback_shards;
+    compacted;
+  }

@@ -1,0 +1,107 @@
+(** Distributed shard execution: a coordinator dealing the shard plan to
+    worker processes over the checkpoint journal.
+
+    The coordinator computes the same plan, per-tuple RNG lanes and journal
+    state as {!Pqdb_montecarlo.Confidence.run_stream}, but instead of
+    solving shards inline it deals them to [workers] spawned over
+    {!transport}s, heaviest-first (LPT), and reconciles the answers:
+
+    {ul
+    {- {e Bit-identity}: workers recompute lanes from the same seed and copy
+       each shard's lane slice fresh
+       ({!Pqdb_montecarlo.Confidence.solve_shard}), so without a budget the
+       emitted outcomes — and anything printed from them — are byte-for-byte
+       those of the single-process stream, for any worker count, any
+       completion order, and any crash/reassignment history.  [emit] is
+       called in plan order regardless of completion order.}
+    {- {e Fault tolerance}: worker death (EOF, I/O error, heartbeat
+       timeout) requeues its in-flight shard for the survivors; a shard
+       whose attempts exceed the retry budget (spread over distinct workers
+       when the fleet allows) is quarantined with sound a-priori brackets,
+       exactly like the sequential stream.  With every worker gone the
+       coordinator finishes in-process — distribution can only add
+       capacity, never lose results.}
+    {- {e Journal compatibility}: completed shards are appended to the same
+       {!Pqdb_runtime.Checkpoint} journal with the same records, so a run
+       may be interrupted under one worker count and resumed under another
+       (including one, i.e. plain [run_stream]) bit-identically.  On clean
+       completion the journal is compacted in place
+       ({!Pqdb_montecarlo.Shard.compact_journal}).}}
+
+    Budgets are dealt as {e static} per-shard trial slices
+    ({!Pqdb_montecarlo.Budget.allocate} over the unresolved shards'
+    a-priori costs) so a slice does not depend on which worker runs the
+    shard; this intentionally differs from the sequential stream's
+    remaining-cost re-splitting, and budgeted runs are therefore
+    deterministic per (budget, plan) but not byte-identical to the
+    single-process stream.  Deadlines ride along as wall-clock remainders;
+    cancellation turns any later order into an already-dead slice. *)
+
+open Pqdb_numeric
+open Pqdb_urel
+
+type transport = {
+  send : Protocol.msg -> unit;
+  recv : unit -> Protocol.msg option;  (** blocking; [None] on clean EOF *)
+  pid : int option;
+      (** [Some pid] for a real process — enables SIGKILL on heartbeat
+          timeout and waitpid reaping; [None] for an in-process transport
+          (the watchdog leaves those alone). *)
+  close : unit -> unit;  (** idempotent; must release both directions *)
+}
+
+val channel_transport :
+  ?pid:int -> close:(unit -> unit) -> in_channel -> out_channel -> transport
+(** Wrap an already-connected channel pair (orders out on the second,
+    outcomes in on the first) — the building block behind the two
+    constructors below, exposed for tests and embeddings that manage their
+    own processes (e.g. a fork without exec). *)
+
+val process_transport : string array -> transport
+(** Spawn [argv] ([argv.(0)] is the executable) with the order channel on
+    its stdin and the outcome channel on its stdout (stderr passes
+    through), close-on-exec on all parent-side ends so sibling workers
+    cannot mask each other's EOF.  The standard transport behind
+    [pqdb_cli batch --workers N]. *)
+
+val thread_transport :
+  (input:in_channel -> output:out_channel -> unit) -> transport
+(** Run a worker loop (typically {!Worker.serve} partially applied) on an
+    in-process thread connected by pipes — same protocol, same framing, no
+    fork.  Used by benchmarks and anywhere fork is unavailable; [close]
+    joins the thread. *)
+
+type summary = {
+  stream : Pqdb_montecarlo.Confidence.stream_summary;
+      (** The same accounting the sequential stream reports. *)
+  workers_spawned : int;  (** transports successfully opened *)
+  workers_lost : int;
+      (** died, timed out, refused at handshake, or turned corrupt *)
+  reassigned : int;  (** in-flight shards requeued off a lost worker *)
+  fallback_shards : int;  (** shards solved in-process, fleet gone *)
+  compacted : (int * int) option;
+      (** [(kept, dropped)] when the journal was auto-compacted on clean
+          completion. *)
+}
+
+val run :
+  ?budget:Pqdb_montecarlo.Budget.t -> ?nworkers:int -> ?compile_fuel:int ->
+  ?options:Pqdb_montecarlo.Confidence.stream_options ->
+  ?heartbeat_timeout_s:float -> workers:int -> spawn:(int -> transport) ->
+  Rng.t -> Wtable.t -> Assignment.t list array -> eps:float -> delta:float ->
+  emit:(Pqdb_montecarlo.Shard.outcome -> unit) -> summary
+(** Execute the batch over [workers] transports obtained from [spawn]
+    (called with worker ids 0..workers−1; fires ["distrib.spawn"] per
+    worker — a spawn that raises just shrinks the fleet).  Workers are
+    admitted only after a [Hello] matching this run's meta payload and RNG
+    probe; drifted workers are refused and counted lost.
+    [heartbeat_timeout_s] (default 30) bounds silence from a live process
+    worker before it is SIGKILLed.  [options] carries the shard ceiling,
+    retry budget and checkpoint/resume exactly as for [run_stream];
+    resumed shards are replayed from the journal without being dealt.
+    Exceptions from [emit] are not contained (workers are killed, the
+    journal closed, and the exception re-raised).
+    @raise Invalid_argument on bad (ε, δ), [workers < 1], bad [options] or
+    a non-positive timeout.
+    @raise Pqdb_runtime.Pqdb_error.Error on a corrupt or mismatched resume
+    journal, as for [run_stream]. *)

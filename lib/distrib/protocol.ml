@@ -1,0 +1,136 @@
+module Faultpoint = Pqdb_runtime.Faultpoint
+module Pqdb_error = Pqdb_runtime.Pqdb_error
+module Checkpoint = Pqdb_runtime.Checkpoint
+
+type msg =
+  | Hello of { meta : string; probe : string }
+  | Order of { index : int; fp : string; trials : int option; deadline_s : float option }
+  | Outcome of { payload : string }
+  | Failed of { index : int; detail : string }
+  | Heartbeat
+  | Shutdown
+
+(* One-line payloads; the frame supplies length and CRC.  Free-text fields
+   (meta, shard payloads, failure details) go last so embedded spaces
+   survive; newlines are the only byte the framing reserves, and the only
+   free-text producer that could carry one (an exception printer) is
+   escaped. *)
+
+let escape s =
+  if not (String.contains s '\n') then s
+  else
+    String.concat "\\n" (String.split_on_char '\n' s)
+
+let payload_of = function
+  | Hello { meta; probe } -> Printf.sprintf "hello %s %s" probe meta
+  | Order { index; fp; trials; deadline_s } ->
+      Printf.sprintf "order %d %s %s %s" index fp
+        (match trials with None -> "-" | Some t -> string_of_int t)
+        (match deadline_s with None -> "-" | Some d -> Printf.sprintf "%h" d)
+  | Outcome { payload } -> "outcome " ^ payload
+  | Failed { index; detail } -> Printf.sprintf "failed %d %s" index (escape detail)
+  | Heartbeat -> "hb"
+  | Shutdown -> "bye"
+
+let bad detail = Pqdb_error.malformed ~source:"distrib-protocol" detail
+
+let split_first s =
+  match String.index_opt s ' ' with
+  | None -> (s, "")
+  | Some i -> (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+
+let int_field what s =
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> bad (Printf.sprintf "%s field %S is not an integer" what s)
+
+let msg_of_payload payload =
+  let tag, rest = split_first payload in
+  match tag with
+  | "hello" ->
+      let probe, meta = split_first rest in
+      if probe = "" then bad "hello frame without an RNG probe";
+      Hello { meta; probe }
+  | "order" -> (
+      match String.split_on_char ' ' rest with
+      | [ index; fp; trials; deadline ] ->
+          let trials =
+            if trials = "-" then None else Some (int_field "order trials" trials)
+          in
+          let deadline_s =
+            if deadline = "-" then None
+            else
+              match float_of_string_opt deadline with
+              | Some d -> Some d
+              | None -> bad (Printf.sprintf "order deadline %S is not a float" deadline)
+          in
+          (match trials with
+          | Some t when t < 0 -> bad "order trials must be non-negative"
+          | _ -> ());
+          Order { index = int_field "order index" index; fp; trials; deadline_s }
+      | _ -> bad (Printf.sprintf "order frame has wrong arity: %S" rest))
+  | "outcome" -> Outcome { payload = rest }
+  | "failed" ->
+      let index, detail = split_first rest in
+      Failed { index = int_field "failed index" index; detail }
+  | "hb" -> Heartbeat
+  | "bye" -> Shutdown
+  | _ -> bad (Printf.sprintf "unknown frame tag %S" tag)
+
+(* Frame: "f <8-hex payload length> <8-hex CRC-32 of payload> <payload>\n".
+   Fixed-width header so the reader can consume it with exact-length reads
+   and tell a clean EOF (nothing after a frame boundary) from a torn one. *)
+
+let encode msg =
+  let payload = payload_of msg in
+  Printf.sprintf "f %08x %s %s\n" (String.length payload)
+    (Checkpoint.crc32_hex payload) payload
+
+let header_len = 20 (* "f " + 8 hex + " " + 8 hex + " " *)
+
+let decode_frame ~header ~payload =
+  if String.length header <> header_len
+     || header.[0] <> 'f' || header.[1] <> ' '
+     || header.[10] <> ' ' || header.[19] <> ' '
+  then bad "corrupt frame header";
+  let crc = String.sub header 11 8 in
+  if not (String.equal crc (Checkpoint.crc32_hex payload)) then
+    bad "frame CRC mismatch";
+  msg_of_payload payload
+
+let decode_header_len header =
+  if String.length header <> header_len || header.[0] <> 'f' || header.[1] <> ' '
+  then bad "corrupt frame header";
+  match int_of_string_opt ("0x" ^ String.sub header 2 8) with
+  | Some n when n >= 0 -> n
+  | _ -> bad "corrupt frame length"
+
+let write oc msg =
+  Faultpoint.fire "distrib.send";
+  output_string oc (encode msg);
+  flush oc
+
+let read ic =
+  Faultpoint.fire "distrib.recv";
+  (* Clean EOF only at a frame boundary: reading even one byte of a header
+     commits us to a whole frame. *)
+  match input_char ic with
+  | exception End_of_file -> None
+  | c0 ->
+      let rest =
+        match really_input_string ic (header_len - 1) with
+        | r -> r
+        | exception End_of_file -> bad "truncated frame header"
+      in
+      let header = String.make 1 c0 ^ rest in
+      let len = decode_header_len header in
+      let payload =
+        match really_input_string ic len with
+        | p -> p
+        | exception End_of_file -> bad "truncated frame payload"
+      in
+      (match input_char ic with
+      | '\n' -> ()
+      | _ -> bad "frame missing terminator"
+      | exception End_of_file -> bad "truncated frame terminator");
+      Some (decode_frame ~header ~payload)

@@ -1,0 +1,50 @@
+(** Wire protocol between the distributed coordinator and its workers.
+
+    One message per line: a fixed-width header carrying the payload length
+    and a CRC-32 of the payload, then the payload itself ({!Pqdb_montecarlo.Shard}
+    outcome records ride inside verbatim, so their ["%h"] floats stay
+    bit-exact end to end).  The framing makes worker death legible: a clean
+    EOF at a frame boundary decodes to [None], while a torn header, a short
+    payload, a missing terminator or a CRC mismatch all raise the same typed
+    [Malformed_input] the checkpoint journal uses — a coordinator never has
+    to guess whether a half-written frame was meaningful.
+
+    Reads and writes fire the ["distrib.recv"] / ["distrib.send"] fault
+    points ({!Pqdb_runtime.Faultpoint}), so CI can drive the coordinator
+    down its worker-loss paths without actually killing processes. *)
+
+type msg =
+  | Hello of { meta : string; probe : string }
+      (** Worker handshake: the {!Pqdb_montecarlo.Shard.meta_payload} of the
+          run it reconstructed from its own arguments, plus an RNG probe (a
+          ["%h"] draw from a copy of its batch seed).  The coordinator
+          compares both against its own for literal equality — a worker
+          whose parameters or seed drifted would compute well-formed but
+          wrong shards, so it is refused at handshake instead. *)
+  | Order of { index : int; fp : string; trials : int option; deadline_s : float option }
+      (** Coordinator → worker: solve shard [index].  [fp] is the data
+          fingerprint the worker must re-derive from its own clause sets;
+          [trials]/[deadline_s] are the shard's budget slice ([None] =
+          unlimited — the bit-identical no-budget path). *)
+  | Outcome of { payload : string }
+      (** Worker → coordinator: a completed shard's
+          {!Pqdb_montecarlo.Shard.to_payload} record, bit-exact. *)
+  | Failed of { index : int; detail : string }
+      (** Worker → coordinator: shard [index] raised; the worker survives
+          and can take further orders.  [detail] is the rendered error. *)
+  | Heartbeat  (** Worker liveness tick (also sent during long solves). *)
+  | Shutdown  (** Coordinator → worker: drain and exit cleanly. *)
+
+val encode : msg -> string
+(** The exact framed bytes {!write} emits (terminating newline included). *)
+
+val write : out_channel -> msg -> unit
+(** Frame, write and flush one message.  Fires ["distrib.send"] first.
+    Write errors (e.g. [EPIPE] from a dead peer) propagate to the caller. *)
+
+val read : in_channel -> msg option
+(** Read one framed message; [None] on a clean EOF at a frame boundary.
+    Fires ["distrib.recv"] first.
+    @raise Pqdb_runtime.Pqdb_error.Error ([Malformed_input], source
+    ["distrib-protocol"]) on a torn or corrupt frame: partial header or
+    payload, bad length, CRC mismatch, unknown tag, or field syntax. *)

@@ -1,0 +1,106 @@
+open Pqdb_numeric
+module Shard = Pqdb_montecarlo.Shard
+module Confidence = Pqdb_montecarlo.Confidence
+module Budget = Pqdb_montecarlo.Budget
+module Pqdb_error = Pqdb_runtime.Pqdb_error
+
+let probe_of rng = Printf.sprintf "%h" (Rng.float (Rng.copy rng) 1.)
+
+(* The budget a worker reconstructs from an order's slice.  [Some 0] trials
+   (or a spent deadline) means the coordinator's governor is already
+   exhausted: a born-cancelled budget makes the solve degrade to its sound
+   brackets immediately, exactly like a dead {!Budget.split} child. *)
+let budget_of_slice ~trials ~deadline_s =
+  let dead () =
+    let b = Budget.create () in
+    Budget.cancel b;
+    Some b
+  in
+  match (trials, deadline_s) with
+  | None, None -> None
+  | Some 0, _ -> dead ()
+  | _, Some d when d <= 0. -> dead ()
+  | Some t, None -> Some (Budget.create ~max_trials:t ())
+  | Some t, Some d -> Some (Budget.create ~max_trials:t ~deadline_s:d ())
+  | None, Some d -> Some (Budget.create ~deadline_s:d ())
+
+let serve ?compile_fuel ?nworkers
+    ?(shard_cost = Confidence.default_stream_options.shard_cost)
+    ?(heartbeat_s = 0.25) rng w clause_sets ~eps ~delta ~input ~output =
+  if eps <= 0. || delta <= 0. then invalid_arg "Worker.serve: eps/delta";
+  if shard_cost < 1 then invalid_arg "Worker.serve: shard_cost must be >= 1";
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  let n = Array.length clause_sets in
+  let plan = Shard.plan ~eps ~delta ~max_cost:shard_cost clause_sets in
+  (* The probe is drawn from a copy BEFORE the lanes split, mirroring the
+     coordinator, so both sides advance their parent RNG identically. *)
+  let probe = probe_of rng in
+  let lanes = if n = 0 then [||] else Rng.split_n rng n in
+  let meta =
+    Shard.meta_payload ~n ~eps ~delta ~fuel:compile_fuel ~shard_cost
+  in
+  let wlock = Mutex.create () in
+  let send msg = Mutex.protect wlock (fun () -> Protocol.write output msg) in
+  let stop = Atomic.make false in
+  send (Protocol.Hello { meta; probe });
+  (* Liveness ticks keep flowing while a long solve runs, so the
+     coordinator can tell "slow" from "gone".  A failed tick means the
+     coordinator hung up; the main loop will see EOF and exit. *)
+  let hb =
+    Thread.create
+      (fun () ->
+        while not (Atomic.get stop) do
+          Thread.delay heartbeat_s;
+          if not (Atomic.get stop) then
+            try send Protocol.Heartbeat with _ -> Atomic.set stop true
+        done)
+      ()
+  in
+  let handle_order ~index ~fp ~trials ~deadline_s =
+    if index < 0 || index >= Array.length plan then
+      send (Protocol.Failed { index; detail = "unknown shard index" })
+    else
+      let sh = plan.(index) in
+      let own_fp = Shard.fingerprint clause_sets sh in
+      if not (String.equal own_fp fp) then
+        send
+          (Protocol.Failed
+             {
+               index;
+               detail =
+                 Printf.sprintf "shard fingerprint mismatch (order %s, data %s)"
+                   fp own_fp;
+             })
+      else
+        let budget = budget_of_slice ~trials ~deadline_s in
+        match
+          Confidence.solve_shard ?budget ?nworkers ?compile_fuel ~lanes w
+            clause_sets sh ~fp ~eps ~delta
+        with
+        | o -> send (Protocol.Outcome { payload = Shard.to_payload o })
+        | exception e ->
+            let detail =
+              match e with
+              | Pqdb_error.Error t -> Pqdb_error.to_string t
+              | e -> Printexc.to_string e
+            in
+            send (Protocol.Failed { index; detail })
+  in
+  let rec loop () =
+    if Atomic.get stop then ()
+    else
+      match Protocol.read input with
+      | None | Some Protocol.Shutdown -> ()
+      | Some (Protocol.Order { index; fp; trials; deadline_s }) ->
+          handle_order ~index ~fp ~trials ~deadline_s;
+          loop ()
+      | Some (Protocol.Hello _ | Protocol.Outcome _ | Protocol.Failed _
+             | Protocol.Heartbeat) ->
+          loop ()
+  in
+  let outcome = try Ok (loop ()) with e -> Error e in
+  Atomic.set stop true;
+  Thread.join hb;
+  (try flush output with _ -> ());
+  match outcome with Ok () -> () | Error e -> raise e

@@ -1,0 +1,52 @@
+(** The worker half of distributed shard execution.
+
+    A worker is handed the {e same} inputs as the coordinator — batch seed,
+    W table, clause sets, (ε, δ), compilation fuel, shard ceiling — and
+    reconstructs the shard plan and the whole-batch per-tuple RNG lanes
+    locally.  Orders then only carry a shard index, a data fingerprint and a
+    budget slice; by the {!Pqdb_montecarlo.Confidence.solve_shard} contract
+    the outcome a worker sends back is bit-identical to the one the
+    in-process stream would have computed for that shard, which is what lets
+    the coordinator mix workers, retries and in-process fallback freely.
+
+    Parameter or seed drift is caught twice: the [Hello] handshake carries
+    the run's {!Pqdb_montecarlo.Shard.meta_payload} and an RNG probe for the
+    coordinator to compare literally, and each order's fingerprint is
+    re-derived from the worker's own data before solving (mismatch answers
+    [Failed], never a wrong shard). *)
+
+open Pqdb_numeric
+open Pqdb_urel
+
+val probe_of : Rng.t -> string
+(** The handshake RNG probe: a ["%h"] draw from a {e copy} of the batch
+    seed, so computing it does not advance the caller's generator.  The
+    coordinator and every worker derive it from their own seed; literal
+    equality certifies the seeds (and thus all per-tuple lanes) agree. *)
+
+val budget_of_slice :
+  trials:int option -> deadline_s:float option ->
+  Pqdb_montecarlo.Budget.t option
+(** The budget a worker reconstructs from an order's slice: [None] for the
+    unlimited (bit-identical) path, a fresh trial/deadline budget
+    otherwise.  A zero-trial or spent-deadline slice yields a born-cancelled
+    budget — the solve degrades to sound brackets immediately, like a dead
+    {!Pqdb_montecarlo.Budget.split} child.  The coordinator's in-process
+    fallback uses the same mapping so a shard's slice means the same thing
+    wherever it runs. *)
+
+val serve :
+  ?compile_fuel:int -> ?nworkers:int -> ?shard_cost:int ->
+  ?heartbeat_s:float -> Rng.t -> Wtable.t -> Assignment.t list array ->
+  eps:float -> delta:float -> input:in_channel -> output:out_channel -> unit
+(** Run the worker loop: send [Hello], then answer [Order]s with [Outcome]
+    (or [Failed] — a failed shard does not kill the worker; the coordinator
+    decides between reassignment and quarantine) until [Shutdown] or EOF on
+    [input].  A heartbeat thread ticks every [heartbeat_s] (default 0.25 s)
+    the whole time, including during long solves.  [shard_cost] must match
+    the coordinator's ({!Pqdb_montecarlo.Confidence.stream_options}
+    default); [nworkers] sizes this worker's own domain pool.  SIGPIPE is
+    ignored so a vanished coordinator surfaces as an I/O error, not a
+    process kill.
+    @raise Invalid_argument on bad (ε, δ) or [shard_cost].  I/O errors on a
+    dead peer propagate — the CLI turns them into a nonzero exit. *)

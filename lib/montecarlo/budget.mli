@@ -39,7 +39,8 @@ val spent : t -> int
 
 val remaining_trials : t -> int
 (** Trials left before the trial budget exhausts ([max_int] when
-    unlimited); never negative. *)
+    unlimited, [0] once cancelled — a cancelled budget has nothing left to
+    grant whatever its cap); never negative. *)
 
 val remaining_deadline : t -> float option
 (** Wall-clock seconds until the deadline ([None] when there is none); may
@@ -55,15 +56,32 @@ val exhausted : t -> bool
     deadline.  The deadline check is sticky: once observed expired it stays
     expired, so a loop polling [exhausted] terminates promptly. *)
 
-val split : t -> fraction:float -> t
-(** A fresh child budget granted [fraction] (clamped to [[0,1]]) of the
+val allocate : trials:int -> costs:int array -> int array
+(** Apportion a trial allowance over work items proportionally to their
+    costs, {e exactly}: the returned shares always sum to [trials]
+    (largest-remainder method — integer floors by cost share, then the
+    remainder handed out by largest fractional part, lowest index on ties).
+    When [trials >= Array.length costs] every item gets at least one trial;
+    an all-zero cost vector spreads evenly.  Deterministic, pure — the
+    distributed coordinator uses it to deal identical static slices no
+    matter which worker runs which shard.
+    @raise Invalid_argument on negative [trials] or any negative cost. *)
+
+val split : t -> cost:int -> remaining_cost:int -> t
+(** A fresh child budget granted the share [cost / remaining_cost] of the
     parent's {e remaining} trial and wall-clock allowance — the primitive
-    behind budget-aware shard scheduling: giving shard [k] the fraction
-    [cost_k / remaining_cost] divides what is left proportionally instead of
-    first-come-first-served.  The child is independent once created (charge
-    the parent with the trials actually used afterwards); an already
-    exhausted parent yields a cancelled child.  Trial shares round up, so
-    concurrent shares can oversubscribe the parent by at most one trial
-    each — the per-shard re-split against the parent's live remainder
-    self-corrects.  Trial-only splits are deterministic; deadline shares
-    depend on the clock. *)
+    behind budget-aware shard scheduling: walking a plan with
+    [remaining_cost] the summed cost of the shards not yet run divides what
+    is left proportionally instead of first-come-first-served.  Trial
+    shares round to nearest and the closing share ([cost >= remaining_cost])
+    takes the whole remainder, so over a full sequential schedule the
+    shares sum to {e exactly} the remaining allowance — no trials are lost
+    to truncation on the last shard.  Every live share is at least one
+    trial (so a tiny shard can still certify something), which can
+    oversubscribe by at most one trial per such shard; the per-shard
+    re-split against the parent's live remainder self-corrects.  The child
+    is independent once created (charge the parent with the trials actually
+    used afterwards); an already exhausted parent yields a cancelled child.
+    Trial-only splits are deterministic; deadline shares depend on the
+    clock.
+    @raise Invalid_argument when [remaining_cost < 1]. *)

@@ -209,28 +209,103 @@ let solve_residuals rng t ~eps ~delta =
       Array.map (fun dnf -> sample_residual rng trials dnf ~eps:eps1 ~delta:d) t.residuals
     in
     let t_lo = eval_node (Array.map (fun rr -> rr.r_lo) p1) t.root in
-    let s_hi =
-      (1. +. eps1)
-      *. snd
-           (Array.fold_left
-              (fun (i, acc) rr -> (i + 1, acc +. (t.res_weights.(i) *. rr.r_est)))
-              (0, 0.) p1)
+    (* Per-residual absolute-error capacity a_i ≥ w_i·p_i (w.h.p.): sampling
+       residual i at relative ε_i contributes ≤ a_i·ε_i to the root's
+       absolute error.  Failed residuals are excluded (they void the ε
+       contract anyway and are not re-sampled). *)
+    let a =
+      Array.mapi
+        (fun i rr ->
+          if rr.r_ok then (1. +. eps1) *. t.res_weights.(i) *. rr.r_est else 0.)
+        p1
     in
-    let eps2 = if s_hi <= 0. then 1. else Float.max eps (eps *. t_lo /. s_hi) in
-    if eps2 >= eps1 then (p1, !trials, Array.for_all (fun rr -> rr.r_ok) p1)
+    let s_hi = Array.fold_left ( +. ) 0. a in
+    let e_total = eps *. t_lo in
+    if s_hi <= 0. || e_total >= eps1 *. s_hi then
+      (* Even a uniform ε₁ target fits inside ε·T_lo (or nothing was
+         sampled): the coarse pass already certifies the root at ε. *)
+      (p1, !trials, Array.for_all (fun rr -> rr.r_ok) p1)
     else begin
+      (* Weight-aware targets.  Σ a_i·ε_i ≤ E = ε·T_lo keeps the root
+         within relative ε (absolute error ≤ Σ w_i·p_i·ε_i ≤ Σ a_i·ε_i ≤
+         ε·T_lo ≤ ε·v).  Under that constraint the trial spend Σ K_i/ε_i²
+         (K_i = clause count, the Chernoff cost scale) is minimized by
+         ε_i ∝ (K_i/a_i)^⅓ — cheap-but-heavy residuals get tight targets,
+         expensive-but-light ones looser — instead of the uniform
+         ε₂ = E/Σa_i split.  Targets are clamped to [ε, ε₁]: at ε₁ the
+         phase-1 certificate already suffices (no re-sample); a target
+         floored up to ε still charges a_i·ε against E (water-filling
+         redistributes the rest), and when even the all-ε floor overruns E
+         the allocation falls back to uniform ε — sound by the error
+         propagation lemma alone, exactly the pre-weighted behaviour. *)
+      let targets = Array.make r eps1 in
+      if e_total <= eps *. s_hi then
+        Array.iteri (fun i rr -> if rr.r_ok then targets.(i) <- eps) p1
+      else begin
+        let shape =
+          Array.mapi
+            (fun i rr ->
+              if (not rr.r_ok) || a.(i) <= 0. then 0.
+              else
+                Float.pow
+                  (float_of_int (Dnf.clause_count t.residuals.(i)) /. a.(i))
+                  (1. /. 3.))
+            p1
+        in
+        let floored = Array.make r false in
+        let rec fill () =
+          let e_free = ref e_total and denom = ref 0. in
+          Array.iteri
+            (fun i rr ->
+              if rr.r_ok && a.(i) > 0. then
+                if floored.(i) then e_free := !e_free -. (a.(i) *. eps)
+                else denom := !denom +. (a.(i) *. shape.(i)))
+            p1;
+          if !denom > 0. then
+            if !e_free <= 0. then
+              (* infeasible: floor everything — the ε fallback below *)
+              Array.iteri
+                (fun i rr ->
+                  if rr.r_ok && a.(i) > 0. then floored.(i) <- true)
+                p1
+            else begin
+              let c = !e_free /. !denom in
+              let changed = ref false in
+              Array.iteri
+                (fun i rr ->
+                  if rr.r_ok && a.(i) > 0. && not floored.(i) then begin
+                    let e_i = c *. shape.(i) in
+                    if e_i < eps then begin
+                      floored.(i) <- true;
+                      changed := true
+                    end
+                    else targets.(i) <- Float.min eps1 e_i
+                  end)
+                p1;
+              if !changed then fill ()
+            end
+        in
+        fill ();
+        Array.iteri (fun i f -> if f then targets.(i) <- eps) floored
+      end;
       let rrs =
         Array.mapi
           (fun i rr1 ->
             if not rr1.r_ok then rr1
+            else if targets.(i) >= eps1 then rr1
             else
-              let rr2 = sample_residual rng trials t.residuals.(i) ~eps:eps2 ~delta:d in
+              let rr2 =
+                sample_residual rng trials t.residuals.(i) ~eps:targets.(i)
+                  ~delta:d
+              in
               if rr2.r_ok then rr2 else rr1)
           p1
       in
-      ( rrs,
-        !trials,
-        Array.for_all (fun rr -> rr.r_ok && rr.r_eps <= eps2) rrs )
+      let complete = ref true in
+      Array.iteri
+        (fun i rr -> if not (rr.r_ok && rr.r_eps <= targets.(i)) then complete := false)
+        rrs;
+      (rrs, !trials, !complete)
     end
   end
 

@@ -109,15 +109,22 @@ val solve : ?budget:Budget.t -> Rng.t -> t -> eps:float -> delta:float -> outcom
     actually decide:
 
     {ul
-    {- {e Exact-mass tightening} (for [ε < ½]): a coarse ε₁ = ½ pass over
-       the residuals yields a certified lower bound [T_lo] on the tuple
-       confidence (evaluate the monotone tree at [p̂ᵢ/(1+ε₁)]) and an upper
-       bound [S_hi = (1+ε₁)·Σwᵢp̂ᵢ] on the sampled sensitivity.  Since the
-       tree is multilinear with [|∂P/∂p̂ᵢ| ≤ wᵢ], re-sampling at
-       [ε₂ = ε·T_lo/S_hi ≥ ε] still lands the root within relative [ε] —
-       closed-form mass directly relaxes (quadratically cheapens) the
-       residual budgets.  When [ε₂ ≥ ½] the coarse pass is already
-       sufficient and no second pass runs.}
+    {- {e Exact-mass tightening with weight-aware budgets} (for [ε < ½]): a
+       coarse ε₁ = ½ pass over the residuals yields a certified lower bound
+       [T_lo] on the tuple confidence (evaluate the monotone tree at
+       [p̂ᵢ/(1+ε₁)]) and per-residual error capacities
+       [aᵢ = (1+ε₁)·wᵢ·p̂ᵢ ≥ wᵢpᵢ].  Since the tree is multilinear with
+       [|∂P/∂p̂ᵢ| ≤ wᵢ], any per-residual targets with [Σ aᵢ·εᵢ ≤ ε·T_lo]
+       land the root within relative [ε] — closed-form mass directly
+       relaxes (quadratically cheapens) the residual budgets.  Under that
+       constraint the re-sampling spend [Σ Kᵢ/εᵢ²] ([Kᵢ] the clause count)
+       is minimized by [εᵢ ∝ (Kᵢ/aᵢ)^⅓] (water-filling, clamped to
+       [[ε, ε₁]]): heavy-but-cheap residuals get tight targets,
+       light-but-expensive ones looser, instead of one uniform
+       [ε₂ = ε·T_lo/S_hi] for all.  A residual whose target reaches ε₁
+       keeps its coarse certificate and is not re-sampled; when even the
+       all-ε floor overruns [ε·T_lo] every target falls back to [ε], the
+       plain union-bound regime.}
     {- {e Truncation guard}: bounded Shannon expansion duplicates clauses
        across branches, so the residual leaves can be collectively more
        expensive than the original DNF.  [solve] compares worst-case

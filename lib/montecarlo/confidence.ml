@@ -1,6 +1,5 @@
 open Pqdb_numeric
 open Pqdb_urel
-module Checkpoint = Pqdb_runtime.Checkpoint
 module Faultpoint = Pqdb_runtime.Faultpoint
 module Pqdb_error = Pqdb_runtime.Pqdb_error
 
@@ -198,6 +197,76 @@ type stream_summary = {
 
 let sum_trials a = Array.fold_left ( + ) 0 a
 
+(* Sound per-tuple outcome for a shard whose computation cannot be trusted
+   (kept failing, or failed on enough distinct workers): a-priori compiled
+   brackets, zero trials, and the failure typed.  Shared by the in-process
+   quarantine path and the distributed coordinator. *)
+let apriori_outcome ?compile_fuel w clause_sets (sh : Shard.t) ~fp ~error =
+  let count = sh.count in
+  let estimates = Array.make count 0. in
+  let intervals = Array.make count (0., 1.) in
+  let achieved = Array.make count 0.5 in
+  for j = 0 to count - 1 do
+    match Compile.compile ?fuel:compile_fuel w clause_sets.(sh.first + j) with
+    | comp -> (
+        match Compile.exact_value comp with
+        | Some p ->
+            estimates.(j) <- p;
+            intervals.(j) <- (p, p);
+            achieved.(j) <- 0.
+        | None ->
+            let lo, hi = Compile.vacuous_interval comp in
+            estimates.(j) <- lo;
+            intervals.(j) <- (lo, hi);
+            achieved.(j) <- (hi -. lo) /. 2.)
+    | exception _ -> () (* keep the vacuous [0, 1] default *)
+  done;
+  let err =
+    match error with
+    | Pqdb_error.Error t -> t
+    | e -> Pqdb_error.Task_failure { index = sh.index; inner = e }
+  in
+  {
+    Shard.shard = sh;
+    fp;
+    estimates;
+    intervals;
+    trials = Array.make count 0;
+    achieved;
+    masses = Array.make count 0.;
+    complete = false;
+    resumed = false;
+    quarantined = Some err;
+  }
+
+(* One attempt at one shard over the whole-batch lanes — the unit of work a
+   stream iteration, a retry, or a remote worker executes.  Copies the
+   shard's lane slice fresh, so every attempt (on any process) replays
+   exactly the stream a fault-free first attempt would have consumed; by
+   the run_core contract the outcome is bit-identical no matter where or in
+   what order shards run.  Fires the "shard.run" fault point; failures
+   propagate for the caller's retry/quarantine policy. *)
+let solve_shard ?budget ?nworkers ?compile_fuel ~lanes w clause_sets
+    (sh : Shard.t) ~fp ~eps ~delta =
+  Faultpoint.fire "shard.run";
+  let batch =
+    prepare ?compile_fuel w (Array.sub clause_sets sh.first sh.count)
+  in
+  let sub_lanes = Array.init sh.count (fun j -> Rng.copy lanes.(sh.first + j)) in
+  let c = run_core ?budget ?nworkers sub_lanes batch ~eps ~delta in
+  {
+    Shard.shard = sh;
+    fp;
+    estimates = c.c_out;
+    intervals = c.c_intervals;
+    trials = c.c_trials;
+    achieved = c.c_achieved;
+    masses = c.c_masses;
+    complete = c.c_complete;
+    resumed = false;
+    quarantined = None;
+  }
+
 let run_stream ?budget ?nworkers ?compile_fuel
     ?(options = default_stream_options) rng w clause_sets ~eps ~delta ~emit =
   if eps <= 0. || delta <= 0. then invalid_arg "Confidence.run_stream";
@@ -218,146 +287,22 @@ let run_stream ?budget ?nworkers ?compile_fuel
     Shard.meta_payload ~n ~eps ~delta ~fuel:compile_fuel
       ~shard_cost:options.shard_cost
   in
-  let journal_ok = ref true in
-  let writer = ref None in
-  let drop_writer () =
-    match !writer with
-    | None -> ()
-    | Some wtr ->
-        journal_ok := false;
-        writer := None;
-        (try Checkpoint.close wtr with _ -> ())
+  let journal, resumed =
+    match options.checkpoint with
+    | None -> (Shard.null_journal (), Hashtbl.create 1)
+    | Some path ->
+        Shard.open_journal ~retries:options.retries ~resume:options.resume
+          ~meta ~plan:shards ~clause_sets path
   in
-  let append_record payload =
-    match !writer with
-    | None -> ()
-    | Some wtr ->
-        let rec go attempt =
-          match Checkpoint.append wtr payload with
-          | () -> ()
-          | exception _ ->
-              if attempt >= options.retries then
-                (* Journaling is an aid, not a contract: a persistently
-                   failing journal is abandoned and the computation
-                   continues (reported via journal_ok). *)
-                drop_writer ()
-              else begin
-                Unix.sleepf (Shard.backoff_s ~attempt:(attempt + 1));
-                go (attempt + 1)
-              end
-        in
-        go 0
-  in
-  let resumed : (int, Shard.outcome) Hashtbl.t = Hashtbl.create 16 in
-  (match options.checkpoint with
-  | None -> ()
-  | Some path ->
-      let wtr, payloads = Checkpoint.open_writer ~resume:options.resume path in
-      writer := Some wtr;
-      (match payloads with
-      | [] -> append_record meta
-      | stored_meta :: records ->
-          if not (String.equal stored_meta meta) then
-            Pqdb_error.malformed ~source:path
-              (Printf.sprintf
-                 "journal parameters do not match this run (journal %S, run %S)"
-                 stored_meta meta);
-          List.iteri
-            (fun k payload ->
-              let record = k + 1 in
-              let o = Shard.of_payload ~source:path ~record payload in
-              let idx = o.Shard.shard.Shard.index in
-              match Hashtbl.find_opt resumed idx with
-              | Some prev ->
-                  (* Identical duplicates (a crash between fsync and the
-                     caller's bookkeeping can legitimately replay a shard)
-                     resolve first-wins; conflicting ones are corruption. *)
-                  if not (String.equal (Shard.to_payload prev) payload) then
-                    Pqdb_error.malformed ~source:path
-                      (Printf.sprintf
-                         "record %d: conflicting duplicate of shard %d" record
-                         idx)
-              | None ->
-                  if idx < 0 || idx >= Array.length shards then
-                    Pqdb_error.malformed ~source:path
-                      (Printf.sprintf "record %d: unknown shard %d" record idx);
-                  let expected = shards.(idx) in
-                  if
-                    expected.Shard.first <> o.Shard.shard.Shard.first
-                    || expected.Shard.count <> o.Shard.shard.Shard.count
-                  then
-                    Pqdb_error.malformed ~source:path
-                      (Printf.sprintf
-                         "record %d: shard %d geometry does not match the plan"
-                         record idx);
-                  if
-                    not
-                      (String.equal (Shard.fingerprint clause_sets expected)
-                         o.Shard.fp)
-                  then
-                    Pqdb_error.malformed ~source:path
-                      (Printf.sprintf
-                         "record %d: shard %d fingerprint does not match the \
-                          data"
-                         record idx);
-                  Hashtbl.add resumed idx o)
-            records));
   let total_cost = Array.fold_left (fun a s -> a + s.Shard.cost) 0 shards in
   let remaining_cost = ref total_cost in
   let stream_trials = ref 0 in
   let quarantined = ref [] in
   let resumed_count = ref 0 in
   let all_complete = ref true in
-  let quarantine_outcome (sh : Shard.t) fp e =
-    let count = sh.count in
-    let estimates = Array.make count 0. in
-    let intervals = Array.make count (0., 1.) in
-    let achieved = Array.make count 0.5 in
-    for j = 0 to count - 1 do
-      match Compile.compile ?fuel:compile_fuel w clause_sets.(sh.first + j) with
-      | comp -> (
-          match Compile.exact_value comp with
-          | Some p ->
-              estimates.(j) <- p;
-              intervals.(j) <- (p, p);
-              achieved.(j) <- 0.
-          | None ->
-              let lo, hi = Compile.vacuous_interval comp in
-              estimates.(j) <- lo;
-              intervals.(j) <- (lo, hi);
-              achieved.(j) <- (hi -. lo) /. 2.)
-      | exception _ -> () (* keep the vacuous [0, 1] default *)
-    done;
-    let err =
-      match e with
-      | Pqdb_error.Error t -> t
-      | e -> Pqdb_error.Task_failure { index = sh.index; inner = e }
-    in
-    {
-      Shard.shard = sh;
-      fp;
-      estimates;
-      intervals;
-      trials = Array.make count 0;
-      achieved;
-      masses = Array.make count 0.;
-      complete = false;
-      resumed = false;
-      quarantined = Some err;
-    }
-  in
   let run_shard (sh : Shard.t) =
     let fp = Shard.fingerprint clause_sets sh in
     let attempt_once () =
-      Faultpoint.fire "shard.run";
-      let batch =
-        prepare ?compile_fuel w (Array.sub clause_sets sh.first sh.count)
-      in
-      (* Fresh lane copies per attempt: a retried shard replays exactly the
-         stream a fault-free first attempt would have consumed. *)
-      let sub_lanes =
-        Array.init sh.count (fun j -> Rng.copy lanes.(sh.first + j))
-      in
       let sub_budget, charge_parent =
         match budget with
         | None -> (None, fun _ -> ())
@@ -366,32 +311,26 @@ let run_stream ?budget ?nworkers ?compile_fuel
             else
               (* Budget-aware scheduling: this shard's proportional share of
                  what is left, by a-priori cost — the tail degrades evenly
-                 instead of starving. *)
-              let fraction =
-                float_of_int sh.cost /. float_of_int (max 1 !remaining_cost)
-              in
-              (Some (Budget.split b ~fraction), fun used -> Budget.spend b used)
+                 instead of starving, and the closing shard takes the whole
+                 remainder so no allowance is lost to rounding. *)
+              ( Some
+                  (Budget.split b ~cost:sh.cost
+                     ~remaining_cost:(max 1 !remaining_cost)),
+                fun used -> Budget.spend b used )
       in
-      let c = run_core ?budget:sub_budget ?nworkers sub_lanes batch ~eps ~delta in
-      charge_parent (sum_trials c.c_trials);
-      {
-        Shard.shard = sh;
-        fp;
-        estimates = c.c_out;
-        intervals = c.c_intervals;
-        trials = c.c_trials;
-        achieved = c.c_achieved;
-        masses = c.c_masses;
-        complete = c.c_complete;
-        resumed = false;
-        quarantined = None;
-      }
+      let o =
+        solve_shard ?budget:sub_budget ?nworkers ?compile_fuel ~lanes w
+          clause_sets sh ~fp ~eps ~delta
+      in
+      charge_parent (sum_trials o.Shard.trials);
+      o
     in
     let rec go attempt =
       match attempt_once () with
       | o -> o
       | exception e ->
-          if attempt >= options.retries then quarantine_outcome sh fp e
+          if attempt >= options.retries then
+            apriori_outcome ?compile_fuel w clause_sets sh ~fp ~error:e
           else begin
             Unix.sleepf (Shard.backoff_s ~attempt:(attempt + 1));
             go (attempt + 1)
@@ -421,21 +360,17 @@ let run_stream ?budget ?nworkers ?compile_fuel
       | Some err -> quarantined := (sh.index, err) :: !quarantined
       | None ->
           if not outcome.Shard.resumed then
-            append_record (Shard.to_payload outcome));
+            Shard.journal_append journal (Shard.to_payload outcome));
       emit outcome)
     shards;
-  (match !writer with
-  | Some wtr ->
-      writer := None;
-      Checkpoint.close wtr
-  | None -> ());
+  Shard.close_journal journal;
   {
     shards = Array.length shards;
     resumed_shards = !resumed_count;
     quarantined = List.rev !quarantined;
     stream_trials = !stream_trials;
     stream_complete = !all_complete && !quarantined = [];
-    journal_ok = !journal_ok;
+    journal_ok = Shard.journal_ok journal;
   }
 
 let run_stream_with_stats ?budget ?nworkers ?compile_fuel ?options rng w

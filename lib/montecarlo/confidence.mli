@@ -145,6 +145,30 @@ type stream_summary = {
           incomplete. *)
 }
 
+val solve_shard :
+  ?budget:Budget.t -> ?nworkers:int -> ?compile_fuel:int ->
+  lanes:Rng.t array -> Wtable.t -> Assignment.t list array -> Shard.t ->
+  fp:string -> eps:float -> delta:float -> Shard.outcome
+(** One attempt at one shard over the whole-batch RNG lanes ([lanes] must be
+    the [Rng.split_n] of the batch seed over {e all} tuples; the shard's
+    slice is copied fresh internally).  This is the unit of work the stream
+    loop, a retry, and a {!Pqdb_distrib.Worker} all execute: by the
+    per-tuple-lane contract the outcome is bit-identical no matter which
+    process runs it, in what order, or after how many failed attempts.
+    [budget], if given, is the shard's already-sliced child budget — the
+    caller charges its parent afterwards.  Fires the ["shard.run"] fault
+    point; failures propagate for the caller's retry/quarantine policy. *)
+
+val apriori_outcome :
+  ?compile_fuel:int -> Wtable.t -> Assignment.t list array -> Shard.t ->
+  fp:string -> error:exn -> Shard.outcome
+(** The sound give-up outcome for a shard whose computation cannot be
+    trusted: per-tuple a-priori compiled brackets (exact where compilation
+    resolves the tuple, vacuous [0, 1] where even compiling fails), zero
+    trials, [complete = false], and [error] typed into [quarantined].
+    Deterministic, so the in-process stream and the distributed coordinator
+    emit identical records for a shard quarantined anywhere. *)
+
 val run_stream :
   ?budget:Budget.t -> ?nworkers:int -> ?compile_fuel:int ->
   ?options:stream_options -> Rng.t -> Wtable.t -> Assignment.t list array ->

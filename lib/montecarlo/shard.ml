@@ -83,7 +83,7 @@ let to_payload o =
     (floats_csv o.estimates) (floats_csv lo) (floats_csv hi)
     (ints_csv o.trials) (floats_csv o.achieved) (floats_csv o.masses)
 
-let of_payload ~source ~record s =
+let of_payload ?(resumed = true) ~source ~record s =
   let fail detail =
     Pqdb_error.malformed ~source (Printf.sprintf "record %d: %s" record detail)
   in
@@ -161,7 +161,7 @@ let of_payload ~source ~record s =
     achieved;
     masses;
     complete;
-    resumed = true;
+    resumed;
     quarantined = None;
   }
 
@@ -173,3 +173,140 @@ let meta_payload ~n ~eps ~delta ~fuel ~shard_cost =
 let backoff_s ~attempt =
   if attempt <= 0 then 0.
   else Float.min 0.1 (0.005 *. Float.pow 2. (float_of_int (attempt - 1)))
+
+(* --- journal lifecycle -------------------------------------------------- *)
+
+type journal = {
+  mutable jw : Checkpoint.writer option;
+  mutable ok : bool;
+  retries : int;
+}
+
+let null_journal () = { jw = None; ok = true; retries = 0 }
+
+let journal_ok j = j.ok
+
+let journal_append j payload =
+  match j.jw with
+  | None -> ()
+  | Some wtr ->
+      let rec go attempt =
+        match Checkpoint.append wtr payload with
+        | () -> ()
+        | exception _ ->
+            if attempt >= j.retries then begin
+              (* Journaling is an aid, not a contract: a persistently
+                 failing journal is abandoned and the computation continues
+                 (reported via journal_ok). *)
+              j.ok <- false;
+              j.jw <- None;
+              try Checkpoint.close wtr with _ -> ()
+            end
+            else begin
+              Unix.sleepf (backoff_s ~attempt:(attempt + 1));
+              go (attempt + 1)
+            end
+      in
+      go 0
+
+let close_journal j =
+  match j.jw with
+  | None -> ()
+  | Some wtr ->
+      j.jw <- None;
+      Checkpoint.close wtr
+
+let validate_records ~source ~plan ~clause_sets records =
+  let resumed : (int, outcome) Hashtbl.t = Hashtbl.create 16 in
+  List.iteri
+    (fun k payload ->
+      let record = k + 1 in
+      let o = of_payload ~source ~record payload in
+      let idx = o.shard.index in
+      match Hashtbl.find_opt resumed idx with
+      | Some prev ->
+          (* Identical duplicates (a crash between fsync and the caller's
+             bookkeeping can legitimately replay a shard) resolve
+             first-wins; conflicting ones are corruption. *)
+          if not (String.equal (to_payload prev) payload) then
+            Pqdb_error.malformed ~source
+              (Printf.sprintf "record %d: conflicting duplicate of shard %d"
+                 record idx)
+      | None ->
+          if idx < 0 || idx >= Array.length plan then
+            Pqdb_error.malformed ~source
+              (Printf.sprintf "record %d: unknown shard %d" record idx);
+          let expected = plan.(idx) in
+          if expected.first <> o.shard.first || expected.count <> o.shard.count
+          then
+            Pqdb_error.malformed ~source
+              (Printf.sprintf
+                 "record %d: shard %d geometry does not match the plan" record
+                 idx);
+          if not (String.equal (fingerprint clause_sets expected) o.fp) then
+            Pqdb_error.malformed ~source
+              (Printf.sprintf
+                 "record %d: shard %d fingerprint does not match the data"
+                 record idx);
+          Hashtbl.add resumed idx o)
+    records;
+  resumed
+
+let open_journal ?(retries = 2) ~resume ~meta ~plan ~clause_sets path =
+  let wtr, payloads = Checkpoint.open_writer ~resume path in
+  let j = { jw = Some wtr; ok = true; retries } in
+  match payloads with
+  | [] ->
+      journal_append j meta;
+      (j, Hashtbl.create 1)
+  | stored_meta :: records -> (
+      match
+        if not (String.equal stored_meta meta) then
+          Pqdb_error.malformed ~source:path
+            (Printf.sprintf
+               "journal parameters do not match this run (journal %S, run %S)"
+               stored_meta meta);
+        validate_records ~source:path ~plan ~clause_sets records
+      with
+      | resumed -> (j, resumed)
+      | exception e ->
+          (try close_journal j with _ -> ());
+          raise e)
+
+let compact_journal path =
+  match Checkpoint.read path with
+  | [] ->
+      Pqdb_error.malformed ~source:path
+        "cannot compact an empty or missing journal"
+  | meta :: records ->
+      (* Latest-per-shard with the same duplicate policy as resume:
+         identical duplicates collapse, conflicting ones are corruption —
+         a compacted journal must resume exactly like the original. *)
+      let tbl : (int, string) Hashtbl.t = Hashtbl.create 16 in
+      List.iteri
+        (fun k payload ->
+          let record = k + 1 in
+          let o = of_payload ~source:path ~record payload in
+          let idx = o.shard.index in
+          match Hashtbl.find_opt tbl idx with
+          | Some prev ->
+              if not (String.equal prev payload) then
+                Pqdb_error.malformed ~source:path
+                  (Printf.sprintf
+                     "record %d: conflicting duplicate of shard %d" record idx)
+          | None -> Hashtbl.replace tbl idx payload)
+        records;
+      let idxs = List.sort compare (Hashtbl.fold (fun i _ a -> i :: a) tbl []) in
+      let tmp = path ^ ".compact" in
+      let wtr, _ = Checkpoint.open_writer tmp in
+      (try
+         Checkpoint.append wtr meta;
+         List.iter (fun i -> Checkpoint.append wtr (Hashtbl.find tbl i)) idxs;
+         Checkpoint.close wtr
+       with e ->
+         (try Checkpoint.close wtr with _ -> ());
+         (try Sys.remove tmp with _ -> ());
+         raise e);
+      Unix.rename tmp path;
+      let kept = 1 + List.length idxs in
+      (kept, 1 + List.length records - kept)

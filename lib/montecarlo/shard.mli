@@ -66,8 +66,10 @@ val to_payload : outcome -> string
     journaled (resume should retry them); this raises [Invalid_argument] on
     one. *)
 
-val of_payload : source:string -> record:int -> string -> outcome
-(** Parse a journal payload back ([resumed] set, bit-exact floats).
+val of_payload : ?resumed:bool -> source:string -> record:int -> string -> outcome
+(** Parse a journal payload back (bit-exact floats).  [resumed] defaults to
+    [true] (journal replay); the distributed coordinator parses worker wire
+    records with [~resumed:false] since those shards were computed fresh.
     @raise Pqdb_runtime.Pqdb_error.Error ([Malformed_input] naming [source]
     and [record]) on any syntax, arity or range problem. *)
 
@@ -83,3 +85,53 @@ val backoff_s : attempt:int -> float
 (** Deterministic retry backoff: 0 before the first attempt, then
     5 ms · 2^(attempt−1), capped at 100 ms.  Pure function of [attempt], so
     retried runs behave identically everywhere. *)
+
+(** {1 Journal lifecycle}
+
+    The append/validate/abandon policy shared by the in-process stream
+    ({!Confidence.run_stream}) and the distributed coordinator
+    ({!Pqdb_distrib.Coordinator} if linked) — both write the {e same}
+    journal format, which is what makes a journal resumable across any
+    worker count, including one. *)
+
+type journal
+
+val null_journal : unit -> journal
+(** The no-checkpoint journal: appends are no-ops, {!journal_ok} stays
+    [true]. *)
+
+val open_journal :
+  ?retries:int -> resume:bool -> meta:string -> plan:t array ->
+  clause_sets:Pqdb_urel.Assignment.t list array -> string ->
+  journal * (int, outcome) Hashtbl.t
+(** Open (or resume) a checkpoint journal at the given path.  A fresh or
+    empty journal gets [meta] appended as its first record.  On resume the
+    stored meta must equal [meta] literally, and every record is validated
+    against the plan (known index, matching geometry, matching data
+    fingerprint) with identical duplicates resolving first-wins; the
+    validated outcomes are returned keyed by shard index.  [retries]
+    (default 2) is the append retry budget before the journal is abandoned.
+    @raise Pqdb_runtime.Pqdb_error.Error ([Malformed_input]) on parameter
+    drift, corruption, conflicting duplicates, or plan mismatch. *)
+
+val journal_append : journal -> string -> unit
+(** Append one payload with retry/backoff; after [retries] consecutive
+    failures the journal is abandoned (subsequent appends no-op,
+    {!journal_ok} turns [false]) — journaling is an aid, not a contract. *)
+
+val journal_ok : journal -> bool
+
+val close_journal : journal -> unit
+(** Close the underlying writer (idempotent; no-op when abandoned). *)
+
+val compact_journal : string -> int * int
+(** Rewrite a journal in place keeping the meta record plus the latest
+    record per shard id, in shard order — a journal extended across many
+    partial runs stops growing without bound and restart cost becomes
+    O(live shards).  Identical duplicates collapse; conflicting duplicates
+    raise the same typed error resume would, so a compacted journal resumes
+    exactly like the original.  The rewrite goes through a temp file and an
+    atomic rename, so a crash mid-compaction leaves the original intact.
+    Returns [(records kept, records dropped)], meta included.
+    @raise Pqdb_runtime.Pqdb_error.Error ([Malformed_input]) on a missing,
+    empty or corrupt journal. *)

@@ -6,6 +6,9 @@ let known =
     "udb_io.wtable";
     "checkpoint.write";
     "shard.run";
+    "distrib.send";
+    "distrib.recv";
+    "distrib.spawn";
   ]
 
 let table : (string, int) Hashtbl.t = Hashtbl.create 8

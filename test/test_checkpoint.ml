@@ -740,6 +740,112 @@ let test_budget_split_spreads_tail () =
     (Array.fold_left ( + ) 0 stats.Confidence.trials_used
     <= allowance + (9 * n))
 
+(* Exact apportionment: adversarial cost vectors where naive proportional
+   rounding loses or invents trials. *)
+let alloc_exact =
+  QCheck.Test.make ~name:"allocate sums exactly to the allowance" ~count:500
+    QCheck.(pair (int_range 0 100_000) (int_range 1 2_000_000))
+    (fun (gen, trials) ->
+      let rng = Rng.create ~seed:(31_000 + gen) in
+      let n = 1 + Rng.int rng 40 in
+      let costs =
+        Array.init n (fun _ ->
+            match Rng.int rng 5 with
+            | 0 -> 0
+            | 1 -> 1
+            | 2 -> Rng.int rng 7
+            | 3 -> 1_000_000 + Rng.int rng 1_000_000
+            | _ -> Rng.int rng 100_000)
+      in
+      let shares = Budget.allocate ~trials ~costs in
+      Array.length shares = n
+      && Array.fold_left ( + ) 0 shares = trials
+      && Array.for_all (fun s -> s >= 0) shares
+      && (trials < n || Array.for_all (fun s -> s >= 1) shares))
+
+let test_allocate_adversarial () =
+  clear_all ();
+  let sums trials costs =
+    Array.fold_left ( + ) 0 (Budget.allocate ~trials ~costs)
+  in
+  (* Thirds: floors alone would hand out 0. *)
+  check int_c "1 over three equal costs" 1 (sums 1 [| 7; 7; 7 |]);
+  (* One giant cost next to dust: dust still gets its minimum. *)
+  let shares = Budget.allocate ~trials:10 ~costs:[| 1_000_000; 1; 1 |] in
+  check int_c "dominant + dust sums" 10 (Array.fold_left ( + ) 0 shares);
+  check bool_c "dust not starved" true (shares.(1) >= 1 && shares.(2) >= 1);
+  (* All-zero costs spread evenly. *)
+  check (Alcotest.array int_c) "zeros spread" [| 4; 3; 3 |]
+    (Budget.allocate ~trials:10 ~costs:[| 0; 0; 0 |]);
+  check (Alcotest.array int_c) "empty costs" [||]
+    (Budget.allocate ~trials:5 ~costs:[||]);
+  (* Ties break to the lowest index, deterministically. *)
+  check (Alcotest.array int_c) "tie to low index" [| 1; 1; 0; 0 |]
+    (Budget.allocate ~trials:2 ~costs:[| 5; 5; 5; 5 |]);
+  Alcotest.check_raises "negative trials rejected"
+    (Invalid_argument "Budget.allocate: trials must be >= 0")
+    (fun () -> ignore (Budget.allocate ~trials:(-1) ~costs:[| 1 |]))
+
+(* Walking a full sequential schedule through [split] hands out exactly the
+   parent's remaining allowance, whatever the cost vector. *)
+let split_walk_exact =
+  QCheck.Test.make ~name:"sequential split walk conserves trials" ~count:300
+    QCheck.(pair (int_range 0 100_000) (int_range 1 500_000))
+    (fun (gen, allowance) ->
+      let rng = Rng.create ~seed:(57_000 + gen) in
+      let n = 1 + Rng.int rng 25 in
+      let costs =
+        Array.init n (fun _ ->
+            match Rng.int rng 4 with
+            | 0 -> 1
+            | 1 -> 1_000_000 + Rng.int rng 500_000
+            | _ -> 1 + Rng.int rng 50_000)
+      in
+      let parent = Budget.create ~max_trials:allowance () in
+      let total = Array.fold_left ( + ) 0 costs in
+      let live = n <= allowance in
+      let remaining = ref total and handed = ref 0 in
+      Array.iter
+        (fun cost ->
+          let child =
+            Budget.split parent ~cost ~remaining_cost:(max 1 !remaining)
+          in
+          let share = Budget.remaining_trials child in
+          handed := !handed + share;
+          (* charge the parent with the full share, as a scheduler that
+             spends every granted trial would *)
+          Budget.spend parent share;
+          remaining := !remaining - cost)
+        costs;
+      (* Exact when no min-1 top-up fires; otherwise each live share may
+         oversubscribe by at most one. *)
+      !handed >= min allowance (if live then allowance else 0)
+      && !handed <= allowance + n)
+
+let test_split_adversarial () =
+  clear_all ();
+  (* The closing share takes the whole remainder even when rounding down
+     would drop trials. *)
+  let parent = Budget.create ~max_trials:10 () in
+  let c1 = Budget.split parent ~cost:1 ~remaining_cost:3 in
+  check int_c "first share rounds" 3 (Budget.remaining_trials c1);
+  Budget.spend parent (Budget.remaining_trials c1);
+  let c2 = Budget.split parent ~cost:2 ~remaining_cost:2 in
+  check int_c "closing share takes remainder" 7 (Budget.remaining_trials c2);
+  (* A tiny live share still gets one trial. *)
+  let parent = Budget.create ~max_trials:5 () in
+  let tiny = Budget.split parent ~cost:1 ~remaining_cost:1_000_000 in
+  check int_c "live share floors at one" 1 (Budget.remaining_trials tiny);
+  (* An exhausted parent yields a cancelled child. *)
+  let parent = Budget.create ~max_trials:2 () in
+  Budget.spend parent 2;
+  let dead = Budget.split parent ~cost:1 ~remaining_cost:2 in
+  check bool_c "dead parent, dead child" true (Budget.exhausted dead);
+  Alcotest.check_raises "remaining_cost must be positive"
+    (Invalid_argument "Budget.split: remaining_cost must be >= 1")
+    (fun () ->
+      ignore (Budget.split (Budget.create ()) ~cost:1 ~remaining_cost:0))
+
 (* ------------------------------------------------------------------ *)
 (* 7. Shard planning and record round-trips. *)
 
@@ -891,5 +997,11 @@ let () =
         [
           Alcotest.test_case "proportional split feeds the tail" `Quick
             test_budget_split_spreads_tail;
+          qcheck alloc_exact;
+          Alcotest.test_case "allocate: adversarial cost vectors" `Quick
+            test_allocate_adversarial;
+          qcheck split_walk_exact;
+          Alcotest.test_case "split: rounding edge cases" `Quick
+            test_split_adversarial;
         ] );
     ]

@@ -1,0 +1,634 @@
+(* Distributed shard execution: protocol framing, coordinator/worker
+   bit-identity across worker counts, crash reassignment, cross-worker-count
+   resume, quarantine, and static budget slices.
+
+   Like test_checkpoint, the suite passes under an environment-armed fault
+   (the CI matrix runs every suite with PQDB_FAULTPOINTS=<site>): the smoke
+   test runs first against whatever the environment armed — worker fleets
+   may die wholesale there, and the coordinator must still emit every shard
+   soundly via its in-process fallback.  Later tests clear the registry.
+
+   Fork safety: this process must never spawn pool domains before forking
+   test workers (OCaml 5 forbids fork with live domains), so the pool is
+   pinned to inline execution before anything else runs. *)
+
+let () = Unix.putenv "PQDB_POOL_WORKERS" "1"
+
+open Pqdb_numeric
+open Pqdb_urel
+open Pqdb_montecarlo
+open Pqdb_distrib
+module Q = Rational
+module FP = Pqdb_runtime.Faultpoint
+module E = Pqdb_runtime.Pqdb_error
+module Gen = Pqdb_workload.Gen
+
+let check = Alcotest.check
+let bool_c = Alcotest.bool
+let int_c = Alcotest.int
+let clear_all () = List.iter FP.disarm (FP.armed ())
+
+let temp_counter = ref 0
+
+let temp_path () =
+  incr temp_counter;
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "pqdb_distrib_%d_%d" (Unix.getpid ()) !temp_counter)
+
+let with_temp f =
+  let path = temp_path () in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () -> f path)
+
+let read_lines path =
+  let ic = open_in_bin path in
+  let rec go acc =
+    match input_line ic with
+    | l -> go (l :: acc)
+    | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+  in
+  go []
+
+let write_lines path lines =
+  let oc = open_out_bin path in
+  List.iter (fun l -> output_string oc (l ^ "\n")) lines;
+  close_out oc
+
+(* ------------------------------------------------------------------ *)
+(* Fixture: mixed batch planning into several shards.                  *)
+
+let eps = 0.35
+let delta = 0.2
+let seed = 9091
+
+let fixture () =
+  let rng = Rng.create ~seed:4242 in
+  let w = Wtable.create () in
+  let sets =
+    List.init 18 (fun i ->
+        match i mod 6 with
+        | 0 -> Gen.random_dnf rng w ~vars:8 ~clauses:5 ~clause_len:3
+        | 1 ->
+            let num = 1 + Rng.int rng 9 in
+            let v =
+              Wtable.add_var w [ Q.of_ints (10 - num) 10; Q.of_ints num 10 ]
+            in
+            [ Assignment.singleton v 1 ]
+        | 2 -> Gen.random_dnf rng w ~vars:6 ~clauses:4 ~clause_len:2
+        | 3 -> [ Assignment.empty ]
+        | 4 -> []
+        | _ -> Gen.random_dnf rng w ~vars:10 ~clauses:6 ~clause_len:3)
+  in
+  (w, Array.of_list sets)
+
+let shard_cost_for ~eps ~delta clause_sets ~target =
+  let total =
+    Array.fold_left
+      (fun acc cs -> acc + Shard.tuple_cost ~eps ~delta cs)
+      0 clause_sets
+  in
+  max 1 (total / target)
+
+let options ?checkpoint ?(resume = false) ?(retries = 2) shard_cost =
+  {
+    Confidence.shard_cost;
+    retries;
+    checkpoint;
+    resume;
+  }
+
+let bits = Int64.bits_of_float
+
+(* Materialize an emit stream into per-tuple arrays plus the emission
+   order, so runs can be compared bitwise. *)
+let collector n =
+  let est = Array.make n nan in
+  let lo = Array.make n nan in
+  let hi = Array.make n nan in
+  let tr = Array.make n (-1) in
+  let order = ref [] in
+  let emit (o : Shard.outcome) =
+    order := o.Shard.shard.Shard.index :: !order;
+    Array.iteri
+      (fun j e ->
+        let i = o.Shard.shard.Shard.first + j in
+        est.(i) <- e;
+        tr.(i) <- o.Shard.trials.(j);
+        let l, h = o.Shard.intervals.(j) in
+        lo.(i) <- l;
+        hi.(i) <- h)
+      o.Shard.estimates
+  in
+  (emit, est, lo, hi, tr, order)
+
+let check_same name (est, lo, hi, tr) (est', lo', hi', tr') =
+  let fcmp what a b =
+    Array.iteri
+      (fun i x ->
+        check Alcotest.int64
+          (Printf.sprintf "%s: %s slot %d" name what i)
+          (bits x) (bits b.(i)))
+      a
+  in
+  fcmp "estimate" est est';
+  fcmp "lo" lo lo';
+  fcmp "hi" hi hi';
+  check (Alcotest.array int_c) (name ^ ": trials") tr tr'
+
+let exact_probs w clause_sets =
+  Array.map
+    (fun clauses -> Q.to_float (Pqdb_urel.Confidence.exact w clauses))
+    clause_sets
+
+let assert_sound name w clause_sets lo hi =
+  Array.iteri
+    (fun i p ->
+      check bool_c
+        (Printf.sprintf "%s: tuple %d exact %.4f inside [%g, %g]" name i p
+           lo.(i) hi.(i))
+        true
+        (lo.(i) -. 1e-9 <= p && p <= hi.(i) +. 1e-9))
+    (exact_probs w clause_sets)
+
+let reference ?budget ~opts w sets =
+  let n = Array.length sets in
+  let emit, est, lo, hi, tr, order = collector n in
+  let summary =
+    Confidence.run_stream ?budget ~options:opts (Rng.create ~seed) w sets
+      ~eps ~delta ~emit
+  in
+  ((est, lo, hi, tr), List.rev !order, summary)
+
+(* ------------------------------------------------------------------ *)
+(* Transports.                                                         *)
+
+let thread_spawn ~shard_cost w sets _id =
+  Coordinator.thread_transport (fun ~input ~output ->
+      Worker.serve ~shard_cost ~heartbeat_s:0.05 (Rng.create ~seed) w sets
+        ~eps ~delta ~input ~output)
+
+(* A real child process without exec: fork, run the worker loop, _exit.
+   Requires the inline pool (set at module load) so no domains are live. *)
+let fork_spawn ?(worker_seed = seed) ~shard_cost w sets pids _id =
+  let to_w_r, to_w_w = Unix.pipe () in
+  let from_w_r, from_w_w = Unix.pipe () in
+  match Unix.fork () with
+  | 0 ->
+      Unix.close to_w_w;
+      Unix.close from_w_r;
+      let input = Unix.in_channel_of_descr to_w_r in
+      let output = Unix.out_channel_of_descr from_w_w in
+      (try
+         Worker.serve ~shard_cost ~heartbeat_s:0.05
+           (Rng.create ~seed:worker_seed) w sets ~eps ~delta ~input ~output
+       with _ -> ());
+      (try flush output with _ -> ());
+      Unix._exit 0
+  | pid ->
+      Unix.close to_w_r;
+      Unix.close from_w_w;
+      let input = Unix.in_channel_of_descr from_w_r in
+      let output = Unix.out_channel_of_descr to_w_w in
+      pids := pid :: !pids;
+      Coordinator.channel_transport ~pid
+        ~close:(fun () ->
+          (try close_out output with _ -> ());
+          try close_in input with _ -> ())
+        input output
+
+(* ------------------------------------------------------------------ *)
+(* Smoke: whatever the environment armed, every shard is emitted with   *)
+(* sound brackets — fleets may die, the fallback must not.              *)
+
+let test_env_smoke () =
+  let w, sets = fixture () in
+  let n = Array.length sets in
+  let shard_cost = shard_cost_for ~eps ~delta sets ~target:5 in
+  let emit, _est, lo, hi, _tr, order = collector n in
+  let summary =
+    Coordinator.run ~options:(options shard_cost) ~workers:2
+      ~spawn:(fun _ -> thread_spawn ~shard_cost w sets 0)
+      (Rng.create ~seed) w sets ~eps ~delta ~emit
+  in
+  check int_c "every shard emitted" summary.Coordinator.stream.Confidence.shards
+    (List.length !order);
+  check bool_c "emitted in plan order" true
+    (List.rev !order = List.init (List.length !order) Fun.id);
+  assert_sound "env smoke" w sets lo hi
+
+(* ------------------------------------------------------------------ *)
+(* Protocol framing.                                                   *)
+
+let msg_of_seed seed =
+  let rng = Rng.create ~seed:(7_000_000 + seed) in
+  let str n =
+    String.init (Rng.int rng n) (fun _ ->
+        Char.chr (32 + Rng.int rng 95) (* printable ASCII incl. space *))
+  in
+  match Rng.int rng 6 with
+  | 0 -> Protocol.Hello { meta = str 60; probe = Printf.sprintf "%h" (Rng.float rng 1.) }
+  | 1 ->
+      Protocol.Order
+        {
+          index = Rng.int rng 1000;
+          fp = Printf.sprintf "%08x" (Rng.int rng 0xFFFFFF);
+          trials = (if Rng.bool rng then Some (Rng.int rng 100_000) else None);
+          deadline_s = (if Rng.bool rng then Some (Rng.float rng 10.) else None);
+        }
+  | 2 -> Protocol.Outcome { payload = str 200 }
+  | 3 -> Protocol.Failed { index = Rng.int rng 1000; detail = str 80 }
+  | 4 -> Protocol.Heartbeat
+  | _ -> Protocol.Shutdown
+
+let decode_all bytes =
+  with_temp (fun path ->
+      let oc = open_out_bin path in
+      output_string oc bytes;
+      close_out oc;
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let rec go acc =
+            match Protocol.read ic with
+            | Some m -> go (m :: acc)
+            | None -> List.rev acc
+          in
+          go []))
+
+let protocol_roundtrip =
+  QCheck.Test.make ~name:"frames round-trip bit-exactly" ~count:300
+    (QCheck.int_range 0 1_000_000) (fun seed ->
+      clear_all ();
+      let msgs = List.init (1 + (seed mod 4)) (fun k -> msg_of_seed (seed + k)) in
+      let bytes = String.concat "" (List.map Protocol.encode msgs) in
+      decode_all bytes = msgs)
+
+let test_protocol_corruption () =
+  clear_all ();
+  let frame = Protocol.encode (Protocol.Outcome { payload = "0 0 3 12 abc" }) in
+  let typed f =
+    match f () with
+    | _ -> Alcotest.fail "corrupt frame decoded"
+    | exception E.Error (E.Malformed_input _) -> ()
+  in
+  (* clean EOF at a boundary *)
+  check bool_c "clean EOF" true (decode_all "" = []);
+  check int_c "whole frame" 1 (List.length (decode_all frame));
+  (* torn header *)
+  typed (fun () -> decode_all (String.sub frame 0 7));
+  (* torn payload *)
+  typed (fun () -> decode_all (String.sub frame 0 (String.length frame - 4)));
+  (* missing terminator *)
+  typed (fun () -> decode_all (String.sub frame 0 (String.length frame - 1)));
+  (* flipped payload byte: CRC catches it *)
+  let broken = Bytes.of_string frame in
+  Bytes.set broken 22 (if Bytes.get broken 22 = 'x' then 'y' else 'x');
+  typed (fun () -> decode_all (Bytes.to_string broken));
+  (* unknown tag, valid CRC *)
+  typed (fun () -> decode_all (Protocol.encode Protocol.Heartbeat ^ "f 00000003 " ^ Pqdb_runtime.Checkpoint.crc32_hex "zzz" ^ " zzz\n"))
+
+(* ------------------------------------------------------------------ *)
+(* Bit-identity across worker counts (real forked processes).          *)
+
+let test_identity_across_worker_counts () =
+  clear_all ();
+  let w, sets = fixture () in
+  let n = Array.length sets in
+  let shard_cost = shard_cost_for ~eps ~delta sets ~target:6 in
+  let opts = options shard_cost in
+  let ref_arrays, ref_order, ref_summary = reference ~opts w sets in
+  check bool_c "reference plans several shards" true
+    (ref_summary.Confidence.shards >= 4);
+  List.iter
+    (fun workers ->
+      let pids = ref [] in
+      let emit, est, lo, hi, tr, order = collector n in
+      let summary =
+        Coordinator.run ~options:opts ~workers
+          ~spawn:(fork_spawn ~shard_cost w sets pids)
+          (Rng.create ~seed) w sets ~eps ~delta ~emit
+      in
+      let name = Printf.sprintf "%d workers" workers in
+      check int_c (name ^ ": spawned") workers
+        summary.Coordinator.workers_spawned;
+      check int_c (name ^ ": none lost") 0 summary.Coordinator.workers_lost;
+      check bool_c (name ^ ": same emission order") true
+        (List.rev !order = ref_order);
+      check bool_c (name ^ ": complete") true
+        summary.Coordinator.stream.Confidence.stream_complete;
+      check_same name (est, lo, hi, tr) ref_arrays)
+    [ 1; 2; 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* Worker death mid-run: reassignment, still bit-identical.            *)
+
+let test_kill_worker_mid_run () =
+  clear_all ();
+  (* Heavier work per shard so the victim is mid-shard when killed. *)
+  let eps = 0.05 in
+  let rng = Rng.create ~seed:555 in
+  let w = Wtable.create () in
+  let sets =
+    Array.init 24 (fun _ -> Gen.random_dnf rng w ~vars:10 ~clauses:6 ~clause_len:3)
+  in
+  let n = Array.length sets in
+  let shard_cost = shard_cost_for ~eps ~delta sets ~target:8 in
+  let opts = options shard_cost in
+  let emit_ref, est, lo, hi, tr, _ = collector n in
+  let _ =
+    Confidence.run_stream ~options:opts (Rng.create ~seed) w sets ~eps ~delta
+      ~emit:emit_ref
+  in
+  let pids = ref [] in
+  let killed = ref false in
+  let emit2, est', lo', hi', tr', _ = collector n in
+  let summary =
+    Coordinator.run ~options:opts ~workers:2
+      ~spawn:(fun id ->
+        let tr =
+          let to_w_r, to_w_w = Unix.pipe () in
+          let from_w_r, from_w_w = Unix.pipe () in
+          match Unix.fork () with
+          | 0 ->
+              Unix.close to_w_w;
+              Unix.close from_w_r;
+              let input = Unix.in_channel_of_descr to_w_r in
+              let output = Unix.out_channel_of_descr from_w_w in
+              (try
+                 Worker.serve ~shard_cost ~heartbeat_s:0.05
+                   (Rng.create ~seed) w sets ~eps ~delta ~input ~output
+               with _ -> ());
+              (try flush output with _ -> ());
+              Unix._exit 0
+          | pid ->
+              Unix.close to_w_r;
+              Unix.close from_w_w;
+              pids := pid :: !pids;
+              Coordinator.channel_transport ~pid
+                ~close:(fun () -> ())
+                (Unix.in_channel_of_descr from_w_r)
+                (Unix.out_channel_of_descr to_w_w)
+        in
+        ignore id;
+        tr)
+      (Rng.create ~seed) w sets ~eps ~delta
+      ~emit:(fun o ->
+        (* First emission: both workers are busy on later shards — SIGKILL
+           one mid-shard and let the coordinator reassign. *)
+        if not !killed then begin
+          killed := true;
+          Unix.kill (List.hd !pids) Sys.sigkill
+        end;
+        emit2 o)
+  in
+  check int_c "one worker lost" 1 summary.Coordinator.workers_lost;
+  check bool_c "its shard was reassigned" true
+    (summary.Coordinator.reassigned >= 1);
+  check bool_c "run complete" true
+    summary.Coordinator.stream.Confidence.stream_complete;
+  check_same "after kill" (est', lo', hi', tr') (est, lo, hi, tr)
+
+(* ------------------------------------------------------------------ *)
+(* Resume across worker counts, both directions.                       *)
+
+let drop_last_record path =
+  match List.rev (read_lines path) with
+  | last :: rest when String.length last > 0 ->
+      write_lines path (List.rev rest);
+      last
+  | _ -> Alcotest.fail "journal unexpectedly empty"
+
+let test_resume_across_worker_counts () =
+  clear_all ();
+  let w, sets = fixture () in
+  let n = Array.length sets in
+  let shard_cost = shard_cost_for ~eps ~delta sets ~target:6 in
+  let ref_arrays, _, _ = reference ~opts:(options shard_cost) w sets in
+  (* distributed writes, sequential resumes *)
+  with_temp (fun path ->
+      let emit, _, _, _, _, _ = collector n in
+      let s1 =
+        Coordinator.run
+          ~options:(options ~checkpoint:path shard_cost)
+          ~workers:2
+          ~spawn:(fun _ -> thread_spawn ~shard_cost w sets 0)
+          (Rng.create ~seed) w sets ~eps ~delta ~emit
+      in
+      check bool_c "clean completion compacts" true
+        (s1.Coordinator.compacted <> None);
+      ignore (drop_last_record path);
+      let emit, est, lo, hi, tr, _ = collector n in
+      let s2 =
+        Confidence.run_stream
+          ~options:(options ~checkpoint:path ~resume:true shard_cost)
+          (Rng.create ~seed) w sets ~eps ~delta ~emit
+      in
+      check bool_c "stream resumed most shards" true
+        (s2.Confidence.resumed_shards >= 1);
+      check_same "distrib journal -> stream resume" (est, lo, hi, tr)
+        ref_arrays);
+  (* sequential writes, distributed resumes *)
+  with_temp (fun path ->
+      let emit, _, _, _, _, _ = collector n in
+      let _ =
+        Confidence.run_stream
+          ~options:(options ~checkpoint:path shard_cost)
+          (Rng.create ~seed) w sets ~eps ~delta ~emit
+      in
+      ignore (drop_last_record path);
+      let emit, est, lo, hi, tr, _ = collector n in
+      let s2 =
+        Coordinator.run
+          ~options:(options ~checkpoint:path ~resume:true shard_cost)
+          ~workers:2
+          ~spawn:(fun _ -> thread_spawn ~shard_cost w sets 0)
+          (Rng.create ~seed) w sets ~eps ~delta ~emit
+      in
+      check bool_c "coordinator resumed most shards" true
+        (s2.Coordinator.stream.Confidence.resumed_shards >= 1);
+      check_same "stream journal -> distrib resume" (est, lo, hi, tr)
+        ref_arrays)
+
+(* ------------------------------------------------------------------ *)
+(* Quarantine and self-healing.                                        *)
+
+let test_quarantine_and_self_heal () =
+  clear_all ();
+  let w, sets = fixture () in
+  let n = Array.length sets in
+  let shard_cost = shard_cost_for ~eps ~delta sets ~target:5 in
+  with_temp (fun path ->
+      FP.arm "shard.run";
+      let emit, _, lo, hi, _, order = collector n in
+      let summary =
+        Fun.protect ~finally:clear_all (fun () ->
+            Coordinator.run
+              ~options:(options ~checkpoint:path ~retries:1 shard_cost)
+              ~workers:1
+              ~spawn:(fun _ -> thread_spawn ~shard_cost w sets 0)
+              (Rng.create ~seed) w sets ~eps ~delta ~emit)
+      in
+      let st = summary.Coordinator.stream in
+      check int_c "every shard quarantined" st.Confidence.shards
+        (List.length st.Confidence.quarantined);
+      check int_c "every shard still emitted" st.Confidence.shards
+        (List.length !order);
+      check bool_c "incomplete" false st.Confidence.stream_complete;
+      check bool_c "no auto-compaction on a dirty run" true
+        (summary.Coordinator.compacted = None);
+      assert_sound "quarantined brackets" w sets lo hi;
+      (* Quarantined shards were never journaled: a resume with the fault
+         gone recomputes them all and lands on the clean run's bits. *)
+      let ref_arrays, _, _ = reference ~opts:(options shard_cost) w sets in
+      let emit, est, lo, hi, tr, _ = collector n in
+      let healed =
+        Coordinator.run
+          ~options:(options ~checkpoint:path ~resume:true shard_cost)
+          ~workers:2
+          ~spawn:(fun _ -> thread_spawn ~shard_cost w sets 0)
+          (Rng.create ~seed) w sets ~eps ~delta ~emit
+      in
+      check int_c "nothing to resume" 0
+        healed.Coordinator.stream.Confidence.resumed_shards;
+      check bool_c "healed run complete" true
+        healed.Coordinator.stream.Confidence.stream_complete;
+      check_same "self-healed" (est, lo, hi, tr) ref_arrays)
+
+(* A worker whose seed drifted is refused at handshake; the run falls back
+   in-process and still produces the reference bits. *)
+let test_drifted_worker_refused () =
+  clear_all ();
+  let w, sets = fixture () in
+  let n = Array.length sets in
+  let shard_cost = shard_cost_for ~eps ~delta sets ~target:5 in
+  let opts = options shard_cost in
+  let ref_arrays, _, _ = reference ~opts w sets in
+  let emit, est, lo, hi, tr, _ = collector n in
+  let summary =
+    Coordinator.run ~options:opts ~workers:1
+      ~spawn:(fun _ ->
+        Coordinator.thread_transport (fun ~input ~output ->
+            Worker.serve ~shard_cost ~heartbeat_s:0.05
+              (Rng.create ~seed:(seed + 1))
+              w sets ~eps ~delta ~input ~output))
+      (Rng.create ~seed) w sets ~eps ~delta ~emit
+  in
+  check int_c "drifted worker counted lost" 1 summary.Coordinator.workers_lost;
+  check bool_c "all shards fell back in-process" true
+    (summary.Coordinator.fallback_shards
+     = summary.Coordinator.stream.Confidence.shards);
+  check_same "fallback bits" (est, lo, hi, tr) ref_arrays
+
+(* ------------------------------------------------------------------ *)
+(* Static budget slices: deterministic across worker counts.           *)
+
+let test_budget_slices_deterministic () =
+  clear_all ();
+  let w, sets = fixture () in
+  let n = Array.length sets in
+  let shard_cost = shard_cost_for ~eps ~delta sets ~target:5 in
+  let opts = options shard_cost in
+  let run workers =
+    let budget = Budget.create ~max_trials:400 () in
+    let emit, est, lo, hi, tr, _ = collector n in
+    let summary =
+      Coordinator.run ~budget ~options:opts ~workers
+        ~spawn:(fun _ -> thread_spawn ~shard_cost w sets 0)
+        (Rng.create ~seed) w sets ~eps ~delta ~emit
+    in
+    ((est, lo, hi, tr), summary)
+  in
+  let a1, s1 = run 1 in
+  let a2, s2 = run 2 in
+  check_same "slices independent of worker count" a2 a1;
+  check int_c "same trial spend" s1.Coordinator.stream.Confidence.stream_trials
+    s2.Coordinator.stream.Confidence.stream_trials;
+  let _, _, lo, hi, _, _ = collector n in
+  ignore lo;
+  ignore hi;
+  let (_, lo1, hi1, _) = a1 in
+  assert_sound "budgeted brackets" w sets lo1 hi1
+
+(* ------------------------------------------------------------------ *)
+(* Journal compaction drops stale duplicates.                          *)
+
+let test_compaction_drops_duplicates () =
+  clear_all ();
+  let w, sets = fixture () in
+  let n = Array.length sets in
+  let shard_cost = shard_cost_for ~eps ~delta sets ~target:5 in
+  with_temp (fun path ->
+      let emit, _, _, _, _, _ = collector n in
+      let s =
+        Confidence.run_stream
+          ~options:(options ~checkpoint:path shard_cost)
+          (Rng.create ~seed) w sets ~eps ~delta ~emit
+      in
+      (* Duplicate the last record (identical bytes): compaction collapses
+         it, resume still validates first-wins. *)
+      let lines = read_lines path in
+      let last = List.nth lines (List.length lines - 1) in
+      write_lines path (lines @ [ last ]);
+      let kept, dropped = Shard.compact_journal path in
+      check int_c "latest-per-shard kept (plus meta)" (s.Confidence.shards + 1)
+        kept;
+      check int_c "duplicate dropped" 1 dropped;
+      let ref_arrays, _, _ = reference ~opts:(options shard_cost) w sets in
+      let emit, est, lo, hi, tr, _ = collector n in
+      let s2 =
+        Confidence.run_stream
+          ~options:(options ~checkpoint:path ~resume:true shard_cost)
+          (Rng.create ~seed) w sets ~eps ~delta ~emit
+      in
+      check int_c "everything resumes from the compacted journal"
+        s.Confidence.shards s2.Confidence.resumed_shards;
+      check_same "compacted resume" (est, lo, hi, tr) ref_arrays)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "distrib"
+    [
+      ( "smoke",
+        [
+          Alcotest.test_case "env-armed coordinator stays sound" `Quick
+            test_env_smoke;
+        ] );
+      ( "protocol",
+        [
+          qcheck protocol_roundtrip;
+          Alcotest.test_case "corrupt frames fail typed" `Quick
+            test_protocol_corruption;
+        ] );
+      ( "identity",
+        [
+          Alcotest.test_case "bit-identical for 1/2/4 forked workers" `Quick
+            test_identity_across_worker_counts;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "SIGKILLed worker reassigned, bits unchanged"
+            `Quick test_kill_worker_mid_run;
+          Alcotest.test_case "poison shards quarantined then self-heal" `Quick
+            test_quarantine_and_self_heal;
+          Alcotest.test_case "drifted worker refused at handshake" `Quick
+            test_drifted_worker_refused;
+        ] );
+      ( "resume",
+        [
+          Alcotest.test_case "journals interchange across worker counts"
+            `Quick test_resume_across_worker_counts;
+          Alcotest.test_case "compaction drops stale duplicates" `Quick
+            test_compaction_drops_duplicates;
+        ] );
+      ( "budget",
+        [
+          Alcotest.test_case "static slices independent of worker count"
+            `Quick test_budget_slices_deterministic;
+        ] );
+    ]

@@ -536,6 +536,39 @@ let prop_compile_residual_path_tracks_exact =
       in
       Float.abs (o.Compile.value -. expect) <= (0.2 *. expect) +. 1e-9)
 
+let prop_weight_aware_budgets_sound =
+  (* The weight-aware residual targets (εᵢ ∝ (Kᵢ/aᵢ)^⅓ under
+     Σ aᵢεᵢ ≤ ε·T_lo) must never cost soundness: across random DNFs and
+     fuels — including fuel levels that leave several residuals with very
+     different path weights — the certified interval brackets the exact
+     probability and a complete outcome keeps the relative-ε contract.
+     Fixed seeds keep the run deterministic; per-case failure probability
+     is δ = 0.01, so a failure here is a 3-sigma-equivalent event. *)
+  QCheck.Test.make ~name:"weight-aware residual budgets stay sound" ~count:60
+    (QCheck.int_range 0 100_000) (fun seed ->
+      let rng = Rng.create ~seed:(seed + 17) in
+      let w = Wtable.create () in
+      let clauses =
+        Gen.random_dnf rng w ~vars:10 ~clauses:8 ~clause_len:3
+      in
+      let expect = Q.to_float (Pqdb_urel.Confidence.exact w clauses) in
+      let fuel = [| 0; 4; 8; 16; 64 |].(seed mod 5) in
+      let eps = [| 0.3; 0.1; 0.05 |].(seed mod 3) in
+      let c = Compile.compile ~fuel w clauses in
+      let o =
+        Compile.solve (Rng.create ~seed:(seed + 1)) c ~eps ~delta:0.01
+      in
+      let bracketed = o.Compile.lo -. 1e-9 <= expect && expect <= o.Compile.hi +. 1e-9 in
+      let relative_ok =
+        (not o.Compile.complete)
+        || Float.abs (o.Compile.value -. expect) <= (eps *. expect) +. 1e-9
+      in
+      (* [lo, hi] brackets the true probability, not the point estimate:
+         the certified interval intersected with the relative-ε band can
+         exclude [value] by a hair while both still contain the truth. *)
+      let interval_sane = o.Compile.lo <= o.Compile.hi +. 1e-9 in
+      bracketed && relative_ok && interval_sane)
+
 (* ------------------------------------------------------------------ *)
 (* Adaptive stopping rule                                               *)
 (* ------------------------------------------------------------------ *)
@@ -761,6 +794,7 @@ let () =
             test_compile_solve_accuracy;
           qcheck prop_compile_matches_exact;
           qcheck prop_compile_residual_path_tracks_exact;
+          qcheck prop_weight_aware_budgets_sound;
         ] );
       ( "adaptive stopping",
         [
