@@ -405,8 +405,8 @@ let batch_inputs ~db ~relation ~gen ~gen_seed =
               [ Assignment.singleton v 1 ])
       in
       (w, sets)
-  | None, Some dir, Some name ->
-      let udb = Udb_io.load dir in
+  | None, Some path, Some name ->
+      let udb = Udb_io.load path in
       let u = Udb.find udb name in
       let sets =
         Array.of_list (List.map snd (Urelation.clauses_by_tuple u))
@@ -414,7 +414,7 @@ let batch_inputs ~db ~relation ~gen ~gen_seed =
       (Udb.wtable udb, sets)
   | _ ->
       failwith
-        "give either --gen N (synthetic lineage) or --db DIR --relation NAME"
+        "give either --gen N (synthetic lineage) or --db PATH --relation NAME"
 
 (* The batch output contract: one line per tuple, "%h" floats, one flush
    per shard — a kill leaves whole-shard prefixes on stdout, matching what
@@ -457,17 +457,19 @@ let report_stream_summary ~tuples (summary : Pqdb_montecarlo.Confidence.stream_s
    or the sampling — the handshake (meta payload + RNG probe) re-checks
    that nothing drifted in flight.  Floats go through "%.17g" so they
    re-parse to the same bits. *)
-let worker_argv ~db ~relation ~gen ~gen_seed ~eps ~delta ~seed ~compile_fuel
+let worker_argv ~gen ~gen_seed ~eps ~delta ~seed ~compile_fuel
     ~shard_cost ~faultpoints =
   Array.of_list
     (List.concat
        [
          [ Sys.executable_name; "worker" ];
+         (* A stored --db source is deliberately absent: it travels in the
+            coordinator's greeting Hello instead, so every worker loads the
+            same path the coordinator used (and a .udbb db is one shared
+            read-only mapping across the fleet). *)
          (match gen with
          | Some n -> [ "--gen"; string_of_int n; "--gen-seed"; string_of_int gen_seed ]
          | None -> []);
-         (match db with Some d -> [ "--db"; d ] | None -> []);
-         (match relation with Some r -> [ "--relation"; r ] | None -> []);
          [ "--eps"; Printf.sprintf "%.17g" eps ];
          [ "--delta"; Printf.sprintf "%.17g" delta ];
          [ "--seed"; string_of_int seed ];
@@ -503,11 +505,16 @@ let batch_cmd db relation gen gen_seed eps delta seed compile_fuel shard_size
       let module D = Pqdb_distrib.Coordinator in
       let opts = Option.value options ~default:C.default_stream_options in
       let argv =
-        worker_argv ~db ~relation ~gen ~gen_seed ~eps ~delta ~seed
+        worker_argv ~gen ~gen_seed ~eps ~delta ~seed
           ~compile_fuel ~shard_cost:opts.C.shard_cost ~faultpoints
       in
+      let source =
+        match (db, relation) with
+        | Some d, Some r -> Some (d, r)
+        | _ -> None
+      in
       let summary =
-        D.run ?budget ?compile_fuel ~options:opts ~workers
+        D.run ?budget ?compile_fuel ~options:opts ?source ~workers
           ~spawn:(fun _ -> D.process_transport argv)
           rng w sets ~eps ~delta ~emit:emit_batch_outcome
       in
@@ -545,7 +552,25 @@ let worker_cmd db relation gen gen_seed eps delta seed compile_fuel
     check_positive_int "shard-size" shard_size;
     check_pool_workers_env ();
     apply_faultpoints faultpoints;
-    let w, sets = batch_inputs ~db ~relation ~gen ~gen_seed in
+    let w, sets =
+      match (gen, db, relation) with
+      | None, None, None -> (
+          (* Bare worker: the coordinator's greeting Hello (the first frame
+             on stdin) names the stored data source, so the path is stated
+             once — on the coordinator's command line — instead of being
+             duplicated into every worker's argv or regenerated from a
+             seed.  Worker.serve ignores any later greeting replays. *)
+          match Pqdb_distrib.Protocol.read stdin with
+          | Some (Pqdb_distrib.Protocol.Hello { source = Some (d, r); _ }) ->
+              batch_inputs ~db:(Some d) ~relation:(Some r) ~gen:None ~gen_seed
+          | Some (Pqdb_distrib.Protocol.Hello { source = None; _ }) ->
+              failwith
+                "coordinator greeting names no data source; give --gen N or \
+                 --db/--relation"
+          | Some _ | None ->
+              failwith "expected a coordinator greeting on stdin")
+      | _ -> batch_inputs ~db ~relation ~gen ~gen_seed
+    in
     let rng = Rng.create ~seed in
     (* stdout belongs to the protocol: everything human goes to stderr. *)
     Pqdb_distrib.Worker.serve ?compile_fuel ?shard_cost:shard_size rng w sets
@@ -558,6 +583,66 @@ let worker_cmd db relation gen gen_seed eps delta seed compile_fuel
   | Pqdb_runtime.Pqdb_error.Error e ->
       Format.eprintf "worker error: %s@."
         (Pqdb_runtime.Pqdb_error.to_string e);
+      1
+
+(* --- convert / gen ---------------------------------------------------- *)
+
+(* Format conversion dispatches on extension: a path ending in .udbb is the
+   binary columnar format, anything else the text directory format.
+   --verify re-loads both sides and compares their canonical binary images
+   byte for byte — the binary encoder is deterministic (sorted row sets,
+   var-id order), so equality means the conversion lost nothing. *)
+let canonical_image udb =
+  let tmp =
+    Filename.temp_file "pqdb-verify" Pqdb_urel.Udb_binary.extension
+  in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove tmp with Sys_error _ -> ())
+    (fun () ->
+      Pqdb_urel.Udb_binary.save tmp udb;
+      In_channel.with_open_bin tmp In_channel.input_all)
+
+let convert_cmd verify src dst =
+  try
+    let udb = Udb_io.load src in
+    Udb_io.save dst udb;
+    if verify then begin
+      let a = canonical_image (Udb_io.load src) in
+      let b = canonical_image (Udb_io.load dst) in
+      if not (String.equal a b) then
+        failwith
+          (Printf.sprintf
+             "round-trip verification failed: %s and %s decode to different \
+              databases"
+             src dst);
+      Format.eprintf "-- verified: %s and %s are canonically identical@." src
+        dst
+    end;
+    Format.printf "converted %s -> %s@." src dst;
+    0
+  with
+  | Failure msg | Invalid_argument msg | Sys_error msg ->
+      Format.eprintf "error: %s@." msg;
+      1
+  | Pqdb_runtime.Pqdb_error.Error e ->
+      Format.eprintf "error: %s@." (Pqdb_runtime.Pqdb_error.to_string e);
+      1
+
+let gen_db_cmd tuples clauses gen_seed dest =
+  try
+    check_positive_int "tuples" (Some tuples);
+    check_positive_int "clauses" (Some clauses);
+    let rng = Rng.create ~seed:gen_seed in
+    let udb = Pqdb_workload.Gen.uncertain_db rng ~tuples ~clauses in
+    Udb_io.save dest udb;
+    Format.printf "wrote %s: %d tuples in relation events@." dest tuples;
+    0
+  with
+  | Failure msg | Invalid_argument msg | Sys_error msg ->
+      Format.eprintf "error: %s@." msg;
+      1
+  | Pqdb_runtime.Pqdb_error.Error e ->
+      Format.eprintf "error: %s@." (Pqdb_runtime.Pqdb_error.to_string e);
       1
 
 (* --- checkpoint ------------------------------------------------------- *)
@@ -808,8 +893,11 @@ let db_arg =
   Arg.(
     value
     & opt (some string) None
-    & info [ "db" ] ~docv:"DIR"
-        ~doc:"Load a saved U-relational database directory.")
+    & info [ "db" ] ~docv:"PATH"
+        ~doc:
+          "Load a saved U-relational database: a text directory, or a \
+           binary columnar $(b,.udbb) file (memory-mapped, relations \
+           decoded lazily).")
 
 let tables_arg =
   Arg.(
@@ -1065,6 +1153,66 @@ let worker_cmd_info =
        a coordinator whose parameters or seed drifted.  Not intended for \
        interactive use."
 
+let convert_term =
+  Term.(
+    const convert_cmd
+    $ Arg.(
+        value & flag
+        & info [ "verify" ]
+            ~doc:
+              "After converting, re-load both sides and compare their \
+               canonical binary images byte for byte.")
+    $ Arg.(
+        required
+        & pos 0 (some string) None
+        & info [] ~docv:"SRC"
+            ~doc:"Source database (text directory or $(b,.udbb) file).")
+    $ Arg.(
+        required
+        & pos 1 (some string) None
+        & info [] ~docv:"DST"
+            ~doc:
+              "Destination; a $(b,.udbb) suffix selects the binary columnar \
+               format, anything else the text directory format."))
+
+let convert_cmd_info =
+  Cmd.info "convert"
+    ~doc:
+      "Convert a stored database between the text directory format and the \
+       binary columnar $(b,.udbb) format (either direction, dispatched on \
+       the destination's extension).  Binary databases memory-map on load: \
+       cold start touches only the pages it needs, and concurrent \
+       $(b,batch --workers) processes share one read-only mapping through \
+       the page cache."
+
+let gen_db_term =
+  Term.(
+    const gen_db_cmd
+    $ Arg.(
+        value & opt int 1000
+        & info [ "tuples" ] ~docv:"N"
+            ~doc:"Uncertain tuples in the generated $(b,events) relation.")
+    $ Arg.(
+        value & opt int 3
+        & info [ "clauses" ] ~docv:"K"
+            ~doc:"Maximum clause rows per tuple (capped at 3).")
+    $ gen_seed_arg
+    $ Arg.(
+        required
+        & pos 0 (some string) None
+        & info [] ~docv:"DEST"
+            ~doc:
+              "Where to write the database ($(b,.udbb) for binary, \
+               otherwise a text directory)."))
+
+let gen_db_cmd_info =
+  Cmd.info "gen"
+    ~doc:
+      "Generate a synthetic uncertain database (relation $(b,events) with \
+       exact-rational Bernoulli lineage, plus a complete $(b,tags) \
+       relation) and store it — the fixture behind the storage CI job and \
+       the $(b,convert --verify) round-trip."
+
 let compact_term =
   Term.(
     const compact_cmd
@@ -1108,6 +1256,8 @@ let main =
       Cmd.v topk_cmd_info topk_term;
       Cmd.v batch_cmd_info batch_term;
       Cmd.v worker_cmd_info worker_term;
+      Cmd.v convert_cmd_info convert_term;
+      Cmd.v gen_db_cmd_info gen_db_term;
       checkpoint_group;
     ]
 

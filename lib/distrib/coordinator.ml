@@ -87,8 +87,8 @@ let sum_trials = Array.fold_left ( + ) 0
 
 let run ?budget ?nworkers ?compile_fuel
     ?(options = Confidence.default_stream_options)
-    ?(heartbeat_timeout_s = 30.) ~workers:nw ~spawn rng w clause_sets ~eps
-    ~delta ~emit =
+    ?(heartbeat_timeout_s = 30.) ?source ~workers:nw ~spawn rng w clause_sets
+    ~eps ~delta ~emit =
   if eps <= 0. || delta <= 0. then invalid_arg "Coordinator.run";
   if nw < 1 then invalid_arg "Coordinator.run: workers must be >= 1";
   if options.Confidence.shard_cost < 1 then
@@ -208,6 +208,12 @@ let run ?budget ?nworkers ?compile_fuel
                   rloop ())
                 ()
             in
+            (* Greeting: tells a bare worker process where the data lives
+               ([source]) before it must reconstruct the run.  Workers with
+               their own data arguments ignore it; a send failure just means
+               the worker is already gone, which the reader will notice. *)
+            (try wk.tr.send (Protocol.Hello { meta; probe; source })
+             with _ -> ());
             Some wk
         | exception _ -> None)
       (List.init nw Fun.id)
@@ -285,7 +291,7 @@ let run ?budget ?nworkers ?compile_fuel
   let handle_msg wk msg =
     wk.last_seen <- Unix.gettimeofday ();
     match (wk.state, msg) with
-    | Starting, Protocol.Hello { meta = m; probe = p } ->
+    | Starting, Protocol.Hello { meta = m; probe = p; source = _ } ->
         if String.equal m meta && String.equal p probe then wk.state <- Idle
         else begin
           (* Well-formed but wrong run: the worker would compute plausible

@@ -87,14 +87,20 @@ type summary = {
 val run :
   ?budget:Pqdb_montecarlo.Budget.t -> ?nworkers:int -> ?compile_fuel:int ->
   ?options:Pqdb_montecarlo.Confidence.stream_options ->
-  ?heartbeat_timeout_s:float -> workers:int -> spawn:(int -> transport) ->
+  ?heartbeat_timeout_s:float -> ?source:string * string ->
+  workers:int -> spawn:(int -> transport) ->
   Rng.t -> Wtable.t -> Assignment.t list array -> eps:float -> delta:float ->
   emit:(Pqdb_montecarlo.Shard.outcome -> unit) -> summary
 (** Execute the batch over [workers] transports obtained from [spawn]
     (called with worker ids 0..workers−1; fires ["distrib.spawn"] per
-    worker — a spawn that raises just shrinks the fleet).  Workers are
-    admitted only after a [Hello] matching this run's meta payload and RNG
-    probe; drifted workers are refused and counted lost.
+    worker — a spawn that raises just shrinks the fleet).  Each worker is
+    first sent a greeting [Hello] carrying this run's meta/probe and
+    [source] — [(db_path, relation)] when the batch reads a stored
+    database — so bare worker processes can load the database themselves
+    (sharing one [.udbb] mapping through the page cache) instead of being
+    re-told via argv or regenerating from a seed.  Workers are
+    admitted only after a reply [Hello] matching this run's meta payload
+    and RNG probe; drifted workers are refused and counted lost.
     [heartbeat_timeout_s] (default 30) bounds silence from a live process
     worker before it is SIGKILLed.  [options] carries the shard ceiling,
     retry budget and checkpoint/resume exactly as for [run_stream];

@@ -3,7 +3,11 @@ module Pqdb_error = Pqdb_runtime.Pqdb_error
 module Checkpoint = Pqdb_runtime.Checkpoint
 
 type msg =
-  | Hello of { meta : string; probe : string }
+  | Hello of {
+      meta : string;
+      probe : string;
+      source : (string * string) option;
+    }
   | Order of { index : int; fp : string; trials : int option; deadline_s : float option }
   | Outcome of { payload : string }
   | Failed of { index : int; detail : string }
@@ -21,8 +25,54 @@ let escape s =
   else
     String.concat "\\n" (String.split_on_char '\n' s)
 
+(* Source fields (a database path + relation name) sit in the middle of the
+   hello payload, so they are percent-encoded: '%', space and newline are
+   the only bytes that could confuse the space-separated payload or the
+   line framing.  "-" marks an absent field ("%2d" is a literal dash). *)
+let pct_encode s =
+  if s = "" || s = "-" then (if s = "" then "%00" else "%2d")
+  else if
+    String.for_all (fun c -> c <> '%' && c <> ' ' && c <> '\n') s
+  then s
+  else
+    String.concat ""
+      (List.map
+         (fun c ->
+           match c with
+           | '%' -> "%25"
+           | ' ' -> "%20"
+           | '\n' -> "%0a"
+           | c -> String.make 1 c)
+         (List.init (String.length s) (String.get s)))
+
+let pct_decode ~badf s =
+  if s = "%00" then ""
+  else if not (String.contains s '%') then s
+  else begin
+    let b = Buffer.create (String.length s) in
+    let i = ref 0 in
+    while !i < String.length s do
+      (if s.[!i] <> '%' then Buffer.add_char b s.[!i]
+       else if !i + 2 >= String.length s then badf "truncated %-escape"
+       else begin
+         (match int_of_string_opt ("0x" ^ String.sub s (!i + 1) 2) with
+         | Some code -> Buffer.add_char b (Char.chr (code land 0xFF))
+         | None -> badf (Printf.sprintf "bad %%-escape in %S" s));
+         i := !i + 2
+       end);
+      incr i
+    done;
+    Buffer.contents b
+  end
+
+let source_fields = function
+  | None -> "- -"
+  | Some (db, rel) ->
+      Printf.sprintf "%s %s" (pct_encode db) (pct_encode rel)
+
 let payload_of = function
-  | Hello { meta; probe } -> Printf.sprintf "hello %s %s" probe meta
+  | Hello { meta; probe; source } ->
+      Printf.sprintf "hello %s %s %s" probe (source_fields source) meta
   | Order { index; fp; trials; deadline_s } ->
       Printf.sprintf "order %d %s %s %s" index fp
         (match trials with None -> "-" | Some t -> string_of_int t)
@@ -48,9 +98,18 @@ let msg_of_payload payload =
   let tag, rest = split_first payload in
   match tag with
   | "hello" ->
-      let probe, meta = split_first rest in
-      if probe = "" then bad "hello frame without an RNG probe";
-      Hello { meta; probe }
+      let probe, rest = split_first rest in
+      let db, rest = split_first rest in
+      let rel, meta = split_first rest in
+      if probe = "" || db = "" || rel = "" then
+        bad "hello frame missing probe or source fields";
+      let source =
+        match (db, rel) with
+        | "-", "-" -> None
+        | "-", _ | _, "-" -> bad "hello frame with a half-specified source"
+        | db, rel -> Some (pct_decode ~badf:bad db, pct_decode ~badf:bad rel)
+      in
+      Hello { meta; probe; source }
   | "order" -> (
       match String.split_on_char ' ' rest with
       | [ index; fp; trials; deadline ] ->

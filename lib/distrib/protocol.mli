@@ -14,13 +14,24 @@
     down its worker-loss paths without actually killing processes. *)
 
 type msg =
-  | Hello of { meta : string; probe : string }
-      (** Worker handshake: the {!Pqdb_montecarlo.Shard.meta_payload} of the
-          run it reconstructed from its own arguments, plus an RNG probe (a
-          ["%h"] draw from a copy of its batch seed).  The coordinator
-          compares both against its own for literal equality — a worker
-          whose parameters or seed drifted would compute well-formed but
-          wrong shards, so it is refused at handshake instead. *)
+  | Hello of {
+      meta : string;
+      probe : string;
+      source : (string * string) option;
+    }
+      (** Handshake, both directions.  Worker → coordinator: the
+          {!Pqdb_montecarlo.Shard.meta_payload} of the run it reconstructed,
+          plus an RNG probe (a ["%h"] draw from a copy of its batch seed).
+          The coordinator compares both against its own for literal
+          equality — a worker whose parameters or seed drifted would
+          compute well-formed but wrong shards, so it is refused at
+          handshake instead.  Coordinator → worker (sent first, on spawn):
+          the same fields, with [source = Some (db_path, relation)] when
+          the run reads a stored database — a worker spawned without data
+          arguments loads that path (one read-only [.udbb] mapping shared
+          by the whole fleet via the page cache) instead of regenerating
+          from a [--gen] seed.  Source fields are percent-encoded on the
+          wire; [None] marks a synthetic-workload run. *)
   | Order of { index : int; fp : string; trials : int option; deadline_s : float option }
       (** Coordinator → worker: solve shard [index].  [fp] is the data
           fingerprint the worker must re-derive from its own clause sets;

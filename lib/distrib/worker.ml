@@ -43,7 +43,7 @@ let serve ?compile_fuel ?nworkers
   let wlock = Mutex.create () in
   let send msg = Mutex.protect wlock (fun () -> Protocol.write output msg) in
   let stop = Atomic.make false in
-  send (Protocol.Hello { meta; probe });
+  send (Protocol.Hello { meta; probe; source = None });
   (* Liveness ticks keep flowing while a long solve runs, so the
      coordinator can tell "slow" from "gone".  A failed tick means the
      coordinator hung up; the main loop will see EOF and exit. *)

@@ -24,8 +24,12 @@ type writer
 val magic : string
 (** First line of every journal. *)
 
+val crc32 : string -> int32
+(** IEEE CRC-32 of a string — the checksum used by the journal frames, the
+    distrib protocol and the binary storage segments. *)
+
 val crc32_hex : string -> string
-(** Lower-case 8-hex-digit IEEE CRC-32 of a string (exposed so tests can
+(** Lower-case 8-hex-digit rendering of {!crc32} (exposed so tests can
     craft corrupt and conflicting journals, and callers can fingerprint
     payload components). *)
 

@@ -4,6 +4,7 @@ let known =
     "pool.task";
     "pool.spawn";
     "udb_io.wtable";
+    "udb_binary.load";
     "checkpoint.write";
     "shard.run";
     "distrib.send";

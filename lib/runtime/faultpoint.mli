@@ -2,8 +2,9 @@
 
     A fault point is a named site in the engine (see {!known}:
     ["karp_luby.estimator"], ["pool.task"], ["pool.spawn"],
-    ["udb_io.wtable"], ["checkpoint.write"], ["shard.run"],
-    ["distrib.send"], ["distrib.recv"], ["distrib.spawn"]) that calls
+    ["udb_io.wtable"], ["udb_binary.load"], ["checkpoint.write"],
+    ["shard.run"], ["distrib.send"], ["distrib.recv"],
+    ["distrib.spawn"]) that calls
     {!fire} or {!should_fail}.  Nothing
     happens unless the point is {e armed} — programmatically via {!arm}, or
     through the [PQDB_FAULTPOINTS] environment variable, a comma-separated

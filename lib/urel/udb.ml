@@ -1,7 +1,12 @@
 
+(* Relations are stored as thunks so a storage backend can defer decoding
+   a relation's segments until a query first touches it (the mmap'd binary
+   format relies on this: cold start pays only for the pages actually
+   read).  Eager registration wraps in [Lazy.from_val], so the common path
+   allocates nothing extra. *)
 type t = {
   mutable w : Wtable.t;
-  mutable rels : (string * Urelation.t) list;
+  mutable rels : (string * Urelation.t Lazy.t) list;
   mutable complete : string list;
 }
 
@@ -14,26 +19,35 @@ let check_fresh t name =
 
 let add_complete t name rel =
   check_fresh t name;
-  t.rels <- t.rels @ [ (name, Urelation.of_relation rel) ];
+  t.rels <- t.rels @ [ (name, Lazy.from_val (Urelation.of_relation rel)) ];
   t.complete <- name :: t.complete
 
 let add_urelation ?(complete = false) t name u =
   check_fresh t name;
-  t.rels <- t.rels @ [ (name, u) ];
+  t.rels <- t.rels @ [ (name, Lazy.from_val u) ];
+  if complete then t.complete <- name :: t.complete
+
+let add_lazy ?(complete = false) t name thunk =
+  check_fresh t name;
+  t.rels <- t.rels @ [ (name, thunk) ];
   if complete then t.complete <- name :: t.complete
 
 let find t name =
   match List.assoc_opt name t.rels with
-  | Some u -> u
+  | Some u -> Lazy.force u
   | None -> raise Not_found
 
 let mem t name = List.mem_assoc name t.rels
 let names t = List.map fst t.rels
 let is_complete t name = List.mem name t.complete
+let is_decoded t name =
+  match List.assoc_opt name t.rels with
+  | Some u -> Lazy.is_val u
+  | None -> raise Not_found
 
 let copy t =
   (* The W table is rebuilt variable by variable; U-relations are
-     immutable. *)
+     immutable, and undecoded thunks are shared (forcing is idempotent). *)
   let w = Wtable.create () in
   List.iter
     (fun v ->
@@ -51,6 +65,6 @@ let pp fmt t =
     (fun (name, u) ->
       Format.fprintf fmt "%s%s:@,%a@," name
         (if is_complete t name then " (complete)" else "")
-        Urelation.pp u)
+        Urelation.pp (Lazy.force u))
     t.rels;
   Format.pp_close_box fmt ()

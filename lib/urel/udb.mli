@@ -20,12 +20,26 @@ val add_urelation : ?complete:bool -> t -> string -> Urelation.t -> unit
 (** Register an uncertain relation represented by a U-relation.
     [complete] defaults to false. *)
 
+val add_lazy : ?complete:bool -> t -> string -> Urelation.t Lazy.t -> unit
+(** Register a relation whose decoding is deferred until {!find} first
+    touches it.  Storage backends use this so cold start is O(pages
+    touched): the thunk typically reads column segments out of a shared
+    read-only mapping.  Forcing may raise whatever the decoder raises
+    (e.g. the typed [Malformed_input] of a corrupt segment). *)
+
 val find : t -> string -> Urelation.t
-(** @raise Not_found on unknown names. *)
+(** Forces the relation if it was registered with {!add_lazy}.
+    @raise Not_found on unknown names. *)
 
 val mem : t -> string -> bool
 val names : t -> string list
 val is_complete : t -> string -> bool
+
+val is_decoded : t -> string -> bool
+(** Whether the relation has been decoded ([true] for all eagerly
+    registered relations).  Diagnostic — the storage benches use it to
+    show lazy loads touch nothing.
+    @raise Not_found on unknown names. *)
 
 val copy : t -> t
 (** Deep enough a copy that evaluating queries (which mutates the W table)

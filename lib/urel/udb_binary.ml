@@ -1,0 +1,502 @@
+open Pqdb_numeric
+open Pqdb_relational
+module Checkpoint = Pqdb_runtime.Checkpoint
+module Pqdb_error = Pqdb_runtime.Pqdb_error
+module Faultpoint = Pqdb_runtime.Faultpoint
+
+(* Binary columnar single-file format (".udbb"):
+
+     header   "pqdb-udbb/v1\n" + 3 zero bytes           (16 bytes)
+     segments concatenated, offsets recorded in the manifest
+     manifest segment directory + relation directory
+     trailer  u64 manifest_off | u32 manifest_len | u32 manifest_crc
+              | "UDBBEND\n"                             (24 bytes)
+
+   All integers little-endian.  Segment kinds: 'W' the deduplicated W
+   table (names + exact rationals, shared by every condition column),
+   'D' a relation's condition column (CSR-style prefix offsets into a
+   (var, value) pair array, referencing W by variable id), 'C' one typed
+   value column (tag byte + 8-byte word per row, variable-width Str/Rat
+   payloads in a per-segment heap).  Every segment carries a CRC-32
+   (same polynomial as Runtime.Checkpoint) checked when the segment is
+   first decoded; the manifest CRC lives in the trailer and is checked
+   eagerly.  Loading maps the file once ({!Unix.map_file}, read-only)
+   and decodes the W table plus manifest; each relation decodes lazily
+   from the mapping on first {!Udb.find}, so cold start touches only the
+   header, trailer, manifest and W-table pages. *)
+
+let magic = "pqdb-udbb/v1\n"
+let header_len = 16
+let tail_magic = "UDBBEND\n"
+let trailer_len = 24
+let extension = ".udbb"
+let is_binary_path path = Filename.check_suffix path extension
+
+let tag_int = 0
+let tag_float = 1
+let tag_str = 2
+let tag_bool = 3
+let tag_rat = 4
+
+(* --- atomic file replacement ------------------------------------------- *)
+
+(* Temp in the destination directory (rename must not cross filesystems),
+   fsync'd before the rename and the directory fsync'd after, so a crash
+   leaves either the old file or the new one, never a torn hybrid.  The
+   text format's CSV writer goes through this too. *)
+let write_file_atomic path contents =
+  let dir = Filename.dirname path in
+  let tmp =
+    Filename.concat dir
+      (Printf.sprintf ".%s.tmp.%d" (Filename.basename path) (Unix.getpid ()))
+  in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  (try
+     let oc = Unix.out_channel_of_descr fd in
+     output_string oc contents;
+     flush oc;
+     Unix.fsync fd;
+     close_out oc
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  (try Sys.rename tmp path
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | dfd ->
+      (try Unix.fsync dfd with Unix.Unix_error _ -> ());
+      (try Unix.close dfd with Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
+
+(* --- segment model ------------------------------------------------------ *)
+
+type seg = { kind : char; off : int; len : int; crc : int32 }
+
+type rel_entry = {
+  rel_name : string;
+  complete : bool;
+  nrows : int;
+  attrs : string list;
+  cond_seg : int;
+  col_segs : int array;
+}
+
+type manifest = { segs : seg array; wtable_seg : int; rels : rel_entry list }
+
+(* --- writing ------------------------------------------------------------ *)
+
+let add_str buf s =
+  Buffer.add_int32_le buf (Int32.of_int (String.length s));
+  Buffer.add_string buf s
+
+let add_u32 buf n = Buffer.add_int32_le buf (Int32.of_int n)
+
+let check_u32 what n =
+  if n < 0 || n > 0xFFFF_FFFF then
+    invalid_arg (Printf.sprintf "Udb_binary.save: %s (%d) exceeds u32" what n)
+
+let encode_wtable w =
+  let buf = Buffer.create 1024 in
+  add_u32 buf (Wtable.var_count w);
+  List.iter
+    (fun v ->
+      add_str buf (Wtable.name w v);
+      let d = Wtable.domain_size w v in
+      add_u32 buf d;
+      for x = 0 to d - 1 do
+        add_str buf (Rational.to_string (Wtable.prob w v x))
+      done)
+    (Wtable.vars w);
+  Buffer.contents buf
+
+let encode_conds rows =
+  let buf = Buffer.create 1024 in
+  let nrows = List.length rows in
+  let npairs =
+    List.fold_left (fun acc (a, _) -> acc + Assignment.cardinal a) 0 rows
+  in
+  check_u32 "condition pair count" npairs;
+  add_u32 buf nrows;
+  add_u32 buf npairs;
+  let start = ref 0 in
+  List.iter
+    (fun (a, _) ->
+      add_u32 buf !start;
+      start := !start + Assignment.cardinal a)
+    rows;
+  add_u32 buf !start;
+  List.iter
+    (fun (a, _) ->
+      List.iter
+        (fun (v, x) ->
+          add_u32 buf v;
+          add_u32 buf x)
+        (Assignment.bindings a))
+    rows;
+  Buffer.contents buf
+
+let encode_column rows pos =
+  let nrows = List.length rows in
+  let tags = Buffer.create nrows in
+  let words = Buffer.create (8 * nrows) in
+  let heap = Buffer.create 256 in
+  List.iter
+    (fun (_, t) ->
+      let heap_word s =
+        let off = Buffer.length heap in
+        check_u32 "column heap offset" off;
+        check_u32 "column heap entry length" (String.length s);
+        Buffer.add_string heap s;
+        Int64.logor (Int64.of_int off)
+          (Int64.shift_left (Int64.of_int (String.length s)) 32)
+      in
+      let tag, word =
+        match Tuple.get t pos with
+        | Value.Int n -> (tag_int, Int64.of_int n)
+        | Value.Float f -> (tag_float, Int64.bits_of_float f)
+        | Value.Str s -> (tag_str, heap_word s)
+        | Value.Bool b -> (tag_bool, if b then 1L else 0L)
+        | Value.Rat q -> (tag_rat, heap_word (Rational.to_string q))
+      in
+      Buffer.add_char tags (Char.chr tag);
+      Buffer.add_int64_le words word)
+    rows;
+  let buf = Buffer.create (Buffer.length tags + Buffer.length words + Buffer.length heap + 8) in
+  add_u32 buf nrows;
+  Buffer.add_buffer buf tags;
+  Buffer.add_buffer buf words;
+  add_u32 buf (Buffer.length heap);
+  Buffer.add_buffer buf heap;
+  Buffer.contents buf
+
+let save path udb =
+  let segs = ref [] in
+  let seg_count = ref 0 in
+  let body = Buffer.create 4096 in
+  let add_segment kind payload =
+    let off = header_len + Buffer.length body in
+    let idx = !seg_count in
+    incr seg_count;
+    segs :=
+      { kind; off; len = String.length payload; crc = Checkpoint.crc32 payload }
+      :: !segs;
+    Buffer.add_string body payload;
+    idx
+  in
+  let w_idx = add_segment 'W' (encode_wtable (Udb.wtable udb)) in
+  let rels =
+    List.map
+      (fun name ->
+        let u = Udb.find udb name in
+        let rows = Urelation.rows u in
+        let attrs = Schema.attributes (Urelation.schema u) in
+        let cond_seg = add_segment 'D' (encode_conds rows) in
+        let col_segs =
+          Array.of_list
+            (List.mapi (fun i _ -> add_segment 'C' (encode_column rows i)) attrs)
+        in
+        {
+          rel_name = name;
+          complete = Udb.is_complete udb name;
+          nrows = List.length rows;
+          attrs;
+          cond_seg;
+          col_segs;
+        })
+      (Udb.names udb)
+  in
+  let manifest = Buffer.create 512 in
+  let segs = Array.of_list (List.rev !segs) in
+  add_u32 manifest (Array.length segs);
+  Array.iter
+    (fun s ->
+      Buffer.add_char manifest s.kind;
+      Buffer.add_int64_le manifest (Int64.of_int s.off);
+      Buffer.add_int64_le manifest (Int64.of_int s.len);
+      Buffer.add_int32_le manifest s.crc)
+    segs;
+  add_u32 manifest w_idx;
+  add_u32 manifest (List.length rels);
+  List.iter
+    (fun r ->
+      add_str manifest r.rel_name;
+      Buffer.add_char manifest (if r.complete then '\001' else '\000');
+      add_u32 manifest r.nrows;
+      add_u32 manifest (List.length r.attrs);
+      List.iter (add_str manifest) r.attrs;
+      add_u32 manifest r.cond_seg;
+      Array.iter (add_u32 manifest) r.col_segs)
+    rels;
+  let manifest = Buffer.contents manifest in
+  let file = Buffer.create (header_len + Buffer.length body + 64) in
+  Buffer.add_string file magic;
+  Buffer.add_string file (String.make (header_len - String.length magic) '\000');
+  Buffer.add_buffer file body;
+  let manifest_off = Buffer.length file in
+  Buffer.add_string file manifest;
+  Buffer.add_int64_le file (Int64.of_int manifest_off);
+  add_u32 file (String.length manifest);
+  Buffer.add_int32_le file (Checkpoint.crc32 manifest);
+  Buffer.add_string file tail_magic;
+  write_file_atomic path (Buffer.contents file)
+
+(* --- reading ------------------------------------------------------------ *)
+
+type map = (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+let bad source detail = Pqdb_error.malformed ~source detail
+
+let map_file path : map =
+  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let size = (Unix.fstat fd).Unix.st_size in
+      if size = 0 then bad path "empty file";
+      (* The mapping outlives the descriptor; lazy relation thunks keep it
+         reachable until the last one decodes, then the GC unmaps. *)
+      Bigarray.array1_of_genarray
+        (Unix.map_file fd Bigarray.char Bigarray.c_layout false [| size |]))
+
+let map_sub (m : map) ~source off len =
+  if off < 0 || len < 0 || off + len > Bigarray.Array1.dim m then
+    bad source
+      (Printf.sprintf "range [%d, %d) outside the %d-byte file" off (off + len)
+         (Bigarray.Array1.dim m));
+  String.init len (fun i -> Bigarray.Array1.unsafe_get m (off + i))
+
+(* A bounds-checked cursor over one extracted blob (a segment or the
+   manifest); [what] names it in errors, e.g. "segment 3 ('C')". *)
+type cursor = { buf : string; mutable pos : int; source : string; what : string }
+
+let cursor ~source ~what buf = { buf; pos = 0; source; what }
+
+let need c n =
+  if c.pos + n > String.length c.buf then
+    bad c.source
+      (Printf.sprintf "%s: truncated at byte %d (need %d more)" c.what c.pos n)
+
+let read_u8 c =
+  need c 1;
+  let v = Char.code c.buf.[c.pos] in
+  c.pos <- c.pos + 1;
+  v
+
+let read_u32 c =
+  need c 4;
+  let v = Int32.to_int (String.get_int32_le c.buf c.pos) in
+  c.pos <- c.pos + 4;
+  v land 0xFFFF_FFFF
+
+let read_u64 c =
+  need c 8;
+  let v = String.get_int64_le c.buf c.pos in
+  c.pos <- c.pos + 8;
+  match Int64.unsigned_to_int v with
+  | Some n -> n
+  | None -> bad c.source (Printf.sprintf "%s: 64-bit field overflows" c.what)
+
+let read_i64 c =
+  need c 8;
+  let v = String.get_int64_le c.buf c.pos in
+  c.pos <- c.pos + 8;
+  v
+
+let read_bytes c n =
+  need c n;
+  let s = String.sub c.buf c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let read_str c =
+  let n = read_u32 c in
+  read_bytes c n
+
+(* Extract segment [idx] from the mapping, checking bounds ("torn final
+   segment" shows up here as a range past end of file) and its CRC. *)
+let segment_string (m : map) ~source (segs : seg array) idx =
+  if idx < 0 || idx >= Array.length segs then
+    bad source (Printf.sprintf "manifest references unknown segment %d" idx);
+  let s = segs.(idx) in
+  let what = Printf.sprintf "segment %d ('%c')" idx s.kind in
+  let payload =
+    match map_sub m ~source s.off s.len with
+    | p -> p
+    | exception Pqdb_error.Error (Pqdb_error.Malformed_input _) ->
+        bad source
+          (Printf.sprintf "%s: extends past end of file (torn write?)" what)
+  in
+  if Checkpoint.crc32 payload <> s.crc then
+    bad source (Printf.sprintf "%s: CRC mismatch" what);
+  (payload, what)
+
+let decode_wtable ~source ~what w payload =
+  let c = cursor ~source ~what payload in
+  let nvars = read_u32 c in
+  for v = 0 to nvars - 1 do
+    let name = read_str c in
+    let d = read_u32 c in
+    if d = 0 then bad source (Printf.sprintf "%s: variable %d has an empty domain" what v);
+    let dist =
+      List.init d (fun _ ->
+          let s = read_str c in
+          try Rational.of_string s
+          with _ -> bad source (Printf.sprintf "%s: bad probability %S" what s))
+    in
+    let id = Wtable.add_var ~name w dist in
+    assert (id = v)
+  done
+
+let decode_conds ~source ~what nrows payload =
+  let c = cursor ~source ~what payload in
+  let stored = read_u32 c in
+  if stored <> nrows then
+    bad source
+      (Printf.sprintf "%s: row count %d disagrees with manifest (%d)" what
+         stored nrows);
+  let npairs = read_u32 c in
+  let starts = Array.init (nrows + 1) (fun _ -> read_u32 c) in
+  if starts.(0) <> 0 || starts.(nrows) <> npairs then
+    bad source (Printf.sprintf "%s: inconsistent condition offsets" what);
+  let pairs_pos = c.pos in
+  need c (8 * npairs);
+  Array.init nrows (fun i ->
+      let lo = starts.(i) and hi = starts.(i + 1) in
+      if lo > hi || hi > npairs then
+        bad source (Printf.sprintf "%s: row %d has bad condition bounds" what i);
+      match
+        Assignment.of_list
+          (List.init (hi - lo) (fun k ->
+               let p = pairs_pos + (8 * (lo + k)) in
+               ( Int32.to_int (String.get_int32_le c.buf p) land 0xFFFF_FFFF,
+                 Int32.to_int (String.get_int32_le c.buf (p + 4))
+                 land 0xFFFF_FFFF )))
+      with
+      | a -> a
+      | exception Invalid_argument d ->
+          bad source (Printf.sprintf "%s: row %d: %s" what i d))
+
+let decode_column ~source ~what nrows payload =
+  let c = cursor ~source ~what payload in
+  let stored = read_u32 c in
+  if stored <> nrows then
+    bad source
+      (Printf.sprintf "%s: row count %d disagrees with manifest (%d)" what
+         stored nrows);
+  let tags = read_bytes c nrows in
+  let words = Array.init nrows (fun _ -> read_i64 c) in
+  let heap_len = read_u32 c in
+  let heap = read_bytes c heap_len in
+  let from_heap i word =
+    let off = Int64.to_int (Int64.logand word 0xFFFF_FFFFL) in
+    let len = Int64.to_int (Int64.shift_right_logical word 32) in
+    if off + len > heap_len then
+      bad source (Printf.sprintf "%s: row %d points outside the heap" what i);
+    String.sub heap off len
+  in
+  Array.init nrows (fun i ->
+      let tag = Char.code tags.[i] in
+      let word = words.(i) in
+      if tag = tag_int then Value.Int (Int64.to_int word)
+      else if tag = tag_float then Value.Float (Int64.float_of_bits word)
+      else if tag = tag_str then Value.Str (from_heap i word)
+      else if tag = tag_bool then Value.Bool (word <> 0L)
+      else if tag = tag_rat then
+        let s = from_heap i word in
+        match Rational.of_string s with
+        | q -> Value.Rat q
+        | exception _ ->
+            bad source (Printf.sprintf "%s: row %d: bad rational %S" what i s)
+      else bad source (Printf.sprintf "%s: row %d: unknown value tag %d" what i tag))
+
+let read_manifest ~source (m : map) =
+  let size = Bigarray.Array1.dim m in
+  if size < header_len + trailer_len then
+    bad source (Printf.sprintf "too short to be a %s file (%d bytes)" extension size);
+  let header = map_sub m ~source 0 header_len in
+  if not (String.equal (String.sub header 0 (String.length magic)) magic) then
+    bad source
+      (Printf.sprintf "bad magic %S (want %S — not a %s file, or a future version)"
+         (String.sub header 0 (min header_len (String.length magic)))
+         magic extension);
+  let trailer = map_sub m ~source (size - trailer_len) trailer_len in
+  if not (String.equal (String.sub trailer 16 8) tail_magic) then
+    bad source "bad trailer magic (torn or truncated file)";
+  let tc = cursor ~source ~what:"trailer" trailer in
+  let manifest_off = read_u64 tc in
+  let manifest_len = read_u32 tc in
+  let manifest_crc = String.get_int32_le trailer 12 in
+  if manifest_off < header_len || manifest_off + manifest_len > size - trailer_len
+  then bad source "manifest offset outside the file";
+  let manifest = map_sub m ~source manifest_off manifest_len in
+  if Checkpoint.crc32 manifest <> manifest_crc then
+    bad source "manifest CRC mismatch";
+  let c = cursor ~source ~what:"manifest" manifest in
+  let nsegs = read_u32 c in
+  let segs =
+    Array.init nsegs (fun _ ->
+        let kind = Char.chr (read_u8 c) in
+        let off = read_u64 c in
+        let len = read_u64 c in
+        need c 4;
+        let crc = String.get_int32_le c.buf c.pos in
+        c.pos <- c.pos + 4;
+        { kind; off; len; crc })
+  in
+  let wtable_seg = read_u32 c in
+  let nrels = read_u32 c in
+  let rels =
+    List.init nrels (fun _ ->
+        let rel_name = read_str c in
+        let complete = read_u8 c <> 0 in
+        let nrows = read_u32 c in
+        let arity = read_u32 c in
+        let attrs = List.init arity (fun _ -> read_str c) in
+        let cond_seg = read_u32 c in
+        let col_segs = Array.init arity (fun _ -> read_u32 c) in
+        { rel_name; complete; nrows; attrs; cond_seg; col_segs })
+  in
+  { segs; wtable_seg; rels }
+
+let decode_relation (m : map) ~source (mf : manifest) (r : rel_entry) =
+  let payload, what = segment_string m ~source mf.segs r.cond_seg in
+  let conds = decode_conds ~source ~what r.nrows payload in
+  let columns =
+    Array.map
+      (fun idx ->
+        let payload, what = segment_string m ~source mf.segs idx in
+        decode_column ~source ~what r.nrows payload)
+      r.col_segs
+  in
+  let ncols = Array.length columns in
+  let rows =
+    List.init r.nrows (fun i ->
+        (conds.(i), Tuple.of_array (Array.init ncols (fun j -> columns.(j).(i)))))
+  in
+  match Urelation.make (Schema.of_list r.attrs) rows with
+  | u -> u
+  | exception Invalid_argument d ->
+      bad source (Printf.sprintf "relation %s: %s" r.rel_name d)
+
+let load path =
+  Faultpoint.fire "udb_binary.load";
+  let m =
+    match map_file path with
+    | m -> m
+    | exception Unix.Unix_error (e, _, _) ->
+        bad path (Printf.sprintf "cannot map: %s" (Unix.error_message e))
+    | exception Sys_error d -> bad path d
+  in
+  let mf = read_manifest ~source:path m in
+  let udb = Udb.create () in
+  let payload, what = segment_string m ~source:path mf.segs mf.wtable_seg in
+  decode_wtable ~source:path ~what (Udb.wtable udb) payload;
+  List.iter
+    (fun r ->
+      Udb.add_lazy ~complete:r.complete udb r.rel_name
+        (lazy (decode_relation m ~source:path mf r)))
+    mf.rels;
+  udb

@@ -1,0 +1,56 @@
+(** Binary columnar storage for U-relational databases (".udbb").
+
+    One file per database:
+    - a 16-byte versioned header;
+    - concatenated {e segments}: the deduplicated W table ('W', names and
+      exact rationals, shared by every condition column), and per relation
+      one condition column ('D', CSR prefix offsets into a (variable,
+      value) pair array referencing W by id) plus one typed value column
+      per attribute ('C', tag byte + 8-byte word per row, variable-width
+      string/rational payloads in a per-segment heap);
+    - a manifest listing every segment's offset, length and CRC-32
+      (the {!Pqdb_runtime.Checkpoint} polynomial) and every relation's
+      schema, row count, completeness flag and segment indices;
+    - a fixed trailer locating and CRC-protecting the manifest.
+
+    {!save} writes atomically (temp file in the destination directory,
+    fsync, rename, directory fsync).  {!load} maps the file read-only
+    ({!Unix.map_file}) and decodes only the header, trailer, manifest and
+    W-table segment; each relation is registered with {!Udb.add_lazy} and
+    decoded from the mapping on first {!Udb.find}, its segments
+    CRC-checked then.  Cold start therefore costs O(pages touched), not
+    O(rows), and N forked workers reading the same file share one page
+    cache image.  The mapping stays alive while any relation is
+    undecoded and is unmapped by the GC afterwards; decoded relations
+    are ordinary heap values with no further mmap dependence.
+
+    Round trips are exact: rationals travel in lowest-terms decimal
+    syntax, floats as their IEEE bits, conditions as dense variable ids —
+    confidences computed from a reloaded database are bit-identical. *)
+
+val extension : string
+(** [".udbb"]. *)
+
+val is_binary_path : string -> bool
+(** Whether a path names the binary format (by extension) — the
+    {!Udb_io} dispatch predicate. *)
+
+val save : string -> Udb.t -> unit
+(** [save path udb] writes the whole database to [path], atomically.
+    Forces every lazy relation.
+    @raise Sys_error on I/O failure. *)
+
+val load : string -> Udb.t
+(** Map [path] and return a database whose W table is decoded eagerly and
+    whose relations decode lazily on first access.  Fires the
+    ["udb_binary.load"] fault point.
+    @raise Pqdb_runtime.Pqdb_error.Error ([Malformed_input {source; _}]
+    with [source = path]) on a bad header or trailer, a manifest problem,
+    or — possibly later, when the touched relation first decodes — a
+    segment whose CRC mismatches or that extends past the end of the
+    file; the detail names the segment index and kind. *)
+
+val write_file_atomic : string -> string -> unit
+(** [write_file_atomic path contents]: temp file + fsync + rename +
+    directory fsync.  Shared with the text format's CSV writer so neither
+    format can leave a torn file behind a crash. *)

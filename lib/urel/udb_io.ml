@@ -38,7 +38,12 @@ let condition_of_string ~source s =
 
 (* --- save ---------------------------------------------------------------- *)
 
-let save dir udb =
+(* Every CSV goes through the atomic writer (temp + fsync + rename), so a
+   crash mid-save leaves each file either whole-old or whole-new — never a
+   torn CSV inside the directory. *)
+let save_csv path rel = Udb_binary.write_file_atomic path (Csv.to_string rel)
+
+let save_text dir udb =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
   let w = Udb.wtable udb in
   (* W table with names and exact probabilities. *)
@@ -54,7 +59,7 @@ let save dir udb =
             ]))
       (Wtable.vars w)
   in
-  Csv.save
+  save_csv
     (Filename.concat dir wtable_file)
     (Relation.of_rows [ "Var"; "Name"; "Dom"; "P" ] w_rows);
   (* Manifest. *)
@@ -66,7 +71,7 @@ let save dir udb =
         [ Value.Int i; Value.Str name; Value.Bool (Udb.is_complete udb name) ])
       (Udb.names udb)
   in
-  Csv.save
+  save_csv
     (Filename.concat dir manifest_file)
     (Relation.of_rows [ "Ord"; "Name"; "Complete" ] manifest_rows);
   (* One file per relation, with the D column first. *)
@@ -80,7 +85,7 @@ let save dir udb =
             Value.Str (condition_to_string a) :: Tuple.to_list t)
           (Urelation.rows u)
       in
-      Csv.save
+      save_csv
         (Filename.concat dir (rel_file name))
         (Relation.of_rows ("D" :: attrs) rows))
     (Udb.names udb)
@@ -98,7 +103,7 @@ let load_csv path =
       Pqdb_runtime.Pqdb_error.malformed ~source:path d
   | exception Sys_error d -> Pqdb_runtime.Pqdb_error.malformed ~source:path d
 
-let load dir =
+let load_text dir =
   let udb = Udb.create () in
   let w = Udb.wtable udb in
   (* Rebuild the W table in id order; ids must come out dense. *)
@@ -199,3 +204,13 @@ let load dir =
       | _ -> bad_manifest "bad manifest row")
     ordered;
   udb
+
+(* --- format dispatch ------------------------------------------------------ *)
+
+let save path udb =
+  if Udb_binary.is_binary_path path then Udb_binary.save path udb
+  else save_text path udb
+
+let load path =
+  if Udb_binary.is_binary_path path then Udb_binary.load path
+  else load_text path

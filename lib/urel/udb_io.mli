@@ -1,6 +1,12 @@
 (** Persistence for U-relational databases.
 
-    A database is stored as a directory of CSV files:
+    Two formats, dispatched on the path: a name ending in [".udbb"] uses
+    the binary columnar single-file format of {!Udb_binary} (mmap'd
+    zero-copy load, lazy per-relation decode); anything else uses the
+    text format below.  Both round-trip exactly — confidences computed
+    from a reloaded database are bit-identical either way.
+
+    In the text format, a database is stored as a directory of CSV files:
     - [manifest.csv] — one row per relation: name, complete flag;
     - [wtable.csv] — one row per (variable, value): id, name, value,
       probability (exact rational syntax, e.g. [1/3]);
@@ -24,14 +30,20 @@ val condition_of_string : source:string -> string -> Assignment.t
     syntax. *)
 
 val save : string -> Udb.t -> unit
-(** [save dir udb] creates [dir] if needed and (over)writes the database
-    files inside it.
+(** [save path udb]: for a [".udbb"] path, one atomically-replaced binary
+    file ({!Udb_binary.save}); otherwise [path] is a directory, created if
+    needed, whose CSVs are each written atomically (temp file + fsync +
+    rename) so a crash mid-save cannot leave a torn database behind.
     @raise Sys_error on I/O failure. *)
 
 val load : string -> Udb.t
-(** @raise Pqdb_runtime.Pqdb_error.Error
+(** Dispatches on the extension like {!save}.  Binary loads are mmap'd
+    and decode relations lazily; text loads parse everything eagerly.
+    @raise Pqdb_runtime.Pqdb_error.Error
     ([Malformed_input {source; _}] naming the offending file) on malformed
     input: truncated or ragged CSVs, unreadable probabilities, duplicate or
     non-dense variable ids, bad condition syntax, manifest problems, missing
-    files.  Probability-law violations surface as the typed
+    files — or, for the binary format, a bad header/trailer or a segment
+    whose CRC mismatches (possibly raised later, at first access to the
+    affected relation).  Probability-law violations surface as the typed
     [Invalid_probability] from {!Wtable.add_var}. *)

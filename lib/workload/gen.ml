@@ -60,6 +60,58 @@ let bernoulli_dnf _rng w ~p =
   let var = Wtable.add_var w [ Q.of_ints (1000 - num) 1000; Q.of_ints num 1000 ] in
   [ Assignment.singleton var 1 ]
 
+(* A whole storable database.  Every value is Int/Str/Rat — types whose text
+   CSV rendering round-trips exactly — and rationals stay non-integral
+   (tenths with numerator 1..9) so they re-parse as rationals, which keeps
+   text and binary images of the same db byte-comparable after
+   canonicalisation.  Floats are deliberately absent: text CSV renders them
+   with %g and would break cross-format identity. *)
+let uncertain_db rng ~tuples ~clauses =
+  if tuples < 0 then invalid_arg "Gen.uncertain_db: tuples must be >= 0";
+  if clauses < 1 then invalid_arg "Gen.uncertain_db: clauses must be >= 1";
+  let clauses = min 3 clauses in
+  let udb = Udb.create () in
+  let w = Udb.wtable udb in
+  let nvars = max 1 ((tuples + 2) / 3) in
+  let vars =
+    Array.init nvars (fun _ ->
+        let p, q = random_proper_prob rng in
+        Wtable.add_var w [ q; p ])
+  in
+  let tags = [| "alpha"; "beta"; "gamma"; "delta" |] in
+  let rows =
+    List.concat
+      (List.init tuples (fun i ->
+           let t =
+             Tuple.of_list
+               [
+                 Value.Int i;
+                 Value.Str tags.(Rng.int rng (Array.length tags));
+                 Value.of_ints (1 + Rng.int rng 9) 10;
+               ]
+           in
+           List.init
+             (1 + Rng.int rng clauses)
+             (fun _ ->
+               let v = vars.(Rng.int rng nvars) in
+               let v2 = vars.(Rng.int rng nvars) in
+               let cond =
+                 if v2 = v || Rng.bool rng then Assignment.singleton v 1
+                 else Assignment.of_list [ (v, 1); (v2, Rng.int rng 2) ]
+               in
+               (cond, t))))
+  in
+  Udb.add_urelation udb "events"
+    (Urelation.make (Schema.of_list [ "id"; "tag"; "score" ]) rows);
+  Udb.add_complete udb "tags"
+    (Relation.of_list
+       (Schema.of_list [ "tag"; "weight" ])
+       (Array.to_list
+          (Array.mapi
+             (fun k tag -> Tuple.of_list [ Value.Str tag; Value.Int (k + 1) ])
+             tags)));
+  udb
+
 let linear_predicate rng ~arity =
   let k = arity in
   let open Pqdb_ast.Apred in

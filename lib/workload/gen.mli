@@ -38,6 +38,16 @@ val bernoulli_dnf :
 (** A single-clause DNF whose weight is exactly [p] (to 3 decimals) — used
     when an experiment needs an approximable value with a known truth. *)
 
+val uncertain_db :
+  Rng.t -> tuples:int -> clauses:int -> Udb.t
+(** A complete storable database: an uncertain ["events"] relation
+    ([id:Int], [tag:Str], [score:Rat]) where each tuple carries 1 to
+    [clauses] (capped at 3) clause rows over a shared pool of exact-tenths
+    Bernoulli variables, plus a small complete ["tags"] relation.  Value
+    types are restricted to those whose text rendering round-trips exactly,
+    so the same instance saved as text and binary is canonically
+    byte-identical — the [pqdb gen] / [pqdb convert --verify] fixture. *)
+
 val linear_predicate :
   Rng.t -> arity:int -> Pqdb_ast.Apred.t
 (** Random linear inequality [Σ aᵢxᵢ ≥ b] with coefficients in [-2, 2]. *)

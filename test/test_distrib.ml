@@ -230,7 +230,19 @@ let msg_of_seed seed =
         Char.chr (32 + Rng.int rng 95) (* printable ASCII incl. space *))
   in
   match Rng.int rng 6 with
-  | 0 -> Protocol.Hello { meta = str 60; probe = Printf.sprintf "%h" (Rng.float rng 1.) }
+  | 0 ->
+      (* Sources exercise the percent-encoding: paths with spaces, percents,
+         dashes and empty relation names must survive the space-separated
+         hello payload. *)
+      let source =
+        match Rng.int rng 4 with
+        | 0 -> None
+        | 1 -> Some ("/tmp/db dir/my%db.udbb", str 10)
+        | 2 -> Some ("-", "")
+        | _ -> Some (str 30, str 10)
+      in
+      Protocol.Hello
+        { meta = str 60; probe = Printf.sprintf "%h" (Rng.float rng 1.); source }
   | 1 ->
       Protocol.Order
         {
