@@ -14,6 +14,8 @@ module Karp_luby = Pqdb_montecarlo.Karp_luby
 module Mc_confidence = Pqdb_montecarlo.Confidence
 module Distrib = Pqdb_distrib
 module Budget = Pqdb_montecarlo.Budget
+module Memo = Pqdb_montecarlo.Memo
+module Compile = Pqdb_montecarlo.Compile
 module Schema = Pqdb_relational.Schema
 module Tuple = Pqdb_relational.Tuple
 
@@ -286,6 +288,10 @@ type bench_entry = {
   be_peak_words : int option;
       (* peak live major-heap words above the fixture baseline, for the
          streaming-vs-materialized entries *)
+  be_cores : int option;
+      (* physical cores actually available to the entry's "parallel" run —
+         honesty marker for speedup numbers collected on small containers
+         (1 here means the domain/worker scaling is time-sliced) *)
 }
 
 let confidence_engine () =
@@ -293,8 +299,8 @@ let confidence_engine () =
     "Confidence-engine wall clock: compiled lineage, adaptive stopping, \
      parallel Karp-Luby, hash join";
   let entries = ref [] in
-  let record ?trials ?exact_fraction ?width ?peak_words name seconds baseline
-      =
+  let record ?trials ?exact_fraction ?width ?peak_words ?cores name seconds
+      baseline =
     entries :=
       {
         be_name = name;
@@ -304,9 +310,11 @@ let confidence_engine () =
         be_exact_fraction = exact_fraction;
         be_width = width;
         be_peak_words = peak_words;
+        be_cores = cores;
       }
       :: !entries
   in
+  let cores = Domain.recommended_domain_count () in
   (* 1. Domain-parallel Karp-Luby on one large trial budget. *)
   let dnf = kl_dnf () in
   let trials = 200_000 in
@@ -324,7 +332,8 @@ let confidence_engine () =
                 (Karp_luby.run_parallel ~nworkers:n (Rng.create ~seed:1) dnf
                    ~trials))
         in
-        record (Printf.sprintf "karp-luby-parallel-%ddom-200k" n) s serial;
+        record ~cores (Printf.sprintf "karp-luby-parallel-%ddom-200k" n) s
+          serial;
         [
           Printf.sprintf "%d domains" n;
           Report.fmt_seconds s;
@@ -701,7 +710,7 @@ let confidence_engine () =
              (Rng.create ~seed:6) ws2 dsets ~eps:seps2 ~delta:sdelta2
              ~emit:(fun _ -> ())))
   in
-  record "distrib-single-process" single_time single_time;
+  record ~cores "distrib-single-process" single_time single_time;
   let distrib_run nw emit =
     Distrib.Coordinator.run ~compile_fuel:0 ~options:dopts ~workers:nw
       ~spawn:(fun _ ->
@@ -720,7 +729,8 @@ let confidence_engine () =
           Report.time_median (fun () ->
               ignore (distrib_run nw (fun _ -> ())))
         in
-        record (Printf.sprintf "distrib-workers-%d" nw) seconds single_time;
+        record ~cores (Printf.sprintf "distrib-workers-%d" nw) seconds
+          single_time;
         [
           Printf.sprintf "%d workers" nw;
           Report.fmt_seconds seconds;
@@ -734,6 +744,57 @@ let confidence_engine () =
       [ "distrib, 200 FPRAS tuples"; "median"; "vs single"; "bit-identical" ]
     ([ [ "single process"; Report.fmt_seconds single_time; "1.00x"; "-" ] ]
     @ distrib_rows);
+  (* Compiled-lineage cache (the pqdb serve hot path): the same batch of
+     hard DNFs solved cold (normalize + compile + solve per tuple) and warm
+     (cache hit, straight to solve).  Identical per-pass RNG seeding, so
+     the rendered "%h" outputs must be byte-identical — the serve CI job
+     cmp's the same property over a socket. *)
+  let cache_w = Wtable.create () in
+  let cache_sets =
+    let rng = Rng.create ~seed:313 in
+    Array.init 48 (fun _ ->
+        Gen.random_dnf rng cache_w ~vars:12 ~clauses:12 ~clause_len:3)
+  in
+  let cache_pass memo =
+    let buf = Buffer.create 4096 in
+    let rngs = Rng.split_n (Rng.create ~seed:17) (Array.length cache_sets) in
+    Array.iteri
+      (fun i set ->
+        let tree = Memo.find_or_compile memo cache_w set in
+        let o = Compile.solve rngs.(i) tree ~eps:0.3 ~delta:0.2 in
+        Printf.bprintf buf "%d %h %h %h %d\n" i o.Compile.value o.Compile.lo
+          o.Compile.hi o.Compile.trials)
+      cache_sets;
+    Buffer.contents buf
+  in
+  let cold_time =
+    Report.time_median (fun () ->
+        (* a fresh cache every run: every lookup misses *)
+        ignore (cache_pass (Memo.create ~entries:64 ())))
+  in
+  let warm_memo = Memo.create ~entries:64 () in
+  let cold_digest = cache_pass warm_memo in
+  let warm_digest = cache_pass warm_memo in
+  let identical = String.equal cold_digest warm_digest in
+  if not identical then
+    failwith "cache-cold-vs-warm: warm output is not byte-identical to cold";
+  let warm_time = Report.time_median (fun () -> ignore (cache_pass warm_memo)) in
+  let memo_stats = Memo.stats warm_memo in
+  record "cache-cold-vs-warm" warm_time cold_time;
+  Report.table
+    ~header:
+      [ "compiled-lineage cache, 48 DNFs"; "median"; "speedup"; "bit-identical" ]
+    [
+      [ "cold (compile every tuple)"; Report.fmt_seconds cold_time; "1.00x"; "-" ];
+      [
+        "warm (cache hit)";
+        Report.fmt_seconds warm_time;
+        Printf.sprintf "%.2fx" (cold_time /. warm_time);
+        (if identical then "yes" else "NO");
+      ];
+    ];
+  Report.note "cache counters: %d hits, %d misses, %d evictions"
+    memo_stats.Memo.hits memo_stats.Memo.misses memo_stats.Memo.evictions;
   (* Journal compaction: a journal that survived one full re-append
      generation (every shard record bloated by an identical duplicate — the
      worst case the latest-per-shard policy reclaims), compacted in place.
@@ -938,13 +999,18 @@ let confidence_engine () =
         | Some n -> Printf.sprintf ", \"peak_live_words\": %d" n
         | None -> ""
       in
+      let opt_cores = function
+        | Some n -> Printf.sprintf ", \"cores\": %d" n
+        | None -> ""
+      in
       Printf.fprintf oc
-        "    {\"name\": \"%s\", \"median_seconds\": %.6e, \"speedup\": %.3f%s%s%s%s}%s\n"
+        "    {\"name\": \"%s\", \"median_seconds\": %.6e, \"speedup\": %.3f%s%s%s%s%s}%s\n"
         e.be_name e.be_seconds e.be_speedup
         (opt_int e.be_trials)
         (opt_float "exact_fraction" e.be_exact_fraction)
         (opt_float "mean_width" e.be_width)
         (opt_words e.be_peak_words)
+        (opt_cores e.be_cores)
         (if i = List.length items - 1 then "" else ","))
     items;
   output_string oc "  ]\n}\n";

@@ -632,6 +632,12 @@ let gen_db_cmd tuples clauses gen_seed dest =
   try
     check_positive_int "tuples" (Some tuples);
     check_positive_int "clauses" (Some clauses);
+    check_nonneg_int "gen-seed" (Some gen_seed);
+    let dir = Filename.dirname dest in
+    if not (Sys.file_exists dir) then
+      failwith
+        (Printf.sprintf
+           "destination directory %S does not exist (create it first)" dir);
     let rng = Rng.create ~seed:gen_seed in
     let udb = Pqdb_workload.Gen.uncertain_db rng ~tuples ~clauses in
     Udb_io.save dest udb;
@@ -643,6 +649,128 @@ let gen_db_cmd tuples clauses gen_seed dest =
       1
   | Pqdb_runtime.Pqdb_error.Error e ->
       Format.eprintf "error: %s@." (Pqdb_runtime.Pqdb_error.to_string e);
+      1
+
+(* --- serve / query ---------------------------------------------------- *)
+
+(* Endpoint validation shared by the daemon and the client: exactly one of
+   --socket/--port, a port in range, a socket path that a bind (or connect)
+   could actually use — caught here as friendly messages instead of
+   surfacing as EINVAL/ENAMETOOLONG from deep inside the socket layer. *)
+let listen_of ~socket ~port =
+  let module Server = Pqdb_serve.Server in
+  match (socket, port) with
+  | None, None ->
+      failwith "give --socket PATH or --port N to name the endpoint"
+  | Some _, Some _ ->
+      failwith "give exactly one of --socket and --port, not both"
+  | Some path, None ->
+      if String.trim path = "" then failwith "--socket path must not be empty";
+      if String.length path > 100 then
+        failwith
+          (Printf.sprintf
+             "--socket path is %d bytes; Unix socket paths are limited to \
+              about 100"
+             (String.length path));
+      let dir = Filename.dirname path in
+      if not (Sys.file_exists dir && Sys.is_directory dir) then
+        failwith
+          (Printf.sprintf "--socket: directory %S does not exist" dir);
+      (match Unix.lstat path with
+      | { Unix.st_kind = Unix.S_SOCK; _ } -> ()
+      | _ ->
+          failwith
+            (Printf.sprintf
+               "--socket: %S exists and is not a socket; refusing to \
+                replace it"
+               path)
+      | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+      Server.Unix_socket path
+  | None, Some p ->
+      if p < 1 || p > 65535 then
+        failwith (Printf.sprintf "--port must be in 1..65535, got %d" p);
+      Server.Tcp p
+
+let serve_cmd db socket port cache_entries session_trials session_deadline_s
+    faultpoints =
+  let module Server = Pqdb_serve.Server in
+  try
+    apply_faultpoints faultpoints;
+    check_positive_int "cache-entries" (Some cache_entries);
+    check_positive_int "session-trials" session_trials;
+    check_positive_float "session-deadline" session_deadline_s;
+    if not (Sys.file_exists db) then
+      failwith (Printf.sprintf "database %S does not exist" db);
+    let listen = listen_of ~socket ~port in
+    let config =
+      {
+        Server.db_path = db;
+        listen;
+        cache_entries;
+        session_trials;
+        session_deadline_s;
+      }
+    in
+    let server = Server.create config in
+    let stats =
+      Server.run server ~ready:(fun () ->
+          (* The readiness line scripts wait for before connecting. *)
+          Format.printf "pqdb-serve listening on %s@." (Server.pp_listen listen))
+    in
+    let c = stats.Server.cache in
+    Format.eprintf "-- served %d sessions, %d queries (%d errors, %d dropped)@."
+      stats.Server.sessions stats.Server.queries stats.Server.errors
+      stats.Server.dropped;
+    Format.eprintf "-- cache: %d hits, %d misses, %d evictions, %d entries \
+                    resident (cap %d)@."
+      c.Pqdb_montecarlo.Memo.hits c.Pqdb_montecarlo.Memo.misses
+      c.Pqdb_montecarlo.Memo.evictions c.Pqdb_montecarlo.Memo.entries
+      cache_entries;
+    0
+  with
+  | Failure msg | Invalid_argument msg | Sys_error msg ->
+      Format.eprintf "error: %s@." msg;
+      1
+  | Pqdb_runtime.Pqdb_error.Error e ->
+      Format.eprintf "error: %s@." (Pqdb_runtime.Pqdb_error.to_string e);
+      1
+  | Unix.Unix_error (err, fn, arg) ->
+      Format.eprintf "error: %s: %s %s@." fn (Unix.error_message err) arg;
+      1
+
+let query_cmd socket port retries spec_words =
+  let module Client = Pqdb_serve.Client in
+  try
+    check_nonneg_int "retries" (Some retries);
+    let listen = listen_of ~socket ~port in
+    let spec = String.concat " " spec_words in
+    if String.trim spec = "" then
+      failwith
+        "no request given; try e.g.: pqdb query --socket S conf events";
+    let c = Client.connect ~retries listen in
+    let ok, body =
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () -> Client.query c spec)
+    in
+    if ok then begin
+      print_string body;
+      flush stdout;
+      0
+    end
+    else begin
+      Format.eprintf "error: %s@." body;
+      1
+    end
+  with
+  | Failure msg | Invalid_argument msg | Sys_error msg ->
+      Format.eprintf "error: %s@." msg;
+      1
+  | Pqdb_runtime.Pqdb_error.Error e ->
+      Format.eprintf "error: %s@." (Pqdb_runtime.Pqdb_error.to_string e);
+      1
+  | Unix.Unix_error (err, fn, arg) ->
+      Format.eprintf "error: %s: %s %s@." fn (Unix.error_message err) arg;
       1
 
 (* --- checkpoint ------------------------------------------------------- *)
@@ -1213,6 +1341,89 @@ let gen_db_cmd_info =
        relation) and store it — the fixture behind the storage CI job and \
        the $(b,convert --verify) round-trip."
 
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket endpoint (exclusive with $(b,--port)).")
+
+let port_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "port" ] ~docv:"PORT"
+        ~doc:
+          "TCP endpoint on 127.0.0.1 (exclusive with $(b,--socket)).")
+
+let serve_term =
+  Term.(
+    const serve_cmd
+    $ Arg.(
+        required
+        & pos 0 (some string) None
+        & info [] ~docv:"DB"
+            ~doc:
+              "The database to serve ($(b,.udbb) file or text directory); \
+               a binary database stays resident as one shared read-only \
+               mapping.")
+    $ socket_arg $ port_arg
+    $ Arg.(
+        value
+        & opt int Pqdb_montecarlo.Memo.default_entries
+        & info [ "cache-entries" ] ~docv:"N"
+            ~doc:
+              "Compiled-lineage cache capacity in entries (LRU beyond it).")
+    $ Arg.(
+        value
+        & opt (some int) None
+        & info [ "session-trials" ] ~docv:"N"
+            ~doc:
+              "Admission control: estimator-trial allowance per session; \
+               queries degrade anytime-style as it drains and are refused \
+               once it is spent.  Default: unlimited (bit-identical \
+               replies).")
+    $ Arg.(
+        value
+        & opt (some float) None
+        & info [ "session-deadline" ] ~docv:"SECONDS"
+            ~doc:
+              "Admission control: wall-clock allowance per session.  \
+               Default: unlimited.")
+    $ faultpoints_arg)
+
+let serve_cmd_info =
+  Cmd.info "serve"
+    ~doc:
+      "Resident daemon: load the database once, serve $(b,conf) queries \
+       over a socket, and answer repeated or equivalent queries from a \
+       shared compiled-lineage cache (normalization and compilation \
+       skipped; replies byte-identical to cold runs).  Stop it with \
+       $(b,pqdb query ... shutdown)."
+
+let query_term =
+  Term.(
+    const query_cmd $ socket_arg $ port_arg
+    $ Arg.(
+        value & opt int 25
+        & info [ "retries" ] ~docv:"N"
+            ~doc:
+              "Connection attempts before giving up (0.2s apart) — lets \
+               scripts query a daemon they just forked.  Default 25.")
+    $ Arg.(
+        value & pos_all string []
+        & info [] ~docv:"REQUEST"
+            ~doc:
+              "The request, e.g.: $(b,conf events eps=0.05 seed=7), \
+               $(b,stats), $(b,shutdown).  Words are joined with spaces."))
+
+let query_cmd_info =
+  Cmd.info "query"
+    ~doc:
+      "Submit one request to a running $(b,pqdb serve) daemon and print \
+       the reply body ($(b,conf) output is the batch per-tuple line format, \
+       bit-exact)."
+
 let compact_term =
   Term.(
     const compact_cmd
@@ -1258,6 +1469,8 @@ let main =
       Cmd.v worker_cmd_info worker_term;
       Cmd.v convert_cmd_info convert_term;
       Cmd.v gen_db_cmd_info gen_db_term;
+      Cmd.v serve_cmd_info serve_term;
+      Cmd.v query_cmd_info query_term;
       checkpoint_group;
     ]
 

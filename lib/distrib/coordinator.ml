@@ -321,7 +321,7 @@ let run ?budget ?nworkers ?compile_fuel
         shard_failed wk.id i detail
     | _, Protocol.Shutdown -> bury wk
     | _, (Protocol.Hello _ | Protocol.Order _ | Protocol.Outcome _
-         | Protocol.Failed _) ->
+         | Protocol.Failed _ | Protocol.Query _ | Protocol.Reply _) ->
         (* Out-of-protocol traffic: treat like corruption. *)
         kill wk
   in

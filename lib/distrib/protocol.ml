@@ -13,6 +13,8 @@ type msg =
   | Failed of { index : int; detail : string }
   | Heartbeat
   | Shutdown
+  | Query of { id : int; spec : string }
+  | Reply of { id : int; ok : bool; body : string }
 
 (* One-line payloads; the frame supplies length and CRC.  Free-text fields
    (meta, shard payloads, failure details) go last so embedded spaces
@@ -81,6 +83,14 @@ let payload_of = function
   | Failed { index; detail } -> Printf.sprintf "failed %d %s" index (escape detail)
   | Heartbeat -> "hb"
   | Shutdown -> "bye"
+  (* Serve-layer frames.  Spec and body are free text (the body typically
+     multi-line), so both travel percent-encoded: the payload stays a
+     single space-separated line and decodes byte-exactly. *)
+  | Query { id; spec } -> Printf.sprintf "query %d %s" id (pct_encode spec)
+  | Reply { id; ok; body } ->
+      Printf.sprintf "reply %d %s %s" id
+        (if ok then "ok" else "err")
+        (pct_encode body)
 
 let bad detail = Pqdb_error.malformed ~source:"distrib-protocol" detail
 
@@ -134,6 +144,23 @@ let msg_of_payload payload =
       Failed { index = int_field "failed index" index; detail }
   | "hb" -> Heartbeat
   | "bye" -> Shutdown
+  | "query" ->
+      let id, spec = split_first rest in
+      if spec = "" then bad "query frame missing spec";
+      Query { id = int_field "query id" id; spec = pct_decode ~badf:bad spec }
+  | "reply" -> (
+      let id, rest = split_first rest in
+      let status, body = split_first rest in
+      match status with
+      | "ok" | "err" ->
+          if body = "" then bad "reply frame missing body";
+          Reply
+            {
+              id = int_field "reply id" id;
+              ok = status = "ok";
+              body = pct_decode ~badf:bad body;
+            }
+      | s -> bad (Printf.sprintf "reply status must be ok|err, got %S" s))
   | _ -> bad (Printf.sprintf "unknown frame tag %S" tag)
 
 (* Frame: "f <8-hex payload length> <8-hex CRC-32 of payload> <payload>\n".

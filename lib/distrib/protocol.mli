@@ -45,6 +45,16 @@ type msg =
           and can take further orders.  [detail] is the rendered error. *)
   | Heartbeat  (** Worker liveness tick (also sent during long solves). *)
   | Shutdown  (** Coordinator → worker: drain and exit cleanly. *)
+  | Query of { id : int; spec : string }
+      (** Client → serve daemon: run the query described by [spec] (the
+          {!Pqdb_serve} request language, e.g. ["conf R eps=0.05"]).  [id]
+          is echoed on the reply so a client can pipeline requests.  The
+          spec is percent-encoded on the wire. *)
+  | Reply of { id : int; ok : bool; body : string }
+      (** Serve daemon → client: the outcome of [Query] [id].  [ok] means
+          the query ran; [body] is its (possibly multi-line, ["%h"]-exact)
+          output, or the rendered error when [not ok].  Percent-encoded on
+          the wire, so the bytes survive the single-line framing. *)
 
 val encode : msg -> string
 (** The exact framed bytes {!write} emits (terminating newline included). *)

@@ -96,7 +96,7 @@ let serve ?compile_fuel ?nworkers
           handle_order ~index ~fp ~trials ~deadline_s;
           loop ()
       | Some (Protocol.Hello _ | Protocol.Outcome _ | Protocol.Failed _
-             | Protocol.Heartbeat) ->
+             | Protocol.Heartbeat | Protocol.Query _ | Protocol.Reply _) ->
           loop ()
   in
   let outcome = try Ok (loop ()) with e -> Error e in

@@ -1,0 +1,77 @@
+(** Compiled-lineage cache: skip {!Lineage.normalize} + {!Compile.compile}
+    for clause sets the engine has seen before.
+
+    {!Compile.compile} is a pure function of (W table, clause set, fuel), so
+    its trees are safe to share across queries, sessions and threads: the
+    serve daemon keys a bounded LRU on a {e canonical fingerprint} of those
+    three inputs and answers repeated or incremental queries straight from
+    {!Compile.solve} / {!Compile.value}, paying compilation once per
+    distinct lineage.
+
+    {2 Canonicalization}
+
+    Two clause lists that denote the same DNF must hit the same entry.  The
+    cache fingerprints at two levels:
+
+    {ul
+    {- a {e raw} key — the clause conditions rendered canonically
+       ({!Pqdb_urel.Udb_io.condition_to_string}), sorted and deduplicated.
+       Permutations and duplicate clauses collapse here for the cost of one
+       sort, and a repeated query skips normalization {e entirely};}
+    {- a {e canonical} key — the same rendering of
+       {!Lineage.normalize}'s output (subsumed clauses dropped).  Clause
+       sets equivalent only up to subsumption meet at this key; their raw
+       keys are then aliased to it, so each variant pays normalization once.}}
+
+    Both keys embed the W table's identity and generation
+    ({!Pqdb_urel.Wtable.uid} / {!Pqdb_urel.Wtable.generation}) and the
+    compilation fuel: any table edit, or a different fuel, changes every
+    key, so a stale tree can never be served.
+
+    {2 Bit-identity}
+
+    A hit returns the {e same} tree a cold {!Compile.compile} of the same
+    clause set would build ({!Lineage.normalize} sorts clauses, so
+    compilation is order-insensitive to begin with); solving it against the
+    same RNG state yields bit-identical ["%h"] outputs.  The serve CI job
+    [cmp]s warm against cold stdout to hold this line.
+
+    All operations are thread-safe (one internal lock). *)
+
+open Pqdb_urel
+
+val default_entries : int
+(** Default entry cap (compiled trees held), currently 256. *)
+
+type t
+
+val create : ?entries:int -> unit -> t
+(** An empty cache holding at most [entries] compiled trees (least
+    recently used evicted first).  Alias keys are bounded separately (a few
+    per entry on average) and flushed wholesale if they outgrow that bound.
+    @raise Invalid_argument when [entries < 1]. *)
+
+val capacity : t -> int
+
+val fingerprint : ?fuel:int -> Wtable.t -> Assignment.t list -> string
+(** The canonical key: W-table uid + generation, fuel, and the normalized
+    clause set in canonical syntax.  Equal for permuted, duplicated or
+    subsumption-equivalent clause lists; different after any W-table edit
+    or under a different fuel. *)
+
+val find_or_compile : t -> ?fuel:int -> Wtable.t -> Assignment.t list -> Compile.t
+(** The cached {!Compile.compile}.  A raw-key hit skips normalization and
+    compilation; a canonical-key hit skips compilation; a miss compiles,
+    inserts, and evicts the least recently used entry beyond capacity. *)
+
+type stats = {
+  hits : int;  (** raw- or canonical-key hits: compilation skipped *)
+  misses : int;  (** cold compiles *)
+  evictions : int;  (** entries dropped by the LRU bound *)
+  entries : int;  (** compiled trees currently held *)
+}
+
+val stats : t -> stats
+
+val clear : t -> unit
+(** Drop every entry and alias (counters keep accumulating). *)

@@ -10,6 +10,7 @@ let known =
     "distrib.send";
     "distrib.recv";
     "distrib.spawn";
+    "serve.accept";
   ]
 
 let table : (string, int) Hashtbl.t = Hashtbl.create 8

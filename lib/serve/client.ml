@@ -1,0 +1,72 @@
+module Protocol = Pqdb_distrib.Protocol
+module Pqdb_error = Pqdb_runtime.Pqdb_error
+
+type t = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+  greeting : string;
+  mutable next_id : int;
+}
+
+let sockaddr_of = function
+  | Server.Unix_socket path -> Unix.ADDR_UNIX path
+  | Server.Tcp port -> Unix.ADDR_INET (Unix.inet_addr_loopback, port)
+
+let domain_of = function
+  | Server.Unix_socket _ -> Unix.PF_UNIX
+  | Server.Tcp _ -> Unix.PF_INET
+
+(* Retries make `pqdb query` usable the moment the daemon is forked:
+   ECONNREFUSED / ENOENT just mean the socket is not bound yet. *)
+let connect ?(retries = 0) ?(retry_delay_s = 0.2) addr =
+  (* A daemon that stops between our frames must surface as EPIPE, not
+     SIGPIPE-kill the client. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let rec attempt left =
+    let fd = Unix.socket ~cloexec:true (domain_of addr) Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (sockaddr_of addr) with
+    | () -> fd
+    | exception
+        Unix.Unix_error
+          ((Unix.ECONNREFUSED | Unix.ENOENT | Unix.EAGAIN), _, _)
+      when left > 0 ->
+        (try Unix.close fd with _ -> ());
+        Unix.sleepf retry_delay_s;
+        attempt (left - 1)
+    | exception e ->
+        (try Unix.close fd with _ -> ());
+        raise e
+  in
+  let fd = attempt retries in
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  match Protocol.read ic with
+  | Some (Protocol.Hello { meta; _ }) ->
+      { fd; ic; oc; greeting = meta; next_id = 0 }
+  | _ ->
+      (try Unix.close fd with _ -> ());
+      Pqdb_error.malformed ~source:"pqdb-serve-client"
+        "server did not greet with a hello frame"
+
+let greeting t = t.greeting
+
+let query t spec =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  Protocol.write t.oc (Protocol.Query { id; spec });
+  let rec await () =
+    match Protocol.read t.ic with
+    | Some (Protocol.Reply { id = rid; ok; body }) when rid = id -> (ok, body)
+    | Some _ -> await ()
+    | None ->
+        Pqdb_error.malformed ~source:"pqdb-serve-client"
+          "server closed the connection before replying"
+  in
+  await ()
+
+let close t =
+  (try Protocol.write t.oc Protocol.Shutdown with _ -> ());
+  (try Unix.shutdown t.fd Unix.SHUTDOWN_ALL with _ -> ());
+  try close_in_noerr t.ic with _ -> ()

@@ -1,0 +1,27 @@
+(** Client side of the [pqdb serve] protocol: connect, submit request
+    specs, read reply bodies.  Used by the [pqdb query] subcommand and the
+    serve tests. *)
+
+type t
+
+val connect : ?retries:int -> ?retry_delay_s:float -> Server.listen -> t
+(** Connect and consume the server's hello greeting.  [retries] (default 0)
+    extra attempts are made when the socket is not there yet (connection
+    refused / path absent), [retry_delay_s] (default 0.2) apart — enough
+    for "fork the daemon, then query it" scripts.
+    @raise Unix.Unix_error when the last attempt fails;
+    @raise Pqdb_runtime.Pqdb_error.Error ([Malformed_input]) when the peer
+    is not a pqdb-serve daemon. *)
+
+val greeting : t -> string
+(** The server's hello metadata (database path banner). *)
+
+val query : t -> string -> bool * string
+(** Submit one request spec, wait for its reply: [(ok, body)] where [body]
+    is the result on [ok = true] and the rendered error otherwise.
+    @raise Pqdb_runtime.Pqdb_error.Error ([Malformed_input]) if the server
+    vanishes mid-reply. *)
+
+val close : t -> unit
+(** Send a polite shutdown-of-session frame and close the connection (the
+    daemon keeps running; use the [shutdown] request spec to stop it). *)

@@ -1,0 +1,321 @@
+module Faultpoint = Pqdb_runtime.Faultpoint
+module Pqdb_error = Pqdb_runtime.Pqdb_error
+module Protocol = Pqdb_distrib.Protocol
+open Pqdb_numeric
+open Pqdb_urel
+open Pqdb_montecarlo
+
+type listen = Unix_socket of string | Tcp of int
+
+let pp_listen = function
+  | Unix_socket path -> Printf.sprintf "unix:%s" path
+  | Tcp port -> Printf.sprintf "tcp:127.0.0.1:%d" port
+
+type config = {
+  db_path : string;
+  listen : listen;
+  cache_entries : int;
+  session_trials : int option;
+  session_deadline_s : float option;
+}
+
+type stats = {
+  sessions : int;
+  queries : int;
+  errors : int;
+  dropped : int;
+  cache : Memo.stats;
+}
+
+type t = {
+  config : config;
+  udb : Udb.t;
+  cache : Memo.t;
+  (* Query execution is serialized: the W-table alias cache fills lazily
+     during DNF preparation and is not safe under concurrent writers, and
+     the target container is single-core anyway.  Sessions stay concurrent
+     for connection handling; only the engine is exclusive. *)
+  engine : Mutex.t;
+  state : Mutex.t;  (* counters below *)
+  mutable sessions : int;
+  mutable queries : int;
+  mutable errors : int;
+  mutable dropped : int;
+  running : bool Atomic.t;
+  mutable listen_fd : Unix.file_descr option;
+}
+
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let stats t =
+  with_lock t.state (fun () ->
+      {
+        sessions = t.sessions;
+        queries = t.queries;
+        errors = t.errors;
+        dropped = t.dropped;
+        cache = Memo.stats t.cache;
+      })
+
+(* ------------------------------------------------------------------ *)
+(* Request language.                                                   *)
+
+let usage =
+  "requests: conf <relation> [eps=F] [delta=F] [seed=N] [fuel=N] | stats | \
+   shutdown"
+
+let fail fmt = Printf.ksprintf failwith fmt
+
+let parse_kv ~relation args =
+  let eps = ref 0.05 and delta = ref 0.01 in
+  let seed = ref 42 and fuel = ref None in
+  List.iter
+    (fun arg ->
+      match String.index_opt arg '=' with
+      | None -> fail "bad argument %S (expected key=value); %s" arg usage
+      | Some i -> (
+          let k = String.sub arg 0 i in
+          let v = String.sub arg (i + 1) (String.length arg - i - 1) in
+          let float_v () =
+            match float_of_string_opt v with
+            | Some f when f > 0. && f < 1. -> f
+            | _ -> fail "%s must be a float in (0, 1), got %S" k v
+          in
+          let int_v ~min =
+            match int_of_string_opt v with
+            | Some n when n >= min -> n
+            | _ -> fail "%s must be an integer >= %d, got %S" k min v
+          in
+          match k with
+          | "eps" -> eps := float_v ()
+          | "delta" -> delta := float_v ()
+          | "seed" -> seed := int_v ~min:0
+          | "fuel" -> fuel := Some (int_v ~min:0)
+          | _ -> fail "unknown option %S for conf %s" k relation))
+    args;
+  (!eps, !delta, !seed, !fuel)
+
+(* The conf body reuses the batch output contract verbatim — one
+   "%d %h %h %h %d" line per tuple (index, estimate, lo, hi, trials) — so
+   a serve reply is byte-comparable against `pqdb batch` output and against
+   itself across warm and cold runs. *)
+let run_conf t ?budget ~relation ~eps ~delta ~seed ~fuel () =
+  let u =
+    match Udb.find t.udb relation with
+    | u -> u
+    | exception Not_found ->
+        fail "unknown relation %S (database has: %s)" relation
+          (String.concat ", " (Udb.names t.udb))
+  in
+  let w = Udb.wtable t.udb in
+  let sets = Array.of_list (List.map snd (Urelation.clauses_by_tuple u)) in
+  let n = Array.length sets in
+  let rngs = Rng.split_n (Rng.create ~seed) n in
+  let buf = Buffer.create (64 * (n + 1)) in
+  for i = 0 to n - 1 do
+    let tree = Memo.find_or_compile t.cache ?fuel w sets.(i) in
+    let o = Compile.solve ?budget rngs.(i) tree ~eps ~delta in
+    Printf.bprintf buf "%d %h %h %h %d\n" i o.Compile.value o.Compile.lo
+      o.Compile.hi o.Compile.trials
+  done;
+  Buffer.contents buf
+
+let stats_body t =
+  let s = stats t in
+  let w = Udb.wtable t.udb in
+  Printf.sprintf
+    "db %s\n\
+     relations %d wtable-uid %d wtable-gen %d\n\
+     cache capacity %d entries %d hits %d misses %d evictions %d\n\
+     sessions %d queries %d errors %d dropped %d\n"
+    t.config.db_path
+    (List.length (Udb.names t.udb))
+    (Wtable.uid w) (Wtable.generation w) (Memo.capacity t.cache)
+    s.cache.Memo.entries s.cache.Memo.hits s.cache.Memo.misses
+    s.cache.Memo.evictions s.sessions s.queries s.errors s.dropped
+
+let stop t =
+  Atomic.set t.running false;
+  (* Wake the accept loop: shutdown on a listening socket makes a blocked
+     accept return immediately (EINVAL on Linux), without the fd-reuse race
+     a close from another thread would risk. *)
+  match t.listen_fd with
+  | Some fd -> ( try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with _ -> ())
+  | None -> ()
+
+(* One request.  [Ok body] becomes an ok reply; raising becomes an err
+   reply with the rendered message — sessions survive their own bad
+   requests. *)
+let dispatch t ?budget spec =
+  match String.split_on_char ' ' spec |> List.filter (fun s -> s <> "") with
+  | [] -> fail "empty request; %s" usage
+  | "stats" :: rest ->
+      if rest <> [] then fail "stats takes no arguments";
+      stats_body t
+  | "shutdown" :: rest ->
+      if rest <> [] then fail "shutdown takes no arguments";
+      stop t;
+      "shutting down\n"
+  | "conf" :: relation :: args ->
+      (match budget with
+      | Some b when Budget.exhausted b ->
+          fail "session budget exhausted (admission refused)"
+      | _ -> ());
+      let eps, delta, seed, fuel = parse_kv ~relation args in
+      with_lock t.engine (fun () ->
+          run_conf t ?budget ~relation ~eps ~delta ~seed ~fuel ())
+  | "conf" :: [] -> fail "conf needs a relation name; %s" usage
+  | verb :: _ -> fail "unknown request %S; %s" verb usage
+
+(* ------------------------------------------------------------------ *)
+(* Sessions.                                                           *)
+
+let bump t f =
+  with_lock t.state (fun () -> f t)
+
+let session t fd =
+  bump t (fun t -> t.sessions <- t.sessions + 1);
+  (* Admission control: each session draws conf trials from its own budget,
+     sized by the server configuration.  Unconfigured servers pass no
+     budget at all — the bit-identical, never-degrading path. *)
+  let budget =
+    match (t.config.session_trials, t.config.session_deadline_s) with
+    | None, None -> None
+    | trials, deadline ->
+        Some (Budget.create ?max_trials:trials ?deadline_s:deadline ())
+  in
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let finally () =
+    (try Unix.shutdown fd Unix.SHUTDOWN_ALL with _ -> ());
+    (* closes fd *)
+    try close_in_noerr ic with _ -> ()
+  in
+  Fun.protect ~finally (fun () ->
+      Protocol.write oc
+        (Protocol.Hello
+           {
+             meta = Printf.sprintf "pqdb-serve db=%s" t.config.db_path;
+             probe = "serve/1";
+             source = None;
+           });
+      let rec loop () =
+        if Atomic.get t.running then
+          match Protocol.read ic with
+          | None | Some Protocol.Shutdown -> ()
+          | Some (Protocol.Query { id; spec }) ->
+              bump t (fun t -> t.queries <- t.queries + 1);
+              let reply =
+                match dispatch t ?budget spec with
+                | body -> Protocol.Reply { id; ok = true; body }
+                | exception e ->
+                    bump t (fun t -> t.errors <- t.errors + 1);
+                    let detail =
+                      match e with
+                      | Failure m -> m
+                      | Pqdb_error.Error err -> Pqdb_error.to_string err
+                      | e -> Printexc.to_string e
+                    in
+                    Protocol.Reply { id; ok = false; body = detail }
+              in
+              Protocol.write oc reply;
+              loop ()
+          | Some
+              ( Protocol.Hello _ | Protocol.Order _ | Protocol.Outcome _
+              | Protocol.Failed _ | Protocol.Reply _ ) ->
+              (* Out-of-protocol traffic: drop the session. *)
+              ()
+          | Some Protocol.Heartbeat -> loop ()
+      in
+      try loop () with
+      | Pqdb_error.Error (Pqdb_error.Malformed_input _) ->
+          (* Torn or corrupt frame: the peer is gone or broken. *)
+          bump t (fun t -> t.errors <- t.errors + 1)
+      | Sys_error _ | End_of_file | Unix.Unix_error _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Accept loop.                                                        *)
+
+let bind_listen = function
+  | Unix_socket path ->
+      (match Unix.lstat path with
+      | { Unix.st_kind = Unix.S_SOCK; _ } ->
+          (* A previous daemon's socket: connecting would have failed, so
+             rebinding is safe.  Anything else at the path is refused by
+             bind below rather than deleted. *)
+          (try Unix.unlink path with Unix.Unix_error _ -> ())
+      | _ -> ()
+      | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+      let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (try Unix.bind fd (Unix.ADDR_UNIX path)
+       with e -> Unix.close fd; raise e);
+      Unix.listen fd 16;
+      fd
+  | Tcp port ->
+      let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+      (try
+         Unix.setsockopt fd Unix.SO_REUSEADDR true;
+         Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+       with e -> Unix.close fd; raise e);
+      Unix.listen fd 16;
+      fd
+
+let create config =
+  if config.cache_entries < 1 then
+    invalid_arg "Server.create: cache_entries must be >= 1";
+  let udb = Udb_io.load config.db_path in
+  {
+    config;
+    udb;
+    cache = Memo.create ~entries:config.cache_entries ();
+    engine = Mutex.create ();
+    state = Mutex.create ();
+    sessions = 0;
+    queries = 0;
+    errors = 0;
+    dropped = 0;
+    running = Atomic.make true;
+    listen_fd = None;
+  }
+
+let run ?(ready = fun () -> ()) t =
+  (* A peer that hangs up mid-reply must surface as EPIPE in its session
+     thread, not kill the daemon. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let listen_fd = bind_listen t.config.listen in
+  t.listen_fd <- Some listen_fd;
+  ready ();
+  let rec accept_loop () =
+    if Atomic.get t.running then begin
+      (match Unix.accept ~cloexec:true listen_fd with
+      | fd, _ -> (
+          (* The CI fault matrix arms this site: an injected fault at
+             accept drops that one connection and the server carries on —
+             the same containment a transient accept-time error gets. *)
+          match Faultpoint.fire "serve.accept" with
+          | () -> ignore (Thread.create (fun () -> session t fd) ())
+          | exception Pqdb_error.Error (Pqdb_error.Injected _) ->
+              bump t (fun t -> t.dropped <- t.dropped + 1);
+              try Unix.close fd with _ -> ())
+      | exception Unix.Unix_error ((Unix.EINVAL | Unix.EBADF), _, _)
+        when not (Atomic.get t.running) ->
+          (* stop: shutdown on the listening socket woke us. *)
+          ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      accept_loop ()
+    end
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close listen_fd with _ -> ());
+      match t.config.listen with
+      | Unix_socket path ->
+          (try Unix.unlink path with Unix.Unix_error _ -> ())
+      | Tcp _ -> ())
+    accept_loop;
+  stats t
+
+let serve ?ready config = run ?ready (create config)

@@ -1,0 +1,85 @@
+(** The resident [pqdb serve] daemon: one mmap'd database, one shared
+    compiled-lineage cache, many sessions.
+
+    The daemon loads a [.udbb] database once (the binary loader maps
+    columns lazily, so the resident cost is the page cache's problem) and
+    answers framed requests over a Unix-domain or loopback TCP socket,
+    using {!Pqdb_distrib.Protocol}'s CRC-framed [Query]/[Reply] messages.
+    Repeated or incremental [conf] queries hit the {!Pqdb_montecarlo.Memo}
+    cache and skip normalization and compilation entirely, going straight
+    to {!Pqdb_montecarlo.Compile.solve}.
+
+    {2 Request language}
+
+    One request per [Query] frame, answered by one [Reply]:
+
+    {ul
+    {- [conf <relation> [eps=F] [delta=F] [seed=N] [fuel=N]] — per-tuple
+       confidence for every possible tuple of the relation.  The reply body
+       is the batch output contract verbatim: one
+       ["<index> %h-est %h-lo %h-hi <trials>"] line per tuple.  Defaults:
+       [eps=0.05], [delta=0.01], [seed=42], fuel
+       {!Pqdb_montecarlo.Compile.default_fuel}.  Deterministic per [seed]:
+       a warm (cached) run is byte-identical to a cold one.}
+    {- [stats] — server and cache counters, one [key value...] line each
+       (cache hits / misses / evictions, sessions, queries, errors).}
+    {- [shutdown] — reply, then stop the daemon cleanly.}}
+
+    Bad requests get an [ok = false] reply carrying the rendered error;
+    the session survives.
+
+    {2 Admission control}
+
+    When the configuration carries session limits, every session draws its
+    [conf] sampling from an own {!Pqdb_montecarlo.Budget} (trial cap and/or
+    wall-clock deadline): queries degrade anytime-style as the budget
+    drains, and a session whose budget is exhausted has further [conf]
+    requests refused at admission.  An unconfigured server passes no budget
+    at all — the bit-identical, never-degrading path.
+
+    The accept loop fires the ["serve.accept"] fault point per connection;
+    an injected fault drops that connection and the server carries on. *)
+
+type listen = Unix_socket of string | Tcp of int
+(** Where to listen: a Unix-domain socket path, or a TCP port bound on
+    loopback only. *)
+
+val pp_listen : listen -> string
+
+type config = {
+  db_path : string;  (** the [.udbb] (or directory) database to serve *)
+  listen : listen;
+  cache_entries : int;  (** compiled-lineage cache entry cap (LRU) *)
+  session_trials : int option;  (** per-session trial allowance *)
+  session_deadline_s : float option;  (** per-session wall-clock allowance *)
+}
+
+type stats = {
+  sessions : int;  (** sessions accepted *)
+  queries : int;  (** query frames handled *)
+  errors : int;  (** requests answered with [ok = false] or torn frames *)
+  dropped : int;  (** connections dropped at accept (injected faults) *)
+  cache : Pqdb_montecarlo.Memo.stats;
+}
+
+type t
+
+val create : config -> t
+(** Load the database and build the (empty) cache; no socket yet.
+    @raise Invalid_argument when [cache_entries < 1]; database load errors
+    propagate. *)
+
+val run : ?ready:(unit -> unit) -> t -> stats
+(** Bind, call [ready] (e.g. print a readiness line), and serve until a
+    [shutdown] request.  Returns the final counters.  The listening socket
+    (and a Unix socket path) are cleaned up on exit. *)
+
+val serve : ?ready:(unit -> unit) -> config -> stats
+(** [create] + [run]. *)
+
+val stats : t -> stats
+
+val dispatch : t -> ?budget:Pqdb_montecarlo.Budget.t -> string -> string
+(** Handle one request in-process (no socket): the reply body on success.
+    Exposed for tests and the in-process warm/cold bench.
+    @raise Failure with the message an [ok = false] reply would carry. *)

@@ -10,9 +10,21 @@ type entry = {
   mutable alias : Rng.Alias.dist option;  (* lazily built O(1) sampler *)
 }
 
-type t = { mutable entries : entry array; mutable count : int }
+type t = {
+  mutable entries : entry array;
+  mutable count : int;
+  uid : int;  (* distinct per instance, for cache keys *)
+  mutable gen : int;  (* bumped on every mutation, for cache invalidation *)
+}
 
-let create () = { entries = [||]; count = 0 }
+(* Process-unique instance ids: two W tables never share a uid, so a cache
+   key built from (uid, gen) can never confuse tables — even a copy gets a
+   fresh identity (its variables are re-created, so sharing compiled trees
+   across the copy would be incidental, not guaranteed). *)
+let next_uid = Atomic.make 0
+
+let create () =
+  { entries = [||]; count = 0; uid = Atomic.fetch_and_add next_uid 1; gen = 0 }
 
 let reject detail =
   Pqdb_runtime.Pqdb_error.invalid_probability ~context:"Wtable.add_var" detail
@@ -49,8 +61,11 @@ let add_var ?name t dist =
   end;
   t.entries.(id) <- entry;
   t.count <- id + 1;
+  t.gen <- t.gen + 1;
   id
 
+let uid t = t.uid
+let generation t = t.gen
 let var_count t = t.count
 let vars t = List.init t.count Fun.id
 

@@ -22,6 +22,15 @@ val add_var : ?name:string -> t -> Rational.t list -> var
     probabilities are in (0, 1] and sum to 1, with at least one
     alternative. *)
 
+val uid : t -> int
+(** Process-unique instance id (two tables never share one, copies
+    included).  Together with {!generation} it identifies "this table in
+    this state" — the W-table component of a compiled-lineage cache key. *)
+
+val generation : t -> int
+(** Monotone edit counter: bumped by every {!add_var}.  A cache entry keyed
+    on [(uid, generation)] is invalidated by any table edit. *)
+
 val var_count : t -> int
 val vars : t -> var list
 val name : t -> var -> string

@@ -229,7 +229,7 @@ let msg_of_seed seed =
     String.init (Rng.int rng n) (fun _ ->
         Char.chr (32 + Rng.int rng 95) (* printable ASCII incl. space *))
   in
-  match Rng.int rng 6 with
+  match Rng.int rng 8 with
   | 0 ->
       (* Sources exercise the percent-encoding: paths with spaces, percents,
          dashes and empty relation names must survive the space-separated
@@ -254,6 +254,19 @@ let msg_of_seed seed =
   | 2 -> Protocol.Outcome { payload = str 200 }
   | 3 -> Protocol.Failed { index = Rng.int rng 1000; detail = str 80 }
   | 4 -> Protocol.Heartbeat
+  | 5 ->
+      (* Specs carry arbitrary printable text (spaces, percents, dashes). *)
+      Protocol.Query { id = Rng.int rng 1000; spec = str (1 + Rng.int rng 60) }
+  | 6 ->
+      (* Bodies are multi-line batch output; embed newlines explicitly since
+         [str] only draws printable ASCII. *)
+      let body =
+        match Rng.int rng 3 with
+        | 0 -> str (1 + Rng.int rng 200)
+        | 1 -> str 40 ^ "\n" ^ str 40 ^ "\n"
+        | _ -> "-"
+      in
+      Protocol.Reply { id = Rng.int rng 1000; ok = Rng.bool rng; body }
   | _ -> Protocol.Shutdown
 
 let decode_all bytes =

@@ -1,0 +1,404 @@
+(* The pqdb serve daemon and its compiled-lineage cache: canonical
+   fingerprints (permutation / duplication / subsumption invariance,
+   W-table-edit sensitivity), LRU bounds and counters, warm-vs-cold
+   bit-identity of conf replies, budget admission, the socket round trip,
+   and serve.accept fault containment.
+
+   Fork safety is irrelevant here (sessions are threads, not forks), but
+   the pool is pinned inline anyway so an environment-armed pool.spawn
+   cannot take the whole suite down. *)
+
+let () = Unix.putenv "PQDB_POOL_WORKERS" "1"
+
+open Pqdb_numeric
+open Pqdb_urel
+open Pqdb_montecarlo
+open Pqdb_serve
+module FP = Pqdb_runtime.Faultpoint
+module E = Pqdb_runtime.Pqdb_error
+module Gen = Pqdb_workload.Gen
+module Q = Rational
+
+let check = Alcotest.check
+let bool_c = Alcotest.bool
+let int_c = Alcotest.int
+let string_c = Alcotest.string
+let clear_all () = List.iter FP.disarm (FP.armed ())
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i =
+    i + nl <= hl && (String.equal (String.sub hay i nl) needle || go (i + 1))
+  in
+  go 0
+
+(* Pull a named counter out of a stats body ("... hits 125 misses 55 ..."):
+   the word after the first occurrence of [name]. *)
+let counter body name =
+  let words =
+    String.split_on_char '\n' body
+    |> List.concat_map (String.split_on_char ' ')
+    |> List.filter (fun w -> w <> "")
+  in
+  let rec go = function
+    | k :: v :: rest ->
+        if String.equal k name then int_of_string_opt v else go (v :: rest)
+    | _ -> None
+  in
+  go words
+
+let temp_counter = ref 0
+
+let temp_path suffix =
+  incr temp_counter;
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "pqdb_serve_%d_%d%s" (Unix.getpid ()) !temp_counter
+       suffix)
+
+(* Deterministic Fisher-Yates on a list. *)
+let shuffle rng l =
+  let a = Array.of_list l in
+  for i = Array.length a - 1 downto 1 do
+    let j = Rng.int rng (i + 1) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done;
+  Array.to_list a
+
+let fixture ~seed =
+  let rng = Rng.create ~seed in
+  let w = Wtable.create () in
+  let sets =
+    Array.init 12 (fun _ -> Gen.random_dnf rng w ~vars:8 ~clauses:6 ~clause_len:3)
+  in
+  (rng, w, sets)
+
+(* ------------------------------------------------------------------ *)
+(* Fingerprint canonicalization.                                       *)
+
+let fingerprint_permutation_invariant =
+  QCheck.Test.make ~name:"fingerprint: permutation + duplication invariant"
+    ~count:100
+    (QCheck.int_range 0 1_000_000)
+    (fun seed ->
+      clear_all ();
+      let rng, w, sets = fixture ~seed in
+      Array.for_all
+        (fun set ->
+          let reference = Memo.fingerprint w set in
+          let permuted = shuffle rng set in
+          let duplicated =
+            match set with [] -> [] | c :: _ -> shuffle rng (c :: set)
+          in
+          String.equal (Memo.fingerprint w permuted) reference
+          && String.equal (Memo.fingerprint w duplicated) reference)
+        sets)
+
+let fingerprint_subsumption_invariant =
+  QCheck.Test.make ~name:"fingerprint: subsumption-equivalent sets agree"
+    ~count:100
+    (QCheck.int_range 0 1_000_000)
+    (fun seed ->
+      clear_all ();
+      let _rng, w, sets = fixture ~seed in
+      let vars = Wtable.vars w in
+      Array.for_all
+        (fun set ->
+          match set with
+          | [] -> true
+          | c :: _ -> (
+              (* A clause strictly more specific than [c] is subsumed by it
+                 and must vanish under normalization. *)
+              match
+                List.find_opt (fun v -> Assignment.value c v = None) vars
+              with
+              | None -> true (* c binds every variable; nothing to extend *)
+              | Some free -> (
+                  match Assignment.union c (Assignment.singleton free 0) with
+                  | None -> true
+                  | Some subsumed ->
+                      String.equal
+                        (Memo.fingerprint w (subsumed :: set))
+                        (Memo.fingerprint w set))))
+        sets)
+
+let test_fingerprint_sensitivity () =
+  clear_all ();
+  let _rng, w, sets = fixture ~seed:42 in
+  let set = sets.(0) in
+  let before = Memo.fingerprint w set in
+  (* fuel is part of the key *)
+  check bool_c "different fuel, different key" false
+    (String.equal before (Memo.fingerprint ~fuel:0 w set));
+  (* distinct sets get distinct keys *)
+  check bool_c "different clauses, different key" false
+    (String.equal before (Memo.fingerprint w sets.(1)));
+  (* any W-table edit invalidates every key *)
+  let _v = Wtable.add_var w [ Q.of_ints 1 2; Q.of_ints 1 2 ] in
+  check bool_c "W-table edit changes the key" false
+    (String.equal before (Memo.fingerprint w set));
+  (* two tables never share keys, even with identical contents *)
+  let w2 = Wtable.create () in
+  let _ = Wtable.add_var w2 [ Q.of_ints 1 2; Q.of_ints 1 2 ] in
+  let w3 = Wtable.create () in
+  let _ = Wtable.add_var w3 [ Q.of_ints 1 2; Q.of_ints 1 2 ] in
+  let clause = [ Assignment.singleton 0 1 ] in
+  check bool_c "distinct tables, distinct keys" false
+    (String.equal (Memo.fingerprint w2 clause) (Memo.fingerprint w3 clause))
+
+(* ------------------------------------------------------------------ *)
+(* Cache behavior: hits, equivalence classes, LRU bound.               *)
+
+let equivalent_variants_hit_same_entry =
+  QCheck.Test.make ~name:"cache: permuted/duplicated/subsumed variants hit"
+    ~count:60
+    (QCheck.int_range 0 1_000_000)
+    (fun seed ->
+      clear_all ();
+      let rng, w, sets = fixture ~seed in
+      let memo = Memo.create ~entries:64 () in
+      Array.iter (fun set -> ignore (Memo.find_or_compile memo w set)) sets;
+      let cold = Memo.stats memo in
+      (* every variant of every set must be answered from cache *)
+      Array.iter
+        (fun set ->
+          ignore (Memo.find_or_compile memo w (shuffle rng set));
+          match set with
+          | [] -> ()
+          | c :: _ -> ignore (Memo.find_or_compile memo w (c :: set)))
+        sets;
+      let warm = Memo.stats memo in
+      warm.Memo.misses = cold.Memo.misses
+      && warm.Memo.hits = cold.Memo.hits + (2 * Array.length sets)
+      && warm.Memo.entries <= Memo.capacity memo)
+
+let test_cache_identical_tree () =
+  clear_all ();
+  let rng, w, sets = fixture ~seed:7 in
+  let memo = Memo.create () in
+  let set = sets.(0) in
+  let t1 = Memo.find_or_compile memo w set in
+  let t2 = Memo.find_or_compile memo w (shuffle rng set) in
+  check bool_c "warm hit returns the same tree" true (t1 == t2);
+  (* and the cached tree is what a cold compile builds *)
+  let cold = Compile.compile w (shuffle rng set) in
+  let solve tree = (Compile.solve (Rng.create ~seed:5) tree ~eps:0.2 ~delta:0.1).Compile.value in
+  check (Alcotest.float 0.0) "same solve value as a cold compile" (solve cold)
+    (solve t1)
+
+let test_lru_bound_and_counters () =
+  clear_all ();
+  let _rng, w, sets = fixture ~seed:11 in
+  let memo = Memo.create ~entries:4 () in
+  check int_c "capacity" 4 (Memo.capacity memo);
+  Array.iter (fun set -> ignore (Memo.find_or_compile memo w set)) sets;
+  let s = Memo.stats memo in
+  check int_c "bounded entries" 4 s.Memo.entries;
+  check int_c "all distinct sets missed" (Array.length sets) s.Memo.misses;
+  check int_c "evictions = misses - capacity" (Array.length sets - 4)
+    s.Memo.evictions;
+  (* most recent entries are resident; refetching them adds no miss *)
+  ignore (Memo.find_or_compile memo w sets.(Array.length sets - 1));
+  ignore (Memo.find_or_compile memo w sets.(Array.length sets - 2));
+  let s2 = Memo.stats memo in
+  check int_c "recent entries hit" (s.Memo.hits + 2) s2.Memo.hits;
+  check int_c "no new misses" s.Memo.misses s2.Memo.misses;
+  (* the evicted oldest entry recompiles: miss, eviction *)
+  ignore (Memo.find_or_compile memo w sets.(0));
+  let s3 = Memo.stats memo in
+  check int_c "evicted entry misses again" (s.Memo.misses + 1) s3.Memo.misses;
+  Memo.clear memo;
+  check int_c "clear empties the cache" 0 (Memo.stats memo).Memo.entries
+
+(* ------------------------------------------------------------------ *)
+(* The server proper, in-process (no socket): dispatch + fixture db.   *)
+
+let with_fixture_db f =
+  let path = temp_path ".udbb" in
+  let rng = Rng.create ~seed:99 in
+  let udb = Gen.uncertain_db rng ~tuples:40 ~clauses:3 in
+  Udb_io.save path udb;
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () -> f path)
+
+let config ?(cache_entries = 64) ~db_path listen =
+  {
+    Server.db_path;
+    listen;
+    cache_entries;
+    session_trials = None;
+    session_deadline_s = None;
+  }
+
+let test_dispatch_conf_warm_equals_cold () =
+  clear_all ();
+  with_fixture_db (fun db ->
+      let srv = Server.create (config ~db_path:db (Server.Tcp 1)) in
+      let cold = Server.dispatch srv "conf events" in
+      let warm = Server.dispatch srv "conf events" in
+      check string_c "warm body is byte-identical to cold" cold warm;
+      let s = Server.stats srv in
+      check bool_c "second run hit the cache" true (s.Server.cache.Memo.hits > 0);
+      check int_c "no evictions under capacity" 0 s.Server.cache.Memo.evictions;
+      (* every tuple present, batch line format *)
+      let lines = String.split_on_char '\n' (String.trim cold) in
+      check int_c "one line per tuple" 40 (List.length lines);
+      List.iteri
+        (fun i line ->
+          match String.split_on_char ' ' line with
+          | [ idx; _est; _lo; _hi; _trials ] ->
+              check string_c "index" (string_of_int i) idx
+          | _ -> Alcotest.failf "malformed conf line %S" line)
+        lines;
+      (* a different seed is a different answer stream, same cache *)
+      let other = Server.dispatch srv "conf events seed=7" in
+      check bool_c "seed can change sampled output" true
+        (String.length other > 0))
+
+let test_dispatch_stats_and_errors () =
+  clear_all ();
+  with_fixture_db (fun db ->
+      let srv = Server.create (config ~db_path:db (Server.Tcp 1)) in
+      ignore (Server.dispatch srv "conf events");
+      let stats_body = Server.dispatch srv "stats" in
+      check bool_c "stats names the cache counters" true
+        (List.for_all (contains stats_body)
+           [ "hits"; "misses"; "evictions"; "capacity" ]);
+      check bool_c "stats reports the hits" true
+        (match counter stats_body "hits" with Some n -> n >= 0 | None -> false);
+      let fails spec expected_fragment =
+        match Server.dispatch srv spec with
+        | body -> Alcotest.failf "%S succeeded: %s" spec body
+        | exception Failure msg ->
+            check bool_c
+              (Printf.sprintf "%S mentions %S" spec expected_fragment)
+              true (contains msg expected_fragment)
+      in
+      fails "conf nosuch" "unknown relation";
+      fails "conf events eps=2" "eps";
+      fails "conf events eps=abc" "eps";
+      fails "conf events bogus" "key=value";
+      fails "conf" "relation";
+      fails "frobnicate" "unknown request";
+      fails "stats now" "no arguments")
+
+let test_budget_admission () =
+  clear_all ();
+  with_fixture_db (fun db ->
+      let srv = Server.create (config ~db_path:db (Server.Tcp 1)) in
+      let budget = Budget.create ~max_trials:1 () in
+      (* an un-exhausted budget admits the query *)
+      ignore (Server.dispatch srv ~budget "conf events");
+      Budget.spend budget 2;
+      match Server.dispatch srv ~budget "conf events" with
+      | _ -> Alcotest.fail "exhausted session was admitted"
+      | exception Failure msg ->
+          check bool_c "refusal names the budget" true (contains msg "budget"))
+
+(* ------------------------------------------------------------------ *)
+(* Socket round trip: daemon thread, client queries, clean shutdown.   *)
+
+let test_socket_round_trip () =
+  clear_all ();
+  with_fixture_db (fun db ->
+      let sock = temp_path ".sock" in
+      let listen = Server.Unix_socket sock in
+      let srv = Server.create (config ~db_path:db listen) in
+      let stats = ref None in
+      let daemon = Thread.create (fun () -> stats := Some (Server.run srv)) () in
+      let c = Client.connect ~retries:50 listen in
+      check bool_c "greeting names the db" true
+        (contains (Client.greeting c) db);
+      let ok1, cold = Client.query c "conf events" in
+      let ok2, warm = Client.query c "conf events" in
+      check bool_c "cold ok" true ok1;
+      check bool_c "warm ok" true ok2;
+      check string_c "socket replies byte-identical warm vs cold" cold warm;
+      (* errors come back on the same session, which survives *)
+      let ok3, err = Client.query c "conf nosuch" in
+      check bool_c "bad relation refused" false ok3;
+      check bool_c "error mentions the relation" true (contains err "nosuch");
+      let ok4, body = Client.query c "stats" in
+      check bool_c "stats ok" true ok4;
+      check bool_c "cache hits visible over the wire" true
+        (match counter body "hits" with Some n -> n > 0 | None -> false);
+      let ok5, _ = Client.query c "shutdown" in
+      check bool_c "shutdown acknowledged" true ok5;
+      Client.close c;
+      Thread.join daemon;
+      (match !stats with
+      | None -> Alcotest.fail "server did not return stats"
+      | Some s ->
+          check bool_c "served at least one session" true (s.Server.sessions >= 1);
+          check bool_c "counted the queries" true (s.Server.queries >= 5);
+          check bool_c "cache hits in the final report" true
+            (s.Server.cache.Memo.hits > 0));
+      check bool_c "socket path cleaned up" false (Sys.file_exists sock))
+
+let test_accept_fault_containment () =
+  clear_all ();
+  with_fixture_db (fun db ->
+      let sock = temp_path ".sock" in
+      let listen = Server.Unix_socket sock in
+      let srv = Server.create (config ~db_path:db listen) in
+      let daemon = Thread.create (fun () -> ignore (Server.run srv)) () in
+      (* wait for the bind, then arm: the next connection is dropped at
+         accept, and the daemon must carry on serving *)
+      let probe = Client.connect ~retries:50 listen in
+      FP.arm ~count:1 "serve.accept";
+      (match Client.connect ~retries:0 listen with
+      | c ->
+          (* accept raced ahead of the arm consuming a shot is impossible
+             (count=1, single accept loop): the greeting must have failed *)
+          Client.close c;
+          Alcotest.fail "dropped connection still greeted"
+      | exception E.Error (E.Malformed_input _) -> ()
+      | exception Unix.Unix_error _ -> ());
+      clear_all ();
+      (* the daemon survived: a fresh session works end to end *)
+      let c = Client.connect ~retries:10 listen in
+      let ok, _ = Client.query c "conf events" in
+      check bool_c "daemon survives an accept fault" true ok;
+      let ok_stats, body = Client.query c "stats" in
+      check bool_c "stats after fault" true ok_stats;
+      check bool_c "dropped connection counted" true
+        (match counter body "dropped" with Some n -> n > 0 | None -> false);
+      ignore (Client.query c "shutdown");
+      Client.close c;
+      Client.close probe;
+      Thread.join daemon)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "fingerprint",
+        [
+          QCheck_alcotest.to_alcotest fingerprint_permutation_invariant;
+          QCheck_alcotest.to_alcotest fingerprint_subsumption_invariant;
+          Alcotest.test_case "sensitivity" `Quick test_fingerprint_sensitivity;
+        ] );
+      ( "cache",
+        [
+          QCheck_alcotest.to_alcotest equivalent_variants_hit_same_entry;
+          Alcotest.test_case "identical tree" `Quick test_cache_identical_tree;
+          Alcotest.test_case "lru bound + counters" `Quick
+            test_lru_bound_and_counters;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "warm equals cold" `Quick
+            test_dispatch_conf_warm_equals_cold;
+          Alcotest.test_case "stats + friendly errors" `Quick
+            test_dispatch_stats_and_errors;
+          Alcotest.test_case "budget admission" `Quick test_budget_admission;
+        ] );
+      ( "socket",
+        [
+          Alcotest.test_case "round trip" `Quick test_socket_round_trip;
+          Alcotest.test_case "accept fault containment" `Quick
+            test_accept_fault_containment;
+        ] );
+    ]
