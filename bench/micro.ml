@@ -292,6 +292,9 @@ type bench_entry = {
       (* physical cores actually available to the entry's "parallel" run —
          honesty marker for speedup numbers collected on small containers
          (1 here means the domain/worker scaling is time-sliced) *)
+  be_shed : int option;
+      (* connections refused with a typed busy reply during the entry's
+         overload burst, for the serve-under-faults entry *)
 }
 
 let confidence_engine () =
@@ -299,8 +302,8 @@ let confidence_engine () =
     "Confidence-engine wall clock: compiled lineage, adaptive stopping, \
      parallel Karp-Luby, hash join";
   let entries = ref [] in
-  let record ?trials ?exact_fraction ?width ?peak_words ?cores name seconds
-      baseline =
+  let record ?trials ?exact_fraction ?width ?peak_words ?cores ?shed name
+      seconds baseline =
     entries :=
       {
         be_name = name;
@@ -311,6 +314,7 @@ let confidence_engine () =
         be_width = width;
         be_peak_words = peak_words;
         be_cores = cores;
+        be_shed = shed;
       }
       :: !entries
   in
@@ -971,14 +975,138 @@ let confidence_engine () =
         Printf.sprintf "%.2fx" (nested /. hashed);
       ];
     ];
+  (* 4. Serve under faults: warm-query latency over a live daemon socket,
+     clean vs the same traffic with a 50 ms delay injected into every 10th
+     request's session handling, plus an overload burst against the single
+     session slot.  Degraded service may be slower, never wrong: every
+     reply not hit by an armed fault must stay byte-identical to the
+     fault-free reference, and excess connections must be shed with a
+     typed busy instead of queueing or hanging. *)
+  let module FP = Pqdb_runtime.Faultpoint in
+  let module E = Pqdb_runtime.Pqdb_error in
+  let module Server = Pqdb_serve.Server in
+  let module Sclient = Pqdb_serve.Client in
+  List.iter FP.disarm (FP.armed ());
+  let serve_db = Filename.temp_file "pqdb_bench_serve" ".udbb" in
+  Udb_io.save serve_db
+    (Gen.uncertain_db (Rng.create ~seed:77) ~tuples:20 ~clauses:3);
+  let sock_path = Filename.temp_file "pqdb_bench_serve" ".sock" in
+  Sys.remove sock_path;
+  let listen = Server.Unix_socket sock_path in
+  let scfg =
+    {
+      Server.db_path = serve_db;
+      listen;
+      cache_entries = 64;
+      session_trials = None;
+      session_deadline_s = None;
+      io_timeout_s = Some 10.0;
+      idle_timeout_s = Some 60.0;
+      max_sessions = Some 1;
+      watchdog_s = None;
+    }
+  in
+  let srv = Server.create scfg in
+  let daemon = Thread.create (fun () -> ignore (Server.run srv)) () in
+  let client =
+    Sclient.connect ~retries:40 ~retry_delay_s:0.05 ~io_timeout_s:10.0 listen
+  in
+  let spec = "conf events eps=0.3 delta=0.2" in
+  let serve_queries = 20 in
+  let fault_stride = 10 in
+  (* warm the compiled-lineage cache, then pin the reference body *)
+  ignore (Sclient.query client spec);
+  let reference =
+    match Sclient.query client spec with
+    | true, body -> body
+    | false, err -> failwith ("serve-under-faults: reference query: " ^ err)
+  in
+  let serve_pass ~faulted () =
+    for i = 1 to serve_queries do
+      let armed = faulted && i mod fault_stride = 0 in
+      if armed then FP.arm ~count:1 ~mode:(FP.Delay 0.05) "serve.session";
+      match Sclient.query client spec with
+      | true, body ->
+          if (not armed) && not (String.equal body reference) then
+            failwith
+              "serve-under-faults: unaffected reply is not byte-identical"
+      | false, err -> failwith ("serve-under-faults: err reply: " ^ err)
+    done
+  in
+  let clean_total = Report.time_median (fun () -> serve_pass ~faulted:false ()) in
+  let faulted_total =
+    Report.time_median (fun () -> serve_pass ~faulted:true ())
+  in
+  List.iter FP.disarm (FP.armed ());
+  let clean_q = clean_total /. float_of_int serve_queries in
+  let faulted_q = faulted_total /. float_of_int serve_queries in
+  (* overload burst: the persistent client holds the only slot, so every
+     extra connection must come back as an immediate typed Busy *)
+  let burst = 8 in
+  let shed_seen = ref 0 in
+  for _ = 1 to burst do
+    match Sclient.connect ~io_timeout_s:5.0 listen with
+    | c ->
+        Sclient.close c;
+        failwith "serve-under-faults: connection admitted past the cap"
+    | exception E.Error (E.Busy _) -> incr shed_seen
+  done;
+  let shed_counted =
+    match Sclient.query client "stats" with
+    | true, body ->
+        let words =
+          String.split_on_char '\n' body
+          |> List.concat_map (String.split_on_char ' ')
+          |> List.filter (fun w -> w <> "")
+        in
+        let rec go = function
+          | k :: v :: rest ->
+              if String.equal k "shed" then int_of_string_opt v
+              else go (v :: rest)
+          | _ -> None
+        in
+        (match go words with
+        | Some n -> n
+        | None -> failwith "serve-under-faults: no shed counter in stats")
+    | false, err -> failwith ("serve-under-faults: stats query: " ^ err)
+  in
+  if shed_counted < !shed_seen then
+    failwith "serve-under-faults: stats shed counter below observed sheds";
+  record "serve-warm-query" clean_q clean_q;
+  record ~shed:shed_counted "serve-under-faults" faulted_q clean_q;
+  (try ignore (Sclient.query client "shutdown") with _ -> ());
+  (try Sclient.close client with _ -> ());
+  Thread.join daemon;
+  if Sys.file_exists serve_db then Sys.remove serve_db;
+  if Sys.file_exists sock_path then Sys.remove sock_path;
+  Report.table
+    ~header:
+      [
+        Printf.sprintf "serve, %d warm queries" serve_queries;
+        "per query";
+        "slowdown";
+        "bit-identical";
+      ]
+    [
+      [ "fault-free"; Report.fmt_seconds clean_q; "1.00x"; "yes" ];
+      [
+        "10% of requests +50ms";
+        Report.fmt_seconds faulted_q;
+        Printf.sprintf "%.2fx" (faulted_q /. clean_q);
+        "yes (unaffected)";
+      ];
+    ];
+  Report.note "overload burst: %d/%d connections shed with typed Busy"
+    shed_counted burst;
   (* Machine-readable record for EXPERIMENTS.md and regression tracking.
-     Schema v2: entries optionally carry the estimator-trial spend and the
-     closed-form probability-mass fraction of the compiled path. *)
+     Schema v4: entries optionally carry the estimator-trial spend, the
+     closed-form probability-mass fraction of the compiled path, and the
+     overload-shed count of the serve-under-faults entry. *)
   let path = "BENCH_confidence.json" in
   let oc = open_out path in
   Printf.fprintf oc
     "{\n\
-    \  \"schema\": \"pqdb-bench-confidence/v3\",\n\
+    \  \"schema\": \"pqdb-bench-confidence/v4\",\n\
     \  \"recommended_domains\": %d,\n\
     \  \"resident_pool_workers\": %d,\n\
     \  \"results\": [\n"
@@ -1003,14 +1131,19 @@ let confidence_engine () =
         | Some n -> Printf.sprintf ", \"cores\": %d" n
         | None -> ""
       in
+      let opt_shed = function
+        | Some n -> Printf.sprintf ", \"shed\": %d" n
+        | None -> ""
+      in
       Printf.fprintf oc
-        "    {\"name\": \"%s\", \"median_seconds\": %.6e, \"speedup\": %.3f%s%s%s%s%s}%s\n"
+        "    {\"name\": \"%s\", \"median_seconds\": %.6e, \"speedup\": %.3f%s%s%s%s%s%s}%s\n"
         e.be_name e.be_seconds e.be_speedup
         (opt_int e.be_trials)
         (opt_float "exact_fraction" e.be_exact_fraction)
         (opt_float "mean_width" e.be_width)
         (opt_words e.be_peak_words)
         (opt_cores e.be_cores)
+        (opt_shed e.be_shed)
         (if i = List.length items - 1 then "" else ","))
     items;
   output_string oc "  ]\n}\n";

@@ -83,9 +83,9 @@ let check_pool_workers_env () =
             (Printf.sprintf
                "PQDB_POOL_WORKERS must be a positive integer, got %S" s))
 
-(* --faultpoints mirrors PQDB_FAULTPOINTS: comma-separated name[:count]
-   entries, validated against the registry so a typo'd site fails loudly
-   instead of silently never firing. *)
+(* --faultpoints mirrors PQDB_FAULTPOINTS: comma-separated
+   name[:count][@mode] entries, validated against the registry so a typo'd
+   site or a bad mode fails loudly instead of silently never firing. *)
 let apply_faultpoints specs =
   let module FP = Pqdb_runtime.Faultpoint in
   List.iter
@@ -94,13 +94,26 @@ let apply_faultpoints specs =
         (fun entry ->
           let entry = String.trim entry in
           if entry <> "" then begin
-            let name, count =
-              match String.index_opt entry ':' with
+            let base, mode =
+              match String.index_opt entry '@' with
               | None -> (entry, None)
               | Some i -> (
-                  let name = String.sub entry 0 i in
-                  let c =
+                  let m =
                     String.sub entry (i + 1) (String.length entry - i - 1)
+                  in
+                  match FP.mode_of_string (String.trim m) with
+                  | Ok mode -> (String.sub entry 0 i, Some mode)
+                  | Error msg ->
+                      failwith
+                        (Printf.sprintf "--faultpoints: in %S: %s" entry msg))
+            in
+            let name, count =
+              match String.index_opt base ':' with
+              | None -> (base, None)
+              | Some i -> (
+                  let name = String.sub base 0 i in
+                  let c =
+                    String.sub base (i + 1) (String.length base - i - 1)
                   in
                   match int_of_string_opt c with
                   | Some n when n > 0 -> (name, Some n)
@@ -116,7 +129,7 @@ let apply_faultpoints specs =
                 (Printf.sprintf
                    "--faultpoints: unknown fault point %S (known: %s)" name
                    (String.concat ", " FP.known));
-            FP.arm ?count name
+            FP.arm ?count ?mode name
           end)
         (String.split_on_char ',' spec))
     specs
@@ -481,12 +494,14 @@ let worker_argv ~gen ~gen_seed ~eps ~delta ~seed ~compile_fuel
        ])
 
 let batch_cmd db relation gen gen_seed eps delta seed compile_fuel shard_size
-    checkpoint resume retries deadline max_trials workers faultpoints =
+    checkpoint resume retries deadline max_trials workers io_timeout_s
+    faultpoints =
   try
     check_unit_interval "eps" eps;
     check_unit_interval "delta" delta;
     check_nonneg_int "compile-fuel" compile_fuel;
     check_nonneg_int "workers" (Some workers);
+    check_positive_float "io-timeout" io_timeout_s;
     check_pool_workers_env ();
     apply_faultpoints faultpoints;
     let options = make_stream ~shard_size ~checkpoint ~resume ~retries in
@@ -515,7 +530,7 @@ let batch_cmd db relation gen gen_seed eps delta seed compile_fuel shard_size
       in
       let summary =
         D.run ?budget ?compile_fuel ~options:opts ?source ~workers
-          ~spawn:(fun _ -> D.process_transport argv)
+          ~spawn:(fun _ -> D.process_transport ?io_timeout_s argv)
           rng w sets ~eps ~delta ~emit:emit_batch_outcome
       in
       report_stream_summary ~tuples:(Array.length sets) summary.D.stream;
@@ -559,8 +574,11 @@ let worker_cmd db relation gen gen_seed eps delta seed compile_fuel
              on stdin) names the stored data source, so the path is stated
              once — on the coordinator's command line — instead of being
              duplicated into every worker's argv or regenerated from a
-             seed.  Worker.serve ignores any later greeting replays. *)
-          match Pqdb_distrib.Protocol.read stdin with
+             seed.  Worker.serve ignores any later greeting replays.  Read
+             off the fd, not the channel: Worker.serve reads orders with
+             fd-level deadlines and channel read-ahead would steal bytes
+             from it. *)
+          match Pqdb_distrib.Protocol.read_fd_frame ~timeout_s:30. Unix.stdin with
           | Some (Pqdb_distrib.Protocol.Hello { source = Some (d, r); _ }) ->
               batch_inputs ~db:(Some d) ~relation:(Some r) ~gen:None ~gen_seed
           | Some (Pqdb_distrib.Protocol.Hello { source = None; _ }) ->
@@ -692,13 +710,17 @@ let listen_of ~socket ~port =
       Server.Tcp p
 
 let serve_cmd db socket port cache_entries session_trials session_deadline_s
-    faultpoints =
+    io_timeout_s idle_timeout_s max_sessions watchdog_s faultpoints =
   let module Server = Pqdb_serve.Server in
   try
     apply_faultpoints faultpoints;
     check_positive_int "cache-entries" (Some cache_entries);
     check_positive_int "session-trials" session_trials;
     check_positive_float "session-deadline" session_deadline_s;
+    check_positive_float "io-timeout" io_timeout_s;
+    check_positive_float "idle-timeout" idle_timeout_s;
+    check_positive_int "max-sessions" max_sessions;
+    check_positive_float "watchdog" watchdog_s;
     if not (Sys.file_exists db) then
       failwith (Printf.sprintf "database %S does not exist" db);
     let listen = listen_of ~socket ~port in
@@ -709,6 +731,10 @@ let serve_cmd db socket port cache_entries session_trials session_deadline_s
         cache_entries;
         session_trials;
         session_deadline_s;
+        io_timeout_s;
+        idle_timeout_s;
+        max_sessions;
+        watchdog_s;
       }
     in
     let server = Server.create config in
@@ -718,9 +744,11 @@ let serve_cmd db socket port cache_entries session_trials session_deadline_s
           Format.printf "pqdb-serve listening on %s@." (Server.pp_listen listen))
     in
     let c = stats.Server.cache in
-    Format.eprintf "-- served %d sessions, %d queries (%d errors, %d dropped)@."
+    Format.eprintf
+      "-- served %d sessions, %d queries (%d errors, %d dropped, %d shed, \
+       %d reaped)@."
       stats.Server.sessions stats.Server.queries stats.Server.errors
-      stats.Server.dropped;
+      stats.Server.dropped stats.Server.shed stats.Server.reaped;
     Format.eprintf "-- cache: %d hits, %d misses, %d evictions, %d entries \
                     resident (cap %d)@."
       c.Pqdb_montecarlo.Memo.hits c.Pqdb_montecarlo.Memo.misses
@@ -738,16 +766,46 @@ let serve_cmd db socket port cache_entries session_trials session_deadline_s
       Format.eprintf "error: %s: %s %s@." fn (Unix.error_message err) arg;
       1
 
-let query_cmd socket port retries spec_words =
+let query_cmd socket port retries retry_delay_s timeout_s spec_words =
   let module Client = Pqdb_serve.Client in
   try
     check_nonneg_int "retries" (Some retries);
+    check_positive_float "retry-delay" retry_delay_s;
+    check_positive_float "timeout" timeout_s;
     let listen = listen_of ~socket ~port in
     let spec = String.concat " " spec_words in
     if String.trim spec = "" then
       failwith
         "no request given; try e.g.: pqdb query --socket S conf events";
-    let c = Client.connect ~retries listen in
+    (* --timeout T budgets the query end to end: conf requests carry
+       [deadline=T] to the server, whose anytime engine answers by the
+       cutoff with the sound brackets reached so far (the degraded answer),
+       while the client arms a slightly larger socket deadline that turns a
+       genuinely wedged daemon into a typed Timeout instead of a hang. *)
+    let spec, io_timeout_s =
+      match timeout_s with
+      | None -> (spec, None)
+      | Some t ->
+          let spec =
+            let has_deadline =
+              List.exists
+                (fun w -> String.length w >= 9 && String.sub w 0 9 = "deadline=")
+                (String.split_on_char ' ' spec)
+            in
+            if
+              String.length spec >= 5
+              && String.sub spec 0 5 = "conf "
+              && not has_deadline
+            then Printf.sprintf "%s deadline=%g" spec t
+            else spec
+          in
+          (spec, Some ((t *. 1.5) +. 1.0))
+    in
+    let c =
+      Client.connect ~retries
+        ?retry_delay_s
+        ?io_timeout_s listen
+    in
     let ok, body =
       Fun.protect
         ~finally:(fun () -> Client.close c)
@@ -1099,11 +1157,14 @@ let query_arg =
 let faultpoints_arg =
   Arg.(
     value & opt_all string []
-    & info [ "faultpoints" ] ~docv:"SITE[:N][,...]"
+    & info [ "faultpoints" ] ~docv:"SITE[:N][@MODE][,...]"
         ~doc:
           "Arm fault-injection sites for robustness drills (comma-separated, \
            repeatable), like the PQDB_FAULTPOINTS environment variable.  \
-           Each entry names a known site, optionally with a shot count.")
+           Each entry names a known site, optionally with a shot count and \
+           a behavior: $(b,\\@raise) (default), $(b,\\@delay:MS), \
+           $(b,\\@stall) (block until disarmed, capped), or $(b,\\@torn) \
+           (truncated write).")
 
 let shard_size_arg =
   Arg.(
@@ -1255,7 +1316,17 @@ let batch_term =
     const batch_cmd $ db_arg $ relation_arg $ gen_arg $ gen_seed_arg $ eps_arg
     $ delta_arg $ seed_arg $ compile_fuel_arg $ shard_size_arg
     $ checkpoint_arg $ resume_arg $ retries_arg $ deadline_arg
-    $ max_trials_arg $ workers_arg $ faultpoints_arg)
+    $ max_trials_arg $ workers_arg
+    $ Arg.(
+        value
+        & opt (some float) None
+        & info [ "io-timeout" ] ~docv:"SECONDS"
+            ~doc:
+              "Deadline on every coordinator-side worker send/recv \
+               (select-guarded): a worker wedged mid-frame is treated as \
+               lost and its shard reassigned, instead of hanging the run.  \
+               Pick it above the 0.25s worker heartbeat.  Default: block.")
+    $ faultpoints_arg)
 
 let batch_cmd_info =
   Cmd.info "batch"
@@ -1390,6 +1461,37 @@ let serve_term =
             ~doc:
               "Admission control: wall-clock allowance per session.  \
                Default: unlimited.")
+    $ Arg.(
+        value
+        & opt (some float) None
+        & info [ "io-timeout" ] ~docv:"SECONDS"
+            ~doc:
+              "Deadline on every session frame write (select-guarded); a \
+               peer that stops reading gets its session closed instead of \
+               wedging a thread.  Default: block.")
+    $ Arg.(
+        value
+        & opt (some float) None
+        & info [ "idle-timeout" ] ~docv:"SECONDS"
+            ~doc:
+              "Reap sessions idle (no request) longer than this.  \
+               Default: $(b,--io-timeout), else never.")
+    $ Arg.(
+        value
+        & opt (some int) None
+        & info [ "max-sessions" ] ~docv:"N"
+            ~doc:
+              "In-flight session cap: beyond it new connections are shed \
+               with an immediate typed busy reply instead of queueing \
+               (counted in $(b,stats)).  Default: unbounded.")
+    $ Arg.(
+        value
+        & opt (some float) None
+        & info [ "watchdog" ] ~docv:"SECONDS"
+            ~doc:
+              "Wedged-session watchdog: a single request executing longer \
+               than this gets its socket shut down, unblocking the peer.  \
+               Default: off.")
     $ faultpoints_arg)
 
 let serve_cmd_info =
@@ -1408,8 +1510,29 @@ let query_term =
         value & opt int 25
         & info [ "retries" ] ~docv:"N"
             ~doc:
-              "Connection attempts before giving up (0.2s apart) — lets \
-               scripts query a daemon they just forked.  Default 25.")
+              "Connection attempts before giving up — lets scripts query a \
+               daemon they just forked, and waits out a daemon shedding \
+               load.  Attempt $(i,k) backs off exponentially from \
+               $(b,--retry-delay) (capped at 2s, deterministic jitter).  \
+               Default 25.")
+    $ Arg.(
+        value
+        & opt (some float) None
+        & info [ "retry-delay" ] ~docv:"SECONDS"
+            ~doc:
+              "Base delay between connection attempts (doubles per \
+               attempt, capped).  Default 0.2.")
+    $ Arg.(
+        value
+        & opt (some float) None
+        & info [ "timeout" ] ~docv:"SECONDS"
+            ~doc:
+              "End-to-end budget for the query: $(b,conf) requests carry \
+               $(b,deadline=)$(docv) so the server answers by the cutoff \
+               with the sound anytime brackets reached so far (a degraded \
+               but correct answer), and the client turns a wedged daemon \
+               into a typed timeout error slightly after.  Default: wait \
+               forever.")
     $ Arg.(
         value & pos_all string []
         & info [] ~docv:"REQUEST"

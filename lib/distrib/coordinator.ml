@@ -20,7 +20,23 @@ let channel_transport ?pid ~close input output =
     close;
   }
 
-let process_transport argv =
+(* Coordinator-side transports speak frames directly over the pipe fds
+   ({!Protocol.read_fd}/{!Protocol.write_fd}) so [io_timeout_s] can bound
+   every send and recv with [select] — a worker that wedges mid-frame (or a
+   full pipe nobody drains) surfaces as a typed [Timeout] in the reader
+   thread, which the event loop treats like any other lost worker.  With no
+   timeout the behavior is the old blocking one.  The worker keeps its
+   buffered stdin/stdout channels: a dead coordinator is an EOF there, and
+   heartbeats cover the idle-but-alive case. *)
+let fd_transport ?io_timeout_s ?pid ~close ~in_fd ~out_fd () =
+  {
+    send = (fun m -> Protocol.write_fd ?timeout_s:io_timeout_s out_fd m);
+    recv = (fun () -> Protocol.read_fd ?timeout_s:io_timeout_s in_fd);
+    pid;
+    close;
+  }
+
+let process_transport ?io_timeout_s argv =
   let to_child_r, to_child_w = Unix.pipe () in
   let from_child_r, from_child_w = Unix.pipe () in
   (* The parent-side ends must not leak into sibling workers: a sibling
@@ -31,15 +47,13 @@ let process_transport argv =
   let pid = Unix.create_process argv.(0) argv to_child_r from_child_w Unix.stderr in
   Unix.close to_child_r;
   Unix.close from_child_w;
-  let input = Unix.in_channel_of_descr from_child_r in
-  let output = Unix.out_channel_of_descr to_child_w in
   let close () =
-    (try close_out output with _ -> ());
-    try close_in input with _ -> ()
+    (try Unix.close to_child_w with Unix.Unix_error _ -> ());
+    try Unix.close from_child_r with Unix.Unix_error _ -> ()
   in
-  channel_transport ~pid ~close input output
+  fd_transport ?io_timeout_s ~pid ~close ~in_fd:from_child_r ~out_fd:to_child_w ()
 
-let thread_transport serve =
+let thread_transport ?io_timeout_s serve =
   let to_w_r, to_w_w = Unix.pipe () in
   let from_w_r, from_w_w = Unix.pipe () in
   let w_in = Unix.in_channel_of_descr to_w_r in
@@ -52,16 +66,14 @@ let thread_transport serve =
         try close_in w_in with _ -> ())
       ()
   in
-  let input = Unix.in_channel_of_descr from_w_r in
-  let output = Unix.out_channel_of_descr to_w_w in
   let close () =
-    (* Closing the order channel EOFs the worker loop; join before closing
+    (* Closing the order pipe EOFs the worker loop; join before closing
        our read side so the worker is never writing into a closed pipe. *)
-    (try close_out output with _ -> ());
+    (try Unix.close to_w_w with Unix.Unix_error _ -> ());
     (try Thread.join th with _ -> ());
-    try close_in input with _ -> ()
+    try Unix.close from_w_r with Unix.Unix_error _ -> ()
   in
-  channel_transport ~close input output
+  fd_transport ?io_timeout_s ~close ~in_fd:from_w_r ~out_fd:to_w_w ()
 
 type summary = {
   stream : Confidence.stream_summary;

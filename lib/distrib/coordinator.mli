@@ -57,19 +57,25 @@ val channel_transport :
     constructors below, exposed for tests and embeddings that manage their
     own processes (e.g. a fork without exec). *)
 
-val process_transport : string array -> transport
+val process_transport : ?io_timeout_s:float -> string array -> transport
 (** Spawn [argv] ([argv.(0)] is the executable) with the order channel on
     its stdin and the outcome channel on its stdout (stderr passes
     through), close-on-exec on all parent-side ends so sibling workers
     cannot mask each other's EOF.  The standard transport behind
-    [pqdb_cli batch --workers N]. *)
+    [pqdb_cli batch --workers N].  [io_timeout_s] bounds every
+    coordinator-side send/recv with a [select] deadline
+    ({!Protocol.read_fd}): a worker wedged mid-frame surfaces as a typed
+    [Timeout] and is treated as lost, instead of hanging its reader thread
+    forever.  Pick it larger than the worker heartbeat interval (0.25 s),
+    which bounds inter-frame silence from a healthy worker. *)
 
 val thread_transport :
+  ?io_timeout_s:float ->
   (input:in_channel -> output:out_channel -> unit) -> transport
 (** Run a worker loop (typically {!Worker.serve} partially applied) on an
     in-process thread connected by pipes — same protocol, same framing, no
     fork.  Used by benchmarks and anywhere fork is unavailable; [close]
-    joins the thread. *)
+    joins the thread.  [io_timeout_s] as for {!process_transport}. *)
 
 type summary = {
   stream : Pqdb_montecarlo.Confidence.stream_summary;

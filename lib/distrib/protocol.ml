@@ -191,9 +191,26 @@ let decode_header_len header =
   | Some n when n >= 0 -> n
   | _ -> bad "corrupt frame length"
 
+(* Behavioral send faults.  [Torn] is implemented here — the peer sees a
+   truncated frame (which its reader surfaces as the usual typed
+   [Malformed_input]) and the sender dies with [Injected], exactly like a
+   crash mid-write.  Other modes delegate to [Faultpoint.act]. *)
+let send_fault emit =
+  match Faultpoint.check "distrib.send" with
+  | None -> ()
+  | Some Faultpoint.Torn ->
+      emit ();
+      Pqdb_error.error (Pqdb_error.Injected "distrib.send")
+  | Some m -> Faultpoint.act "distrib.send" m
+
+let torn_prefix frame = String.sub frame 0 (max 1 (String.length frame / 2))
+
 let write oc msg =
-  Faultpoint.fire "distrib.send";
-  output_string oc (encode msg);
+  let frame = encode msg in
+  send_fault (fun () ->
+      output_string oc (torn_prefix frame);
+      flush oc);
+  output_string oc frame;
   flush oc
 
 let read ic =
@@ -220,3 +237,120 @@ let read ic =
       | _ -> bad "frame missing terminator"
       | exception End_of_file -> bad "truncated frame terminator");
       Some (decode_frame ~header ~payload)
+
+(* Raw-fd transport with select-based deadlines.
+
+   Buffered channels make deadlines unreliable (bytes can sit in the
+   channel's buffer where [select] cannot see them), so the serve daemon,
+   its client and the coordinator's transports speak frames directly over
+   the file descriptor: exact-length reads, each byte guarded by [select]
+   against the one deadline set when the call started.  Works on sockets
+   and pipes alike — pipes do not honor [SO_RCVTIMEO], which is why this
+   is select-based.  No buffering state means an fd can be handed between
+   these functions freely. *)
+
+type deadline = float option (* absolute, Unix.gettimeofday scale *)
+
+let deadline_of timeout_s : deadline =
+  Option.map (fun s -> Unix.gettimeofday () +. s) timeout_s
+
+let wait_io ~site ~(deadline : deadline) ~for_read fd =
+  match deadline with
+  | None -> ()
+  | Some d ->
+      let rec go () =
+        let remaining = d -. Unix.gettimeofday () in
+        if remaining <= 0. then
+          Pqdb_error.error
+            (Pqdb_error.Timeout { site; seconds = remaining })
+        else
+          let r, w = if for_read then ([ fd ], []) else ([], [ fd ]) in
+          match Unix.select r w [] remaining with
+          | [], [], _ -> go ()
+          | _ -> ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      in
+      go ()
+
+(* One [Timeout] per call carries the caller's timeout, not the residue. *)
+let timeout_err ~site timeout_s =
+  Pqdb_error.error
+    (Pqdb_error.Timeout
+       { site; seconds = (match timeout_s with Some s -> s | None -> 0.) })
+
+let read_exact ~site ~timeout_s ~deadline fd buf off len =
+  let rec go off len =
+    if len > 0 then begin
+      (try wait_io ~site ~deadline ~for_read:true fd
+       with Pqdb_error.Error (Pqdb_error.Timeout _) ->
+         timeout_err ~site timeout_s);
+      match Unix.read fd buf off len with
+      | 0 -> raise End_of_file
+      | n -> go (off + n) (len - n)
+      | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN), _, _) ->
+          go off len
+    end
+  in
+  go off len
+
+let write_all ~site ~timeout_s ~deadline fd s =
+  let buf = Bytes.of_string s in
+  let rec go off len =
+    if len > 0 then begin
+      (try wait_io ~site ~deadline ~for_read:false fd
+       with Pqdb_error.Error (Pqdb_error.Timeout _) ->
+         timeout_err ~site timeout_s);
+      match Unix.write fd buf off len with
+      | n -> go (off + n) (len - n)
+      | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN), _, _) ->
+          go off len
+    end
+  in
+  go 0 (Bytes.length buf)
+
+let write_fd ?timeout_s fd msg =
+  let site = "distrib.send" in
+  let deadline = deadline_of timeout_s in
+  let frame = encode msg in
+  send_fault (fun () ->
+      write_all ~site ~timeout_s ~deadline fd (torn_prefix frame));
+  write_all ~site ~timeout_s ~deadline fd frame
+
+let read_fd_rest ~site ~timeout_s ~deadline fd header =
+  (try read_exact ~site ~timeout_s ~deadline fd header 1 (header_len - 1)
+   with End_of_file -> bad "truncated frame header");
+  let header = Bytes.to_string header in
+  let len = decode_header_len header in
+  let payload = Bytes.create (len + 1) in
+  (try read_exact ~site ~timeout_s ~deadline fd payload 0 (len + 1)
+   with End_of_file -> bad "truncated frame payload");
+  if Bytes.get payload len <> '\n' then bad "frame missing terminator";
+  Some (decode_frame ~header ~payload:(Bytes.sub_string payload 0 len))
+
+let read_fd ?timeout_s fd =
+  let site = "distrib.recv" in
+  Faultpoint.fire site;
+  let deadline = deadline_of timeout_s in
+  let header = Bytes.create header_len in
+  (* Clean EOF only before the first header byte; after that a whole frame
+     is owed, and EOF or an expired deadline mid-frame is a fault. *)
+  match read_exact ~site ~timeout_s ~deadline fd header 0 1 with
+  | exception End_of_file -> None
+  | () -> read_fd_rest ~site ~timeout_s ~deadline fd header
+
+(* Frame-boundary patience, mid-frame deadline.  A peer that is merely
+   quiet (an idle worker waiting for its next order) is normal and may stay
+   quiet forever; a peer that starts a frame and stops — a torn write, a
+   crash mid-frame — must not wedge the reader.  So the wait for the first
+   header byte is unbounded, and [timeout_s] starts once it arrives. *)
+let read_fd_frame ?timeout_s fd =
+  let site = "distrib.recv" in
+  Faultpoint.fire site;
+  let header = Bytes.create header_len in
+  match
+    read_exact ~site ~timeout_s:None ~deadline:None fd header 0 1
+  with
+  | exception End_of_file -> None
+  | () ->
+      read_fd_rest ~site ~timeout_s ~deadline:(deadline_of timeout_s) fd
+        header

@@ -69,3 +69,29 @@ val read : in_channel -> msg option
     @raise Pqdb_runtime.Pqdb_error.Error ([Malformed_input], source
     ["distrib-protocol"]) on a torn or corrupt frame: partial header or
     payload, bad length, CRC mismatch, unknown tag, or field syntax. *)
+
+val write_fd : ?timeout_s:float -> Unix.file_descr -> msg -> unit
+(** {!write} directly over a file descriptor (no channel buffering), with
+    an optional whole-frame deadline enforced by [select] — works on pipes,
+    which ignore [SO_SNDTIMEO]/[SO_RCVTIMEO].  Fires ["distrib.send"]; the
+    [torn] mode emits half the frame and raises [Injected].
+    @raise Pqdb_runtime.Pqdb_error.Error [(Timeout _)] when the deadline
+    passes before the frame is fully written (site ["distrib.send"]). *)
+
+val read_fd : ?timeout_s:float -> Unix.file_descr -> msg option
+(** {!read} directly over a file descriptor, with an optional whole-frame
+    deadline.  [None] on a clean EOF before the first header byte; EOF or
+    deadline expiry mid-frame raise.  Fires ["distrib.recv"] first.
+    @raise Pqdb_runtime.Pqdb_error.Error [(Timeout _)] (site
+    ["distrib.recv"]) when the deadline passes, or [(Malformed_input _)] on
+    a torn or corrupt frame. *)
+
+val read_fd_frame : ?timeout_s:float -> Unix.file_descr -> msg option
+(** {!read_fd} with frame-boundary patience: the wait for the first header
+    byte is unbounded (an idle peer may stay quiet forever), and
+    [timeout_s] bounds only the remainder of the frame once it starts.
+    This is what a worker reads orders with — between orders it waits as
+    long as the coordinator pleases, but a torn or wedged frame cannot
+    leave it blocked forever (which would look like a live worker, since
+    heartbeats run on their own thread).  Same failure surface as
+    {!read_fd}. *)

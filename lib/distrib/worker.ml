@@ -26,9 +26,12 @@ let budget_of_slice ~trials ~deadline_s =
 
 let serve ?compile_fuel ?nworkers
     ?(shard_cost = Confidence.default_stream_options.shard_cost)
-    ?(heartbeat_s = 0.25) rng w clause_sets ~eps ~delta ~input ~output =
+    ?(heartbeat_s = 0.25) ?(frame_timeout_s = 30.) rng w clause_sets ~eps
+    ~delta ~input ~output =
   if eps <= 0. || delta <= 0. then invalid_arg "Worker.serve: eps/delta";
   if shard_cost < 1 then invalid_arg "Worker.serve: shard_cost must be >= 1";
+  if frame_timeout_s <= 0. then
+    invalid_arg "Worker.serve: frame_timeout_s must be positive";
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ | Sys_error _ -> ());
   let n = Array.length clause_sets in
@@ -87,10 +90,18 @@ let serve ?compile_fuel ?nworkers
             in
             send (Protocol.Failed { index; detail })
   in
+  (* Orders are read straight off the fd with frame-boundary patience: an
+     idle wait between orders is unbounded, but once a frame starts the
+     rest must arrive within [frame_timeout_s].  A torn coordinator write
+     would otherwise wedge this loop forever while the heartbeat thread
+     keeps advertising a live worker — the worst failure shape, a zombie
+     that looks healthy.  (Nothing may pre-read [input] through the
+     channel's buffer: the CLI reads its greeting with the fd reader too.) *)
+  let in_fd = Unix.descr_of_in_channel input in
   let rec loop () =
     if Atomic.get stop then ()
     else
-      match Protocol.read input with
+      match Protocol.read_fd_frame ~timeout_s:frame_timeout_s in_fd with
       | None | Some Protocol.Shutdown -> ()
       | Some (Protocol.Order { index; fp; trials; deadline_s }) ->
           handle_order ~index ~fp ~trials ~deadline_s;

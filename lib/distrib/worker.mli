@@ -37,7 +37,8 @@ val budget_of_slice :
 
 val serve :
   ?compile_fuel:int -> ?nworkers:int -> ?shard_cost:int ->
-  ?heartbeat_s:float -> Rng.t -> Wtable.t -> Assignment.t list array ->
+  ?heartbeat_s:float -> ?frame_timeout_s:float ->
+  Rng.t -> Wtable.t -> Assignment.t list array ->
   eps:float -> delta:float -> input:in_channel -> output:out_channel -> unit
 (** Run the worker loop: send [Hello], then answer [Order]s with [Outcome]
     (or [Failed] — a failed shard does not kill the worker; the coordinator
@@ -48,5 +49,14 @@ val serve :
     default); [nworkers] sizes this worker's own domain pool.  SIGPIPE is
     ignored so a vanished coordinator surfaces as an I/O error, not a
     process kill.
-    @raise Invalid_argument on bad (ε, δ) or [shard_cost].  I/O errors on a
-    dead peer propagate — the CLI turns them into a nonzero exit. *)
+
+    Orders are read with {!Protocol.read_fd_frame}: the idle wait between
+    frames is unbounded, but once a frame starts its remainder must arrive
+    within [frame_timeout_s] (default 30 s) — a coordinator that tears a
+    frame mid-write cannot leave the worker wedged-but-heartbeating.
+    [input] must therefore carry no channel-buffered read-ahead; read any
+    greeting off its fd ({!Protocol.read_fd_frame}), not through the
+    channel.
+    @raise Invalid_argument on bad (ε, δ), [shard_cost] or
+    [frame_timeout_s].  I/O errors on a dead peer propagate — the CLI
+    turns them into a nonzero exit. *)

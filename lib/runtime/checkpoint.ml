@@ -121,7 +121,21 @@ let open_writer ?(resume = false) path =
 let append w payload =
   if String.contains payload '\n' then
     invalid_arg "Checkpoint.append: payload must be newline-free";
-  Faultpoint.fire "checkpoint.write";
+  (match Faultpoint.check "checkpoint.write" with
+  | None -> ()
+  | Some Faultpoint.Torn ->
+      (* Simulate a crash mid-record: half the framed line reaches the file
+         (flushed, not fsynced) and the writer dies with a typed error.  The
+         torn tail is exactly what {!validate} tolerates and truncates on
+         resume. *)
+      (match w.oc with
+      | None -> ()
+      | Some oc ->
+          let line = frame payload ^ "\n" in
+          output_string oc (String.sub line 0 (String.length line / 2));
+          flush oc);
+      Pqdb_error.error (Pqdb_error.Injected "checkpoint.write")
+  | Some m -> Faultpoint.act "checkpoint.write" m);
   match w.oc with
   | None -> failwith (Printf.sprintf "Checkpoint.append: %s is closed" w.path)
   | Some oc ->

@@ -1,3 +1,5 @@
+type mode = Raise | Delay of float | Stall | Torn
+
 let known =
   [
     "karp_luby.estimator";
@@ -11,9 +13,35 @@ let known =
     "distrib.recv";
     "distrib.spawn";
     "serve.accept";
+    "serve.session";
   ]
 
-let table : (string, int) Hashtbl.t = Hashtbl.create 8
+let mode_to_string = function
+  | Raise -> "raise"
+  | Delay s -> Printf.sprintf "delay:%g" (s *. 1000.)
+  | Stall -> "stall"
+  | Torn -> "torn"
+
+let mode_of_string spec =
+  match spec with
+  | "raise" -> Ok Raise
+  | "stall" -> Ok Stall
+  | "torn" -> Ok Torn
+  | _ ->
+      let prefix = "delay:" in
+      let pl = String.length prefix in
+      if
+        String.length spec > pl && String.equal (String.sub spec 0 pl) prefix
+      then
+        match float_of_string_opt (String.sub spec pl (String.length spec - pl)) with
+        | Some ms when ms >= 0. && Float.is_finite ms -> Ok (Delay (ms /. 1000.))
+        | _ -> Error (Printf.sprintf "bad delay %S (want delay:<ms>)" spec)
+      else
+        Error
+          (Printf.sprintf "unknown mode %S (raise | delay:<ms> | stall | torn)"
+             spec)
+
+let table : (string, int * mode) Hashtbl.t = Hashtbl.create 8
 let lock = Mutex.create ()
 
 (* The hot-path guard: sites check this single atomic before touching the
@@ -21,7 +49,62 @@ let lock = Mutex.create ()
 let any_armed = Atomic.make false
 let env_loaded = ref false
 
+(* Stalled threads poll this generation: any registry mutation (disarm,
+   re-arm, reset) bumps it and releases them, so "block until disarmed"
+   cannot outlive the test that armed it.  The cap bounds a stall nobody
+   ever disarms (an env-armed CI matrix run). *)
+let stall_gen = Atomic.make 0
+let release_stalls () = Atomic.incr stall_gen
+let stall_cap_s = Atomic.make 2.0
+let set_stall_cap_s s = if s > 0. then Atomic.set stall_cap_s s
+
 let refresh_flag () = Atomic.set any_armed (Hashtbl.length table > 0)
+
+(* Unknown site names in PQDB_FAULTPOINTS are overwhelmingly typos that
+   would otherwise never fire; say so on stderr, once, at first use.  The
+   entry is still armed — tests legitimately use synthetic site names. *)
+let warned_unknown : (string, unit) Hashtbl.t = Hashtbl.create 4
+
+let warn_unknown name =
+  if (not (List.mem name known)) && not (Hashtbl.mem warned_unknown name)
+  then begin
+    Hashtbl.replace warned_unknown name ();
+    Printf.eprintf
+      "pqdb: warning: PQDB_FAULTPOINTS names unknown site %S (known: %s)\n%!"
+      name
+      (String.concat ", " known)
+  end
+
+let parse_entry entry =
+  (* site[:count][@mode] *)
+  let base, mode =
+    match String.index_opt entry '@' with
+    | None -> (entry, Raise)
+    | Some i ->
+        let spec =
+          String.trim (String.sub entry (i + 1) (String.length entry - i - 1))
+        in
+        let mode =
+          match mode_of_string spec with
+          | Ok m -> m
+          | Error msg ->
+              Printf.eprintf "pqdb: warning: PQDB_FAULTPOINTS entry %S: %s\n%!"
+                entry msg;
+              Raise
+        in
+        (String.sub entry 0 i, mode)
+  in
+  let name, count =
+    match String.index_opt base ':' with
+    | None -> (base, max_int)
+    | Some i -> (
+        let name = String.sub base 0 i in
+        let n = String.sub base (i + 1) (String.length base - i - 1) in
+        match int_of_string_opt (String.trim n) with
+        | Some c when c > 0 -> (name, c)
+        | _ -> (name, max_int))
+  in
+  (String.trim name, count, mode)
 
 let load_env () =
   match Sys.getenv_opt "PQDB_FAULTPOINTS" with
@@ -31,19 +114,9 @@ let load_env () =
       |> List.iter (fun entry ->
              let entry = String.trim entry in
              if entry <> "" then begin
-               let name, count =
-                 match String.index_opt entry ':' with
-                 | None -> (entry, max_int)
-                 | Some i -> (
-                     let name = String.sub entry 0 i in
-                     let n =
-                       String.sub entry (i + 1) (String.length entry - i - 1)
-                     in
-                     match int_of_string_opt (String.trim n) with
-                     | Some c when c > 0 -> (name, c)
-                     | _ -> (name, max_int))
-               in
-               Hashtbl.replace table name count
+               let name, count, mode = parse_entry entry in
+               warn_unknown name;
+               Hashtbl.replace table name (count, mode)
              end);
       refresh_flag ()
 
@@ -57,41 +130,60 @@ let with_lock f =
   Mutex.lock lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
 
-let arm ?(count = max_int) name =
+let arm ?(count = max_int) ?(mode = Raise) name =
   with_lock (fun () ->
       ensure_env ();
-      Hashtbl.replace table name count;
-      refresh_flag ())
+      Hashtbl.replace table name (count, mode);
+      refresh_flag ());
+  release_stalls ()
 
 let disarm name =
   with_lock (fun () ->
       ensure_env ();
       Hashtbl.remove table name;
-      refresh_flag ())
+      refresh_flag ());
+  release_stalls ()
 
 let reset () =
   with_lock (fun () ->
       Hashtbl.reset table;
       load_env ();
-      refresh_flag ())
+      refresh_flag ());
+  release_stalls ()
 
 let armed () =
   with_lock (fun () ->
       ensure_env ();
       Hashtbl.fold (fun name _ acc -> name :: acc) table [])
 
-let should_fail name =
-  if not (Atomic.get any_armed) && !env_loaded then false
+let check name =
+  if not (Atomic.get any_armed) && !env_loaded then None
   else
     with_lock (fun () ->
         ensure_env ();
         match Hashtbl.find_opt table name with
-        | None -> false
-        | Some n ->
+        | None -> None
+        | Some (n, mode) ->
             if n <= 1 then Hashtbl.remove table name
-            else Hashtbl.replace table name (n - 1);
+            else Hashtbl.replace table name (n - 1, mode);
             refresh_flag ();
-            true)
+            Some mode)
 
-let fire name =
-  if should_fail name then Pqdb_error.error (Pqdb_error.Injected name)
+let should_fail name = check name <> None
+
+let stall () =
+  let g0 = Atomic.get stall_gen in
+  let deadline = Unix.gettimeofday () +. Atomic.get stall_cap_s in
+  while Atomic.get stall_gen = g0 && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.01
+  done
+
+let act name = function
+  | Raise | Torn ->
+      (* Torn is meaningful only at sites that write frames; everywhere else
+         it degrades to the raise behavior, which is still a fault. *)
+      Pqdb_error.error (Pqdb_error.Injected name)
+  | Delay s -> if s > 0. then Unix.sleepf s
+  | Stall -> stall ()
+
+let fire name = match check name with None -> () | Some m -> act name m

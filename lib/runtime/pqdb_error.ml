@@ -3,12 +3,16 @@ type t =
   | Malformed_input of { source : string; detail : string }
   | Task_failure of { index : int; inner : exn }
   | Injected of string
+  | Timeout of { site : string; seconds : float }
+  | Busy of { site : string; detail : string }
 
 exception Error of t
 
 let error t = raise (Error t)
 let invalid_probability ~context detail = error (Invalid_probability { context; detail })
 let malformed ~source detail = error (Malformed_input { source; detail })
+let timeout ~site seconds = error (Timeout { site; seconds })
+let busy ~site detail = error (Busy { site; detail })
 
 let to_string = function
   | Invalid_probability { context; detail } ->
@@ -18,6 +22,9 @@ let to_string = function
   | Task_failure { index; inner } ->
       Printf.sprintf "task %d failed: %s" index (Printexc.to_string inner)
   | Injected name -> Printf.sprintf "injected fault %S" name
+  | Timeout { site; seconds } ->
+      Printf.sprintf "timeout in %s after %gs" site seconds
+  | Busy { site; detail } -> Printf.sprintf "%s busy: %s" site detail
 
 let () =
   Printexc.register_printer (function

@@ -23,6 +23,14 @@ type t =
           job; [inner] is the original exception. *)
   | Injected of string
       (** A {!Faultpoint} fired.  Carries the fault point's name. *)
+  | Timeout of { site : string; seconds : float }
+      (** An I/O deadline expired.  [site] names the operation (e.g.
+          ["distrib.recv"], ["serve.client"]); [seconds] is the deadline
+          that was exceeded. *)
+  | Busy of { site : string; detail : string }
+      (** A bounded resource shed the request instead of queueing it
+          (e.g. the serve daemon at its in-flight session limit).  The
+          caller may retry with backoff. *)
 
 exception Error of t
 
@@ -31,6 +39,8 @@ val error : t -> 'a
 
 val invalid_probability : context:string -> string -> 'a
 val malformed : source:string -> string -> 'a
+val timeout : site:string -> float -> 'a
+val busy : site:string -> string -> 'a
 
 val to_string : t -> string
 (** Human-readable one-liner (also installed as the [Printexc] printer for

@@ -17,6 +17,10 @@ type config = {
   cache_entries : int;
   session_trials : int option;
   session_deadline_s : float option;
+  io_timeout_s : float option;
+  idle_timeout_s : float option;
+  max_sessions : int option;
+  watchdog_s : float option;
 }
 
 type stats = {
@@ -24,7 +28,18 @@ type stats = {
   queries : int;
   errors : int;
   dropped : int;
+  shed : int;
+  reaped : int;
   cache : Memo.stats;
+}
+
+(* One live session, as the watchdog sees it.  [busy_since = 0.] means the
+   session is between requests; a positive value is the wall-clock start of
+   the request it is executing. *)
+type slot = {
+  sfd : Unix.file_descr;
+  mutable busy_since : float;
+  mutable wedged : bool;
 }
 
 type t = {
@@ -36,11 +51,16 @@ type t = {
      the target container is single-core anyway.  Sessions stay concurrent
      for connection handling; only the engine is exclusive. *)
   engine : Mutex.t;
-  state : Mutex.t;  (* counters below *)
+  state : Mutex.t;  (* counters, slots and active below *)
   mutable sessions : int;
   mutable queries : int;
   mutable errors : int;
   mutable dropped : int;
+  mutable shed : int;
+  mutable reaped : int;
+  mutable active : int;
+  mutable next_sid : int;
+  slots : (int, slot) Hashtbl.t;
   running : bool Atomic.t;
   mutable listen_fd : Unix.file_descr option;
 }
@@ -56,6 +76,8 @@ let stats t =
         queries = t.queries;
         errors = t.errors;
         dropped = t.dropped;
+        shed = t.shed;
+        reaped = t.reaped;
         cache = Memo.stats t.cache;
       })
 
@@ -63,14 +85,15 @@ let stats t =
 (* Request language.                                                   *)
 
 let usage =
-  "requests: conf <relation> [eps=F] [delta=F] [seed=N] [fuel=N] | stats | \
-   shutdown"
+  "requests: conf <relation> [eps=F] [delta=F] [seed=N] [fuel=N] \
+   [deadline=SECS] [trials=N] | stats | shutdown"
 
 let fail fmt = Printf.ksprintf failwith fmt
 
 let parse_kv ~relation args =
   let eps = ref 0.05 and delta = ref 0.01 in
   let seed = ref 42 and fuel = ref None in
+  let q_deadline = ref None and q_trials = ref None in
   List.iter
     (fun arg ->
       match String.index_opt arg '=' with
@@ -83,6 +106,11 @@ let parse_kv ~relation args =
             | Some f when f > 0. && f < 1. -> f
             | _ -> fail "%s must be a float in (0, 1), got %S" k v
           in
+          let pos_float_v () =
+            match float_of_string_opt v with
+            | Some f when f > 0. && Float.is_finite f -> f
+            | _ -> fail "%s must be a positive float, got %S" k v
+          in
           let int_v ~min =
             match int_of_string_opt v with
             | Some n when n >= min -> n
@@ -93,9 +121,11 @@ let parse_kv ~relation args =
           | "delta" -> delta := float_v ()
           | "seed" -> seed := int_v ~min:0
           | "fuel" -> fuel := Some (int_v ~min:0)
+          | "deadline" -> q_deadline := Some (pos_float_v ())
+          | "trials" -> q_trials := Some (int_v ~min:1)
           | _ -> fail "unknown option %S for conf %s" k relation))
     args;
-  (!eps, !delta, !seed, !fuel)
+  (!eps, !delta, !seed, !fuel, !q_deadline, !q_trials)
 
 (* The conf body reuses the batch output contract verbatim — one
    "%d %h %h %h %d" line per tuple (index, estimate, lo, hi, trials) — so
@@ -129,12 +159,13 @@ let stats_body t =
     "db %s\n\
      relations %d wtable-uid %d wtable-gen %d\n\
      cache capacity %d entries %d hits %d misses %d evictions %d\n\
-     sessions %d queries %d errors %d dropped %d\n"
+     sessions %d queries %d errors %d dropped %d shed %d reaped %d\n"
     t.config.db_path
     (List.length (Udb.names t.udb))
     (Wtable.uid w) (Wtable.generation w) (Memo.capacity t.cache)
     s.cache.Memo.entries s.cache.Memo.hits s.cache.Memo.misses
-    s.cache.Memo.evictions s.sessions s.queries s.errors s.dropped
+    s.cache.Memo.evictions s.sessions s.queries s.errors s.dropped s.shed
+    s.reaped
 
 let stop t =
   Atomic.set t.running false;
@@ -147,8 +178,11 @@ let stop t =
 
 (* One request.  [Ok body] becomes an ok reply; raising becomes an err
    reply with the rendered message — sessions survive their own bad
-   requests. *)
+   requests.  Fires ["serve.session"] per request, so chaos runs can
+   delay/stall/fail query handling itself (not just the socket I/O around
+   it); an injected raise is just another err reply. *)
 let dispatch t ?budget spec =
+  Faultpoint.fire "serve.session";
   match String.split_on_char ' ' spec |> List.filter (fun s -> s <> "") with
   | [] -> fail "empty request; %s" usage
   | "stats" :: rest ->
@@ -163,9 +197,28 @@ let dispatch t ?budget spec =
       | Some b when Budget.exhausted b ->
           fail "session budget exhausted (admission refused)"
       | _ -> ());
-      let eps, delta, seed, fuel = parse_kv ~relation args in
-      with_lock t.engine (fun () ->
-          run_conf t ?budget ~relation ~eps ~delta ~seed ~fuel ())
+      let eps, delta, seed, fuel, q_deadline, q_trials =
+        parse_kv ~relation args
+      in
+      (* A query-level [deadline=]/[trials=] makes its own budget: the
+         anytime machinery returns the sound (possibly a-priori) bracket at
+         cutoff instead of failing, which is exactly the degraded answer
+         the client's --timeout asks for.  Whatever the query spends is
+         then charged to the session's allowance too. *)
+      let q_budget =
+        match (q_deadline, q_trials) with
+        | None, None -> budget
+        | deadline_s, max_trials ->
+            Some (Budget.create ?deadline_s ?max_trials ())
+      in
+      let body =
+        with_lock t.engine (fun () ->
+            run_conf t ?budget:q_budget ~relation ~eps ~delta ~seed ~fuel ())
+      in
+      (match (budget, q_budget) with
+      | Some sb, Some qb when sb != qb -> Budget.spend sb (Budget.spent qb)
+      | _ -> ());
+      body
   | "conf" :: [] -> fail "conf needs a relation name; %s" usage
   | verb :: _ -> fail "unknown request %S; %s" verb usage
 
@@ -175,8 +228,15 @@ let dispatch t ?budget spec =
 let bump t f =
   with_lock t.state (fun () -> f t)
 
-let session t fd =
+(* Session I/O runs directly over the fd ({!Protocol.read_fd}) so deadlines
+   actually bite: [io_timeout_s] bounds every frame write (and the greeting),
+   [idle_timeout_s] bounds the wait for the next request — a session silent
+   longer than that is reaped.  Closing happens under the state lock, paired
+   with slot removal, so the watchdog can never shut down a recycled fd. *)
+let session t sid fd =
   bump t (fun t -> t.sessions <- t.sessions + 1);
+  let slot = { sfd = fd; busy_since = 0.; wedged = false } in
+  with_lock t.state (fun () -> Hashtbl.replace t.slots sid slot);
   (* Admission control: each session draws conf trials from its own budget,
      sized by the server configuration.  Unconfigured servers pass no
      budget at all — the bit-identical, never-degrading path. *)
@@ -186,15 +246,19 @@ let session t fd =
     | trials, deadline ->
         Some (Budget.create ?max_trials:trials ?deadline_s:deadline ())
   in
-  let ic = Unix.in_channel_of_descr fd in
-  let oc = Unix.out_channel_of_descr fd in
+  let io = t.config.io_timeout_s in
+  let idle =
+    match t.config.idle_timeout_s with Some _ as i -> i | None -> io
+  in
   let finally () =
-    (try Unix.shutdown fd Unix.SHUTDOWN_ALL with _ -> ());
-    (* closes fd *)
-    try close_in_noerr ic with _ -> ()
+    with_lock t.state (fun () ->
+        Hashtbl.remove t.slots sid;
+        t.active <- t.active - 1;
+        (try Unix.shutdown fd Unix.SHUTDOWN_ALL with _ -> ());
+        try Unix.close fd with _ -> ())
   in
   Fun.protect ~finally (fun () ->
-      Protocol.write oc
+      Protocol.write_fd ?timeout_s:io fd
         (Protocol.Hello
            {
              meta = Printf.sprintf "pqdb-serve db=%s" t.config.db_path;
@@ -203,10 +267,11 @@ let session t fd =
            });
       let rec loop () =
         if Atomic.get t.running then
-          match Protocol.read ic with
+          match Protocol.read_fd ?timeout_s:idle fd with
           | None | Some Protocol.Shutdown -> ()
           | Some (Protocol.Query { id; spec }) ->
               bump t (fun t -> t.queries <- t.queries + 1);
+              slot.busy_since <- Unix.gettimeofday ();
               let reply =
                 match dispatch t ?budget spec with
                 | body -> Protocol.Reply { id; ok = true; body }
@@ -220,8 +285,11 @@ let session t fd =
                     in
                     Protocol.Reply { id; ok = false; body = detail }
               in
-              Protocol.write oc reply;
-              loop ()
+              slot.busy_since <- 0.;
+              if not slot.wedged then begin
+                Protocol.write_fd ?timeout_s:io fd reply;
+                loop ()
+              end
           | Some
               ( Protocol.Hello _ | Protocol.Order _ | Protocol.Outcome _
               | Protocol.Failed _ | Protocol.Reply _ ) ->
@@ -230,10 +298,42 @@ let session t fd =
           | Some Protocol.Heartbeat -> loop ()
       in
       try loop () with
-      | Pqdb_error.Error (Pqdb_error.Malformed_input _) ->
+      | Pqdb_error.Error (Pqdb_error.Timeout _) ->
+          (* Idle past the allowance, or a peer wedged mid-frame. *)
+          bump t (fun t -> t.reaped <- t.reaped + 1)
+      | Pqdb_error.Error
+          (Pqdb_error.Malformed_input _ | Pqdb_error.Injected _) ->
           (* Torn or corrupt frame: the peer is gone or broken. *)
           bump t (fun t -> t.errors <- t.errors + 1)
       | Sys_error _ | End_of_file | Unix.Unix_error _ -> ())
+
+(* Graceful shedding: over the in-flight limit the daemon still answers —
+   one immediate typed busy reply, then the connection is closed.  Sent
+   from a throwaway thread with a short deadline so a shed peer that
+   refuses to read cannot wedge the accept loop. *)
+let shed_session t fd =
+  let cap = Option.value ~default:0 t.config.max_sessions in
+  ignore
+    (Thread.create
+       (fun () ->
+         (try
+            Protocol.write_fd
+              ~timeout_s:(Option.value ~default:1.0 t.config.io_timeout_s)
+              fd
+              (Protocol.Reply
+                 {
+                   id = -1;
+                   ok = false;
+                   body =
+                     Printf.sprintf
+                       "busy: %d sessions in flight (limit); retry with \
+                        backoff"
+                       cap;
+                 })
+          with _ -> ());
+         (try Unix.shutdown fd Unix.SHUTDOWN_ALL with _ -> ());
+         try Unix.close fd with _ -> ())
+       ())
 
 (* ------------------------------------------------------------------ *)
 (* Accept loop.                                                        *)
@@ -265,6 +365,18 @@ let bind_listen = function
 let create config =
   if config.cache_entries < 1 then
     invalid_arg "Server.create: cache_entries must be >= 1";
+  let positive name = function
+    | Some s when s <= 0. ->
+        invalid_arg (Printf.sprintf "Server.create: %s must be positive" name)
+    | _ -> ()
+  in
+  positive "io_timeout_s" config.io_timeout_s;
+  positive "idle_timeout_s" config.idle_timeout_s;
+  positive "watchdog_s" config.watchdog_s;
+  (match config.max_sessions with
+  | Some n when n < 1 ->
+      invalid_arg "Server.create: max_sessions must be >= 1"
+  | _ -> ());
   let udb = Udb_io.load config.db_path in
   {
     config;
@@ -276,9 +388,43 @@ let create config =
     queries = 0;
     errors = 0;
     dropped = 0;
+    shed = 0;
+    reaped = 0;
+    active = 0;
+    next_sid = 0;
+    slots = Hashtbl.create 16;
     running = Atomic.make true;
     listen_fd = None;
   }
+
+(* Wedged-session watchdog: a request executing longer than [watchdog_s]
+   (a stalled fault, a runaway query) gets its socket shut down, which
+   unblocks the peer immediately with an EOF; the session thread itself
+   notices on its next write.  Runs only when configured. *)
+let watchdog t w =
+  ignore
+    (Thread.create
+       (fun () ->
+         let period = Float.max 0.01 (Float.min (w /. 2.) 0.25) in
+         while Atomic.get t.running do
+           Thread.delay period;
+           let now = Unix.gettimeofday () in
+           with_lock t.state (fun () ->
+               Hashtbl.iter
+                 (fun _ slot ->
+                   if
+                     (not slot.wedged)
+                     && slot.busy_since > 0.
+                     && now -. slot.busy_since > w
+                   then begin
+                     slot.wedged <- true;
+                     t.reaped <- t.reaped + 1;
+                     try Unix.shutdown slot.sfd Unix.SHUTDOWN_ALL
+                     with _ -> ()
+                   end)
+                 t.slots)
+         done)
+       ())
 
 let run ?(ready = fun () -> ()) t =
   (* A peer that hangs up mid-reply must surface as EPIPE in its session
@@ -287,6 +433,7 @@ let run ?(ready = fun () -> ()) t =
    with Invalid_argument _ -> ());
   let listen_fd = bind_listen t.config.listen in
   t.listen_fd <- Some listen_fd;
+  (match t.config.watchdog_s with Some w -> watchdog t w | None -> ());
   ready ();
   let rec accept_loop () =
     if Atomic.get t.running then begin
@@ -296,7 +443,25 @@ let run ?(ready = fun () -> ()) t =
              accept drops that one connection and the server carries on —
              the same containment a transient accept-time error gets. *)
           match Faultpoint.fire "serve.accept" with
-          | () -> ignore (Thread.create (fun () -> session t fd) ())
+          | () -> (
+              (* Bounded in-flight sessions: claim a slot under the state
+                 lock or shed the connection with a typed busy reply. *)
+              let admitted =
+                with_lock t.state (fun () ->
+                    match t.config.max_sessions with
+                    | Some cap when t.active >= cap ->
+                        t.shed <- t.shed + 1;
+                        None
+                    | _ ->
+                        t.active <- t.active + 1;
+                        let sid = t.next_sid in
+                        t.next_sid <- sid + 1;
+                        Some sid)
+              in
+              match admitted with
+              | Some sid ->
+                  ignore (Thread.create (fun () -> session t sid fd) ())
+              | None -> shed_session t fd)
           | exception Pqdb_error.Error (Pqdb_error.Injected _) ->
               bump t (fun t -> t.dropped <- t.dropped + 1);
               try Unix.close fd with _ -> ())

@@ -14,13 +14,17 @@
     One request per [Query] frame, answered by one [Reply]:
 
     {ul
-    {- [conf <relation> [eps=F] [delta=F] [seed=N] [fuel=N]] — per-tuple
-       confidence for every possible tuple of the relation.  The reply body
-       is the batch output contract verbatim: one
+    {- [conf <relation> [eps=F] [delta=F] [seed=N] [fuel=N] [deadline=SECS]
+       [trials=N]] — per-tuple confidence for every possible tuple of the
+       relation.  The reply body is the batch output contract verbatim: one
        ["<index> %h-est %h-lo %h-hi <trials>"] line per tuple.  Defaults:
        [eps=0.05], [delta=0.01], [seed=42], fuel
        {!Pqdb_montecarlo.Compile.default_fuel}.  Deterministic per [seed]:
-       a warm (cached) run is byte-identical to a cold one.}
+       a warm (cached) run is byte-identical to a cold one.  [deadline=] /
+       [trials=] give the query its own {!Pqdb_montecarlo.Budget}: past the
+       cutoff the reply still arrives, carrying the sound (possibly
+       a-priori) brackets reached so far — the degraded anytime answer —
+       and the spend is charged against the session allowance too.}
     {- [stats] — server and cache counters, one [key value...] line each
        (cache hits / misses / evictions, sessions, queries, errors).}
     {- [shutdown] — reply, then stop the daemon cleanly.}}
@@ -37,8 +41,24 @@
     requests refused at admission.  An unconfigured server passes no budget
     at all — the bit-identical, never-degrading path.
 
-    The accept loop fires the ["serve.accept"] fault point per connection;
-    an injected fault drops that connection and the server carries on. *)
+    {2 Overload and fault behavior}
+
+    Sessions do frame I/O directly over the socket with [select]-guarded
+    deadlines: [io_timeout_s] bounds each frame write, [idle_timeout_s]
+    bounds the wait for a session's next request (beyond it the session is
+    {e reaped}), and a [watchdog_s] thread shuts down the socket of any
+    session stuck executing one request longer than that, so a stalled
+    query can not wedge its peer.  With [max_sessions] set, a connection
+    arriving while that many sessions are in flight is {e shed}: it gets
+    one immediate [ok = false] reply whose body starts with ["busy:"]
+    (surfaced by {!Pqdb_serve.Client} as a typed [Busy]), then the
+    connection closes — the daemon never queues unboundedly.  Shed and
+    reap totals are reported in {!stats} and the [stats] request.
+
+    The accept loop fires the ["serve.accept"] fault point per connection
+    (an injected fault drops that connection and the server carries on),
+    and every request fires ["serve.session"]; session frame I/O fires the
+    protocol's ["distrib.send"]/["distrib.recv"] sites. *)
 
 type listen = Unix_socket of string | Tcp of int
 (** Where to listen: a Unix-domain socket path, or a TCP port bound on
@@ -52,6 +72,17 @@ type config = {
   cache_entries : int;  (** compiled-lineage cache entry cap (LRU) *)
   session_trials : int option;  (** per-session trial allowance *)
   session_deadline_s : float option;  (** per-session wall-clock allowance *)
+  io_timeout_s : float option;
+      (** per-frame write (and greeting) deadline on session sockets *)
+  idle_timeout_s : float option;
+      (** max wait for a session's next request before it is reaped;
+          defaults to [io_timeout_s] when unset *)
+  max_sessions : int option;
+      (** in-flight session cap; excess connections are shed with a typed
+          busy reply instead of queueing *)
+  watchdog_s : float option;
+      (** wedged-session threshold: one request executing longer than this
+          gets its socket shut down *)
 }
 
 type stats = {
@@ -59,6 +90,8 @@ type stats = {
   queries : int;  (** query frames handled *)
   errors : int;  (** requests answered with [ok = false] or torn frames *)
   dropped : int;  (** connections dropped at accept (injected faults) *)
+  shed : int;  (** connections refused with a busy reply at the cap *)
+  reaped : int;  (** sessions closed by idle timeout or the watchdog *)
   cache : Pqdb_montecarlo.Memo.stats;
 }
 
@@ -66,8 +99,8 @@ type t
 
 val create : config -> t
 (** Load the database and build the (empty) cache; no socket yet.
-    @raise Invalid_argument when [cache_entries < 1]; database load errors
-    propagate. *)
+    @raise Invalid_argument when [cache_entries < 1], [max_sessions < 1]
+    or a non-positive timeout; database load errors propagate. *)
 
 val run : ?ready:(unit -> unit) -> t -> stats
 (** Bind, call [ready] (e.g. print a readiness line), and serve until a

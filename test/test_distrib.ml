@@ -167,9 +167,11 @@ let reference ?budget ~opts w sets =
 (* Transports.                                                         *)
 
 let thread_spawn ~shard_cost w sets _id =
+  (* Short frame deadline so a torn coordinator frame (env-armed matrix)
+     kills the worker in ~2s instead of the 30s default. *)
   Coordinator.thread_transport (fun ~input ~output ->
-      Worker.serve ~shard_cost ~heartbeat_s:0.05 (Rng.create ~seed) w sets
-        ~eps ~delta ~input ~output)
+      Worker.serve ~shard_cost ~heartbeat_s:0.05 ~frame_timeout_s:2.0
+        (Rng.create ~seed) w sets ~eps ~delta ~input ~output)
 
 (* A real child process without exec: fork, run the worker loop, _exit.
    Requires the inline pool (set at module load) so no domains are live. *)
@@ -316,6 +318,90 @@ let test_protocol_corruption () =
   typed (fun () -> decode_all (Bytes.to_string broken));
   (* unknown tag, valid CRC *)
   typed (fun () -> decode_all (Protocol.encode Protocol.Heartbeat ^ "f 00000003 " ^ Pqdb_runtime.Checkpoint.crc32_hex "zzz" ^ " zzz\n"))
+
+(* The percent-encoding corners: free text that collides with the payload
+   syntax itself — bare '%', literal "%25", the "-" absent-field marker,
+   embedded newlines, empty values — must survive Query.spec and Reply.body
+   byte-exactly. *)
+let test_pct_encoding_edges () =
+  clear_all ();
+  let corpus =
+    [ "%"; "%%"; "%25"; "%00"; "-"; ""; "a b"; "a\nb"; "\n"; " ";
+      "100% done\n"; "%2"; "% -"; "conf events eps=0.1" ]
+  in
+  List.iter
+    (fun s ->
+      let q = Protocol.Query { id = 3; spec = s } in
+      let r = Protocol.Reply { id = 4; ok = false; body = s } in
+      check bool_c
+        (Printf.sprintf "query spec %S round-trips" s)
+        true
+        (decode_all (Protocol.encode q) = [ q ]);
+      check bool_c
+        (Printf.sprintf "reply body %S round-trips" s)
+        true
+        (decode_all (Protocol.encode r) = [ r ]))
+    corpus;
+  (* the hello source fields share the encoder *)
+  let h =
+    Protocol.Hello
+      { meta = "m"; probe = "0x1p-1"; source = Some ("/tmp/a b/c%d.udbb", "-") }
+  in
+  check bool_c "hello source round-trips" true
+    (decode_all (Protocol.encode h) = [ h ])
+
+(* Each behavioral send mode, observed on the wire through a real pipe:
+   torn leaves a typed-malformed half frame, delay leaves a whole (late)
+   frame, stall blocks until the registry releases it.  The reader side of
+   each armed shot is what the chaos soak relies on. *)
+let test_behavioral_send_modes () =
+  clear_all ();
+  let msg = Protocol.Reply { id = 7; ok = true; body = "100% done\n" } in
+  let with_pipe f =
+    let r, w = Unix.pipe () in
+    Fun.protect
+      ~finally:(fun () ->
+        (try Unix.close r with _ -> ());
+        try Unix.close w with _ -> ())
+      (fun () -> f r w)
+  in
+  (* torn: the writer dies Injected, the reader gets typed Malformed *)
+  with_pipe (fun r w ->
+      FP.arm ~count:1 ~mode:FP.Torn "distrib.send";
+      (match Protocol.write_fd w msg with
+      | () -> Alcotest.fail "torn write returned"
+      | exception E.Error (E.Injected _) -> ());
+      Unix.close w;
+      match Protocol.read_fd r with
+      | _ -> Alcotest.fail "torn frame decoded"
+      | exception E.Error (E.Malformed_input _) -> ());
+  clear_all ();
+  (* delay: the frame arrives whole, just late *)
+  with_pipe (fun r w ->
+      FP.arm ~count:1 ~mode:(FP.Delay 0.02) "distrib.send";
+      let t0 = Unix.gettimeofday () in
+      Protocol.write_fd w msg;
+      check bool_c "delay applied" true (Unix.gettimeofday () -. t0 >= 0.015);
+      check bool_c "delayed frame decodes" true
+        (Protocol.read_fd ~timeout_s:1.0 r = Some msg));
+  clear_all ();
+  (* stall: the write blocks until a disarm releases it, then completes *)
+  with_pipe (fun r w ->
+      FP.arm ~count:1 ~mode:FP.Stall "distrib.send";
+      let releaser =
+        Thread.create
+          (fun () ->
+            Unix.sleepf 0.05;
+            clear_all ())
+          ()
+      in
+      let t0 = Unix.gettimeofday () in
+      Protocol.write_fd w msg;
+      check bool_c "stall held the write" true
+        (Unix.gettimeofday () -. t0 >= 0.04);
+      check bool_c "released frame decodes" true
+        (Protocol.read_fd ~timeout_s:1.0 r = Some msg);
+      Thread.join releaser)
 
 (* ------------------------------------------------------------------ *)
 (* Bit-identity across worker counts (real forked processes).          *)
@@ -629,6 +715,10 @@ let () =
           qcheck protocol_roundtrip;
           Alcotest.test_case "corrupt frames fail typed" `Quick
             test_protocol_corruption;
+          Alcotest.test_case "percent-encoding edge cases" `Quick
+            test_pct_encoding_edges;
+          Alcotest.test_case "behavioral send modes on the wire" `Quick
+            test_behavioral_send_modes;
         ] );
       ( "identity",
         [

@@ -164,6 +164,105 @@ let test_env_parsing () =
          the entry. *)
       check bool_c "bogus count still armed" true (FP.should_fail "gamma"))
 
+let test_env_mode_parsing () =
+  let original = Sys.getenv_opt "PQDB_FAULTPOINTS" in
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv "PQDB_FAULTPOINTS"
+        (match original with Some s -> s | None -> "");
+      FP.reset ();
+      clear_all ())
+    (fun () ->
+      Unix.putenv "PQDB_FAULTPOINTS"
+        "a@raise, b:2@delay:15 ,c@stall,d@torn,e@nonsense";
+      FP.reset ();
+      check bool_c "explicit raise" true (FP.check "a" = Some FP.Raise);
+      check bool_c "delay mode, ms to s" true
+        (FP.check "b" = Some (FP.Delay 0.015));
+      check bool_c "delay count honored" true
+        (FP.check "b" = Some (FP.Delay 0.015));
+      check bool_c "delay exhausted" true (FP.check "b" = None);
+      check bool_c "stall mode" true (FP.check "c" = Some FP.Stall);
+      check bool_c "torn mode" true (FP.check "d" = Some FP.Torn);
+      (* A bad mode warns and falls back to raise rather than dropping the
+         entry. *)
+      check bool_c "bad mode degrades to raise" true
+        (FP.check "e" = Some FP.Raise))
+
+let test_mode_of_string () =
+  check bool_c "raise" true (FP.mode_of_string "raise" = Ok FP.Raise);
+  check bool_c "stall" true (FP.mode_of_string "stall" = Ok FP.Stall);
+  check bool_c "torn" true (FP.mode_of_string "torn" = Ok FP.Torn);
+  check bool_c "delay ms" true
+    (FP.mode_of_string "delay:250" = Ok (FP.Delay 0.25));
+  check bool_c "delay rejects negatives" true
+    (match FP.mode_of_string "delay:-3" with Error _ -> true | Ok _ -> false);
+  check bool_c "unknown rejected" true
+    (match FP.mode_of_string "explode" with Error _ -> true | Ok _ -> false)
+
+let test_behavioral_fire () =
+  clear_all ();
+  (* Delay: fire sleeps, returns normally, and consumes the shot. *)
+  FP.arm ~count:1 ~mode:(FP.Delay 0.05) "test.behave";
+  let t0 = Unix.gettimeofday () in
+  FP.fire "test.behave";
+  let dt = Unix.gettimeofday () -. t0 in
+  check bool_c "delay slept" true (dt >= 0.045);
+  check bool_c "delay shot consumed" false (FP.should_fail "test.behave");
+  (* Stall: blocks until another thread disarms the registry. *)
+  FP.arm ~mode:FP.Stall "test.behave";
+  FP.set_stall_cap_s 10.;
+  let released = ref false in
+  let th =
+    Thread.create
+      (fun () ->
+        FP.fire "test.behave";
+        released := true)
+      ()
+  in
+  Thread.delay 0.05;
+  check bool_c "stall still blocking" false !released;
+  clear_all ();
+  Thread.join th;
+  check bool_c "disarm released the stall" true !released;
+  (* Stall cap: nobody disarms, the cap bounds the block. *)
+  FP.set_stall_cap_s 0.1;
+  FP.arm ~count:1 ~mode:FP.Stall "test.behave";
+  let t0 = Unix.gettimeofday () in
+  FP.fire "test.behave";
+  let dt = Unix.gettimeofday () -. t0 in
+  check bool_c "stall capped" true (dt >= 0.08 && dt < 2.0);
+  FP.set_stall_cap_s 2.0;
+  clear_all ()
+
+let test_torn_checkpoint_write () =
+  clear_all ();
+  let module CK = Pqdb_runtime.Checkpoint in
+  with_temp_dir (fun dir ->
+      Sys.mkdir dir 0o755;
+      let path = Filename.concat dir "journal" in
+      let w, prior = CK.open_writer path in
+      check int_c "fresh journal" 0 (List.length prior);
+      CK.append w "alpha 1";
+      FP.arm ~count:1 ~mode:FP.Torn "checkpoint.write";
+      check bool_c "torn append raises injected" true
+        (try
+           CK.append w "beta 2";
+           false
+         with E.Error (E.Injected "checkpoint.write") -> true);
+      CK.close w;
+      (* The torn tail is exactly what a crash leaves: resume tolerates and
+         truncates it, keeping every record before it. *)
+      let recovered = CK.read path in
+      check bool_c "torn tail dropped, prior record kept" true
+        (recovered = [ "alpha 1" ]);
+      let w2, prior2 = CK.open_writer ~resume:true path in
+      check bool_c "resume sees the intact prefix" true (prior2 = [ "alpha 1" ]);
+      CK.append w2 "beta 2";
+      CK.close w2;
+      check bool_c "journal heals after the torn write" true
+        (CK.read path = [ "alpha 1"; "beta 2" ]))
+
 (* ------------------------------------------------------------------ *)
 (* Site: karp_luby.estimator                                           *)
 (* ------------------------------------------------------------------ *)
@@ -407,6 +506,11 @@ let () =
         [
           Alcotest.test_case "arm/disarm/count" `Quick test_registry;
           Alcotest.test_case "env parsing" `Quick test_env_parsing;
+          Alcotest.test_case "env mode parsing" `Quick test_env_mode_parsing;
+          Alcotest.test_case "mode_of_string" `Quick test_mode_of_string;
+          Alcotest.test_case "behavioral fire" `Quick test_behavioral_fire;
+          Alcotest.test_case "torn checkpoint write" `Quick
+            test_torn_checkpoint_write;
         ] );
       ( "sites",
         [

@@ -224,13 +224,18 @@ let with_fixture_db f =
     ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
     (fun () -> f path)
 
-let config ?(cache_entries = 64) ~db_path listen =
+let config ?(cache_entries = 64) ?io_timeout_s ?idle_timeout_s ?max_sessions
+    ?watchdog_s ~db_path listen =
   {
     Server.db_path;
     listen;
     cache_entries;
     session_trials = None;
     session_deadline_s = None;
+    io_timeout_s;
+    idle_timeout_s;
+    max_sessions;
+    watchdog_s;
   }
 
 let test_dispatch_conf_warm_equals_cold () =
