@@ -471,7 +471,7 @@ let report_stream_summary ~tuples (summary : Pqdb_montecarlo.Confidence.stream_s
    that nothing drifted in flight.  Floats go through "%.17g" so they
    re-parse to the same bits. *)
 let worker_argv ~gen ~gen_seed ~eps ~delta ~seed ~compile_fuel
-    ~shard_cost ~faultpoints =
+    ~shard_cost ~heartbeat_interval ~faultpoints =
   Array.of_list
     (List.concat
        [
@@ -490,20 +490,78 @@ let worker_argv ~gen ~gen_seed ~eps ~delta ~seed ~compile_fuel
          | Some f -> [ "--compile-fuel"; string_of_int f ]
          | None -> []);
          [ "--shard-size"; string_of_int shard_cost ];
+         [ "--heartbeat-interval"; Printf.sprintf "%.17g" heartbeat_interval ];
          List.concat_map (fun s -> [ "--faultpoints"; s ]) faultpoints;
        ])
 
+(* Remote endpoints: "HOST:PORT", or a bare "PORT" meaning loopback.  The
+   rightmost colon splits, so a purely numeric argument is a port. *)
+let parse_endpoint ~flag s =
+  let host, port_s =
+    match String.rindex_opt s ':' with
+    | None -> ("127.0.0.1", s)
+    | Some i ->
+        (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+  in
+  let host = if host = "" then "127.0.0.1" else host in
+  match int_of_string_opt port_s with
+  | Some p when p >= 0 && p <= 65535 -> (host, p)
+  | _ ->
+      failwith
+        (Printf.sprintf "--%s %s: expected HOST:PORT or PORT (0-65535)" flag
+           s)
+
+(* interval < ttl < io-timeout, or the machinery fights itself: a
+   heartbeat that cannot land several times per lease window makes every
+   healthy worker look partitioned, and an I/O deadline shorter than the
+   lease declares workers dead before the lease logic gets a say. *)
+let check_liveness_cadence ~heartbeat_interval ~lease_ttl ~io_timeout_s =
+  check_positive_float "heartbeat-interval" (Some heartbeat_interval);
+  check_positive_float "lease-ttl" (Some lease_ttl);
+  if heartbeat_interval >= lease_ttl then
+    failwith
+      (Printf.sprintf
+         "--heartbeat-interval (%gs) must be smaller than --lease-ttl \
+          (%gs): a lease has to survive a few missed ticks, or every \
+          healthy worker looks partitioned"
+         heartbeat_interval lease_ttl);
+  match io_timeout_s with
+  | Some t when lease_ttl >= t ->
+      failwith
+        (Printf.sprintf
+           "--lease-ttl (%gs) must be smaller than --io-timeout (%gs): \
+            the lease must expire (and suspend the worker) before the I/O \
+            deadline declares it dead"
+           lease_ttl t)
+  | _ -> ()
+
 let batch_cmd db relation gen gen_seed eps delta seed compile_fuel shard_size
-    checkpoint resume retries deadline max_trials workers io_timeout_s
-    faultpoints =
+    checkpoint resume retries deadline max_trials workers connect lease_ttl
+    heartbeat_interval reconnects io_timeout_s faultpoints =
   try
     check_unit_interval "eps" eps;
     check_unit_interval "delta" delta;
     check_nonneg_int "compile-fuel" compile_fuel;
     check_nonneg_int "workers" (Some workers);
+    check_nonneg_int "reconnects" reconnects;
     check_positive_float "io-timeout" io_timeout_s;
+    check_liveness_cadence ~heartbeat_interval ~lease_ttl ~io_timeout_s;
     check_pool_workers_env ();
     apply_faultpoints faultpoints;
+    let endpoints = List.map (parse_endpoint ~flag:"connect") connect in
+    let workers =
+      match endpoints with
+      | [] -> workers
+      | eps ->
+          let n = List.length eps in
+          if workers <> 0 && workers <> n then
+            failwith
+              (Printf.sprintf
+                 "--workers %d disagrees with %d --connect endpoints; the \
+                  fleet size is the endpoint count, drop --workers"
+                 workers n);
+          n
+    in
     let options = make_stream ~shard_size ~checkpoint ~resume ~retries in
     let budget = make_budget ~deadline ~max_trials in
     let w, sets = batch_inputs ~db ~relation ~gen ~gen_seed in
@@ -521,23 +579,42 @@ let batch_cmd db relation gen gen_seed eps delta seed compile_fuel shard_size
       let opts = Option.value options ~default:C.default_stream_options in
       let argv =
         worker_argv ~gen ~gen_seed ~eps ~delta ~seed
-          ~compile_fuel ~shard_cost:opts.C.shard_cost ~faultpoints
+          ~compile_fuel ~shard_cost:opts.C.shard_cost ~heartbeat_interval
+          ~faultpoints
       in
       let source =
         match (db, relation) with
         | Some d, Some r -> Some (d, r)
         | _ -> None
       in
+      let endpoint = Array.of_list endpoints in
+      let spawn =
+        if endpoint = [||] then fun _ ->
+          D.process_transport ?io_timeout_s argv
+        else fun id ->
+          (* Listeners may still be starting (or restarting after a kill):
+             dial patiently, the backoff is jittered per connection. *)
+          let host, port = endpoint.(id mod Array.length endpoint) in
+          D.tcp_transport ?io_timeout_s ~retries:40 ~retry_delay_s:0.1 ~host
+            ~port ()
+      in
+      let max_reconnects =
+        match reconnects with
+        | Some n -> n
+        | None -> if endpoint <> [||] then 3 else 0
+      in
       let summary =
-        D.run ?budget ?compile_fuel ~options:opts ?source ~workers
-          ~spawn:(fun _ -> D.process_transport ?io_timeout_s argv)
-          rng w sets ~eps ~delta ~emit:emit_batch_outcome
+        D.run ?budget ?compile_fuel ~options:opts ~lease_ttl_s:lease_ttl
+          ~max_reconnects ?source ~workers ~spawn rng w sets ~eps ~delta
+          ~emit:emit_batch_outcome
       in
       report_stream_summary ~tuples:(Array.length sets) summary.D.stream;
       Format.eprintf
-        "-- distrib: %d workers (%d lost), %d shards reassigned, %d solved \
-         in-process%s@."
-        summary.D.workers_spawned summary.D.workers_lost summary.D.reassigned
+        "-- distrib: %d workers (%d lost, %d reconnected), %d shards \
+         reassigned (%d leases expired, %d late deliveries dropped), %d \
+         solved in-process%s@."
+        summary.D.workers_spawned summary.D.workers_lost summary.D.reconnects
+        summary.D.reassigned summary.D.leases_expired summary.D.late_drops
         summary.D.fallback_shards
         (match summary.D.compacted with
         | Some (kept, dropped) ->
@@ -559,41 +636,75 @@ let batch_cmd db relation gen gen_seed eps delta seed compile_fuel shard_size
 (* --- worker ----------------------------------------------------------- *)
 
 let worker_cmd db relation gen gen_seed eps delta seed compile_fuel
-    shard_size faultpoints =
+    shard_size listen heartbeat_interval sessions faultpoints =
   try
     check_unit_interval "eps" eps;
     check_unit_interval "delta" delta;
     check_nonneg_int "compile-fuel" compile_fuel;
     check_positive_int "shard-size" shard_size;
+    check_positive_float "heartbeat-interval" (Some heartbeat_interval);
+    check_positive_int "sessions" sessions;
     check_pool_workers_env ();
     apply_faultpoints faultpoints;
-    let w, sets =
-      match (gen, db, relation) with
-      | None, None, None -> (
-          (* Bare worker: the coordinator's greeting Hello (the first frame
-             on stdin) names the stored data source, so the path is stated
-             once — on the coordinator's command line — instead of being
-             duplicated into every worker's argv or regenerated from a
-             seed.  Worker.serve ignores any later greeting replays.  Read
-             off the fd, not the channel: Worker.serve reads orders with
-             fd-level deadlines and channel read-ahead would steal bytes
-             from it. *)
-          match Pqdb_distrib.Protocol.read_fd_frame ~timeout_s:30. Unix.stdin with
-          | Some (Pqdb_distrib.Protocol.Hello { source = Some (d, r); _ }) ->
+    match listen with
+    | Some endpoint ->
+        (* Remote listener: serve coordinator dials on a TCP socket.  The
+           data source is resolved lazily from each session's greeting
+           Hello (and cached), unless local data arguments pin it; run
+           parameters stay operator-provided — the handshake refuses a
+           coordinator they drifted from. *)
+        let host, port = parse_endpoint ~flag:"listen" endpoint in
+        let resolve src =
+          match (gen, db, relation, src) with
+          | None, None, None, Some (d, r) ->
               batch_inputs ~db:(Some d) ~relation:(Some r) ~gen:None ~gen_seed
-          | Some (Pqdb_distrib.Protocol.Hello { source = None; _ }) ->
+          | None, None, None, None ->
               failwith
                 "coordinator greeting names no data source; give --gen N or \
                  --db/--relation"
-          | Some _ | None ->
-              failwith "expected a coordinator greeting on stdin")
-      | _ -> batch_inputs ~db ~relation ~gen ~gen_seed
-    in
-    let rng = Rng.create ~seed in
-    (* stdout belongs to the protocol: everything human goes to stderr. *)
-    Pqdb_distrib.Worker.serve ?compile_fuel ?shard_cost:shard_size rng w sets
-      ~eps ~delta ~input:stdin ~output:stdout;
-    0
+          | _ -> batch_inputs ~db ~relation ~gen ~gen_seed
+        in
+        Pqdb_distrib.Worker.listen ?compile_fuel ?shard_cost:shard_size
+          ~heartbeat_s:heartbeat_interval ?max_sessions:sessions
+          ~ready:(fun p ->
+            Printf.printf "pqdb-worker listening on tcp:%s:%d\n%!" host p)
+          ~make_rng:(fun () -> Rng.create ~seed)
+          ~resolve ~host ~port ~eps ~delta ();
+        0
+    | None ->
+        let w, sets =
+          match (gen, db, relation) with
+          | None, None, None -> (
+              (* Bare worker: the coordinator's greeting Hello (the first
+                 frame on stdin) names the stored data source, so the path
+                 is stated once — on the coordinator's command line —
+                 instead of being duplicated into every worker's argv or
+                 regenerated from a seed.  Worker.serve ignores any later
+                 greeting replays.  Read off the fd, not the channel:
+                 Worker.serve reads orders with fd-level deadlines and
+                 channel read-ahead would steal bytes from it. *)
+              match
+                Pqdb_distrib.Protocol.read_fd_frame ~timeout_s:30. Unix.stdin
+              with
+              | Some (Pqdb_distrib.Protocol.Hello { source = Some (d, r); _ })
+                ->
+                  batch_inputs ~db:(Some d) ~relation:(Some r) ~gen:None
+                    ~gen_seed
+              | Some (Pqdb_distrib.Protocol.Hello { source = None; _ }) ->
+                  failwith
+                    "coordinator greeting names no data source; give --gen N \
+                     or --db/--relation"
+              | Some _ | None ->
+                  failwith "expected a coordinator greeting on stdin")
+          | _ -> batch_inputs ~db ~relation ~gen ~gen_seed
+        in
+        let rng = Rng.create ~seed in
+        (* stdout belongs to the protocol: everything human goes to
+           stderr. *)
+        Pqdb_distrib.Worker.serve ?compile_fuel ?shard_cost:shard_size
+          ~heartbeat_s:heartbeat_interval rng w sets ~eps ~delta ~input:stdin
+          ~output:stdout;
+        0
   with
   | Failure msg | Invalid_argument msg | Sys_error msg ->
       Format.eprintf "worker error: %s@." msg;
@@ -1311,12 +1422,58 @@ let workers_arg =
            (default) runs in-process.  stdout is byte-identical either \
            way.")
 
+let connect_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "connect" ] ~docv:"HOST:PORT"
+        ~doc:
+          "Remote mode: instead of forking local workers, dial a \
+           $(b,pqdb worker --listen) endpoint (repeatable; a bare PORT \
+           means 127.0.0.1).  One worker per occurrence unless \
+           $(b,--workers) asks for more, in which case endpoints are dealt \
+           round-robin.  Remote links are partition-tolerant: an expired \
+           lease suspends the worker and requeues its shard; lost \
+           connections are redialed ($(b,--reconnects)); stdout stays \
+           byte-identical throughout.")
+
+let lease_ttl_arg =
+  Arg.(
+    value & opt float 30.
+    & info [ "lease-ttl" ] ~docv:"SECONDS"
+        ~doc:
+          "Lease granted to each admitted worker, renewed by its \
+           heartbeats: a worker silent past the TTL has its in-flight \
+           shard reassigned even if the socket still looks alive.  Must \
+           exceed $(b,--heartbeat-interval) and sit below \
+           $(b,--io-timeout) when one is set.")
+
+let heartbeat_interval_arg =
+  Arg.(
+    value & opt float 0.25
+    & info [ "heartbeat-interval" ] ~docv:"SECONDS"
+        ~doc:
+          "Worker heartbeat cadence, i.e. the bound on inter-frame silence \
+           from a healthy worker.  Must be below $(b,--lease-ttl); workers \
+           clamp their own cadence if a coordinator's lease would outpace \
+           it.")
+
+let reconnects_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "reconnects" ] ~docv:"N"
+        ~doc:
+          "Redial a lost remote connection up to N times per worker slot, \
+           with capped jittered backoff; the fresh connection \
+           re-handshakes before rejoining.  Default: 3 when \
+           $(b,--connect) is given, else 0.")
+
 let batch_term =
   Term.(
     const batch_cmd $ db_arg $ relation_arg $ gen_arg $ gen_seed_arg $ eps_arg
     $ delta_arg $ seed_arg $ compile_fuel_arg $ shard_size_arg
     $ checkpoint_arg $ resume_arg $ retries_arg $ deadline_arg
-    $ max_trials_arg $ workers_arg
+    $ max_trials_arg $ workers_arg $ connect_arg $ lease_ttl_arg
+    $ heartbeat_interval_arg $ reconnects_arg
     $ Arg.(
         value
         & opt (some float) None
@@ -1325,7 +1482,8 @@ let batch_term =
               "Deadline on every coordinator-side worker send/recv \
                (select-guarded): a worker wedged mid-frame is treated as \
                lost and its shard reassigned, instead of hanging the run.  \
-               Pick it above the 0.25s worker heartbeat.  Default: block.")
+               Pick it above the worker heartbeat interval and the lease \
+               TTL.  Default: block.")
     $ faultpoints_arg)
 
 let batch_cmd_info =
@@ -1341,13 +1499,33 @@ let worker_term =
   Term.(
     const worker_cmd $ db_arg $ relation_arg $ gen_arg $ gen_seed_arg
     $ eps_arg $ delta_arg $ seed_arg $ compile_fuel_arg $ shard_size_arg
+    $ Arg.(
+        value
+        & opt (some string) None
+        & info [ "listen" ] ~docv:"HOST:PORT"
+            ~doc:
+              "Serve coordinator connections on a TCP socket instead of \
+               stdin/stdout (a bare PORT binds 127.0.0.1; port 0 picks an \
+               ephemeral port, reported on stdout).  Sessions are served \
+               one at a time; compiled lineage is cached across sessions \
+               per data source.  Survives coordinator restarts: each \
+               session re-handshakes with the same drift-refusal probe.")
+    $ heartbeat_interval_arg
+    $ Arg.(
+        value
+        & opt (some int) None
+        & info [ "sessions" ] ~docv:"N"
+            ~doc:
+              "With $(b,--listen): exit after serving N coordinator \
+               sessions.  Default: serve forever.")
     $ faultpoints_arg)
 
 let worker_cmd_info =
   Cmd.info "worker"
     ~doc:
       "Shard worker for $(b,batch --workers): speaks the coordinator \
-       protocol on stdin/stdout (orders in, bit-exact shard outcomes out).  \
+       protocol on stdin/stdout (orders in, bit-exact shard outcomes out), \
+       or on a TCP socket with $(b,--listen) for $(b,batch --connect).  \
        Takes the same input parameters as $(b,batch); the handshake refuses \
        a coordinator whose parameters or seed drifted.  Not intended for \
        interactive use."

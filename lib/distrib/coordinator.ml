@@ -9,6 +9,7 @@ type transport = {
   send : Protocol.msg -> unit;
   recv : unit -> Protocol.msg option;
   pid : int option;
+  remote : bool;
   close : unit -> unit;
 }
 
@@ -17,6 +18,7 @@ let channel_transport ?pid ~close input output =
     send = (fun m -> Protocol.write output m);
     recv = (fun () -> Protocol.read input);
     pid;
+    remote = false;
     close;
   }
 
@@ -33,6 +35,7 @@ let fd_transport ?io_timeout_s ?pid ~close ~in_fd ~out_fd () =
     send = (fun m -> Protocol.write_fd ?timeout_s:io_timeout_s out_fd m);
     recv = (fun () -> Protocol.read_fd ?timeout_s:io_timeout_s in_fd);
     pid;
+    remote = false;
     close;
   }
 
@@ -75,19 +78,64 @@ let thread_transport ?io_timeout_s serve =
   in
   fd_transport ?io_timeout_s ~close ~in_fd:from_w_r ~out_fd:to_w_w ()
 
+let resolve_host host =
+  try Unix.inet_addr_of_string host
+  with Failure _ -> (
+    match Unix.gethostbyname host with
+    | { Unix.h_addr_list = [||]; _ } ->
+        invalid_arg (Printf.sprintf "tcp_transport: no address for %S" host)
+    | h -> h.Unix.h_addr_list.(0)
+    | exception Not_found ->
+        invalid_arg (Printf.sprintf "tcp_transport: unknown host %S" host))
+
+(* Remote worker over TCP.  I/O goes through the {!Protocol} TCP fault
+   wrappers so the network failure modes (drop, half-open stall, duplicate
+   delivery) are injectable; [close] shuts the socket down first so a
+   reader thread blocked in [recv] wakes with EOF instead of leaking. *)
+let tcp_transport ?io_timeout_s ?(retries = 0) ?(retry_delay_s = 0.2)
+    ?(max_delay_s = 2.0) ~host ~port () =
+  let addr = Unix.ADDR_INET (resolve_host host, port) in
+  let fd = Dial.connect ~retries ~retry_delay_s ~max_delay_s addr in
+  (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+  {
+    send = (fun m -> Protocol.tcp_write_fd ?timeout_s:io_timeout_s fd m);
+    recv = (fun () -> Protocol.tcp_read_fd ?timeout_s:io_timeout_s fd);
+    pid = None;
+    remote = true;
+    close =
+      (fun () ->
+        (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+        try Unix.close fd with Unix.Unix_error _ -> ());
+  }
+
 type summary = {
   stream : Confidence.stream_summary;
   workers_spawned : int;
   workers_lost : int;
   reassigned : int;
+  reconnects : int;
+  leases_expired : int;
+  late_drops : int;
   fallback_shards : int;
   compacted : (int * int) option;
 }
 
-type wstate = Starting | Idle | Busy of int | Dead
+(* A shard assignment is identified by its lease epoch: every (re)issue of
+   a shard draws a fresh epoch, so an outcome names exactly the order that
+   requested it and late deliveries from superseded leases are legible. *)
+type assignment = { shard : int; epoch : int }
+
+(* [Suspended] is the partition-tolerance state: a remote worker whose
+   lease expired.  Its in-flight shard (if any) was requeued, it is not
+   dealt further work, but its socket is left alone — any traffic from it
+   renews the lease and returns it to [Idle].  Process workers are killed
+   instead (PR 5 behavior): their liveness is local, so a silent one is
+   dead, not partitioned. *)
+type wstate = Starting | Idle | Busy of assignment | Suspended | Dead
 
 type worker = {
-  id : int;
+  key : int;  (* unique per connection — reconnects get a fresh key *)
+  id : int;  (* logical spawn slot, stable across reconnects *)
   tr : transport;
   mutable state : wstate;
   mutable last_seen : float;
@@ -98,9 +146,9 @@ type event = Msg of Protocol.msg | Gone
 let sum_trials = Array.fold_left ( + ) 0
 
 let run ?budget ?nworkers ?compile_fuel
-    ?(options = Confidence.default_stream_options)
-    ?(heartbeat_timeout_s = 30.) ?source ~workers:nw ~spawn rng w clause_sets
-    ~eps ~delta ~emit =
+    ?(options = Confidence.default_stream_options) ?(lease_ttl_s = 30.)
+    ?(max_reconnects = 0) ?(reconnect_delay_s = 0.25) ?source ~workers:nw
+    ~spawn rng w clause_sets ~eps ~delta ~emit =
   if eps <= 0. || delta <= 0. then invalid_arg "Coordinator.run";
   if nw < 1 then invalid_arg "Coordinator.run: workers must be >= 1";
   if options.Confidence.shard_cost < 1 then
@@ -109,8 +157,12 @@ let run ?budget ?nworkers ?compile_fuel
     invalid_arg "Coordinator.run: retries must be >= 0";
   if options.resume && options.checkpoint = None then
     invalid_arg "Coordinator.run: resume requires a checkpoint journal";
-  if heartbeat_timeout_s <= 0. then
-    invalid_arg "Coordinator.run: heartbeat_timeout_s must be positive";
+  if lease_ttl_s <= 0. then
+    invalid_arg "Coordinator.run: lease_ttl_s must be positive";
+  if max_reconnects < 0 then
+    invalid_arg "Coordinator.run: max_reconnects must be >= 0";
+  if reconnect_delay_s <= 0. then
+    invalid_arg "Coordinator.run: reconnect_delay_s must be positive";
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ | Sys_error _ -> ());
   let n = Array.length clause_sets in
@@ -186,8 +238,24 @@ let run ?budget ?nworkers ?compile_fuel
   let failures : (int, int list) Hashtbl.t = Hashtbl.create 8 in
   let workers_lost = ref 0 in
   let reassigned = ref 0 in
+  let reconnects = ref 0 in
+  let leases_expired = ref 0 in
+  let late_drops = ref 0 in
   let fallback_shards = ref 0 in
   let quarantined = ref [] in
+  (* Lease epochs: a global counter stamps every order; [current_epoch]
+     remembers the latest epoch issued per shard so ingestion can tell a
+     late-but-genuine delivery (epoch ≤ current, first-wins) from
+     corruption (an epoch never issued). *)
+  let epoch_counter = ref 0 in
+  let current_epoch : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let issued index epoch =
+    index >= 0 && index < nshards
+    &&
+    match Hashtbl.find_opt current_epoch index with
+    | Some cur -> epoch >= 1 && epoch <= cur
+    | None -> false
+  in
   let events : (int * event) Queue.t = Queue.create () in
   let elock = Mutex.create () in
   let push ev = Mutex.protect elock (fun () -> Queue.add ev events) in
@@ -197,42 +265,60 @@ let run ?budget ?nworkers ?compile_fuel
         Queue.clear events;
         l)
   in
-  let fleet =
-    List.filter_map
-      (fun id ->
-        match
-          Faultpoint.fire "distrib.spawn";
-          spawn id
-        with
-        | tr ->
-            let wk = { id; tr; state = Starting; last_seen = Unix.gettimeofday () } in
-            let _reader : Thread.t =
-              Thread.create
-                (fun () ->
-                  let rec rloop () =
-                    match tr.recv () with
-                    | Some m ->
-                        push (id, Msg m);
-                        rloop ()
-                    | None -> push (id, Gone)
-                    | exception _ -> push (id, Gone)
-                  in
-                  rloop ())
-                ()
-            in
-            (* Greeting: tells a bare worker process where the data lives
-               ([source]) before it must reconstruct the run.  Workers with
-               their own data arguments ignore it; a send failure just means
-               the worker is already gone, which the reader will notice. *)
-            (try wk.tr.send (Protocol.Hello { meta; probe; source })
-             with _ -> ());
-            Some wk
-        | exception _ -> None)
-      (List.init nw Fun.id)
+  (* The fleet grows over time (redials add fresh connections), so worker
+     records carry a unique [key] — the reader thread and event queue speak
+     keys, never ids, so a late event from a superseded connection cannot
+     be mistaken for its replacement. *)
+  let fleet : worker list ref = ref [] in
+  let next_key = ref 0 in
+  let admit id =
+    match
+      Faultpoint.fire "distrib.spawn";
+      spawn id
+    with
+    | tr ->
+        let key = !next_key in
+        incr next_key;
+        let wk = { key; id; tr; state = Starting; last_seen = Unix.gettimeofday () } in
+        let _reader : Thread.t =
+          Thread.create
+            (fun () ->
+              let rec rloop () =
+                match tr.recv () with
+                | Some m ->
+                    push (key, Msg m);
+                    rloop ()
+                | None -> push (key, Gone)
+                | exception _ -> push (key, Gone)
+              in
+              rloop ())
+            ()
+        in
+        (* Greeting: tells a bare worker process where the data lives
+           ([source]) before it must reconstruct the run.  Workers with
+           their own data arguments ignore it; a send failure just means
+           the worker is already gone, which the reader will notice. *)
+        (try wk.tr.send (Protocol.Hello { meta; probe; source })
+         with _ -> ());
+        fleet := !fleet @ [ wk ];
+        Some wk
+    | exception _ -> None
   in
-  let workers_spawned = List.length fleet in
-  let find_worker id = List.find (fun wk -> wk.id = id) fleet in
-  let live () = List.filter (fun wk -> wk.state <> Dead) fleet in
+  let workers_spawned =
+    List.length (List.filter_map admit (List.init nw Fun.id))
+  in
+  let find_worker key = List.find (fun wk -> wk.key = key) !fleet in
+  let live () = List.filter (fun wk -> wk.state <> Dead) !fleet in
+  (* Workers the dealer can still count on: [Suspended] is excluded — a
+     partitioned worker may never heal, so it must not delay fallback. *)
+  let active () =
+    List.filter
+      (fun wk ->
+        match wk.state with
+        | Starting | Idle | Busy _ -> true
+        | Suspended | Dead -> false)
+      !fleet
+  in
   let requeue i =
     (* Reassigned shards go back in cost order; a fresh attempt re-copies
        the shard's lane slice, so whoever picks it up reproduces the
@@ -250,24 +336,45 @@ let run ?budget ?nworkers ?compile_fuel
     | Some pid -> ( try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
     | None -> ()
   in
-  let bury wk =
+  (* Redial queue: a lost remote connection is re-dialed (the same spawn
+     slot, so the same endpoint) after a capped jittered backoff, up to
+     [max_reconnects] times per slot.  A successful re-handshake resets
+     the slot's attempt count. *)
+  let redials : (int * float) list ref = ref [] in
+  let redial_attempts : (int, int) Hashtbl.t = Hashtbl.create 4 in
+  let schedule_redial id =
+    let used = Option.value ~default:0 (Hashtbl.find_opt redial_attempts id) in
+    if used < max_reconnects then begin
+      Hashtbl.replace redial_attempts id (used + 1);
+      let delay =
+        Dial.backoff_delay_s
+          ~salt:(Unix.getpid () lxor id)
+          ~retry_delay_s:reconnect_delay_s
+          ~max_delay_s:(16. *. reconnect_delay_s)
+          used
+      in
+      redials := (id, Unix.gettimeofday () +. delay) :: !redials
+    end
+  in
+  let bury ?(reconnect = true) wk =
     if wk.state <> Dead then begin
       (match wk.state with
-      | Busy i ->
+      | Busy a ->
           incr reassigned;
-          requeue i
+          requeue a.shard
       | _ -> ());
       wk.state <- Dead;
       incr workers_lost;
       wk.tr.close ();
-      reap wk
+      reap wk;
+      if reconnect && wk.tr.remote then schedule_redial wk.id
     end
   in
-  let kill wk =
+  let kill ?reconnect wk =
     (match wk.tr.pid with
     | Some pid -> ( try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ())
     | None -> ());
-    bury wk
+    bury ?reconnect wk
   in
   let quarantine i err =
     let e =
@@ -300,49 +407,103 @@ let run ?budget ?nworkers ?compile_fuel
     if List.length attempts > options.retries then quarantine i detail
     else requeue i
   in
+  (* Idempotent ingestion: the (index, epoch) stamp decides.  An epoch never
+     issued is corruption (kill the sender); an already-resolved shard makes
+     this a duplicate or superseded delivery (first-wins — count and drop;
+     outcomes for a shard are bit-identical whoever computes them, so the
+     winner's bytes are THE bytes); otherwise a genuine resolution, even
+     when the lease that ordered it has since been superseded. *)
+  let ingest_outcome wk ~index ~epoch payload =
+    if not (issued index epoch) then kill wk
+    else if Hashtbl.mem results index then incr late_drops
+    else
+      match
+        Shard.of_payload ~resumed:false
+          ~source:(Printf.sprintf "worker-%d" wk.id)
+          ~record:index payload
+      with
+      | o
+        when o.Shard.shard = plan.(index) && String.equal o.Shard.fp fps.(index)
+             && o.Shard.quarantined = None ->
+          record_outcome o;
+          (* A late resolution may race its own reassignment: drop the
+             shard from the queue so nobody re-solves it. *)
+          pending := List.filter (fun j -> j <> index) !pending
+      | _ | (exception Pqdb_error.Error (Pqdb_error.Malformed_input _)) ->
+          (* A worker answering with the wrong shard, a drifted
+             fingerprint or a torn record is not trustworthy for further
+             orders either. *)
+          kill wk
+  in
   let handle_msg wk msg =
     wk.last_seen <- Unix.gettimeofday ();
+    (* Any traffic renews the lease; a suspended worker that speaks again
+       has healed its partition and rejoins the pool. *)
+    (match (wk.state, msg) with
+    | Suspended, (Protocol.Heartbeat | Protocol.Outcome _ | Protocol.Failed _)
+      ->
+        wk.state <- Idle
+    | _ -> ());
     match (wk.state, msg) with
     | Starting, Protocol.Hello { meta = m; probe = p; source = _ } ->
-        if String.equal m meta && String.equal p probe then wk.state <- Idle
+        if String.equal m meta && String.equal p probe then begin
+          wk.state <- Idle;
+          Hashtbl.remove redial_attempts wk.id;
+          (* Grant the liveness lease; a send failure means the worker is
+             already gone and the reader will notice. *)
+          try wk.tr.send (Protocol.Lease { ttl_s = lease_ttl_s }) with _ -> ()
+        end
         else begin
           (* Well-formed but wrong run: the worker would compute plausible
-             garbage.  Refuse it at the door. *)
+             garbage.  Refuse it at the door — and do not redial it; the
+             same endpoint would only drift again.  Say why on stderr: a
+             silently shrinking fleet (typically mismatched --eps/--gen/
+             --compile-fuel on a remote worker) is miserable to debug. *)
+          Printf.eprintf
+            "pqdb coordinator: refusing worker %d: handshake %s drift \
+             (remote flags must match this run's data and plan)\n%!"
+            wk.id
+            (if String.equal m meta then "probe" else "meta");
           (try wk.tr.send Protocol.Shutdown with _ -> ());
-          kill wk
+          kill ~reconnect:false wk
         end
+    | (Idle | Busy _), Protocol.Hello { meta = m; probe = p; source = _ } ->
+        (* A duplicated greeting frame is benign iff it matches; anything
+           else is drift mid-session. *)
+        if not (String.equal m meta && String.equal p probe) then kill wk
     | _, Protocol.Heartbeat -> ()
-    | Busy i, Protocol.Outcome { payload } -> (
-        match
-          Shard.of_payload ~resumed:false
-            ~source:(Printf.sprintf "worker-%d" wk.id)
-            ~record:i payload
-        with
-        | o
-          when o.Shard.shard = plan.(i) && String.equal o.Shard.fp fps.(i)
-               && o.Shard.quarantined = None ->
+    | (Idle | Busy _), Protocol.Outcome { index; epoch; payload } ->
+        (match wk.state with
+        | Busy a when a.shard = index && a.epoch = epoch -> wk.state <- Idle
+        | _ -> ());
+        ingest_outcome wk ~index ~epoch payload
+    | (Idle | Busy _), Protocol.Failed { index; epoch; detail } -> (
+        match wk.state with
+        | Busy a when a.shard = index && a.epoch = epoch ->
             wk.state <- Idle;
-            record_outcome o
-        | _ | (exception Pqdb_error.Error (Pqdb_error.Malformed_input _)) ->
-            (* A worker answering with the wrong shard, a drifted
-               fingerprint or a torn record is not trustworthy for further
-               orders either. *)
-            kill wk)
-    | Busy i, Protocol.Failed { index; detail } when index = i ->
-        wk.state <- Idle;
-        shard_failed wk.id i detail
+            shard_failed wk.id index detail
+        | _ ->
+            (* A late or duplicated failure from a superseded lease: the
+               shard was already requeued (or resolved); count and drop.
+               An epoch never issued is corruption. *)
+            if issued index epoch then incr late_drops else kill wk)
     | _, Protocol.Shutdown -> bury wk
     | _, (Protocol.Hello _ | Protocol.Order _ | Protocol.Outcome _
-         | Protocol.Failed _ | Protocol.Query _ | Protocol.Reply _) ->
+         | Protocol.Failed _ | Protocol.Lease _ | Protocol.Query _
+         | Protocol.Reply _) ->
         (* Out-of-protocol traffic: treat like corruption. *)
         kill wk
   in
   let assign wk i =
     let trials, deadline_s = slice_of i in
+    incr epoch_counter;
+    let epoch = !epoch_counter in
+    Hashtbl.replace current_epoch i epoch;
     match
-      wk.tr.send (Protocol.Order { index = i; fp = fps.(i); trials; deadline_s })
+      wk.tr.send
+        (Protocol.Order { index = i; epoch; fp = fps.(i); trials; deadline_s })
     with
-    | () -> wk.state <- Busy i
+    | () -> wk.state <- Busy { shard = i; epoch }
     | exception _ ->
         requeue i;
         bury wk
@@ -398,23 +559,50 @@ let run ?budget ?nworkers ?compile_fuel
      while unresolved () do
        let evs = drain () in
        List.iter
-         (fun (id, ev) ->
-           let wk = find_worker id in
+         (fun (key, ev) ->
+           let wk = find_worker key in
            match ev with
            | Msg m -> if wk.state <> Dead then handle_msg wk m
            | Gone -> bury wk)
          evs;
-       (* Heartbeat watchdog — only for real processes; an in-thread worker
-          cannot be killed, only joined. *)
        let now = Unix.gettimeofday () in
+       (* Lease watchdog.  A silent process worker is dead: kill it (its
+          liveness is local — PR 5 behavior).  A silent remote worker may
+          be partitioned or half-open: suspend it — requeue its shard,
+          stop dealing to it, leave the socket alone so it can rejoin by
+          speaking again.  A remote worker that never completed its
+          handshake within the lease is gone (and redialable).  In-thread
+          workers are exempt: they cannot be killed, only joined. *)
        List.iter
          (fun wk ->
-           if wk.tr.pid <> None && now -. wk.last_seen > heartbeat_timeout_s
-           then kill wk)
+           if now -. wk.last_seen > lease_ttl_s then
+             if wk.tr.pid <> None then kill wk
+             else if wk.tr.remote then
+               match wk.state with
+               | Busy a ->
+                   incr leases_expired;
+                   incr reassigned;
+                   requeue a.shard;
+                   wk.state <- Suspended
+               | Idle ->
+                   incr leases_expired;
+                   wk.state <- Suspended
+               | Starting -> kill wk
+               | Suspended | Dead -> ())
          (live ());
-       let idle =
-         List.filter (fun wk -> wk.state = Idle) (live ())
-       in
+       (* Fire due redials: a fresh connection to the lost slot's endpoint,
+          a fresh handshake, a fresh key.  A failed dial re-arms the next
+          backoff step until the slot's attempts run out. *)
+       (if !redials <> [] then
+          let due, later = List.partition (fun (_, d) -> d <= now) !redials in
+          redials := later;
+          List.iter
+            (fun (id, _) ->
+              match admit id with
+              | Some _ -> incr reconnects
+              | None -> schedule_redial id)
+            due);
+       let idle = List.filter (fun wk -> wk.state = Idle) (live ()) in
        List.iter
          (fun wk ->
            (* Prefer a shard this worker has not already failed, so retries
@@ -436,9 +624,11 @@ let run ?budget ?nworkers ?compile_fuel
                pending := List.filter (fun j -> j <> i) !pending;
                assign wk i)
          idle;
-       if live () = [] then
-         (* All workers down (or none ever came up): finish in-process.
-            Shards still marked in-flight were requeued by [bury]. *)
+       if active () = [] && !redials = [] then
+         (* No dealable worker and no redial pending: finish in-process.
+            Shards still marked in-flight were requeued by [bury] or
+            suspension; a partitioned worker that might heal later must
+            not delay termination (its late outcomes are dedup'd). *)
          while unresolved () do
            match !pending with
            | i :: rest ->
@@ -456,12 +646,16 @@ let run ?budget ?nworkers ?compile_fuel
      done;
      emit_ready ()
    with e ->
-     List.iter (fun wk -> kill wk) (live ());
+     List.iter (fun wk -> kill ~reconnect:false wk) (live ());
      Shard.close_journal journal;
      raise e);
   List.iter
     (fun wk ->
-      (try wk.tr.send Protocol.Shutdown with _ -> ());
+      (* No Shutdown for a suspended worker: its link is suspect and an
+         unbounded send could wedge the exit; closing the socket EOFs it. *)
+      (match wk.state with
+      | Suspended -> ()
+      | _ -> ( try wk.tr.send Protocol.Shutdown with _ -> ()));
       wk.state <- Dead;
       wk.tr.close ();
       reap wk)
@@ -497,6 +691,9 @@ let run ?budget ?nworkers ?compile_fuel
     workers_spawned;
     workers_lost = !workers_lost;
     reassigned = !reassigned;
+    reconnects = !reconnects;
+    leases_expired = !leases_expired;
+    late_drops = !late_drops;
     fallback_shards = !fallback_shards;
     compacted;
   }

@@ -44,9 +44,16 @@ type transport = {
   send : Protocol.msg -> unit;
   recv : unit -> Protocol.msg option;  (** blocking; [None] on clean EOF *)
   pid : int option;
-      (** [Some pid] for a real process — enables SIGKILL on heartbeat
-          timeout and waitpid reaping; [None] for an in-process transport
-          (the watchdog leaves those alone). *)
+      (** [Some pid] for a real process — enables SIGKILL on lease expiry
+          and waitpid reaping; [None] for an in-process or remote
+          transport. *)
+  remote : bool;
+      (** A network link rather than a local pipe: lease expiry suspends
+          the worker (partition-tolerant — it may heal and rejoin) instead
+          of killing it, and a lost connection is redialed
+          ([max_reconnects]).  Set by {!tcp_transport}; false for the
+          pipe-based constructors, whose silence means death, not
+          partition. *)
   close : unit -> unit;  (** idempotent; must release both directions *)
 }
 
@@ -77,13 +84,39 @@ val thread_transport :
     fork.  Used by benchmarks and anywhere fork is unavailable; [close]
     joins the thread.  [io_timeout_s] as for {!process_transport}. *)
 
+val tcp_transport :
+  ?io_timeout_s:float -> ?retries:int -> ?retry_delay_s:float ->
+  ?max_delay_s:float -> host:string -> port:int -> unit -> transport
+(** Dial a remote {!Worker.listen} worker at [host:port]
+    ({!Dial.connect}: up to [retries] extra attempts with capped jittered
+    backoff — listeners may still be starting).  The transport is marked
+    [remote] and its I/O goes through the {!Protocol} TCP fault wrappers,
+    so ["distrib.tcp.drop"/"stall"/"dup"] inject network failures on this
+    path; [io_timeout_s] as for {!process_transport} (recommended — an
+    unbounded send to a half-open peer can block until the kernel buffers
+    fill).  [close] shuts the socket down before closing so a reader
+    blocked in [recv] wakes with EOF.
+    @raise Invalid_argument on an unresolvable [host];
+    [Unix.Unix_error] when the dial ultimately fails. *)
+
 type summary = {
   stream : Pqdb_montecarlo.Confidence.stream_summary;
       (** The same accounting the sequential stream reports. *)
-  workers_spawned : int;  (** transports successfully opened *)
+  workers_spawned : int;  (** transports successfully opened at start *)
   workers_lost : int;
-      (** died, timed out, refused at handshake, or turned corrupt *)
-  reassigned : int;  (** in-flight shards requeued off a lost worker *)
+      (** connections that died, timed out, were refused at handshake, or
+          turned corrupt (a slot lost and redialed counts once per lost
+          connection) *)
+  reassigned : int;
+      (** in-flight shards requeued off a lost or suspended worker *)
+  reconnects : int;  (** lost remote slots successfully re-dialed *)
+  leases_expired : int;
+      (** remote workers suspended because their lease lapsed (the
+          partition-tolerance path; process workers are killed instead) *)
+  late_drops : int;
+      (** duplicate or superseded deliveries dropped by first-wins
+          ingestion — outcomes for already-resolved shards, duplicated
+          frames, late failures from expired leases *)
   fallback_shards : int;  (** shards solved in-process, fleet gone *)
   compacted : (int * int) option;
       (** [(kept, dropped)] when the journal was auto-compacted on clean
@@ -93,7 +126,8 @@ type summary = {
 val run :
   ?budget:Pqdb_montecarlo.Budget.t -> ?nworkers:int -> ?compile_fuel:int ->
   ?options:Pqdb_montecarlo.Confidence.stream_options ->
-  ?heartbeat_timeout_s:float -> ?source:string * string ->
+  ?lease_ttl_s:float -> ?max_reconnects:int -> ?reconnect_delay_s:float ->
+  ?source:string * string ->
   workers:int -> spawn:(int -> transport) ->
   Rng.t -> Wtable.t -> Assignment.t list array -> eps:float -> delta:float ->
   emit:(Pqdb_montecarlo.Shard.outcome -> unit) -> summary
@@ -106,14 +140,38 @@ val run :
     (sharing one [.udbb] mapping through the page cache) instead of being
     re-told via argv or regenerating from a seed.  Workers are
     admitted only after a reply [Hello] matching this run's meta payload
-    and RNG probe; drifted workers are refused and counted lost.
-    [heartbeat_timeout_s] (default 30) bounds silence from a live process
-    worker before it is SIGKILLed.  [options] carries the shard ceiling,
-    retry budget and checkpoint/resume exactly as for [run_stream];
-    resumed shards are replayed from the journal without being dealt.
-    Exceptions from [emit] are not contained (workers are killed, the
-    journal closed, and the exception re-raised).
-    @raise Invalid_argument on bad (ε, δ), [workers < 1], bad [options] or
-    a non-positive timeout.
+    and RNG probe, and are then granted a [Lease] of [lease_ttl_s]
+    (default 30 s); drifted workers are refused, counted lost, and never
+    redialed.
+
+    {e Lease-based liveness}: a worker not heard from within [lease_ttl_s]
+    has an expired lease.  For a process worker that means SIGKILL; for a
+    [remote] transport it means suspension — the in-flight shard is
+    requeued (reassignable even though the socket still looks alive: the
+    half-open case) and the worker rejoins the pool the moment it speaks
+    again.  Every order carries a fresh lease {e epoch}; ingestion is
+    idempotent and first-wins on (shard, epoch), so a late outcome from a
+    superseded lease, or a duplicated frame, is detected and dropped
+    ([late_drops]) — and since shard outcomes are bit-identical whoever
+    computes them, first-wins keeps [emit]'s byte stream identical to the
+    single-process one for {e any} fleet history.
+
+    {e Reconnect-resume}: a lost [remote] connection is redialed — same
+    spawn slot, hence same endpoint — with capped jittered backoff, up to
+    [max_reconnects] (default 0) times per slot ([reconnect_delay_s],
+    default 0.25 s, seeds the backoff); the fresh connection re-handshakes
+    with the same drift-refusal probe before rejoining.  In-process
+    fallback engages only when no active worker remains {e and} no redial
+    is pending; suspended workers never delay it (a partition may never
+    heal), their late deliveries being dedup'd as above.
+
+    [options] carries the shard ceiling, retry budget and
+    checkpoint/resume exactly as for [run_stream]; resumed shards are
+    replayed from the journal without being dealt.  Exceptions from
+    [emit] are not contained (workers are killed, the journal closed, and
+    the exception re-raised).
+    @raise Invalid_argument on bad (ε, δ), [workers < 1], bad [options],
+    a non-positive [lease_ttl_s]/[reconnect_delay_s] or negative
+    [max_reconnects].
     @raise Pqdb_runtime.Pqdb_error.Error on a corrupt or mismatched resume
     journal, as for [run_stream]. *)

@@ -8,9 +8,16 @@ type msg =
       probe : string;
       source : (string * string) option;
     }
-  | Order of { index : int; fp : string; trials : int option; deadline_s : float option }
-  | Outcome of { payload : string }
-  | Failed of { index : int; detail : string }
+  | Order of {
+      index : int;
+      epoch : int;
+      fp : string;
+      trials : int option;
+      deadline_s : float option;
+    }
+  | Outcome of { index : int; epoch : int; payload : string }
+  | Failed of { index : int; epoch : int; detail : string }
+  | Lease of { ttl_s : float }
   | Heartbeat
   | Shutdown
   | Query of { id : int; spec : string }
@@ -75,12 +82,15 @@ let source_fields = function
 let payload_of = function
   | Hello { meta; probe; source } ->
       Printf.sprintf "hello %s %s %s" probe (source_fields source) meta
-  | Order { index; fp; trials; deadline_s } ->
-      Printf.sprintf "order %d %s %s %s" index fp
+  | Order { index; epoch; fp; trials; deadline_s } ->
+      Printf.sprintf "order %d %d %s %s %s" index epoch fp
         (match trials with None -> "-" | Some t -> string_of_int t)
         (match deadline_s with None -> "-" | Some d -> Printf.sprintf "%h" d)
-  | Outcome { payload } -> "outcome " ^ payload
-  | Failed { index; detail } -> Printf.sprintf "failed %d %s" index (escape detail)
+  | Outcome { index; epoch; payload } ->
+      Printf.sprintf "outcome %d %d %s" index epoch payload
+  | Failed { index; epoch; detail } ->
+      Printf.sprintf "failed %d %d %s" index epoch (escape detail)
+  | Lease { ttl_s } -> Printf.sprintf "lease %h" ttl_s
   | Heartbeat -> "hb"
   | Shutdown -> "bye"
   (* Serve-layer frames.  Spec and body are free text (the body typically
@@ -104,6 +114,11 @@ let int_field what s =
   | Some v -> v
   | None -> bad (Printf.sprintf "%s field %S is not an integer" what s)
 
+let epoch_field what s =
+  let e = int_field (what ^ " epoch") s in
+  if e < 0 then bad (Printf.sprintf "%s epoch must be non-negative" what);
+  e
+
 let msg_of_payload payload =
   let tag, rest = split_first payload in
   match tag with
@@ -122,7 +137,7 @@ let msg_of_payload payload =
       Hello { meta; probe; source }
   | "order" -> (
       match String.split_on_char ' ' rest with
-      | [ index; fp; trials; deadline ] ->
+      | [ index; epoch; fp; trials; deadline ] ->
           let trials =
             if trials = "-" then None else Some (int_field "order trials" trials)
           in
@@ -136,12 +151,37 @@ let msg_of_payload payload =
           (match trials with
           | Some t when t < 0 -> bad "order trials must be non-negative"
           | _ -> ());
-          Order { index = int_field "order index" index; fp; trials; deadline_s }
+          Order
+            {
+              index = int_field "order index" index;
+              epoch = epoch_field "order" epoch;
+              fp;
+              trials;
+              deadline_s;
+            }
       | _ -> bad (Printf.sprintf "order frame has wrong arity: %S" rest))
-  | "outcome" -> Outcome { payload = rest }
+  | "outcome" ->
+      let index, rest = split_first rest in
+      let epoch, payload = split_first rest in
+      Outcome
+        {
+          index = int_field "outcome index" index;
+          epoch = epoch_field "outcome" epoch;
+          payload;
+        }
   | "failed" ->
-      let index, detail = split_first rest in
-      Failed { index = int_field "failed index" index; detail }
+      let index, rest = split_first rest in
+      let epoch, detail = split_first rest in
+      Failed
+        {
+          index = int_field "failed index" index;
+          epoch = epoch_field "failed" epoch;
+          detail;
+        }
+  | "lease" -> (
+      match float_of_string_opt rest with
+      | Some t when t > 0. && Float.is_finite t -> Lease { ttl_s = t }
+      | _ -> bad (Printf.sprintf "lease ttl %S is not a positive float" rest))
   | "hb" -> Heartbeat
   | "bye" -> Shutdown
   | "query" ->
@@ -354,3 +394,40 @@ let read_fd_frame ?timeout_s fd =
   | () ->
       read_fd_rest ~site ~timeout_s ~deadline:(deadline_of timeout_s) fd
         header
+
+(* Network fault wrappers for the remote-worker path.  Three sites model
+   the failure modes a TCP link adds over a pipe to a child process:
+
+   - ["distrib.tcp.drop"]: the connection dies under us — the socket is
+     shut down (so the peer sees EOF/RST, exactly like a yanked cable)
+     and the caller gets [Injected].
+   - ["distrib.tcp.stall"]: a half-open link — armed [stall] blocks the
+     I/O until the registry releases it (bounded by the stall cap), long
+     enough for a lease to expire while the socket still "looks" alive.
+   - ["distrib.tcp.dup"]: the frame is delivered twice — models a
+     retransmit-after-timeout duplication; receivers must be idempotent.
+
+   The wrappers compose with the plain ["distrib.send"]/["distrib.recv"]
+   sites, which still fire inside the underlying calls. *)
+
+let tcp_fault fd =
+  if Faultpoint.should_fail "distrib.tcp.drop" then begin
+    (try Unix.shutdown fd Unix.SHUTDOWN_ALL
+     with Unix.Unix_error _ -> ());
+    Pqdb_error.error (Pqdb_error.Injected "distrib.tcp.drop")
+  end;
+  Faultpoint.fire "distrib.tcp.stall"
+
+let tcp_write_fd ?timeout_s fd msg =
+  tcp_fault fd;
+  if Faultpoint.check "distrib.tcp.dup" <> None then
+    write_fd ?timeout_s fd msg;
+  write_fd ?timeout_s fd msg
+
+let tcp_read_fd ?timeout_s fd =
+  tcp_fault fd;
+  read_fd ?timeout_s fd
+
+let tcp_read_fd_frame ?timeout_s fd =
+  tcp_fault fd;
+  read_fd_frame ?timeout_s fd

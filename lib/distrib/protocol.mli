@@ -32,17 +32,38 @@ type msg =
           by the whole fleet via the page cache) instead of regenerating
           from a [--gen] seed.  Source fields are percent-encoded on the
           wire; [None] marks a synthetic-workload run. *)
-  | Order of { index : int; fp : string; trials : int option; deadline_s : float option }
-      (** Coordinator → worker: solve shard [index].  [fp] is the data
-          fingerprint the worker must re-derive from its own clause sets;
-          [trials]/[deadline_s] are the shard's budget slice ([None] =
-          unlimited — the bit-identical no-budget path). *)
-  | Outcome of { payload : string }
+  | Order of {
+      index : int;
+      epoch : int;
+      fp : string;
+      trials : int option;
+      deadline_s : float option;
+    }
+      (** Coordinator → worker: solve shard [index].  [epoch] stamps the
+          lease under which the order was issued — a fresh epoch is drawn
+          every time a shard is (re)assigned, so an outcome arriving after
+          its lease was superseded is recognizable as late rather than
+          wrong.  [fp] is the data fingerprint the worker must re-derive
+          from its own clause sets; [trials]/[deadline_s] are the shard's
+          budget slice ([None] = unlimited — the bit-identical no-budget
+          path). *)
+  | Outcome of { index : int; epoch : int; payload : string }
       (** Worker → coordinator: a completed shard's
-          {!Pqdb_montecarlo.Shard.to_payload} record, bit-exact. *)
-  | Failed of { index : int; detail : string }
-      (** Worker → coordinator: shard [index] raised; the worker survives
-          and can take further orders.  [detail] is the rendered error. *)
+          {!Pqdb_montecarlo.Shard.to_payload} record, bit-exact, echoing
+          the [index]/[epoch] of the order that requested it so ingestion
+          can dedup duplicated or superseded deliveries (first-wins). *)
+  | Failed of { index : int; epoch : int; detail : string }
+      (** Worker → coordinator: shard [index] (under lease [epoch]) raised;
+          the worker survives and can take further orders.  [detail] is
+          the rendered error. *)
+  | Lease of { ttl_s : float }
+      (** Coordinator → worker, granted at admission: the liveness lease.
+          A worker must be heard from (heartbeat or any frame) within
+          every [ttl_s] window or the coordinator treats its lease as
+          expired and its in-flight shard as reassignable — even if the
+          socket still looks open (half-open links).  A worker whose
+          heartbeat interval cannot renew the lease in time clamps it
+          down and warns. *)
   | Heartbeat  (** Worker liveness tick (also sent during long solves). *)
   | Shutdown  (** Coordinator → worker: drain and exit cleanly. *)
   | Query of { id : int; spec : string }
@@ -95,3 +116,25 @@ val read_fd_frame : ?timeout_s:float -> Unix.file_descr -> msg option
     leave it blocked forever (which would look like a live worker, since
     heartbeats run on their own thread).  Same failure surface as
     {!read_fd}. *)
+
+(** {2 TCP fault wrappers}
+
+    The remote-worker path speaks through these variants, which add three
+    network fault sites in front of the plain fd I/O (whose own
+    ["distrib.send"]/["distrib.recv"] sites still fire):
+    ["distrib.tcp.drop"] shuts the socket down and raises [Injected] (a
+    dropped connection — the peer sees EOF), ["distrib.tcp.stall"] acts
+    its armed mode before the I/O (armed [stall] models a half-open link:
+    the call blocks, bounded by the stall cap, while the socket looks
+    alive), and ["distrib.tcp.dup"] makes {!tcp_write_fd} emit the frame
+    twice (a duplicated delivery — receivers must be idempotent). *)
+
+val tcp_write_fd : ?timeout_s:float -> Unix.file_descr -> msg -> unit
+(** {!write_fd} behind the TCP fault sites; ["distrib.tcp.dup"] writes
+    the frame twice. *)
+
+val tcp_read_fd : ?timeout_s:float -> Unix.file_descr -> msg option
+(** {!read_fd} behind the TCP fault sites. *)
+
+val tcp_read_fd_frame : ?timeout_s:float -> Unix.file_descr -> msg option
+(** {!read_fd_frame} behind the TCP fault sites. *)

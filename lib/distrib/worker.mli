@@ -35,28 +35,66 @@ val budget_of_slice :
     fallback uses the same mapping so a shard's slice means the same thing
     wherever it runs. *)
 
-val serve :
+val serve_session :
   ?compile_fuel:int -> ?nworkers:int -> ?shard_cost:int ->
-  ?heartbeat_s:float -> ?frame_timeout_s:float ->
+  ?heartbeat_s:float -> ?frame_timeout_s:float -> ?tcp:bool ->
   Rng.t -> Wtable.t -> Assignment.t list array ->
-  eps:float -> delta:float -> input:in_channel -> output:out_channel -> unit
-(** Run the worker loop: send [Hello], then answer [Order]s with [Outcome]
-    (or [Failed] — a failed shard does not kill the worker; the coordinator
-    decides between reassignment and quarantine) until [Shutdown] or EOF on
-    [input].  A heartbeat thread ticks every [heartbeat_s] (default 0.25 s)
-    the whole time, including during long solves.  [shard_cost] must match
-    the coordinator's ({!Pqdb_montecarlo.Confidence.stream_options}
-    default); [nworkers] sizes this worker's own domain pool.  SIGPIPE is
-    ignored so a vanished coordinator surfaces as an I/O error, not a
-    process kill.
+  eps:float -> delta:float ->
+  in_fd:Unix.file_descr -> out_fd:Unix.file_descr -> unit -> unit
+(** Run one coordinator session over raw fds ([in_fd] = [out_fd] for a
+    socket): send [Hello], then answer [Order]s with [Outcome] (or
+    [Failed] — a failed shard does not kill the session; the coordinator
+    decides between reassignment and quarantine) until [Shutdown] or EOF.
+    A heartbeat thread ticks every [heartbeat_s] (default 0.25 s) the
+    whole time, including during long solves; a [Lease] grant whose ttl
+    the cadence cannot renew clamps the interval down (with a stderr
+    warning).  A duplicated order frame resends the cached reply instead
+    of re-solving.  [shard_cost] must match the coordinator's
+    ({!Pqdb_montecarlo.Confidence.stream_options} default); [nworkers]
+    sizes this worker's own domain pool.  SIGPIPE is ignored so a
+    vanished coordinator surfaces as an I/O error, not a process kill.
 
     Orders are read with {!Protocol.read_fd_frame}: the idle wait between
     frames is unbounded, but once a frame starts its remainder must arrive
     within [frame_timeout_s] (default 30 s) — a coordinator that tears a
     frame mid-write cannot leave the worker wedged-but-heartbeating.
-    [input] must therefore carry no channel-buffered read-ahead; read any
-    greeting off its fd ({!Protocol.read_fd_frame}), not through the
-    channel.
-    @raise Invalid_argument on bad (ε, δ), [shard_cost] or
-    [frame_timeout_s].  I/O errors on a dead peer propagate — the CLI
-    turns them into a nonzero exit. *)
+    [tcp] (default false) routes all I/O through the {!Protocol} TCP fault
+    wrappers and bounds sends by [frame_timeout_s] too.
+    @raise Invalid_argument on bad (ε, δ), [shard_cost], [heartbeat_s] or
+    [frame_timeout_s].  I/O errors on a dead peer propagate. *)
+
+val serve :
+  ?compile_fuel:int -> ?nworkers:int -> ?shard_cost:int ->
+  ?heartbeat_s:float -> ?frame_timeout_s:float ->
+  Rng.t -> Wtable.t -> Assignment.t list array ->
+  eps:float -> delta:float -> input:in_channel -> output:out_channel -> unit
+(** {!serve_session} over the fds underlying a channel pair — the
+    stdin/stdout worker the coordinator's process transport spawns.
+    [input] must carry no channel-buffered read-ahead; read any greeting
+    off its fd ({!Protocol.read_fd_frame}), not through the channel.
+    I/O errors on a dead peer propagate — the CLI turns them into a
+    nonzero exit. *)
+
+val listen :
+  ?compile_fuel:int -> ?nworkers:int -> ?shard_cost:int ->
+  ?heartbeat_s:float -> ?frame_timeout_s:float -> ?backlog:int ->
+  ?max_sessions:int -> ?ready:(int -> unit) ->
+  make_rng:(unit -> Rng.t) ->
+  resolve:((string * string) option -> Wtable.t * Assignment.t list array) ->
+  host:string -> port:int -> eps:float -> delta:float -> unit -> unit
+(** Remote worker: bind [host:port] (TCP, [SO_REUSEADDR]; [port = 0] picks
+    an ephemeral port, reported through [ready] along with any fixed one)
+    and serve coordinator connections one session at a time, each a full
+    {!serve_session} with [tcp:true].  The coordinator speaks first; its
+    greeting [Hello]'s [source] field is passed to [resolve] to produce
+    this worker's inputs ([None] = synthetic workload from local
+    arguments), and resolved inputs are cached per source so a
+    reconnecting coordinator finds the data warm.  [make_rng] supplies a
+    fresh batch-seed RNG per session (sessions must not advance each
+    other's lanes).  A session that ends — [Shutdown], EOF from a lost
+    coordinator, or a faulted connection (logged to stderr) — returns the
+    listener to [accept]: surviving to serve the next dial is the
+    worker-side half of reconnect-resume.  [max_sessions] bounds the
+    number of sessions served (default unbounded), for tests and drains.
+    @raise Invalid_argument on bad parameters or an unresolvable [host];
+    bind errors propagate. *)

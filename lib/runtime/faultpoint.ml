@@ -12,6 +12,9 @@ let known =
     "distrib.send";
     "distrib.recv";
     "distrib.spawn";
+    "distrib.tcp.drop";
+    "distrib.tcp.stall";
+    "distrib.tcp.dup";
     "serve.accept";
     "serve.session";
   ]

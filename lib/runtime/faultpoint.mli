@@ -4,6 +4,7 @@
     ["karp_luby.estimator"], ["pool.task"], ["pool.spawn"],
     ["udb_io.wtable"], ["udb_binary.load"], ["checkpoint.write"],
     ["shard.run"], ["distrib.send"], ["distrib.recv"], ["distrib.spawn"],
+    ["distrib.tcp.drop"], ["distrib.tcp.stall"], ["distrib.tcp.dup"],
     ["serve.accept"], ["serve.session"]) that calls {!fire}, {!check} or
     {!should_fail}.  Nothing happens unless the point is {e armed} —
     programmatically via {!arm}, or through the [PQDB_FAULTPOINTS]

@@ -16,17 +16,14 @@ let domain_of = function
   | Server.Unix_socket _ -> Unix.PF_UNIX
   | Server.Tcp _ -> Unix.PF_INET
 
-(* Capped exponential backoff with deterministic jitter: attempt [k] waits
-   [retry_delay_s * 2^k], capped at [max_delay_s], scaled into [0.5, 1.0)
-   by a Weyl-sequence fraction of the attempt index — no RNG state, so two
-   runs of the same script back off identically, while a thundering herd of
-   *distinct* attempt counts still spreads out. *)
-let backoff_delay_s ~retry_delay_s ~max_delay_s k =
-  let base = retry_delay_s *. (2. ** float_of_int (min k 20)) in
-  let capped = Float.min base max_delay_s in
-  let phi = 0.61803398874989479 in
-  let frac = Float.rem (phi *. float_of_int (k + 1)) 1. in
-  capped *. (0.5 +. (0.5 *. frac))
+(* The backoff law lives in {!Pqdb_distrib.Dial} now, shared with the
+   coordinator's TCP transport and redial loop; this re-export keeps the
+   serve-layer name (and its tests).  [salt] defaults to 0 — the
+   historical attempt-only jitter — and {!connect} passes the
+   per-connection (pid ⊕ fd) salt so a fleet of clients retrying together
+   fans out instead of thundering in lockstep. *)
+let backoff_delay_s ?salt ~retry_delay_s ~max_delay_s k =
+  Pqdb_distrib.Dial.backoff_delay_s ?salt ~retry_delay_s ~max_delay_s k
 
 let is_busy body =
   String.length body >= 5 && String.equal (String.sub body 0 5) "busy:"
@@ -43,14 +40,16 @@ let connect ?(retries = 0) ?(retry_delay_s = 0.2) ?(max_delay_s = 2.0)
    with Invalid_argument _ -> ());
   let rec attempt k =
     let left = retries - k in
+    let fd = Unix.socket ~cloexec:true (domain_of addr) Unix.SOCK_STREAM 0 in
+    (* Salt read before [drop] — a closed fd's number may be reused. *)
+    let salt = Pqdb_distrib.Dial.connection_salt fd in
     let retry e =
       if left > 0 then begin
-        Unix.sleepf (backoff_delay_s ~retry_delay_s ~max_delay_s k);
+        Unix.sleepf (backoff_delay_s ~salt ~retry_delay_s ~max_delay_s k);
         attempt (k + 1)
       end
       else raise e
     in
-    let fd = Unix.socket ~cloexec:true (domain_of addr) Unix.SOCK_STREAM 0 in
     let drop () = try Unix.close fd with _ -> () in
     match Unix.connect fd (sockaddr_of addr) with
     | () -> (
@@ -76,7 +75,7 @@ let connect ?(retries = 0) ?(retry_delay_s = 0.2) ?(max_delay_s = 2.0)
           ((Unix.ECONNREFUSED | Unix.ENOENT | Unix.EAGAIN), _, _)
       when left > 0 ->
         drop ();
-        Unix.sleepf (backoff_delay_s ~retry_delay_s ~max_delay_s k);
+        Unix.sleepf (backoff_delay_s ~salt ~retry_delay_s ~max_delay_s k);
         attempt (k + 1)
     | exception e ->
         drop ();

@@ -5,10 +5,15 @@
 type t
 
 val backoff_delay_s :
-  retry_delay_s:float -> max_delay_s:float -> int -> float
+  ?salt:int -> retry_delay_s:float -> max_delay_s:float -> int -> float
 (** The delay before retry attempt [k] (0-based): [retry_delay_s * 2^k]
     capped at [max_delay_s], scaled into [[0.5, 1.0)] of itself by a
-    deterministic (Weyl-sequence) jitter of [k].  Exposed for tests. *)
+    deterministic (Weyl-sequence) jitter of [salt ⊕ k].  Delegates to
+    {!Pqdb_distrib.Dial.backoff_delay_s} — one backoff law for every
+    socket client.  [salt] (default 0: the attempt-only jitter) is seeded
+    per connection by {!connect} with pid ⊕ fd, so a fleet of clients
+    retrying together spreads out instead of thundering in lockstep.
+    Exposed for tests. *)
 
 val connect :
   ?retries:int -> ?retry_delay_s:float -> ?max_delay_s:float ->

@@ -292,7 +292,7 @@ let session t sid fd =
               end
           | Some
               ( Protocol.Hello _ | Protocol.Order _ | Protocol.Outcome _
-              | Protocol.Failed _ | Protocol.Reply _ ) ->
+              | Protocol.Failed _ | Protocol.Lease _ | Protocol.Reply _ ) ->
               (* Out-of-protocol traffic: drop the session. *)
               ()
           | Some Protocol.Heartbeat -> loop ()
@@ -338,14 +338,37 @@ let shed_session t fd =
 (* ------------------------------------------------------------------ *)
 (* Accept loop.                                                        *)
 
+(* Is anyone actually home behind this unix socket?  A SIGKILL'd daemon
+   cannot unlink its socket, so the path outlives it and a naive bind gets
+   EADDRINUSE forever.  The connect-probe disambiguates: ECONNREFUSED
+   means the listener is gone (the socket is stale — safe to unlink and
+   rebind), a successful connect means a live daemon owns the path (and
+   the probe is closed without speaking).  Only [ECONNREFUSED] proves
+   staleness; any other outcome is treated as live/unknown and the path
+   is left alone. *)
+let socket_stale path =
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let finish r =
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    r
+  in
+  match Unix.connect fd (Unix.ADDR_UNIX path) with
+  | () -> finish false
+  | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) -> finish true
+  | exception _ -> finish false
+
 let bind_listen = function
   | Unix_socket path ->
       (match Unix.lstat path with
       | { Unix.st_kind = Unix.S_SOCK; _ } ->
-          (* A previous daemon's socket: connecting would have failed, so
-             rebinding is safe.  Anything else at the path is refused by
-             bind below rather than deleted. *)
-          (try Unix.unlink path with Unix.Unix_error _ -> ())
+          if socket_stale path then (
+            try Unix.unlink path with Unix.Unix_error _ -> ())
+          else
+            failwith
+              (Printf.sprintf
+                 "socket %s is owned by a running daemon; stop it first \
+                  (or point --socket elsewhere)"
+                 path)
       | _ -> ()
       | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
       let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in

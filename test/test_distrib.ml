@@ -231,7 +231,7 @@ let msg_of_seed seed =
     String.init (Rng.int rng n) (fun _ ->
         Char.chr (32 + Rng.int rng 95) (* printable ASCII incl. space *))
   in
-  match Rng.int rng 8 with
+  match Rng.int rng 9 with
   | 0 ->
       (* Sources exercise the percent-encoding: paths with spaces, percents,
          dashes and empty relation names must survive the space-separated
@@ -249,12 +249,17 @@ let msg_of_seed seed =
       Protocol.Order
         {
           index = Rng.int rng 1000;
+          epoch = Rng.int rng 10_000;
           fp = Printf.sprintf "%08x" (Rng.int rng 0xFFFFFF);
           trials = (if Rng.bool rng then Some (Rng.int rng 100_000) else None);
           deadline_s = (if Rng.bool rng then Some (Rng.float rng 10.) else None);
         }
-  | 2 -> Protocol.Outcome { payload = str 200 }
-  | 3 -> Protocol.Failed { index = Rng.int rng 1000; detail = str 80 }
+  | 2 ->
+      Protocol.Outcome
+        { index = Rng.int rng 1000; epoch = Rng.int rng 10_000; payload = str 200 }
+  | 3 ->
+      Protocol.Failed
+        { index = Rng.int rng 1000; epoch = Rng.int rng 10_000; detail = str 80 }
   | 4 -> Protocol.Heartbeat
   | 5 ->
       (* Specs carry arbitrary printable text (spaces, percents, dashes). *)
@@ -269,6 +274,9 @@ let msg_of_seed seed =
         | _ -> "-"
       in
       Protocol.Reply { id = Rng.int rng 1000; ok = Rng.bool rng; body }
+  | 7 ->
+      (* Lease TTLs travel as %h hex floats: bit-exact round-trip. *)
+      Protocol.Lease { ttl_s = 0.001 +. Rng.float rng 100. }
   | _ -> Protocol.Shutdown
 
 let decode_all bytes =
@@ -297,7 +305,10 @@ let protocol_roundtrip =
 
 let test_protocol_corruption () =
   clear_all ();
-  let frame = Protocol.encode (Protocol.Outcome { payload = "0 0 3 12 abc" }) in
+  let frame =
+    Protocol.encode
+      (Protocol.Outcome { index = 3; epoch = 1; payload = "0 0 3 12 abc" })
+  in
   let typed f =
     match f () with
     | _ -> Alcotest.fail "corrupt frame decoded"

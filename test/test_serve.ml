@@ -376,6 +376,78 @@ let test_accept_fault_containment () =
       Client.close probe;
       Thread.join daemon)
 
+(* ------------------------------------------------------------------ *)
+(* Stale-socket takeover: a SIGKILL'd daemon leaves its socket path     *)
+(* behind; the bind-time connect-probe lets the next daemon reclaim it, *)
+(* while a live daemon's socket is refused with a friendly error.       *)
+
+let test_stale_socket_rebind () =
+  clear_all ();
+  with_fixture_db (fun db ->
+      let sock = temp_path ".sock" in
+      (* Fake a crashed daemon: bind + listen, then close the listener
+         without unlinking — exactly the wreckage SIGKILL leaves. *)
+      let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind fd (Unix.ADDR_UNIX sock);
+      Unix.listen fd 1;
+      Unix.close fd;
+      check bool_c "the corpse's socket path survives" true
+        (Sys.file_exists sock);
+      let listen = Server.Unix_socket sock in
+      let srv = Server.create (config ~db_path:db listen) in
+      let daemon = Thread.create (fun () -> ignore (Server.run srv)) () in
+      let c = Client.connect ~retries:50 listen in
+      let ok, _ = Client.query c "conf events" in
+      check bool_c "daemon reclaimed the stale socket and serves" true ok;
+      ignore (Client.query c "shutdown");
+      Client.close c;
+      Thread.join daemon)
+
+let test_live_socket_refused () =
+  clear_all ();
+  with_fixture_db (fun db ->
+      let sock = temp_path ".sock" in
+      let listen = Server.Unix_socket sock in
+      let srv = Server.create (config ~db_path:db listen) in
+      let daemon = Thread.create (fun () -> ignore (Server.run srv)) () in
+      let c = Client.connect ~retries:50 listen in
+      (* With the first daemon alive behind the path, a second bind must
+         refuse rather than steal the socket out from under it. *)
+      let rival = Server.create (config ~db_path:db listen) in
+      (match Server.run rival with
+      | _ -> Alcotest.fail "second daemon stole a live socket"
+      | exception Failure msg ->
+          check bool_c "refusal names the running daemon" true
+            (contains msg "running daemon"));
+      let ok, _ = Client.query c "conf events" in
+      check bool_c "original daemon unharmed" true ok;
+      ignore (Client.query c "shutdown");
+      Client.close c;
+      Thread.join daemon)
+
+let test_backoff_salt_spreads () =
+  (* Same salt → identical schedule (determinism survives the salting);
+     distinct salts → distinct schedules (a fleet retrying together fans
+     out); every delay stays inside [capped/2, capped]. *)
+  let delays salt =
+    List.init 8 (fun k ->
+        Client.backoff_delay_s ~salt ~retry_delay_s:0.1 ~max_delay_s:2.0 k)
+  in
+  check (Alcotest.list (Alcotest.float 0.)) "same salt, same schedule"
+    (delays 7) (delays 7);
+  check bool_c "distinct salts, distinct schedules" true (delays 7 <> delays 8);
+  List.iter
+    (fun salt ->
+      List.iteri
+        (fun k d ->
+          let capped = Float.min (0.1 *. (2. ** float_of_int k)) 2.0 in
+          check bool_c
+            (Printf.sprintf "salt %d attempt %d within [cap/2, cap]" salt k)
+            true
+            (d >= (capped /. 2.) -. 1e-12 && d <= capped +. 1e-12))
+        (delays salt))
+    [ 0; 1; 42; 9999 ]
+
 let () =
   Alcotest.run "serve"
     [
@@ -405,5 +477,11 @@ let () =
           Alcotest.test_case "round trip" `Quick test_socket_round_trip;
           Alcotest.test_case "accept fault containment" `Quick
             test_accept_fault_containment;
+          Alcotest.test_case "stale socket reclaimed" `Quick
+            test_stale_socket_rebind;
+          Alcotest.test_case "live socket refused" `Quick
+            test_live_socket_refused;
+          Alcotest.test_case "backoff salt spreads the fleet" `Quick
+            test_backoff_salt_spreads;
         ] );
     ]
