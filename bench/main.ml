@@ -30,6 +30,7 @@ let experiments =
     ("E15", Exp_ablations.e15_rational_vs_float);
     ("E16", Exp_ablations.e16_vertical);
     ("E17", Exp_ablations.e17_topk);
+    ("E18", Exp_conditioning.run);
     ("E3c", fun ~quick:_ -> Micro.confidence_engine ());
   ]
 

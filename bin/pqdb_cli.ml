@@ -17,6 +17,8 @@ open Pqdb_urel
 module Ua = Pqdb_ast.Ua
 module Qparser = Pqdb_lang.Qparser
 module Rng = Pqdb_numeric.Rng
+module Cset = Pqdb_conditioning.Constraint_set
+module Condition = Pqdb_conditioning.Condition
 
 let load_tables ?db specs =
   let udb =
@@ -45,6 +47,13 @@ let read_query query query_file =
         (fun () -> In_channel.input_all ic)
   | Some _, Some _ -> failwith "give either a query or --query-file, not both"
   | None, None -> failwith "no query given (positional argument or --query-file)"
+
+(* A command's conditioning context: repeatable --assert flags (each one
+   constraint in the ASSERT grammar) plus any assert/condition statements in
+   the program text, validated into one set — the conjunction. *)
+let constraint_set_of ~asserts ~stmts =
+  List.fold_left Cset.add Cset.empty
+    (stmts @ List.map Qparser.parse_constraint asserts)
 
 (* Boundary validation: turn bad parameters into friendly messages before
    they reach the engine as cryptic Invalid_argument/assert failures. *)
@@ -198,7 +207,8 @@ let print_result_urel u =
   else Format.printf "%a@." Urelation.pp u
 
 let run_cmd db tables query_file approx optimize delta eps0 deadline
-    max_trials seed shard_size checkpoint resume retries faultpoints query =
+    max_trials seed shard_size checkpoint resume retries faultpoints asserts
+    query =
   try
     check_unit_interval "delta" delta;
     check_unit_interval "eps0" eps0;
@@ -212,14 +222,48 @@ let run_cmd db tables query_file approx optimize delta eps0 deadline
     let budget = make_budget ~deadline ~max_trials in
     let udb = load_tables ?db tables in
     let text = read_query query query_file in
-    let _views, final = Qparser.parse_program text in
+    let prog = Qparser.parse_program_full text in
     let q =
-      match final with
+      match prog.Qparser.query with
       | Some q -> q
       | None -> failwith "the program has no final query expression"
     in
+    let cset =
+      constraint_set_of ~asserts ~stmts:prog.Qparser.constraints
+    in
     let q = if optimize then Pqdb.Optimizer.optimize_for udb q else q in
-    if approx then begin
+    if not (Cset.is_empty cset) then begin
+      (* Conditioned mode: the answer is Pr(t ∈ q | constraints) per
+         possible tuple — exact where the lineage admits it, else anytime
+         brackets sound for the ratio (Condition).  Sharded streaming does
+         not compose with the shared renormalizing denominator. *)
+      if stream <> None then
+        failwith
+          "--assert conditioning does not compose with \
+           --shard-size/--checkpoint/--resume/--retries";
+      let compiled = Condition.compile udb cset in
+      Format.printf "-- conditioned on: %a@." Cset.pp cset;
+      if approx then begin
+        let estimates =
+          Condition.approx_confidences ?budget ~seed ~eps:eps0 ~delta udb
+            compiled q
+        in
+        List.iter
+          (fun (t, e) ->
+            Format.printf "%a  ~%.6f in [%.6f, %.6f]%s@." Tuple.pp t
+              e.Condition.value e.Condition.lo e.Condition.hi
+              (if e.Condition.exact then " (exact)"
+               else Printf.sprintf " (%d trials)" e.Condition.trials))
+          estimates;
+        report_budget budget
+      end
+      else
+        List.iter
+          (fun (t, p) ->
+            Format.printf "%a  %a@." Tuple.pp t Pqdb_numeric.Rational.pp p)
+          (Condition.exact_confidences udb compiled q)
+    end
+    else if approx then begin
       let rng = Rng.create ~seed in
       let result, stats, rounds =
         Pqdb.Eval_approx.eval_with_guarantee ?budget ?stream ~eps0 ~rng ~delta
@@ -348,7 +392,7 @@ let explain_cmd db tables query_file query =
       1
 
 let topk_cmd db tables query_file k delta compile_fuel deadline max_trials
-    seed faultpoints query =
+    seed faultpoints asserts query =
   try
     check_unit_interval "delta" delta;
     if k <= 0 then
@@ -359,19 +403,41 @@ let topk_cmd db tables query_file k delta compile_fuel deadline max_trials
     let budget = make_budget ~deadline ~max_trials in
     let udb = load_tables ?db tables in
     let text = read_query query query_file in
-    let _views, final = Qparser.parse_program text in
+    let prog = Qparser.parse_program_full text in
     let q =
-      match final with
+      match prog.Qparser.query with
       | Some q -> q
       | None -> failwith "the program has no final query expression"
     in
-    let rng = Rng.create ~seed in
-    let r = Pqdb.Topk.query ?budget ?compile_fuel ~rng ~delta ~k udb q in
-    List.iteri
-      (fun i (t, p) -> Format.printf "%d. %a  (~%.4f)@." (i + 1) Tuple.pp t p)
-      r.Pqdb.Topk.ranked;
-    Format.printf "-- certified: %b, %d estimator calls, %d rounds@."
-      r.Pqdb.Topk.certified r.Pqdb.Topk.estimator_calls r.Pqdb.Topk.rounds;
+    let cset =
+      constraint_set_of ~asserts ~stmts:prog.Qparser.constraints
+    in
+    if not (Cset.is_empty cset) then begin
+      (* Ranking by conditioned probability: the FD that deduplicates a
+         dirty table can reorder the top-k (a tuple sharing its key loses
+         mass to the renormalization). *)
+      let compiled = Condition.compile udb cset in
+      Format.printf "-- conditioned on: %a@." Cset.pp cset;
+      let ranked =
+        Condition.topk ?budget ?fuel:compile_fuel ~seed ~delta ~k udb
+          compiled q
+      in
+      List.iteri
+        (fun i (t, e) ->
+          Format.printf "%d. %a  (~%.4f in [%.4f, %.4f])@." (i + 1) Tuple.pp
+            t e.Condition.value e.Condition.lo e.Condition.hi)
+        ranked
+    end
+    else begin
+      let rng = Rng.create ~seed in
+      let r = Pqdb.Topk.query ?budget ?compile_fuel ~rng ~delta ~k udb q in
+      List.iteri
+        (fun i (t, p) ->
+          Format.printf "%d. %a  (~%.4f)@." (i + 1) Tuple.pp t p)
+        r.Pqdb.Topk.ranked;
+      Format.printf "-- certified: %b, %d estimator calls, %d rounds@."
+        r.Pqdb.Topk.certified r.Pqdb.Topk.estimator_calls r.Pqdb.Topk.rounds
+    end;
     report_budget budget;
     0
   with
@@ -537,7 +603,7 @@ let check_liveness_cadence ~heartbeat_interval ~lease_ttl ~io_timeout_s =
 
 let batch_cmd db relation gen gen_seed eps delta seed compile_fuel shard_size
     checkpoint resume retries deadline max_trials workers connect lease_ttl
-    heartbeat_interval reconnects io_timeout_s faultpoints =
+    heartbeat_interval reconnects io_timeout_s asserts faultpoints =
   try
     check_unit_interval "eps" eps;
     check_unit_interval "delta" delta;
@@ -564,6 +630,67 @@ let batch_cmd db relation gen gen_seed eps delta seed compile_fuel shard_size
     in
     let options = make_stream ~shard_size ~checkpoint ~resume ~retries in
     let budget = make_budget ~deadline ~max_trials in
+    if asserts <> [] then begin
+      (* Conditioned batch: same one-line-per-tuple "%h" output contract,
+         with every confidence renormalized by the shared Pr(constraints)
+         denominator.  The denominator couples all tuples, so the sharded /
+         checkpointed / distributed machinery (whose unit is an independent
+         shard) does not compose — refuse loudly rather than emit bytes
+         that silently mean something else. *)
+      if workers <> 0 || endpoints <> [] then
+        failwith "--assert does not compose with --workers/--connect";
+      if options <> None then
+        failwith
+          "--assert does not compose with \
+           --shard-size/--checkpoint/--resume/--retries";
+      let db_path, name =
+        match (gen, db, relation) with
+        | None, Some p, Some r -> (p, r)
+        | Some _, _, _ ->
+            failwith
+              "--assert needs stored tables (--db/--relation); constraints \
+               cannot reference --gen synthetic lineage"
+        | _ -> failwith "give --db PATH --relation NAME with --assert"
+      in
+      let udb = Udb_io.load db_path in
+      let u =
+        match Udb.find udb name with
+        | u -> u
+        | exception Not_found ->
+            failwith
+              (Printf.sprintf "unknown relation %S (database has: %s)" name
+                 (String.concat ", " (Udb.names udb)))
+      in
+      let cset = constraint_set_of ~asserts ~stmts:[] in
+      let compiled = Condition.compile udb cset in
+      let w = Udb.wtable udb in
+      let sets =
+        Array.of_list (List.map snd (Urelation.clauses_by_tuple u))
+      in
+      let n = Array.length sets in
+      let rngs = Rng.split_n (Rng.create ~seed) (n + 1) in
+      let den =
+        Condition.solve_denominator ?budget ?fuel:compile_fuel rngs.(n) w
+          compiled ~eps ~delta
+      in
+      for i = 0 to n - 1 do
+        let e =
+          Condition.solve_clauses ?budget ?fuel:compile_fuel rngs.(i) w
+            compiled den sets.(i) ~eps ~delta
+        in
+        Printf.printf "%d %h %h %h %d\n" i e.Condition.value e.Condition.lo
+          e.Condition.hi e.Condition.trials
+      done;
+      flush stdout;
+      let iv = Condition.denominator_interval den in
+      Format.eprintf
+        "-- %d tuples conditioned on %a: Pr(c) in [%h, %h], %d denominator \
+         trials@."
+        n Cset.pp cset iv.Pqdb_numeric.Interval.lo
+        iv.Pqdb_numeric.Interval.hi
+        (Condition.denominator_trials den)
+    end
+    else begin
     let w, sets = batch_inputs ~db ~relation ~gen ~gen_seed in
     let rng = Rng.create ~seed in
     let module C = Pqdb_montecarlo.Confidence in
@@ -621,6 +748,7 @@ let batch_cmd db relation gen gen_seed eps delta seed compile_fuel shard_size
             Printf.sprintf ", journal compacted (%d kept, %d dropped)" kept
               dropped
         | None -> "")
+    end
     end;
     report_budget ~ppf:Format.err_formatter budget;
     report_rss ();
@@ -631,6 +759,12 @@ let batch_cmd db relation gen gen_seed eps delta seed compile_fuel shard_size
       1
   | Pqdb_runtime.Pqdb_error.Error e ->
       Format.eprintf "error: %s@." (Pqdb_runtime.Pqdb_error.to_string e);
+      1
+  | Qparser.Error (msg, off) ->
+      Format.eprintf "parse error at offset %d: %s@." off msg;
+      1
+  | Pqdb_lang.Lexer.Error (msg, off) ->
+      Format.eprintf "lex error at offset %d: %s@." off msg;
       1
 
 (* --- worker ----------------------------------------------------------- *)
@@ -757,11 +891,13 @@ let convert_cmd verify src dst =
       Format.eprintf "error: %s@." (Pqdb_runtime.Pqdb_error.to_string e);
       1
 
-let gen_db_cmd tuples clauses gen_seed dest =
+let gen_db_cmd tuples clauses gen_seed dirty max_dups dest =
   try
     check_positive_int "tuples" (Some tuples);
     check_positive_int "clauses" (Some clauses);
     check_nonneg_int "gen-seed" (Some gen_seed);
+    check_nonneg_int "dirty" (Some dirty);
+    check_positive_int "max-dups" (Some max_dups);
     let dir = Filename.dirname dest in
     if not (Sys.file_exists dir) then
       failwith
@@ -769,8 +905,15 @@ let gen_db_cmd tuples clauses gen_seed dest =
            "destination directory %S does not exist (create it first)" dir);
     let rng = Rng.create ~seed:gen_seed in
     let udb = Pqdb_workload.Gen.uncertain_db rng ~tuples ~clauses in
+    if dirty > 0 then
+      Pqdb_workload.Gen.add_dirty_people rng udb ~entities:dirty ~max_dups;
     Udb_io.save dest udb;
-    Format.printf "wrote %s: %d tuples in relation events@." dest tuples;
+    Format.printf "wrote %s: %d tuples in relation events%s@." dest tuples
+      (if dirty > 0 then
+         Printf.sprintf
+           ", plus %d entities (up to %d duplicates each) in relation people"
+           dirty max_dups
+       else "");
     0
   with
   | Failure msg | Invalid_argument msg | Sys_error msg ->
@@ -877,7 +1020,7 @@ let serve_cmd db socket port cache_entries session_trials session_deadline_s
       Format.eprintf "error: %s: %s %s@." fn (Unix.error_message err) arg;
       1
 
-let query_cmd socket port retries retry_delay_s timeout_s spec_words =
+let query_cmd socket port retries retry_delay_s timeout_s asserts spec_words =
   let module Client = Pqdb_serve.Client in
   try
     check_nonneg_int "retries" (Some retries);
@@ -888,6 +1031,11 @@ let query_cmd socket port retries retry_delay_s timeout_s spec_words =
     if String.trim spec = "" then
       failwith
         "no request given; try e.g.: pqdb query --socket S conf events";
+    (* Constraint state is per serve session: each --assert is sent as its
+       own request on the same connection, before the query, so a conf
+       reply is conditioned on their conjunction.  Parsed locally first —
+       a typo fails here, without a round trip. *)
+    List.iter (fun a -> ignore (Qparser.parse_constraint a)) asserts;
     (* --timeout T budgets the query end to end: conf requests carry
        [deadline=T] to the server, whose anytime engine answers by the
        cutoff with the sound brackets reached so far (the degraded answer),
@@ -920,7 +1068,15 @@ let query_cmd socket port retries retry_delay_s timeout_s spec_words =
     let ok, body =
       Fun.protect
         ~finally:(fun () -> Client.close c)
-        (fun () -> Client.query c spec)
+        (fun () ->
+          let rec with_asserts = function
+            | [] -> Client.query c spec
+            | a :: rest -> (
+                match Client.query c ("assert " ^ a) with
+                | true, _ -> with_asserts rest
+                | (false, _) as err -> err)
+          in
+          with_asserts asserts)
     in
     if ok then begin
       print_string body;
@@ -940,6 +1096,12 @@ let query_cmd socket port retries retry_delay_s timeout_s spec_words =
       1
   | Unix.Unix_error (err, fn, arg) ->
       Format.eprintf "error: %s: %s %s@." fn (Unix.error_message err) arg;
+      1
+  | Qparser.Error (msg, off) ->
+      Format.eprintf "parse error at offset %d: %s@." off msg;
+      1
+  | Pqdb_lang.Lexer.Error (msg, off) ->
+      Format.eprintf "lex error at offset %d: %s@." off msg;
       1
 
 (* --- checkpoint ------------------------------------------------------- *)
@@ -1315,12 +1477,25 @@ let retries_arg =
            quarantined (reported with sound a-priori brackets and the typed \
            error).")
 
+let asserts_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "assert" ] ~docv:"CONSTRAINT"
+        ~doc:
+          "Condition answers on an integrity constraint (repeatable; the \
+           active set is the conjunction): $(b,fd[K -> D](table)) — a \
+           functional dependency, $(b,empty(q)) — a denial (q has no \
+           answer), or $(b,(q)) — q has some answer.  Confidences become \
+           Pr(tuple | constraints), renormalized by Pr(constraints); an \
+           unsatisfiable constraint set is a typed error, never a division \
+           by zero.")
+
 let run_term =
   Term.(
     const run_cmd $ db_arg $ tables_arg $ query_file_arg $ approx_arg
     $ optimize_arg $ delta_arg $ eps0_arg $ deadline_arg $ max_trials_arg
     $ seed_arg $ shard_size_arg $ checkpoint_arg $ resume_arg $ retries_arg
-    $ faultpoints_arg $ query_arg)
+    $ faultpoints_arg $ asserts_arg $ query_arg)
 
 let run_cmd_info =
   Cmd.info "run" ~doc:"Evaluate a UA query over CSV base tables."
@@ -1364,7 +1539,7 @@ let topk_term =
   Term.(
     const topk_cmd $ db_arg $ tables_arg $ query_file_arg $ k_arg $ delta_arg
     $ compile_fuel_arg $ deadline_arg $ max_trials_arg $ seed_arg
-    $ faultpoints_arg $ query_arg)
+    $ faultpoints_arg $ asserts_arg $ query_arg)
 
 let topk_cmd_info =
   Cmd.info "topk"
@@ -1484,7 +1659,7 @@ let batch_term =
                lost and its shard reassigned, instead of hanging the run.  \
                Pick it above the worker heartbeat interval and the lease \
                TTL.  Default: block.")
-    $ faultpoints_arg)
+    $ asserts_arg $ faultpoints_arg)
 
 let batch_cmd_info =
   Cmd.info "batch"
@@ -1574,6 +1749,19 @@ let gen_db_term =
         & info [ "clauses" ] ~docv:"K"
             ~doc:"Maximum clause rows per tuple (capped at 3).")
     $ gen_seed_arg
+    $ Arg.(
+        value & opt int 0
+        & info [ "dirty" ] ~docv:"N"
+            ~doc:
+              "Also generate a duplicate-heavy $(b,people) relation: N \
+               entities, each with up to $(b,--max-dups) independent \
+               candidate tuples sharing the key $(b,id) — the \
+               deduplication fixture for conditioning on \
+               $(b,fd[id -> name](people)).  Default: 0 (omit it).")
+    $ Arg.(
+        value & opt int 3
+        & info [ "max-dups" ] ~docv:"K"
+            ~doc:"Duplicate candidates per $(b,--dirty) entity (1 to K).")
     $ Arg.(
         required
         & pos 0 (some string) None
@@ -1711,6 +1899,7 @@ let query_term =
                but correct answer), and the client turns a wedged daemon \
                into a typed timeout error slightly after.  Default: wait \
                forever.")
+    $ asserts_arg
     $ Arg.(
         value & pos_all string []
         & info [] ~docv:"REQUEST"

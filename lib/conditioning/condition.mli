@@ -1,0 +1,147 @@
+(** Conditioning: renormalized confidence under a constraint set (Koch &
+    Olteanu, "Conditioning Probabilistic Databases", on top of the source
+    paper's approximation machinery).
+
+    A constraint set [c] denotes the event
+    [E ∧ ¬V] — every [Holds] query nonempty ([E], a conjunction) and every
+    [Denial]/[Fd] violation query empty ([¬V], [V] the union of violation
+    lineages).  Both [E] and [V] are positive-DNF events over the W table,
+    so Theorem 4.4 turns every conditioned quantity into differences of
+    positive-DNF probabilities:
+
+    {v Pr(φ | c) = Pr(φ ∧ c) / Pr(c)
+                 = (Pr(φ∧E) − Pr(φ∧E∧V)) / (Pr(E) − Pr(E∧V)) v}
+
+    Each of the four terms is answered exactly where the lineage compiles
+    ({!Pqdb_montecarlo.Compile}) and by Karp–Luby on the residual, yielding
+    sound anytime brackets; the difference and ratio are propagated through
+    interval arithmetic ({!Pqdb_numeric.Interval.difference} /
+    {!Pqdb_numeric.Interval.ratio}), so the reported [lo, hi] holds with
+    probability ≥ 1 − δ (δ/4 per solve, union bound over the ≤ 4 solves
+    behind one answer).  A denominator certified zero — or not certifiable
+    above zero — raises the typed
+    {!Pqdb_runtime.Pqdb_error.Unsatisfiable_condition}; no NaN or division
+    by zero can escape. *)
+
+open Pqdb_numeric
+open Pqdb_relational
+open Pqdb_urel
+open Pqdb_montecarlo
+
+type compiled
+(** A constraint set translated against a database: the [E] and [V] lineage
+    DNFs.  Valid while the W table's generation is unchanged. *)
+
+val compile : Udb.t -> Constraint_set.t -> compiled
+(** Evaluate each member constraint to its lineage ([Fd] via
+    {!Pqdb.Egd.fd_violation} with the table's schema looked up in the
+    database).  @raise Invalid_argument on an unknown table or attribute in
+    an [Fd] constraint. *)
+
+val constraints : compiled -> Constraint_set.t
+val is_trivial : compiled -> bool
+(** The empty constraint set: conditioning is the identity. *)
+
+val conjoin : Assignment.t list -> Assignment.t list -> Assignment.t list
+(** DNF conjunction: clause-set product via {!Assignment.union}, dropping
+    inconsistent pairs, normalized.  Exposed for tests. *)
+
+(** {1 Exact (rational) path} *)
+
+val probability : Wtable.t -> compiled -> Rational.t
+(** Exact [Pr(c)]. *)
+
+val exact_conditioned :
+  Wtable.t -> compiled -> Assignment.t list -> Rational.t
+(** Exact [Pr(φ | c)] for a tuple lineage [φ].
+    @raise Pqdb_runtime.Pqdb_error.Error ([Unsatisfiable_condition]) when
+    [Pr(c) = 0]. *)
+
+val exact_confidences :
+  Udb.t -> compiled -> Pqdb_ast.Ua.t -> (Tuple.t * Rational.t) list
+(** Exact conditioned confidence of every possible answer tuple.  Like
+    {!Pqdb.Eval_exact.eval}, mutates the W table if the query contains
+    [repair-key] (constraints themselves cannot). *)
+
+(** {1 Anytime path} *)
+
+type estimate = {
+  value : float;  (** point estimate, clamped into [\[lo, hi\]] *)
+  lo : float;
+  hi : float;
+      (** sound bracket for the conditioned confidence, holding with
+          probability ≥ 1 − δ *)
+  trials : int;  (** sampling spent on this tuple's numerator (the shared
+                     denominator's spend is reported once, on it) *)
+  exact : bool;  (** no sampling anywhere: numerator and denominator both
+                     compiled exactly *)
+}
+
+type denominator
+(** A solved [Pr(c)] bracket, certified positive — computed once and shared
+    by every tuple of a batch. *)
+
+val solve_denominator :
+  ?budget:Budget.t ->
+  ?fuel:int ->
+  ?cache:Memo.t ->
+  Rng.t ->
+  Wtable.t ->
+  compiled ->
+  eps:float ->
+  delta:float ->
+  denominator
+(** @raise Pqdb_runtime.Pqdb_error.Error ([Unsatisfiable_condition]) when
+    the [Pr(c)] bracket is certified zero or cannot be bounded away from
+    zero. *)
+
+val denominator_interval : denominator -> Interval.t
+val denominator_trials : denominator -> int
+
+val solve_clauses :
+  ?budget:Budget.t ->
+  ?fuel:int ->
+  ?cache:Memo.t ->
+  Rng.t ->
+  Wtable.t ->
+  compiled ->
+  denominator ->
+  Assignment.t list ->
+  eps:float ->
+  delta:float ->
+  estimate
+(** Conditioned confidence of one tuple lineage.  With a [cache], entries
+    are keyed on the tuple's own clauses salted with the constraint-set
+    fingerprint (plus a conjunct tag), so conditioned and unconditioned
+    entries never alias and a warm conditioned reply is byte-identical to
+    its cold run. *)
+
+val approx_confidences :
+  ?budget:Budget.t ->
+  ?fuel:int ->
+  ?cache:Memo.t ->
+  ?seed:int ->
+  ?eps:float ->
+  ?delta:float ->
+  Udb.t ->
+  compiled ->
+  Pqdb_ast.Ua.t ->
+  (Tuple.t * estimate) list
+(** Evaluate the (positive) query and estimate every answer tuple's
+    conditioned confidence.  Deterministic per [seed] (defaults: [seed=42],
+    [eps=0.05], [delta=0.01]). *)
+
+val topk :
+  ?budget:Budget.t ->
+  ?fuel:int ->
+  ?cache:Memo.t ->
+  ?seed:int ->
+  ?eps:float ->
+  ?delta:float ->
+  k:int ->
+  Udb.t ->
+  compiled ->
+  Pqdb_ast.Ua.t ->
+  (Tuple.t * estimate) list
+(** The [k] answer tuples ranked by conditioned confidence (descending,
+    stable on ties). *)

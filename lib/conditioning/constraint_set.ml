@@ -1,0 +1,25 @@
+module Uconstraint = Pqdb_ast.Uconstraint
+
+(* Insertion order is kept for display; semantics (and the fingerprint) are
+   order- and duplicate-insensitive. *)
+type t = Uconstraint.t list
+
+let empty = []
+let is_empty t = t = []
+
+let add t c =
+  Uconstraint.validate c;
+  if List.exists (Uconstraint.equal c) t then t else t @ [ c ]
+
+let of_list cs = List.fold_left add empty cs
+let items t = t
+let cardinal = List.length
+let fingerprint t = Uconstraint.set_fingerprint t
+let equal a b = fingerprint a = fingerprint b
+
+let pp fmt t =
+  Format.pp_print_list
+    ~pp_sep:(fun f () -> Format.pp_print_string f "; ")
+    Uconstraint.pp fmt t
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,31 @@
+(** A conjunction of integrity constraints ({!Pqdb_ast.Uconstraint}),
+    validated on construction, attached to a database or a serve session.
+
+    The set is semantically a conjunction: order-insensitive, duplicates
+    collapse.  {!fingerprint} is the canonical rendering used to salt
+    compiled-lineage cache keys ({!Pqdb_montecarlo.Memo}); two sets are
+    {!equal} iff their fingerprints are. *)
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+
+val add : t -> Pqdb_ast.Uconstraint.t -> t
+(** Validates ({!Pqdb_ast.Uconstraint.validate}) and appends; adding a
+    constraint already present returns the set unchanged.
+    @raise Invalid_argument on a constraint outside the positive
+    confidence-free fragment. *)
+
+val of_list : Pqdb_ast.Uconstraint.t list -> t
+val items : t -> Pqdb_ast.Uconstraint.t list
+(** In insertion order. *)
+
+val cardinal : t -> int
+
+val fingerprint : t -> string
+(** Canonical, order- and duplicate-insensitive; [""] iff empty. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

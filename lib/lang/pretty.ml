@@ -140,3 +140,12 @@ let rec query fmt = function
         conf_args query input
 
 let query_to_string q = Format.asprintf "%a" query q
+
+let constraint_ fmt = function
+  | Pqdb_ast.Uconstraint.Fd { table; key; determined } ->
+      Format.fprintf fmt "fd[%a -> %a](%s)" strings key strings determined
+        table
+  | Pqdb_ast.Uconstraint.Denial q -> Format.fprintf fmt "empty(%a)" query q
+  | Pqdb_ast.Uconstraint.Holds q -> Format.fprintf fmt "(%a)" query q
+
+let constraint_to_string c = Format.asprintf "%a" constraint_ c

@@ -15,3 +15,10 @@ val predicate : Format.formatter -> Pqdb_relational.Predicate.t -> unit
 val apred : Format.formatter -> Pqdb_ast.Apred.t -> unit
 val query : Format.formatter -> Pqdb_ast.Ua.t -> unit
 val query_to_string : Pqdb_ast.Ua.t -> string
+
+val constraint_ : Format.formatter -> Pqdb_ast.Uconstraint.t -> unit
+(** Renders in the [assert] statement syntax, so that
+    [Qparser.parse_constraint (constraint_to_string c) = c] under the same
+    limitations as {!query}. *)
+
+val constraint_to_string : Pqdb_ast.Uconstraint.t -> string

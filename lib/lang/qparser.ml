@@ -1,6 +1,7 @@
 open Pqdb_relational
 module Ua = Pqdb_ast.Ua
 module Apred = Pqdb_ast.Apred
+module Uconstraint = Pqdb_ast.Uconstraint
 
 exception Error of string * int
 
@@ -454,6 +455,40 @@ and term st =
       Ua.Lit (Relation.of_rows attrs row_list)
   | _ -> fail st "expected a query"
 
+(* --- constraints --------------------------------------------------------- *)
+
+let constraint_ st =
+  let c =
+    match peek st with
+    | Token.Kw "fd" ->
+        advance st;
+        expect st Token.Lbracket "expected [";
+        let key = attr_list st ~stop:Token.Arrow in
+        expect st Token.Arrow "expected -> between key and determined attributes";
+        let determined = attr_list st ~stop:Token.Rbracket in
+        expect st Token.Rbracket "expected ]";
+        expect st Token.Lparen "expected (";
+        let table = expect_ident st "expected a table name" in
+        expect st Token.Rparen "expected )";
+        if key = [] then fail st "fd needs at least one key attribute"
+        else if determined = [] then
+          fail st "fd needs at least one determined attribute"
+        else Uconstraint.Fd { table; key; determined }
+    | Token.Kw "empty" ->
+        advance st;
+        Uconstraint.Denial (parenthesized st)
+    | Token.Lparen -> Uconstraint.Holds (parenthesized st)
+    | _ ->
+        fail st
+          "expected a constraint: fd[key -> determined](table), empty(query), \
+           or (query)"
+  in
+  (* Constraints live in the positive confidence-free fragment; reject the
+     rest at parse time with the offset of the offending statement. *)
+  match Uconstraint.validate c with
+  | () -> c
+  | exception Invalid_argument msg -> fail st msg
+
 let make_state text =
   { tokens = Array.of_list (Lexer.tokenize text); pos = 0; views = [] }
 
@@ -462,8 +497,22 @@ let parse_query text =
   let q = expr st in
   if peek st <> Token.Eof then fail st "trailing input after query" else q
 
-let parse_program text =
+let parse_constraint text =
   let st = make_state text in
+  let c = constraint_ st in
+  if peek st = Token.Semicolon then advance st;
+  if peek st <> Token.Eof then fail st "trailing input after constraint"
+  else c
+
+type program = {
+  views : (string * Ua.t) list;
+  constraints : Uconstraint.t list;
+  query : Ua.t option;
+}
+
+let parse_gen ~allow_constraints text =
+  let st = make_state text in
+  let constraints = ref [] in
   let rec go () =
     match peek st with
     | Token.Eof -> None
@@ -475,6 +524,19 @@ let parse_program text =
         expect st Token.Semicolon "expected ; after let";
         st.views <- (name, q) :: st.views;
         go ()
+    | Token.Kw (("assert" | "condition") as kw) ->
+        if not allow_constraints then
+          fail st
+            (Printf.sprintf
+               "%s statements are not accepted here (this entry point takes \
+                plain queries)"
+               kw);
+        advance st;
+        let c = constraint_ st in
+        expect st Token.Semicolon
+          (Printf.sprintf "expected ; after %s" kw);
+        constraints := c :: !constraints;
+        go ()
     | _ ->
         let q = expr st in
         if peek st = Token.Semicolon then advance st;
@@ -482,4 +544,14 @@ let parse_program text =
         else Some q
   in
   let final = go () in
-  (List.rev st.views, final)
+  {
+    views = List.rev st.views;
+    constraints = List.rev !constraints;
+    query = final;
+  }
+
+let parse_program_full text = parse_gen ~allow_constraints:true text
+
+let parse_program text =
+  let p = parse_gen ~allow_constraints:false text in
+  (p.views, p.query)

@@ -2,7 +2,12 @@
 
     Grammar sketch (case-insensitive keywords):
     {v
-    program  ::= (let IDENT = expr ;)* expr?
+    program  ::= (stmt)* expr?
+    stmt     ::= let IDENT = expr ;
+               | (assert | condition) constr ;   -- parse_program_full only
+    constr   ::= fd [ attrs -> attrs ] ( IDENT ) -- functional dependency
+               | empty ( expr )                  -- denial: no answers
+               | ( expr )                        -- holds: some answer
     expr     ::= term ((union | minus | join | times) term)*
     term     ::= IDENT                          -- table or let-bound view
                | ( expr )
@@ -32,4 +37,21 @@ val parse_query : string -> Pqdb_ast.Ua.t
 
 val parse_program : string -> (string * Pqdb_ast.Ua.t) list * Pqdb_ast.Ua.t option
 (** All [let] bindings (fully substituted, in order) and the optional final
-    expression. *)
+    expression.  Rejects [assert]/[condition] statements with a parse error
+    naming {!parse_program_full}-capable entry points — a program with
+    constraints is never silently stripped of them. *)
+
+val parse_constraint : string -> Pqdb_ast.Uconstraint.t
+(** A single constraint (the part after [assert], optionally [;]-terminated)
+    — the form taken by [--assert] flags and the serve [assert] request.
+    Validated against the positive confidence-free fragment. *)
+
+type program = {
+  views : (string * Pqdb_ast.Ua.t) list;  (** fully substituted, in order *)
+  constraints : Pqdb_ast.Uconstraint.t list;  (** in statement order *)
+  query : Pqdb_ast.Ua.t option;
+}
+
+val parse_program_full : string -> program
+(** Like {!parse_program} but also accepting [assert]/[condition]
+    statements anywhere among the [let]s. *)

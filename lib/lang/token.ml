@@ -49,6 +49,10 @@ let keywords =
     "let";
     "in";
     "lit";
+    "assert";
+    "condition";
+    "fd";
+    "empty";
   ]
 
 let to_string = function

@@ -38,32 +38,42 @@ let create ?(entries = default_entries) () =
 
 let capacity t = t.cap
 
-(* Key syntax: "<level>:w<uid>:g<gen>:f<fuel>:<clauses>" with clauses in
-   the canonical D-column syntax, '|'-separated.  The level prefix keeps
-   the raw and canonical namespaces from ever colliding (a raw key equal to
-   some canonical key would otherwise alias the wrong entry). *)
-let key_of ~level ~fuel w rendered =
-  Printf.sprintf "%c:w%d:g%d:f%d:%s" level (Wtable.uid w)
-    (Wtable.generation w) fuel
+(* Key syntax: "<level>:w<uid>:g<gen>:f<fuel>[:a<len>[<salt>]]:<clauses>"
+   with clauses in the canonical D-column syntax, '|'-separated.  The level
+   prefix keeps the raw and canonical namespaces from ever colliding (a raw
+   key equal to some canonical key would otherwise alias the wrong entry).
+   The salt segment — the active constraint-set fingerprint under
+   conditioning — is length-prefixed so no salt content can forge another
+   key's clause section, and elided entirely when empty so unconditioned
+   keys are unchanged. *)
+let key_of ~level ~fuel ~salt w rendered =
+  let salt_seg =
+    if salt = "" then ""
+    else Printf.sprintf ":a%d[%s]" (String.length salt) salt
+  in
+  Printf.sprintf "%c:w%d:g%d:f%d%s:%s" level (Wtable.uid w)
+    (Wtable.generation w) fuel salt_seg
     (String.concat "|" rendered)
 
 let fuel_of = function Some f -> f | None -> Compile.default_fuel
+let salt_of = function Some s -> s | None -> ""
 
 (* The raw key sorts and dedups the clause renderings itself — cheaper than
    normalization (no subsumption pass) and enough to collapse permuted and
    duplicated clause lists. *)
-let raw_key ~fuel w clauses =
-  key_of ~level:'r' ~fuel w
+let raw_key ~fuel ~salt w clauses =
+  key_of ~level:'r' ~fuel ~salt w
     (List.sort_uniq String.compare
        (List.map Udb_io.condition_to_string clauses))
 
 (* Lineage.normalize sorts its output (sort_uniq by Assignment.compare), so
    rendering in list order is already canonical. *)
-let canonical_key ~fuel w clauses =
-  key_of ~level:'c' ~fuel w
+let canonical_key ~fuel ~salt w clauses =
+  key_of ~level:'c' ~fuel ~salt w
     (List.map Udb_io.condition_to_string (Lineage.normalize clauses))
 
-let fingerprint ?fuel w clauses = canonical_key ~fuel:(fuel_of fuel) w clauses
+let fingerprint ?fuel ?salt w clauses =
+  canonical_key ~fuel:(fuel_of fuel) ~salt:(salt_of salt) w clauses
 
 let with_lock t f =
   Mutex.lock t.lock;
@@ -109,9 +119,10 @@ let add_alias t node raw =
     node.raw_keys <- raw :: node.raw_keys
   end
 
-let find_or_compile t ?fuel w clauses =
+let find_or_compile t ?fuel ?salt ?build w clauses =
   let fuel = fuel_of fuel in
-  let raw = raw_key ~fuel w clauses in
+  let salt = salt_of salt in
+  let raw = raw_key ~fuel ~salt w clauses in
   let fast =
     with_lock t (fun () ->
         match Hashtbl.find_opt t.aliases raw with
@@ -133,7 +144,7 @@ let find_or_compile t ?fuel w clauses =
   | None -> (
       (* Normalize outside the lock: the subsumption pass is the expensive
          part of a canonical-key lookup and needs no cache state. *)
-      let ckey = canonical_key ~fuel w clauses in
+      let ckey = canonical_key ~fuel ~salt w clauses in
       let cached =
         with_lock t (fun () ->
             match Hashtbl.find_opt t.nodes ckey with
@@ -150,8 +161,14 @@ let find_or_compile t ?fuel w clauses =
           (* Compile outside the lock (it can be seconds of work).  Two
              threads racing on the same cold key both compile; compilation
              is deterministic, so whichever inserts second just replaces an
-             identical tree. *)
-          let tree = Compile.compile ~fuel w clauses in
+             identical tree.  A caller-supplied [build] must be a pure
+             function of the key's inputs (clauses + salt context) for the
+             same reason. *)
+          let tree =
+            match build with
+            | Some f -> f ()
+            | None -> Compile.compile ~fuel w clauses
+          in
           with_lock t (fun () ->
               t.misses <- t.misses + 1;
               (match Hashtbl.find_opt t.nodes ckey with

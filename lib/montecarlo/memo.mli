@@ -28,6 +28,20 @@
     compilation fuel: any table edit, or a different fuel, changes every
     key, so a stale tree can never be served.
 
+    {2 Salted (conditioned) entries}
+
+    A caller conditioning on a constraint set caches trees whose value
+    depends on more than the tuple's own clauses — the conjoined lineage
+    under the active constraints.  The optional [salt] (the canonical
+    constraint-set fingerprint, {!Pqdb_ast.Uconstraint.set_fingerprint},
+    possibly suffixed by which conjunct is cached) is folded into {e both}
+    keys, length-prefixed so salt content cannot forge another key: entries
+    with different salts never alias, an unconditioned hit can never answer
+    a conditioned query, and an empty salt leaves the key byte-identical to
+    the pre-conditioning format.  [build] then supplies the salted tree (a
+    pure function of the clauses and the salt's context); without it the
+    plain {!Compile.compile} of the clauses is cached.
+
     {2 Bit-identity}
 
     A hit returns the {e same} tree a cold {!Compile.compile} of the same
@@ -53,16 +67,27 @@ val create : ?entries:int -> unit -> t
 
 val capacity : t -> int
 
-val fingerprint : ?fuel:int -> Wtable.t -> Assignment.t list -> string
-(** The canonical key: W-table uid + generation, fuel, and the normalized
-    clause set in canonical syntax.  Equal for permuted, duplicated or
-    subsumption-equivalent clause lists; different after any W-table edit
-    or under a different fuel. *)
+val fingerprint :
+  ?fuel:int -> ?salt:string -> Wtable.t -> Assignment.t list -> string
+(** The canonical key: W-table uid + generation, fuel, the salt (when
+    nonempty), and the normalized clause set in canonical syntax.  Equal for
+    permuted, duplicated or subsumption-equivalent clause lists; different
+    after any W-table edit, under a different fuel, or under a different
+    salt. *)
 
-val find_or_compile : t -> ?fuel:int -> Wtable.t -> Assignment.t list -> Compile.t
-(** The cached {!Compile.compile}.  A raw-key hit skips normalization and
-    compilation; a canonical-key hit skips compilation; a miss compiles,
-    inserts, and evicts the least recently used entry beyond capacity. *)
+val find_or_compile :
+  t ->
+  ?fuel:int ->
+  ?salt:string ->
+  ?build:(unit -> Compile.t) ->
+  Wtable.t ->
+  Assignment.t list ->
+  Compile.t
+(** The cached {!Compile.compile} (or, when [build] is given, the cached
+    [build ()] — see {e Salted entries} above).  A raw-key hit skips
+    normalization and compilation; a canonical-key hit skips compilation; a
+    miss compiles, inserts, and evicts the least recently used entry beyond
+    capacity. *)
 
 type stats = {
   hits : int;  (** raw- or canonical-key hits: compilation skipped *)

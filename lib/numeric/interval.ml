@@ -13,6 +13,16 @@ let intersects a b = a.lo <= b.hi && b.lo <= a.hi
 let contains outer inner = outer.lo <= inner.lo && inner.hi <= outer.hi
 let pp fmt { lo; hi } = Format.fprintf fmt "[%g, %g]" lo hi
 
+let clamp ~lo:l ~hi:h { lo; hi } =
+  if l > h then invalid_arg "Interval.clamp"
+  else make (Float.min h (Float.max l lo)) (Float.max l (Float.min h hi))
+
+let difference a b = make (a.lo -. b.hi) (a.hi -. b.lo)
+
+let ratio ~num ~den =
+  if den.lo <= 0. then invalid_arg "Interval.ratio: denominator not above 0"
+  else make (Float.max 0. num.lo /. den.hi) (Float.max 0. num.hi /. den.lo)
+
 let relative ~eps p_hat =
   let a = p_hat /. (1. +. eps) and b = p_hat /. (1. -. eps) in
   if a <= b then make a b else make b a

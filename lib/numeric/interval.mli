@@ -21,6 +21,23 @@ val contains : t -> t -> bool
 
 val pp : Format.formatter -> t -> unit
 
+val clamp : lo:float -> hi:float -> t -> t
+(** Intersect with [\[lo, hi\]]; an interval entirely outside collapses to
+    the nearer bound.  @raise Invalid_argument when [lo > hi]. *)
+
+val difference : t -> t -> t
+(** [difference a b] encloses [x − y] for any [x ∈ a], [y ∈ b]:
+    [\[a.lo − b.hi, a.hi − b.lo\]].  The conditioning layer uses it for the
+    Theorem 4.4 difference [Pr(φ) − Pr(φ ∧ ¬ψ)] of two anytime brackets. *)
+
+val ratio : num:t -> den:t -> t
+(** Encloses [x / y] for [x ∈ num ∩ \[0, ∞)], [y ∈ den], assuming
+    [den.lo > 0]: [\[max(0, num.lo)/den.hi, max(0, num.hi)/den.lo\]] — the
+    sound bracket for a renormalized (conditioned) probability.
+    @raise Invalid_argument when [den.lo <= 0] (the caller must first rule
+    out a zero or sign-indefinite denominator; see
+    [Pqdb_runtime.Pqdb_error.Unsatisfiable_condition]). *)
+
 val relative : eps:float -> float -> t
 (** [relative ~eps p_hat] is the Lemma 5.1 interval
     [\[p̂/(1+ε), p̂/(1−ε)\]] (for [p_hat >= 0] and [0 <= eps < 1]).

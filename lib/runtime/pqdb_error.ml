@@ -5,6 +5,7 @@ type t =
   | Injected of string
   | Timeout of { site : string; seconds : float }
   | Busy of { site : string; detail : string }
+  | Unsatisfiable_condition of { context : string; detail : string }
 
 exception Error of t
 
@@ -13,6 +14,7 @@ let invalid_probability ~context detail = error (Invalid_probability { context; 
 let malformed ~source detail = error (Malformed_input { source; detail })
 let timeout ~site seconds = error (Timeout { site; seconds })
 let busy ~site detail = error (Busy { site; detail })
+let unsatisfiable ~context detail = error (Unsatisfiable_condition { context; detail })
 
 let to_string = function
   | Invalid_probability { context; detail } ->
@@ -25,6 +27,8 @@ let to_string = function
   | Timeout { site; seconds } ->
       Printf.sprintf "timeout in %s after %gs" site seconds
   | Busy { site; detail } -> Printf.sprintf "%s busy: %s" site detail
+  | Unsatisfiable_condition { context; detail } ->
+      Printf.sprintf "unsatisfiable condition in %s: %s" context detail
 
 let () =
   Printexc.register_printer (function

@@ -31,6 +31,13 @@ type t =
       (** A bounded resource shed the request instead of queueing it
           (e.g. the serve daemon at its in-flight session limit).  The
           caller may retry with backoff. *)
+  | Unsatisfiable_condition of { context : string; detail : string }
+      (** Conditioning on a constraint set whose probability is zero — or,
+          for anytime estimates, whose certified interval cannot be bounded
+          away from zero — so the renormalized confidence [Pr(q ∧ c)/Pr(c)]
+          is undefined.  [context] names the operation (e.g.
+          ["Condition.solve"]); [detail] carries the constraint set or the
+          straddling interval. *)
 
 exception Error of t
 
@@ -41,6 +48,7 @@ val invalid_probability : context:string -> string -> 'a
 val malformed : source:string -> string -> 'a
 val timeout : site:string -> float -> 'a
 val busy : site:string -> string -> 'a
+val unsatisfiable : context:string -> string -> 'a
 
 val to_string : t -> string
 (** Human-readable one-liner (also installed as the [Printexc] printer for

@@ -1,6 +1,9 @@
 module Faultpoint = Pqdb_runtime.Faultpoint
 module Pqdb_error = Pqdb_runtime.Pqdb_error
 module Protocol = Pqdb_distrib.Protocol
+module Cset = Pqdb_conditioning.Constraint_set
+module Condition = Pqdb_conditioning.Condition
+module Qparser = Pqdb_lang.Qparser
 open Pqdb_numeric
 open Pqdb_urel
 open Pqdb_montecarlo
@@ -82,11 +85,28 @@ let stats t =
       })
 
 (* ------------------------------------------------------------------ *)
+(* Session constraint state.                                           *)
+
+(* The active constraint set is per session, never global: two clients
+   conditioning differently share the daemon (and its Memo — entries are
+   salted by constraint-set fingerprint, so they never collide) without
+   seeing each other's ASSERTs.  [compiled] is the set's lineage against
+   the served database, built lazily on the first conditioned [conf] and
+   dropped whenever the set changes. *)
+type session = {
+  mutable cset : Cset.t;
+  mutable compiled : Condition.compiled option;
+}
+
+let new_session () = { cset = Cset.empty; compiled = None }
+
+(* ------------------------------------------------------------------ *)
 (* Request language.                                                   *)
 
 let usage =
   "requests: conf <relation> [eps=F] [delta=F] [seed=N] [fuel=N] \
-   [deadline=SECS] [trials=N] | stats | shutdown"
+   [deadline=SECS] [trials=N] | assert <constraint> | retract | stats | \
+   shutdown"
 
 let fail fmt = Printf.ksprintf failwith fmt
 
@@ -152,6 +172,51 @@ let run_conf t ?budget ~relation ~eps ~delta ~seed ~fuel () =
   done;
   Buffer.contents buf
 
+(* Conditioned variant: same output contract, same [seed]-deterministic RNG
+   discipline (one extra lane, past the per-tuple ones, feeds the shared
+   denominator), with every cache entry salted by the constraint-set
+   fingerprint inside {!Condition.solve_clauses} — a warm conditioned reply
+   is byte-identical to its cold run, and can never be served from an
+   unconditioned entry (or vice versa). *)
+let run_conf_conditioned t ?budget ~compiled ~relation ~eps ~delta ~seed
+    ~fuel () =
+  let u =
+    match Udb.find t.udb relation with
+    | u -> u
+    | exception Not_found ->
+        fail "unknown relation %S (database has: %s)" relation
+          (String.concat ", " (Udb.names t.udb))
+  in
+  let w = Udb.wtable t.udb in
+  let sets = Array.of_list (List.map snd (Urelation.clauses_by_tuple u)) in
+  let n = Array.length sets in
+  let rngs = Rng.split_n (Rng.create ~seed) (n + 1) in
+  let den =
+    Condition.solve_denominator ?budget ?fuel ~cache:t.cache rngs.(n) w
+      compiled ~eps ~delta
+  in
+  let buf = Buffer.create (64 * (n + 1)) in
+  for i = 0 to n - 1 do
+    let e =
+      Condition.solve_clauses ?budget ?fuel ~cache:t.cache rngs.(i) w
+        compiled den sets.(i) ~eps ~delta
+    in
+    Printf.bprintf buf "%d %h %h %h %d\n" i e.Condition.value e.Condition.lo
+      e.Condition.hi e.Condition.trials
+  done;
+  Buffer.contents buf
+
+(* The session's compiled constraint lineage, built on first conditioned
+   use.  Must run under the engine lock: compilation evaluates the member
+   queries against the shared database. *)
+let compiled_constraints t sess =
+  match sess.compiled with
+  | Some c -> c
+  | None ->
+      let c = Condition.compile t.udb sess.cset in
+      sess.compiled <- Some c;
+      c
+
 let stats_body t =
   let s = stats t in
   let w = Udb.wtable t.udb in
@@ -181,7 +246,7 @@ let stop t =
    requests.  Fires ["serve.session"] per request, so chaos runs can
    delay/stall/fail query handling itself (not just the socket I/O around
    it); an injected raise is just another err reply. *)
-let dispatch t ?budget spec =
+let dispatch t ?budget ?session spec =
   Faultpoint.fire "serve.session";
   match String.split_on_char ' ' spec |> List.filter (fun s -> s <> "") with
   | [] -> fail "empty request; %s" usage
@@ -192,6 +257,37 @@ let dispatch t ?budget spec =
       if rest <> [] then fail "shutdown takes no arguments";
       stop t;
       "shutting down\n"
+  | "assert" :: rest -> (
+      let sess =
+        match session with
+        | Some s -> s
+        | None -> fail "assert needs a session (per-connection state)"
+      in
+      if rest = [] then fail "assert needs a constraint; %s" usage;
+      let text = String.concat " " rest in
+      let c =
+        match Qparser.parse_constraint text with
+        | c -> c
+        | exception Qparser.Error (msg, pos) ->
+            fail "bad constraint (at offset %d): %s" pos msg
+      in
+      match Cset.add sess.cset c with
+      | set ->
+          if not (Cset.equal set sess.cset) then begin
+            sess.cset <- set;
+            sess.compiled <- None
+          end;
+          Printf.sprintf "asserted; %d active\n" (Cset.cardinal sess.cset)
+      | exception Invalid_argument msg -> fail "bad constraint: %s" msg)
+  | "retract" :: rest -> (
+      if rest <> [] then
+        fail "retract takes no arguments (it clears the session's set)";
+      match session with
+      | Some sess ->
+          sess.cset <- Cset.empty;
+          sess.compiled <- None;
+          "retracted; 0 active\n"
+      | None -> fail "retract needs a session (per-connection state)")
   | "conf" :: relation :: args ->
       (match budget with
       | Some b when Budget.exhausted b ->
@@ -211,9 +307,24 @@ let dispatch t ?budget spec =
         | deadline_s, max_trials ->
             Some (Budget.create ?deadline_s ?max_trials ())
       in
+      (* An empty (or absent) constraint set takes the legacy path — same
+         code, same cache keys, byte-identical replies to a pre-conditioning
+         daemon. *)
+      let conditioned =
+        match session with
+        | Some sess when not (Cset.is_empty sess.cset) -> Some sess
+        | _ -> None
+      in
       let body =
         with_lock t.engine (fun () ->
-            run_conf t ?budget:q_budget ~relation ~eps ~delta ~seed ~fuel ())
+            match conditioned with
+            | Some sess ->
+                let compiled = compiled_constraints t sess in
+                run_conf_conditioned t ?budget:q_budget ~compiled ~relation
+                  ~eps ~delta ~seed ~fuel ()
+            | None ->
+                run_conf t ?budget:q_budget ~relation ~eps ~delta ~seed ~fuel
+                  ())
       in
       (match (budget, q_budget) with
       | Some sb, Some qb when sb != qb -> Budget.spend sb (Budget.spent qb)
@@ -235,6 +346,7 @@ let bump t f =
    with slot removal, so the watchdog can never shut down a recycled fd. *)
 let session t sid fd =
   bump t (fun t -> t.sessions <- t.sessions + 1);
+  let sess = new_session () in
   let slot = { sfd = fd; busy_since = 0.; wedged = false } in
   with_lock t.state (fun () -> Hashtbl.replace t.slots sid slot);
   (* Admission control: each session draws conf trials from its own budget,
@@ -273,7 +385,7 @@ let session t sid fd =
               bump t (fun t -> t.queries <- t.queries + 1);
               slot.busy_since <- Unix.gettimeofday ();
               let reply =
-                match dispatch t ?budget spec with
+                match dispatch t ?budget ~session:sess spec with
                 | body -> Protocol.Reply { id; ok = true; body }
                 | exception e ->
                     bump t (fun t -> t.errors <- t.errors + 1);

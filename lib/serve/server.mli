@@ -24,7 +24,25 @@
        [trials=] give the query its own {!Pqdb_montecarlo.Budget}: past the
        cutoff the reply still arrives, carrying the sound (possibly
        a-priori) brackets reached so far — the degraded anytime answer —
-       and the spend is charged against the session allowance too.}
+       and the spend is charged against the session allowance too.
+
+       With constraints asserted on the session, the reply carries
+       {e conditioned} confidences [Pr(t ∈ q | c)] instead
+       ({!Pqdb_conditioning.Condition}), same line format; the extra RNG
+       lane for the shared [Pr(c)] denominator is split deterministically
+       from the same [seed], and every cache entry is salted with the
+       constraint-set fingerprint, so warm conditioned replies are
+       byte-identical to cold ones and can never be served from (or leak
+       into) unconditioned entries.  An unsatisfiable constraint set gets
+       an [ok = false] reply carrying the typed
+       {!Pqdb_runtime.Pqdb_error.Unsatisfiable_condition} message.}
+    {- [assert <constraint>] — parse ({!Pqdb_lang.Qparser.parse_constraint})
+       and add one constraint to {e this session's} set:
+       [fd[K -> D](table)], [empty(q)] (denial) or [(q)] (holds).
+       Constraint state is per session, never global; sessions conditioning
+       differently share the daemon and its cache safely.}
+    {- [retract] — clear the session's constraint set; subsequent [conf]
+       replies are byte-identical to a session that never asserted.}
     {- [stats] — server and cache counters, one [key value...] line each
        (cache hits / misses / evictions, sessions, queries, errors).}
     {- [shutdown] — reply, then stop the daemon cleanly.}}
@@ -112,7 +130,18 @@ val serve : ?ready:(unit -> unit) -> config -> stats
 
 val stats : t -> stats
 
-val dispatch : t -> ?budget:Pqdb_montecarlo.Budget.t -> string -> string
+type session
+(** Per-connection state: the active constraint set and its compiled
+    lineage.  Socket sessions get one automatically; in-process callers
+    pass one to [dispatch] to use [assert]/[retract]/conditioned [conf]. *)
+
+val new_session : unit -> session
+(** A fresh session with no constraints. *)
+
+val dispatch :
+  t -> ?budget:Pqdb_montecarlo.Budget.t -> ?session:session -> string ->
+  string
 (** Handle one request in-process (no socket): the reply body on success.
-    Exposed for tests and the in-process warm/cold bench.
+    Exposed for tests and the in-process warm/cold bench.  Without a
+    [session], [assert]/[retract] are refused and [conf] is unconditioned.
     @raise Failure with the message an [ok = false] reply would carry. *)

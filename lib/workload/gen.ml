@@ -112,6 +112,41 @@ let uncertain_db rng ~tuples ~clauses =
              tags)));
   udb
 
+(* Duplicate-heavy dedup fixture: every entity id carries 1..max_dups
+   independent candidate tuples agreeing on the key [id] and differing on
+   [name] — the Example 2.2 cleaning scenario at scale.  Conditioning on
+   fd[id -> name](people) renormalizes away the worlds where an entity
+   keeps two names; with several candidates per entity the constraint is
+   improbable enough that conditioned and unconditioned answers separate
+   clearly.  Values are Int/Str only, so text and binary images stay
+   canonically byte-identical (same contract as {!uncertain_db}). *)
+let add_dirty_people rng udb ~entities ~max_dups =
+  if entities < 0 then
+    invalid_arg "Gen.add_dirty_people: entities must be >= 0";
+  if max_dups < 1 then
+    invalid_arg "Gen.add_dirty_people: max_dups must be >= 1";
+  let w = Udb.wtable udb in
+  let rows =
+    List.concat
+      (List.init entities (fun id ->
+           List.init
+             (1 + Rng.int rng max_dups)
+             (fun k ->
+               let p, q = random_proper_prob rng in
+               let v = Wtable.add_var w [ q; p ] in
+               ( Assignment.singleton v 1,
+                 Tuple.of_list
+                   [ Value.Int id; Value.Str (Printf.sprintf "n%d_%d" id k) ]
+               ))))
+  in
+  Udb.add_urelation udb "people"
+    (Urelation.make (Schema.of_list [ "id"; "name" ]) rows)
+
+let dirty_db rng ~entities ~max_dups =
+  let udb = Udb.create () in
+  add_dirty_people rng udb ~entities ~max_dups;
+  udb
+
 let linear_predicate rng ~arity =
   let k = arity in
   let open Pqdb_ast.Apred in

@@ -48,6 +48,19 @@ val uncertain_db :
     so the same instance saved as text and binary is canonically
     byte-identical — the [pqdb gen] / [pqdb convert --verify] fixture. *)
 
+val add_dirty_people :
+  Rng.t -> Udb.t -> entities:int -> max_dups:int -> unit
+(** Add a duplicate-heavy ["people"] relation ([id:Int], [name:Str]) to the
+    database: each of [entities] ids carries 1 to [max_dups] independent
+    Bernoulli candidate tuples sharing the id but not the name — the
+    deduplication fixture behind [pqdb gen --dirty] and the conditioning
+    bench.  Conditioning on [fd[id -> name](people)] renormalizes away
+    worlds where an id keeps two names.  Int/Str values only, so the
+    text/binary round-trip identity of {!uncertain_db} is preserved. *)
+
+val dirty_db : Rng.t -> entities:int -> max_dups:int -> Udb.t
+(** A fresh database holding only the {!add_dirty_people} relation. *)
+
 val linear_predicate :
   Rng.t -> arity:int -> Pqdb_ast.Apred.t
 (** Random linear inequality [Σ aᵢxᵢ ≥ b] with coefficients in [-2, 2]. *)
